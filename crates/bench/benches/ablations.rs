@@ -1,0 +1,40 @@
+//! Criterion benches for the ablation studies: each design-choice
+//! quantification from `cdpu_bench::ablations` gets a timed target, so
+//! `cargo bench` exercises every ablation path.
+
+use cdpu_bench::{ablations, Scale, Workbench};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use std::hint::black_box;
+
+fn ablation_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(500));
+    let mut wb = Workbench::new(Scale::tiny());
+    wb.snappy_c();
+    wb.snappy_d();
+    wb.zstd_c();
+    group.bench_function("hash_function", |b| {
+        b.iter(|| black_box(ablations::hash_function(&mut wb)))
+    });
+    group.bench_function("associativity", |b| {
+        b.iter(|| black_box(ablations::associativity(&mut wb)))
+    });
+    group.bench_function("matcher_effort", |b| {
+        b.iter(|| black_box(ablations::matcher_effort(&mut wb)))
+    });
+    group.bench_function("greedy_vs_chain", |b| {
+        b.iter(|| black_box(ablations::greedy_vs_chain(&mut wb)))
+    });
+    group.bench_function("fse_accuracy", |b| {
+        b.iter(|| black_box(ablations::fse_accuracy(&mut wb)))
+    });
+    group.bench_function("chaining_study", |b| {
+        b.iter(|| black_box(ablations::chaining_study(&mut wb)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, ablation_benches);
+criterion_main!(benches);

@@ -1,0 +1,126 @@
+//! Criterion benches of the real software codecs — the "Xeon baseline"
+//! side of the evaluation, measured on the host running this repository.
+//!
+//! The paper's Section 6 baselines are lzbench runs of the reference C
+//! implementations on a Xeon E5-2686 v4; these benches measure our
+//! from-scratch Rust implementations on whatever host executes them, and
+//! EXPERIMENTS.md records both next to the accelerator model's numbers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::time::Duration;
+use std::hint::black_box;
+
+fn bench_inputs() -> Vec<(&'static str, Vec<u8>)> {
+    use cdpu_corpus::{generate, CorpusKind};
+    vec![
+        ("json-64k", generate(CorpusKind::JsonLogs, 64 * 1024, 1)),
+        ("text-64k", generate(CorpusKind::MarkovText, 64 * 1024, 2)),
+        ("proto-64k", generate(CorpusKind::ProtoRecords, 64 * 1024, 3)),
+    ]
+}
+
+fn snappy_roundtrip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("snappy");
+    group.sample_size(20).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+    for (name, data) in bench_inputs() {
+        group.throughput(Throughput::Bytes(data.len() as u64));
+        group.bench_with_input(BenchmarkId::new("compress", name), &data, |b, d| {
+            b.iter(|| cdpu_snappy::compress(black_box(d)))
+        });
+        let compressed = cdpu_snappy::compress(&data);
+        group.bench_with_input(BenchmarkId::new("decompress", name), &compressed, |b, d| {
+            b.iter(|| cdpu_snappy::decompress(black_box(d)).expect("valid stream"))
+        });
+    }
+    group.finish();
+}
+
+fn zstd_roundtrip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("zstd");
+    group.sample_size(15).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+    for (name, data) in bench_inputs() {
+        group.throughput(Throughput::Bytes(data.len() as u64));
+        for level in [-5i32, 3, 9] {
+            let cfg = cdpu_zstd::ZstdConfig::with_level(level);
+            group.bench_with_input(
+                BenchmarkId::new(format!("compress-l{level}"), name),
+                &data,
+                |b, d| b.iter(|| cdpu_zstd::compress_with(black_box(d), &cfg)),
+            );
+        }
+        let compressed = cdpu_zstd::compress(&data);
+        group.bench_with_input(BenchmarkId::new("decompress-l3", name), &compressed, |b, d| {
+            b.iter(|| cdpu_zstd::decompress(black_box(d)).expect("valid frame"))
+        });
+    }
+    group.finish();
+}
+
+fn flate_roundtrip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flate");
+    group.sample_size(15).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+    for (name, data) in bench_inputs() {
+        group.throughput(Throughput::Bytes(data.len() as u64));
+        for level in [1u32, 6, 9] {
+            let cfg = cdpu_flate::FlateConfig::with_level(level);
+            group.bench_with_input(
+                BenchmarkId::new(format!("compress-l{level}"), name),
+                &data,
+                |b, d| b.iter(|| cdpu_flate::compress_with(black_box(d), &cfg)),
+            );
+        }
+        let compressed = cdpu_flate::compress(&data);
+        group.bench_with_input(BenchmarkId::new("decompress-l6", name), &compressed, |b, d| {
+            b.iter(|| cdpu_flate::decompress(black_box(d)).expect("valid frame"))
+        });
+    }
+    group.finish();
+}
+
+fn framing_roundtrip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("snappy-framing");
+    group.sample_size(15).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+    let data = cdpu_corpus::generate(cdpu_corpus::CorpusKind::JsonLogs, 256 * 1024, 9);
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    group.bench_function("compress-256k", |b| {
+        b.iter(|| cdpu_snappy::frame::compress_frames(black_box(&data)))
+    });
+    let framed = cdpu_snappy::frame::compress_frames(&data);
+    group.bench_function("decompress-256k", |b| {
+        b.iter(|| cdpu_snappy::frame::decompress_frames(black_box(&framed)).expect("valid"))
+    });
+    group.finish();
+}
+
+fn entropy_coders(c: &mut Criterion) {
+    let mut group = c.benchmark_group("entropy");
+    group.sample_size(15).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+    let data = cdpu_corpus::generate(cdpu_corpus::CorpusKind::MarkovText, 64 * 1024, 5);
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    group.bench_function("huffman-encode-64k", |b| {
+        let hist = cdpu_entropy::byte_histogram(&data);
+        let table = cdpu_entropy::huffman::HuffmanTable::from_frequencies(&hist).unwrap();
+        b.iter(|| table.encode_bytes(black_box(&data)).unwrap())
+    });
+    group.bench_function("huffman-decode-64k", |b| {
+        let hist = cdpu_entropy::byte_histogram(&data);
+        let table = cdpu_entropy::huffman::HuffmanTable::from_frequencies(&hist).unwrap();
+        let (bits, bit_len) = table.encode_bytes(&data).unwrap();
+        b.iter(|| {
+            table
+                .decode_bytes(black_box(&bits), bit_len, data.len())
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    snappy_roundtrip,
+    zstd_roundtrip,
+    flate_roundtrip,
+    framing_roundtrip,
+    entropy_coders
+);
+criterion_main!(benches);

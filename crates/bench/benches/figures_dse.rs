@@ -1,0 +1,94 @@
+//! Criterion benches that time the regeneration of every paper figure —
+//! one bench per table/figure, at tiny scale so the full suite completes
+//! quickly. `cargo bench` therefore *executes* the entire evaluation
+//! pipeline end to end; the human-readable figure data comes from the
+//! `figures` binary.
+
+use cdpu_bench::{dse_figures, profile_figures, Scale, Workbench};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use std::hint::black_box;
+
+fn profiling_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures-profiling");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(500));
+    group.bench_function("fig1_fleet_timeline", |b| {
+        b.iter(|| black_box(profile_figures::fig1()))
+    });
+    group.bench_function("fig2a_bytes_by_algo", |b| {
+        b.iter(|| black_box(profile_figures::fig2a()))
+    });
+    group.bench_function("fig2b_zstd_levels", |b| {
+        b.iter(|| black_box(profile_figures::fig2b()))
+    });
+    group.bench_function("fig2c_fleet_ratios", |b| {
+        b.iter(|| black_box(profile_figures::fig2c()))
+    });
+    group.bench_function("fig3_call_size_cdfs", |b| {
+        b.iter(|| black_box(profile_figures::fig3()))
+    });
+    group.bench_function("fig4_caller_shares", |b| {
+        b.iter(|| black_box(profile_figures::fig4()))
+    });
+    group.bench_function("fig5_window_sizes", |b| {
+        b.iter(|| black_box(profile_figures::fig5()))
+    });
+    group.bench_function("fig6_open_benchmarks", |b| {
+        b.iter(|| black_box(profile_figures::fig6()))
+    });
+    group.finish();
+}
+
+fn benchmark_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures-hcbench");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(500));
+    group.bench_function("fig7_hypercompressbench", |b| {
+        b.iter(|| {
+            let mut wb = Workbench::new(Scale::tiny());
+            black_box(profile_figures::fig7(&mut wb))
+        })
+    });
+    group.finish();
+}
+
+fn dse_figures_bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures-dse");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(500));
+    // Share the workbench across iterations: suites build once, the DSE
+    // sweep itself is what is timed.
+    let mut wb = Workbench::new(Scale::tiny());
+    wb.snappy_c();
+    wb.snappy_d();
+    wb.zstd_c();
+    wb.zstd_d();
+    group.bench_function("fig11_snappy_decompression", |b| {
+        b.iter(|| black_box(dse_figures::fig11(&mut wb)))
+    });
+    group.bench_function("fig12_snappy_compression_ht14", |b| {
+        b.iter(|| black_box(dse_figures::fig12(&mut wb)))
+    });
+    group.bench_function("fig13_snappy_compression_ht9", |b| {
+        b.iter(|| black_box(dse_figures::fig13(&mut wb)))
+    });
+    group.bench_function("fig14_zstd_decompression", |b| {
+        b.iter(|| black_box(dse_figures::fig14(&mut wb)))
+    });
+    group.bench_function("fig15_zstd_compression", |b| {
+        b.iter(|| black_box(dse_figures::fig15(&mut wb)))
+    });
+    group.bench_function("section66_summary", |b| {
+        b.iter(|| black_box(dse_figures::summary(&mut wb)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    profiling_figures,
+    benchmark_generation,
+    dse_figures_bench
+);
+criterion_main!(benches);

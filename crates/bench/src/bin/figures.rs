@@ -1,0 +1,96 @@
+//! `figures` — regenerates every evaluation table and figure of the paper.
+//!
+//! Usage:
+//!
+//! ```text
+//! figures [FIGURE ...] [--files N] [--max-call BYTES] [--seed N]
+//!
+//! FIGURE: fig1 fig2a fig2b fig2c fig3 fig4 fig5 fig6 fig7
+//!         fig11 fig12 fig13 fig14 fig15 summary | all (default)
+//! ```
+//!
+//! Run with `--release`; the default scale completes the full set in
+//! minutes. `--files`/`--max-call` push toward paper scale.
+
+use cdpu_bench::{dse_figures, profile_figures, Scale, Workbench};
+
+fn main() {
+    let mut figures: Vec<String> = Vec::new();
+    let mut scale = Scale::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--files" => {
+                scale.files_per_suite = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--files needs a number"));
+            }
+            "--max-call" => {
+                scale.max_call_bytes = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--max-call needs a byte count"));
+            }
+            "--seed" => {
+                scale.seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--seed needs a number"));
+            }
+            "--help" | "-h" => usage(""),
+            other if other.starts_with('-') => usage(&format!("unknown flag {other}")),
+            other => figures.push(other.to_string()),
+        }
+    }
+    if figures.is_empty() {
+        figures.push("all".to_string());
+    }
+
+    let all = [
+        "fig1", "fig2a", "fig2b", "fig2c", "fig2c-measured", "fig3", "fig4", "fig5", "fig6", "fig7", "fig11",
+        "fig12", "fig13", "fig14", "fig15", "summary", "ablations",
+    ];
+    let selected: Vec<&str> = if figures.iter().any(|f| f == "all") {
+        all.to_vec()
+    } else {
+        figures.iter().map(|s| s.as_str()).collect()
+    };
+
+    let mut wb = Workbench::new(scale);
+    for fig in selected {
+        let rendered = match fig {
+            "fig1" => profile_figures::fig1(),
+            "fig2a" => profile_figures::fig2a(),
+            "fig2b" => profile_figures::fig2b(),
+            "fig2c" => profile_figures::fig2c(),
+            "fig2c-measured" => profile_figures::fig2c_measured(&mut wb),
+            "fig3" => profile_figures::fig3(),
+            "fig4" => profile_figures::fig4(),
+            "fig5" => profile_figures::fig5(),
+            "fig6" => profile_figures::fig6(),
+            "fig7" => profile_figures::fig7(&mut wb),
+            "fig11" => dse_figures::fig11(&mut wb),
+            "fig12" => dse_figures::fig12(&mut wb),
+            "fig13" => dse_figures::fig13(&mut wb),
+            "fig14" => dse_figures::fig14(&mut wb),
+            "fig15" => dse_figures::fig15(&mut wb),
+            "summary" => dse_figures::summary(&mut wb),
+            "ablations" => cdpu_bench::ablations::all(&mut wb),
+            other => usage(&format!("unknown figure {other}")),
+        };
+        println!("{rendered}");
+        println!("{}", "=".repeat(72));
+    }
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}");
+    }
+    eprintln!(
+        "usage: figures [fig1|fig2a|fig2b|fig2c|fig2c-measured|fig3|fig4|fig5|fig6|fig7|\n\
+         \x20       fig11|fig12|fig13|fig14|fig15|summary|ablations|all] [--files N] [--max-call BYTES] [--seed N]"
+    );
+    std::process::exit(2);
+}

@@ -1,0 +1,263 @@
+//! Figures 11–15 and the Section 6 text numbers: the design-space
+//! exploration.
+
+use crate::{render_table, Workbench};
+use cdpu_core::dse::{
+    compression_sweep, decompression_sweep, speculation_sweep, standard_histories,
+    standard_placements, Sweep,
+};
+use cdpu_core::summary::summarize;
+use cdpu_fleet::{Algorithm, AlgoOp, Direction};
+use cdpu_hwsim::params::{MemParams, Placement};
+use cdpu_util::format_bytes;
+
+fn sweep_table(title: &str, sweep: &Sweep, with_ratio: bool) -> String {
+    let mut header = vec!["SRAM"];
+    for p in Placement::ALL {
+        header.push(p.label());
+    }
+    header.push("area mm2");
+    header.push("area norm");
+    if with_ratio {
+        header.push("ratio vs SW");
+    }
+    let rows: Vec<Vec<String>> = standard_histories()
+        .into_iter()
+        .map(|h| {
+            let mut row = vec![format_bytes(h as u64)];
+            for p in Placement::ALL {
+                match sweep.point(p, h) {
+                    Some(pt) => row.push(format!("{:.2}x", pt.speedup)),
+                    None => row.push("-".into()),
+                }
+            }
+            let rocc = sweep.point(Placement::Rocc, h).expect("RoCC point");
+            row.push(format!("{:.3}", rocc.area_mm2));
+            row.push(format!("{:.2}", sweep.area_norm(rocc)));
+            if with_ratio {
+                row.push(format!("{:.3}", rocc.ratio_vs_sw.unwrap_or(f64::NAN)));
+            }
+            row
+        })
+        .collect();
+    render_table(title, &header, &rows)
+}
+
+/// Figure 11: Snappy decompression speedup/area across placements ×
+/// history SRAM sizes.
+pub fn fig11(wb: &mut Workbench) -> String {
+    let op = AlgoOp::new(Algorithm::Snappy, Direction::Decompress);
+    wb.profiles(op);
+    let suite = wb.suite(op).clone();
+    let profiles = wb.profiles(op).to_vec();
+    let sweep = decompression_sweep(
+        &suite,
+        &profiles,
+        &standard_placements(),
+        &standard_histories(),
+        16,
+        &MemParams::default(),
+    );
+    let mut out = sweep_table(
+        "Figure 11: Snappy decompression speedup vs Xeon (area vs 64K accel)",
+        &sweep,
+        false,
+    );
+    let rocc = sweep.point(Placement::Rocc, 64 * 1024).expect("point");
+    out.push_str(&format!(
+        "\nRoCC 64K: {:.1} GB/s accel vs 1.1 GB/s Xeon → {:.1}x (paper: 11.4 GB/s, 10x+)\n",
+        rocc.accel_gbps, rocc.speedup
+    ));
+    out
+}
+
+/// Figure 12: Snappy compression, 2^14 hash-table entries.
+pub fn fig12(wb: &mut Workbench) -> String {
+    snappy_comp_fig(wb, 14, "Figure 12: Snappy compression, 2^14 HT entries")
+}
+
+/// Figure 13: Snappy compression, 2^9 hash-table entries.
+pub fn fig13(wb: &mut Workbench) -> String {
+    snappy_comp_fig(wb, 9, "Figure 13: Snappy compression, 2^9 HT entries")
+}
+
+fn snappy_comp_fig(wb: &mut Workbench, ht_log: u32, title: &str) -> String {
+    let op = AlgoOp::new(Algorithm::Snappy, Direction::Compress);
+    let suite = wb.suite(op).clone();
+    let sweep = compression_sweep(
+        &suite,
+        &standard_placements(),
+        &standard_histories(),
+        ht_log,
+        &MemParams::default(),
+    );
+    let mut out = sweep_table(title, &sweep, true);
+    let rocc = sweep.point(Placement::Rocc, 64 * 1024).expect("point");
+    out.push_str(&format!(
+        "\nRoCC 64K: {:.2} GB/s accel vs 0.36 GB/s Xeon → {:.1}x (paper: 5.84 GB/s, 16x @ HT14)\n",
+        rocc.accel_gbps, rocc.speedup
+    ));
+    out
+}
+
+/// Figure 14: ZStd decompression sweep plus the Section 6.4 speculation
+/// exploration (4 / 16 / 32).
+pub fn fig14(wb: &mut Workbench) -> String {
+    let op = AlgoOp::new(Algorithm::Zstd, Direction::Decompress);
+    wb.profiles(op);
+    let suite = wb.suite(op).clone();
+    let profiles = wb.profiles(op).to_vec();
+    let mem = MemParams::default();
+    let sweep = decompression_sweep(
+        &suite,
+        &profiles,
+        &standard_placements(),
+        &standard_histories(),
+        16,
+        &mem,
+    );
+    let mut out = sweep_table(
+        "Figure 14: ZStd decompression speedup vs Xeon (spec=16; area vs 64K accel)",
+        &sweep,
+        false,
+    );
+    out.push_str("\nSection 6.4 speculation sweep (RoCC, 64K history):\n");
+    for pt in speculation_sweep(&suite, &profiles, &[4, 16, 32], &mem) {
+        out.push_str(&format!(
+            "  spec {:>2}: {:.2}x speedup, {:.2} mm2 (paper: 4→2.11x, 16→4.2x, 32→5.64x)\n",
+            pt.spec_ways, pt.speedup, pt.area_mm2
+        ));
+    }
+    out
+}
+
+/// Figure 15: ZStd compression sweep.
+pub fn fig15(wb: &mut Workbench) -> String {
+    let op = AlgoOp::new(Algorithm::Zstd, Direction::Compress);
+    let suite = wb.suite(op).clone();
+    let sweep = compression_sweep(
+        &suite,
+        &standard_placements(),
+        &standard_histories(),
+        14,
+        &MemParams::default(),
+    );
+    let mut out = sweep_table(
+        "Figure 15: ZStd compression, 2^14 HT entries",
+        &sweep,
+        true,
+    );
+    let rocc = sweep.point(Placement::Rocc, 64 * 1024).expect("point");
+    out.push_str(&format!(
+        "\nRoCC 64K: {:.2} GB/s accel vs 0.22 GB/s Xeon → {:.1}x; HW/SW ratio {:.2} (paper: 3.5 GB/s, 15.8x, 0.84)\n",
+        rocc.accel_gbps,
+        rocc.speedup,
+        rocc.ratio_vs_sw.unwrap_or(f64::NAN)
+    ));
+    out
+}
+
+/// The Section 6.6 summary — regenerated with this run's measured numbers
+/// (the artifact's `FINAL_TEXT_SUMMARIES.txt` analogue).
+pub fn summary(wb: &mut Workbench) -> String {
+    let mem = MemParams::default();
+    let sd_op = AlgoOp::new(Algorithm::Snappy, Direction::Decompress);
+    let zd_op = AlgoOp::new(Algorithm::Zstd, Direction::Decompress);
+    wb.profiles(sd_op);
+    wb.profiles(zd_op);
+    let sd_suite = wb.suite(sd_op).clone();
+    let sd_prof = wb.profiles(sd_op).to_vec();
+    let zd_suite = wb.suite(zd_op).clone();
+    let zd_prof = wb.profiles(zd_op).to_vec();
+    let sc_suite = wb.snappy_c().clone();
+    let zc_suite = wb.zstd_c().clone();
+
+    let sd = decompression_sweep(
+        &sd_suite,
+        &sd_prof,
+        &standard_placements(),
+        &standard_histories(),
+        16,
+        &mem,
+    );
+    let zd = decompression_sweep(
+        &zd_suite,
+        &zd_prof,
+        &standard_placements(),
+        &standard_histories(),
+        16,
+        &mem,
+    );
+    let sc = compression_sweep(&sc_suite, &standard_placements(), &standard_histories(), 14, &mem);
+    let sc9 = compression_sweep(&sc_suite, &standard_placements(), &standard_histories(), 9, &mem);
+    let zc = compression_sweep(&zc_suite, &standard_placements(), &standard_histories(), 14, &mem);
+    let spec = speculation_sweep(&zd_suite, &zd_prof, &[4, 16, 32], &mem);
+
+    let s = summarize(&[&sd, &sc, &sc9, &zd, &zc], &spec);
+    let mut out = String::new();
+    out.push_str("Section 6.6 key DSE lessons (this run's measured numbers):\n\n");
+    out.push_str(&format!(
+        "  Speedup span across explored points: {:.0}x (paper: 46x)\n",
+        s.speedup_span
+    ));
+    out.push_str(&format!(
+        "  Area span across single pipelines: {:.1}x (paper: ~3x)\n",
+        s.area_span
+    ));
+    if let Some(g) = s.decomp_placement_gap {
+        out.push_str(&format!(
+            "  Decompression RoCC-vs-PCIe gap at 64K: {:.1}x (paper: 3-5.6x)\n",
+            g
+        ));
+    }
+    if let Some(g) = s.comp_placement_gap {
+        out.push_str(&format!(
+            "  Compression RoCC-vs-PCIe gap at 64K: {:.1}x (paper: ~2.4x; compression tolerates distance)\n",
+            g
+        ));
+    }
+    out.push_str("\n  Best speedups per suite:\n");
+    for (label, best) in &s.best_per_sweep {
+        out.push_str(&format!("    {label:<10} {best:.1}x\n"));
+    }
+
+    // Headline area claims.
+    let rocc_sd = sd.point(Placement::Rocc, 64 * 1024).expect("point");
+    let rocc_sc = sc.point(Placement::Rocc, 64 * 1024).expect("point");
+    out.push_str(&format!(
+        "\n  Snappy-D 64K: {:.3} mm2 = {:.1}% of a Xeon core (paper: 0.431 mm2, 2.4%)\n",
+        rocc_sd.area_mm2,
+        100.0 * cdpu_hwsim::area::fraction_of_xeon_core(rocc_sd.area_mm2)
+    ));
+    out.push_str(&format!(
+        "  Snappy-C 64K14HT: {:.3} mm2 = {:.1}% of a Xeon core (paper: 0.851 mm2, 4.7%)\n",
+        rocc_sc.area_mm2,
+        100.0 * cdpu_hwsim::area::fraction_of_xeon_core(rocc_sc.area_mm2)
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Scale;
+
+    #[test]
+    fn dse_figures_render_at_tiny_scale() {
+        let mut wb = Workbench::new(Scale::tiny());
+        let f11 = fig11(&mut wb);
+        assert!(f11.contains("RoCC") && f11.contains("64 KiB"));
+        let f12 = fig12(&mut wb);
+        assert!(f12.contains("ratio vs SW"));
+        let f14 = fig14(&mut wb);
+        assert!(f14.contains("spec 32") || f14.contains("spec  4"));
+    }
+
+    #[test]
+    fn summary_renders() {
+        let mut wb = Workbench::new(Scale::tiny());
+        let s = summary(&mut wb);
+        assert!(s.contains("Speedup span"));
+        assert!(s.contains("Snappy-D 64K"));
+    }
+}

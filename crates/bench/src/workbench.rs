@@ -1,0 +1,172 @@
+//! Shared experiment state: bank, suites and profiles built once.
+
+use cdpu_core::dse::profile_suite;
+use cdpu_fleet::{callsizes, Algorithm, AlgoOp, Direction};
+use cdpu_hcbench::bank::{BankConfig, ChunkBank};
+use cdpu_hcbench::{generate_suite, Suite, SuiteConfig};
+use cdpu_hwsim::profile::CallProfile;
+
+/// Experiment scale knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct Scale {
+    /// Benchmark files per suite (paper: 8,000–10,000).
+    pub files_per_suite: usize,
+    /// Per-call uncompressed size cap (paper: 64 MiB).
+    pub max_call_bytes: u64,
+    /// Corpus bytes per kind in the chunk bank.
+    pub bank_bytes_per_kind: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for Scale {
+    fn default() -> Self {
+        Scale {
+            files_per_suite: 96,
+            max_call_bytes: 512 * 1024,
+            bank_bytes_per_kind: 512 * 1024,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+impl Scale {
+    /// A tiny scale for tests and Criterion benches.
+    pub fn tiny() -> Self {
+        Scale {
+            files_per_suite: 8,
+            max_call_bytes: 64 * 1024,
+            bank_bytes_per_kind: 96 * 1024,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+/// Lazily-built shared state for figure generation.
+pub struct Workbench {
+    scale: Scale,
+    bank: Option<ChunkBank>,
+    suites: std::collections::HashMap<AlgoOp, Suite>,
+    profiles: std::collections::HashMap<AlgoOp, Vec<CallProfile>>,
+}
+
+impl Workbench {
+    /// Creates an empty workbench at the given scale.
+    pub fn new(scale: Scale) -> Self {
+        Workbench {
+            scale,
+            bank: None,
+            suites: std::collections::HashMap::new(),
+            profiles: std::collections::HashMap::new(),
+        }
+    }
+
+    /// The scale in effect.
+    pub fn scale(&self) -> Scale {
+        self.scale
+    }
+
+    /// The chunk bank, building on first use.
+    pub fn bank(&mut self) -> &ChunkBank {
+        if self.bank.is_none() {
+            self.bank = Some(ChunkBank::build(&BankConfig {
+                chunk_size: 4096,
+                per_kind_bytes: self.scale.bank_bytes_per_kind,
+                zstd_levels: vec![-5, 1, 3, 9],
+                seed: self.scale.seed ^ 0xBA_4B,
+            }));
+        }
+        self.bank.as_ref().expect("just built")
+    }
+
+    /// The HyperCompressBench suite for an op, generating on first use.
+    pub fn suite(&mut self, op: AlgoOp) -> &Suite {
+        if !self.suites.contains_key(&op) {
+            let cfg = SuiteConfig {
+                op,
+                files: self.scale.files_per_suite,
+                max_call_bytes: self.scale.max_call_bytes,
+                seed: self.scale.seed ^ seed_tag(op),
+            };
+            self.bank();
+            let bank = self.bank.as_ref().expect("bank built");
+            let suite = generate_suite(bank, &cfg);
+            self.suites.insert(op, suite);
+        }
+        &self.suites[&op]
+    }
+
+    /// Cached per-file decompression profiles for an op's suite.
+    pub fn profiles(&mut self, op: AlgoOp) -> &[CallProfile] {
+        assert_eq!(op.dir, Direction::Decompress, "profiles are for decompression");
+        if !self.profiles.contains_key(&op) {
+            self.suite(op);
+            let profiles = profile_suite(&self.suites[&op]);
+            self.profiles.insert(op, profiles);
+        }
+        &self.profiles[&op]
+    }
+
+    /// Convenience accessors for the four instrumented ops.
+    pub fn snappy_c(&mut self) -> &Suite {
+        self.suite(AlgoOp::new(Algorithm::Snappy, Direction::Compress))
+    }
+
+    /// Snappy decompression suite.
+    pub fn snappy_d(&mut self) -> &Suite {
+        self.suite(AlgoOp::new(Algorithm::Snappy, Direction::Decompress))
+    }
+
+    /// ZStd compression suite.
+    pub fn zstd_c(&mut self) -> &Suite {
+        self.suite(AlgoOp::new(Algorithm::Zstd, Direction::Compress))
+    }
+
+    /// ZStd decompression suite.
+    pub fn zstd_d(&mut self) -> &Suite {
+        self.suite(AlgoOp::new(Algorithm::Zstd, Direction::Decompress))
+    }
+
+    /// All four instrumented ops.
+    pub fn ops() -> [AlgoOp; 4] {
+        callsizes::instrumented_ops()
+    }
+}
+
+fn seed_tag(op: AlgoOp) -> u64 {
+    let a = match op.algo {
+        Algorithm::Snappy => 0x51u64,
+        Algorithm::Zstd => 0x52,
+        _ => 0x5F,
+    };
+    let d = match op.dir {
+        Direction::Compress => 0xC0u64,
+        Direction::Decompress => 0xD0,
+    };
+    cdpu_util::rng::mix64(a << 8 | d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workbench_caches() {
+        let mut wb = Workbench::new(Scale::tiny());
+        let n1 = wb.snappy_c().files.len();
+        let n2 = wb.snappy_c().files.len();
+        assert_eq!(n1, n2);
+        assert_eq!(n1, Scale::tiny().files_per_suite);
+        let p = wb
+            .profiles(AlgoOp::new(Algorithm::Snappy, Direction::Decompress))
+            .len();
+        assert_eq!(p, n1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn profiles_only_for_decompression() {
+        let mut wb = Workbench::new(Scale::tiny());
+        let _ = wb.profiles(AlgoOp::new(Algorithm::Snappy, Direction::Compress));
+    }
+}

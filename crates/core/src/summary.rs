@@ -1,0 +1,134 @@
+//! Section 6.6 aggregation: the "key implementation-based DSE lessons".
+//!
+//! Given the five figure sweeps, this module computes the numbers the
+//! paper's conclusions quote: the overall speedup span (46×), the area
+//! span per pipeline (3×), placement gaps, and the per-figure
+//! area-vs-speedup trade-off highlights.
+
+use crate::dse::{DsePoint, Sweep};
+use cdpu_hwsim::params::Placement;
+
+/// The paper's conclusion-level aggregates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DseSummary {
+    /// Ratio of max to min speedup over every explored point (paper: 46×).
+    pub speedup_span: f64,
+    /// Max/min area over single-pipeline configurations (paper: ~3×).
+    pub area_span: f64,
+    /// Best speedup observed per sweep, labeled.
+    pub best_per_sweep: Vec<(String, f64)>,
+    /// RoCC-vs-PCIe speedup gap for decompression at full SRAM (paper:
+    /// 3–5.6×).
+    pub decomp_placement_gap: Option<f64>,
+    /// RoCC-vs-PCIe speedup gap for compression at full SRAM (paper:
+    /// ≤ ~2.4×, i.e. compression tolerates distance better).
+    pub comp_placement_gap: Option<f64>,
+}
+
+/// Builds the summary from the five figure sweeps (Figures 11–15 plus the
+/// speculation points).
+pub fn summarize(sweeps: &[&Sweep], spec_points: &[DsePoint]) -> DseSummary {
+    let all_points: Vec<&DsePoint> = sweeps
+        .iter()
+        .flat_map(|s| s.points.iter())
+        .chain(spec_points.iter())
+        .collect();
+    let max_speedup = all_points.iter().map(|p| p.speedup).fold(0.0f64, f64::max);
+    let min_speedup = all_points
+        .iter()
+        .map(|p| p.speedup)
+        .fold(f64::INFINITY, f64::min);
+    // The paper's "3× range in silicon area" is *within a single pipeline*
+    // (Abstract/Section 6.6): take the widest max/min ratio over the
+    // points of any one algorithm/direction.
+    let mut per_op: std::collections::HashMap<String, (f64, f64)> = Default::default();
+    for s in sweeps {
+        let e = per_op
+            .entry(s.op.label())
+            .or_insert((0.0, f64::INFINITY));
+        for p in &s.points {
+            e.0 = e.0.max(p.area_mm2);
+            e.1 = e.1.min(p.area_mm2);
+        }
+    }
+    let area_span = per_op
+        .values()
+        .map(|&(max, min)| max / min)
+        .fold(0.0f64, f64::max);
+
+    let gap = |sweep: Option<&&Sweep>| -> Option<f64> {
+        let s = sweep?;
+        let rocc = s.point(Placement::Rocc, 64 * 1024)?;
+        let pcie = s.point(Placement::PcieNoCache, 64 * 1024)?;
+        Some(rocc.speedup / pcie.speedup)
+    };
+    let decomp_sweep = sweeps
+        .iter()
+        .find(|s| s.op.dir == cdpu_fleet::Direction::Decompress);
+    let comp_sweep = sweeps
+        .iter()
+        .find(|s| s.op.dir == cdpu_fleet::Direction::Compress);
+
+    DseSummary {
+        speedup_span: max_speedup / min_speedup,
+        area_span,
+        best_per_sweep: sweeps
+            .iter()
+            .map(|s| {
+                (
+                    s.op.label(),
+                    s.points.iter().map(|p| p.speedup).fold(0.0f64, f64::max),
+                )
+            })
+            .collect(),
+        decomp_placement_gap: gap(decomp_sweep),
+        comp_placement_gap: gap(comp_sweep),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdpu_fleet::{Algorithm, AlgoOp, Direction};
+
+    fn fake_point(placement: Placement, history: usize, speedup: f64, area: f64) -> DsePoint {
+        DsePoint {
+            placement,
+            history_bytes: history,
+            spec_ways: 16,
+            hash_entries_log: 14,
+            accel_seconds: 1.0 / speedup,
+            xeon_seconds: 1.0,
+            accel_gbps: speedup,
+            speedup,
+            area_mm2: area,
+            ratio_vs_sw: None,
+        }
+    }
+
+    #[test]
+    fn summary_spans() {
+        let d = Sweep {
+            op: AlgoOp::new(Algorithm::Snappy, Direction::Decompress),
+            points: vec![
+                fake_point(Placement::Rocc, 64 * 1024, 10.0, 0.43),
+                fake_point(Placement::PcieNoCache, 64 * 1024, 1.8, 0.43),
+            ],
+        };
+        let c = Sweep {
+            op: AlgoOp::new(Algorithm::Snappy, Direction::Compress),
+            points: vec![
+                fake_point(Placement::Rocc, 64 * 1024, 16.0, 0.85),
+                fake_point(Placement::PcieNoCache, 64 * 1024, 6.6, 0.85),
+                fake_point(Placement::Rocc, 2048, 15.0, 0.29),
+            ],
+        };
+        let s = summarize(&[&d, &c], &[fake_point(Placement::Rocc, 64 * 1024, 0.35, 1.7)]);
+        assert!((s.speedup_span - 16.0 / 0.35).abs() < 1e-9);
+        assert!((s.area_span - 0.85 / 0.29).abs() < 1e-9, "{}", s.area_span);
+        assert!((s.decomp_placement_gap.unwrap() - 10.0 / 1.8).abs() < 1e-9);
+        assert!((s.comp_placement_gap.unwrap() - 16.0 / 6.6).abs() < 1e-9);
+        assert_eq!(s.best_per_sweep.len(), 2);
+        assert_eq!(s.best_per_sweep[1], ("C-Snappy".to_string(), 16.0));
+    }
+}

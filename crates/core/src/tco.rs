@@ -1,0 +1,200 @@
+//! Fleet-level savings estimation — the TCO arithmetic behind the paper's
+//! motivation (Sections 1 and 3.3).
+//!
+//! A CDPU saves twice: it offloads the CPU cycles currently burned in
+//! software (de)compression, and — because it makes heavyweight
+//! compression affordable within existing latency budgets — it shrinks the
+//! bytes that storage, memory and the network must carry. This module
+//! turns an accelerator design point plus the fleet model into those two
+//! numbers.
+
+use crate::baseline;
+use cdpu_fleet::{mix, ratios, Algorithm, AlgoOp, Direction, FLEET_CYCLE_FRACTION};
+
+/// A fleet-savings projection for one accelerator deployment scenario.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SavingsProjection {
+    /// Fraction of *total fleet CPU cycles* the accelerator frees
+    /// (offloaded codec cycles minus invocation overhead, scaled by the
+    /// 2.9% codec share).
+    pub cpu_cycle_fraction_saved: f64,
+    /// Relative reduction in compressed-byte volume if Snappy users adopt
+    /// ZStd-class compression on the accelerator (storage/network bytes:
+    /// `1 - old_size/new_size⁻¹`).
+    pub byte_volume_reduction: f64,
+    /// The effective fleet-wide compression ratio before the migration.
+    pub ratio_before: f64,
+    /// The effective fleet-wide compression ratio after it.
+    pub ratio_after: f64,
+}
+
+/// Scenario parameters for [`project_savings`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Scenario {
+    /// Average accelerator speedup over software for compression.
+    pub compress_speedup: f64,
+    /// Average accelerator speedup for decompression.
+    pub decompress_speedup: f64,
+    /// Fraction of Snappy compression traffic migrated to heavyweight
+    /// (ZStd-class) compression once the accelerator absorbs its cost.
+    pub snappy_to_zstd_migration: f64,
+}
+
+impl Default for Scenario {
+    fn default() -> Self {
+        // The paper's headline design points: ~16x compression, ~10x
+        // decompression, and the Section 3.3 thesis that accelerated
+        // heavyweight compression becomes the default choice.
+        Scenario {
+            compress_speedup: 16.0,
+            decompress_speedup: 10.0,
+            snappy_to_zstd_migration: 1.0,
+        }
+    }
+}
+
+/// Projects fleet savings for a scenario.
+///
+/// # Panics
+///
+/// Panics if speedups are not positive or the migration fraction is
+/// outside `[0, 1]`.
+pub fn project_savings(s: &Scenario) -> SavingsProjection {
+    assert!(s.compress_speedup > 0.0 && s.decompress_speedup > 0.0);
+    assert!((0.0..=1.0).contains(&s.snappy_to_zstd_migration));
+
+    // CPU: codec cycles split C/D by the Figure 1 legend; an accelerator
+    // with speedup k leaves 1/k of the work on the timeline (the CPU still
+    // waits out the offload, conservatively counted as occupied).
+    let comp_share: f64 = AlgoOp::all()
+        .into_iter()
+        .filter(|o| o.dir == Direction::Compress)
+        .map(mix::cycle_share_percent)
+        .sum::<f64>()
+        / 100.0;
+    let deco_share = 1.0 - comp_share;
+    let residual = comp_share / s.compress_speedup + deco_share / s.decompress_speedup;
+    let cpu_cycle_fraction_saved = FLEET_CYCLE_FRACTION * (1.0 - residual);
+
+    // Bytes: compression traffic weighted by who produces it. Migrating
+    // Snappy bytes to accelerated ZStd-high moves them from ratio 2.1 to
+    // 4.14 (Figure 2c); ZStd-low bytes move to ZStd-high.
+    let universe: Vec<(AlgoOp, f64)> = AlgoOp::all()
+        .into_iter()
+        .filter(|o| o.dir == Direction::Compress)
+        .map(|o| (o, mix::uncompressed_byte_share(o)))
+        .collect();
+    let ratio_for = |algo: Algorithm| -> f64 {
+        match algo {
+            Algorithm::Snappy | Algorithm::Gipfeli | Algorithm::Lzo => {
+                ratios::fleet_ratio(ratios::RatioBin::Snappy)
+            }
+            Algorithm::Zstd => ratios::fleet_ratio(ratios::RatioBin::ZstdLow),
+            Algorithm::Flate => ratios::fleet_ratio(ratios::RatioBin::FlateAll),
+            Algorithm::Brotli => ratios::fleet_ratio(ratios::RatioBin::BrotliAll),
+        }
+    };
+    let high = ratios::fleet_ratio(ratios::RatioBin::ZstdHigh);
+    let total_unc: f64 = universe.iter().map(|&(_, w)| w).sum();
+    let compressed_before: f64 = universe.iter().map(|&(o, w)| w / ratio_for(o.algo)).sum();
+    let compressed_after: f64 = universe
+        .iter()
+        .map(|&(o, w)| {
+            let migrated = match o.algo {
+                Algorithm::Snappy | Algorithm::Zstd => s.snappy_to_zstd_migration,
+                _ => 0.0,
+            };
+            w * (1.0 - migrated) / ratio_for(o.algo) + w * migrated / high
+        })
+        .sum();
+
+    SavingsProjection {
+        cpu_cycle_fraction_saved,
+        byte_volume_reduction: 1.0 - compressed_after / compressed_before,
+        ratio_before: total_unc / compressed_before,
+        ratio_after: total_unc / compressed_after,
+    }
+}
+
+/// Dollar-free sanity metric used in reports: seconds of Xeon time a
+/// single accelerator replaces per second of operation, for a suite with
+/// the given aggregate throughputs.
+pub fn xeon_cores_replaced(op: AlgoOp, accel_gbps: f64) -> f64 {
+    accel_gbps / baseline::xeon_gbps(op)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_scenario_saves_most_codec_cycles() {
+        let p = project_savings(&Scenario::default());
+        // 2.9% of fleet cycles, minus ~1/10th residual: ~2.6%.
+        assert!(p.cpu_cycle_fraction_saved > 0.024);
+        assert!(p.cpu_cycle_fraction_saved < FLEET_CYCLE_FRACTION);
+    }
+
+    #[test]
+    fn full_migration_approaches_high_level_ratio() {
+        let p = project_savings(&Scenario::default());
+        assert!(p.ratio_after > p.ratio_before);
+        // Snappy+ZStd dominate compression bytes, so the effective ratio
+        // lands near ZStd-high.
+        assert!(p.ratio_after > 3.5, "after {}", p.ratio_after);
+        // Byte volume shrinks by a third or more — the "hundreds of
+        // millions of dollars" scale claim.
+        assert!(p.byte_volume_reduction > 0.30, "{}", p.byte_volume_reduction);
+    }
+
+    #[test]
+    fn no_migration_no_byte_savings() {
+        let p = project_savings(&Scenario {
+            snappy_to_zstd_migration: 0.0,
+            ..Scenario::default()
+        });
+        assert!(p.byte_volume_reduction.abs() < 1e-9);
+        assert!((p.ratio_before - p.ratio_after).abs() < 1e-9);
+        // CPU savings remain.
+        assert!(p.cpu_cycle_fraction_saved > 0.02);
+    }
+
+    #[test]
+    fn migration_monotone_in_fraction() {
+        let mut prev = -1.0;
+        for m in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            let p = project_savings(&Scenario {
+                snappy_to_zstd_migration: m,
+                ..Scenario::default()
+            });
+            assert!(p.byte_volume_reduction >= prev);
+            prev = p.byte_volume_reduction;
+        }
+    }
+
+    #[test]
+    fn slow_accelerator_saves_little() {
+        let p = project_savings(&Scenario {
+            compress_speedup: 1.0,
+            decompress_speedup: 1.0,
+            snappy_to_zstd_migration: 0.0,
+        });
+        assert!(p.cpu_cycle_fraction_saved.abs() < 1e-12);
+    }
+
+    #[test]
+    fn cores_replaced() {
+        let op = AlgoOp::new(Algorithm::Snappy, Direction::Decompress);
+        let n = xeon_cores_replaced(op, 11.0);
+        assert!((n - 10.0).abs() < 0.1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_migration_fraction_panics() {
+        let _ = project_savings(&Scenario {
+            snappy_to_zstd_migration: 1.5,
+            ..Scenario::default()
+        });
+    }
+}

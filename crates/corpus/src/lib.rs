@@ -1,0 +1,468 @@
+//! Synthetic corpora for compression benchmarking.
+//!
+//! The paper builds HyperCompressBench by chunking the standard open-source
+//! corpora (Silesia, Canterbury, Calgary, SnappyFiles) and re-assembling
+//! chunks to match fleet statistics (Section 4). Those corpora carry
+//! redistribution restrictions, so this crate substitutes *synthetic
+//! generators* spanning the same compression-ratio range — what matters to
+//! the HyperCompressBench pipeline is only that the chunk bank covers
+//! ratios from ~1× (incompressible) to ~10×+ (highly redundant), indexed by
+//! achieved ratio (see DESIGN.md, substitution table).
+//!
+//! Each [`CorpusKind`] deterministically generates data with a distinct
+//! structure and compressibility band:
+//!
+//! | Kind | Mimics | Snappy ratio (approx.) |
+//! |------|--------|------------------------|
+//! | [`CorpusKind::Runs`] | bitmaps, zero pages | > 8× |
+//! | [`CorpusKind::JsonLogs`] | service logs, telemetry | 4–8× |
+//! | [`CorpusKind::MarkovText`] | prose, HTML (dickens, webster) | 1.5–3× |
+//! | [`CorpusKind::DbPages`] | sorted key-value pages (osdb) | 2–6× |
+//! | [`CorpusKind::ProtoRecords`] | serialized protobufs (the fleet's №1 payload) | 1.5–4× |
+//! | [`CorpusKind::Base64`] | encoded blobs (sao) | ~1.1× |
+//! | [`CorpusKind::Random`] | encrypted/compressed payloads | ~1× |
+//!
+//! [`open_benchmark_manifest`] additionally reproduces the *file size
+//! distribution* of the real open-source suites, which is all Figure 6 (the
+//! 256× median-call-size gap) needs.
+
+use cdpu_util::hist::Categorical;
+use cdpu_util::rng::Xoshiro256;
+
+/// A synthetic data family with a characteristic structure and
+/// compressibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CorpusKind {
+    /// Long byte runs: the most compressible content.
+    Runs,
+    /// JSON-ish log records with heavily repeated keys.
+    JsonLogs,
+    /// Word-based text with a Zipf vocabulary (prose-like).
+    MarkovText,
+    /// B-tree-ish pages of sorted, prefix-sharing keys.
+    DbPages,
+    /// Length-delimited binary records with tag bytes (protobuf-like).
+    ProtoRecords,
+    /// Base64-expanded random bytes: slightly compressible.
+    Base64,
+    /// Uniform random bytes: incompressible.
+    Random,
+}
+
+/// All corpus kinds, in decreasing order of typical compressibility.
+pub const ALL_KINDS: [CorpusKind; 7] = [
+    CorpusKind::Runs,
+    CorpusKind::JsonLogs,
+    CorpusKind::MarkovText,
+    CorpusKind::DbPages,
+    CorpusKind::ProtoRecords,
+    CorpusKind::Base64,
+    CorpusKind::Random,
+];
+
+/// Generates `len` bytes of the given kind, deterministically from `seed`.
+///
+/// ```
+/// use cdpu_corpus::{generate, CorpusKind};
+/// let a = generate(CorpusKind::JsonLogs, 1000, 7);
+/// let b = generate(CorpusKind::JsonLogs, 1000, 7);
+/// assert_eq!(a, b);
+/// assert_eq!(a.len(), 1000);
+/// ```
+pub fn generate(kind: CorpusKind, len: usize, seed: u64) -> Vec<u8> {
+    let mut rng = Xoshiro256::seed_from(seed ^ kind_tag(kind));
+    let mut out = Vec::with_capacity(len + 256);
+    match kind {
+        CorpusKind::Runs => gen_runs(&mut out, len, &mut rng),
+        CorpusKind::JsonLogs => gen_json_logs(&mut out, len, &mut rng),
+        CorpusKind::MarkovText => gen_markov_text(&mut out, len, &mut rng),
+        CorpusKind::DbPages => gen_db_pages(&mut out, len, &mut rng),
+        CorpusKind::ProtoRecords => gen_proto_records(&mut out, len, &mut rng),
+        CorpusKind::Base64 => gen_base64(&mut out, len, &mut rng),
+        CorpusKind::Random => {
+            out.resize(len, 0);
+            rng.fill_bytes(&mut out);
+        }
+    }
+    out.truncate(len);
+    out
+}
+
+fn kind_tag(kind: CorpusKind) -> u64 {
+    match kind {
+        CorpusKind::Runs => 0x52554e53,
+        CorpusKind::JsonLogs => 0x4a534f4e,
+        CorpusKind::MarkovText => 0x54455854,
+        CorpusKind::DbPages => 0x44425047,
+        CorpusKind::ProtoRecords => 0x50524f54,
+        CorpusKind::Base64 => 0x42363421,
+        CorpusKind::Random => 0x524e444d,
+    }
+}
+
+fn gen_runs(out: &mut Vec<u8>, len: usize, rng: &mut Xoshiro256) {
+    while out.len() < len {
+        let b = rng.index(16) as u8 * 17;
+        let run = rng.index(2000) + 50;
+        out.extend(std::iter::repeat_n(b, run));
+    }
+}
+
+fn gen_json_logs(out: &mut Vec<u8>, len: usize, rng: &mut Xoshiro256) {
+    const SERVICES: [&str; 6] = ["search", "ads", "storage", "mail", "maps", "video"];
+    const LEVELS: [&str; 4] = ["INFO", "WARN", "ERROR", "DEBUG"];
+    while out.len() < len {
+        let line = format!(
+            "{{\"ts\":{},\"svc\":\"{}\",\"level\":\"{}\",\"code\":{},\"msg\":\"request completed\",\"latency_us\":{},\"shard\":{}}}\n",
+            1_680_000_000 + rng.index(10_000_000),
+            SERVICES[rng.index(SERVICES.len())],
+            LEVELS[rng.index(LEVELS.len())],
+            200 + 100 * rng.index(4),
+            rng.index(500_000),
+            rng.index(64),
+        );
+        out.extend_from_slice(line.as_bytes());
+    }
+}
+
+/// A small Zipf-distributed vocabulary; word choice is independent per
+/// position, which with shared words gives prose-like match structure.
+fn gen_markov_text(out: &mut Vec<u8>, len: usize, rng: &mut Xoshiro256) {
+    const VOCAB: [&str; 64] = [
+        "the", "of", "and", "a", "to", "in", "is", "was", "he", "for", "it", "with", "as",
+        "his", "on", "be", "at", "by", "had", "not", "are", "but", "from", "or", "have",
+        "an", "they", "which", "one", "you", "were", "her", "all", "she", "there", "would",
+        "their", "we", "him", "been", "has", "when", "who", "will", "more", "no", "if",
+        "out", "so", "said", "what", "up", "its", "about", "into", "than", "them", "can",
+        "only", "other", "new", "some", "could", "time",
+    ];
+    let weights: Vec<f64> = (0..VOCAB.len()).map(|i| 1.0 / (i + 1) as f64).collect();
+    let dist = Categorical::new(&weights).expect("non-empty weights");
+    let mut col = 0usize;
+    while out.len() < len {
+        let w = VOCAB[dist.sample(rng)];
+        out.extend_from_slice(w.as_bytes());
+        col += w.len() + 1;
+        if col > 70 {
+            out.push(b'\n');
+            col = 0;
+        } else {
+            out.push(b' ');
+        }
+        // Occasional punctuation & rare word (hapax) for literal diversity.
+        if rng.chance(0.05) {
+            let rare = format!("w{}", rng.index(100_000));
+            out.extend_from_slice(rare.as_bytes());
+            out.push(b' ');
+        }
+    }
+}
+
+fn gen_db_pages(out: &mut Vec<u8>, len: usize, rng: &mut Xoshiro256) {
+    const PAGE: usize = 4096;
+    let mut key_base = rng.index(1_000_000) as u64;
+    while out.len() < len {
+        // Page header.
+        out.extend_from_slice(b"PGHD");
+        out.extend_from_slice(&(out.len() as u32 / PAGE as u32).to_le_bytes());
+        let entries = 40 + rng.index(40);
+        out.extend_from_slice(&(entries as u16).to_le_bytes());
+        for _ in 0..entries {
+            key_base += rng.range_u64(1, 50);
+            let key = format!("user:{key_base:012}:profile");
+            out.extend_from_slice(&(key.len() as u16).to_le_bytes());
+            out.extend_from_slice(key.as_bytes());
+            let val_len = 8 + rng.index(24);
+            out.extend_from_slice(&(val_len as u16).to_le_bytes());
+            // Values: half structured, half noise.
+            for i in 0..val_len {
+                if i % 2 == 0 {
+                    out.push(b'v');
+                } else {
+                    out.push(rng.index(256) as u8);
+                }
+            }
+        }
+        // Pad to the page boundary with zeros.
+        let pad = PAGE - (out.len() % PAGE);
+        if pad != PAGE {
+            out.extend(std::iter::repeat_n(0u8, pad));
+        }
+    }
+}
+
+fn gen_proto_records(out: &mut Vec<u8>, len: usize, rng: &mut Xoshiro256) {
+    // Real serialized messages repeat values heavily (enum strings, default
+    // blobs, shared ids); model that with a small pool of payloads.
+    let blob_pool: Vec<Vec<u8>> = (0..12)
+        .map(|_| {
+            let mut b = vec![0u8; 16 + rng.index(48)];
+            rng.fill_bytes(&mut b);
+            b
+        })
+        .collect();
+    while out.len() < len {
+        // A message with a handful of fields: tag byte + varint or
+        // length-delimited payload; field tags repeat across records.
+        for field in 1u8..=6 {
+            match field {
+                1 | 2 => {
+                    out.push(field << 3); // varint wire type
+                    cdpu_util::varint::write_u64(out, rng.range_u64(0, 1 << 20));
+                }
+                3 => {
+                    out.push((field << 3) | 2); // length-delimited
+                    let s = format!("client-{}", rng.index(500));
+                    cdpu_util::varint::write_u64(out, s.len() as u64);
+                    out.extend_from_slice(s.as_bytes());
+                }
+                4 => {
+                    out.push((field << 3) | 2);
+                    if rng.chance(0.8) {
+                        let blob = &blob_pool[rng.index(blob_pool.len())];
+                        cdpu_util::varint::write_u64(out, blob.len() as u64);
+                        out.extend_from_slice(blob);
+                    } else {
+                        let n = 16 + rng.index(48);
+                        cdpu_util::varint::write_u64(out, n as u64);
+                        for _ in 0..n {
+                            out.push(rng.index(256) as u8);
+                        }
+                    }
+                }
+                _ => {
+                    out.push((field << 3) | 5); // fixed32
+                    out.extend_from_slice(&(rng.next_u32() & 0xFFFF).to_le_bytes());
+                }
+            }
+        }
+    }
+}
+
+fn gen_base64(out: &mut Vec<u8>, len: usize, rng: &mut Xoshiro256) {
+    const ALPHABET: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+    while out.len() < len {
+        out.push(ALPHABET[rng.index(64)]);
+        if out.len() % 77 == 76 {
+            out.push(b'\n');
+        }
+    }
+}
+
+/// Which open-source suite a manifest entry stands in for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Suite {
+    /// Silesia corpus (the "default" corpus of zstd/lzbench READMEs).
+    Silesia,
+    /// Canterbury corpus.
+    Canterbury,
+    /// Calgary corpus.
+    Calgary,
+    /// Files shipped with google/snappy's testdata.
+    SnappyFiles,
+}
+
+/// One file of the synthetic open-benchmark stand-in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FileSpec {
+    /// Stand-in file name.
+    pub name: &'static str,
+    /// Which suite the size/kind mimics.
+    pub suite: Suite,
+    /// File size in bytes (mirrors the real file's size).
+    pub bytes: u64,
+    /// Generator used for its contents.
+    pub kind: CorpusKind,
+}
+
+impl FileSpec {
+    /// Generates this file's contents (optionally capped to `cap` bytes for
+    /// scaled-down experiments).
+    pub fn generate(&self, seed: u64, cap: Option<usize>) -> Vec<u8> {
+        let len = match cap {
+            Some(c) => (self.bytes as usize).min(c),
+            None => self.bytes as usize,
+        };
+        generate(self.kind, len, seed ^ cdpu_util::rng::mix64(self.bytes))
+    }
+}
+
+/// The synthetic stand-in for the four open-source benchmark suites, with
+/// file sizes mirroring the real corpora. Figure 6's call-size distribution
+/// derives from these sizes (open-source benchmarking compresses whole
+/// files in memory, per lzbench).
+pub fn open_benchmark_manifest() -> Vec<FileSpec> {
+    use CorpusKind::*;
+    use Suite::*;
+    vec![
+        // Silesia (sizes match the published corpus, ±rounding).
+        FileSpec { name: "sil-dickens", suite: Silesia, bytes: 10_192_446, kind: MarkovText },
+        FileSpec { name: "sil-mozilla", suite: Silesia, bytes: 51_220_480, kind: ProtoRecords },
+        FileSpec { name: "sil-mr", suite: Silesia, bytes: 9_970_564, kind: DbPages },
+        FileSpec { name: "sil-nci", suite: Silesia, bytes: 33_553_445, kind: Runs },
+        FileSpec { name: "sil-ooffice", suite: Silesia, bytes: 6_152_192, kind: ProtoRecords },
+        FileSpec { name: "sil-osdb", suite: Silesia, bytes: 10_085_684, kind: DbPages },
+        FileSpec { name: "sil-reymont", suite: Silesia, bytes: 6_627_202, kind: MarkovText },
+        FileSpec { name: "sil-samba", suite: Silesia, bytes: 21_606_400, kind: JsonLogs },
+        FileSpec { name: "sil-sao", suite: Silesia, bytes: 7_251_944, kind: Base64 },
+        FileSpec { name: "sil-webster", suite: Silesia, bytes: 41_458_703, kind: MarkovText },
+        FileSpec { name: "sil-xml", suite: Silesia, bytes: 5_345_280, kind: JsonLogs },
+        FileSpec { name: "sil-xray", suite: Silesia, bytes: 8_474_240, kind: Random },
+        // Canterbury (small files).
+        FileSpec { name: "cant-alice29", suite: Canterbury, bytes: 152_089, kind: MarkovText },
+        FileSpec { name: "cant-asyoulik", suite: Canterbury, bytes: 125_179, kind: MarkovText },
+        FileSpec { name: "cant-cp", suite: Canterbury, bytes: 24_603, kind: JsonLogs },
+        FileSpec { name: "cant-fields", suite: Canterbury, bytes: 11_150, kind: ProtoRecords },
+        FileSpec { name: "cant-grammar", suite: Canterbury, bytes: 3_721, kind: MarkovText },
+        FileSpec { name: "cant-kennedy", suite: Canterbury, bytes: 1_029_744, kind: DbPages },
+        FileSpec { name: "cant-lcet10", suite: Canterbury, bytes: 426_754, kind: MarkovText },
+        FileSpec { name: "cant-plrabn12", suite: Canterbury, bytes: 481_861, kind: MarkovText },
+        FileSpec { name: "cant-ptt5", suite: Canterbury, bytes: 513_216, kind: Runs },
+        FileSpec { name: "cant-sum", suite: Canterbury, bytes: 38_240, kind: ProtoRecords },
+        FileSpec { name: "cant-xargs", suite: Canterbury, bytes: 4_227, kind: MarkovText },
+        // Calgary (small files).
+        FileSpec { name: "calg-bib", suite: Calgary, bytes: 111_261, kind: MarkovText },
+        FileSpec { name: "calg-book1", suite: Calgary, bytes: 768_771, kind: MarkovText },
+        FileSpec { name: "calg-book2", suite: Calgary, bytes: 610_856, kind: MarkovText },
+        FileSpec { name: "calg-geo", suite: Calgary, bytes: 102_400, kind: Base64 },
+        FileSpec { name: "calg-news", suite: Calgary, bytes: 377_109, kind: MarkovText },
+        FileSpec { name: "calg-obj1", suite: Calgary, bytes: 21_504, kind: ProtoRecords },
+        FileSpec { name: "calg-obj2", suite: Calgary, bytes: 246_814, kind: ProtoRecords },
+        FileSpec { name: "calg-paper1", suite: Calgary, bytes: 53_161, kind: MarkovText },
+        FileSpec { name: "calg-paper2", suite: Calgary, bytes: 82_199, kind: MarkovText },
+        FileSpec { name: "calg-pic", suite: Calgary, bytes: 513_216, kind: Runs },
+        FileSpec { name: "calg-progc", suite: Calgary, bytes: 39_611, kind: MarkovText },
+        FileSpec { name: "calg-progl", suite: Calgary, bytes: 71_646, kind: MarkovText },
+        FileSpec { name: "calg-progp", suite: Calgary, bytes: 49_379, kind: MarkovText },
+        FileSpec { name: "calg-trans", suite: Calgary, bytes: 93_695, kind: JsonLogs },
+        // SnappyFiles (google/snappy testdata).
+        FileSpec { name: "snap-html", suite: SnappyFiles, bytes: 102_400, kind: JsonLogs },
+        FileSpec { name: "snap-urls", suite: SnappyFiles, bytes: 702_087, kind: MarkovText },
+        FileSpec { name: "snap-jpg", suite: SnappyFiles, bytes: 126_958, kind: Random },
+        FileSpec { name: "snap-pdf", suite: SnappyFiles, bytes: 94_330, kind: Base64 },
+        FileSpec { name: "snap-html4", suite: SnappyFiles, bytes: 409_600, kind: JsonLogs },
+        FileSpec { name: "snap-txt1", suite: SnappyFiles, bytes: 152_089, kind: MarkovText },
+        FileSpec { name: "snap-txt2", suite: SnappyFiles, bytes: 125_179, kind: MarkovText },
+        FileSpec { name: "snap-txt3", suite: SnappyFiles, bytes: 426_754, kind: MarkovText },
+        FileSpec { name: "snap-txt4", suite: SnappyFiles, bytes: 481_861, kind: MarkovText },
+        FileSpec { name: "snap-pb", suite: SnappyFiles, bytes: 118_588, kind: ProtoRecords },
+        FileSpec { name: "snap-gaviota", suite: SnappyFiles, bytes: 184_320, kind: DbPages },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        for kind in ALL_KINDS {
+            let a = generate(kind, 4096, 1);
+            let b = generate(kind, 4096, 1);
+            let c = generate(kind, 4096, 2);
+            assert_eq!(a, b, "{kind:?} not deterministic");
+            assert_ne!(a, c, "{kind:?} ignores seed");
+            assert_eq!(a.len(), 4096);
+        }
+    }
+
+    #[test]
+    fn exact_lengths() {
+        for kind in ALL_KINDS {
+            for len in [0usize, 1, 7, 100, 4095, 4096, 4097] {
+                assert_eq!(generate(kind, len, 3).len(), len, "{kind:?} len {len}");
+            }
+        }
+    }
+
+    #[test]
+    fn kinds_differ_from_each_other() {
+        let samples: Vec<Vec<u8>> = ALL_KINDS
+            .iter()
+            .map(|&k| generate(k, 2048, 5))
+            .collect();
+        for i in 0..samples.len() {
+            for j in i + 1..samples.len() {
+                assert_ne!(samples[i], samples[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn compressibility_ordering_holds() {
+        // The kinds are declared in decreasing compressibility order; check
+        // the two ends and rough monotonicity with the real Snappy codec.
+        let ratios: Vec<(CorpusKind, f64)> = ALL_KINDS
+            .iter()
+            .map(|&k| {
+                let data = generate(k, 128 * 1024, 11);
+                (k, cdpu_snappy::compression_ratio(&data))
+            })
+            .collect();
+        let runs = ratios[0].1;
+        let random = ratios[ratios.len() - 1].1;
+        assert!(runs > 8.0, "Runs ratio {runs}");
+        assert!(random < 1.05, "Random ratio {random}");
+        // Every kind except the incompressible two should beat 1.2x.
+        for &(k, r) in &ratios[..ratios.len() - 2] {
+            assert!(r > 1.2, "{k:?} ratio {r}");
+        }
+    }
+
+    #[test]
+    fn zstd_beats_snappy_on_every_compressible_kind() {
+        for &kind in &ALL_KINDS[..5] {
+            let data = generate(kind, 64 * 1024, 13);
+            let s = cdpu_snappy::compress(&data).len();
+            let z = cdpu_zstd::compress(&data).len();
+            assert!(
+                z as f64 <= s as f64 * 1.05,
+                "{kind:?}: zstd {z} vs snappy {s}"
+            );
+        }
+    }
+
+    #[test]
+    fn manifest_is_plausible() {
+        let m = open_benchmark_manifest();
+        assert!(m.len() >= 40, "need the four suites");
+        let total: u64 = m.iter().map(|f| f.bytes).sum();
+        assert!(total > 200_000_000, "silesia alone is > 200 MB");
+        // Names unique.
+        let names: std::collections::HashSet<_> = m.iter().map(|f| f.name).collect();
+        assert_eq!(names.len(), m.len());
+        // All four suites present.
+        for suite in [Suite::Silesia, Suite::Canterbury, Suite::Calgary, Suite::SnappyFiles] {
+            assert!(m.iter().any(|f| f.suite == suite), "{suite:?} missing");
+        }
+    }
+
+    #[test]
+    fn spec_generation_caps() {
+        let m = open_benchmark_manifest();
+        let spec = &m[0];
+        let capped = spec.generate(1, Some(10_000));
+        assert_eq!(capped.len(), 10_000);
+        let small = m.iter().find(|f| f.bytes < 20_000).unwrap();
+        assert_eq!(small.generate(1, Some(1 << 20)).len() as u64, small.bytes);
+    }
+
+    #[test]
+    fn roundtrip_through_codecs() {
+        // Every kind must round-trip through both codecs (catches generator
+        // outputs that trigger codec edge cases).
+        for kind in ALL_KINDS {
+            let data = generate(kind, 40_000, 17);
+            assert_eq!(
+                cdpu_snappy::decompress(&cdpu_snappy::compress(&data)).unwrap(),
+                data,
+                "{kind:?} via snappy"
+            );
+            assert_eq!(
+                cdpu_zstd::decompress(&cdpu_zstd::compress(&data)).unwrap(),
+                data,
+                "{kind:?} via zstd"
+            );
+        }
+    }
+}

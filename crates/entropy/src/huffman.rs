@@ -1,0 +1,601 @@
+//! Canonical, length-limited Huffman coding.
+//!
+//! Code lengths come from the **package-merge** algorithm, which is optimal
+//! under a maximum-length constraint (we default to the ZStd literals limit
+//! of 11 bits). Codes are assigned canonically — sorted by `(length,
+//! symbol)` — so a decoder needs only the length of every symbol to
+//! reconstruct the code book, which is what [`HuffmanTable::serialize`]
+//! transmits.
+//!
+//! The decoder is a single-level lookup table of `1 << max_len` entries:
+//! peek `max_len` bits, one table read yields `(symbol, length)`, consume
+//! `length`. This mirrors the decode-table SRAM in the paper's speculative
+//! Huffman expander (Section 5.3); `cdpu-hwsim` reuses [`HuffmanTable`] and
+//! performs the multi-start-position speculation on top of it.
+
+use cdpu_util::bits::{MsbBitReader, MsbBitWriter};
+
+/// Maximum supported code length (table entries are `1 << max_len`).
+pub const MAX_CODE_LEN: u8 = 15;
+
+/// Default code-length limit, matching ZStd's Huffman literals coder.
+pub const DEFAULT_CODE_LIMIT: u8 = 11;
+
+/// Errors from Huffman table construction, encoding or decoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HuffmanError {
+    /// The frequency histogram had no non-zero entries.
+    EmptyAlphabet,
+    /// The requested length limit cannot encode this many symbols, or
+    /// exceeds [`MAX_CODE_LEN`].
+    BadLengthLimit,
+    /// A serialized table was malformed (bad Kraft sum, truncated, oversized
+    /// alphabet).
+    BadTable,
+    /// The encoded bitstream ended mid-code or decoded to an unmapped entry.
+    BadStream,
+    /// A symbol outside the table's alphabet was passed to the encoder.
+    UnknownSymbol,
+}
+
+impl std::fmt::Display for HuffmanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HuffmanError::EmptyAlphabet => write!(f, "empty alphabet"),
+            HuffmanError::BadLengthLimit => write!(f, "invalid code length limit"),
+            HuffmanError::BadTable => write!(f, "malformed huffman table"),
+            HuffmanError::BadStream => write!(f, "malformed huffman bitstream"),
+            HuffmanError::UnknownSymbol => write!(f, "symbol not present in table"),
+        }
+    }
+}
+
+impl std::error::Error for HuffmanError {}
+
+/// Computes optimal length-limited code lengths via package-merge.
+///
+/// `freqs[s]` is the occurrence count of symbol `s`; symbols with zero
+/// frequency receive length 0 (absent). If only one symbol occurs it gets
+/// length 1 (a zero-bit code cannot be framed).
+///
+/// # Errors
+///
+/// - [`HuffmanError::EmptyAlphabet`] if every frequency is zero.
+/// - [`HuffmanError::BadLengthLimit`] if `limit == 0`, `limit > MAX_CODE_LEN`
+///   or `2^limit` is smaller than the number of used symbols.
+pub fn package_merge_lengths(freqs: &[u32], limit: u8) -> Result<Vec<u8>, HuffmanError> {
+    if limit == 0 || limit > MAX_CODE_LEN {
+        return Err(HuffmanError::BadLengthLimit);
+    }
+    let used: Vec<usize> = (0..freqs.len()).filter(|&s| freqs[s] > 0).collect();
+    let n = used.len();
+    if n == 0 {
+        return Err(HuffmanError::EmptyAlphabet);
+    }
+    let mut lengths = vec![0u8; freqs.len()];
+    if n == 1 {
+        lengths[used[0]] = 1;
+        return Ok(lengths);
+    }
+    if (1usize << limit) < n {
+        return Err(HuffmanError::BadLengthLimit);
+    }
+
+    // Leaves sorted by weight. Each item carries the set of leaf symbols it
+    // contains; alphabets here are <= ~260 symbols so Vec payloads are cheap.
+    let mut leaves: Vec<(u64, Vec<u16>)> = used
+        .iter()
+        .map(|&s| (freqs[s] as u64, vec![s as u16]))
+        .collect();
+    leaves.sort_by_key(|item| item.0);
+
+    // list := leaves; repeat (limit-1) times: list := merge(leaves, package(list)).
+    let mut list = leaves.clone();
+    for _ in 1..limit {
+        let mut packages: Vec<(u64, Vec<u16>)> = Vec::with_capacity(list.len() / 2);
+        let mut iter = list.chunks_exact(2);
+        for pair in &mut iter {
+            let mut syms = pair[0].1.clone();
+            syms.extend_from_slice(&pair[1].1);
+            packages.push((pair[0].0 + pair[1].0, syms));
+        }
+        // Merge packages with the original leaves (both sorted by weight).
+        let mut merged = Vec::with_capacity(leaves.len() + packages.len());
+        let (mut i, mut j) = (0, 0);
+        while i < leaves.len() || j < packages.len() {
+            let take_leaf = match (leaves.get(i), packages.get(j)) {
+                (Some(l), Some(p)) => l.0 <= p.0,
+                (Some(_), None) => true,
+                _ => false,
+            };
+            if take_leaf {
+                merged.push(leaves[i].clone());
+                i += 1;
+            } else {
+                merged.push(packages[j].clone());
+                j += 1;
+            }
+        }
+        list = merged;
+    }
+
+    // The first 2(n-1) items of the final list define the solution: a
+    // symbol's code length is its number of occurrences among them.
+    for item in list.iter().take(2 * (n - 1)) {
+        for &s in &item.1 {
+            lengths[s as usize] += 1;
+        }
+    }
+    debug_assert!(kraft_sum_is_one(&lengths), "package-merge produced non-tight code");
+    Ok(lengths)
+}
+
+fn kraft_sum_is_one(lengths: &[u8]) -> bool {
+    let mut sum: u64 = 0;
+    for &l in lengths {
+        if l > 0 {
+            sum += 1u64 << (MAX_CODE_LEN - l);
+        }
+    }
+    sum == 1u64 << MAX_CODE_LEN
+}
+
+/// A canonical Huffman code book with its flat decode table.
+#[derive(Debug, Clone)]
+pub struct HuffmanTable {
+    /// Per-symbol code length (0 = absent).
+    lengths: Vec<u8>,
+    /// Per-symbol canonical code, MSB-aligned within `length` bits.
+    codes: Vec<u16>,
+    /// Longest code length in this table.
+    max_len: u8,
+    /// Flat decode table: index by `max_len` peeked bits ->
+    /// `(symbol, code_len)`; `code_len == 0` marks an invalid entry (only
+    /// possible for non-tight tables, which construction rejects).
+    decode: Vec<(u16, u8)>,
+}
+
+impl HuffmanTable {
+    /// Builds a table from a frequency histogram with the default 11-bit
+    /// length limit.
+    ///
+    /// # Errors
+    ///
+    /// See [`package_merge_lengths`].
+    pub fn from_frequencies(freqs: &[u32]) -> Result<Self, HuffmanError> {
+        Self::from_frequencies_limited(freqs, DEFAULT_CODE_LIMIT)
+    }
+
+    /// Builds a table from a frequency histogram with an explicit length
+    /// limit.
+    ///
+    /// # Errors
+    ///
+    /// See [`package_merge_lengths`].
+    pub fn from_frequencies_limited(freqs: &[u32], limit: u8) -> Result<Self, HuffmanError> {
+        let lengths = package_merge_lengths(freqs, limit)?;
+        Self::from_lengths(lengths)
+    }
+
+    /// Builds a table from explicit code lengths (canonical assignment).
+    ///
+    /// # Errors
+    ///
+    /// [`HuffmanError::BadTable`] if the lengths violate the Kraft equality
+    /// (the code must be *complete*: every bit pattern decodable), exceed
+    /// [`MAX_CODE_LEN`], or no symbol is present. A single symbol of length
+    /// 1 is accepted as the degenerate complete-enough code.
+    pub fn from_lengths(lengths: Vec<u8>) -> Result<Self, HuffmanError> {
+        let used: Vec<usize> = (0..lengths.len()).filter(|&s| lengths[s] > 0).collect();
+        if used.is_empty() {
+            return Err(HuffmanError::BadTable);
+        }
+        if lengths.iter().any(|&l| l > MAX_CODE_LEN) {
+            return Err(HuffmanError::BadTable);
+        }
+        let single = used.len() == 1;
+        if single {
+            if lengths[used[0]] != 1 {
+                return Err(HuffmanError::BadTable);
+            }
+        } else if !kraft_sum_is_one(&lengths) {
+            return Err(HuffmanError::BadTable);
+        }
+
+        let max_len = lengths.iter().copied().max().unwrap_or(1);
+        // Canonical assignment: sort by (length, symbol), codes count upward.
+        let mut order: Vec<usize> = used.clone();
+        order.sort_by_key(|&s| (lengths[s], s));
+        let mut codes = vec![0u16; lengths.len()];
+        let mut code: u32 = 0;
+        let mut prev_len = 0u8;
+        for &s in &order {
+            let len = lengths[s];
+            code <<= len - prev_len;
+            codes[s] = code as u16;
+            code += 1;
+            prev_len = len;
+        }
+
+        // Flat decode table.
+        let mut decode = vec![(0u16, 0u8); 1usize << max_len];
+        for &s in &used {
+            let len = lengths[s];
+            let base = (codes[s] as usize) << (max_len - len);
+            let span = 1usize << (max_len - len);
+            for entry in &mut decode[base..base + span] {
+                *entry = (s as u16, len);
+            }
+        }
+        Ok(HuffmanTable {
+            lengths,
+            codes,
+            max_len,
+            decode,
+        })
+    }
+
+    /// Longest code length, i.e. `log2` of the decode-table size. The
+    /// hardware model sizes the expander's table SRAM from this.
+    pub fn max_code_len(&self) -> u8 {
+        self.max_len
+    }
+
+    /// Per-symbol code lengths (0 = absent).
+    pub fn lengths(&self) -> &[u8] {
+        &self.lengths
+    }
+
+    /// Code length of `symbol`, or `None` if absent.
+    pub fn code_len(&self, symbol: u16) -> Option<u8> {
+        match self.lengths.get(symbol as usize) {
+            Some(&l) if l > 0 => Some(l),
+            _ => None,
+        }
+    }
+
+    /// Appends the code for `symbol` to `out`.
+    ///
+    /// # Errors
+    ///
+    /// [`HuffmanError::UnknownSymbol`] if the symbol has no code.
+    pub fn encode_symbol(&self, symbol: u16, out: &mut MsbBitWriter) -> Result<(), HuffmanError> {
+        let len = self.code_len(symbol).ok_or(HuffmanError::UnknownSymbol)?;
+        out.write_bits(self.codes[symbol as usize] as u64, len as u32);
+        Ok(())
+    }
+
+    /// Decodes one symbol from the reader.
+    ///
+    /// # Errors
+    ///
+    /// [`HuffmanError::BadStream`] if fewer bits remain than the code
+    /// requires.
+    pub fn decode_symbol(&self, input: &mut MsbBitReader<'_>) -> Result<u16, HuffmanError> {
+        let peek = input.peek_bits(self.max_len as u32);
+        let (sym, len) = self.decode[peek as usize];
+        if len == 0 || input.remaining() < len as usize {
+            return Err(HuffmanError::BadStream);
+        }
+        input.consume(len as u32);
+        Ok(sym)
+    }
+
+    /// Serializes the code book (alphabet size + nibble-packed lengths).
+    ///
+    /// The canonical property makes lengths sufficient to rebuild codes;
+    /// trailing absent symbols are trimmed so a table over a small used
+    /// alphabet costs only `used/2` bytes.
+    pub fn serialize(&self, out: &mut Vec<u8>) {
+        let trimmed = self
+            .lengths
+            .iter()
+            .rposition(|&l| l > 0)
+            .map(|i| i + 1)
+            .unwrap_or(0);
+        let n = trimmed as u16;
+        out.extend_from_slice(&n.to_le_bytes());
+        let mut nibble_hi = false;
+        let mut cur = 0u8;
+        for &len in &self.lengths[..trimmed] {
+            debug_assert!(len <= 15);
+            if nibble_hi {
+                cur |= len << 4;
+                out.push(cur);
+                cur = 0;
+            } else {
+                cur = len;
+            }
+            nibble_hi = !nibble_hi;
+        }
+        if nibble_hi {
+            out.push(cur);
+        }
+    }
+
+    /// Deserializes a code book written by [`HuffmanTable::serialize`].
+    /// Returns the table and the number of bytes consumed.
+    ///
+    /// # Errors
+    ///
+    /// [`HuffmanError::BadTable`] on truncation, an oversized alphabet
+    /// (> 4096 symbols) or invalid lengths.
+    pub fn deserialize(input: &[u8]) -> Result<(Self, usize), HuffmanError> {
+        if input.len() < 2 {
+            return Err(HuffmanError::BadTable);
+        }
+        let n = u16::from_le_bytes([input[0], input[1]]) as usize;
+        if n == 0 || n > 4096 {
+            return Err(HuffmanError::BadTable);
+        }
+        let nbytes = n.div_ceil(2);
+        if input.len() < 2 + nbytes {
+            return Err(HuffmanError::BadTable);
+        }
+        let mut lengths = Vec::with_capacity(n);
+        for i in 0..n {
+            let byte = input[2 + i / 2];
+            let len = if i % 2 == 0 { byte & 0x0F } else { byte >> 4 };
+            lengths.push(len);
+        }
+        Ok((Self::from_lengths(lengths)?, 2 + nbytes))
+    }
+
+    /// Convenience: encodes a byte slice into `(bitstream_bytes, bit_len)`.
+    ///
+    /// # Errors
+    ///
+    /// [`HuffmanError::UnknownSymbol`] if `data` contains a byte absent from
+    /// the table.
+    pub fn encode_bytes(&self, data: &[u8]) -> Result<(Vec<u8>, usize), HuffmanError> {
+        let mut w = MsbBitWriter::new();
+        for &b in data {
+            self.encode_symbol(b as u16, &mut w)?;
+        }
+        Ok(w.finish())
+    }
+
+    /// Convenience: decodes exactly `count` byte symbols from a bitstream.
+    ///
+    /// # Errors
+    ///
+    /// [`HuffmanError::BadStream`] on truncation or a non-byte symbol.
+    pub fn decode_bytes(
+        &self,
+        bytes: &[u8],
+        bit_len: usize,
+        count: usize,
+    ) -> Result<Vec<u8>, HuffmanError> {
+        let mut r = MsbBitReader::new(bytes, bit_len);
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            let sym = self.decode_symbol(&mut r)?;
+            if sym > 255 {
+                return Err(HuffmanError::BadStream);
+            }
+            out.push(sym as u8);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdpu_util::rng::Xoshiro256;
+
+    fn freq_of(data: &[u8]) -> Vec<u32> {
+        let mut f = vec![0u32; 256];
+        for &b in data {
+            f[b as usize] += 1;
+        }
+        f
+    }
+
+    #[test]
+    fn empty_alphabet_rejected() {
+        assert_eq!(
+            package_merge_lengths(&[0, 0, 0], 8),
+            Err(HuffmanError::EmptyAlphabet)
+        );
+    }
+
+    #[test]
+    fn bad_limits_rejected() {
+        assert_eq!(
+            package_merge_lengths(&[1, 1], 0),
+            Err(HuffmanError::BadLengthLimit)
+        );
+        assert_eq!(
+            package_merge_lengths(&[1, 1], 16),
+            Err(HuffmanError::BadLengthLimit)
+        );
+        // 5 symbols cannot fit in 2-bit codes.
+        assert_eq!(
+            package_merge_lengths(&[1; 5], 2),
+            Err(HuffmanError::BadLengthLimit)
+        );
+    }
+
+    #[test]
+    fn single_symbol_gets_one_bit() {
+        let lengths = package_merge_lengths(&[0, 7, 0], 11).unwrap();
+        assert_eq!(lengths, vec![0, 1, 0]);
+        let t = HuffmanTable::from_lengths(lengths).unwrap();
+        let (bytes, bits) = t.encode_bytes(&[1, 1, 1]).unwrap();
+        assert_eq!(bits, 3);
+        assert_eq!(t.decode_bytes(&bytes, bits, 3).unwrap(), vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn two_equal_symbols_get_one_bit_each() {
+        let lengths = package_merge_lengths(&[5, 5], 11).unwrap();
+        assert_eq!(lengths, vec![1, 1]);
+    }
+
+    #[test]
+    fn classic_example_lengths() {
+        // Frequencies 1,1,2,3,5: optimal (unlimited) lengths 4,4,3,2,1 or an
+        // equivalent-cost assignment. Total cost must be optimal (= 25 bits
+        // given counts... compute: 1*4+1*4+2*3+3*2+5*1 = 25).
+        let lengths = package_merge_lengths(&[1, 1, 2, 3, 5], 15).unwrap();
+        let cost: u64 = lengths
+            .iter()
+            .zip([1u64, 1, 2, 3, 5])
+            .map(|(&l, f)| l as u64 * f)
+            .sum();
+        assert_eq!(cost, 25);
+    }
+
+    #[test]
+    fn length_limit_respected_and_kraft_tight() {
+        // Exponential frequencies force long tails without a limit.
+        let freqs: Vec<u32> = (0..20).map(|i| 1u32 << i).collect();
+        for limit in [5u8, 6, 8, 11] {
+            let lengths = package_merge_lengths(&freqs, limit).unwrap();
+            assert!(lengths.iter().all(|&l| l <= limit), "limit {limit}");
+            assert!(kraft_sum_is_one(&lengths));
+        }
+    }
+
+    #[test]
+    fn limited_cost_never_better_than_unlimited() {
+        let mut rng = Xoshiro256::seed_from(10);
+        for _ in 0..50 {
+            let n = rng.index(30) + 2;
+            let freqs: Vec<u32> = (0..n).map(|_| rng.range_u64(1, 1000) as u32).collect();
+            let cost = |ls: &[u8]| -> u64 {
+                ls.iter()
+                    .zip(&freqs)
+                    .map(|(&l, &f)| l as u64 * f as u64)
+                    .sum()
+            };
+            let unlimited = cost(&package_merge_lengths(&freqs, 15).unwrap());
+            let limited = cost(&package_merge_lengths(&freqs, 6).unwrap());
+            assert!(limited >= unlimited);
+        }
+    }
+
+    #[test]
+    fn roundtrip_ascii() {
+        let data = b"the quick brown fox jumps over the lazy dog, repeatedly and often";
+        let t = HuffmanTable::from_frequencies(&freq_of(data)).unwrap();
+        let (bytes, bits) = t.encode_bytes(data).unwrap();
+        assert!(bytes.len() < data.len(), "entropy coding should shrink text");
+        assert_eq!(t.decode_bytes(&bytes, bits, data.len()).unwrap(), data);
+    }
+
+    #[test]
+    fn roundtrip_random_bytes() {
+        let mut rng = Xoshiro256::seed_from(3);
+        for trial in 0..30 {
+            let len = rng.index(4000) + 1;
+            let mut data = vec![0u8; len];
+            rng.fill_bytes(&mut data);
+            let t = HuffmanTable::from_frequencies(&freq_of(&data)).unwrap();
+            let (bytes, bits) = t.encode_bytes(&data).unwrap();
+            assert_eq!(
+                t.decode_bytes(&bytes, bits, data.len()).unwrap(),
+                data,
+                "trial {trial}"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_symbol_rejected() {
+        let t = HuffmanTable::from_frequencies(&freq_of(b"aaabbb")).unwrap();
+        let mut w = MsbBitWriter::new();
+        assert_eq!(
+            t.encode_symbol(b'z' as u16, &mut w),
+            Err(HuffmanError::UnknownSymbol)
+        );
+    }
+
+    #[test]
+    fn truncated_stream_rejected() {
+        let data = b"abcabcabcaa";
+        let t = HuffmanTable::from_frequencies(&freq_of(data)).unwrap();
+        let (bytes, bits) = t.encode_bytes(data).unwrap();
+        // Ask for one more symbol than was encoded.
+        assert_eq!(
+            t.decode_bytes(&bytes, bits, data.len() + 1),
+            Err(HuffmanError::BadStream)
+        );
+    }
+
+    #[test]
+    fn serialize_roundtrip() {
+        let data = b"serialization of canonical code books needs only lengths";
+        let t = HuffmanTable::from_frequencies(&freq_of(data)).unwrap();
+        let mut buf = Vec::new();
+        t.serialize(&mut buf);
+        buf.extend_from_slice(b"trailing");
+        let (t2, consumed) = HuffmanTable::deserialize(&buf).unwrap();
+        assert_eq!(consumed, buf.len() - 8);
+        // Serialization trims trailing absent symbols; the used prefix must
+        // match exactly and everything beyond must be absent.
+        let n = t2.lengths().len();
+        assert_eq!(&t.lengths()[..n], t2.lengths());
+        assert!(t.lengths()[n..].iter().all(|&l| l == 0));
+        let (bytes, bits) = t.encode_bytes(data).unwrap();
+        assert_eq!(t2.decode_bytes(&bytes, bits, data.len()).unwrap(), data);
+    }
+
+    #[test]
+    fn deserialize_rejects_garbage() {
+        assert_eq!(
+            HuffmanTable::deserialize(&[]).unwrap_err(),
+            HuffmanError::BadTable
+        );
+        assert_eq!(
+            HuffmanTable::deserialize(&[0, 0]).unwrap_err(),
+            HuffmanError::BadTable
+        );
+        // Claims 100 symbols but provides none.
+        assert_eq!(
+            HuffmanTable::deserialize(&[100, 0, 1]).unwrap_err(),
+            HuffmanError::BadTable
+        );
+    }
+
+    #[test]
+    fn from_lengths_rejects_incomplete_code() {
+        // Lengths {2} alone leave most of the code space unmapped.
+        assert_eq!(
+            HuffmanTable::from_lengths(vec![2, 0]).unwrap_err(),
+            HuffmanError::BadTable
+        );
+        // Over-subscribed code space.
+        assert_eq!(
+            HuffmanTable::from_lengths(vec![1, 1, 1]).unwrap_err(),
+            HuffmanError::BadTable
+        );
+    }
+
+    #[test]
+    fn canonical_codes_are_prefix_free_and_ordered() {
+        let freqs = [10u32, 1, 1, 4, 4, 20];
+        let t = HuffmanTable::from_frequencies(&freqs).unwrap();
+        // Decode table covers all 2^max_len entries (completeness).
+        assert!(t.decode.iter().all(|&(_, l)| l > 0));
+        // Shorter codes for more frequent symbols.
+        assert!(t.code_len(5).unwrap() <= t.code_len(1).unwrap());
+        assert!(t.code_len(0).unwrap() <= t.code_len(2).unwrap());
+    }
+
+    #[test]
+    fn compressed_size_tracks_entropy() {
+        // Highly skewed data should compress well below 8 bits/byte.
+        let mut data = vec![b'a'; 9000];
+        data.extend(std::iter::repeat_n(b'b', 900));
+        data.extend(std::iter::repeat_n(b'c', 100));
+        let t = HuffmanTable::from_frequencies(&freq_of(&data)).unwrap();
+        let (_, bits) = t.encode_bytes(&data).unwrap();
+        let bits_per_byte = bits as f64 / data.len() as f64;
+        let h = crate::shannon_entropy(&freq_of(&data));
+        // Huffman is within 1 bit/symbol of the entropy (prefix-code bound).
+        assert!(bits_per_byte < h + 1.0, "bpb {bits_per_byte} vs entropy {h}");
+        assert!(bits_per_byte >= h, "cannot beat the entropy bound");
+    }
+}

@@ -1,0 +1,90 @@
+//! Entropy coders for the CDPU framework.
+//!
+//! Compression algorithms in the paper's taxonomy (Section 2.1) pair a
+//! dictionary-coding stage with an entropy-coding stage. This crate provides
+//! the two entropy coders the CDPU generator implements in hardware:
+//!
+//! - [`huffman`]: canonical, length-limited Huffman coding (the literals
+//!   coder of ZStd-class algorithms and the core of Flate). Code lengths are
+//!   produced by the package-merge algorithm, so they are optimal under the
+//!   length limit. The decoder is a single-level lookup table — the same
+//!   structure the paper's speculative Huffman expander banks in SRAM
+//!   (Section 5.3).
+//! - [`fse`]: Finite State Entropy, a tabled Asymmetric Numeral System
+//!   (tANS). This is the coder ZStd uses for sequence codes and the unit the
+//!   paper adds when moving a Flate CDPU to ZStd (Section 3.4: "transitioning
+//!   from Flate to ZStd would mostly entail adding an FSE module").
+//!
+//! Both coders round-trip losslessly for arbitrary byte inputs and expose
+//! their table-construction internals, because the hardware model in
+//! `cdpu-hwsim` charges cycles for table builds exactly where the RTL does.
+
+pub mod fse;
+pub mod huffman;
+
+/// Builds a byte-frequency histogram — the "symbol statistics collection"
+/// step that both Huffman and FSE compressor pipelines in Figure 10 perform
+/// before table construction.
+///
+/// ```
+/// let h = cdpu_entropy::byte_histogram(b"aab");
+/// assert_eq!(h[b'a' as usize], 2);
+/// assert_eq!(h[b'b' as usize], 1);
+/// ```
+pub fn byte_histogram(data: &[u8]) -> [u32; 256] {
+    let mut hist = [0u32; 256];
+    for &b in data {
+        hist[b as usize] += 1;
+    }
+    hist
+}
+
+/// Shannon entropy of a frequency histogram, in bits per symbol. Returns 0.0
+/// for empty input. Used by corpus generators to verify they hit their
+/// compressibility targets.
+pub fn shannon_entropy(hist: &[u32]) -> f64 {
+    let total: u64 = hist.iter().map(|&c| c as u64).sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let total_f = total as f64;
+    hist.iter()
+        .filter(|&&c| c > 0)
+        .map(|&c| {
+            let p = c as f64 / total_f;
+            -p * p.log2()
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_counts() {
+        let h = byte_histogram(b"hello");
+        assert_eq!(h[b'l' as usize], 2);
+        assert_eq!(h[b'h' as usize], 1);
+        assert_eq!(h[0], 0);
+        assert_eq!(h.iter().map(|&c| c as u64).sum::<u64>(), 5);
+    }
+
+    #[test]
+    fn entropy_bounds() {
+        // Uniform over 256 symbols -> 8 bits.
+        let uniform = [1u32; 256];
+        assert!((shannon_entropy(&uniform) - 8.0).abs() < 1e-12);
+        // Single symbol -> 0 bits.
+        let mut single = [0u32; 256];
+        single[42] = 100;
+        assert_eq!(shannon_entropy(&single), 0.0);
+        // Empty -> 0.
+        assert_eq!(shannon_entropy(&[0u32; 256]), 0.0);
+        // Two equal symbols -> 1 bit.
+        let mut two = [0u32; 256];
+        two[0] = 5;
+        two[1] = 5;
+        assert!((shannon_entropy(&two) - 1.0).abs() < 1e-12);
+    }
+}

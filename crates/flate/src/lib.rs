@@ -1,0 +1,605 @@
+//! A Flate-class codec: LZ77 + Huffman, in DEFLATE's shape.
+//!
+//! Flate (zlib/gzip's algorithm) is the paper's second heavyweight
+//! algorithm (Section 2.2) and its *ancestor story* for the CDPU
+//! generator: "transitioning from Flate to ZStd would mostly entail adding
+//! an FSE module" (Section 3.4). This crate makes that sentence literal in
+//! code — it is `cdpu-zstd` minus the FSE stage:
+//!
+//! - the same LZ77 hash-chain dictionary coder (`cdpu-lz77`);
+//! - the same canonical length-limited Huffman coder (`cdpu-entropy`);
+//! - DEFLATE's symbol structure: one *literal/length* alphabet mixing
+//!   literal bytes (0–255), end-of-block (256) and length codes (257–284
+//!   with extra bits), plus a separate *distance* alphabet (0–29 with
+//!   extra bits).
+//!
+//! Like the ZStd-class codec, framing is our own (magic `CDPF`) rather
+//! than RFC 1951 bit-exact; the block structure, alphabets and extra-bit
+//! tables follow DEFLATE.
+//!
+//! ```
+//! let data = b"flate is zstd without the fse stage ".repeat(50);
+//! let c = cdpu_flate::compress(&data);
+//! assert!(c.len() < data.len() / 2);
+//! assert_eq!(cdpu_flate::decompress(&c).unwrap(), data);
+//! ```
+
+use cdpu_entropy::huffman::{HuffmanError, HuffmanTable};
+use cdpu_lz77::matcher::{ChainConfig, HashChainMatcher};
+use cdpu_lz77::window::apply_copy;
+use cdpu_lz77::{Parse, Seq};
+use cdpu_util::bits::{MsbBitReader, MsbBitWriter};
+use cdpu_util::varint;
+
+pub mod codes;
+
+/// Frame magic (`CDPF`): deliberately distinct from gzip/zlib headers.
+pub const MAGIC: [u8; 4] = *b"CDPF";
+
+/// Maximum uncompressed bytes per block (DEFLATE has no hard block limit;
+/// we reuse the framework's 128 KiB blocking for bounded buffering).
+pub const MAX_BLOCK_SIZE: usize = 128 * 1024;
+
+/// DEFLATE's maximum match length.
+pub const MAX_MATCH: u32 = 258;
+/// DEFLATE's window ceiling (32 KiB).
+pub const MAX_WINDOW_LOG: u32 = 15;
+
+/// Errors from Flate decompression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlateError {
+    /// Missing/incorrect magic.
+    BadMagic,
+    /// Malformed frame header.
+    BadHeader,
+    /// Input ended unexpectedly.
+    Truncated,
+    /// A malformed block.
+    BadBlock(&'static str),
+    /// Huffman table or stream error.
+    Huffman(HuffmanError),
+    /// A copy reached before the start of output or beyond the window.
+    BadDistance,
+    /// Output length disagrees with the header.
+    LengthMismatch {
+        /// Promised length.
+        expected: u64,
+        /// Produced length.
+        actual: u64,
+    },
+}
+
+impl std::fmt::Display for FlateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FlateError::BadMagic => write!(f, "bad frame magic"),
+            FlateError::BadHeader => write!(f, "malformed frame header"),
+            FlateError::Truncated => write!(f, "frame truncated"),
+            FlateError::BadBlock(why) => write!(f, "malformed block: {why}"),
+            FlateError::Huffman(e) => write!(f, "huffman: {e}"),
+            FlateError::BadDistance => write!(f, "copy distance out of range"),
+            FlateError::LengthMismatch { expected, actual } => {
+                write!(f, "expected {expected} bytes, produced {actual}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FlateError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FlateError::Huffman(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// Compression configuration: level (chain depth / lazy matching) and an
+/// optional window log capped at DEFLATE's 32 KiB.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlateConfig {
+    /// Level 1..=9, zlib-style.
+    pub level: u32,
+    /// Window log ≤ 15.
+    pub window_log: u32,
+}
+
+impl Default for FlateConfig {
+    fn default() -> Self {
+        FlateConfig {
+            level: 6,
+            window_log: MAX_WINDOW_LOG,
+        }
+    }
+}
+
+impl FlateConfig {
+    /// Config for a zlib-style level.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= level <= 9`.
+    pub fn with_level(level: u32) -> Self {
+        assert!((1..=9).contains(&level), "flate levels are 1..=9");
+        FlateConfig {
+            level,
+            window_log: MAX_WINDOW_LOG,
+        }
+    }
+
+    fn chain_config(&self) -> ChainConfig {
+        let (max_chain, lazy) = match self.level {
+            1 => (1, false),
+            2 => (4, false),
+            3 => (8, false),
+            4 => (16, false),
+            5 => (16, true),
+            6 => (32, true),
+            7 => (64, true),
+            8 => (128, true),
+            _ => (512, true),
+        };
+        ChainConfig {
+            window_log: self.window_log.min(MAX_WINDOW_LOG),
+            hash_log: 15,
+            max_chain,
+            lazy,
+            min_match: cdpu_lz77::MIN_MATCH,
+        }
+    }
+}
+
+/// Runs only the dictionary-coding stage, returning the whole-input LZ77
+/// parse (used by the hardware simulator's call profiler).
+pub fn parse_with(data: &[u8], cfg: &FlateConfig) -> Parse {
+    HashChainMatcher::new(cfg.chain_config()).parse(data)
+}
+
+/// Compresses at the default level (6, zlib's default).
+pub fn compress(data: &[u8]) -> Vec<u8> {
+    compress_with(data, &FlateConfig::default())
+}
+
+/// Compresses with an explicit configuration.
+pub fn compress_with(data: &[u8], cfg: &FlateConfig) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() / 2 + 64);
+    out.extend_from_slice(&MAGIC);
+    out.push(cfg.window_log.min(MAX_WINDOW_LOG) as u8);
+    varint::write_u64(&mut out, data.len() as u64);
+
+    let parse = HashChainMatcher::new(cfg.chain_config()).parse(data);
+    let chunks = split_parse(&parse, MAX_BLOCK_SIZE);
+    let mut pos = 0usize;
+    for (i, chunk) in chunks.iter().enumerate() {
+        let last = i + 1 == chunks.len();
+        let len = chunk.total_len();
+        emit_block(&data[pos..pos + len], chunk, last, &mut out);
+        pos += len;
+    }
+    if chunks.is_empty() {
+        emit_block(b"", &Parse::default(), true, &mut out);
+    }
+    out
+}
+
+/// Splits a parse into ≤ `target` blocks, also capping matches at
+/// DEFLATE's 258-byte maximum (longer matches become back-to-back copies
+/// at the same distance).
+fn split_parse(parse: &Parse, target: usize) -> Vec<Parse> {
+    struct Splitter {
+        chunks: Vec<Parse>,
+        cur: Parse,
+        cur_len: usize,
+        target: usize,
+    }
+    impl Splitter {
+        fn flush(&mut self) {
+            if self.cur_len > 0 || !self.cur.seqs.is_empty() {
+                self.chunks.push(std::mem::take(&mut self.cur));
+                self.cur_len = 0;
+            }
+        }
+        fn add_literals(&mut self, mut n: usize) {
+            while n > 0 {
+                if self.cur_len == self.target {
+                    self.flush();
+                }
+                let take = n.min(self.target - self.cur_len);
+                self.cur.last_literals += take as u32;
+                self.cur_len += take;
+                n -= take;
+            }
+        }
+        fn add_match(&mut self, mut rem: u32, offset: u32) {
+            while rem > 0 {
+                if self.cur_len == self.target {
+                    self.flush();
+                }
+                let space = (self.target - self.cur_len) as u32;
+                let mut piece = rem.min(MAX_MATCH).min(space);
+                if piece < rem && rem - piece < cdpu_lz77::MIN_MATCH as u32 {
+                    piece = piece.saturating_sub(cdpu_lz77::MIN_MATCH as u32);
+                }
+                if piece < cdpu_lz77::MIN_MATCH as u32 {
+                    self.flush();
+                    continue;
+                }
+                let lit_len = std::mem::take(&mut self.cur.last_literals);
+                self.cur.seqs.push(Seq {
+                    lit_len,
+                    match_len: piece,
+                    offset,
+                });
+                self.cur_len += piece as usize;
+                rem -= piece;
+            }
+        }
+    }
+
+    let mut s = Splitter {
+        chunks: Vec::new(),
+        cur: Parse::default(),
+        cur_len: 0,
+        target,
+    };
+    for seq in &parse.seqs {
+        s.add_literals(seq.lit_len as usize);
+        s.add_match(seq.match_len, seq.offset);
+    }
+    s.add_literals(parse.last_literals as usize);
+    if s.cur_len > 0 || !s.cur.seqs.is_empty() {
+        s.chunks.push(s.cur);
+    }
+    s.chunks
+}
+
+const BLOCK_RAW: u8 = 0;
+const BLOCK_HUFF: u8 = 1;
+
+fn emit_block(data: &[u8], parse: &Parse, last: bool, out: &mut Vec<u8>) {
+    let last_bit = if last { 1u8 } else { 0 };
+    let mut payload = Vec::new();
+    match encode_huff_block(data, parse, &mut payload) {
+        Ok(()) if payload.len() < data.len() => {
+            out.push(last_bit | (BLOCK_HUFF << 1));
+            varint::write_u64(out, data.len() as u64);
+            varint::write_u64(out, payload.len() as u64);
+            out.extend_from_slice(&payload);
+        }
+        _ => {
+            out.push(last_bit | (BLOCK_RAW << 1));
+            varint::write_u64(out, data.len() as u64);
+            out.extend_from_slice(data);
+        }
+    }
+}
+
+/// Encodes one Huffman block: the DEFLATE symbol stream (literal/length +
+/// distance alphabets) with dynamic tables.
+fn encode_huff_block(data: &[u8], parse: &Parse, out: &mut Vec<u8>) -> Result<(), FlateError> {
+    // Build the symbol stream and frequency tables.
+    let mut litlen_freq = vec![0u32; codes::LITLEN_SYMBOLS];
+    let mut dist_freq = vec![0u32; codes::DIST_SYMBOLS];
+    litlen_freq[codes::END_OF_BLOCK as usize] = 1;
+
+    let mut pos = 0usize;
+    for s in &parse.seqs {
+        for &b in &data[pos..pos + s.lit_len as usize] {
+            litlen_freq[b as usize] += 1;
+        }
+        pos += (s.lit_len + s.match_len) as usize;
+        let lc = codes::length_code(s.match_len).map_err(|_| FlateError::BadBlock("length"))?;
+        litlen_freq[lc.code as usize] += 1;
+        let dc = codes::dist_code(s.offset).map_err(|_| FlateError::BadBlock("distance"))?;
+        dist_freq[dc.code as usize] += 1;
+    }
+    for &b in &data[pos..pos + parse.last_literals as usize] {
+        litlen_freq[b as usize] += 1;
+    }
+
+    let litlen = HuffmanTable::from_frequencies_limited(&litlen_freq, 15)
+        .map_err(FlateError::Huffman)?;
+    // The distance alphabet may be empty (no matches): write a 1-symbol
+    // placeholder table.
+    let has_dists = dist_freq.iter().any(|&c| c > 0);
+    if !has_dists {
+        dist_freq[0] = 1;
+    }
+    let dist =
+        HuffmanTable::from_frequencies_limited(&dist_freq, 15).map_err(FlateError::Huffman)?;
+
+    litlen.serialize(out);
+    dist.serialize(out);
+
+    // Bit stream: literals/lengths/distances with extra bits, terminated
+    // by END_OF_BLOCK.
+    let mut w = MsbBitWriter::new();
+    let mut pos = 0usize;
+    for s in &parse.seqs {
+        for &b in &data[pos..pos + s.lit_len as usize] {
+            litlen.encode_symbol(b as u16, &mut w).map_err(FlateError::Huffman)?;
+        }
+        pos += (s.lit_len + s.match_len) as usize;
+        let lc = codes::length_code(s.match_len).expect("validated above");
+        litlen.encode_symbol(lc.code, &mut w).map_err(FlateError::Huffman)?;
+        w.write_bits(lc.extra as u64, lc.extra_bits as u32);
+        let dc = codes::dist_code(s.offset).expect("validated above");
+        dist.encode_symbol(dc.code, &mut w).map_err(FlateError::Huffman)?;
+        w.write_bits(dc.extra as u64, dc.extra_bits as u32);
+    }
+    for &b in &data[pos..pos + parse.last_literals as usize] {
+        litlen.encode_symbol(b as u16, &mut w).map_err(FlateError::Huffman)?;
+    }
+    litlen
+        .encode_symbol(codes::END_OF_BLOCK, &mut w)
+        .map_err(FlateError::Huffman)?;
+    let (bits, bit_len) = w.finish();
+    varint::write_u64(out, bit_len as u64);
+    out.extend_from_slice(&bits);
+    Ok(())
+}
+
+/// Decodes one Huffman block payload, appending to `out`.
+fn decode_huff_block(
+    payload: &[u8],
+    out: &mut Vec<u8>,
+    window: u32,
+    max_len: usize,
+) -> Result<(), FlateError> {
+    let mut pos = 0usize;
+    let (litlen, n) = HuffmanTable::deserialize(&payload[pos..]).map_err(FlateError::Huffman)?;
+    pos += n;
+    let (dist, n) = HuffmanTable::deserialize(&payload[pos..]).map_err(FlateError::Huffman)?;
+    pos += n;
+    let (bit_len, n) =
+        varint::read_u64(&payload[pos..]).map_err(|_| FlateError::BadBlock("bit length"))?;
+    pos += n;
+    let nbytes = (bit_len as usize).div_ceil(8);
+    if pos + nbytes > payload.len() {
+        return Err(FlateError::Truncated);
+    }
+    let mut r = MsbBitReader::new(&payload[pos..pos + nbytes], bit_len as usize);
+
+    let start = out.len();
+    loop {
+        let sym = litlen.decode_symbol(&mut r).map_err(FlateError::Huffman)?;
+        if sym == codes::END_OF_BLOCK {
+            break;
+        }
+        if sym < 256 {
+            out.push(sym as u8);
+        } else {
+            let extra_bits = codes::length_extra_bits(sym)
+                .ok_or(FlateError::BadBlock("length code"))?;
+            let extra = r
+                .read_bits(extra_bits as u32)
+                .map_err(|_| FlateError::Truncated)? as u32;
+            let len = codes::length_value(sym, extra)
+                .map_err(|_| FlateError::BadBlock("length code"))?;
+            let dsym = dist.decode_symbol(&mut r).map_err(FlateError::Huffman)?;
+            let dbits = codes::dist_extra_bits(dsym)
+                .ok_or(FlateError::BadBlock("distance code"))?;
+            let dextra = r
+                .read_bits(dbits as u32)
+                .map_err(|_| FlateError::Truncated)? as u32;
+            let distance = codes::dist_value(dsym, dextra)
+                .map_err(|_| FlateError::BadBlock("distance code"))?;
+            if distance > window {
+                return Err(FlateError::BadDistance);
+            }
+            apply_copy(out, distance, len).map_err(|_| FlateError::BadDistance)?;
+        }
+        if out.len() - start > max_len {
+            return Err(FlateError::BadBlock("block output overruns declared size"));
+        }
+    }
+    Ok(())
+}
+
+/// Decompresses a Flate-class frame.
+///
+/// # Errors
+///
+/// Any [`FlateError`]: malformed framing, Huffman corruption, bad
+/// distances, or length mismatches.
+pub fn decompress(frame: &[u8]) -> Result<Vec<u8>, FlateError> {
+    if frame.len() < 5 || frame[..4] != MAGIC {
+        return Err(FlateError::BadMagic);
+    }
+    let window_log = frame[4] as u32;
+    if window_log > MAX_WINDOW_LOG {
+        return Err(FlateError::BadHeader);
+    }
+    let mut pos = 5usize;
+    let (expected, n) = varint::read_u64(&frame[pos..]).map_err(|_| FlateError::BadHeader)?;
+    pos += n;
+    let window = 1u32 << window_log;
+
+    // Reserve conservatively: the declared size is untrusted input, so cap
+    // the up-front allocation and let the vector grow if the data is real.
+    let mut out = Vec::with_capacity((expected as usize).min(MAX_BLOCK_SIZE));
+    let mut saw_last = false;
+    while !saw_last {
+        if pos >= frame.len() {
+            return Err(FlateError::Truncated);
+        }
+        let flags = frame[pos];
+        pos += 1;
+        saw_last = flags & 1 != 0;
+        let (block_len, n) =
+            varint::read_u64(&frame[pos..]).map_err(|_| FlateError::Truncated)?;
+        pos += n;
+        let block_len = block_len as usize;
+        if block_len > MAX_BLOCK_SIZE {
+            return Err(FlateError::BadBlock("block exceeds size limit"));
+        }
+        match (flags >> 1) & 0b11 {
+            BLOCK_RAW => {
+                if pos + block_len > frame.len() {
+                    return Err(FlateError::Truncated);
+                }
+                out.extend_from_slice(&frame[pos..pos + block_len]);
+                pos += block_len;
+            }
+            BLOCK_HUFF => {
+                let (payload_len, n) =
+                    varint::read_u64(&frame[pos..]).map_err(|_| FlateError::Truncated)?;
+                pos += n;
+                let payload_len = payload_len as usize;
+                if pos + payload_len > frame.len() {
+                    return Err(FlateError::Truncated);
+                }
+                let before = out.len();
+                decode_huff_block(&frame[pos..pos + payload_len], &mut out, window, block_len)?;
+                if out.len() - before != block_len {
+                    return Err(FlateError::BadBlock("block length mismatch"));
+                }
+                pos += payload_len;
+            }
+            _ => return Err(FlateError::BadBlock("unknown block type")),
+        }
+        if out.len() as u64 > expected {
+            return Err(FlateError::LengthMismatch {
+                expected,
+                actual: out.len() as u64,
+            });
+        }
+    }
+    if out.len() as u64 != expected {
+        return Err(FlateError::LengthMismatch {
+            expected,
+            actual: out.len() as u64,
+        });
+    }
+    Ok(out)
+}
+
+/// Compression ratio at a level.
+pub fn compression_ratio(data: &[u8], level: u32) -> f64 {
+    if data.is_empty() {
+        return 1.0;
+    }
+    data.len() as f64 / compress_with(data, &FlateConfig::with_level(level)).len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdpu_util::rng::Xoshiro256;
+
+    fn roundtrip(data: &[u8], cfg: &FlateConfig) -> usize {
+        let c = compress_with(data, cfg);
+        assert_eq!(decompress(&c).unwrap(), data, "level {}", cfg.level);
+        c.len()
+    }
+
+    #[test]
+    fn empty_and_tiny() {
+        for data in [&b""[..], b"a", b"ab", b"abcd", b"aaaaaaaa"] {
+            roundtrip(data, &FlateConfig::default());
+        }
+    }
+
+    #[test]
+    fn text_all_levels() {
+        let data = b"Flate pairs LZ77 with Huffman coding and nothing else. ".repeat(150);
+        for level in 1..=9 {
+            let n = roundtrip(&data, &FlateConfig::with_level(level));
+            assert!(n < data.len() / 3, "level {level}: {n}");
+        }
+    }
+
+    #[test]
+    fn random_data_stays_near_raw() {
+        let mut rng = Xoshiro256::seed_from(1);
+        let mut data = vec![0u8; 200_000];
+        rng.fill_bytes(&mut data);
+        let c = compress(&data);
+        assert!(c.len() <= data.len() + 64);
+        assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn long_runs_split_matches_at_258() {
+        // DEFLATE caps matches at 258; megabyte runs exercise the split.
+        let data = vec![b'r'; 1 << 20];
+        let c = compress(&data);
+        assert!(c.len() < 6000, "run should compress hard: {}", c.len());
+        assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn multi_block_with_cross_block_matches() {
+        let data = b"0123456789abcdef".repeat(20_000); // 320 KB
+        let c = compress(&data);
+        assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn window_is_32k_max() {
+        // Period of 40 KiB exceeds the 32 KiB window: second period cannot
+        // reference the first.
+        let mut rng = Xoshiro256::seed_from(5);
+        let mut period = vec![0u8; 40 * 1024];
+        rng.fill_bytes(&mut period);
+        let mut data = period.clone();
+        data.extend_from_slice(&period);
+        let c = compress(&data);
+        assert!(c.len() > data.len() / 2, "window must not see 40 KiB back");
+        assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn sits_between_snappy_and_zstd_conceptually() {
+        // On entropy-skewed data Flate (entropy coding) must beat a parse
+        // without entropy coding; this is the heavyweight/lightweight gap.
+        let mut rng = Xoshiro256::seed_from(8);
+        let mut data = Vec::new();
+        for _ in 0..4000 {
+            data.extend_from_slice(
+                format!("evt={} lvl={} ok\n", rng.index(30), rng.index(4)).as_bytes(),
+            );
+        }
+        let flate_len = compress(&data).len();
+        // Literal-heavy baseline: raw parse size is data length.
+        assert!(flate_len * 3 < data.len(), "flate {flate_len} on {}", data.len());
+    }
+
+    #[test]
+    fn truncation_and_corruption_detected() {
+        let data = b"robustness ".repeat(500);
+        let c = compress(&data);
+        let mut rng = Xoshiro256::seed_from(3);
+        for _ in 0..30 {
+            let cut = rng.index(c.len());
+            assert!(decompress(&c[..cut]).is_err(), "cut {cut}");
+        }
+        let mut bad = c.clone();
+        bad[0] ^= 0xFF;
+        assert_eq!(decompress(&bad).unwrap_err(), FlateError::BadMagic);
+        for _ in 0..40 {
+            let mut bad = c.clone();
+            let i = rng.index(bad.len());
+            bad[i] ^= 1 << rng.index(8);
+            let _ = decompress(&bad); // must not panic
+        }
+    }
+
+    #[test]
+    fn level_bounds() {
+        assert!(std::panic::catch_unwind(|| FlateConfig::with_level(0)).is_err());
+        assert!(std::panic::catch_unwind(|| FlateConfig::with_level(10)).is_err());
+    }
+
+    #[test]
+    fn higher_level_compresses_no_worse() {
+        let mut rng = Xoshiro256::seed_from(11);
+        let mut data = Vec::new();
+        for _ in 0..3000 {
+            data.extend_from_slice(format!("row|{:05}|{:03}\n", rng.index(800), rng.index(50)).as_bytes());
+        }
+        let l1 = compress_with(&data, &FlateConfig::with_level(1)).len();
+        let l9 = compress_with(&data, &FlateConfig::with_level(9)).len();
+        assert!(l9 <= l1, "l9 {l9} vs l1 {l1}");
+    }
+}

@@ -1,0 +1,187 @@
+//! Byte-weighted call-size distributions (Figure 3).
+//!
+//! The paper plots, for Snappy/ZStd × compress/decompress, the cumulative
+//! fraction of uncompressed bytes handled by calls up to each size
+//! (x-binned by `ceil(log2(bytes))`). The CDFs here are continuous
+//! piecewise reconstructions anchored on every number the text states:
+//!
+//! - Snappy-C: 24% of bytes from calls ≤ 32 KiB; median in (64, 128] KiB;
+//!   16.8% of bytes in the (2, 4] MiB bin; maximum 64 MiB.
+//! - ZStd-C: 8% ≤ 32 KiB; the (32, 64] KiB bin holds 28%; median in
+//!   (64, 128] KiB.
+//! - Snappy-D: 62% of bytes below 128 KiB, 80% below 256 KiB.
+//! - ZStd-D: median between 1 and 2 MiB.
+
+use crate::{Algorithm, AlgoOp, Direction};
+use cdpu_util::hist::PiecewiseCdf;
+
+const KIB: f64 = 1024.0;
+const MIB: f64 = 1024.0 * 1024.0;
+
+/// Smallest call size modeled (calls below 1 KiB carry negligible byte
+/// weight in a byte-weighted distribution).
+pub const MIN_CALL: u64 = 1024;
+/// Largest call size in the fleet (Section 3.5.1: 64 MiB).
+pub const MAX_CALL: u64 = 64 * 1024 * 1024;
+
+/// The byte-weighted call-size CDF for one algorithm/direction.
+///
+/// # Panics
+///
+/// Panics if `op` is not one of the four instrumented pairs (Snappy/ZStd ×
+/// C/D — Section 3.1.2 collects call data only for those, plus
+/// Flate/Brotli which Figure 3 does not plot).
+pub fn call_size_cdf(op: AlgoOp) -> PiecewiseCdf {
+    let pts: Vec<(f64, f64)> = match (op.algo, op.dir) {
+        (Algorithm::Snappy, Direction::Compress) => vec![
+            (1.0 * KIB, 0.0),
+            (32.0 * KIB, 0.24),
+            (64.0 * KIB, 0.38),
+            (128.0 * KIB, 0.52),
+            (256.0 * KIB, 0.58),
+            (512.0 * KIB, 0.63),
+            (1.0 * MIB, 0.68),
+            (2.0 * MIB, 0.73),
+            (4.0 * MIB, 0.898),
+            (8.0 * MIB, 0.93),
+            (16.0 * MIB, 0.96),
+            (32.0 * MIB, 0.98),
+            (64.0 * MIB, 1.0),
+        ],
+        (Algorithm::Zstd, Direction::Compress) => vec![
+            (1.0 * KIB, 0.0),
+            (32.0 * KIB, 0.08),
+            (64.0 * KIB, 0.36),
+            (128.0 * KIB, 0.52),
+            (256.0 * KIB, 0.60),
+            (512.0 * KIB, 0.66),
+            (1.0 * MIB, 0.72),
+            (2.0 * MIB, 0.78),
+            (4.0 * MIB, 0.84),
+            (8.0 * MIB, 0.89),
+            (16.0 * MIB, 0.93),
+            (32.0 * MIB, 0.97),
+            (64.0 * MIB, 1.0),
+        ],
+        (Algorithm::Snappy, Direction::Decompress) => vec![
+            (1.0 * KIB, 0.0),
+            (4.0 * KIB, 0.08),
+            (16.0 * KIB, 0.25),
+            (32.0 * KIB, 0.38),
+            (64.0 * KIB, 0.50),
+            (128.0 * KIB, 0.62),
+            (256.0 * KIB, 0.80),
+            (512.0 * KIB, 0.86),
+            (1.0 * MIB, 0.90),
+            (4.0 * MIB, 0.95),
+            (16.0 * MIB, 0.98),
+            (64.0 * MIB, 1.0),
+        ],
+        (Algorithm::Zstd, Direction::Decompress) => vec![
+            (1.0 * KIB, 0.0),
+            (32.0 * KIB, 0.04),
+            (128.0 * KIB, 0.12),
+            (256.0 * KIB, 0.20),
+            (512.0 * KIB, 0.32),
+            (1.0 * MIB, 0.45),
+            (2.0 * MIB, 0.60),
+            (4.0 * MIB, 0.72),
+            (8.0 * MIB, 0.82),
+            (16.0 * MIB, 0.90),
+            (32.0 * MIB, 0.96),
+            (64.0 * MIB, 1.0),
+        ],
+        _ => panic!("call-size data only exists for Snappy/ZStd (Section 3.1.2)"),
+    };
+    PiecewiseCdf::new(pts).expect("anchored breakpoints are valid")
+}
+
+/// The four instrumented pairs Figure 3 plots.
+pub fn instrumented_ops() -> [AlgoOp; 4] {
+    [
+        AlgoOp::new(Algorithm::Snappy, Direction::Compress),
+        AlgoOp::new(Algorithm::Zstd, Direction::Compress),
+        AlgoOp::new(Algorithm::Snappy, Direction::Decompress),
+        AlgoOp::new(Algorithm::Zstd, Direction::Decompress),
+    ]
+}
+
+/// The fleet's byte-weighted median call size for `op`, in bytes.
+pub fn median_call_size(op: AlgoOp) -> u64 {
+    call_size_cdf(op).quantile(0.5) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snappy_compress_anchors() {
+        let cdf = call_size_cdf(AlgoOp::new(Algorithm::Snappy, Direction::Compress));
+        assert!((cdf.eval(32.0 * KIB) - 0.24).abs() < 1e-9, "24% ≤ 32 KiB");
+        let med = cdf.quantile(0.5);
+        assert!(
+            (64.0 * KIB..=128.0 * KIB).contains(&med),
+            "median {med} not in (64,128] KiB"
+        );
+        // 16.8% of bytes in the (2,4] MiB bin.
+        let bin = cdf.eval(4.0 * MIB) - cdf.eval(2.0 * MIB);
+        assert!((bin - 0.168).abs() < 1e-9, "bin mass {bin}");
+    }
+
+    #[test]
+    fn zstd_compress_anchors() {
+        let cdf = call_size_cdf(AlgoOp::new(Algorithm::Zstd, Direction::Compress));
+        assert!((cdf.eval(32.0 * KIB) - 0.08).abs() < 1e-9);
+        let bin = cdf.eval(64.0 * KIB) - cdf.eval(32.0 * KIB);
+        assert!((bin - 0.28).abs() < 1e-9, "(32,64] KiB bin {bin}");
+        let med = cdf.quantile(0.5);
+        assert!((64.0 * KIB..=128.0 * KIB).contains(&med));
+    }
+
+    #[test]
+    fn snappy_decompress_anchors() {
+        let cdf = call_size_cdf(AlgoOp::new(Algorithm::Snappy, Direction::Decompress));
+        assert!((cdf.eval(128.0 * KIB) - 0.62).abs() < 1e-9, "62% < 128 KiB");
+        assert!((cdf.eval(256.0 * KIB) - 0.80).abs() < 1e-9, "80% < 256 KiB");
+        // Decompression skews smaller than compression.
+        let comp = call_size_cdf(AlgoOp::new(Algorithm::Snappy, Direction::Compress));
+        assert!(cdf.eval(64.0 * KIB) > comp.eval(64.0 * KIB));
+    }
+
+    #[test]
+    fn zstd_decompress_median_in_megabytes() {
+        let med = median_call_size(AlgoOp::new(Algorithm::Zstd, Direction::Decompress));
+        assert!(
+            (1 << 20..=2 << 20).contains(&med),
+            "ZStd-D median {med} not in (1,2] MiB"
+        );
+    }
+
+    #[test]
+    fn decompression_medians_diverge_between_algorithms() {
+        // Section 3.5.1: ZStd-D median ~1-2 MiB vs Snappy-D ~64 KiB —
+        // "drastically" larger.
+        let snappy = median_call_size(AlgoOp::new(Algorithm::Snappy, Direction::Decompress));
+        let zstd = median_call_size(AlgoOp::new(Algorithm::Zstd, Direction::Decompress));
+        assert!(zstd > snappy * 8, "zstd {zstd} snappy {snappy}");
+    }
+
+    #[test]
+    fn sampling_respects_bounds() {
+        let mut rng = cdpu_util::rng::Xoshiro256::seed_from(1);
+        for op in instrumented_ops() {
+            let cdf = call_size_cdf(op);
+            for _ in 0..2000 {
+                let s = cdf.sample(&mut rng);
+                assert!(s >= MIN_CALL as f64 && s <= MAX_CALL as f64, "{op}: {s}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn uninstrumented_ops_panic() {
+        let _ = call_size_cdf(AlgoOp::new(Algorithm::Flate, Direction::Compress));
+    }
+}

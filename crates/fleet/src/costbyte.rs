@@ -1,0 +1,139 @@
+//! Software cost-per-byte by algorithm/operation/level — the plot the
+//! paper elides "due to space constraints" (Section 3.3.4), reconstructed
+//! from every relative factor the text does state.
+//!
+//! Costs are expressed relative to Snappy compression = 1.0 (the natural
+//! unit: the cheapest mainstream compressor). The anchored relations:
+//!
+//! - ZStd-low compression = 1.55× Snappy compression;
+//! - ZStd-high compression = 2.39× ZStd-low;
+//! - ZStd decompression = 1.63× Snappy decompression;
+//! - decompression is far cheaper per byte than compression (the Xeon
+//!   lzbench numbers of Section 6: Snappy D/C = 1.1/0.36 ≈ 3.1×);
+//! - heavyweights cost more than lightweights in both directions
+//!   (Section 3.3.4's "taxonomy largely validated").
+
+use crate::{costs, Algorithm, Direction};
+
+/// Level bin used by the cost table (mirrors Figure 2c's split).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LevelBin {
+    /// Levels ≤ 3 for leveled algorithms; the only bin for level-less ones.
+    Low,
+    /// Levels ≥ 4.
+    High,
+}
+
+/// Relative CPU cost per uncompressed byte (Snappy compression = 1.0).
+///
+/// Returns `None` for combinations that do not exist (high-level bins of
+/// algorithms without levels).
+pub fn relative_cost_per_byte(algo: Algorithm, dir: Direction, bin: LevelBin) -> Option<f64> {
+    // Anchors.
+    const SNAPPY_C: f64 = 1.0;
+    // Snappy decompression per-byte cost from the Xeon pair 1.1 vs 0.36.
+    const SNAPPY_D: f64 = SNAPPY_C * 0.36 / 1.1;
+    let zstd_c_low = SNAPPY_C * costs::ZSTD_LOW_OVER_SNAPPY_COMPRESS;
+    let zstd_c_high = zstd_c_low * costs::ZSTD_HIGH_OVER_LOW_COMPRESS;
+    let zstd_d = SNAPPY_D * costs::ZSTD_OVER_SNAPPY_DECOMPRESS;
+
+    Some(match (algo, dir, bin) {
+        (Algorithm::Snappy, Direction::Compress, LevelBin::Low) => SNAPPY_C,
+        (Algorithm::Snappy, Direction::Decompress, LevelBin::Low) => SNAPPY_D,
+        (Algorithm::Snappy, _, LevelBin::High) => return None,
+        (Algorithm::Zstd, Direction::Compress, LevelBin::Low) => zstd_c_low,
+        (Algorithm::Zstd, Direction::Compress, LevelBin::High) => zstd_c_high,
+        (Algorithm::Zstd, Direction::Decompress, _) => zstd_d,
+        // Flate: slowest mainstream compressor; decompression Huffman-bound
+        // (scaled from the Xeon estimates in `cdpu_core::baseline`).
+        (Algorithm::Flate, Direction::Compress, LevelBin::Low) => 3.0,
+        (Algorithm::Flate, Direction::Compress, LevelBin::High) => 5.5,
+        (Algorithm::Flate, Direction::Decompress, _) => SNAPPY_D * 2.0,
+        // Brotli: comparable to Flate at fleet-observed (low) levels,
+        // far costlier at high levels.
+        (Algorithm::Brotli, Direction::Compress, LevelBin::Low) => 3.4,
+        (Algorithm::Brotli, Direction::Compress, LevelBin::High) => 12.0,
+        (Algorithm::Brotli, Direction::Decompress, _) => SNAPPY_D * 2.2,
+        // Gipfeli: Snappy-class with a small entropy-coding premium.
+        (Algorithm::Gipfeli, Direction::Compress, LevelBin::Low) => 1.25,
+        (Algorithm::Gipfeli, Direction::Decompress, LevelBin::Low) => SNAPPY_D * 1.3,
+        (Algorithm::Gipfeli, _, LevelBin::High) => return None,
+        // LZO: Snappy-class.
+        (Algorithm::Lzo, Direction::Compress, LevelBin::Low) => 1.1,
+        (Algorithm::Lzo, Direction::Compress, LevelBin::High) => 2.0,
+        (Algorithm::Lzo, Direction::Decompress, _) => SNAPPY_D * 0.9,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stated_factors_hold() {
+        let sc = relative_cost_per_byte(Algorithm::Snappy, Direction::Compress, LevelBin::Low)
+            .unwrap();
+        let zl = relative_cost_per_byte(Algorithm::Zstd, Direction::Compress, LevelBin::Low)
+            .unwrap();
+        let zh = relative_cost_per_byte(Algorithm::Zstd, Direction::Compress, LevelBin::High)
+            .unwrap();
+        assert!((zl / sc - 1.55).abs() < 1e-12);
+        assert!((zh / zl - 2.39).abs() < 1e-12);
+        let sd = relative_cost_per_byte(Algorithm::Snappy, Direction::Decompress, LevelBin::Low)
+            .unwrap();
+        let zd = relative_cost_per_byte(Algorithm::Zstd, Direction::Decompress, LevelBin::Low)
+            .unwrap();
+        assert!((zd / sd - 1.63).abs() < 1e-12);
+    }
+
+    #[test]
+    fn taxonomy_validated() {
+        // "both heavyweight compression and decompression are more
+        // expensive per-byte than lightweight" (Section 3.3.4).
+        for dir in Direction::ALL {
+            let light_max = [Algorithm::Snappy, Algorithm::Gipfeli, Algorithm::Lzo]
+                .into_iter()
+                .filter_map(|a| relative_cost_per_byte(a, dir, LevelBin::Low))
+                .fold(0.0f64, f64::max);
+            let heavy_min = [Algorithm::Zstd, Algorithm::Flate, Algorithm::Brotli]
+                .into_iter()
+                .filter_map(|a| relative_cost_per_byte(a, dir, LevelBin::Low))
+                .fold(f64::INFINITY, f64::min);
+            assert!(
+                heavy_min > light_max,
+                "{dir:?}: heavy {heavy_min} vs light {light_max}"
+            );
+        }
+    }
+
+    #[test]
+    fn decompression_cheaper_than_compression() {
+        for algo in Algorithm::ALL {
+            let c = relative_cost_per_byte(algo, Direction::Compress, LevelBin::Low).unwrap();
+            let d = relative_cost_per_byte(algo, Direction::Decompress, LevelBin::Low).unwrap();
+            assert!(d < c, "{algo:?}: decompress {d} vs compress {c}");
+        }
+    }
+
+    #[test]
+    fn levelless_algorithms_have_no_high_bin() {
+        assert!(relative_cost_per_byte(Algorithm::Snappy, Direction::Compress, LevelBin::High)
+            .is_none());
+        assert!(relative_cost_per_byte(Algorithm::Gipfeli, Direction::Compress, LevelBin::High)
+            .is_none());
+        // LZO supports levels (Section 2.2).
+        assert!(relative_cost_per_byte(Algorithm::Lzo, Direction::Compress, LevelBin::High)
+            .is_some());
+    }
+
+    #[test]
+    fn migration_cost_example() {
+        // Snappy -> ZStd-high compression: 1.55 × 2.39 ≈ 3.70× per byte
+        // (the "1.55-3.70×" range of Section 3.8(1c)).
+        let sc = relative_cost_per_byte(Algorithm::Snappy, Direction::Compress, LevelBin::Low)
+            .unwrap();
+        let zh = relative_cost_per_byte(Algorithm::Zstd, Direction::Compress, LevelBin::High)
+            .unwrap();
+        assert!((zh / sc - 3.7045).abs() < 1e-3);
+    }
+}

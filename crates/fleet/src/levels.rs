@@ -1,0 +1,122 @@
+//! ZStd compression-level distribution (Figure 2b).
+//!
+//! The paper reports the distribution of bytes passed to ZStd compression,
+//! binned by the caller-specified level: 88% of bytes at level ≤ 3 (the
+//! default), > 95% at level ≤ 5, and fewer than 0.002% at levels ≥ 12.
+//! The per-level weights here honour those anchors; the mass concentrates
+//! at level 3 like the figure's dominant bar.
+
+/// Levels tracked by the model (ZStd's negative "fast" levels bin at −5 in
+/// Figure 2b).
+pub const LEVELS: std::ops::RangeInclusive<i32> = -5..=22;
+
+/// Byte-weighted probability (0..1) of a ZStd compression call using
+/// `level`. Sums to 1 over [`LEVELS`].
+pub fn level_weight(level: i32) -> f64 {
+    match level {
+        -5 => 0.010,
+        -4 => 0.002,
+        -3 => 0.004,
+        -2 => 0.004,
+        -1 => 0.010,
+        0 => 0.010,
+        1 => 0.060,
+        2 => 0.080,
+        3 => 0.700,
+        4 => 0.040,
+        5 => 0.032,
+        6 => 0.015,
+        7 => 0.010,
+        8 => 0.008,
+        9 => 0.006,
+        10 => 0.005,
+        11 => 0.003982,
+        12 => 0.000002,
+        13 => 0.000002,
+        14 => 0.000002,
+        15 => 0.000002,
+        16 => 0.000002,
+        17 => 0.000002,
+        18 => 0.000002,
+        19 => 0.000001,
+        20 => 0.000001,
+        21 => 0.000001,
+        22 => 0.000001,
+        _ => 0.0,
+    }
+}
+
+/// All `(level, weight)` pairs with non-zero weight, ascending by level.
+pub fn level_weights() -> Vec<(i32, f64)> {
+    LEVELS
+        .filter(|&l| level_weight(l) > 0.0)
+        .map(|l| (l, level_weight(l)))
+        .collect()
+}
+
+/// Cumulative byte fraction at or below `level`.
+pub fn cumulative_at(level: i32) -> f64 {
+    LEVELS
+        .filter(|&l| l <= level)
+        .map(level_weight)
+        .sum()
+}
+
+/// Splits the level space the way Figure 2c bins it: "low" is ZStd
+/// `(-inf, 3]`, "high" is `[4, 22]`.
+pub fn is_high_level(level: i32) -> bool {
+    level >= 4
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weights_sum_to_one() {
+        let total: f64 = level_weights().iter().map(|(_, w)| w).sum();
+        assert!((total - 1.0).abs() < 1e-9, "total {total}");
+    }
+
+    #[test]
+    fn default_level_dominates() {
+        // Figure 2b's tallest bar is level 3 (the default).
+        let (peak, _) = level_weights()
+            .into_iter()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .unwrap();
+        assert_eq!(peak, 3);
+    }
+
+    #[test]
+    fn anchor_88_percent_at_level_3() {
+        let c = cumulative_at(3);
+        assert!((0.86..=0.90).contains(&c), "≤3 cumulative {c}");
+    }
+
+    #[test]
+    fn anchor_95_percent_at_level_5() {
+        let c = cumulative_at(5);
+        assert!(c >= 0.95, "≤5 cumulative {c}");
+    }
+
+    #[test]
+    fn anchor_high_levels_negligible() {
+        let high: f64 = (12..=22).map(level_weight).sum();
+        assert!(high < 0.00002, "≥12 mass {high}");
+        assert!(high > 0.0, "levels ≥12 exist in the fleet");
+    }
+
+    #[test]
+    fn out_of_range_levels_zero() {
+        assert_eq!(level_weight(-6), 0.0);
+        assert_eq!(level_weight(23), 0.0);
+    }
+
+    #[test]
+    fn figure_2c_binning() {
+        assert!(!is_high_level(3));
+        assert!(is_high_level(4));
+        assert!(!is_high_level(-5));
+    }
+}

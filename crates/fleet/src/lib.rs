@@ -1,0 +1,224 @@
+//! Hyperscale fleet (de)compression profile model.
+//!
+//! The paper's Section 3 is a multi-year, fleet-wide profiling study of
+//! Google's datacenters. The raw fleet is obviously unavailable, so this
+//! crate rebuilds the study as a *model*: every distribution published in
+//! the paper (Figures 1–5 and the quantitative statements in the text) is
+//! encoded as the ground truth, and a GWP-style sampling pipeline
+//! ([`sampler`]) draws synthetic (de)compression call records from it —
+//! reproducing both the numbers *and* the methodology (profile → sample →
+//! aggregate → figure).
+//!
+//! Modules map one-to-one onto the paper's figures:
+//!
+//! - [`mix`]: cycle and byte shares by algorithm/direction (Fig. 1 legend,
+//!   Fig. 2a).
+//! - [`timeline`]: the eight-year algorithm-adoption timeline (Fig. 1).
+//! - [`levels`]: the ZStd compression-level distribution (Fig. 2b).
+//! - [`ratios`]: fleet-aggregate compression ratios (Fig. 2c).
+//! - [`callsizes`]: byte-weighted call-size CDFs (Fig. 3) and the
+//!   open-source-benchmark comparison (Fig. 6).
+//! - [`callers`]: cycles by calling library (Fig. 4).
+//! - [`costbyte`]: the relative cost-per-byte table the paper describes
+//!   but elides (Section 3.3.4).
+//! - [`windows`]: ZStd window-size CDFs (Fig. 5).
+//! - [`services`]: the per-service concentration statistics (Section 3.2).
+//! - [`sampler`]: the synthetic GWP — samples [`CallRecord`]s whose
+//!   aggregate statistics match all of the above.
+
+pub mod callers;
+pub mod callsizes;
+pub mod costbyte;
+pub mod levels;
+pub mod mix;
+pub mod ratios;
+pub mod sampler;
+pub mod services;
+pub mod timeline;
+pub mod windows;
+
+/// The six (de)compression algorithms observed in the fleet (Section 2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Algorithm {
+    /// LZ77-inspired, no entropy coding (lightweight).
+    Snappy,
+    /// LZ77 + Huffman + FSE (heavyweight).
+    Zstd,
+    /// LZ77 + Huffman (heavyweight; zlib/gzip).
+    Flate,
+    /// LZ77 + Huffman + context modeling (heavyweight).
+    Brotli,
+    /// LZ77-inspired + simple entropy coding (lightweight).
+    Gipfeli,
+    /// LZ77-inspired, no entropy coding (lightweight).
+    Lzo,
+}
+
+impl Algorithm {
+    /// All algorithms, in the order of the Fig. 1 legend.
+    pub const ALL: [Algorithm; 6] = [
+        Algorithm::Snappy,
+        Algorithm::Zstd,
+        Algorithm::Flate,
+        Algorithm::Brotli,
+        Algorithm::Gipfeli,
+        Algorithm::Lzo,
+    ];
+
+    /// The paper's heavyweight/lightweight taxonomy (Section 2.2).
+    pub fn is_heavyweight(&self) -> bool {
+        matches!(self, Algorithm::Zstd | Algorithm::Flate | Algorithm::Brotli)
+    }
+
+    /// Display name used in figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algorithm::Snappy => "Snappy",
+            Algorithm::Zstd => "ZSTD",
+            Algorithm::Flate => "Flate",
+            Algorithm::Brotli => "Brotli",
+            Algorithm::Gipfeli => "Gipfeli",
+            Algorithm::Lzo => "LZO",
+        }
+    }
+}
+
+impl std::fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Compression or decompression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Direction {
+    /// Compression ("C-" series in the figures).
+    Compress,
+    /// Decompression ("D-" series).
+    Decompress,
+}
+
+impl Direction {
+    /// Both directions.
+    pub const ALL: [Direction; 2] = [Direction::Compress, Direction::Decompress];
+
+    /// One-letter prefix used in figure labels.
+    pub fn prefix(&self) -> &'static str {
+        match self {
+            Direction::Compress => "C",
+            Direction::Decompress => "D",
+        }
+    }
+}
+
+impl std::fmt::Display for Direction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.prefix())
+    }
+}
+
+/// An (algorithm, direction) pair — the unit all fleet distributions key on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AlgoOp {
+    /// The algorithm.
+    pub algo: Algorithm,
+    /// Compress or decompress.
+    pub dir: Direction,
+}
+
+impl AlgoOp {
+    /// Constructs a pair.
+    pub fn new(algo: Algorithm, dir: Direction) -> Self {
+        AlgoOp { algo, dir }
+    }
+
+    /// All twelve pairs in Fig. 1 legend order (C-* then D-*).
+    pub fn all() -> Vec<AlgoOp> {
+        let mut v = Vec::with_capacity(12);
+        for dir in Direction::ALL {
+            for algo in Algorithm::ALL {
+                v.push(AlgoOp::new(algo, dir));
+            }
+        }
+        v
+    }
+
+    /// Figure label, e.g. `C-Snappy`.
+    pub fn label(&self) -> String {
+        format!("{}-{}", self.dir.prefix(), self.algo.name())
+    }
+}
+
+impl std::fmt::Display for AlgoOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}-{}", self.dir.prefix(), self.algo.name())
+    }
+}
+
+/// One sampled (de)compression call — what the paper's extended GWP
+/// sampler collects per call (Section 3.1.2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CallRecord {
+    /// Algorithm and direction.
+    pub op: AlgoOp,
+    /// Uncompressed bytes handled (input for compression, output for
+    /// decompression).
+    pub uncompressed_bytes: u64,
+    /// Compression level (only collected for ZStd, per Fig. 2b).
+    pub level: Option<i32>,
+    /// Window log (only collected for ZStd, per Fig. 5).
+    pub window_log: Option<u32>,
+    /// The library that issued the call (Fig. 4 categories).
+    pub caller: &'static str,
+}
+
+/// Fraction of all fleet CPU cycles spent in (de)compression
+/// (Section 3.2: "2.9% of fleet-wide CPU cycles").
+pub const FLEET_CYCLE_FRACTION: f64 = 0.029;
+
+/// Share of those cycles spent in decompression (Section 3.2: 56%).
+pub const DECOMPRESS_CYCLE_SHARE: f64 = 0.56;
+
+/// Average number of times each compressed byte is decompressed
+/// (Section 3.3.1: 3.3×).
+pub const DECOMPRESSIONS_PER_COMPRESSION: f64 = 3.3;
+
+/// Relative software cost-per-byte observations (Section 3.3.4).
+pub mod costs {
+    /// ZStd low-level compression costs 1.55× Snappy compression per byte.
+    pub const ZSTD_LOW_OVER_SNAPPY_COMPRESS: f64 = 1.55;
+    /// ZStd high-level compression costs 2.39× ZStd low-level per byte.
+    pub const ZSTD_HIGH_OVER_LOW_COMPRESS: f64 = 2.39;
+    /// ZStd decompression costs 1.63× Snappy decompression per byte.
+    pub const ZSTD_OVER_SNAPPY_DECOMPRESS: f64 = 1.63;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn taxonomy_matches_paper() {
+        assert!(Algorithm::Zstd.is_heavyweight());
+        assert!(Algorithm::Flate.is_heavyweight());
+        assert!(Algorithm::Brotli.is_heavyweight());
+        assert!(!Algorithm::Snappy.is_heavyweight());
+        assert!(!Algorithm::Gipfeli.is_heavyweight());
+        assert!(!Algorithm::Lzo.is_heavyweight());
+    }
+
+    #[test]
+    fn twelve_algo_ops() {
+        let all = AlgoOp::all();
+        assert_eq!(all.len(), 12);
+        let unique: std::collections::HashSet<_> = all.iter().collect();
+        assert_eq!(unique.len(), 12);
+    }
+
+    #[test]
+    fn labels_match_figures() {
+        assert_eq!(AlgoOp::new(Algorithm::Snappy, Direction::Compress).label(), "C-Snappy");
+        assert_eq!(AlgoOp::new(Algorithm::Zstd, Direction::Decompress).label(), "D-ZSTD");
+        assert_eq!(format!("{}", AlgoOp::new(Algorithm::Lzo, Direction::Decompress)), "D-LZO");
+    }
+}

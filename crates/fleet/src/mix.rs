@@ -1,0 +1,195 @@
+//! Cycle and byte shares by algorithm/direction (Figure 1 legend and
+//! Figure 2a).
+//!
+//! Cycle shares are the final-time-slice percentages printed in Figure 1's
+//! legend. Byte shares (Figure 2a) are not tabulated in the paper, so they
+//! are derived here from the constraints the text states explicitly; the
+//! derivation is spelled out at [`uncompressed_byte_share`].
+
+use crate::{Algorithm, AlgoOp, Direction};
+
+/// Final-slice share of fleet (de)compression cycles for `op`, in percent
+/// (Figure 1 legend; sums to 100 across all twelve pairs).
+pub fn cycle_share_percent(op: AlgoOp) -> f64 {
+    use Algorithm::*;
+    match (op.algo, op.dir) {
+        (Snappy, Direction::Compress) => 19.5,
+        (Zstd, Direction::Compress) => 15.4,
+        (Flate, Direction::Compress) => 5.9,
+        (Brotli, Direction::Compress) => 3.3,
+        (Gipfeli, Direction::Compress) => 0.1,
+        (Lzo, Direction::Compress) => 0.0,
+        (Snappy, Direction::Decompress) => 20.3,
+        (Zstd, Direction::Decompress) => 25.8,
+        (Flate, Direction::Decompress) => 5.2,
+        (Brotli, Direction::Decompress) => 4.0,
+        (Gipfeli, Direction::Decompress) => 0.4,
+        (Lzo, Direction::Decompress) => 0.1,
+    }
+}
+
+/// Share of fleet-wide *uncompressed bytes* handled by `op`, in percent
+/// (Figure 2a), summing to 100 across all twelve pairs.
+///
+/// Derived from the paper's stated constraints:
+///
+/// 1. each compressed byte is decompressed 3.3× on average (Section 3.3.1),
+///    so decompression handles 3.3/(1+3.3) ≈ 76.7% of uncompressed bytes;
+/// 2. lightweight algorithms handle 64% of compressed bytes and heavyweight
+///    36% (Sections 3.3.1/3.8);
+/// 3. heavyweight algorithms produce 49% of decompressed bytes
+///    (Section 3.3.1);
+/// 4. within each weight class, bytes are apportioned by the class's cycle
+///    mix (ZStd dominates heavyweight, Snappy dominates lightweight).
+pub fn uncompressed_byte_share(op: AlgoOp) -> f64 {
+    use Algorithm::*;
+    let comp_total = 100.0 / (1.0 + crate::DECOMPRESSIONS_PER_COMPRESSION); // ~23.3%
+    let deco_total = 100.0 - comp_total; // ~76.7%
+    match op.dir {
+        Direction::Compress => {
+            let light = 0.64 * comp_total;
+            let heavy = 0.36 * comp_total;
+            match op.algo {
+                Snappy => 0.97 * light,
+                Gipfeli => 0.02 * light,
+                Lzo => 0.01 * light,
+                Zstd => 0.68 * heavy,
+                Flate => 0.22 * heavy,
+                Brotli => 0.10 * heavy,
+            }
+        }
+        Direction::Decompress => {
+            let light = 0.51 * deco_total;
+            let heavy = 0.49 * deco_total;
+            match op.algo {
+                Snappy => 0.96 * light,
+                Gipfeli => 0.03 * light,
+                Lzo => 0.01 * light,
+                Zstd => 0.72 * heavy,
+                Flate => 0.18 * heavy,
+                Brotli => 0.10 * heavy,
+            }
+        }
+    }
+}
+
+/// Restricts a share function to the four instrumented algorithms
+/// (Snappy, ZStd, Flate, Brotli — Section 3.1.2) and renormalizes to 100.
+pub fn instrumented_share(op: AlgoOp, share: impl Fn(AlgoOp) -> f64) -> Option<f64> {
+    use Algorithm::*;
+    if !matches!(op.algo, Snappy | Zstd | Flate | Brotli) {
+        return None;
+    }
+    let total: f64 = AlgoOp::all()
+        .into_iter()
+        .filter(|o| matches!(o.algo, Snappy | Zstd | Flate | Brotli))
+        .map(&share)
+        .sum();
+    Some(share(op) / total * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_shares_sum_to_100() {
+        let total: f64 = AlgoOp::all().into_iter().map(cycle_share_percent).sum();
+        assert!((total - 100.0).abs() < 1e-9, "total {total}");
+    }
+
+    #[test]
+    fn byte_shares_sum_to_100() {
+        let total: f64 = AlgoOp::all().into_iter().map(uncompressed_byte_share).sum();
+        assert!((total - 100.0).abs() < 1e-6, "total {total}");
+    }
+
+    #[test]
+    fn decompression_cycle_majority() {
+        // Section 3.2: 56% of (de)compression cycles are decompression.
+        let deco: f64 = AlgoOp::all()
+            .into_iter()
+            .filter(|o| o.dir == Direction::Decompress)
+            .map(cycle_share_percent)
+            .sum();
+        assert!((deco - 55.8).abs() < 0.5, "decompress share {deco}");
+    }
+
+    #[test]
+    fn heavyweight_compression_cycles_majority() {
+        // Section 3.3.1: 56% of compression cycles are heavyweight.
+        let comp: Vec<AlgoOp> = AlgoOp::all()
+            .into_iter()
+            .filter(|o| o.dir == Direction::Compress)
+            .collect();
+        let total: f64 = comp.iter().map(|&o| cycle_share_percent(o)).sum();
+        let heavy: f64 = comp
+            .iter()
+            .filter(|o| o.algo.is_heavyweight())
+            .map(|&o| cycle_share_percent(o))
+            .sum();
+        let frac = heavy / total;
+        assert!((frac - 0.556).abs() < 0.01, "heavyweight comp cycles {frac}");
+    }
+
+    #[test]
+    fn lightweight_compression_bytes_majority() {
+        // Section 3.8(1a): lightweight handles 64% of compressed bytes.
+        let comp: Vec<AlgoOp> = AlgoOp::all()
+            .into_iter()
+            .filter(|o| o.dir == Direction::Compress)
+            .collect();
+        let total: f64 = comp.iter().map(|&o| uncompressed_byte_share(o)).sum();
+        let light: f64 = comp
+            .iter()
+            .filter(|o| !o.algo.is_heavyweight())
+            .map(|&o| uncompressed_byte_share(o))
+            .sum();
+        assert!((light / total - 0.64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn heavyweight_decompression_bytes_near_half() {
+        // Section 3.3.1: heavyweight produces 49% of uncompressed bytes in
+        // decompression.
+        let deco: Vec<AlgoOp> = AlgoOp::all()
+            .into_iter()
+            .filter(|o| o.dir == Direction::Decompress)
+            .collect();
+        let total: f64 = deco.iter().map(|&o| uncompressed_byte_share(o)).sum();
+        let heavy: f64 = deco
+            .iter()
+            .filter(|o| o.algo.is_heavyweight())
+            .map(|&o| uncompressed_byte_share(o))
+            .sum();
+        assert!((heavy / total - 0.49).abs() < 1e-9);
+    }
+
+    #[test]
+    fn decompressed_to_compressed_byte_ratio() {
+        let by_dir = |d: Direction| -> f64 {
+            AlgoOp::all()
+                .into_iter()
+                .filter(|o| o.dir == d)
+                .map(uncompressed_byte_share)
+                .sum()
+        };
+        let ratio = by_dir(Direction::Decompress) / by_dir(Direction::Compress);
+        assert!((ratio - crate::DECOMPRESSIONS_PER_COMPRESSION).abs() < 1e-9);
+    }
+
+    #[test]
+    fn instrumented_restriction() {
+        use crate::Algorithm::*;
+        assert!(instrumented_share(
+            AlgoOp::new(Gipfeli, Direction::Compress),
+            cycle_share_percent
+        )
+        .is_none());
+        let total: f64 = AlgoOp::all()
+            .into_iter()
+            .filter_map(|o| instrumented_share(o, cycle_share_percent))
+            .sum();
+        assert!((total - 100.0).abs() < 1e-6, "8 instrumented ops renormalize to 100: {total}");
+    }
+}

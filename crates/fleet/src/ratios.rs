@@ -1,0 +1,110 @@
+//! Fleet-aggregate compression ratios by algorithm/level bin (Figure 2c).
+//!
+//! Figure 2c reports total-uncompressed / total-compressed per bin. The
+//! paper's text pins the relations: ZStd at low levels achieves 1.46× the
+//! ratio of Snappy; ZStd at high levels a further 1.35× over low; every
+//! algorithm exceeds 2×; Flate sits with the heavyweights; Brotli
+//! under-performs its class because fleet usage is at low levels.
+
+/// The Figure 2c bins, in plot order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RatioBin {
+    /// Flate, all levels.
+    FlateAll,
+    /// ZStd, levels 4..=22.
+    ZstdHigh,
+    /// ZStd, levels ≤ 3.
+    ZstdLow,
+    /// Snappy (no levels).
+    Snappy,
+    /// Brotli, all levels (fleet usage is low-level).
+    BrotliAll,
+}
+
+impl RatioBin {
+    /// All bins in the figure's x-axis order.
+    pub const ALL: [RatioBin; 5] = [
+        RatioBin::FlateAll,
+        RatioBin::ZstdHigh,
+        RatioBin::ZstdLow,
+        RatioBin::Snappy,
+        RatioBin::BrotliAll,
+    ];
+
+    /// Figure label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RatioBin::FlateAll => "Flate All",
+            RatioBin::ZstdHigh => "ZSTD [4,22]",
+            RatioBin::ZstdLow => "ZSTD [-inf,3]",
+            RatioBin::Snappy => "Snappy",
+            RatioBin::BrotliAll => "Brotli All",
+        }
+    }
+}
+
+/// Snappy's fleet-aggregate ratio (the anchor the relative factors build
+/// on; the figure's Snappy bar sits just above 2).
+const SNAPPY_RATIO: f64 = 2.1;
+
+/// Fleet-aggregate achieved compression ratio for a bin (Figure 2c).
+pub fn fleet_ratio(bin: RatioBin) -> f64 {
+    match bin {
+        RatioBin::Snappy => SNAPPY_RATIO,
+        // Section 3.3.3: ZStd low = 1.46× Snappy.
+        RatioBin::ZstdLow => SNAPPY_RATIO * 1.46,
+        // Section 3.3.3: ZStd high = 1.35× ZStd low.
+        RatioBin::ZstdHigh => SNAPPY_RATIO * 1.46 * 1.35,
+        // Flate clearly heavyweight, close to ZStd low (Figure 2c).
+        RatioBin::FlateAll => 3.0,
+        // Brotli under-performs its taxonomy class (low-level usage).
+        RatioBin::BrotliAll => 2.4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_bin_exceeds_two() {
+        // "no algorithm having an aggregate compression ratio less than 2".
+        for bin in RatioBin::ALL {
+            assert!(fleet_ratio(bin) >= 2.0, "{bin:?}");
+        }
+    }
+
+    #[test]
+    fn zstd_low_over_snappy_factor() {
+        let f = fleet_ratio(RatioBin::ZstdLow) / fleet_ratio(RatioBin::Snappy);
+        assert!((f - 1.46).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zstd_high_over_low_factor() {
+        let f = fleet_ratio(RatioBin::ZstdHigh) / fleet_ratio(RatioBin::ZstdLow);
+        assert!((f - 1.35).abs() < 1e-9);
+    }
+
+    #[test]
+    fn heavyweights_beat_snappy_even_at_low_levels() {
+        // Section 3.3.3: "ZStd and Flate ... exceeding Snappy's compression
+        // ratio even at the lowest compression levels."
+        assert!(fleet_ratio(RatioBin::ZstdLow) > fleet_ratio(RatioBin::Snappy));
+        assert!(fleet_ratio(RatioBin::FlateAll) > fleet_ratio(RatioBin::Snappy));
+    }
+
+    #[test]
+    fn brotli_breaks_taxonomy() {
+        // Brotli results "do not align with our taxonomy" — below ZStd low.
+        assert!(fleet_ratio(RatioBin::BrotliAll) < fleet_ratio(RatioBin::ZstdLow));
+    }
+
+    #[test]
+    fn combined_headroom_factor() {
+        // Section 3.8(1c): 1.35–1.97× ratio headroom; the full jump from
+        // Snappy to ZStd-high is 1.46 × 1.35 ≈ 1.97.
+        let f = fleet_ratio(RatioBin::ZstdHigh) / fleet_ratio(RatioBin::Snappy);
+        assert!((f - 1.971).abs() < 0.01, "headroom {f}");
+    }
+}

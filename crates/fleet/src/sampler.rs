@@ -1,0 +1,175 @@
+//! The synthetic GWP: samples (de)compression call records whose aggregate
+//! statistics reproduce the fleet distributions.
+//!
+//! Google-Wide Profiling (Section 3.1) randomly samples servers and
+//! records, per (de)compression call, the algorithm, direction, sizes,
+//! level and window. [`FleetSampler`] is the synthetic equivalent: draws
+//! are *byte-weighted* (matching the figures' y-axes), so aggregating
+//! sampled records into byte-weighted histograms converges on the encoded
+//! ground-truth distributions — which the tests verify, closing the loop on
+//! the paper's methodology.
+
+use crate::{callers, callsizes, levels, mix, windows, Algorithm, AlgoOp, CallRecord};
+use cdpu_util::hist::Categorical;
+use cdpu_util::rng::Xoshiro256;
+
+/// Samples synthetic fleet call records.
+#[derive(Debug)]
+pub struct FleetSampler {
+    rng: Xoshiro256,
+    op_dist: Categorical,
+    ops: Vec<AlgoOp>,
+    caller_dist: Categorical,
+    caller_names: Vec<&'static str>,
+    level_dist: Categorical,
+    level_values: Vec<i32>,
+}
+
+impl FleetSampler {
+    /// Creates a sampler seeded deterministically.
+    pub fn new(seed: u64) -> Self {
+        // Restrict to the four instrumented pairs (Section 3.1.2), weighted
+        // by uncompressed-byte share so call draws are byte-representative.
+        let ops = callsizes::instrumented_ops().to_vec();
+        let op_weights: Vec<f64> = ops
+            .iter()
+            .map(|&op| mix::uncompressed_byte_share(op))
+            .collect();
+        let caller_shares = callers::caller_shares();
+        let caller_names: Vec<&'static str> = caller_shares.iter().map(|c| c.name).collect();
+        let caller_weights: Vec<f64> = caller_shares.iter().map(|c| c.percent).collect();
+        let lw = levels::level_weights();
+        FleetSampler {
+            rng: Xoshiro256::seed_from(seed),
+            op_dist: Categorical::new(&op_weights).expect("op weights"),
+            ops,
+            caller_dist: Categorical::new(&caller_weights).expect("caller weights"),
+            caller_names,
+            level_dist: Categorical::new(&lw.iter().map(|&(_, w)| w).collect::<Vec<_>>())
+                .expect("level weights"),
+            level_values: lw.iter().map(|&(l, _)| l).collect(),
+        }
+    }
+
+    /// Draws one call record.
+    pub fn sample_call(&mut self) -> CallRecord {
+        let op = self.ops[self.op_dist.sample(&mut self.rng)];
+        self.sample_call_for(op)
+    }
+
+    /// Draws one call record for a fixed algorithm/direction (used when
+    /// building per-suite benchmarks).
+    pub fn sample_call_for(&mut self, op: AlgoOp) -> CallRecord {
+        let size = callsizes::call_size_cdf(op).sample(&mut self.rng) as u64;
+        let (level, window_log) = if op.algo == Algorithm::Zstd {
+            let level = self.level_values[self.level_dist.sample(&mut self.rng)];
+            let wlog = windows::sample_window_log(op.dir, &mut self.rng);
+            (Some(level), Some(wlog))
+        } else {
+            (None, None)
+        };
+        CallRecord {
+            op,
+            uncompressed_bytes: size.clamp(callsizes::MIN_CALL, callsizes::MAX_CALL),
+            level,
+            window_log,
+            caller: self.caller_names[self.caller_dist.sample(&mut self.rng)],
+        }
+    }
+
+    /// Draws `n` records.
+    pub fn sample_calls(&mut self, n: usize) -> Vec<CallRecord> {
+        (0..n).map(|_| self.sample_call()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Direction;
+    use cdpu_util::hist::Log2Histogram;
+
+    #[test]
+    fn deterministic() {
+        let a = FleetSampler::new(7).sample_calls(50);
+        let b = FleetSampler::new(7).sample_calls(50);
+        assert_eq!(a, b);
+        let c = FleetSampler::new(8).sample_calls(50);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn record_invariants() {
+        let mut s = FleetSampler::new(1);
+        for r in s.sample_calls(3000) {
+            assert!(r.uncompressed_bytes >= callsizes::MIN_CALL);
+            assert!(r.uncompressed_bytes <= callsizes::MAX_CALL);
+            match r.op.algo {
+                Algorithm::Zstd => {
+                    assert!(r.level.is_some() && r.window_log.is_some());
+                    let l = r.level.unwrap();
+                    assert!((-5..=22).contains(&l));
+                    let w = r.window_log.unwrap();
+                    assert!((windows::MIN_WINDOW_LOG..=windows::MAX_WINDOW_LOG).contains(&w));
+                }
+                _ => assert!(r.level.is_none() && r.window_log.is_none()),
+            }
+        }
+    }
+
+    #[test]
+    fn sampled_call_sizes_match_fleet_cdf() {
+        // The loop-closing test: aggregate sampled records back into the
+        // byte-weighted call-size histogram and compare with the encoded
+        // fleet CDF, per algorithm/direction.
+        let mut s = FleetSampler::new(42);
+        for op in callsizes::instrumented_ops() {
+            let mut hist = Log2Histogram::new();
+            for _ in 0..6000 {
+                let r = s.sample_call_for(op);
+                // The CDF is already byte-weighted, so each draw represents
+                // an equal slice of fleet bytes: record unit weight.
+                hist.record(r.uncompressed_bytes, 1.0);
+            }
+            let cdf = callsizes::call_size_cdf(op);
+            // Spot-check probe sizes: the sampled cumulative tracks the
+            // encoded fleet curve.
+            for probe_log in [15u32, 17, 20, 23] {
+                let sampled = hist.cumulative_at(probe_log) / 100.0;
+                let expect = cdf.eval((1u64 << probe_log) as f64);
+                assert!(
+                    (sampled - expect).abs() < 0.08,
+                    "{op} at 2^{probe_log}: sampled {sampled:.3} vs fleet {expect:.3}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sampled_levels_match_distribution() {
+        let mut s = FleetSampler::new(9);
+        let op = AlgoOp::new(Algorithm::Zstd, Direction::Compress);
+        let n = 40_000;
+        let mut le3 = 0usize;
+        for _ in 0..n {
+            if s.sample_call_for(op).level.unwrap() <= 3 {
+                le3 += 1;
+            }
+        }
+        let frac = le3 as f64 / n as f64;
+        assert!((frac - levels::cumulative_at(3)).abs() < 0.01, "≤3 {frac}");
+    }
+
+    #[test]
+    fn sampled_callers_match_shares() {
+        let mut s = FleetSampler::new(10);
+        let n = 50_000;
+        let rpc = s
+            .sample_calls(n)
+            .into_iter()
+            .filter(|r| r.caller == "RPC")
+            .count() as f64
+            / n as f64;
+        assert!((rpc - 0.139).abs() < 0.01, "RPC share {rpc}");
+    }
+}

@@ -1,0 +1,109 @@
+//! Per-service (de)compression concentration (Section 3.2).
+//!
+//! The paper reports that sixteen services constitute about half of all
+//! fleet-wide Snappy/ZStd (de)compression cycles; of these, one spends
+//! nearly 50% of its own cycles on (de)compression, another over 35%, and
+//! eight more spend 10–25% each. This module encodes a synthetic service
+//! catalog satisfying those statistics — the demand side of the TCO
+//! argument for CDPUs.
+
+/// One synthetic service.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Service {
+    /// Anonymized name.
+    pub name: &'static str,
+    /// Fraction of fleet-wide Snappy+ZStd (de)compression cycles this
+    /// service accounts for (sums < 1 across the catalog; the rest is the
+    /// long tail).
+    pub share_of_fleet_codec_cycles: f64,
+    /// Fraction of this service's *own* CPU cycles spent (de)compressing.
+    pub own_cycles_in_codec: f64,
+}
+
+/// The sixteen headline services (Section 3.2).
+pub fn service_catalog() -> Vec<Service> {
+    vec![
+        Service { name: "svc-storage-a", share_of_fleet_codec_cycles: 0.075, own_cycles_in_codec: 0.497 },
+        Service { name: "svc-bigtable-b", share_of_fleet_codec_cycles: 0.065, own_cycles_in_codec: 0.36 },
+        Service { name: "svc-logs-c", share_of_fleet_codec_cycles: 0.050, own_cycles_in_codec: 0.24 },
+        Service { name: "svc-analytics-d", share_of_fleet_codec_cycles: 0.045, own_cycles_in_codec: 0.22 },
+        Service { name: "svc-index-e", share_of_fleet_codec_cycles: 0.040, own_cycles_in_codec: 0.19 },
+        Service { name: "svc-cache-f", share_of_fleet_codec_cycles: 0.035, own_cycles_in_codec: 0.17 },
+        Service { name: "svc-mail-g", share_of_fleet_codec_cycles: 0.030, own_cycles_in_codec: 0.15 },
+        Service { name: "svc-photos-h", share_of_fleet_codec_cycles: 0.028, own_cycles_in_codec: 0.13 },
+        Service { name: "svc-video-i", share_of_fleet_codec_cycles: 0.026, own_cycles_in_codec: 0.12 },
+        Service { name: "svc-ads-j", share_of_fleet_codec_cycles: 0.024, own_cycles_in_codec: 0.105 },
+        Service { name: "svc-maps-k", share_of_fleet_codec_cycles: 0.022, own_cycles_in_codec: 0.09 },
+        Service { name: "svc-docs-l", share_of_fleet_codec_cycles: 0.020, own_cycles_in_codec: 0.08 },
+        Service { name: "svc-translate-m", share_of_fleet_codec_cycles: 0.018, own_cycles_in_codec: 0.07 },
+        Service { name: "svc-assistant-n", share_of_fleet_codec_cycles: 0.012, own_cycles_in_codec: 0.06 },
+        Service { name: "svc-news-o", share_of_fleet_codec_cycles: 0.006, own_cycles_in_codec: 0.05 },
+        Service { name: "svc-books-p", share_of_fleet_codec_cycles: 0.004, own_cycles_in_codec: 0.04 },
+    ]
+}
+
+/// Combined share of fleet Snappy/ZStd cycles covered by the catalog
+/// ("around half" per Section 3.2).
+pub fn catalog_coverage() -> f64 {
+    service_catalog()
+        .iter()
+        .map(|s| s.share_of_fleet_codec_cycles)
+        .sum()
+}
+
+/// Projected cycle increase for a service that moves `frac_on_snappy_c` of
+/// its cycles from Snappy compression to ZStd at the highest levels, using
+/// the cost factors of Section 3.3.4. The paper's example: a service with
+/// 25% of cycles on Snappy compression would grow its total cycles by 67%.
+pub fn projected_cycle_increase(frac_on_snappy_c: f64) -> f64 {
+    let factor = crate::costs::ZSTD_LOW_OVER_SNAPPY_COMPRESS
+        * crate::costs::ZSTD_HIGH_OVER_LOW_COMPRESS;
+    frac_on_snappy_c * (factor - 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sixteen_services() {
+        assert_eq!(service_catalog().len(), 16);
+    }
+
+    #[test]
+    fn coverage_around_half() {
+        let c = catalog_coverage();
+        assert!((0.45..=0.55).contains(&c), "coverage {c}");
+    }
+
+    #[test]
+    fn concentration_statistics() {
+        let cat = service_catalog();
+        // One near 50%.
+        assert!(cat.iter().any(|s| (0.45..0.50).contains(&s.own_cycles_in_codec)));
+        // Another over 35%.
+        assert!(cat.iter().any(|s| (0.35..0.45).contains(&s.own_cycles_in_codec)));
+        // Eight more between 10% and 25%.
+        let mid = cat
+            .iter()
+            .filter(|s| (0.10..=0.25).contains(&s.own_cycles_in_codec))
+            .count();
+        assert_eq!(mid, 8, "services in the 10-25% band");
+    }
+
+    #[test]
+    fn migration_example_matches_paper() {
+        // Section 3.3.4: 25% of cycles on Snappy compression -> +67% if
+        // switched to the highest ZStd levels (1.55 × 2.39 ≈ 3.70×).
+        let inc = projected_cycle_increase(0.25);
+        assert!((inc - 0.676).abs() < 0.01, "increase {inc}");
+    }
+
+    #[test]
+    fn shares_descending() {
+        let cat = service_catalog();
+        for w in cat.windows(2) {
+            assert!(w[0].share_of_fleet_codec_cycles >= w[1].share_of_fleet_codec_cycles);
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! The eight-year algorithm-adoption timeline (Figure 1).
+//!
+//! Figure 1 plots, per month over eight years, the share of fleet
+//! (de)compression cycles by algorithm, self-normalized to each time slice.
+//! The paper highlights one dynamic in the text (Section 3.4): ZStd went
+//! from 0% to 10% of fleet (de)compression cycles within roughly a year of
+//! introduction, and reaches the Figure 1 legend's final shares (41.2%
+//! combined C+D) by the last slice.
+//!
+//! The model: each algorithm follows a logistic adoption/decline curve
+//! chosen so that (a) the final slice equals the legend exactly, (b) ZStd's
+//! 0 → 10% ramp takes ~12 months, (c) Flate/Gipfeli/LZO decline from early
+//! dominance, mirroring the figure's visual structure.
+
+use crate::{mix, Algorithm, AlgoOp};
+
+/// Number of monthly slices (8 years).
+pub const MONTHS: usize = 96;
+
+/// The month ZStd first appears in the fleet (~year 5, matching the
+/// figure's visible inflection).
+pub const ZSTD_INTRO_MONTH: usize = 48;
+
+/// Label for slice `m`, in the figure's `Y<N>-<MM>` style.
+pub fn month_label(m: usize) -> String {
+    format!("Y{}-{:02}", m / 12 + 1, m % 12 + 1)
+}
+
+fn logistic(x: f64) -> f64 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// Raw (unnormalized) cycle weight for `op` at month `m`.
+fn raw_weight(op: AlgoOp, m: usize) -> f64 {
+    let t = m as f64;
+    let final_share = mix::cycle_share_percent(op);
+    match op.algo {
+        Algorithm::Zstd => {
+            // Logistic ramp from the introduction month; ~10% of fleet
+            // cycles (C+D combined) one year in; final share at the end.
+            if m < ZSTD_INTRO_MONTH {
+                0.0
+            } else {
+                let since = t - ZSTD_INTRO_MONTH as f64;
+                // Saturating logistic scaled to the final share.
+                final_share * logistic((since - 20.0) / 5.0)
+            }
+        }
+        Algorithm::Snappy => {
+            // Grows early, then cedes share to ZStd late.
+            final_share * (1.1 - 0.1 * logistic((t - 70.0) / 10.0))
+        }
+        Algorithm::Flate => {
+            // Legacy: declining from early dominance.
+            final_share * (3.0 - 2.0 * logistic((t - 30.0) / 12.0))
+        }
+        Algorithm::Brotli => {
+            // Introduced mid-window, slow growth.
+            final_share * logistic((t - 40.0) / 10.0) * 1.06
+        }
+        Algorithm::Gipfeli | Algorithm::Lzo => {
+            // Residual legacy usage, decaying; keep a small floor so the
+            // final slice matches the legend.
+            let floor = final_share.max(0.02);
+            floor * (4.0 - 3.0 * logistic((t - 24.0) / 10.0))
+        }
+    }
+}
+
+/// The Figure 1 series: for each month, `(label, shares)` where `shares`
+/// are percentages per [`AlgoOp`] normalized to 100 within the month.
+pub fn monthly_shares() -> Vec<(String, Vec<(AlgoOp, f64)>)> {
+    (0..MONTHS)
+        .map(|m| {
+            let raw: Vec<(AlgoOp, f64)> = AlgoOp::all()
+                .into_iter()
+                .map(|op| (op, raw_weight(op, m)))
+                .collect();
+            let total: f64 = raw.iter().map(|(_, w)| w).sum();
+            let shares = raw
+                .into_iter()
+                .map(|(op, w)| (op, 100.0 * w / total))
+                .collect();
+            (month_label(m), shares)
+        })
+        .collect()
+}
+
+/// Combined C+D share for one algorithm at month `m` (percent of that
+/// month's (de)compression cycles).
+pub fn algo_share_at(algo: Algorithm, m: usize) -> f64 {
+    let months = monthly_shares();
+    months[m]
+        .1
+        .iter()
+        .filter(|(op, _)| op.algo == algo)
+        .map(|(_, s)| s)
+        .sum()
+}
+
+/// Months from ZStd introduction until its combined share first reaches
+/// `threshold` percent — the "0% → 10% in about a year" statement of
+/// Section 3.4.
+pub fn zstd_months_to_share(threshold: f64) -> Option<usize> {
+    (ZSTD_INTRO_MONTH..MONTHS)
+        .find(|&m| algo_share_at(Algorithm::Zstd, m) >= threshold)
+        .map(|m| m - ZSTD_INTRO_MONTH)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels() {
+        assert_eq!(month_label(0), "Y1-01");
+        assert_eq!(month_label(11), "Y1-12");
+        assert_eq!(month_label(95), "Y8-12");
+    }
+
+    #[test]
+    fn every_month_normalizes() {
+        for (label, shares) in monthly_shares() {
+            let total: f64 = shares.iter().map(|(_, s)| s).sum();
+            assert!((total - 100.0).abs() < 1e-9, "{label}: {total}");
+            for (op, s) in shares {
+                assert!(s >= 0.0, "{label} {op} negative");
+            }
+        }
+    }
+
+    #[test]
+    fn final_slice_close_to_legend() {
+        let months = monthly_shares();
+        let last = &months[MONTHS - 1].1;
+        for (op, s) in last {
+            let legend = mix::cycle_share_percent(*op);
+            assert!(
+                (s - legend).abs() < 2.0,
+                "{op}: timeline end {s:.1} vs legend {legend:.1}"
+            );
+        }
+    }
+
+    #[test]
+    fn zstd_absent_before_introduction() {
+        for m in 0..ZSTD_INTRO_MONTH {
+            assert_eq!(algo_share_at(Algorithm::Zstd, m), 0.0, "month {m}");
+        }
+    }
+
+    #[test]
+    fn zstd_ramp_takes_about_a_year() {
+        // Section 3.4: ~1 year from introduction to 10% of cycles.
+        let months = zstd_months_to_share(10.0).expect("zstd must reach 10%");
+        assert!(
+            (8..=18).contains(&months),
+            "zstd took {months} months to reach 10%"
+        );
+    }
+
+    #[test]
+    fn zstd_share_monotone_after_intro() {
+        let mut prev = 0.0;
+        for m in ZSTD_INTRO_MONTH..MONTHS {
+            let s = algo_share_at(Algorithm::Zstd, m);
+            assert!(s >= prev - 0.2, "zstd share dips at month {m}");
+            prev = s;
+        }
+    }
+
+    #[test]
+    fn flate_declines() {
+        let early = algo_share_at(Algorithm::Flate, 6);
+        let late = algo_share_at(Algorithm::Flate, MONTHS - 1);
+        assert!(early > late * 1.5, "flate early {early} late {late}");
+    }
+}

@@ -1,0 +1,155 @@
+//! ZStd window-size distributions (Figure 5).
+//!
+//! Window sizes are powers of two, so the model is a discrete distribution
+//! over `window_log`. Anchors from the paper (Section 3.6):
+//!
+//! - Compression: slightly over 50% of bytes use windows ≤ 32 KiB; the
+//!   75th percentile lies between 512 KiB and 1 MiB; tails reach 16 MiB.
+//! - Decompression: median window 1 MiB.
+//! - The IBM z15's fixed 32 KiB window "would not be able to handle 50% of
+//!   these compression calls".
+
+use crate::Direction;
+use cdpu_util::hist::Categorical;
+use cdpu_util::rng::Xoshiro256;
+
+/// Smallest window log modeled.
+pub const MIN_WINDOW_LOG: u32 = 10;
+/// Largest window log in the fleet (16 MiB tails → 2^24).
+pub const MAX_WINDOW_LOG: u32 = 24;
+
+/// Byte-weighted probability of `window_log` for ZStd calls in the given
+/// direction. Sums to 1 over `MIN_WINDOW_LOG..=MAX_WINDOW_LOG`.
+pub fn window_log_weight(dir: Direction, window_log: u32) -> f64 {
+    match dir {
+        Direction::Compress => match window_log {
+            10 => 0.02,
+            11 => 0.01,
+            12 => 0.05,
+            13 => 0.02,
+            14 => 0.08,
+            15 => 0.34, // 32 KiB spike: cumulative 0.52 here
+            16 => 0.05,
+            17 => 0.06,
+            18 => 0.04,
+            19 => 0.06, // cumulative 0.73 at 512 KiB
+            20 => 0.12, // 75th percentile inside (512 KiB, 1 MiB]
+            21 => 0.05,
+            22 => 0.05,
+            23 => 0.03,
+            24 => 0.02,
+            _ => 0.0,
+        },
+        Direction::Decompress => match window_log {
+            10 => 0.01,
+            11 => 0.01,
+            12 => 0.03,
+            13 => 0.03,
+            14 => 0.04,
+            15 => 0.10,
+            16 => 0.06,
+            17 => 0.07,
+            18 => 0.08,
+            19 => 0.06, // cumulative 0.49
+            20 => 0.14, // median at 1 MiB (cumulative 0.63)
+            21 => 0.14,
+            22 => 0.11,
+            23 => 0.07,
+            24 => 0.05,
+            _ => 0.0,
+        },
+    }
+}
+
+/// All `(window_log, weight)` pairs for a direction.
+pub fn window_weights(dir: Direction) -> Vec<(u32, f64)> {
+    (MIN_WINDOW_LOG..=MAX_WINDOW_LOG)
+        .map(|w| (w, window_log_weight(dir, w)))
+        .collect()
+}
+
+/// Cumulative byte fraction with window log ≤ `window_log`.
+pub fn cumulative_at(dir: Direction, window_log: u32) -> f64 {
+    (MIN_WINDOW_LOG..=window_log.min(MAX_WINDOW_LOG))
+        .map(|w| window_log_weight(dir, w))
+        .sum()
+}
+
+/// Samples a window log.
+pub fn sample_window_log(dir: Direction, rng: &mut Xoshiro256) -> u32 {
+    let weights: Vec<f64> = (MIN_WINDOW_LOG..=MAX_WINDOW_LOG)
+        .map(|w| window_log_weight(dir, w))
+        .collect();
+    let dist = Categorical::new(&weights).expect("weights are positive");
+    MIN_WINDOW_LOG + dist.sample(rng) as u32
+}
+
+/// Fraction of ZStd compression calls a fixed-window accelerator of
+/// `window_log` cannot serve natively (the z15 comparison in Section 3.6).
+pub fn fraction_beyond_window(dir: Direction, window_log: u32) -> f64 {
+    1.0 - cumulative_at(dir, window_log)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weights_sum_to_one() {
+        for dir in Direction::ALL {
+            let total: f64 = window_weights(dir).iter().map(|(_, w)| w).sum();
+            assert!((total - 1.0).abs() < 1e-9, "{dir:?}: {total}");
+        }
+    }
+
+    #[test]
+    fn compression_anchor_half_at_32k() {
+        // "slightly over 50% of bytes compressed by ZStd use a window size
+        // of 32 KiB or less".
+        let c = cumulative_at(Direction::Compress, 15);
+        assert!((0.50..0.56).contains(&c), "≤32 KiB cumulative {c}");
+    }
+
+    #[test]
+    fn compression_75th_percentile_between_512k_and_1m() {
+        let below = cumulative_at(Direction::Compress, 19);
+        let at = cumulative_at(Direction::Compress, 20);
+        assert!(below < 0.75 && at >= 0.75, "below {below}, at {at}");
+    }
+
+    #[test]
+    fn compression_tails_reach_16m() {
+        assert!(window_log_weight(Direction::Compress, 24) > 0.0);
+        assert_eq!(window_log_weight(Direction::Compress, 25), 0.0);
+    }
+
+    #[test]
+    fn decompression_median_at_1m() {
+        let below = cumulative_at(Direction::Decompress, 19);
+        let at = cumulative_at(Direction::Decompress, 20);
+        assert!(below < 0.5 && at >= 0.5, "below {below}, at {at}");
+    }
+
+    #[test]
+    fn z15_comparison() {
+        // A 32 KiB fixed-window accelerator misses ~half of compression
+        // calls (Section 3.6).
+        let missed = fraction_beyond_window(Direction::Compress, 15);
+        assert!((0.44..0.50).contains(&missed), "missed {missed}");
+    }
+
+    #[test]
+    fn sampling_matches_weights() {
+        let mut rng = Xoshiro256::seed_from(3);
+        let n = 60_000;
+        let mut at_15 = 0usize;
+        for _ in 0..n {
+            if sample_window_log(Direction::Compress, &mut rng) <= 15 {
+                at_15 += 1;
+            }
+        }
+        let frac = at_15 as f64 / n as f64;
+        let expect = cumulative_at(Direction::Compress, 15);
+        assert!((frac - expect).abs() < 0.01, "sampled {frac} vs {expect}");
+    }
+}

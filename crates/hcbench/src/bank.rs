@@ -1,0 +1,276 @@
+//! The chunk bank: corpus chunks indexed by achieved compression ratio.
+//!
+//! Section 4: "The generator starts by breaking all files from the
+//! Silesia, Canterbury, Calgary, and SnappyFiles benchmarks into fixed-
+//! size chunks. Each chunk is individually run through all combinations of
+//! supported algorithms and parameters ... to obtain a compression ratio
+//! for that chunk for each algorithm/parameters pair. This data is stored
+//! in lookup tables indexed by the compression ratio."
+//!
+//! Here the corpus is the synthetic stand-in from `cdpu-corpus` and the
+//! combinations are Snappy plus a configurable set of ZStd levels.
+
+use cdpu_corpus::{generate, CorpusKind, ALL_KINDS};
+use cdpu_util::rng::Xoshiro256;
+
+/// An algorithm/parameter combination the bank indexes ratios for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Combo {
+    /// Snappy (no parameters).
+    Snappy,
+    /// ZStd at a specific level.
+    Zstd {
+        /// The compression level.
+        level: i32,
+    },
+}
+
+/// Bank construction parameters.
+#[derive(Debug, Clone)]
+pub struct BankConfig {
+    /// Chunk size in bytes (the paper's "fixed-size chunks").
+    pub chunk_size: usize,
+    /// Bytes of corpus generated per [`CorpusKind`].
+    pub per_kind_bytes: usize,
+    /// ZStd levels to pre-compress at.
+    pub zstd_levels: Vec<i32>,
+    /// Seed for corpus generation and chunk shuffling.
+    pub seed: u64,
+}
+
+impl Default for BankConfig {
+    fn default() -> Self {
+        BankConfig {
+            chunk_size: 4096,
+            per_kind_bytes: 512 * 1024,
+            zstd_levels: vec![-5, -1, 1, 3, 5, 9, 12, 19],
+            seed: 0x42414e4b,
+        }
+    }
+}
+
+/// The chunk bank.
+#[derive(Debug, Clone)]
+pub struct ChunkBank {
+    chunks: Vec<Vec<u8>>,
+    /// Per combo: `(ratio, chunk_index)` sorted ascending by ratio — the
+    /// paper's "lookup tables indexed by the compression ratio".
+    tables: std::collections::HashMap<Combo, Vec<(f64, u32)>>,
+    zstd_levels: Vec<i32>,
+}
+
+impl ChunkBank {
+    /// Builds the bank: generate corpora, chunk, compress every chunk under
+    /// every combination, index by ratio.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_size < 256` or no ZStd levels are configured.
+    pub fn build(cfg: &BankConfig) -> Self {
+        assert!(cfg.chunk_size >= 256, "chunks must be meaningfully sized");
+        assert!(!cfg.zstd_levels.is_empty(), "need at least one zstd level");
+        let mut rng = Xoshiro256::seed_from(cfg.seed);
+        let mut chunks: Vec<Vec<u8>> = Vec::new();
+        for kind in ALL_KINDS {
+            let data = generate(kind, cfg.per_kind_bytes, cfg.seed ^ kind_seed(kind));
+            for chunk in data.chunks(cfg.chunk_size) {
+                if chunk.len() == cfg.chunk_size {
+                    chunks.push(chunk.to_vec());
+                }
+            }
+        }
+        // The paper introduces random shuffles within the lookup table to
+        // avoid pathological orderings; shuffling the chunk list gives ties
+        // (equal ratios) a randomized order in the sorted tables.
+        rng.shuffle(&mut chunks);
+
+        let mut tables = std::collections::HashMap::new();
+        let mut combos = vec![Combo::Snappy];
+        combos.extend(cfg.zstd_levels.iter().map(|&level| Combo::Zstd { level }));
+        for combo in combos {
+            let mut entries: Vec<(f64, u32)> = chunks
+                .iter()
+                .enumerate()
+                .map(|(i, c)| (chunk_ratio(c, combo), i as u32))
+                .collect();
+            entries.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("ratios are finite"));
+            tables.insert(combo, entries);
+        }
+        ChunkBank {
+            chunks,
+            tables,
+            zstd_levels: cfg.zstd_levels.clone(),
+        }
+    }
+
+    /// Number of chunks in the bank.
+    pub fn len(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// True if the bank holds no chunks.
+    pub fn is_empty(&self) -> bool {
+        self.chunks.is_empty()
+    }
+
+    /// The bank's pre-compressed ZStd level closest to `level` (suite
+    /// generation samples fleet levels finer than the bank precomputes).
+    pub fn nearest_bank_level(&self, level: i32) -> i32 {
+        *self
+            .zstd_levels
+            .iter()
+            .min_by_key(|&&l| (l - level).abs())
+            .expect("non-empty levels")
+    }
+
+    /// The ratio span `[min, max]` available for a combo.
+    pub fn ratio_range(&self, combo: Combo) -> (f64, f64) {
+        let t = &self.tables[&combo];
+        (t[0].0, t[t.len() - 1].0)
+    }
+
+    /// Picks a chunk whose ratio is near `target`, randomly among the
+    /// closest candidates (the anti-pathology jitter), skipping chunk
+    /// indices in `exclude` (re-using a chunk within one benchmark file
+    /// would let the window de-duplicate it wholesale and blow the achieved
+    /// ratio past its target). Returns `(chunk, ratio, chunk_index)`.
+    ///
+    /// If every candidate in reach is excluded, exclusion is ignored (tiny
+    /// banks assembling large files must repeat eventually).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the combo was not precomputed.
+    pub fn pick_near(
+        &self,
+        combo: Combo,
+        target: f64,
+        rng: &mut Xoshiro256,
+        exclude: &std::collections::HashSet<u32>,
+    ) -> (&[u8], f64, u32) {
+        let table = self
+            .tables
+            .get(&combo)
+            .unwrap_or_else(|| panic!("combo {combo:?} not in bank"));
+        let idx = table.partition_point(|&(r, _)| r < target);
+        // Window of up to 32 nearest entries around the insertion point.
+        let lo = idx.saturating_sub(16);
+        let hi = (idx + 16).min(table.len());
+        let candidates: Vec<(f64, u32)> = table[lo..hi]
+            .iter()
+            .copied()
+            .filter(|(_, i)| !exclude.contains(i))
+            .collect();
+        let (ratio, chunk_idx) = if candidates.is_empty() {
+            table[lo + rng.index(hi - lo)]
+        } else {
+            candidates[rng.index(candidates.len())]
+        };
+        (&self.chunks[chunk_idx as usize], ratio, chunk_idx)
+    }
+}
+
+fn kind_seed(kind: CorpusKind) -> u64 {
+    cdpu_util::rng::mix64(kind as u64 + 0x1000)
+}
+
+/// Measures one chunk's compression ratio under a combo, using the real
+/// codecs.
+pub fn chunk_ratio(chunk: &[u8], combo: Combo) -> f64 {
+    let compressed = match combo {
+        Combo::Snappy => cdpu_snappy::compress(chunk).len(),
+        Combo::Zstd { level } => {
+            cdpu_zstd::compress_with(chunk, &cdpu_zstd::ZstdConfig::with_level(level)).len()
+        }
+    };
+    chunk.len() as f64 / compressed as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg() -> BankConfig {
+        BankConfig {
+            chunk_size: 4096,
+            per_kind_bytes: 64 * 1024,
+            zstd_levels: vec![1, 3],
+            seed: 3,
+        }
+    }
+
+    #[test]
+    fn bank_builds_and_indexes() {
+        let bank = ChunkBank::build(&small_cfg());
+        assert_eq!(bank.len(), 7 * 16, "7 kinds × 16 chunks of 4 KiB each");
+        for combo in [Combo::Snappy, Combo::Zstd { level: 1 }, Combo::Zstd { level: 3 }] {
+            let (lo, hi) = bank.ratio_range(combo);
+            assert!(lo >= 0.5 && lo <= 1.1, "{combo:?} min ratio {lo}");
+            assert!(hi > 5.0, "{combo:?} max ratio {hi} — Runs chunks compress hard");
+        }
+    }
+
+    #[test]
+    fn tables_sorted() {
+        let bank = ChunkBank::build(&small_cfg());
+        for table in bank.tables.values() {
+            for w in table.windows(2) {
+                assert!(w[0].0 <= w[1].0);
+            }
+        }
+    }
+
+    #[test]
+    fn pick_near_returns_close_ratio() {
+        let bank = ChunkBank::build(&small_cfg());
+        let mut rng = Xoshiro256::seed_from(1);
+        let (lo, hi) = bank.ratio_range(Combo::Snappy);
+        for target in [1.0, 2.0, 3.0, 8.0] {
+            let (_, ratio, _) = bank.pick_near(Combo::Snappy, target, &mut rng, &Default::default());
+            // Within the bank's span, picks should be reasonably close to
+            // the target or pinned at the span edge.
+            if target >= lo && target <= hi {
+                assert!(
+                    (ratio / target).ln().abs() < 1.2,
+                    "target {target} got {ratio}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pick_near_extremes_clamp() {
+        let bank = ChunkBank::build(&small_cfg());
+        let mut rng = Xoshiro256::seed_from(2);
+        let (_, r, _) = bank.pick_near(Combo::Snappy, 0.01, &mut rng, &Default::default());
+        assert!(r > 0.0);
+        let (_, r, _) = bank.pick_near(Combo::Snappy, 1e9, &mut rng, &Default::default());
+        assert!(r.is_finite());
+    }
+
+    #[test]
+    fn nearest_level_snaps() {
+        let bank = ChunkBank::build(&small_cfg());
+        assert_eq!(bank.nearest_bank_level(1), 1);
+        assert_eq!(bank.nearest_bank_level(2), 1); // tie goes to first
+        assert_eq!(bank.nearest_bank_level(22), 3);
+        assert_eq!(bank.nearest_bank_level(-5), 1);
+    }
+
+    #[test]
+    fn zstd_level_changes_measured_ratio() {
+        let chunk = cdpu_corpus::generate(CorpusKind::MarkovText, 16 * 1024, 9);
+        let r1 = chunk_ratio(&chunk, Combo::Zstd { level: -5 });
+        let r19 = chunk_ratio(&chunk, Combo::Zstd { level: 19 });
+        assert!(r19 > r1, "level 19 {r19} must beat level -5 {r1}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn tiny_chunks_rejected() {
+        let _ = ChunkBank::build(&BankConfig {
+            chunk_size: 64,
+            ..small_cfg()
+        });
+    }
+}

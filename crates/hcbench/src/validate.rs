@@ -1,0 +1,160 @@
+//! Suite validation against the fleet distributions (Section 4.1,
+//! Figure 7).
+//!
+//! The paper validates HyperCompressBench by comparing the generated
+//! suites' call-size distributions with the fleet's (Figure 7 vs Figure 3)
+//! and reports achieved compression ratios within 5–10% of fleet ratios.
+//! [`validate_suite`] computes both checks and returns a structured
+//! report; the figure harness prints the same cumulative curves the paper
+//! plots.
+
+use crate::Suite;
+use cdpu_fleet::{callsizes, ratios, Algorithm};
+use cdpu_util::hist::Log2Histogram;
+
+/// Validation results for one suite.
+#[derive(Debug, Clone)]
+pub struct ValidationReport {
+    /// Suite label (e.g. `C-Snappy`).
+    pub label: String,
+    /// Maximum cumulative-distribution gap vs the fleet call-size CDF, in
+    /// percent points, evaluated over bins up to the suite's size cap.
+    pub callsize_cdf_gap: f64,
+    /// Aggregate ratio achieved by actually compressing the suite.
+    pub achieved_ratio: f64,
+    /// The fleet-aggregate ratio the suite targets.
+    pub fleet_ratio: f64,
+    /// `|achieved - fleet| / fleet`.
+    pub ratio_error: f64,
+}
+
+impl ValidationReport {
+    /// The paper's headline validation: ratios within 5–10% of the fleet
+    /// (we accept up to the given tolerance) and call-size curves that
+    /// track the fleet distribution.
+    pub fn passes(&self, ratio_tol: f64, cdf_gap_tol: f64) -> bool {
+        self.ratio_error <= ratio_tol && self.callsize_cdf_gap <= cdf_gap_tol
+    }
+}
+
+/// The fleet call-size CDF rendered as a `Log2Histogram`-comparable curve,
+/// truncated at `cap` bytes and renormalized (the scaled-down suites clip
+/// the large-call tail, exactly as the paper's 8–10k-file samples clip the
+/// rarest giant calls).
+pub fn fleet_histogram(op: cdpu_fleet::AlgoOp, cap: u64) -> Log2Histogram {
+    let cdf = callsizes::call_size_cdf(op);
+    let mut h = Log2Histogram::new();
+    let cap_bin = cdpu_util::ceil_log2(cap);
+    let total = cdf.eval(cap as f64);
+    let mut prev = 0.0;
+    for bin in 10..=cap_bin {
+        let x = (1u64 << bin) as f64;
+        let c = cdf.eval(x).min(total) / total;
+        let mass = c - prev;
+        if mass > 0.0 {
+            h.record(1u64 << bin, mass);
+        }
+        prev = c;
+    }
+    h
+}
+
+/// Validates one suite against the fleet model.
+pub fn validate_suite(suite: &Suite) -> ValidationReport {
+    let cap = suite
+        .files
+        .iter()
+        .map(|f| f.data.len() as u64)
+        .max()
+        .unwrap_or(1024);
+    let fleet = fleet_histogram(suite.op, cap);
+    let ours = suite.call_size_histogram();
+    let fleet_ratio = match suite.op.algo {
+        Algorithm::Snappy => ratios::fleet_ratio(ratios::RatioBin::Snappy),
+        Algorithm::Zstd => ratios::fleet_ratio(ratios::RatioBin::ZstdLow),
+        _ => unreachable!("validated suites are Snappy/ZStd only"),
+    };
+    let achieved = suite.aggregate_ratio();
+    ValidationReport {
+        label: suite.op.label(),
+        callsize_cdf_gap: ours.cdf_distance(&fleet),
+        achieved_ratio: achieved,
+        fleet_ratio,
+        ratio_error: (achieved - fleet_ratio).abs() / fleet_ratio,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bank::{BankConfig, ChunkBank};
+    use crate::{generate_suite, SuiteConfig};
+    use cdpu_fleet::{AlgoOp, Direction};
+
+    fn bank() -> ChunkBank {
+        ChunkBank::build(&BankConfig {
+            chunk_size: 4096,
+            per_kind_bytes: 192 * 1024,
+            zstd_levels: vec![-5, 1, 3, 9],
+            seed: 7,
+        })
+    }
+
+    #[test]
+    fn fleet_histogram_normalizes() {
+        for op in callsizes::instrumented_ops() {
+            let h = fleet_histogram(op, 1 << 20);
+            let total = h.total_weight();
+            assert!((total - 1.0).abs() < 1e-6, "{op}: {total}");
+        }
+    }
+
+    #[test]
+    fn generated_suites_validate() {
+        // The Figure 7 claim, scaled down: generated call-size CDFs track
+        // the fleet curves and achieved ratios land near fleet aggregates.
+        let bank = bank();
+        for op in [
+            AlgoOp::new(Algorithm::Snappy, Direction::Compress),
+            AlgoOp::new(Algorithm::Zstd, Direction::Compress),
+        ] {
+            let suite = generate_suite(
+                &bank,
+                &SuiteConfig {
+                    op,
+                    files: 120,
+                    max_call_bytes: 512 * 1024,
+                    seed: 11,
+                },
+            );
+            let report = validate_suite(&suite);
+            assert!(
+                report.callsize_cdf_gap < 15.0,
+                "{}: cdf gap {:.1} pp",
+                report.label,
+                report.callsize_cdf_gap
+            );
+            assert!(
+                report.ratio_error < 0.25,
+                "{}: achieved {:.2} vs fleet {:.2}",
+                report.label,
+                report.achieved_ratio,
+                report.fleet_ratio
+            );
+        }
+    }
+
+    #[test]
+    fn report_pass_logic() {
+        let r = ValidationReport {
+            label: "x".into(),
+            callsize_cdf_gap: 8.0,
+            achieved_ratio: 2.0,
+            fleet_ratio: 2.1,
+            ratio_error: 0.05,
+        };
+        assert!(r.passes(0.10, 10.0));
+        assert!(!r.passes(0.01, 10.0));
+        assert!(!r.passes(0.10, 5.0));
+    }
+}

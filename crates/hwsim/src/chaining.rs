@@ -1,0 +1,164 @@
+//! Accelerator chaining: (de)serialization + (de)compression as one
+//! data-access operation (Section 3.5.2).
+//!
+//! The paper envisions the CDPU invoked back-to-back with a protocol-
+//! buffer (de)serializer. The placement question then sharpens: if both
+//! accelerators sit near the core, the intermediate buffer lives in the
+//! shared L2 and the CPU sequences the two operations at cache latency;
+//! across PCIe, *each* stage pays the offload latency and the intermediate
+//! data crosses the link twice (or the file-format library's book-keeping
+//! forces a host round-trip between stages). This module models exactly
+//! that comparison — the quantitative form of Section 3.8's lesson 4(b).
+
+use crate::params::{CdpuParams, MemParams, Placement};
+use crate::profile::CallProfile;
+use crate::{decomp, SimResult};
+
+/// Throughput of the companion serializer block, bytes per cycle
+/// (protobuf-class field encoding; comparable to published accelerator
+/// work the paper cites, ref. \[43\]).
+pub const SERIALIZER_BPC: f64 = 8.0;
+
+/// Result of simulating a chained serialize→compress (write path) or
+/// decompress→deserialize (read path) operation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChainSim {
+    /// Total cycles for the chained operation.
+    pub cycles: u64,
+    /// Cycles a fused near-core chain would need (lower bound).
+    pub fused_cycles: u64,
+    /// Overhead factor of this placement vs the fused chain.
+    pub overhead: f64,
+}
+
+/// Simulates the *read path*: decompress a call, then deserialize its
+/// output, with the intermediate buffer's placement cost.
+///
+/// `profile` describes the compressed call; the deserializer consumes the
+/// uncompressed bytes.
+pub fn read_path(profile: &CallProfile, p: &CdpuParams, mem: &MemParams) -> ChainSim {
+    let decompress = decomp::snappy_decompress(profile, p, mem);
+    let deser_cycles = (profile.uncompressed as f64 / SERIALIZER_BPC).ceil() as u64;
+
+    // Intermediate hand-off: near-core, the uncompressed buffer sits in L2
+    // and the deserializer streams it at bus speed. Across PCIe, the
+    // intermediate crosses the link out and back (DDIO cannot chain two
+    // devices without a host bounce); on a chiplet it crosses the package
+    // link once each way at much lower cost.
+    let hop = p.placement.io_injection_cycles(mem.freq_ghz);
+    let intermediate = match p.placement {
+        Placement::Rocc => mem.stream_cycles(profile.uncompressed, 0),
+        Placement::Chiplet => 2 * mem.stream_cycles(profile.uncompressed, hop),
+        Placement::PcieLocalCache | Placement::PcieNoCache => {
+            2 * mem.stream_cycles(profile.uncompressed, hop) + 2 * hop
+        }
+    };
+
+    let cycles = decompress.cycles + intermediate + deser_cycles + decomp::DISPATCH_CYCLES;
+    let fused = fused_read_path(profile, mem);
+    ChainSim {
+        cycles,
+        fused_cycles: fused,
+        overhead: cycles as f64 / fused as f64,
+    }
+}
+
+/// The fused lower bound: decompressor feeds the deserializer through the
+/// L2 with a single dispatch.
+fn fused_read_path(profile: &CallProfile, mem: &MemParams) -> u64 {
+    let p = CdpuParams::full_size(Placement::Rocc);
+    let d = decomp::snappy_decompress(profile, &p, mem);
+    let deser = (profile.uncompressed as f64 / SERIALIZER_BPC).ceil() as u64;
+    // Pipelined: bounded by the slower stage, one dispatch.
+    d.cycles.max(deser) + decomp::DISPATCH_CYCLES
+}
+
+/// Convenience: the end-to-end GB/s of the chained read path.
+pub fn read_path_gbps(profile: &CallProfile, p: &CdpuParams, mem: &MemParams) -> f64 {
+    let sim = read_path(profile, p, mem);
+    SimResult {
+        cycles: sim.cycles,
+        input_bytes: profile.compressed,
+        output_bytes: profile.uncompressed,
+        freq_ghz: mem.freq_ghz,
+    }
+    .output_gbps()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::profile_snappy;
+    use cdpu_util::rng::Xoshiro256;
+
+    fn profile(len: usize) -> CallProfile {
+        let mut rng = Xoshiro256::seed_from(12);
+        let mut data = Vec::new();
+        while data.len() < len {
+            data.extend_from_slice(
+                format!("field{}={};", rng.index(40), rng.index(100_000)).as_bytes(),
+            );
+        }
+        data.truncate(len);
+        profile_snappy(&data)
+    }
+
+    #[test]
+    fn near_core_chain_is_cheap() {
+        let prof = profile(128 * 1024);
+        let mem = MemParams::default();
+        let rocc = read_path(&prof, &CdpuParams::full_size(Placement::Rocc), &mem);
+        // Near-core chaining costs less than 2x the fused ideal.
+        assert!(rocc.overhead < 2.0, "rocc overhead {}", rocc.overhead);
+    }
+
+    #[test]
+    fn pcie_chain_pays_multiple_times() {
+        // Section 3.5.2: "the operation would incur substantial offload
+        // overhead multiple times, making the use of each accelerator less
+        // attractive."
+        let prof = profile(128 * 1024);
+        let mem = MemParams::default();
+        let rocc = read_path(&prof, &CdpuParams::full_size(Placement::Rocc), &mem);
+        let pcie = read_path(&prof, &CdpuParams::full_size(Placement::PcieNoCache), &mem);
+        assert!(
+            pcie.cycles as f64 > rocc.cycles as f64 * 3.0,
+            "pcie {} vs rocc {}",
+            pcie.cycles,
+            rocc.cycles
+        );
+    }
+
+    #[test]
+    fn chiplet_sits_between() {
+        let prof = profile(128 * 1024);
+        let mem = MemParams::default();
+        let rocc = read_path(&prof, &CdpuParams::full_size(Placement::Rocc), &mem).cycles;
+        let chiplet = read_path(&prof, &CdpuParams::full_size(Placement::Chiplet), &mem).cycles;
+        let pcie = read_path(&prof, &CdpuParams::full_size(Placement::PcieNoCache), &mem).cycles;
+        assert!(rocc <= chiplet && chiplet < pcie);
+    }
+
+    #[test]
+    fn small_calls_amplify_the_gap() {
+        // Fixed offload latency dominates small calls: the PCIe/RoCC gap
+        // must widen as calls shrink.
+        let mem = MemParams::default();
+        let gap = |len: usize| {
+            let prof = profile(len);
+            let rocc = read_path(&prof, &CdpuParams::full_size(Placement::Rocc), &mem).cycles;
+            let pcie =
+                read_path(&prof, &CdpuParams::full_size(Placement::PcieNoCache), &mem).cycles;
+            pcie as f64 / rocc as f64
+        };
+        assert!(gap(8 * 1024) > gap(512 * 1024) * 0.9);
+    }
+
+    #[test]
+    fn throughput_reporting() {
+        let prof = profile(64 * 1024);
+        let mem = MemParams::default();
+        let g = read_path_gbps(&prof, &CdpuParams::full_size(Placement::Rocc), &mem);
+        assert!(g > 1.0, "{g}");
+    }
+}

@@ -1,0 +1,292 @@
+//! CDPU configuration parameters and the memory-system model.
+//!
+//! The parameter set mirrors Section 5.8 of the paper one-for-one:
+//! placement, algorithm support, history window size (LZ77 decoder and
+//! encoder), hash-table entries/associativity/contents/function, Huffman
+//! speculation count, statistics-collection width, and FSE table accuracy.
+//! [`MemParams`] models the SoC side: a 256-bit TileLink system bus into a
+//! shared L2/LLC (Figure 8), with placement-dependent latency injection
+//! exactly as the paper's four placement options specify.
+
+/// Where the CDPU sits in the system (Section 5.8, parameter 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Placement {
+    /// Near-core RoCC / on-NoC; no latency injection.
+    #[default]
+    Rocc,
+    /// Same-package chiplet; 25 ns injected per request.
+    Chiplet,
+    /// PCIe + DDIO with on-card SRAM cache and DRAM: 200 ns injected for
+    /// raw input and final output only; intermediate accesses are local.
+    PcieLocalCache,
+    /// PCIe + DDIO with no on-card memory: 200 ns injected on every
+    /// request.
+    PcieNoCache,
+}
+
+impl Placement {
+    /// All placements in the figures' series order.
+    pub const ALL: [Placement; 4] = [
+        Placement::Rocc,
+        Placement::Chiplet,
+        Placement::PcieLocalCache,
+        Placement::PcieNoCache,
+    ];
+
+    /// Figure label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Placement::Rocc => "RoCC",
+            Placement::Chiplet => "Chiplet",
+            Placement::PcieLocalCache => "PCIeLocalCache",
+            Placement::PcieNoCache => "PCIeNoCache",
+        }
+    }
+
+    /// Extra latency injected on raw-input / final-output requests, in
+    /// cycles at [`MemParams::freq_ghz`] (paper: 25 ns chiplet, 200 ns
+    /// PCIe).
+    pub fn io_injection_cycles(&self, freq_ghz: f64) -> u64 {
+        let ns = match self {
+            Placement::Rocc => 0.0,
+            Placement::Chiplet => 25.0,
+            Placement::PcieLocalCache | Placement::PcieNoCache => 200.0,
+        };
+        (ns * freq_ghz).round() as u64
+    }
+
+    /// Extra latency injected on intermediate reads/writes (history
+    /// fallbacks): nothing for RoCC, the chiplet link for Chiplet, local
+    /// (free) for PCIeLocalCache, the full PCIe hop for PCIeNoCache.
+    pub fn intermediate_injection_cycles(&self, freq_ghz: f64) -> u64 {
+        let ns = match self {
+            Placement::Rocc | Placement::PcieLocalCache => 0.0,
+            Placement::Chiplet => 25.0,
+            Placement::PcieNoCache => 200.0,
+        };
+        (ns * freq_ghz).round() as u64
+    }
+
+    /// Whether intermediate (history-fallback) requests can be overlapped
+    /// by the decoder's history prefetcher. Within the package (RoCC) or
+    /// against card-local memory (PCIeLocalCache) several requests stay in
+    /// flight; across the chiplet link or the PCIe hop, transaction-credit
+    /// limits serialize them — which is what collapses the Chiplet series
+    /// at small history SRAMs in Figure 11.
+    pub fn history_overlap(&self) -> u64 {
+        match self {
+            Placement::Rocc | Placement::PcieLocalCache => 8,
+            Placement::Chiplet | Placement::PcieNoCache => 1,
+        }
+    }
+}
+
+impl std::fmt::Display for Placement {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Memory-system model: the SoC of Figure 8.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemParams {
+    /// Core/CDPU clock (the paper models 2 GHz).
+    pub freq_ghz: f64,
+    /// System-bus width in bytes per cycle (256-bit TileLink → 32 B).
+    pub bus_bytes_per_cycle: u64,
+    /// Latency of a request served by the shared L2, in cycles.
+    pub l2_latency: u64,
+    /// Memory requests a memloader/memwriter keeps in flight.
+    pub stream_outstanding: u64,
+    /// Request granularity (cache-line bytes).
+    pub line_bytes: u64,
+}
+
+impl Default for MemParams {
+    fn default() -> Self {
+        MemParams {
+            freq_ghz: 2.0,
+            bus_bytes_per_cycle: 32,
+            l2_latency: 40,
+            stream_outstanding: 8,
+            line_bytes: 64,
+        }
+    }
+}
+
+impl MemParams {
+    /// Sustained streaming throughput (bytes/cycle) for a pipelined
+    /// memloader/memwriter whose requests each take `extra` injected
+    /// cycles on top of the L2 latency: classic latency-bandwidth product,
+    /// capped by the bus.
+    pub fn stream_bytes_per_cycle(&self, extra: u64) -> f64 {
+        let latency = (self.l2_latency + extra) as f64;
+        let inflight = (self.stream_outstanding * self.line_bytes) as f64;
+        (inflight / latency).min(self.bus_bytes_per_cycle as f64)
+    }
+
+    /// Cycles to stream `bytes` with `extra` injected latency per request:
+    /// one fill latency plus sustained transfer.
+    pub fn stream_cycles(&self, bytes: u64, extra: u64) -> u64 {
+        if bytes == 0 {
+            return 0;
+        }
+        let tp = self.stream_bytes_per_cycle(extra);
+        (self.l2_latency + extra) + (bytes as f64 / tp).ceil() as u64
+    }
+}
+
+/// Full CDPU configuration (Section 5.8's parameter list).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CdpuParams {
+    /// Accelerator placement (parameter 1).
+    pub placement: Placement,
+    /// History window SRAM bytes for the LZ77 decoder/encoder
+    /// (parameters 3/4; the x-axis of Figures 11–15).
+    pub history_bytes: usize,
+    /// log2 of hash-table entries in the LZ77 encoder (parameter 5;
+    /// 14 vs 9 in Figures 12 vs 13).
+    pub hash_entries_log: u32,
+    /// Hash-table associativity (parameter 6).
+    pub hash_ways: u32,
+    /// Speculative decode positions in the Huffman expander (parameter 9;
+    /// 4/16/32 in Section 6.4).
+    pub spec_ways: u32,
+    /// Bytes per cycle the Huffman/FSE compressors' statistics collectors
+    /// ingest (parameters 10/11).
+    pub stats_bytes_per_cycle: u32,
+    /// Maximum FSE table accuracy (table log; parameter 12).
+    pub fse_accuracy_log: u8,
+}
+
+impl Default for CdpuParams {
+    fn default() -> Self {
+        CdpuParams {
+            placement: Placement::Rocc,
+            history_bytes: 64 * 1024,
+            hash_entries_log: 14,
+            hash_ways: 1,
+            spec_ways: 16,
+            stats_bytes_per_cycle: 4,
+            fse_accuracy_log: 9,
+        }
+    }
+}
+
+impl CdpuParams {
+    /// The paper's largest Snappy/ZStd configuration ("64K14HT") at a
+    /// given placement.
+    pub fn full_size(placement: Placement) -> Self {
+        CdpuParams {
+            placement,
+            ..Default::default()
+        }
+    }
+
+    /// Sets the history SRAM size.
+    pub fn with_history(mut self, bytes: usize) -> Self {
+        self.history_bytes = bytes;
+        self
+    }
+
+    /// Sets the Huffman speculation count.
+    pub fn with_spec(mut self, spec: u32) -> Self {
+        self.spec_ways = spec;
+        self
+    }
+
+    /// Sets the hash-table size (log2 entries).
+    pub fn with_hash_entries_log(mut self, log: u32) -> Self {
+        self.hash_entries_log = log;
+        self
+    }
+
+    /// Validates structural constraints.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero-sized history, non-power-of-two history, zero
+    /// speculation, or out-of-range hash parameters.
+    pub fn validate(&self) {
+        assert!(self.history_bytes.is_power_of_two(), "history SRAM must be a power of two");
+        assert!(self.history_bytes >= 512, "history SRAM too small");
+        assert!(self.history_bytes <= 16 << 20, "history SRAM beyond model range");
+        assert!((4..=24).contains(&self.hash_entries_log));
+        assert!(self.hash_ways >= 1);
+        assert!(self.spec_ways >= 1 && self.spec_ways <= 64);
+        assert!(self.stats_bytes_per_cycle >= 1);
+        assert!((5..=12).contains(&self.fse_accuracy_log));
+    }
+}
+
+/// The history-SRAM sweep of Figures 11–15: 64 KiB down to 2 KiB.
+pub const HISTORY_SWEEP: [usize; 6] = [
+    64 * 1024,
+    32 * 1024,
+    16 * 1024,
+    8 * 1024,
+    4 * 1024,
+    2 * 1024,
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn injection_cycles_at_2ghz() {
+        assert_eq!(Placement::Rocc.io_injection_cycles(2.0), 0);
+        assert_eq!(Placement::Chiplet.io_injection_cycles(2.0), 50);
+        assert_eq!(Placement::PcieNoCache.io_injection_cycles(2.0), 400);
+        assert_eq!(Placement::PcieLocalCache.io_injection_cycles(2.0), 400);
+        assert_eq!(Placement::PcieLocalCache.intermediate_injection_cycles(2.0), 0);
+        assert_eq!(Placement::PcieNoCache.intermediate_injection_cycles(2.0), 400);
+        assert_eq!(Placement::Chiplet.intermediate_injection_cycles(2.0), 50);
+    }
+
+    #[test]
+    fn stream_throughput_ordering() {
+        let mem = MemParams::default();
+        let rocc = mem.stream_bytes_per_cycle(0);
+        let chiplet = mem.stream_bytes_per_cycle(50);
+        let pcie = mem.stream_bytes_per_cycle(400);
+        assert!(rocc > chiplet && chiplet > pcie);
+        assert!(rocc <= mem.bus_bytes_per_cycle as f64);
+        // PCIe streaming lands near 1.2 B/cycle — the bandwidth collapse
+        // behind Figure 11's PCIe series.
+        assert!((1.0..1.5).contains(&pcie), "pcie {pcie}");
+    }
+
+    #[test]
+    fn stream_cycles_scale() {
+        let mem = MemParams::default();
+        let small = mem.stream_cycles(1024, 0);
+        let big = mem.stream_cycles(1024 * 1024, 0);
+        assert!(big > small * 500);
+        assert_eq!(mem.stream_cycles(0, 0), 0);
+    }
+
+    #[test]
+    fn params_validate() {
+        CdpuParams::default().validate();
+        for h in HISTORY_SWEEP {
+            CdpuParams::default().with_history(h).validate();
+        }
+        assert!(std::panic::catch_unwind(|| {
+            CdpuParams::default().with_history(3000).validate()
+        })
+        .is_err());
+        assert!(std::panic::catch_unwind(|| {
+            CdpuParams::default().with_spec(0).validate()
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn history_overlap_split() {
+        assert_eq!(Placement::Rocc.history_overlap(), 8);
+        assert_eq!(Placement::Chiplet.history_overlap(), 1);
+        assert_eq!(Placement::PcieLocalCache.history_overlap(), 8);
+        assert_eq!(Placement::PcieNoCache.history_overlap(), 1);
+    }
+}

@@ -1,0 +1,221 @@
+//! Call profiling: extracting the structural features of one
+//! (de)compression call that the cycle model charges for.
+//!
+//! A decompression CDPU's work is fixed by the *compressed stream*, which
+//! is produced by the fleet's software at the call's own parameters — not
+//! by the CDPU's knobs. So a call is profiled once (sequence counts,
+//! literal/match bytes, and crucially the distribution of copy offsets),
+//! and the simulator then sweeps CDPU parameters analytically: e.g. a
+//! 2 KiB history SRAM turns every copy with offset > 2 KiB into an
+//! off-chip history lookup (Section 5.2's fallback path).
+
+use cdpu_lz77::matcher::{HashTableMatcher, MatcherConfig};
+use cdpu_lz77::Parse;
+use cdpu_zstd::ZstdConfig;
+
+/// Structural profile of one (de)compression call.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CallProfile {
+    /// Uncompressed bytes.
+    pub uncompressed: u64,
+    /// Compressed bytes (the stream a decompressor ingests).
+    pub compressed: u64,
+    /// LZ77 sequences (match commands).
+    pub seqs: u64,
+    /// Literal bytes.
+    pub literal_bytes: u64,
+    /// Match (copied) bytes.
+    pub match_bytes: u64,
+    /// Copied bytes binned by `ceil(log2(offset))`: `offset_bytes[k]`
+    /// holds match bytes whose copy offset falls in `(2^(k-1), 2^k]`.
+    pub offset_bytes: [u64; 32],
+    /// Frame blocks (ZStd; 1 for Snappy).
+    pub blocks: u64,
+    /// Blocks whose literals are Huffman-coded (each charges a table
+    /// build + decode-table fill on the accelerator).
+    pub huffman_blocks: u64,
+    /// Bytes of Huffman-coded literal bitstream.
+    pub huffman_stream_bytes: u64,
+    /// Bytes of FSE sequence bitstream.
+    pub fse_stream_bytes: u64,
+}
+
+impl CallProfile {
+    /// Match bytes whose offset exceeds `sram_bytes` — the off-chip
+    /// history fallback volume for a given on-accelerator window.
+    pub fn fallback_bytes(&self, sram_bytes: usize) -> u64 {
+        let sram_log = if sram_bytes == 0 {
+            0
+        } else {
+            cdpu_util::ceil_log2(sram_bytes as u64)
+        };
+        self.offset_bytes
+            .iter()
+            .enumerate()
+            .filter(|&(k, _)| k as u32 > sram_log)
+            .map(|(_, &b)| b)
+            .sum()
+    }
+
+    fn accumulate_parse(&mut self, parse: &Parse) {
+        self.seqs += parse.seqs.len() as u64;
+        self.literal_bytes += parse.literal_len() as u64;
+        self.match_bytes += parse.matched_len() as u64;
+        for s in &parse.seqs {
+            let bin = cdpu_util::ceil_log2(s.offset as u64) as usize;
+            self.offset_bytes[bin.min(31)] += s.match_len as u64;
+        }
+    }
+}
+
+/// Profiles a Snappy call: the stream the fleet's software compressor
+/// would produce for `data` (fixed 64 KiB window).
+pub fn profile_snappy(data: &[u8]) -> CallProfile {
+    let cfg = MatcherConfig::snappy_sw();
+    let parse = HashTableMatcher::new(cfg).parse(data);
+    let compressed = cdpu_snappy::compress_with(data, &cfg).len() as u64;
+    let mut p = CallProfile {
+        uncompressed: data.len() as u64,
+        compressed,
+        blocks: 1,
+        ..Default::default()
+    };
+    p.accumulate_parse(&parse);
+    p
+}
+
+/// Profiles a ZStd call at the given level/window: parse structure from
+/// the dictionary stage, entropy structure from the encoder's block
+/// statistics.
+pub fn profile_zstd(data: &[u8], level: i32, window_log: Option<u32>) -> CallProfile {
+    let mut cfg = ZstdConfig::with_level(level.clamp(cdpu_zstd::MIN_LEVEL, cdpu_zstd::MAX_LEVEL));
+    if let Some(w) = window_log {
+        cfg = cfg.window_log(w.clamp(10, 24));
+    }
+    let parse = cdpu_zstd::parse_with(data, &cfg);
+    let (compressed, stats) = cdpu_zstd::compress_with_stats(data, &cfg);
+    let mut p = CallProfile {
+        uncompressed: data.len() as u64,
+        compressed: compressed.len() as u64,
+        blocks: (stats.blocks.len() + stats.raw_blocks + stats.rle_blocks).max(1) as u64,
+        huffman_blocks: stats.blocks.iter().filter(|b| b.huffman_literals).count() as u64,
+        huffman_stream_bytes: stats
+            .blocks
+            .iter()
+            .map(|b| b.huffman_bits as u64 / 8)
+            .sum(),
+        fse_stream_bytes: stats.blocks.iter().map(|b| b.fse_bytes as u64).sum(),
+        ..Default::default()
+    };
+    p.accumulate_parse(&parse);
+    p
+}
+
+/// Profiles a Flate call at the given level: parse structure from the
+/// dictionary stage; every block Huffman-codes its symbol stream (Flate
+/// has no raw-literal bypass — even stored blocks are a whole-block
+/// decision).
+pub fn profile_flate(data: &[u8], level: u32) -> CallProfile {
+    let cfg = cdpu_flate::FlateConfig::with_level(level.clamp(1, 9));
+    let parse = cdpu_flate::parse_with(data, &cfg);
+    let compressed = cdpu_flate::compress_with(data, &cfg).len() as u64;
+    let blocks = data.len().div_ceil(cdpu_flate::MAX_BLOCK_SIZE).max(1) as u64;
+    let mut p = CallProfile {
+        uncompressed: data.len() as u64,
+        compressed,
+        blocks,
+        huffman_blocks: blocks,
+        ..Default::default()
+    };
+    p.accumulate_parse(&parse);
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdpu_util::rng::Xoshiro256;
+
+    fn sample_data() -> Vec<u8> {
+        let mut rng = Xoshiro256::seed_from(4);
+        let mut data = Vec::new();
+        for i in 0..1500 {
+            data.extend_from_slice(
+                format!("entry {:04} payload {}\n", i % 200, rng.index(1000)).as_bytes(),
+            );
+        }
+        data
+    }
+
+    #[test]
+    fn snappy_profile_accounts_for_all_bytes() {
+        let data = sample_data();
+        let p = profile_snappy(&data);
+        assert_eq!(p.uncompressed, data.len() as u64);
+        assert_eq!(p.literal_bytes + p.match_bytes, p.uncompressed);
+        assert!(p.compressed > 0 && p.compressed < p.uncompressed);
+        assert!(p.seqs > 0);
+        let offset_total: u64 = p.offset_bytes.iter().sum();
+        assert_eq!(offset_total, p.match_bytes);
+    }
+
+    #[test]
+    fn fallback_monotone_in_sram() {
+        let data = sample_data();
+        let p = profile_snappy(&data);
+        let mut prev = u64::MAX;
+        for sram in [2048usize, 4096, 8192, 16384, 32768, 65536] {
+            let fb = p.fallback_bytes(sram);
+            assert!(fb <= prev, "fallback must shrink with SRAM");
+            prev = fb;
+        }
+        // 64 KiB SRAM covers Snappy's whole window: no fallbacks.
+        assert_eq!(p.fallback_bytes(64 * 1024), 0);
+    }
+
+    #[test]
+    fn zstd_profile_has_entropy_structure() {
+        let data = sample_data();
+        let p = profile_zstd(&data, 3, None);
+        assert_eq!(p.uncompressed, data.len() as u64);
+        assert!(p.blocks >= 1);
+        assert!(p.huffman_blocks >= 1, "text literals should be huffman-coded");
+        assert!(p.fse_stream_bytes > 0);
+        assert!(p.compressed < p.uncompressed);
+    }
+
+    #[test]
+    fn zstd_window_bounds_offsets() {
+        // With a pinned small window, no offset bin beyond it is occupied.
+        let data = sample_data();
+        let p = profile_zstd(&data, 3, Some(12));
+        assert_eq!(p.fallback_bytes(4096), 0, "window 4 KiB caps offsets");
+    }
+
+    #[test]
+    fn higher_level_compresses_harder() {
+        let data = sample_data();
+        let fast = profile_zstd(&data, -5, None);
+        let slow = profile_zstd(&data, 9, None);
+        assert!(slow.compressed <= fast.compressed);
+    }
+
+    #[test]
+    fn flate_profile_shape() {
+        let data = sample_data();
+        let p = profile_flate(&data, 6);
+        assert_eq!(p.uncompressed, data.len() as u64);
+        assert!(p.compressed < p.uncompressed);
+        assert_eq!(p.huffman_blocks, p.blocks);
+        // Flate's window caps at 32 KiB: no offsets beyond it.
+        assert_eq!(p.fallback_bytes(32 * 1024), 0);
+    }
+
+    #[test]
+    fn empty_call() {
+        let p = profile_snappy(b"");
+        assert_eq!(p.uncompressed, 0);
+        assert_eq!(p.seqs, 0);
+        assert_eq!(p.fallback_bytes(2048), 0);
+    }
+}

@@ -1,0 +1,35 @@
+//! Lightweight codecs: LZO-class and Gipfeli-class.
+//!
+//! These complete the paper's six-algorithm taxonomy (Section 2.2). Both
+//! are "LZ77-inspired" fast codecs:
+//!
+//! - [`lzo`]: byte-oriented dictionary coding with **no entropy coding**
+//!   and a level knob that trades hash-table effort for ratio — the shape
+//!   of LZO's design point.
+//! - [`gipfeli`]: dictionary coding plus *simple entropy coding* — a
+//!   fixed-layout 6/9-bit literal code built from a first-pass histogram
+//!   (no Huffman tree, no per-block table search), which is exactly
+//!   Gipfeli's trick for beating Snappy's ratio at near-Snappy speed.
+//!
+//! As with the other codecs in this workspace, wire formats are our own
+//! (these codecs' reference formats are not standardized the way Snappy's
+//! is); the algorithmic structure is what the taxonomy needs.
+
+pub mod gipfeli;
+pub mod lzo;
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn taxonomy_ratio_ordering_on_text() {
+        // Gipfeli's entropy coding should beat the no-entropy codecs on
+        // entropy-skewed text; LZO and Snappy should be close.
+        let data = cdpu_corpus::generate(cdpu_corpus::CorpusKind::MarkovText, 128 * 1024, 3);
+        let snappy = cdpu_snappy::compress(&data).len();
+        let lzo = crate::lzo::compress(&data).len();
+        let gip = crate::gipfeli::compress(&data).len();
+        assert!(gip < snappy, "gipfeli {gip} should beat snappy {snappy} on text");
+        let lzo_gap = (lzo as f64 / snappy as f64 - 1.0).abs();
+        assert!(lzo_gap < 0.25, "lzo {lzo} should track snappy {snappy}");
+    }
+}

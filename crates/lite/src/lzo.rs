@@ -1,0 +1,276 @@
+//! An LZO-class codec: byte-oriented LZ77, no entropy coding, levels.
+//!
+//! LZO's design point (Section 2.2): decode speed above all — every field
+//! is byte-aligned, matches carry 16-bit offsets, and the only tunable is
+//! how hard the *compressor* searches. Levels 1–9 scale the hash table of
+//! the greedy matcher, mirroring how LZO's levels change effort without
+//! changing the format.
+//!
+//! Format: varint uncompressed length, then tokens:
+//!
+//! - literal run: `0x00..=0x7F` = run length − 1 (0x7F chains with a
+//!   varint extension), followed by the bytes;
+//! - match: `0x80 | (len - 4)` for lengths 4–130 (one varint extension
+//!   byte for longer), followed by a 2-byte little-endian offset.
+
+use cdpu_lz77::hash::HashFn;
+use cdpu_lz77::matcher::{HashTableMatcher, MatcherConfig};
+use cdpu_lz77::window::apply_copy;
+use cdpu_util::varint;
+
+/// Maximum offset the 16-bit field expresses (also the window size).
+pub const MAX_OFFSET: u32 = 65535;
+
+/// Errors from LZO-class decompression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LzoError {
+    /// Bad or missing length preamble.
+    BadPreamble,
+    /// Token stream ended unexpectedly.
+    Truncated,
+    /// A match referenced data before the output start.
+    BadOffset,
+    /// Output length disagrees with the preamble.
+    LengthMismatch {
+        /// Promised length.
+        expected: u64,
+        /// Produced length.
+        actual: u64,
+    },
+}
+
+impl std::fmt::Display for LzoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LzoError::BadPreamble => write!(f, "bad length preamble"),
+            LzoError::Truncated => write!(f, "token stream truncated"),
+            LzoError::BadOffset => write!(f, "match offset out of range"),
+            LzoError::LengthMismatch { expected, actual } => {
+                write!(f, "expected {expected} bytes, produced {actual}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LzoError {}
+
+fn matcher_for_level(level: u32) -> MatcherConfig {
+    // Levels scale the hash table (and disable skipping at high levels).
+    let entries_log = (9 + level.min(5)).min(14);
+    MatcherConfig {
+        window_log: 16,
+        entries_log,
+        ways: if level >= 7 { 2 } else { 1 },
+        hash_fn: HashFn::Multiplicative,
+        min_match: cdpu_lz77::MIN_MATCH,
+        skip: level <= 3,
+    }
+}
+
+/// Compresses at the default level (3).
+pub fn compress(data: &[u8]) -> Vec<u8> {
+    compress_with_level(data, 3)
+}
+
+/// Compresses at a level 1..=9.
+///
+/// # Panics
+///
+/// Panics for levels outside 1..=9.
+pub fn compress_with_level(data: &[u8], level: u32) -> Vec<u8> {
+    assert!((1..=9).contains(&level), "lzo levels are 1..=9");
+    let parse = HashTableMatcher::new(matcher_for_level(level)).parse(data);
+    let mut out = Vec::with_capacity(data.len() / 2 + 16);
+    varint::write_u64(&mut out, data.len() as u64);
+    let mut pos = 0usize;
+    for s in &parse.seqs {
+        emit_literals(&mut out, &data[pos..pos + s.lit_len as usize]);
+        pos += s.lit_len as usize;
+        emit_match(&mut out, s.offset, s.match_len);
+        pos += s.match_len as usize;
+    }
+    emit_literals(&mut out, &data[pos..pos + parse.last_literals as usize]);
+    out
+}
+
+fn emit_literals(out: &mut Vec<u8>, lits: &[u8]) {
+    if lits.is_empty() {
+        return;
+    }
+    let n = lits.len() - 1;
+    if n < 0x7F {
+        out.push(n as u8);
+    } else {
+        out.push(0x7F);
+        varint::write_u64(out, (n - 0x7F) as u64);
+    }
+    out.extend_from_slice(lits);
+}
+
+fn emit_match(out: &mut Vec<u8>, offset: u32, len: u32) {
+    debug_assert!(offset >= 1 && offset <= MAX_OFFSET);
+    debug_assert!(len >= 4);
+    // Two tiers, like LZO's M2/M3 forms: a 2-byte token for short, near
+    // matches and a 3+-byte token for the rest.
+    if (4..=11).contains(&len) && offset < (1 << 11) {
+        out.push(0x80 | (((len - 4) as u8) << 3) | ((offset >> 8) as u8));
+        out.push((offset & 0xFF) as u8);
+        return;
+    }
+    let n = len - 4;
+    if n < 0x3F {
+        out.push(0xC0 | n as u8);
+    } else {
+        out.push(0xC0 | 0x3F);
+        varint::write_u64(out, (n - 0x3F) as u64);
+    }
+    out.extend_from_slice(&(offset as u16).to_le_bytes());
+}
+
+/// Decompresses an LZO-class stream.
+///
+/// # Errors
+///
+/// Any [`LzoError`].
+pub fn decompress(input: &[u8]) -> Result<Vec<u8>, LzoError> {
+    let (expected, mut pos) = varint::read_u64(input).map_err(|_| LzoError::BadPreamble)?;
+    // Reserve conservatively: the declared size is untrusted input, so cap
+    // the up-front allocation and let the vector grow if the data is real.
+    let mut out = Vec::with_capacity((expected as usize).min(1 << 20));
+    while pos < input.len() {
+        let token = input[pos];
+        pos += 1;
+        if token & 0x80 == 0 {
+            // Literal run, varint-extended count.
+            let mut n = (token & 0x7F) as u64;
+            if n == 0x7F {
+                let (ext, used) =
+                    varint::read_u64(&input[pos..]).map_err(|_| LzoError::Truncated)?;
+                pos += used;
+                n += ext;
+            }
+            let len = n as usize + 1;
+            if pos + len > input.len() {
+                return Err(LzoError::Truncated);
+            }
+            out.extend_from_slice(&input[pos..pos + len]);
+            pos += len;
+        } else if token & 0x40 == 0 {
+            // Short match: 3-bit length, 11-bit offset.
+            if pos + 1 > input.len() {
+                return Err(LzoError::Truncated);
+            }
+            let len = 4 + ((token >> 3) & 0x7) as u32;
+            let offset = (((token & 0x7) as u32) << 8) | input[pos] as u32;
+            pos += 1;
+            apply_copy(&mut out, offset, len).map_err(|_| LzoError::BadOffset)?;
+        } else {
+            // Long match: 6-bit length (varint-extended), 16-bit offset.
+            let mut n = (token & 0x3F) as u64;
+            if n == 0x3F {
+                let (ext, used) =
+                    varint::read_u64(&input[pos..]).map_err(|_| LzoError::Truncated)?;
+                pos += used;
+                n += ext;
+            }
+            if pos + 2 > input.len() {
+                return Err(LzoError::Truncated);
+            }
+            let offset = u16::from_le_bytes([input[pos], input[pos + 1]]) as u32;
+            pos += 2;
+            // Guard before copying: a hostile length must not balloon the
+            // output past the declared size.
+            if n + 4 > expected.saturating_sub(out.len() as u64) {
+                return Err(LzoError::LengthMismatch {
+                    expected,
+                    actual: out.len() as u64 + n + 4,
+                });
+            }
+            apply_copy(&mut out, offset, n as u32 + 4).map_err(|_| LzoError::BadOffset)?;
+        }
+        if out.len() as u64 > expected {
+            return Err(LzoError::LengthMismatch {
+                expected,
+                actual: out.len() as u64,
+            });
+        }
+    }
+    if out.len() as u64 != expected {
+        return Err(LzoError::LengthMismatch {
+            expected,
+            actual: out.len() as u64,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdpu_util::rng::Xoshiro256;
+
+    #[test]
+    fn empty_and_tiny() {
+        for data in [&b""[..], b"a", b"abcd", b"aaaaaaaaaa"] {
+            let c = compress(data);
+            assert_eq!(decompress(&c).unwrap(), data);
+        }
+    }
+
+    #[test]
+    fn roundtrip_structured() {
+        let data = b"lzo is byte-oriented and fast to decode ".repeat(400);
+        let c = compress(&data);
+        assert!(c.len() < data.len() / 4);
+        assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn roundtrip_random_and_runs() {
+        let mut rng = Xoshiro256::seed_from(1);
+        let mut data = vec![0u8; 50_000];
+        rng.fill_bytes(&mut data);
+        assert_eq!(decompress(&compress(&data)).unwrap(), data);
+        let runs = vec![9u8; 300_000];
+        assert_eq!(decompress(&compress(&runs)).unwrap(), runs);
+    }
+
+    #[test]
+    fn long_literal_runs_chain() {
+        let mut rng = Xoshiro256::seed_from(2);
+        // Incompressible run > 127 bytes forces the varint extension.
+        let mut data = vec![0u8; 5000];
+        rng.fill_bytes(&mut data);
+        let c = compress(&data);
+        assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn levels_monotone_enough() {
+        let mut rng = Xoshiro256::seed_from(3);
+        let mut data = Vec::new();
+        for _ in 0..4000 {
+            data.extend_from_slice(format!("k{:04}=v{:03};", rng.index(900), rng.index(40)).as_bytes());
+        }
+        let l1 = compress_with_level(&data, 1).len();
+        let l9 = compress_with_level(&data, 9).len();
+        assert!(l9 <= l1, "l9 {l9} vs l1 {l1}");
+    }
+
+    #[test]
+    fn errors_detected() {
+        let data = b"robust ".repeat(100);
+        let c = compress(&data);
+        assert!(decompress(&c[..c.len() / 2]).is_err());
+        assert_eq!(decompress(&[]).unwrap_err(), LzoError::BadPreamble);
+        // Preamble 8, match token with offset 9 before any output.
+        let bad = [0x08, 0x80, 0x09, 0x00];
+        assert_eq!(decompress(&bad).unwrap_err(), LzoError::BadOffset);
+    }
+
+    #[test]
+    fn level_bounds() {
+        assert!(std::panic::catch_unwind(|| compress_with_level(b"x", 0)).is_err());
+        assert!(std::panic::catch_unwind(|| compress_with_level(b"x", 10)).is_err());
+    }
+}

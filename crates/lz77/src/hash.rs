@@ -1,0 +1,119 @@
+//! Hash functions for LZ77 match finding.
+//!
+//! The paper's generator exposes the hash function as a compile-time
+//! parameter of the LZ77 encoder (Section 5.8, parameter 8). Two families
+//! are implemented; both hash the 4 bytes at the probe position down to
+//! `hash_log` bits.
+
+/// Selects the hash function used by a match finder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum HashFn {
+    /// Knuth multiplicative hashing: `(x * 2654435761) >> (32 - hash_log)`.
+    /// This is what Snappy and LZ4-class matchers use.
+    #[default]
+    Multiplicative,
+    /// Byte-folding XOR hash with a final avalanche shift. Cheaper in gates
+    /// (no multiplier) but clusters similar prefixes; kept to let the DSE
+    /// quantify the difference.
+    XorFold,
+}
+
+/// Hashes the 4-byte group `bytes` to `hash_log` bits (1..=32).
+///
+/// ```
+/// use cdpu_lz77::hash::{hash4, HashFn};
+/// let h = hash4([b'a', b'b', b'c', b'd'], HashFn::Multiplicative, 14);
+/// assert!(h < (1 << 14));
+/// ```
+pub fn hash4(bytes: [u8; 4], f: HashFn, hash_log: u32) -> u32 {
+    debug_assert!((1..=32).contains(&hash_log));
+    let x = u32::from_le_bytes(bytes);
+    match f {
+        // Multiplicative hashing mixes entropy toward the high bits, so the
+        // index is taken from the top.
+        HashFn::Multiplicative => {
+            let h = x.wrapping_mul(2654435761);
+            if hash_log == 32 {
+                h
+            } else {
+                h >> (32 - hash_log)
+            }
+        }
+        // XOR folding keeps entropy in the low bits (no multiplier needed in
+        // gates), so the index is taken from the bottom.
+        HashFn::XorFold => {
+            let h = x ^ (x >> 13) ^ (x >> 26);
+            if hash_log == 32 {
+                h
+            } else {
+                h & ((1u32 << hash_log) - 1)
+            }
+        }
+    }
+}
+
+/// Hashes the 4 bytes at `pos` in `data`.
+///
+/// # Panics
+///
+/// Panics if fewer than 4 bytes remain at `pos`.
+pub fn hash_at(data: &[u8], pos: usize, f: HashFn, hash_log: u32) -> u32 {
+    hash4(
+        [data[pos], data[pos + 1], data[pos + 2], data[pos + 3]],
+        f,
+        hash_log,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdpu_util::rng::Xoshiro256;
+
+    #[test]
+    fn respects_hash_log() {
+        let mut rng = Xoshiro256::seed_from(1);
+        for _ in 0..1000 {
+            let mut b = [0u8; 4];
+            rng.fill_bytes(&mut b);
+            for log in [1u32, 4, 9, 14, 20, 32] {
+                for f in [HashFn::Multiplicative, HashFn::XorFold] {
+                    let h = hash4(b, f, log);
+                    if log < 32 {
+                        assert!(h < (1u32 << log));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let b = [1, 2, 3, 4];
+        assert_eq!(
+            hash4(b, HashFn::Multiplicative, 14),
+            hash4(b, HashFn::Multiplicative, 14)
+        );
+    }
+
+    #[test]
+    fn distributes_sequential_keys() {
+        // Sequential 4-byte groups should not all collide.
+        for f in [HashFn::Multiplicative, HashFn::XorFold] {
+            let mut seen = std::collections::HashSet::new();
+            for i in 0u32..256 {
+                seen.insert(hash4(i.to_le_bytes(), f, 9));
+            }
+            assert!(seen.len() > 64, "{f:?} clusters too much: {}", seen.len());
+        }
+    }
+
+    #[test]
+    fn hash_at_matches_hash4() {
+        let data = b"abcdefgh";
+        assert_eq!(
+            hash_at(data, 2, HashFn::Multiplicative, 10),
+            hash4([b'c', b'd', b'e', b'f'], HashFn::Multiplicative, 10)
+        );
+    }
+}

@@ -1,0 +1,562 @@
+//! LZ77 match finders.
+//!
+//! [`HashTableMatcher`] is the hardware-shaped finder: one set-associative
+//! hash-table probe per input position, greedy emission — the structure of
+//! the paper's "LZ77 Hash Matcher" block (Figure 10). [`HashChainMatcher`]
+//! is the software-shaped finder with a tunable chain depth and optional
+//! one-step lazy matching, which the ZStd-class codec maps compression
+//! levels onto.
+
+use crate::hash::{hash_at, HashFn};
+use crate::{Parse, Seq, MIN_MATCH};
+
+/// Configuration for [`HashTableMatcher`], mirroring the generator's LZ77
+/// encoder parameters (Section 5.8, parameters 4–8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MatcherConfig {
+    /// History window size in bytes = `1 << window_log`; matches farther
+    /// back than this are not emitted (Snappy: 16 → 64 KiB).
+    pub window_log: u32,
+    /// Total hash-table entries = `1 << entries_log` (the paper sweeps 2^14
+    /// vs 2^9 in Figures 12/13).
+    pub entries_log: u32,
+    /// Set associativity (ways). `entries_log` must accommodate at least one
+    /// set, i.e. `ways` ≤ total entries.
+    pub ways: u32,
+    /// Hash function (compile-time parameter in the RTL generator).
+    pub hash_fn: HashFn,
+    /// Minimum emitted match length.
+    pub min_match: usize,
+    /// Enables the Snappy software skip heuristic: after repeated probe
+    /// misses, step over input bytes without probing. Software enables this
+    /// to save CPU cycles on incompressible data; the paper's hardware does
+    /// not (and therefore finds slightly more matches — Section 6.3).
+    pub skip: bool,
+}
+
+impl MatcherConfig {
+    /// Snappy-like defaults: 64 KiB window, 2^14 entries, direct-mapped,
+    /// multiplicative hash, skip enabled (software behaviour).
+    pub fn snappy_sw() -> Self {
+        MatcherConfig {
+            window_log: 16,
+            entries_log: 14,
+            ways: 1,
+            hash_fn: HashFn::Multiplicative,
+            min_match: MIN_MATCH,
+            skip: true,
+        }
+    }
+
+    /// The hardware variant of [`MatcherConfig::snappy_sw`]: identical
+    /// structure with the skip mechanism removed.
+    pub fn snappy_hw() -> Self {
+        MatcherConfig {
+            skip: false,
+            ..Self::snappy_sw()
+        }
+    }
+
+    /// Window size in bytes.
+    pub fn window_size(&self) -> usize {
+        1usize << self.window_log
+    }
+
+    fn validate(&self) {
+        assert!(self.window_log >= 2 && self.window_log <= 30, "window_log out of range");
+        assert!(self.entries_log >= 1 && self.entries_log <= 24, "entries_log out of range");
+        assert!(self.ways >= 1, "need at least one way");
+        assert!(
+            (1u64 << self.entries_log) >= self.ways as u64,
+            "ways exceed total entries"
+        );
+        assert!(self.min_match >= MIN_MATCH, "min_match below hash width");
+    }
+}
+
+/// Extends a candidate match forward. Returns the match length (0 if the
+/// first `min_match` bytes do not all match).
+fn match_length(data: &[u8], pos: usize, cand: usize, min_match: usize) -> usize {
+    debug_assert!(cand < pos);
+    let max = data.len() - pos;
+    if max < min_match {
+        return 0;
+    }
+    let mut len = 0usize;
+    while len < max && data[cand + len] == data[pos + len] {
+        len += 1;
+    }
+    if len >= min_match {
+        len
+    } else {
+        0
+    }
+}
+
+/// Set-associative hash-table match finder (the hardware LZ77 encoder).
+///
+/// ```
+/// use cdpu_lz77::matcher::{HashTableMatcher, MatcherConfig};
+/// use cdpu_lz77::window;
+/// let data = b"abcdabcdabcdabcdabcdabcd";
+/// let parse = HashTableMatcher::new(MatcherConfig::snappy_hw()).parse(data);
+/// assert!(parse.matched_len() > 0);
+/// let lits = parse.literal_bytes(data);
+/// let out = window::reconstruct(&parse, &lits, None).unwrap();
+/// assert_eq!(out, data);
+/// ```
+#[derive(Debug, Clone)]
+pub struct HashTableMatcher {
+    cfg: MatcherConfig,
+}
+
+impl HashTableMatcher {
+    /// Creates a matcher.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is structurally invalid (zero ways, ways
+    /// exceeding entries, out-of-range logs).
+    pub fn new(cfg: MatcherConfig) -> Self {
+        cfg.validate();
+        HashTableMatcher { cfg }
+    }
+
+    /// The configuration this matcher was built with.
+    pub fn config(&self) -> &MatcherConfig {
+        &self.cfg
+    }
+
+    /// Greedily parses `data` into LZ77 sequences.
+    pub fn parse(&self, data: &[u8]) -> Parse {
+        let cfg = &self.cfg;
+        let ways = cfg.ways as usize;
+        let sets = (1usize << cfg.entries_log) / ways;
+        let set_log = cdpu_util::floor_log2(sets.max(1) as u64);
+        let window = cfg.window_size();
+        // Slot stores position + 1; 0 means empty. Within a set, slot 0 is
+        // most recent (FIFO replacement, like a shift register in SRAM).
+        let mut table = vec![0u32; sets * ways];
+
+        let mut seqs = Vec::new();
+        let mut pos = 0usize;
+        let mut anchor = 0usize;
+        // Snappy-style skip counter: probes between lookups grow as misses
+        // accumulate (skip >> 5 bytes per step, starting at 32).
+        let mut skip_counter: usize = 32;
+
+        if data.len() >= cfg.min_match {
+            while pos + cfg.min_match <= data.len() {
+                let h = hash_at(data, pos, cfg.hash_fn, set_log) as usize;
+                let set = &mut table[h * ways..(h + 1) * ways];
+
+                // Probe all ways; take the longest valid match (ties to the
+                // most recent way, i.e. smallest offset).
+                let mut best_len = 0usize;
+                let mut best_off = 0usize;
+                for &slot in set.iter() {
+                    if slot == 0 {
+                        continue;
+                    }
+                    let cand = (slot - 1) as usize;
+                    let off = pos - cand;
+                    if off == 0 || off > window {
+                        continue;
+                    }
+                    let len = match_length(data, pos, cand, cfg.min_match);
+                    if len > best_len {
+                        best_len = len;
+                        best_off = off;
+                    }
+                }
+
+                // Insert current position (FIFO within the set).
+                set.copy_within(0..ways - 1, 1);
+                set[0] = pos as u32 + 1;
+
+                if best_len > 0 {
+                    seqs.push(Seq {
+                        lit_len: (pos - anchor) as u32,
+                        match_len: best_len as u32,
+                        offset: best_off as u32,
+                    });
+                    // Index the positions covered by the match so later data
+                    // can match into it (streaming hardware hashes every
+                    // byte it ingests).
+                    let end = pos + best_len;
+                    let mut p = pos + 1;
+                    while p + cfg.min_match <= data.len() && p < end {
+                        let h = hash_at(data, p, cfg.hash_fn, set_log) as usize;
+                        let set = &mut table[h * ways..(h + 1) * ways];
+                        set.copy_within(0..ways - 1, 1);
+                        set[0] = p as u32 + 1;
+                        p += 1;
+                    }
+                    pos = end;
+                    anchor = pos;
+                    skip_counter = 32;
+                } else if cfg.skip {
+                    pos += 1 + (skip_counter >> 5);
+                    skip_counter += 1;
+                } else {
+                    pos += 1;
+                }
+            }
+        }
+        Parse {
+            seqs,
+            last_literals: (data.len() - anchor) as u32,
+        }
+    }
+}
+
+/// Configuration for [`HashChainMatcher`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChainConfig {
+    /// History window size = `1 << window_log` (ZStd levels raise this).
+    pub window_log: u32,
+    /// Hash-head table entries = `1 << hash_log`.
+    pub hash_log: u32,
+    /// Maximum chain positions examined per probe (the level's "effort").
+    pub max_chain: u32,
+    /// One-step lazy matching: before accepting a match at `pos`, check
+    /// whether `pos + 1` holds a strictly better one.
+    pub lazy: bool,
+    /// Minimum emitted match length.
+    pub min_match: usize,
+}
+
+impl ChainConfig {
+    /// A mid-effort default comparable to ZStd level ~3.
+    pub fn default_level() -> Self {
+        ChainConfig {
+            window_log: 17,
+            hash_log: 16,
+            max_chain: 16,
+            lazy: false,
+            min_match: MIN_MATCH,
+        }
+    }
+}
+
+/// Hash-chain match finder with bounded search depth — the software-effort
+/// knob behind compression levels.
+///
+/// ```
+/// use cdpu_lz77::matcher::{ChainConfig, HashChainMatcher};
+/// use cdpu_lz77::window;
+/// let data = b"the cat sat on the mat; the cat sat on the hat";
+/// let parse = HashChainMatcher::new(ChainConfig::default_level()).parse(data);
+/// let lits = parse.literal_bytes(data);
+/// assert_eq!(window::reconstruct(&parse, &lits, None).unwrap(), data);
+/// ```
+#[derive(Debug, Clone)]
+pub struct HashChainMatcher {
+    cfg: ChainConfig,
+}
+
+impl HashChainMatcher {
+    /// Creates a matcher.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a structurally invalid configuration.
+    pub fn new(cfg: ChainConfig) -> Self {
+        assert!(cfg.window_log >= 2 && cfg.window_log <= 30);
+        assert!(cfg.hash_log >= 1 && cfg.hash_log <= 24);
+        assert!(cfg.max_chain >= 1);
+        assert!(cfg.min_match >= MIN_MATCH);
+        HashChainMatcher { cfg }
+    }
+
+    /// The configuration this matcher was built with.
+    pub fn config(&self) -> &ChainConfig {
+        &self.cfg
+    }
+
+    /// Finds the best match at `pos` by walking the chain.
+    fn best_match(
+        &self,
+        data: &[u8],
+        pos: usize,
+        head: &[u32],
+        prev: &[u32],
+        window: usize,
+    ) -> (usize, usize) {
+        let cfg = &self.cfg;
+        let h = hash_at(data, pos, HashFn::Multiplicative, cfg.hash_log) as usize;
+        let mut cand_plus1 = head[h];
+        let mut depth = 0;
+        let mut best_len = 0usize;
+        let mut best_off = 0usize;
+        let wmask = window - 1;
+        while cand_plus1 != 0 && depth < cfg.max_chain {
+            let cand = (cand_plus1 - 1) as usize;
+            if cand >= pos || pos - cand > window {
+                break;
+            }
+            let len = match_length(data, pos, cand, cfg.min_match);
+            if len > best_len {
+                best_len = len;
+                best_off = pos - cand;
+            }
+            cand_plus1 = prev[cand & wmask];
+            depth += 1;
+        }
+        (best_len, best_off)
+    }
+
+    /// Parses `data` into LZ77 sequences (greedy, optionally 1-step lazy).
+    pub fn parse(&self, data: &[u8]) -> Parse {
+        let cfg = &self.cfg;
+        let window = 1usize << cfg.window_log;
+        let wmask = window - 1;
+        let mut head = vec![0u32; 1usize << cfg.hash_log];
+        let mut prev = vec![0u32; window];
+
+        let insert = |data: &[u8], p: usize, head: &mut [u32], prev: &mut [u32]| {
+            let h = hash_at(data, p, HashFn::Multiplicative, cfg.hash_log) as usize;
+            prev[p & wmask] = head[h];
+            head[h] = p as u32 + 1;
+        };
+
+        let mut seqs = Vec::new();
+        let mut pos = 0usize;
+        let mut anchor = 0usize;
+        while pos + cfg.min_match <= data.len() {
+            let (mut len, mut off) = self.best_match(data, pos, &head, &prev, window);
+            insert(data, pos, &mut head, &mut prev);
+            if len == 0 {
+                pos += 1;
+                continue;
+            }
+            if cfg.lazy && pos + 1 + cfg.min_match <= data.len() {
+                let (len2, off2) = self.best_match(data, pos + 1, &head, &prev, window);
+                if len2 > len + 1 {
+                    // Emit current byte as a literal; take the later match.
+                    insert(data, pos + 1, &mut head, &mut prev);
+                    pos += 1;
+                    len = len2;
+                    off = off2;
+                }
+            }
+            seqs.push(Seq {
+                lit_len: (pos - anchor) as u32,
+                match_len: len as u32,
+                offset: off as u32,
+            });
+            let end = pos + len;
+            let mut p = pos + 1;
+            while p + cfg.min_match <= data.len() && p < end {
+                insert(data, p, &mut head, &mut prev);
+                p += 1;
+            }
+            pos = end;
+            anchor = pos;
+        }
+        Parse {
+            seqs,
+            last_literals: (data.len() - anchor) as u32,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::window;
+    use cdpu_util::rng::Xoshiro256;
+
+    fn roundtrip_with<F: Fn(&[u8]) -> Parse>(data: &[u8], f: F) -> Parse {
+        let parse = f(data);
+        assert_eq!(parse.total_len(), data.len(), "parse must cover input");
+        let lits = parse.literal_bytes(data);
+        let out = window::reconstruct(&parse, &lits, None).expect("valid parse");
+        assert_eq!(out, data, "reconstruction mismatch");
+        parse
+    }
+
+    fn sample_texts(rng: &mut Xoshiro256) -> Vec<Vec<u8>> {
+        let mut inputs: Vec<Vec<u8>> = vec![
+            vec![],
+            b"a".to_vec(),
+            b"abc".to_vec(),
+            b"aaaa".to_vec(),
+            b"aaaaaaaaaaaaaaaaaaaaaaaaaaaaa".to_vec(),
+            b"abcdabcdabcdabcdabcd".to_vec(),
+            b"the quick brown fox jumps over the lazy dog".repeat(5),
+        ];
+        for _ in 0..10 {
+            let len = rng.index(5000);
+            let mut v = vec![0u8; len];
+            rng.fill_bytes(&mut v);
+            inputs.push(v);
+        }
+        // Compressible: small alphabet with long runs.
+        for _ in 0..10 {
+            let len = rng.index(5000);
+            let mut v = Vec::with_capacity(len);
+            while v.len() < len {
+                let run = rng.index(30) + 1;
+                let b = b'a' + rng.index(4) as u8;
+                v.extend(std::iter::repeat_n(b, run.min(len - v.len())));
+            }
+            inputs.push(v);
+        }
+        inputs
+    }
+
+    #[test]
+    fn hash_table_roundtrips() {
+        let mut rng = Xoshiro256::seed_from(21);
+        for data in sample_texts(&mut rng) {
+            for cfg in [
+                MatcherConfig::snappy_sw(),
+                MatcherConfig::snappy_hw(),
+                MatcherConfig {
+                    entries_log: 9,
+                    ..MatcherConfig::snappy_hw()
+                },
+                MatcherConfig {
+                    ways: 4,
+                    ..MatcherConfig::snappy_hw()
+                },
+                MatcherConfig {
+                    window_log: 11,
+                    ..MatcherConfig::snappy_hw()
+                },
+            ] {
+                let m = HashTableMatcher::new(cfg);
+                roundtrip_with(&data, |d| m.parse(d));
+            }
+        }
+    }
+
+    #[test]
+    fn hash_chain_roundtrips() {
+        let mut rng = Xoshiro256::seed_from(22);
+        for data in sample_texts(&mut rng) {
+            for cfg in [
+                ChainConfig::default_level(),
+                ChainConfig {
+                    max_chain: 1,
+                    ..ChainConfig::default_level()
+                },
+                ChainConfig {
+                    max_chain: 64,
+                    lazy: true,
+                    ..ChainConfig::default_level()
+                },
+                ChainConfig {
+                    window_log: 10,
+                    ..ChainConfig::default_level()
+                },
+            ] {
+                let m = HashChainMatcher::new(cfg);
+                roundtrip_with(&data, |d| m.parse(d));
+            }
+        }
+    }
+
+    #[test]
+    fn offsets_respect_window() {
+        let mut rng = Xoshiro256::seed_from(23);
+        let mut data = Vec::new();
+        for _ in 0..200 {
+            let b = b'a' + rng.index(3) as u8;
+            data.extend(std::iter::repeat_n(b, rng.index(20) + 1));
+        }
+        for wlog in [4u32, 8, 12] {
+            let m = HashTableMatcher::new(MatcherConfig {
+                window_log: wlog,
+                ..MatcherConfig::snappy_hw()
+            });
+            let parse = m.parse(&data);
+            for s in &parse.seqs {
+                assert!(s.offset as usize <= 1 << wlog, "offset {} window {}", s.offset, 1 << wlog);
+                assert!(s.offset > 0);
+                assert!(s.match_len as usize >= MIN_MATCH);
+            }
+        }
+    }
+
+    #[test]
+    fn repetitive_data_mostly_matches() {
+        let data = b"0123456789abcdef".repeat(256);
+        let m = HashTableMatcher::new(MatcherConfig::snappy_hw());
+        let parse = m.parse(&data);
+        let match_frac = parse.matched_len() as f64 / data.len() as f64;
+        assert!(match_frac > 0.95, "matched only {match_frac}");
+    }
+
+    #[test]
+    fn random_data_mostly_literals() {
+        let mut rng = Xoshiro256::seed_from(4);
+        let mut data = vec![0u8; 16384];
+        rng.fill_bytes(&mut data);
+        let m = HashTableMatcher::new(MatcherConfig::snappy_hw());
+        let parse = m.parse(&data);
+        let match_frac = parse.matched_len() as f64 / data.len() as f64;
+        assert!(match_frac < 0.05, "random data matched {match_frac}");
+    }
+
+    #[test]
+    fn skip_costs_a_little_ratio() {
+        // On mixed compressible/incompressible data the skip mechanism must
+        // never find MORE matched bytes than exhaustive probing.
+        let mut rng = Xoshiro256::seed_from(5);
+        let mut data = vec![0u8; 8192];
+        rng.fill_bytes(&mut data);
+        data.extend(b"abcdefgh".repeat(1024));
+        let no_skip = HashTableMatcher::new(MatcherConfig::snappy_hw()).parse(&data);
+        let with_skip = HashTableMatcher::new(MatcherConfig::snappy_sw()).parse(&data);
+        assert!(no_skip.matched_len() >= with_skip.matched_len());
+    }
+
+    #[test]
+    fn smaller_hash_table_finds_fewer_or_equal_matches() {
+        let mut rng = Xoshiro256::seed_from(6);
+        let mut data = Vec::new();
+        for _ in 0..400 {
+            let b = rng.index(64) as u8;
+            data.extend(std::iter::repeat_n(b, rng.index(12) + 1));
+        }
+        let big = HashTableMatcher::new(MatcherConfig {
+            entries_log: 14,
+            ..MatcherConfig::snappy_hw()
+        })
+        .parse(&data);
+        let tiny = HashTableMatcher::new(MatcherConfig {
+            entries_log: 4,
+            ..MatcherConfig::snappy_hw()
+        })
+        .parse(&data);
+        assert!(tiny.matched_len() <= big.matched_len());
+    }
+
+    #[test]
+    fn deeper_chain_never_hurts() {
+        let data = b"lorem ipsum dolor sit amet lorem ipsum dolor sit amet consectetur".repeat(20);
+        let shallow = HashChainMatcher::new(ChainConfig {
+            max_chain: 1,
+            ..ChainConfig::default_level()
+        })
+        .parse(&data);
+        let deep = HashChainMatcher::new(ChainConfig {
+            max_chain: 128,
+            ..ChainConfig::default_level()
+        })
+        .parse(&data);
+        assert!(deep.matched_len() >= shallow.matched_len());
+    }
+
+    #[test]
+    #[should_panic]
+    fn ways_exceeding_entries_panics() {
+        let _ = HashTableMatcher::new(MatcherConfig {
+            entries_log: 1,
+            ways: 4,
+            ..MatcherConfig::snappy_hw()
+        });
+    }
+}

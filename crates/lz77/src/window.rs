@@ -1,0 +1,167 @@
+//! Sequence application (the LZ77 decode side).
+//!
+//! The paper's LZ77 decoder block (Section 5.2) consumes `(offset, length,
+//! literal)` triplets and produces output by copying from a history window,
+//! falling back to memory when the offset exceeds the on-chip SRAM. This
+//! module provides the functional equivalent: [`reconstruct`] applies a
+//! [`Parse`] against a literal stream, validating every offset; the
+//! byte-granular copy handles the classic overlapping case (`offset <
+//! length`) that RLE-style matches rely on.
+
+use crate::{Lz77Error, Parse, Seq};
+
+/// Applies one copy of `len` bytes from `offset` back onto `out`.
+///
+/// Overlapping copies replicate already-written bytes (e.g. `offset == 1`
+/// extends a run), which is why the copy is byte-sequential.
+///
+/// # Errors
+///
+/// [`Lz77Error::BadOffset`] if `offset == 0` or exceeds the bytes produced.
+pub fn apply_copy(out: &mut Vec<u8>, offset: u32, len: u32) -> Result<(), Lz77Error> {
+    if offset == 0 || offset as usize > out.len() {
+        return Err(Lz77Error::BadOffset {
+            offset,
+            produced: out.len(),
+        });
+    }
+    let start = out.len() - offset as usize;
+    out.reserve(len as usize);
+    for i in 0..len as usize {
+        let b = out[start + i];
+        out.push(b);
+    }
+    Ok(())
+}
+
+/// Reconstructs the original buffer from a parse and its literal stream.
+///
+/// `max_window`, when given, enforces the decoder's window bound — a copy
+/// whose offset exceeds it fails with [`Lz77Error::OffsetExceedsWindow`]
+/// (the hardware analogue: the offset falls outside even the off-chip
+/// fallback range allowed by the algorithm's framing).
+///
+/// # Errors
+///
+/// [`Lz77Error::LiteralsExhausted`] if `literals` is shorter than the parse
+/// requires, plus the offset errors described above.
+pub fn reconstruct(
+    parse: &Parse,
+    literals: &[u8],
+    max_window: Option<u32>,
+) -> Result<Vec<u8>, Lz77Error> {
+    let mut out = Vec::with_capacity(parse.total_len());
+    let mut lit_pos = 0usize;
+    for seq in &parse.seqs {
+        lit_pos = take_literals(&mut out, literals, lit_pos, seq.lit_len)?;
+        check_window(seq, max_window)?;
+        apply_copy(&mut out, seq.offset, seq.match_len)?;
+    }
+    take_literals(&mut out, literals, lit_pos, parse.last_literals)?;
+    Ok(out)
+}
+
+fn take_literals(
+    out: &mut Vec<u8>,
+    literals: &[u8],
+    lit_pos: usize,
+    n: u32,
+) -> Result<usize, Lz77Error> {
+    let end = lit_pos + n as usize;
+    if end > literals.len() {
+        return Err(Lz77Error::LiteralsExhausted);
+    }
+    out.extend_from_slice(&literals[lit_pos..end]);
+    Ok(end)
+}
+
+fn check_window(seq: &Seq, max_window: Option<u32>) -> Result<(), Lz77Error> {
+    if let Some(window) = max_window {
+        if seq.offset > window {
+            return Err(Lz77Error::OffsetExceedsWindow {
+                offset: seq.offset,
+                window,
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn non_overlapping_copy() {
+        let mut out = b"abcd".to_vec();
+        apply_copy(&mut out, 4, 4).unwrap();
+        assert_eq!(out, b"abcdabcd");
+    }
+
+    #[test]
+    fn overlapping_copy_replicates() {
+        let mut out = b"ab".to_vec();
+        apply_copy(&mut out, 1, 5).unwrap();
+        assert_eq!(out, b"abbbbbb");
+        let mut out = b"xy".to_vec();
+        apply_copy(&mut out, 2, 6).unwrap();
+        assert_eq!(out, b"xyxyxyxy");
+    }
+
+    #[test]
+    fn zero_offset_rejected() {
+        let mut out = b"a".to_vec();
+        assert_eq!(
+            apply_copy(&mut out, 0, 1),
+            Err(Lz77Error::BadOffset { offset: 0, produced: 1 })
+        );
+    }
+
+    #[test]
+    fn offset_past_start_rejected() {
+        let mut out = b"ab".to_vec();
+        assert_eq!(
+            apply_copy(&mut out, 3, 1),
+            Err(Lz77Error::BadOffset { offset: 3, produced: 2 })
+        );
+    }
+
+    #[test]
+    fn reconstruct_simple() {
+        let parse = Parse {
+            seqs: vec![Seq { lit_len: 4, match_len: 4, offset: 4 }],
+            last_literals: 1,
+        };
+        assert_eq!(reconstruct(&parse, b"abcd!", None).unwrap(), b"abcdabcd!");
+    }
+
+    #[test]
+    fn reconstruct_literal_exhaustion() {
+        let parse = Parse {
+            seqs: vec![],
+            last_literals: 10,
+        };
+        assert_eq!(
+            reconstruct(&parse, b"short", None),
+            Err(Lz77Error::LiteralsExhausted)
+        );
+    }
+
+    #[test]
+    fn reconstruct_window_enforcement() {
+        let parse = Parse {
+            seqs: vec![Seq { lit_len: 8, match_len: 4, offset: 8 }],
+            last_literals: 0,
+        };
+        assert!(reconstruct(&parse, b"abcdefgh", Some(8)).is_ok());
+        assert_eq!(
+            reconstruct(&parse, b"abcdefgh", Some(4)),
+            Err(Lz77Error::OffsetExceedsWindow { offset: 8, window: 4 })
+        );
+    }
+
+    #[test]
+    fn reconstruct_empty() {
+        assert_eq!(reconstruct(&Parse::default(), b"", None).unwrap(), b"");
+    }
+}

@@ -1,0 +1,330 @@
+//! The Snappy framing format — the "streaming equivalent" API.
+//!
+//! Section 3.4 observes that the (de)compression API has been stable for
+//! decades: "a stateless, buffer-in, buffer-out API ... and a streaming
+//! equivalent". This module implements the streaming side for Snappy,
+//! following the published `framing_format.txt`:
+//!
+//! - stream identifier chunk (`0xff`, payload `sNaPpY`);
+//! - compressed (`0x00`) and uncompressed (`0x01`) data chunks, each
+//!   carrying a masked CRC-32C of the uncompressed payload;
+//! - padding (`0xfe`) and skippable (`0x80`–`0xfd`) chunks are tolerated;
+//!   reserved unskippable chunks (`0x02`–`0x7f`) abort.
+//!
+//! Data is framed in ≤ 64 KiB chunks, so a decoder needs bounded memory —
+//! the property that makes the format suitable for RPC/storage streams.
+
+use cdpu_util::crc32c::masked_crc32c;
+
+/// Maximum uncompressed payload per chunk (framing_format.txt §4.2).
+pub const MAX_CHUNK_UNCOMPRESSED: usize = 65536;
+
+const CHUNK_COMPRESSED: u8 = 0x00;
+const CHUNK_UNCOMPRESSED: u8 = 0x01;
+const CHUNK_PADDING: u8 = 0xFE;
+const CHUNK_STREAM_ID: u8 = 0xFF;
+const STREAM_ID: &[u8; 6] = b"sNaPpY";
+
+/// Errors from framed-stream decoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameError {
+    /// The stream does not begin with the identifier chunk.
+    MissingStreamId,
+    /// A chunk header or payload was cut short.
+    Truncated,
+    /// A chunk's CRC did not match its decompressed payload.
+    BadChecksum,
+    /// An inner Snappy block failed to decode.
+    BadBlock(crate::SnappyError),
+    /// A reserved unskippable chunk type was encountered.
+    ReservedChunk(u8),
+    /// A data chunk exceeded the 64 KiB uncompressed limit.
+    OversizedChunk,
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::MissingStreamId => write!(f, "missing sNaPpY stream identifier"),
+            FrameError::Truncated => write!(f, "framed stream truncated"),
+            FrameError::BadChecksum => write!(f, "chunk checksum mismatch"),
+            FrameError::BadBlock(e) => write!(f, "inner block: {e}"),
+            FrameError::ReservedChunk(t) => write!(f, "reserved unskippable chunk {t:#04x}"),
+            FrameError::OversizedChunk => write!(f, "chunk exceeds 64 KiB uncompressed"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FrameError::BadBlock(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+fn push_chunk_header(out: &mut Vec<u8>, ty: u8, len: usize) {
+    debug_assert!(len < (1 << 24));
+    out.push(ty);
+    out.extend_from_slice(&(len as u32).to_le_bytes()[..3]);
+}
+
+/// Incremental framed-stream encoder.
+///
+/// ```
+/// use cdpu_snappy::frame::FrameEncoder;
+/// let mut enc = FrameEncoder::new();
+/// enc.write(b"first part, ");
+/// enc.write(b"second part");
+/// let stream = enc.finish();
+/// let back = cdpu_snappy::frame::decompress_frames(&stream).unwrap();
+/// assert_eq!(back, b"first part, second part");
+/// ```
+#[derive(Debug, Clone)]
+pub struct FrameEncoder {
+    out: Vec<u8>,
+    pending: Vec<u8>,
+}
+
+impl Default for FrameEncoder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FrameEncoder {
+    /// Starts a stream (emits the identifier chunk).
+    pub fn new() -> Self {
+        let mut out = Vec::new();
+        push_chunk_header(&mut out, CHUNK_STREAM_ID, STREAM_ID.len());
+        out.extend_from_slice(STREAM_ID);
+        FrameEncoder {
+            out,
+            pending: Vec::new(),
+        }
+    }
+
+    /// Appends data; full 64 KiB chunks are framed immediately.
+    pub fn write(&mut self, data: &[u8]) {
+        self.pending.extend_from_slice(data);
+        while self.pending.len() >= MAX_CHUNK_UNCOMPRESSED {
+            let rest = self.pending.split_off(MAX_CHUNK_UNCOMPRESSED);
+            let chunk = std::mem::replace(&mut self.pending, rest);
+            self.emit_chunk(&chunk);
+        }
+    }
+
+    fn emit_chunk(&mut self, chunk: &[u8]) {
+        let crc = masked_crc32c(chunk);
+        let compressed = crate::compress(chunk);
+        if compressed.len() < chunk.len() {
+            push_chunk_header(&mut self.out, CHUNK_COMPRESSED, 4 + compressed.len());
+            self.out.extend_from_slice(&crc.to_le_bytes());
+            self.out.extend_from_slice(&compressed);
+        } else {
+            push_chunk_header(&mut self.out, CHUNK_UNCOMPRESSED, 4 + chunk.len());
+            self.out.extend_from_slice(&crc.to_le_bytes());
+            self.out.extend_from_slice(chunk);
+        }
+    }
+
+    /// Flushes the tail chunk and returns the completed stream.
+    pub fn finish(mut self) -> Vec<u8> {
+        if !self.pending.is_empty() {
+            let chunk = std::mem::take(&mut self.pending);
+            self.emit_chunk(&chunk);
+        }
+        self.out
+    }
+}
+
+/// One-shot framing compression.
+pub fn compress_frames(data: &[u8]) -> Vec<u8> {
+    let mut enc = FrameEncoder::new();
+    enc.write(data);
+    enc.finish()
+}
+
+/// Decodes a complete framed stream.
+///
+/// # Errors
+///
+/// Any [`FrameError`]: missing identifier, truncation, checksum or inner
+/// block failures, reserved chunk types.
+pub fn decompress_frames(stream: &[u8]) -> Result<Vec<u8>, FrameError> {
+    let mut pos = 0usize;
+    let mut out = Vec::new();
+    let mut saw_id = false;
+    while pos < stream.len() {
+        if pos + 4 > stream.len() {
+            return Err(FrameError::Truncated);
+        }
+        let ty = stream[pos];
+        let len = u32::from_le_bytes([stream[pos + 1], stream[pos + 2], stream[pos + 3], 0])
+            as usize;
+        pos += 4;
+        if pos + len > stream.len() {
+            return Err(FrameError::Truncated);
+        }
+        let payload = &stream[pos..pos + len];
+        pos += len;
+        match ty {
+            CHUNK_STREAM_ID => {
+                if payload != STREAM_ID {
+                    return Err(FrameError::MissingStreamId);
+                }
+                saw_id = true;
+            }
+            CHUNK_COMPRESSED | CHUNK_UNCOMPRESSED => {
+                if !saw_id {
+                    return Err(FrameError::MissingStreamId);
+                }
+                if payload.len() < 4 {
+                    return Err(FrameError::Truncated);
+                }
+                let crc = u32::from_le_bytes([payload[0], payload[1], payload[2], payload[3]]);
+                let body = &payload[4..];
+                let chunk = if ty == CHUNK_COMPRESSED {
+                    crate::decompress(body).map_err(FrameError::BadBlock)?
+                } else {
+                    body.to_vec()
+                };
+                if chunk.len() > MAX_CHUNK_UNCOMPRESSED {
+                    return Err(FrameError::OversizedChunk);
+                }
+                if masked_crc32c(&chunk) != crc {
+                    return Err(FrameError::BadChecksum);
+                }
+                out.extend_from_slice(&chunk);
+            }
+            CHUNK_PADDING => {}
+            t if (0x80..=0xFD).contains(&t) => {} // skippable
+            t => return Err(FrameError::ReservedChunk(t)),
+        }
+    }
+    if !saw_id {
+        return Err(FrameError::MissingStreamId);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdpu_util::rng::Xoshiro256;
+
+    #[test]
+    fn empty_stream_roundtrip() {
+        let s = compress_frames(b"");
+        assert_eq!(decompress_frames(&s).unwrap(), b"");
+        // Just the identifier chunk.
+        assert_eq!(s.len(), 10);
+    }
+
+    #[test]
+    fn small_roundtrip() {
+        let data = b"streaming snappy with integrity checking";
+        let s = compress_frames(data);
+        assert_eq!(decompress_frames(&s).unwrap(), data);
+    }
+
+    #[test]
+    fn multi_chunk_roundtrip() {
+        let mut rng = Xoshiro256::seed_from(1);
+        // > 64 KiB forces multiple chunks; mix compressible + not.
+        let mut data = b"compressible prefix ".repeat(5000);
+        let mut noise = vec![0u8; 100_000];
+        rng.fill_bytes(&mut noise);
+        data.extend_from_slice(&noise);
+        let s = compress_frames(&data);
+        assert_eq!(decompress_frames(&s).unwrap(), data);
+    }
+
+    #[test]
+    fn incremental_writes_equal_oneshot() {
+        let mut rng = Xoshiro256::seed_from(2);
+        let mut data = vec![0u8; 150_000];
+        rng.fill_bytes(&mut data);
+        let oneshot = compress_frames(&data);
+        let mut enc = FrameEncoder::new();
+        for piece in data.chunks(777) {
+            enc.write(piece);
+        }
+        let incremental = enc.finish();
+        assert_eq!(oneshot, incremental);
+    }
+
+    #[test]
+    fn incompressible_chunks_stored_raw() {
+        let mut rng = Xoshiro256::seed_from(3);
+        let mut data = vec![0u8; 10_000];
+        rng.fill_bytes(&mut data);
+        let s = compress_frames(&data);
+        // Type byte of the first data chunk (after the 10-byte stream id).
+        assert_eq!(s[10], 0x01, "random data should use uncompressed chunks");
+        assert_eq!(decompress_frames(&s).unwrap(), data);
+    }
+
+    #[test]
+    fn corruption_detected_by_crc() {
+        let data = b"integrity matters in storage streams ".repeat(100);
+        let s = compress_frames(&data);
+        // Flip a byte inside the first data chunk's payload.
+        let mut bad = s.clone();
+        let idx = 10 + 4 + 4 + 2; // stream id + header + crc + into body
+        bad[idx] ^= 0x01;
+        let err = decompress_frames(&bad).unwrap_err();
+        assert!(
+            matches!(err, FrameError::BadChecksum | FrameError::BadBlock(_)),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn missing_stream_id_rejected() {
+        assert_eq!(
+            decompress_frames(&[]).unwrap_err(),
+            FrameError::MissingStreamId
+        );
+        let data_chunk_first = {
+            let s = compress_frames(b"hello hello hello hello");
+            s[10..].to_vec()
+        };
+        assert_eq!(
+            decompress_frames(&data_chunk_first).unwrap_err(),
+            FrameError::MissingStreamId
+        );
+    }
+
+    #[test]
+    fn skippable_and_padding_chunks_ignored() {
+        let mut s = compress_frames(b"payload payload payload");
+        // Append padding and a skippable chunk.
+        push_chunk_header(&mut s, CHUNK_PADDING, 3);
+        s.extend_from_slice(&[0, 0, 0]);
+        push_chunk_header(&mut s, 0x80, 2);
+        s.extend_from_slice(&[9, 9]);
+        assert_eq!(decompress_frames(&s).unwrap(), b"payload payload payload");
+    }
+
+    #[test]
+    fn reserved_chunk_aborts() {
+        let mut s = compress_frames(b"x");
+        push_chunk_header(&mut s, 0x02, 1);
+        s.push(0);
+        assert_eq!(
+            decompress_frames(&s).unwrap_err(),
+            FrameError::ReservedChunk(0x02)
+        );
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let data = b"truncate me ".repeat(50);
+        let s = compress_frames(&data);
+        for cut in [1, 5, 11, s.len() - 1] {
+            assert!(decompress_frames(&s[..cut]).is_err(), "cut {cut}");
+        }
+    }
+}

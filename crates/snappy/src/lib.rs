@@ -1,0 +1,491 @@
+//! A complete implementation of the Snappy block format.
+//!
+//! Snappy is the paper's representative *lightweight* algorithm (Section
+//! 2.2): LZ77-inspired dictionary coding, **no entropy coding**, a fixed
+//! 64 KiB window, and no compression levels. It handles the largest share
+//! of compressed bytes in Google's fleet (Figure 2a), which is why two of
+//! the four CDPU pipelines evaluated in Section 6 implement it.
+//!
+//! The wire format follows the published format description
+//! (`format_description.txt` in google/snappy):
+//!
+//! - a varint preamble carrying the uncompressed length, then
+//! - tagged elements: literals (tag `00`), copies with 1-byte (`01`),
+//!   2-byte (`10`) or 4-byte (`11`) offsets.
+//!
+//! [`compress`] uses the hardware-shaped greedy hash-table matcher from
+//! `cdpu-lz77`; [`compress_with`] exposes the matcher configuration so the
+//! design-space exploration can sweep history window and hash-table sizes
+//! and measure the resulting ratio — the software-vs-hardware ratio deltas
+//! of Figure 12 come from exactly these knobs.
+//!
+//! ```
+//! let data = b"Snappy trades ratio for speed; hyperscalers use it everywhere.".to_vec();
+//! let c = cdpu_snappy::compress(&data);
+//! assert_eq!(cdpu_snappy::decompress(&c).unwrap(), data);
+//! ```
+
+pub mod frame;
+
+use cdpu_lz77::matcher::{HashTableMatcher, MatcherConfig};
+use cdpu_lz77::window::apply_copy;
+use cdpu_util::varint;
+
+/// Snappy's fixed history window: 64 KiB for both directions (Section 3.6).
+pub const WINDOW_SIZE: usize = 64 * 1024;
+
+/// Maximum bytes a single copy element can represent.
+const MAX_COPY_LEN: u32 = 64;
+/// Maximum bytes a single literal element can represent.
+const MAX_LITERAL_LEN: usize = 1 << 24; // 3-byte length encoding is plenty
+
+/// Errors from Snappy decompression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SnappyError {
+    /// The length preamble was missing or malformed.
+    BadPreamble,
+    /// The element stream ended unexpectedly.
+    Truncated,
+    /// A copy referenced bytes before the beginning of the output.
+    BadOffset,
+    /// Output did not match the preamble's length.
+    LengthMismatch {
+        /// Length the preamble promised.
+        expected: u64,
+        /// Length actually produced.
+        actual: u64,
+    },
+    /// A literal's declared length overran the input buffer.
+    BadLiteral,
+}
+
+impl std::fmt::Display for SnappyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnappyError::BadPreamble => write!(f, "bad length preamble"),
+            SnappyError::Truncated => write!(f, "compressed stream truncated"),
+            SnappyError::BadOffset => write!(f, "copy offset out of range"),
+            SnappyError::LengthMismatch { expected, actual } => {
+                write!(f, "expected {expected} bytes, produced {actual}")
+            }
+            SnappyError::BadLiteral => write!(f, "literal length overruns input"),
+        }
+    }
+}
+
+impl std::error::Error for SnappyError {}
+
+/// Upper bound on the compressed size of `len` input bytes
+/// (mirrors snappy's `MaxCompressedLength`: worst case is all literals).
+pub fn max_compressed_len(len: usize) -> usize {
+    32 + len + len / 6
+}
+
+/// Reads the uncompressed length from a compressed buffer without
+/// decompressing.
+///
+/// # Errors
+///
+/// [`SnappyError::BadPreamble`] if the varint is malformed or exceeds
+/// `u32::MAX` (the format's limit).
+pub fn decompressed_len(compressed: &[u8]) -> Result<u64, SnappyError> {
+    let (len, _) = varint::read_u32(compressed).map_err(|_| SnappyError::BadPreamble)?;
+    Ok(len as u64)
+}
+
+/// Compresses with the default (software-Snappy-shaped) matcher.
+pub fn compress(data: &[u8]) -> Vec<u8> {
+    compress_with(data, &MatcherConfig::snappy_sw())
+}
+
+/// Compresses with an explicit matcher configuration.
+///
+/// The window log is clamped to Snappy's 64 KiB ceiling because the format
+/// was designed around that window (the paper sweeps *smaller* windows to
+/// save accelerator SRAM, never larger).
+///
+/// # Panics
+///
+/// Panics if `data` exceeds the format's 4 GiB limit or the configuration
+/// is structurally invalid.
+pub fn compress_with(data: &[u8], cfg: &MatcherConfig) -> Vec<u8> {
+    assert!(data.len() <= u32::MAX as usize, "snappy caps input at 4 GiB");
+    let cfg = MatcherConfig {
+        window_log: cfg.window_log.min(16),
+        ..*cfg
+    };
+    let parse = HashTableMatcher::new(cfg).parse(data);
+
+    let mut out = Vec::with_capacity(max_compressed_len(data.len()));
+    varint::write_u64(&mut out, data.len() as u64);
+
+    let mut pos = 0usize;
+    for seq in &parse.seqs {
+        emit_literals(&mut out, &data[pos..pos + seq.lit_len as usize]);
+        pos += seq.lit_len as usize;
+        emit_copy(&mut out, seq.offset, seq.match_len);
+        pos += seq.match_len as usize;
+    }
+    emit_literals(&mut out, &data[pos..pos + parse.last_literals as usize]);
+    out
+}
+
+fn emit_literals(out: &mut Vec<u8>, mut lits: &[u8]) {
+    while !lits.is_empty() {
+        let chunk = lits.len().min(MAX_LITERAL_LEN);
+        let n = chunk - 1;
+        if n < 60 {
+            out.push((n as u8) << 2);
+        } else if n < (1 << 8) {
+            out.push(60 << 2);
+            out.push(n as u8);
+        } else if n < (1 << 16) {
+            out.push(61 << 2);
+            out.extend_from_slice(&(n as u16).to_le_bytes());
+        } else {
+            out.push(62 << 2);
+            out.extend_from_slice(&(n as u32).to_le_bytes()[..3]);
+        }
+        out.extend_from_slice(&lits[..chunk]);
+        lits = &lits[chunk..];
+    }
+}
+
+fn emit_copy(out: &mut Vec<u8>, offset: u32, mut len: u32) {
+    debug_assert!(offset >= 1 && offset as usize <= WINDOW_SIZE);
+    // Long matches split into <= 64-byte copies. Avoid a trailing copy
+    // shorter than 4 (inexpressible as type-01 when the offset is small and
+    // wasteful as type-10): if the remainder would be 1..4, emit 60 now so
+    // the tail stays >= 4.
+    while len > MAX_COPY_LEN {
+        let take = if len - MAX_COPY_LEN < 4 { 60 } else { MAX_COPY_LEN };
+        emit_one_copy(out, offset, take);
+        len -= take;
+    }
+    emit_one_copy(out, offset, len);
+}
+
+fn emit_one_copy(out: &mut Vec<u8>, offset: u32, len: u32) {
+    debug_assert!((1..=MAX_COPY_LEN).contains(&len));
+    if (4..=11).contains(&len) && offset < (1 << 11) {
+        // Type 01: 3-bit length-4, 11-bit offset.
+        let tag = 0b01 | (((len - 4) as u8) << 2) | (((offset >> 8) as u8) << 5);
+        out.push(tag);
+        out.push((offset & 0xFF) as u8);
+    } else if offset < (1 << 16) {
+        // Type 10: 6-bit length-1, 16-bit offset.
+        out.push(0b10 | (((len - 1) as u8) << 2));
+        out.extend_from_slice(&(offset as u16).to_le_bytes());
+    } else {
+        // Type 11: 6-bit length-1, 32-bit offset (unreachable with the
+        // 64 KiB window, kept for format completeness).
+        out.push(0b11 | (((len - 1) as u8) << 2));
+        out.extend_from_slice(&offset.to_le_bytes());
+    }
+}
+
+/// Decompresses a Snappy block.
+///
+/// # Errors
+///
+/// Any [`SnappyError`]: malformed preamble, truncated elements, invalid
+/// copy offsets, or a final length that disagrees with the preamble.
+pub fn decompress(compressed: &[u8]) -> Result<Vec<u8>, SnappyError> {
+    let (expected, mut pos) =
+        varint::read_u32(compressed).map_err(|_| SnappyError::BadPreamble)?;
+    let expected = expected as u64;
+    // Reserve conservatively: the declared size is untrusted input, so cap
+    // the up-front allocation and let the vector grow if the data is real.
+    let mut out: Vec<u8> = Vec::with_capacity((expected as usize).min(1 << 20));
+
+    while pos < compressed.len() {
+        let tag = compressed[pos];
+        pos += 1;
+        match tag & 0b11 {
+            0b00 => {
+                let n6 = (tag >> 2) as usize;
+                let len = if n6 < 60 {
+                    n6 + 1
+                } else {
+                    let extra = n6 - 59; // 1..=4 extra length bytes
+                    if pos + extra > compressed.len() {
+                        return Err(SnappyError::Truncated);
+                    }
+                    let mut v = 0usize;
+                    for i in 0..extra {
+                        v |= (compressed[pos + i] as usize) << (8 * i);
+                    }
+                    pos += extra;
+                    v + 1
+                };
+                if pos + len > compressed.len() {
+                    return Err(SnappyError::BadLiteral);
+                }
+                out.extend_from_slice(&compressed[pos..pos + len]);
+                pos += len;
+            }
+            0b01 => {
+                if pos + 1 > compressed.len() {
+                    return Err(SnappyError::Truncated);
+                }
+                let len = 4 + ((tag >> 2) & 0b111) as u32;
+                let offset = (((tag >> 5) as u32) << 8) | compressed[pos] as u32;
+                pos += 1;
+                apply_copy(&mut out, offset, len).map_err(|_| SnappyError::BadOffset)?;
+            }
+            0b10 => {
+                if pos + 2 > compressed.len() {
+                    return Err(SnappyError::Truncated);
+                }
+                let len = 1 + (tag >> 2) as u32;
+                let offset =
+                    u16::from_le_bytes([compressed[pos], compressed[pos + 1]]) as u32;
+                pos += 2;
+                apply_copy(&mut out, offset, len).map_err(|_| SnappyError::BadOffset)?;
+            }
+            _ => {
+                if pos + 4 > compressed.len() {
+                    return Err(SnappyError::Truncated);
+                }
+                let len = 1 + (tag >> 2) as u32;
+                let offset = u32::from_le_bytes([
+                    compressed[pos],
+                    compressed[pos + 1],
+                    compressed[pos + 2],
+                    compressed[pos + 3],
+                ]);
+                pos += 4;
+                apply_copy(&mut out, offset, len).map_err(|_| SnappyError::BadOffset)?;
+            }
+        }
+        if out.len() as u64 > expected {
+            return Err(SnappyError::LengthMismatch {
+                expected,
+                actual: out.len() as u64,
+            });
+        }
+    }
+
+    if out.len() as u64 != expected {
+        return Err(SnappyError::LengthMismatch {
+            expected,
+            actual: out.len() as u64,
+        });
+    }
+    Ok(out)
+}
+
+/// Compression ratio achieved on `data` (uncompressed / compressed), the
+/// metric the paper reports throughout.
+pub fn compression_ratio(data: &[u8]) -> f64 {
+    if data.is_empty() {
+        return 1.0;
+    }
+    data.len() as f64 / compress(data).len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdpu_util::rng::Xoshiro256;
+
+    #[test]
+    fn handcrafted_stream_decodes() {
+        // "abcabcab": literal "abc" then copy(offset=3, len=5) as type 01.
+        let stream = [0x08, 0x08, b'a', b'b', b'c', 0x05, 0x03];
+        assert_eq!(decompress(&stream).unwrap(), b"abcabcab");
+    }
+
+    #[test]
+    fn handcrafted_two_byte_copy() {
+        // literal "ab", copy(offset=2, len=13) type 10 (len-1=12 -> tag 0x32).
+        let stream = [0x0F, 0x04, b'a', b'b', 0x32, 0x02, 0x00];
+        assert_eq!(decompress(&stream).unwrap(), b"abababababababa");
+    }
+
+    #[test]
+    fn empty_input() {
+        let c = compress(b"");
+        assert_eq!(c, [0x00]);
+        assert_eq!(decompress(&c).unwrap(), b"");
+    }
+
+    #[test]
+    fn single_byte() {
+        let c = compress(b"x");
+        assert_eq!(decompress(&c).unwrap(), b"x");
+    }
+
+    #[test]
+    fn roundtrip_text() {
+        let data = b"Snappy aims for very high speeds and reasonable compression. ".repeat(100);
+        let c = compress(&data);
+        assert!(c.len() < data.len() / 4, "repetitive text should compress 4x+");
+        assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn roundtrip_random() {
+        let mut rng = Xoshiro256::seed_from(1);
+        for _ in 0..20 {
+            let len = rng.index(100_000);
+            let mut data = vec![0u8; len];
+            rng.fill_bytes(&mut data);
+            let c = compress(&data);
+            assert!(c.len() <= max_compressed_len(len));
+            assert_eq!(decompress(&c).unwrap(), data);
+        }
+    }
+
+    #[test]
+    fn roundtrip_runs_and_overlaps() {
+        // Long runs exercise overlapping copies (offset 1) and copy
+        // splitting (> 64-byte matches).
+        for run in [1usize, 3, 63, 64, 65, 67, 127, 128, 129, 1000, 65_537] {
+            let data = vec![b'z'; run];
+            assert_eq!(decompress(&compress(&data)).unwrap(), data, "run {run}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_structured() {
+        let mut rng = Xoshiro256::seed_from(7);
+        let mut data = Vec::new();
+        for i in 0..2000 {
+            data.extend_from_slice(
+                format!("key{:04}=value{:06};", i % 50, rng.index(100)).as_bytes(),
+            );
+        }
+        let c = compress(&data);
+        assert!(c.len() < data.len());
+        assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn long_literals_use_extended_lengths() {
+        // Incompressible block > 60 bytes forces multi-byte literal lengths.
+        let mut rng = Xoshiro256::seed_from(3);
+        for len in [61usize, 256, 257, 65_536, 70_000] {
+            let mut data = vec![0u8; len];
+            rng.fill_bytes(&mut data);
+            assert_eq!(decompress(&compress(&data)).unwrap(), data, "len {len}");
+        }
+    }
+
+    #[test]
+    fn decompressed_len_reads_preamble() {
+        let data = vec![7u8; 12345];
+        let c = compress(&data);
+        assert_eq!(decompressed_len(&c).unwrap(), 12345);
+    }
+
+    #[test]
+    fn window_respected_by_far_matches() {
+        // Duplicate block 128 KiB apart: beyond Snappy's window, so the
+        // second copy of the block cannot reference the first; decode must
+        // still work and offsets stay in range.
+        let mut rng = Xoshiro256::seed_from(9);
+        let mut block = vec![0u8; 4096];
+        rng.fill_bytes(&mut block);
+        let mut data = block.clone();
+        data.extend(std::iter::repeat_n(0u8, 128 * 1024));
+        data.extend_from_slice(&block);
+        let c = compress(&data);
+        assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn truncation_errors() {
+        let data = b"hello hello hello hello".repeat(10);
+        let c = compress(&data);
+        for cut in [0, 1, 2, c.len() / 2, c.len() - 1] {
+            let r = decompress(&c[..cut]);
+            assert!(r.is_err(), "cut {cut} should fail");
+        }
+    }
+
+    #[test]
+    fn bad_offset_rejected() {
+        // Preamble 4, copy type 01 with offset 5 but nothing produced yet.
+        let stream = [0x04, 0x05, 0x05];
+        assert_eq!(decompress(&stream).unwrap_err(), SnappyError::BadOffset);
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        // Preamble says 10 but only a 3-byte literal follows.
+        let stream = [0x0A, 0x08, b'a', b'b', b'c'];
+        assert!(matches!(
+            decompress(&stream).unwrap_err(),
+            SnappyError::LengthMismatch { expected: 10, actual: 3 }
+        ));
+    }
+
+    #[test]
+    fn overrun_output_rejected() {
+        // Preamble says 2 but a 3-byte literal follows.
+        let stream = [0x02, 0x08, b'a', b'b', b'c'];
+        assert!(matches!(
+            decompress(&stream).unwrap_err(),
+            SnappyError::LengthMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn hw_matcher_ratio_at_least_sw() {
+        // The hardware config (no skip) must never compress worse than the
+        // software config on mixed data — the effect behind the paper's
+        // "+1.1% ratio vs software" observation (Section 6.3).
+        let mut rng = Xoshiro256::seed_from(11);
+        let mut data = vec![0u8; 32 * 1024];
+        rng.fill_bytes(&mut data);
+        data.extend(b"abcdefghij".repeat(3000));
+        let sw = compress_with(&data, &MatcherConfig::snappy_sw()).len();
+        let hw = compress_with(&data, &MatcherConfig::snappy_hw()).len();
+        assert!(hw <= sw, "hw {hw} vs sw {sw}");
+    }
+
+    #[test]
+    fn smaller_window_weakens_ratio() {
+        // Periodic data with an 8 KiB period: visible to a 64 KiB window,
+        // invisible to a 4 KiB window.
+        let mut rng = Xoshiro256::seed_from(13);
+        let mut period = vec![0u8; 8 * 1024];
+        rng.fill_bytes(&mut period);
+        let mut data = Vec::new();
+        for _ in 0..8 {
+            data.extend_from_slice(&period);
+        }
+        let big = compress_with(&data, &MatcherConfig::snappy_hw()).len();
+        let small = compress_with(
+            &data,
+            &MatcherConfig {
+                window_log: 12,
+                ..MatcherConfig::snappy_hw()
+            },
+        )
+        .len();
+        assert!(big < small, "64K window {big} should beat 4K window {small}");
+    }
+
+    #[test]
+    fn garbage_preamble_rejected() {
+        assert_eq!(decompress(&[]).unwrap_err(), SnappyError::BadPreamble);
+        // 6-byte varint overflows u32.
+        assert_eq!(
+            decompress(&[0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01]).unwrap_err(),
+            SnappyError::BadPreamble
+        );
+    }
+
+    #[test]
+    fn ratio_metric() {
+        assert_eq!(compression_ratio(b""), 1.0);
+        let data = b"abc".repeat(1000);
+        assert!(compression_ratio(&data) > 5.0);
+        let mut rng = Xoshiro256::seed_from(2);
+        let mut noise = vec![0u8; 10_000];
+        rng.fill_bytes(&mut noise);
+        assert!(compression_ratio(&noise) <= 1.0);
+    }
+}

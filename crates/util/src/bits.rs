@@ -1,0 +1,529 @@
+//! Bit-level readers and writers.
+//!
+//! Two stream orientations are provided because the two entropy-coding
+//! families in the framework want different layouts:
+//!
+//! - **MSB-first, forward** ([`MsbBitWriter`] / [`MsbBitReader`]): used by the
+//!   canonical Huffman coder. Codes are written most-significant-bit first and
+//!   the decoder walks the stream front to back. This orientation also lets
+//!   the hardware model's *speculative* Huffman expander start a decode at an
+//!   arbitrary bit offset (Section 5.3 of the paper).
+//! - **LSB-first, backward-read** ([`BitWriter`] / [`ReverseBitReader`]):
+//!   the FSE/tANS layout. The encoder writes fields LSB-first, front to back;
+//!   the decoder starts from a terminator bit at the *end* of the stream and
+//!   reads fields in reverse (LIFO) order — exactly the ZStandard bitstream
+//!   convention that lets the FSE encoder run over symbols backward while the
+//!   decoder emits them forward.
+//!
+//! A plain forward LSB reader ([`BitReader`]) is included for tests and for
+//! formats with simple little-endian bit fields.
+
+/// Error returned when a reader runs out of bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BitstreamExhausted;
+
+impl std::fmt::Display for BitstreamExhausted {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "bitstream exhausted")
+    }
+}
+
+impl std::error::Error for BitstreamExhausted {}
+
+const MAX_FIELD_BITS: u32 = 57;
+
+/// LSB-first bit accumulator producing a byte vector.
+///
+/// Fields of up to 57 bits are appended least-significant-bit first. Pair
+/// with [`ReverseBitReader`] (after [`BitWriter::finish_with_marker`]) for
+/// FSE-style streams, or with [`BitReader`] for forward reading.
+///
+/// ```
+/// use cdpu_util::bits::{BitWriter, BitReader};
+/// let mut w = BitWriter::new();
+/// w.write_bits(0b101, 3);
+/// w.write_bits(0xFF, 8);
+/// let (bytes, len) = w.finish();
+/// assert_eq!(len, 11);
+/// let mut r = BitReader::new(&bytes);
+/// assert_eq!(r.read_bits(3).unwrap(), 0b101);
+/// assert_eq!(r.read_bits(8).unwrap(), 0xFF);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    acc: u64,
+    acc_bits: u32,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of bits written so far.
+    pub fn bit_len(&self) -> usize {
+        self.bytes.len() * 8 + self.acc_bits as usize
+    }
+
+    /// Appends the low `nbits` of `value`, LSB first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nbits > 57` or if `value` has bits set above `nbits`.
+    pub fn write_bits(&mut self, value: u64, nbits: u32) {
+        assert!(nbits <= MAX_FIELD_BITS, "field too wide: {nbits}");
+        debug_assert!(
+            nbits == 64 || value < (1u64 << nbits),
+            "value {value:#x} does not fit in {nbits} bits"
+        );
+        self.acc |= value << self.acc_bits;
+        self.acc_bits += nbits;
+        while self.acc_bits >= 8 {
+            self.bytes.push((self.acc & 0xFF) as u8);
+            self.acc >>= 8;
+            self.acc_bits -= 8;
+        }
+    }
+
+    /// Finishes the stream, zero-padding the final partial byte.
+    /// Returns `(bytes, exact_bit_count)`.
+    pub fn finish(mut self) -> (Vec<u8>, usize) {
+        let bit_len = self.bit_len();
+        if self.acc_bits > 0 {
+            self.bytes.push((self.acc & 0xFF) as u8);
+        }
+        (self.bytes, bit_len)
+    }
+
+    /// Finishes the stream FSE-style: appends a single `1` terminator bit and
+    /// zero-pads to a byte boundary. [`ReverseBitReader`] locates this
+    /// terminator to find the logical end of the stream, so the exact bit
+    /// count does not need to be transmitted out of band.
+    pub fn finish_with_marker(mut self) -> Vec<u8> {
+        self.write_bits(1, 1);
+        self.finish().0
+    }
+}
+
+/// Forward, LSB-first bit reader over a byte slice.
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    bytes: &'a [u8],
+    /// Absolute bit cursor (0 = LSB of bytes[0]).
+    pos: usize,
+}
+
+impl<'a> BitReader<'a> {
+    /// Creates a reader over `bytes`, positioned at bit 0.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        BitReader { bytes, pos: 0 }
+    }
+
+    /// Bits remaining.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() * 8 - self.pos
+    }
+
+    /// Reads `nbits` (≤ 57) as an LSB-first field.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BitstreamExhausted`] if fewer than `nbits` remain.
+    pub fn read_bits(&mut self, nbits: u32) -> Result<u64, BitstreamExhausted> {
+        assert!(nbits <= MAX_FIELD_BITS);
+        if self.remaining() < nbits as usize {
+            return Err(BitstreamExhausted);
+        }
+        let v = extract_bits_lsb(self.bytes, self.pos, nbits);
+        self.pos += nbits as usize;
+        Ok(v)
+    }
+}
+
+/// Extracts `nbits` starting at absolute LSB-first bit index `start`.
+fn extract_bits_lsb(bytes: &[u8], start: usize, nbits: u32) -> u64 {
+    debug_assert!(nbits <= MAX_FIELD_BITS);
+    if nbits == 0 {
+        return 0;
+    }
+    let first_byte = start / 8;
+    let shift = (start % 8) as u32;
+    // Collect up to 9 bytes into a u128 window so any 57-bit field at any
+    // alignment fits.
+    let mut window: u128 = 0;
+    for i in 0..9usize {
+        let b = bytes.get(first_byte + i).copied().unwrap_or(0) as u128;
+        window |= b << (8 * i as u32);
+    }
+    ((window >> shift) as u64) & mask(nbits)
+}
+
+fn mask(nbits: u32) -> u64 {
+    if nbits >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << nbits) - 1
+    }
+}
+
+/// Backward (LIFO) reader for streams produced by
+/// [`BitWriter::finish_with_marker`].
+///
+/// Fields come back in the reverse of the order they were written; each field
+/// value is identical to what was passed to `write_bits`. This is the
+/// ZStandard/FSE convention: the entropy *encoder* walks symbols backward so
+/// the *decoder* can emit them forward.
+///
+/// ```
+/// use cdpu_util::bits::{BitWriter, ReverseBitReader};
+/// let mut w = BitWriter::new();
+/// w.write_bits(0b01, 2);
+/// w.write_bits(0b1110, 4);
+/// let bytes = w.finish_with_marker();
+/// let mut r = ReverseBitReader::new(&bytes).unwrap();
+/// assert_eq!(r.read_bits(4).unwrap(), 0b1110); // last written, first read
+/// assert_eq!(r.read_bits(2).unwrap(), 0b01);
+/// assert_eq!(r.remaining(), 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReverseBitReader<'a> {
+    bytes: &'a [u8],
+    /// Bit cursor: number of valid payload bits below the cursor.
+    pos: usize,
+}
+
+impl<'a> ReverseBitReader<'a> {
+    /// Creates a reader, locating the `1` terminator bit from the end.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BitstreamExhausted`] if the stream is empty or all-zero (no
+    /// terminator present).
+    pub fn new(bytes: &'a [u8]) -> Result<Self, BitstreamExhausted> {
+        let last_nonzero = bytes
+            .iter()
+            .rposition(|&b| b != 0)
+            .ok_or(BitstreamExhausted)?;
+        let top = 7 - bytes[last_nonzero].leading_zeros() as usize;
+        Ok(ReverseBitReader {
+            bytes,
+            pos: last_nonzero * 8 + top,
+        })
+    }
+
+    /// Payload bits remaining below the cursor.
+    pub fn remaining(&self) -> usize {
+        self.pos
+    }
+
+    /// Reads the `nbits` most recently written bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BitstreamExhausted`] if fewer than `nbits` remain.
+    pub fn read_bits(&mut self, nbits: u32) -> Result<u64, BitstreamExhausted> {
+        assert!(nbits <= MAX_FIELD_BITS);
+        if self.pos < nbits as usize {
+            return Err(BitstreamExhausted);
+        }
+        self.pos -= nbits as usize;
+        Ok(extract_bits_lsb(self.bytes, self.pos, nbits))
+    }
+}
+
+/// MSB-first bit writer: the first bit written becomes the most significant
+/// bit of the first byte. Pairs with [`MsbBitReader`].
+///
+/// ```
+/// use cdpu_util::bits::{MsbBitWriter, MsbBitReader};
+/// let mut w = MsbBitWriter::new();
+/// w.write_bits(0b1, 1);
+/// w.write_bits(0b0110, 4);
+/// let (bytes, len) = w.finish();
+/// assert_eq!(len, 5);
+/// assert_eq!(bytes[0] >> 3, 0b10110);
+/// let mut r = MsbBitReader::new(&bytes, len);
+/// assert_eq!(r.read_bits(1).unwrap(), 0b1);
+/// assert_eq!(r.read_bits(4).unwrap(), 0b0110);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MsbBitWriter {
+    bytes: Vec<u8>,
+    acc: u64,
+    acc_bits: u32,
+}
+
+impl MsbBitWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of bits written so far.
+    pub fn bit_len(&self) -> usize {
+        self.bytes.len() * 8 + self.acc_bits as usize
+    }
+
+    /// Appends the low `nbits` of `value`, most significant bit first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nbits > 57`.
+    pub fn write_bits(&mut self, value: u64, nbits: u32) {
+        assert!(nbits <= MAX_FIELD_BITS, "field too wide: {nbits}");
+        debug_assert!(nbits == 64 || value < (1u64 << nbits));
+        self.acc = (self.acc << nbits) | value;
+        self.acc_bits += nbits;
+        while self.acc_bits >= 8 {
+            self.acc_bits -= 8;
+            self.bytes.push(((self.acc >> self.acc_bits) & 0xFF) as u8);
+        }
+    }
+
+    /// Finishes the stream, zero-padding the final partial byte on the right.
+    /// Returns `(bytes, exact_bit_count)`.
+    pub fn finish(mut self) -> (Vec<u8>, usize) {
+        let bit_len = self.bit_len();
+        if self.acc_bits > 0 {
+            self.bytes
+                .push(((self.acc << (8 - self.acc_bits)) & 0xFF) as u8);
+        }
+        (self.bytes, bit_len)
+    }
+}
+
+/// Forward, MSB-first bit reader with an explicit logical length and support
+/// for random seeking — the primitive behind speculative Huffman decoding.
+#[derive(Debug, Clone)]
+pub struct MsbBitReader<'a> {
+    bytes: &'a [u8],
+    bit_len: usize,
+    pos: usize,
+}
+
+impl<'a> MsbBitReader<'a> {
+    /// Creates a reader over the first `bit_len` bits of `bytes`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit_len` exceeds the bits available in `bytes`.
+    pub fn new(bytes: &'a [u8], bit_len: usize) -> Self {
+        assert!(bit_len <= bytes.len() * 8);
+        MsbBitReader {
+            bytes,
+            bit_len,
+            pos: 0,
+        }
+    }
+
+    /// Current absolute bit position.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Moves the cursor to an absolute bit position (may be mid-stream; this
+    /// is what hardware speculation does).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos > bit_len`.
+    pub fn seek(&mut self, pos: usize) {
+        assert!(pos <= self.bit_len);
+        self.pos = pos;
+    }
+
+    /// Bits remaining.
+    pub fn remaining(&self) -> usize {
+        self.bit_len - self.pos
+    }
+
+    /// Reads `nbits` (≤ 57) MSB-first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BitstreamExhausted`] if fewer than `nbits` remain.
+    pub fn read_bits(&mut self, nbits: u32) -> Result<u64, BitstreamExhausted> {
+        if self.remaining() < nbits as usize {
+            return Err(BitstreamExhausted);
+        }
+        let v = self.peek_bits(nbits);
+        self.pos += nbits as usize;
+        Ok(v)
+    }
+
+    /// Peeks up to `nbits` without consuming; bits past the logical end read
+    /// as zero (standard table-decoder behaviour near stream end).
+    pub fn peek_bits(&self, nbits: u32) -> u64 {
+        assert!(nbits <= MAX_FIELD_BITS);
+        if nbits == 0 {
+            return 0;
+        }
+        let first_byte = self.pos / 8;
+        let shift = (self.pos % 8) as u32;
+        let mut window: u128 = 0;
+        for i in 0..9usize {
+            let b = self.bytes.get(first_byte + i).copied().unwrap_or(0) as u128;
+            window = (window << 8) | b;
+        }
+        let v = (window >> (72 - shift - nbits)) as u64 & mask(nbits);
+        // Zero out any bits past the logical end (they sit in the low bits of
+        // an MSB-first peek).
+        let avail = self.remaining().min(nbits as usize) as u32;
+        if avail == nbits {
+            v
+        } else {
+            (v >> (nbits - avail)) << (nbits - avail)
+        }
+    }
+
+    /// Consumes `nbits` after a successful peek. Consuming past the logical
+    /// end is clamped to the end.
+    pub fn consume(&mut self, nbits: u32) {
+        self.pos = (self.pos + nbits as usize).min(self.bit_len);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Xoshiro256;
+
+    #[test]
+    fn lsb_roundtrip_mixed_widths() {
+        let mut w = BitWriter::new();
+        let fields: Vec<(u64, u32)> = vec![(1, 1), (0, 2), (0x3FF, 10), (5, 3), (0, 0), (0x1FFFF, 17)];
+        for &(v, n) in &fields {
+            w.write_bits(v, n);
+        }
+        let (bytes, len) = w.finish();
+        assert_eq!(len, fields.iter().map(|f| f.1 as usize).sum::<usize>());
+        let mut r = BitReader::new(&bytes);
+        for &(v, n) in &fields {
+            assert_eq!(r.read_bits(n).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn lsb_reader_exhaustion() {
+        let mut w = BitWriter::new();
+        w.write_bits(3, 2);
+        let (bytes, _len) = w.finish();
+        let mut r = BitReader::new(&bytes);
+        r.read_bits(2).unwrap();
+        // padding bits exist in the byte, so only 6 remain
+        assert!(r.read_bits(7).is_err());
+    }
+
+    #[test]
+    fn reverse_reader_lifo_order() {
+        let mut w = BitWriter::new();
+        w.write_bits(0xA, 4);
+        w.write_bits(0x15, 5);
+        w.write_bits(1, 1);
+        let bytes = w.finish_with_marker();
+        let mut r = ReverseBitReader::new(&bytes).unwrap();
+        assert_eq!(r.read_bits(1).unwrap(), 1);
+        assert_eq!(r.read_bits(5).unwrap(), 0x15);
+        assert_eq!(r.read_bits(4).unwrap(), 0xA);
+        assert_eq!(r.remaining(), 0);
+        assert!(r.read_bits(1).is_err());
+    }
+
+    #[test]
+    fn reverse_reader_empty_or_zero_fails() {
+        assert!(ReverseBitReader::new(&[]).is_err());
+        assert!(ReverseBitReader::new(&[0, 0, 0]).is_err());
+    }
+
+    #[test]
+    fn reverse_reader_marker_only() {
+        let w = BitWriter::new();
+        let bytes = w.finish_with_marker();
+        let r = ReverseBitReader::new(&bytes).unwrap();
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn msb_roundtrip_mixed_widths() {
+        let mut w = MsbBitWriter::new();
+        let fields: Vec<(u64, u32)> = vec![(1, 1), (0b10, 2), (0x155, 10), (7, 3), (0x0FFF, 16)];
+        for &(v, n) in &fields {
+            w.write_bits(v, n);
+        }
+        let (bytes, len) = w.finish();
+        let mut r = MsbBitReader::new(&bytes, len);
+        for &(v, n) in &fields {
+            assert_eq!(r.read_bits(n).unwrap(), v);
+        }
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn msb_seek_and_peek() {
+        let mut w = MsbBitWriter::new();
+        w.write_bits(0b1011, 4);
+        w.write_bits(0b0011, 4);
+        let (bytes, len) = w.finish();
+        let mut r = MsbBitReader::new(&bytes, len);
+        r.seek(4);
+        assert_eq!(r.peek_bits(4), 0b0011);
+        assert_eq!(r.read_bits(4).unwrap(), 0b0011);
+        r.seek(0);
+        assert_eq!(r.read_bits(4).unwrap(), 0b1011);
+    }
+
+    #[test]
+    fn msb_peek_past_end_zero_padded() {
+        let mut w = MsbBitWriter::new();
+        w.write_bits(0b11, 2);
+        let (bytes, len) = w.finish();
+        let r = MsbBitReader::new(&bytes, len);
+        // peek 8 bits: 2 real (11) + 6 zero
+        assert_eq!(r.peek_bits(8), 0b1100_0000);
+    }
+
+    #[test]
+    fn randomized_lsb_roundtrip() {
+        let mut rng = Xoshiro256::seed_from(77);
+        for _trial in 0..200 {
+            let n_fields = rng.index(40) + 1;
+            let mut w = BitWriter::new();
+            let mut fields = Vec::new();
+            for _ in 0..n_fields {
+                let nbits = rng.range_u64(0, 57) as u32;
+                let v = rng.next_u64() & mask(nbits);
+                fields.push((v, nbits));
+                w.write_bits(v, nbits);
+            }
+            let bytes = w.finish_with_marker();
+            let mut r = ReverseBitReader::new(&bytes).unwrap();
+            for &(v, nbits) in fields.iter().rev() {
+                assert_eq!(r.read_bits(nbits).unwrap(), v);
+            }
+            assert_eq!(r.remaining(), 0);
+        }
+    }
+
+    #[test]
+    fn randomized_msb_roundtrip() {
+        let mut rng = Xoshiro256::seed_from(78);
+        for _trial in 0..200 {
+            let n_fields = rng.index(40) + 1;
+            let mut w = MsbBitWriter::new();
+            let mut fields = Vec::new();
+            for _ in 0..n_fields {
+                let nbits = rng.range_u64(1, 57) as u32;
+                let v = rng.next_u64() & mask(nbits);
+                fields.push((v, nbits));
+                w.write_bits(v, nbits);
+            }
+            let (bytes, len) = w.finish();
+            let mut r = MsbBitReader::new(&bytes, len);
+            for &(v, nbits) in &fields {
+                assert_eq!(r.read_bits(nbits).unwrap(), v);
+            }
+        }
+    }
+}

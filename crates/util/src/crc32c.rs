@@ -1,0 +1,101 @@
+//! CRC-32C (Castagnoli) — the checksum of Snappy's framing format.
+//!
+//! Table-driven, reflected polynomial `0x82F63B78`. Includes Snappy's
+//! *masked* variant, which rotates and offsets the CRC so that checksums
+//! of data containing embedded CRCs stay well-distributed.
+
+/// The reflected Castagnoli polynomial.
+const POLY: u32 = 0x82F6_3B78;
+
+/// Lazily built 256-entry lookup table.
+fn table() -> &'static [u32; 256] {
+    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, entry) in t.iter_mut().enumerate() {
+            let mut crc = i as u32;
+            for _ in 0..8 {
+                crc = if crc & 1 != 0 { (crc >> 1) ^ POLY } else { crc >> 1 };
+            }
+            *entry = crc;
+        }
+        t
+    })
+}
+
+/// Computes CRC-32C over `data`.
+///
+/// ```
+/// assert_eq!(cdpu_util::crc32c::crc32c(b"123456789"), 0xE306_9283);
+/// ```
+pub fn crc32c(data: &[u8]) -> u32 {
+    update(0xFFFF_FFFF, data) ^ 0xFFFF_FFFF
+}
+
+/// Streaming update: feed `state` (start from `0xFFFF_FFFF`) and finish
+/// by XOR-ing with `0xFFFF_FFFF`.
+pub fn update(mut state: u32, data: &[u8]) -> u32 {
+    let t = table();
+    for &b in data {
+        state = (state >> 8) ^ t[((state ^ b as u32) & 0xFF) as usize];
+    }
+    state
+}
+
+/// Snappy's masked CRC: `((crc >> 15) | (crc << 17)) + 0xa282ead8`
+/// (framing_format.txt §3).
+pub fn masked_crc32c(data: &[u8]) -> u32 {
+    let crc = crc32c(data);
+    crc.rotate_right(15).wrapping_add(0xA282_EAD8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn check_value() {
+        // The standard CRC-32C check value.
+        assert_eq!(crc32c(b"123456789"), 0xE306_9283);
+    }
+
+    #[test]
+    fn rfc3720_vectors() {
+        // iSCSI (RFC 3720 B.4) test vectors.
+        assert_eq!(crc32c(&[0u8; 32]), 0x8A91_36AA);
+        assert_eq!(crc32c(&[0xFFu8; 32]), 0x62A8_AB43);
+        let ascending: Vec<u8> = (0u8..32).collect();
+        assert_eq!(crc32c(&ascending), 0x46DD_794E);
+        let descending: Vec<u8> = (0u8..32).rev().collect();
+        assert_eq!(crc32c(&descending), 0x113F_DB5C);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(crc32c(b""), 0);
+    }
+
+    #[test]
+    fn streaming_matches_oneshot() {
+        let data = b"the quick brown fox jumps over the lazy dog";
+        let oneshot = crc32c(data);
+        let mut state = 0xFFFF_FFFFu32;
+        for chunk in data.chunks(7) {
+            state = update(state, chunk);
+        }
+        assert_eq!(state ^ 0xFFFF_FFFF, oneshot);
+    }
+
+    #[test]
+    fn masked_differs_and_is_stable() {
+        let m = masked_crc32c(b"snappy framing");
+        assert_ne!(m, crc32c(b"snappy framing"));
+        assert_eq!(m, masked_crc32c(b"snappy framing"));
+    }
+
+    #[test]
+    fn sensitivity() {
+        assert_ne!(crc32c(b"abc"), crc32c(b"abd"));
+        assert_ne!(crc32c(b"abc"), crc32c(b"acb"));
+    }
+}

@@ -1,0 +1,404 @@
+//! Histograms, weighted CDFs and categorical distributions.
+//!
+//! The fleet-profiling reproduction is built on byte-weighted cumulative
+//! distributions over `log2`-binned call sizes (Figures 3, 5, 6 and 7 of the
+//! paper). This module provides:
+//!
+//! - [`Log2Histogram`]: accumulate `(value, weight)` observations into
+//!   `ceil(log2(value))` bins and render the paper-style cumulative curves.
+//! - [`PiecewiseCdf`]: a continuous CDF specified by breakpoints, sampled by
+//!   inverse transform with geometric interpolation (natural for sizes that
+//!   span six orders of magnitude).
+//! - [`Categorical`]: weighted choice over a small set of discrete outcomes.
+
+use crate::ceil_log2;
+use crate::rng::Xoshiro256;
+
+/// Byte-weighted histogram over `ceil(log2(value))` bins.
+///
+/// ```
+/// use cdpu_util::hist::Log2Histogram;
+/// let mut h = Log2Histogram::new();
+/// h.record(64 * 1024, 64.0 * 1024.0);
+/// h.record(1 << 20, 1024.0 * 1024.0);
+/// let cdf = h.cumulative_percent();
+/// assert_eq!(cdf.last().unwrap().0, 20); // 1 MiB bin
+/// assert!((cdf.last().unwrap().1 - 100.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Log2Histogram {
+    /// bin -> accumulated weight; sparse, kept sorted on demand.
+    bins: std::collections::BTreeMap<u32, f64>,
+    total: f64,
+}
+
+impl Log2Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation of `value` with the given `weight`
+    /// (byte-weighted distributions pass `weight = value as f64`).
+    pub fn record(&mut self, value: u64, weight: f64) {
+        *self.bins.entry(ceil_log2(value)).or_insert(0.0) += weight;
+        self.total += weight;
+    }
+
+    /// Total accumulated weight.
+    pub fn total_weight(&self) -> f64 {
+        self.total
+    }
+
+    /// Returns `(bin, percent_of_total)` per occupied bin, ascending.
+    pub fn percent_by_bin(&self) -> Vec<(u32, f64)> {
+        if self.total == 0.0 {
+            return Vec::new();
+        }
+        self.bins
+            .iter()
+            .map(|(&b, &w)| (b, 100.0 * w / self.total))
+            .collect()
+    }
+
+    /// Returns `(bin, cumulative_percent)` ascending — the y-axis of the
+    /// paper's call-size figures.
+    pub fn cumulative_percent(&self) -> Vec<(u32, f64)> {
+        let mut acc = 0.0;
+        self.percent_by_bin()
+            .into_iter()
+            .map(|(b, p)| {
+                acc += p;
+                (b, acc)
+            })
+            .collect()
+    }
+
+    /// Cumulative percent evaluated at `bin` (0 below the first bin, 100 at
+    /// or above the last).
+    pub fn cumulative_at(&self, bin: u32) -> f64 {
+        let mut acc = 0.0;
+        for (b, p) in self.percent_by_bin() {
+            if b > bin {
+                break;
+            }
+            acc += p;
+        }
+        acc
+    }
+
+    /// The weighted median bin: smallest bin whose cumulative share reaches
+    /// 50%. Returns `None` for an empty histogram.
+    pub fn median_bin(&self) -> Option<u32> {
+        let mut acc = 0.0;
+        for (b, p) in self.percent_by_bin() {
+            acc += p;
+            if acc >= 50.0 {
+                return Some(b);
+            }
+        }
+        None
+    }
+
+    /// Maximum absolute difference between two cumulative curves, in percent
+    /// points, evaluated over the union of occupied bins (a Kolmogorov–
+    /// Smirnov-style distance used to validate HyperCompressBench against the
+    /// fleet distributions).
+    pub fn cdf_distance(&self, other: &Log2Histogram) -> f64 {
+        let bins: std::collections::BTreeSet<u32> = self
+            .bins
+            .keys()
+            .chain(other.bins.keys())
+            .copied()
+            .collect();
+        bins.into_iter()
+            .map(|b| (self.cumulative_at(b) - other.cumulative_at(b)).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+/// A continuous CDF given by breakpoints `(x_i, F_i)` with `F` ascending to
+/// 1.0. Sampling inverts the CDF, interpolating *geometrically* in `x`
+/// between breakpoints, which matches how size distributions look linear on
+/// log axes.
+///
+/// ```
+/// use cdpu_util::hist::PiecewiseCdf;
+/// use cdpu_util::rng::Xoshiro256;
+/// // 50% of mass below 64 KiB, the rest up to 1 MiB.
+/// let cdf = PiecewiseCdf::new(vec![(1024.0, 0.0), (65536.0, 0.5), (1048576.0, 1.0)]).unwrap();
+/// let mut rng = Xoshiro256::seed_from(1);
+/// let x = cdf.sample(&mut rng);
+/// assert!((1024.0..=1048576.0).contains(&x));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PiecewiseCdf {
+    points: Vec<(f64, f64)>,
+}
+
+/// Error constructing a [`PiecewiseCdf`] from invalid breakpoints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidCdf;
+
+impl std::fmt::Display for InvalidCdf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid CDF breakpoints")
+    }
+}
+
+impl std::error::Error for InvalidCdf {}
+
+impl PiecewiseCdf {
+    /// Builds a CDF from breakpoints.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidCdf`] unless there are at least two points, `x` is
+    /// strictly positive and strictly increasing, `F` is non-decreasing,
+    /// starts at 0.0 and ends at 1.0 (±1e-9).
+    pub fn new(points: Vec<(f64, f64)>) -> Result<Self, InvalidCdf> {
+        if points.len() < 2 {
+            return Err(InvalidCdf);
+        }
+        if (points[0].1).abs() > 1e-9 || (points[points.len() - 1].1 - 1.0).abs() > 1e-9 {
+            return Err(InvalidCdf);
+        }
+        for w in points.windows(2) {
+            if w[0].0 <= 0.0 || w[1].0 <= w[0].0 || w[1].1 < w[0].1 {
+                return Err(InvalidCdf);
+            }
+        }
+        Ok(PiecewiseCdf { points })
+    }
+
+    /// Evaluates `F(x)` with geometric interpolation; clamps outside the
+    /// breakpoint range.
+    pub fn eval(&self, x: f64) -> f64 {
+        let pts = &self.points;
+        if x <= pts[0].0 {
+            return pts[0].1;
+        }
+        if x >= pts[pts.len() - 1].0 {
+            return 1.0;
+        }
+        for w in pts.windows(2) {
+            let ((x0, f0), (x1, f1)) = (w[0], w[1]);
+            if x <= x1 {
+                let t = (x.ln() - x0.ln()) / (x1.ln() - x0.ln());
+                return f0 + t * (f1 - f0);
+            }
+        }
+        1.0
+    }
+
+    /// Draws one sample by inverse transform.
+    pub fn sample(&self, rng: &mut Xoshiro256) -> f64 {
+        self.quantile(rng.next_f64())
+    }
+
+    /// Inverse CDF: the `x` with `F(x) = q` (clamped to `[0, 1]`).
+    pub fn quantile(&self, q: f64) -> f64 {
+        let q = q.clamp(0.0, 1.0);
+        let pts = &self.points;
+        for w in pts.windows(2) {
+            let ((x0, f0), (x1, f1)) = (w[0], w[1]);
+            if q <= f1 {
+                if f1 == f0 {
+                    return x1;
+                }
+                let t = (q - f0) / (f1 - f0);
+                return (x0.ln() + t * (x1.ln() - x0.ln())).exp();
+            }
+        }
+        pts[pts.len() - 1].0
+    }
+}
+
+/// Weighted categorical distribution over indices `0..n`.
+///
+/// ```
+/// use cdpu_util::hist::Categorical;
+/// use cdpu_util::rng::Xoshiro256;
+/// let d = Categorical::new(&[1.0, 0.0, 3.0]).unwrap();
+/// let mut rng = Xoshiro256::seed_from(9);
+/// let i = d.sample(&mut rng);
+/// assert!(i == 0 || i == 2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Categorical {
+    cumulative: Vec<f64>,
+}
+
+/// Error constructing a [`Categorical`] with no positive weight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EmptyDistribution;
+
+impl std::fmt::Display for EmptyDistribution {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "categorical distribution has no positive weight")
+    }
+}
+
+impl std::error::Error for EmptyDistribution {}
+
+impl Categorical {
+    /// Builds a distribution from non-negative weights (not necessarily
+    /// normalized).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmptyDistribution`] if all weights are zero or the slice is
+    /// empty.
+    pub fn new(weights: &[f64]) -> Result<Self, EmptyDistribution> {
+        let total: f64 = weights.iter().sum();
+        if !(total > 0.0) {
+            return Err(EmptyDistribution);
+        }
+        let mut acc = 0.0;
+        let cumulative = weights
+            .iter()
+            .map(|&w| {
+                acc += w / total;
+                acc
+            })
+            .collect();
+        Ok(Categorical { cumulative })
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// True when there are no categories (cannot occur for a constructed
+    /// value, but required by convention alongside `len`).
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+
+    /// Draws one category index.
+    pub fn sample(&self, rng: &mut Xoshiro256) -> usize {
+        let u = rng.next_f64();
+        match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&u).expect("cdf is finite"))
+        {
+            Ok(i) | Err(i) => i.min(self.cumulative.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log2_hist_cumulative_reaches_100() {
+        let mut h = Log2Histogram::new();
+        for &(v, w) in &[(1024u64, 10.0), (2048, 30.0), (1 << 20, 60.0)] {
+            h.record(v, w);
+        }
+        let c = h.cumulative_percent();
+        assert_eq!(c.len(), 3);
+        assert!((c[0].1 - 10.0).abs() < 1e-9);
+        assert!((c[1].1 - 40.0).abs() < 1e-9);
+        assert!((c[2].1 - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn log2_hist_median() {
+        let mut h = Log2Histogram::new();
+        h.record(1 << 10, 49.0);
+        h.record(1 << 16, 2.0);
+        h.record(1 << 20, 49.0);
+        assert_eq!(h.median_bin(), Some(16));
+    }
+
+    #[test]
+    fn log2_hist_empty() {
+        let h = Log2Histogram::new();
+        assert!(h.percent_by_bin().is_empty());
+        assert_eq!(h.median_bin(), None);
+        assert_eq!(h.total_weight(), 0.0);
+    }
+
+    #[test]
+    fn cdf_distance_zero_for_identical() {
+        let mut a = Log2Histogram::new();
+        a.record(100, 1.0);
+        a.record(100_000, 2.0);
+        let b = a.clone();
+        assert_eq!(a.cdf_distance(&b), 0.0);
+    }
+
+    #[test]
+    fn cdf_distance_detects_shift() {
+        let mut a = Log2Histogram::new();
+        a.record(1 << 10, 1.0);
+        let mut b = Log2Histogram::new();
+        b.record(1 << 20, 1.0);
+        assert!((a.cdf_distance(&b) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn piecewise_cdf_validation() {
+        assert!(PiecewiseCdf::new(vec![]).is_err());
+        assert!(PiecewiseCdf::new(vec![(1.0, 0.0)]).is_err());
+        // F must start at 0 and end at 1.
+        assert!(PiecewiseCdf::new(vec![(1.0, 0.1), (2.0, 1.0)]).is_err());
+        assert!(PiecewiseCdf::new(vec![(1.0, 0.0), (2.0, 0.9)]).is_err());
+        // x must increase.
+        assert!(PiecewiseCdf::new(vec![(2.0, 0.0), (1.0, 1.0)]).is_err());
+        // F must not decrease.
+        assert!(PiecewiseCdf::new(vec![(1.0, 0.0), (2.0, 0.5), (3.0, 0.4), (4.0, 1.0)]).is_err());
+        assert!(PiecewiseCdf::new(vec![(1.0, 0.0), (4.0, 1.0)]).is_ok());
+    }
+
+    #[test]
+    fn piecewise_eval_and_quantile_inverse() {
+        let cdf =
+            PiecewiseCdf::new(vec![(1024.0, 0.0), (65536.0, 0.5), (1048576.0, 1.0)]).unwrap();
+        for q in [0.0, 0.1, 0.25, 0.5, 0.77, 1.0] {
+            let x = cdf.quantile(q);
+            assert!((cdf.eval(x) - q).abs() < 1e-9, "q={q}");
+        }
+        assert!((cdf.quantile(0.5) - 65536.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn piecewise_sampling_matches_breakpoints() {
+        let cdf =
+            PiecewiseCdf::new(vec![(1024.0, 0.0), (65536.0, 0.5), (1048576.0, 1.0)]).unwrap();
+        let mut rng = Xoshiro256::seed_from(42);
+        let n = 50_000;
+        let below = (0..n)
+            .filter(|_| cdf.sample(&mut rng) <= 65536.0)
+            .count() as f64
+            / n as f64;
+        assert!((below - 0.5).abs() < 0.01, "observed {below}");
+    }
+
+    #[test]
+    fn categorical_respects_weights() {
+        let d = Categorical::new(&[1.0, 3.0]).unwrap();
+        let mut rng = Xoshiro256::seed_from(5);
+        let n = 40_000;
+        let ones = (0..n).filter(|_| d.sample(&mut rng) == 1).count() as f64 / n as f64;
+        assert!((ones - 0.75).abs() < 0.01, "observed {ones}");
+    }
+
+    #[test]
+    fn categorical_zero_weight_never_sampled() {
+        let d = Categorical::new(&[1.0, 0.0, 1.0]).unwrap();
+        let mut rng = Xoshiro256::seed_from(6);
+        for _ in 0..10_000 {
+            assert_ne!(d.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn categorical_rejects_empty() {
+        assert!(Categorical::new(&[]).is_err());
+        assert!(Categorical::new(&[0.0, 0.0]).is_err());
+    }
+}

@@ -1,0 +1,141 @@
+//! Shared infrastructure for the CDPU framework.
+//!
+//! This crate holds the small, dependency-free building blocks used by every
+//! other crate in the workspace:
+//!
+//! - [`rng`]: deterministic pseudo-random number generation
+//!   (SplitMix64 / Xoshiro256**) so that every stochastic component of the
+//!   framework is reproducible from a single `u64` seed.
+//! - [`bits`]: bit-level readers and writers, including the backward-read
+//!   bitstream layout used by FSE/tANS entropy coding.
+//! - [`varint`]: LEB128 variable-length integers (the Snappy preamble format).
+//! - [`crc32c`]: the Castagnoli CRC of Snappy's framing format.
+//! - [`hist`]: histograms, weighted CDFs, and log2-binned call-size
+//!   distributions used throughout the fleet-profiling reproduction.
+//! - [`stats`]: tiny numeric helpers (means, geomeans, quantiles).
+//!
+//! # Examples
+//!
+//! ```
+//! use cdpu_util::rng::Xoshiro256;
+//! let mut rng = Xoshiro256::seed_from(42);
+//! let a = rng.next_u64();
+//! let b = rng.next_u64();
+//! assert_ne!(a, b);
+//! // Same seed, same stream:
+//! assert_eq!(Xoshiro256::seed_from(42).next_u64(), a);
+//! ```
+
+pub mod bits;
+pub mod crc32c;
+pub mod hist;
+pub mod rng;
+pub mod stats;
+pub mod varint;
+
+/// Formats a byte count using binary units, e.g. `65536` -> `"64 KiB"`.
+///
+/// Sizes that are not an exact multiple of the unit are rendered with one
+/// decimal place. Used by figure harnesses to label axes the way the paper
+/// does.
+///
+/// ```
+/// assert_eq!(cdpu_util::format_bytes(64 * 1024), "64 KiB");
+/// assert_eq!(cdpu_util::format_bytes(1536), "1.5 KiB");
+/// assert_eq!(cdpu_util::format_bytes(17), "17 B");
+/// ```
+pub fn format_bytes(n: u64) -> String {
+    const UNITS: [(&str, u64); 4] = [
+        ("GiB", 1 << 30),
+        ("MiB", 1 << 20),
+        ("KiB", 1 << 10),
+        ("B", 1),
+    ];
+    for (name, unit) in UNITS {
+        if n >= unit {
+            if n % unit == 0 {
+                return format!("{} {}", n / unit, name);
+            }
+            if unit > 1 {
+                return format!("{:.1} {}", n as f64 / unit as f64, name);
+            }
+        }
+    }
+    format!("{n} B")
+}
+
+/// Integer `ceil(log2(n))` as used by the paper's call-size binning
+/// (`ceil(lg2(B))` on the x-axes of Figures 3, 6 and 7).
+///
+/// `ceil_log2(1)` is `0`; `ceil_log2(0)` is defined as `0` for convenience
+/// since zero-byte calls carry no weight in byte-weighted distributions.
+///
+/// ```
+/// assert_eq!(cdpu_util::ceil_log2(1), 0);
+/// assert_eq!(cdpu_util::ceil_log2(2), 1);
+/// assert_eq!(cdpu_util::ceil_log2(3), 2);
+/// assert_eq!(cdpu_util::ceil_log2(64 * 1024), 16);
+/// assert_eq!(cdpu_util::ceil_log2(64 * 1024 + 1), 17);
+/// ```
+pub fn ceil_log2(n: u64) -> u32 {
+    if n <= 1 {
+        return 0;
+    }
+    64 - (n - 1).leading_zeros()
+}
+
+/// Integer `floor(log2(n))`. `n` must be non-zero.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+///
+/// ```
+/// assert_eq!(cdpu_util::floor_log2(1), 0);
+/// assert_eq!(cdpu_util::floor_log2(4095), 11);
+/// ```
+pub fn floor_log2(n: u64) -> u32 {
+    assert!(n != 0, "floor_log2(0) is undefined");
+    63 - n.leading_zeros()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn format_bytes_round_and_fractional() {
+        assert_eq!(format_bytes(0), "0 B");
+        assert_eq!(format_bytes(1), "1 B");
+        assert_eq!(format_bytes(1023), "1023 B");
+        assert_eq!(format_bytes(1024), "1 KiB");
+        assert_eq!(format_bytes(2048), "2 KiB");
+        assert_eq!(format_bytes(1 << 20), "1 MiB");
+        assert_eq!(format_bytes((1 << 20) + (1 << 19)), "1.5 MiB");
+        assert_eq!(format_bytes(1 << 30), "1 GiB");
+    }
+
+    #[test]
+    fn ceil_log2_matches_f64() {
+        for n in 1u64..10_000 {
+            let expect = (n as f64).log2().ceil() as u32;
+            assert_eq!(ceil_log2(n), expect, "n={n}");
+        }
+    }
+
+    #[test]
+    fn floor_log2_powers() {
+        for k in 0..63 {
+            assert_eq!(floor_log2(1 << k), k);
+            if k > 0 {
+                assert_eq!(floor_log2((1 << k) + 1), k);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn floor_log2_zero_panics() {
+        let _ = floor_log2(0);
+    }
+}

@@ -1,0 +1,107 @@
+//! Small numeric helpers used by the evaluation harnesses.
+
+/// Arithmetic mean; `None` for an empty slice.
+///
+/// ```
+/// assert_eq!(cdpu_util::stats::mean(&[1.0, 2.0, 3.0]), Some(2.0));
+/// assert_eq!(cdpu_util::stats::mean(&[]), None);
+/// ```
+pub fn mean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        None
+    } else {
+        Some(xs.iter().sum::<f64>() / xs.len() as f64)
+    }
+}
+
+/// Geometric mean of strictly positive values; `None` if empty or any value
+/// is non-positive. This is the standard aggregate for speedup ratios.
+pub fn geomean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() || xs.iter().any(|&x| x <= 0.0) {
+        return None;
+    }
+    Some((xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp())
+}
+
+/// Weighted mean with non-negative weights; `None` if total weight is zero.
+pub fn weighted_mean(pairs: &[(f64, f64)]) -> Option<f64> {
+    let total: f64 = pairs.iter().map(|&(_, w)| w).sum();
+    if total <= 0.0 {
+        return None;
+    }
+    Some(pairs.iter().map(|&(x, w)| x * w).sum::<f64>() / total)
+}
+
+/// The `q`-quantile (0 ≤ q ≤ 1) of an unsorted slice, by linear
+/// interpolation between order statistics; `None` for an empty slice.
+pub fn quantile(xs: &[f64], q: f64) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN"));
+    let q = q.clamp(0.0, 1.0);
+    let rank = q * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let t = rank - lo as f64;
+    Some(sorted[lo] * (1.0 - t) + sorted[hi] * t)
+}
+
+/// Relative error `|a - b| / |b|`; infinite if `b == 0 && a != 0`, zero if
+/// both are zero. Used by EXPERIMENTS.md acceptance checks.
+pub fn rel_err(a: f64, b: f64) -> f64 {
+    if b == 0.0 {
+        if a == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        (a - b).abs() / b.abs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_basic() {
+        assert_eq!(mean(&[2.0, 4.0]), Some(3.0));
+        assert_eq!(mean(&[]), None);
+    }
+
+    #[test]
+    fn geomean_basic() {
+        let g = geomean(&[1.0, 4.0]).unwrap();
+        assert!((g - 2.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), None);
+        assert_eq!(geomean(&[1.0, 0.0]), None);
+        assert_eq!(geomean(&[1.0, -2.0]), None);
+    }
+
+    #[test]
+    fn weighted_mean_basic() {
+        let m = weighted_mean(&[(1.0, 1.0), (3.0, 3.0)]).unwrap();
+        assert!((m - 2.5).abs() < 1e-12);
+        assert_eq!(weighted_mean(&[(1.0, 0.0)]), None);
+        assert_eq!(weighted_mean(&[]), None);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let xs = [4.0, 1.0, 3.0, 2.0];
+        assert_eq!(quantile(&xs, 0.0), Some(1.0));
+        assert_eq!(quantile(&xs, 1.0), Some(4.0));
+        assert_eq!(quantile(&xs, 0.5), Some(2.5));
+        assert_eq!(quantile(&[], 0.5), None);
+    }
+
+    #[test]
+    fn rel_err_edges() {
+        assert_eq!(rel_err(0.0, 0.0), 0.0);
+        assert_eq!(rel_err(1.0, 0.0), f64::INFINITY);
+        assert!((rel_err(11.0, 10.0) - 0.1).abs() < 1e-12);
+    }
+}

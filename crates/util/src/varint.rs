@@ -1,0 +1,166 @@
+//! LEB128 variable-length unsigned integers.
+//!
+//! This is the encoding Snappy uses for its uncompressed-length preamble:
+//! seven payload bits per byte, little-endian groups, high bit set on every
+//! byte except the last.
+
+/// Error returned when decoding a malformed or truncated varint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VarintError {
+    /// The input ended before the final (high-bit-clear) byte.
+    Truncated,
+    /// More than the maximum number of bytes for the target width, or set
+    /// bits beyond the target width.
+    Overflow,
+}
+
+impl std::fmt::Display for VarintError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VarintError::Truncated => write!(f, "varint truncated"),
+            VarintError::Overflow => write!(f, "varint overflows target width"),
+        }
+    }
+}
+
+impl std::error::Error for VarintError {}
+
+/// Appends `value` to `out` as a LEB128 varint. Returns the encoded length.
+///
+/// ```
+/// let mut buf = Vec::new();
+/// cdpu_util::varint::write_u64(&mut buf, 300);
+/// assert_eq!(buf, [0xAC, 0x02]);
+/// ```
+pub fn write_u64(out: &mut Vec<u8>, mut value: u64) -> usize {
+    let start = out.len();
+    loop {
+        let byte = (value & 0x7F) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            break;
+        }
+        out.push(byte | 0x80);
+    }
+    out.len() - start
+}
+
+/// Decodes a LEB128 varint from the front of `input`.
+/// Returns `(value, bytes_consumed)`.
+///
+/// # Errors
+///
+/// [`VarintError::Truncated`] if the terminator byte is missing;
+/// [`VarintError::Overflow`] if the encoding exceeds 10 bytes or sets bits
+/// above bit 63.
+pub fn read_u64(input: &[u8]) -> Result<(u64, usize), VarintError> {
+    let mut value: u64 = 0;
+    for (i, &byte) in input.iter().enumerate() {
+        if i >= 10 {
+            return Err(VarintError::Overflow);
+        }
+        let payload = (byte & 0x7F) as u64;
+        if i == 9 && payload > 1 {
+            return Err(VarintError::Overflow);
+        }
+        value |= payload << (7 * i);
+        if byte & 0x80 == 0 {
+            return Ok((value, i + 1));
+        }
+    }
+    Err(VarintError::Truncated)
+}
+
+/// Decodes a varint that must fit in a `u32` (the Snappy preamble limit).
+///
+/// # Errors
+///
+/// As [`read_u64`], plus [`VarintError::Overflow`] if the value exceeds
+/// `u32::MAX`.
+pub fn read_u32(input: &[u8]) -> Result<(u32, usize), VarintError> {
+    let (v, n) = read_u64(input)?;
+    if v > u32::MAX as u64 {
+        return Err(VarintError::Overflow);
+    }
+    Ok((v as u32, n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Xoshiro256;
+
+    #[test]
+    fn known_encodings() {
+        let cases: &[(u64, &[u8])] = &[
+            (0, &[0x00]),
+            (1, &[0x01]),
+            (127, &[0x7F]),
+            (128, &[0x80, 0x01]),
+            (300, &[0xAC, 0x02]),
+            (16384, &[0x80, 0x80, 0x01]),
+        ];
+        for &(v, expect) in cases {
+            let mut buf = Vec::new();
+            write_u64(&mut buf, v);
+            assert_eq!(buf, expect, "value {v}");
+            assert_eq!(read_u64(&buf).unwrap(), (v, expect.len()));
+        }
+    }
+
+    #[test]
+    fn u64_max_roundtrip() {
+        let mut buf = Vec::new();
+        let n = write_u64(&mut buf, u64::MAX);
+        assert_eq!(n, 10);
+        assert_eq!(read_u64(&buf).unwrap(), (u64::MAX, 10));
+    }
+
+    #[test]
+    fn truncated_detected() {
+        assert_eq!(read_u64(&[0x80]), Err(VarintError::Truncated));
+        assert_eq!(read_u64(&[]), Err(VarintError::Truncated));
+    }
+
+    #[test]
+    fn overflow_detected() {
+        // Eleven continuation bytes.
+        let buf = [0x80u8; 11];
+        assert_eq!(read_u64(&buf), Err(VarintError::Overflow));
+        // Tenth byte with payload > 1 overflows 64 bits.
+        let mut buf = vec![0xFFu8; 9];
+        buf.push(0x02);
+        assert_eq!(read_u64(&buf), Err(VarintError::Overflow));
+    }
+
+    #[test]
+    fn u32_limit_enforced() {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, u32::MAX as u64);
+        assert_eq!(read_u32(&buf).unwrap().0, u32::MAX);
+        let mut buf = Vec::new();
+        write_u64(&mut buf, u32::MAX as u64 + 1);
+        assert_eq!(read_u32(&buf), Err(VarintError::Overflow));
+    }
+
+    #[test]
+    fn trailing_bytes_ignored() {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, 300);
+        buf.extend_from_slice(&[0xDE, 0xAD]);
+        assert_eq!(read_u64(&buf).unwrap(), (300, 2));
+    }
+
+    #[test]
+    fn randomized_roundtrip() {
+        let mut rng = Xoshiro256::seed_from(1);
+        for _ in 0..5000 {
+            let shift = rng.index(64) as u32;
+            let v = rng.next_u64() >> shift;
+            let mut buf = Vec::new();
+            let n = write_u64(&mut buf, v);
+            assert_eq!(read_u64(&buf).unwrap(), (v, n));
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! HyperCompressBench generation: produce a benchmark suite on disk.
+//!
+//! ```sh
+//! cargo run --release --example benchmark_generator [out-dir]
+//! ```
+//!
+//! Runs the full Section 4 pipeline — chunk bank from (synthetic) corpora,
+//! fleet-targeted assembly, validation — and writes the generated files
+//! plus a manifest to `out-dir` (default: a temp directory), mirroring how
+//! the paper's open-source HyperCompressBench ships as files + parameters.
+
+use cdpu::fleet::{Algorithm, AlgoOp, Direction};
+use cdpu::hcbench::bank::{BankConfig, ChunkBank};
+use cdpu::hcbench::{generate_suite, validate, SuiteConfig};
+use cdpu::util::format_bytes;
+use std::io::Write;
+
+fn main() -> std::io::Result<()> {
+    let out_dir = std::env::args()
+        .nth(1)
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::env::temp_dir().join("hypercompressbench"));
+    std::fs::create_dir_all(&out_dir)?;
+
+    println!("Building the chunk bank (corpora → chunks → ratio tables) ...");
+    let bank = ChunkBank::build(&BankConfig {
+        chunk_size: 4096,
+        per_kind_bytes: 384 * 1024,
+        zstd_levels: vec![-5, 1, 3, 9],
+        seed: 0xBEEF,
+    });
+    println!("  bank holds {} chunks\n", bank.len());
+
+    let mut manifest = String::from("name,algorithm,direction,bytes,level,window_log,target_ratio\n");
+    for op in [
+        AlgoOp::new(Algorithm::Snappy, Direction::Compress),
+        AlgoOp::new(Algorithm::Snappy, Direction::Decompress),
+        AlgoOp::new(Algorithm::Zstd, Direction::Compress),
+        AlgoOp::new(Algorithm::Zstd, Direction::Decompress),
+    ] {
+        let suite = generate_suite(
+            &bank,
+            &SuiteConfig {
+                op,
+                files: 32,
+                max_call_bytes: 256 * 1024,
+                seed: 0xFEED,
+            },
+        );
+        let report = validate::validate_suite(&suite);
+        println!(
+            "{}: {} files, {} — CDF gap {:.1} pp, ratio {:.2} (fleet {:.2})",
+            op.label(),
+            suite.files.len(),
+            format_bytes(suite.total_uncompressed()),
+            report.callsize_cdf_gap,
+            report.achieved_ratio,
+            report.fleet_ratio
+        );
+        for f in &suite.files {
+            std::fs::write(out_dir.join(&f.name), &f.data)?;
+            manifest.push_str(&format!(
+                "{},{},{},{},{},{},{:.3}\n",
+                f.name,
+                f.op.algo.name(),
+                f.op.dir.prefix(),
+                f.data.len(),
+                f.level.map(|l| l.to_string()).unwrap_or_default(),
+                f.window_log.map(|w| w.to_string()).unwrap_or_default(),
+                f.target_ratio
+            ));
+        }
+    }
+
+    let manifest_path = out_dir.join("MANIFEST.csv");
+    let mut mf = std::fs::File::create(&manifest_path)?;
+    mf.write_all(manifest.as_bytes())?;
+    println!("\nSuite written to {}", out_dir.display());
+    println!("Manifest: {}", manifest_path.display());
+    Ok(())
+}

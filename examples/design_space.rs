@@ -1,0 +1,107 @@
+//! Design-space exploration with a recommendation: pick a CDPU for an
+//! area budget.
+//!
+//! ```sh
+//! cargo run --release --example design_space [area-budget-mm2]
+//! ```
+//!
+//! Generates a scaled HyperCompressBench, sweeps Snappy-decompressor
+//! configurations across placements and history-SRAM sizes (the Figure 11
+//! axes), prints the Pareto frontier of (area, speedup), and recommends
+//! the fastest design under the budget — the workflow the paper's
+//! framework exists to enable.
+
+use cdpu::core::dse::{
+    decompression_sweep, profile_suite, standard_histories, standard_placements, DsePoint,
+};
+use cdpu::fleet::{Algorithm, AlgoOp, Direction};
+use cdpu::hcbench::bank::{BankConfig, ChunkBank};
+use cdpu::hcbench::{generate_suite, SuiteConfig};
+use cdpu::hwsim::params::MemParams;
+use cdpu::util::format_bytes;
+
+fn main() {
+    let budget_mm2: f64 = std::env::args()
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.30);
+
+    println!("Building HyperCompressBench (scaled) ...");
+    let bank = ChunkBank::build(&BankConfig {
+        chunk_size: 4096,
+        per_kind_bytes: 256 * 1024,
+        zstd_levels: vec![1, 3],
+        seed: 7,
+    });
+    let op = AlgoOp::new(Algorithm::Snappy, Direction::Decompress);
+    let suite = generate_suite(
+        &bank,
+        &SuiteConfig {
+            op,
+            files: 48,
+            max_call_bytes: 256 * 1024,
+            seed: 99,
+        },
+    );
+    println!(
+        "  {} files, {} total\n",
+        suite.files.len(),
+        format_bytes(suite.total_uncompressed())
+    );
+
+    println!("Profiling calls and sweeping the design space ...");
+    let profiles = profile_suite(&suite);
+    let sweep = decompression_sweep(
+        &suite,
+        &profiles,
+        &standard_placements(),
+        &standard_histories(),
+        16,
+        &MemParams::default(),
+    );
+
+    // Pareto frontier on (area ↓, speedup ↑).
+    let mut points: Vec<&DsePoint> = sweep.points.iter().collect();
+    points.sort_by(|a, b| a.area_mm2.partial_cmp(&b.area_mm2).expect("finite"));
+    let mut frontier: Vec<&DsePoint> = Vec::new();
+    let mut best = 0.0f64;
+    for p in points {
+        if p.speedup > best {
+            frontier.push(p);
+            best = p.speedup;
+        }
+    }
+
+    println!("\nPareto frontier (area vs speedup):");
+    println!("{:<16} {:>8} {:>10} {:>9}", "placement", "SRAM", "area mm2", "speedup");
+    for p in &frontier {
+        println!(
+            "{:<16} {:>8} {:>10.3} {:>8.2}x",
+            p.placement.label(),
+            format_bytes(p.history_bytes as u64),
+            p.area_mm2,
+            p.speedup
+        );
+    }
+
+    match frontier
+        .iter()
+        .filter(|p| p.area_mm2 <= budget_mm2)
+        .max_by(|a, b| a.speedup.partial_cmp(&b.speedup).expect("finite"))
+    {
+        Some(pick) => println!(
+            "\nRecommendation under {budget_mm2:.2} mm2: {} with {} history SRAM \
+             → {:.1}x over Xeon at {:.3} mm2 ({:.1}% of a Xeon core).",
+            pick.placement.label(),
+            format_bytes(pick.history_bytes as u64),
+            pick.speedup,
+            pick.area_mm2,
+            100.0 * cdpu::hwsim::area::fraction_of_xeon_core(pick.area_mm2)
+        ),
+        None => println!(
+            "\nNo explored design fits {budget_mm2:.2} mm2; the smallest frontier \
+             point needs {:.3} mm2.",
+            frontier.first().map(|p| p.area_mm2).unwrap_or(f64::NAN)
+        ),
+    }
+}

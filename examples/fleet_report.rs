@@ -1,0 +1,100 @@
+//! Fleet profiling report: the Section 3 study as a runnable program.
+//!
+//! ```sh
+//! cargo run --release --example fleet_report
+//! ```
+//!
+//! Samples synthetic GWP call records from the fleet model, aggregates
+//! them, and prints the headline findings of the paper's profiling study —
+//! both from the encoded ground truth and re-derived from the samples, so
+//! you can watch the sampling pipeline converge.
+
+use cdpu::fleet::{
+    callers, levels, mix, ratios, sampler::FleetSampler, services, timeline, Algorithm, AlgoOp,
+    Direction, DECOMPRESSIONS_PER_COMPRESSION, FLEET_CYCLE_FRACTION,
+};
+use cdpu::util::format_bytes;
+
+fn main() {
+    println!("=== Hyperscale (de)compression profile (synthetic fleet) ===\n");
+
+    // Headline numbers (Section 3.2).
+    println!(
+        "(De)compression consumes {:.1}% of fleet CPU cycles; \
+         each compressed byte is decompressed {:.1}x on average.",
+        100.0 * FLEET_CYCLE_FRACTION,
+        DECOMPRESSIONS_PER_COMPRESSION
+    );
+    let deco: f64 = AlgoOp::all()
+        .into_iter()
+        .filter(|o| o.dir == Direction::Decompress)
+        .map(mix::cycle_share_percent)
+        .sum();
+    println!("Decompression's share of those cycles: {deco:.0}%\n");
+
+    // Demand concentration (Section 3.2).
+    println!("Top services by their own cycle share spent (de)compressing:");
+    for s in services::service_catalog().iter().take(5) {
+        println!(
+            "  {:<18} {:>4.1}% of its cycles, {:>4.1}% of fleet codec cycles",
+            s.name,
+            100.0 * s.own_cycles_in_codec,
+            100.0 * s.share_of_fleet_codec_cycles
+        );
+    }
+    println!(
+        "  (sixteen services cover {:.0}% of fleet Snappy/ZStd cycles)\n",
+        100.0 * services::catalog_coverage()
+    );
+
+    // Algorithm adoption (Section 3.4).
+    let months = timeline::zstd_months_to_share(10.0).expect("zstd ramps");
+    println!(
+        "ZStd took {months} months from introduction to 10% of fleet \
+         (de)compression cycles — compatible with agile hardware design cycles.\n"
+    );
+
+    // The headroom argument (Section 3.3).
+    println!("Fleet-aggregate compression ratios (Figure 2c):");
+    for bin in ratios::RatioBin::ALL {
+        println!("  {:<14} {:.2}x", bin.label(), ratios::fleet_ratio(bin));
+    }
+    println!(
+        "\n{:.0}% of ZStd bytes are compressed at level ≤ 3; switching a \
+         25%-Snappy service to high-level ZStd in software would cost \
+         +{:.0}% total cycles — the case for hardware.\n",
+        100.0 * levels::cumulative_at(3),
+        100.0 * services::projected_cycle_increase(0.25)
+    );
+
+    // Now reproduce some of it from samples, GWP-style.
+    let mut sampler = FleetSampler::new(2023);
+    let records = sampler.sample_calls(50_000);
+    let zstd_c: Vec<_> = records
+        .iter()
+        .filter(|r| r.op == AlgoOp::new(Algorithm::Zstd, Direction::Compress))
+        .collect();
+    let le3 = zstd_c.iter().filter(|r| r.level.unwrap_or(0) <= 3).count();
+    let median = {
+        let mut sizes: Vec<u64> = zstd_c.iter().map(|r| r.uncompressed_bytes).collect();
+        sizes.sort_unstable();
+        sizes.get(sizes.len() / 2).copied().unwrap_or(0)
+    };
+    println!("From {} sampled call records:", records.len());
+    println!(
+        "  ZStd-C calls at level ≤ 3: {:.1}% (ground truth {:.1}%)",
+        100.0 * le3 as f64 / zstd_c.len() as f64,
+        100.0 * levels::cumulative_at(3)
+    );
+    println!("  ZStd-C median sampled call: {}", format_bytes(median));
+    let rpc = records.iter().filter(|r| r.caller == "RPC").count();
+    println!(
+        "  Calls issued by RPC: {:.1}% (ground truth {:.1}%)",
+        100.0 * rpc as f64 / records.len() as f64,
+        callers::caller_shares()[0].percent
+    );
+    println!(
+        "  File-format libraries: {:.1}% of cycles → chaining argues for near-core placement",
+        callers::file_format_percent()
+    );
+}

@@ -1,0 +1,70 @@
+//! Placement study: where should the CDPU live?
+//!
+//! ```sh
+//! cargo run --release --example placement_study
+//! ```
+//!
+//! The paper's Section 3.5 concludes that fleet call sizes are "not
+//! sufficiently biased to immediately determine accelerator placement" —
+//! it takes an implementation-level DSE. This example runs that argument
+//! end to end: it sweeps call sizes through the hardware model at every
+//! placement and shows where each placement's break-even lies for
+//! compression vs decompression.
+
+use cdpu::core::baseline;
+use cdpu::fleet::{callsizes, Algorithm, AlgoOp, Direction};
+use cdpu::hwsim::params::{CdpuParams, MemParams, Placement};
+use cdpu::hwsim::{comp, decomp, profile};
+use cdpu::util::format_bytes;
+
+fn main() {
+    let mem = MemParams::default();
+    let sizes: Vec<usize> = (12..=22).map(|lg| 1usize << lg).collect();
+
+    for dir in [Direction::Decompress, Direction::Compress] {
+        println!("=== Snappy {dir:?}: speedup vs Xeon by call size and placement ===");
+        print!("{:>10}", "call");
+        for p in Placement::ALL {
+            print!("{:>16}", p.label());
+        }
+        println!();
+        for &size in &sizes {
+            let data = cdpu::corpus::generate(cdpu::corpus::CorpusKind::JsonLogs, size, 5);
+            print!("{:>10}", format_bytes(size as u64));
+            for placement in Placement::ALL {
+                let params = CdpuParams::full_size(placement);
+                let accel_seconds = match dir {
+                    Direction::Decompress => {
+                        let prof = profile::profile_snappy(&data);
+                        decomp::snappy_decompress(&prof, &params, &mem).seconds()
+                    }
+                    Direction::Compress => {
+                        comp::snappy_compress(&data, &params, &mem).sim.seconds()
+                    }
+                };
+                let xeon = baseline::xeon_seconds(
+                    AlgoOp::new(Algorithm::Snappy, dir),
+                    size as u64,
+                );
+                print!("{:>15.2}x", xeon / accel_seconds);
+            }
+            println!();
+        }
+        println!();
+    }
+
+    // Tie it back to the fleet: where do real calls sit on those curves?
+    println!("Fleet median call sizes (the paper's 'insufficiently biased' point):");
+    for op in callsizes::instrumented_ops() {
+        println!(
+            "  {:<10} median {}",
+            op.label(),
+            format_bytes(callsizes::median_call_size(op))
+        );
+    }
+    println!(
+        "\nReading the tables at those medians: decompression only pays at \
+         near-core/chiplet placements, while compression survives PCIe — \
+         the paper's Section 6.6 lessons 1 and 2."
+    );
+}

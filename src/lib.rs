@@ -1,0 +1,42 @@
+//! # cdpu — Compression/Decompression Processing Unit design framework
+//!
+//! A from-scratch Rust reproduction of *CDPU: Co-designing Compression and
+//! Decompression Processing Units for Hyperscale Systems* (ISCA 2023).
+//!
+//! This facade crate re-exports the workspace's public API:
+//!
+//! - [`snappy`] and [`zstd`]: real, runnable codecs (the algorithms the
+//!   paper's accelerator implements).
+//! - [`entropy`] and [`lz77`]: the reusable primitives (Huffman, FSE/tANS,
+//!   dictionary coding) shared by the codecs and the hardware model.
+//! - [`fleet`]: the hyperscale fleet profile model (Figures 1–6).
+//! - [`corpus`] and [`hcbench`]: synthetic corpora and the
+//!   HyperCompressBench generator (Section 4, Figure 7).
+//! - [`hwsim`]: the cycle-approximate CDPU hardware simulator with placement,
+//!   history-SRAM, hash-table and speculation parameters (Sections 5–6).
+//! - [`core`]: the CDPU generator front-end and design-space-exploration
+//!   driver that regenerates Figures 11–15.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use cdpu::snappy;
+//!
+//! let data = b"hyperscale systems compress hyperscale volumes of data".to_vec();
+//! let compressed = snappy::compress(&data);
+//! let restored = snappy::decompress(&compressed).unwrap();
+//! assert_eq!(restored, data);
+//! ```
+
+pub use cdpu_core as core;
+pub use cdpu_corpus as corpus;
+pub use cdpu_entropy as entropy;
+pub use cdpu_flate as flate;
+pub use cdpu_fleet as fleet;
+pub use cdpu_hcbench as hcbench;
+pub use cdpu_hwsim as hwsim;
+pub use cdpu_lite as lite;
+pub use cdpu_lz77 as lz77;
+pub use cdpu_snappy as snappy;
+pub use cdpu_util as util;
+pub use cdpu_zstd as zstd;

@@ -1,0 +1,105 @@
+//! Property-based tests for the extended codecs: Flate-class, the
+//! lightweight pair (LZO/Gipfeli), the Snappy framing format, and CRC-32C.
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn flate_roundtrip_arbitrary(data in prop::collection::vec(any::<u8>(), 0..32768), level in 1u32..=9) {
+        let cfg = cdpu::flate::FlateConfig::with_level(level);
+        let c = cdpu::flate::compress_with(&data, &cfg);
+        prop_assert_eq!(cdpu::flate::decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn flate_decompress_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..2048)) {
+        let _ = cdpu::flate::decompress(&bytes);
+    }
+
+    #[test]
+    fn lzo_roundtrip_arbitrary(data in prop::collection::vec(any::<u8>(), 0..32768), level in 1u32..=9) {
+        let c = cdpu::lite::lzo::compress_with_level(&data, level);
+        prop_assert_eq!(cdpu::lite::lzo::decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn lzo_decompress_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..2048)) {
+        let _ = cdpu::lite::lzo::decompress(&bytes);
+    }
+
+    #[test]
+    fn gipfeli_roundtrip_arbitrary(data in prop::collection::vec(any::<u8>(), 0..32768)) {
+        let c = cdpu::lite::gipfeli::compress(&data);
+        prop_assert_eq!(cdpu::lite::gipfeli::decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn gipfeli_decompress_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..2048)) {
+        let _ = cdpu::lite::gipfeli::decompress(&bytes);
+    }
+
+    #[test]
+    fn snappy_framing_roundtrip_arbitrary(data in prop::collection::vec(any::<u8>(), 0..200_000)) {
+        let s = cdpu::snappy::frame::compress_frames(&data);
+        prop_assert_eq!(cdpu::snappy::frame::decompress_frames(&s).unwrap(), data);
+    }
+
+    #[test]
+    fn snappy_framing_bitflips_never_pass_silently(
+        data in prop::collection::vec(any::<u8>(), 256..4096),
+        idx in any::<prop::sample::Index>(),
+        bit in 0u8..8
+    ) {
+        let s = cdpu::snappy::frame::compress_frames(&data);
+        let mut bad = s.clone();
+        // Only flip bytes past the stream identifier and chunk header, i.e.
+        // inside CRC or payload, where corruption must never produce a
+        // silently different output.
+        let start = 14.min(bad.len() - 1);
+        let i = start + idx.index(bad.len() - start);
+        bad[i] ^= 1 << bit;
+        match cdpu::snappy::frame::decompress_frames(&bad) {
+            Ok(out) => prop_assert_eq!(out, data, "corruption changed output undetected"),
+            Err(_) => {} // detected: good
+        }
+    }
+
+    #[test]
+    fn crc32c_linearity_of_detection(data in prop::collection::vec(any::<u8>(), 1..1024),
+                                     idx in any::<prop::sample::Index>(), bit in 0u8..8) {
+        let before = cdpu::util::crc32c::crc32c(&data);
+        let mut changed = data.clone();
+        let i = idx.index(changed.len());
+        changed[i] ^= 1 << bit;
+        prop_assert_ne!(before, cdpu::util::crc32c::crc32c(&changed));
+    }
+
+    #[test]
+    fn all_codecs_agree_on_content(data in prop::collection::vec(any::<u8>(), 0..16384)) {
+        // Five codecs, one truth: every decompress(compress(x)) == x.
+        prop_assert_eq!(cdpu::snappy::decompress(&cdpu::snappy::compress(&data)).unwrap(), data.clone());
+        prop_assert_eq!(cdpu::zstd::decompress(&cdpu::zstd::compress(&data)).unwrap(), data.clone());
+        prop_assert_eq!(cdpu::flate::decompress(&cdpu::flate::compress(&data)).unwrap(), data.clone());
+        prop_assert_eq!(cdpu::lite::lzo::decompress(&cdpu::lite::lzo::compress(&data)).unwrap(), data.clone());
+        prop_assert_eq!(cdpu::lite::gipfeli::decompress(&cdpu::lite::gipfeli::compress(&data)).unwrap(), data);
+    }
+}
+
+#[test]
+fn heavyweight_lightweight_taxonomy_on_real_content() {
+    // Section 2.2's taxonomy, measured with all five codecs on structured
+    // content: heavyweights (entropy coding) beat lightweights.
+    let data = cdpu::corpus::generate(cdpu::corpus::CorpusKind::JsonLogs, 256 * 1024, 77);
+    let snappy = cdpu::snappy::compress(&data).len();
+    let lzo = cdpu::lite::lzo::compress(&data).len();
+    let gipfeli = cdpu::lite::gipfeli::compress(&data).len();
+    let flate = cdpu::flate::compress(&data).len();
+    let zstd = cdpu::zstd::compress(&data).len();
+    assert!(zstd < snappy, "zstd {zstd} vs snappy {snappy}");
+    assert!(flate < snappy, "flate {flate} vs snappy {snappy}");
+    assert!(gipfeli <= snappy, "gipfeli {gipfeli} vs snappy {snappy}");
+    let lzo_gap = (lzo as f64 / snappy as f64 - 1.0).abs();
+    assert!(lzo_gap < 0.3, "lzo {lzo} tracks snappy {snappy}");
+}
