@@ -1,0 +1,17 @@
+#!/usr/bin/env sh
+# Offline CI gate: build, test, lint. No network access required — the
+# workspace has zero external dependencies.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "CI OK"

@@ -3,20 +3,30 @@
 //! Usage:
 //!
 //! ```text
-//! figures [FIGURE ...] [--files N] [--max-call BYTES] [--seed N]
+//! figures [FIGURE ...] [--files N] [--max-call BYTES] [--seed N] [--telemetry]
 //!
 //! FIGURE: fig1 fig2a fig2b fig2c fig3 fig4 fig5 fig6 fig7
 //!         fig11 fig12 fig13 fig14 fig15 summary | all (default)
 //! ```
 //!
 //! Run with `--release`; the default scale completes the full set in
-//! minutes. `--files`/`--max-call` push toward paper scale.
+//! minutes. `--files`/`--max-call` push toward paper scale. `--telemetry`
+//! enables the metrics/span instrumentation, prints a snapshot after the
+//! figures, and writes `snapshot.md`, `metrics.jsonl` and a Chrome
+//! `trace.json` (loadable in Perfetto / chrome://tracing) under
+//! `results/telemetry/`.
 
 use cdpu_bench::{dse_figures, profile_figures, Scale, Workbench};
+
+const ALL_FIGURES: [&str; 17] = [
+    "fig1", "fig2a", "fig2b", "fig2c", "fig2c-measured", "fig3", "fig4", "fig5", "fig6", "fig7",
+    "fig11", "fig12", "fig13", "fig14", "fig15", "summary", "ablations",
+];
 
 fn main() {
     let mut figures: Vec<String> = Vec::new();
     let mut scale = Scale::default();
+    let mut telemetry = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -38,6 +48,7 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage("--seed needs a number"));
             }
+            "--telemetry" => telemetry = true,
             "--help" | "-h" => usage(""),
             other if other.starts_with('-') => usage(&format!("unknown flag {other}")),
             other => figures.push(other.to_string()),
@@ -46,19 +57,26 @@ fn main() {
     if figures.is_empty() {
         figures.push("all".to_string());
     }
+    if telemetry {
+        cdpu_telemetry::enable();
+    }
 
-    let all = [
-        "fig1", "fig2a", "fig2b", "fig2c", "fig2c-measured", "fig3", "fig4", "fig5", "fig6", "fig7", "fig11",
-        "fig12", "fig13", "fig14", "fig15", "summary", "ablations",
-    ];
     let selected: Vec<&str> = if figures.iter().any(|f| f == "all") {
-        all.to_vec()
+        ALL_FIGURES.to_vec()
     } else {
         figures.iter().map(|s| s.as_str()).collect()
     };
 
     let mut wb = Workbench::new(scale);
     for fig in selected {
+        // Span the whole rendering of each figure under its static name
+        // (unknown names fall back to a shared label before usage() exits).
+        let span_name = ALL_FIGURES
+            .iter()
+            .find(|&&n| n == fig)
+            .copied()
+            .unwrap_or("figure");
+        let _fig_span = cdpu_telemetry::span::SpanGuard::enter(span_name);
         let rendered = match fig {
             "fig1" => profile_figures::fig1(),
             "fig2a" => profile_figures::fig2a(),
@@ -82,6 +100,18 @@ fn main() {
         println!("{rendered}");
         println!("{}", "=".repeat(72));
     }
+
+    if telemetry {
+        println!("{}", cdpu_telemetry::export::snapshot_markdown());
+        match cdpu_telemetry::export::write_all("results/telemetry") {
+            Ok(paths) => {
+                for p in paths {
+                    println!("telemetry: wrote {}", p.display());
+                }
+            }
+            Err(e) => eprintln!("telemetry: export failed: {e}"),
+        }
+    }
 }
 
 fn usage(err: &str) -> ! {
@@ -90,7 +120,8 @@ fn usage(err: &str) -> ! {
     }
     eprintln!(
         "usage: figures [fig1|fig2a|fig2b|fig2c|fig2c-measured|fig3|fig4|fig5|fig6|fig7|\n\
-         \x20       fig11|fig12|fig13|fig14|fig15|summary|ablations|all] [--files N] [--max-call BYTES] [--seed N]"
+         \x20       fig11|fig12|fig13|fig14|fig15|summary|ablations|all]\n\
+         \x20       [--files N] [--max-call BYTES] [--seed N] [--telemetry]"
     );
     std::process::exit(2);
 }

@@ -234,6 +234,29 @@ pub fn summary(wb: &mut Workbench) -> String {
         rocc_sc.area_mm2,
         100.0 * cdpu_hwsim::area::fraction_of_xeon_core(rocc_sc.area_mm2)
     ));
+
+    // With telemetry on, report how long each instrumented figure/sweep
+    // took on the host — the per-figure wall-clock the issue tracker asks
+    // summaries to carry.
+    if cdpu_telemetry::enabled() {
+        let figs: Vec<_> = cdpu_telemetry::span::log()
+            .aggregate()
+            .into_iter()
+            .filter(|a| a.name.starts_with("fig") || a.name.starts_with("dse."))
+            .collect();
+        if !figs.is_empty() {
+            out.push_str("\n  Wall-clock per figure/sweep (telemetry spans):\n");
+            for a in figs {
+                out.push_str(&format!(
+                    "    {:<18} {:>4} x  {:>9.1} ms  {:>16} modeled cycles\n",
+                    a.name,
+                    a.count,
+                    a.total_dur_ns as f64 / 1e6,
+                    a.total_cycles
+                ));
+            }
+        }
+    }
     out
 }
 

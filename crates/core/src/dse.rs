@@ -9,6 +9,7 @@
 
 use crate::baseline;
 use cdpu_fleet::{Algorithm, AlgoOp, Direction};
+use cdpu_telemetry::{counter, span};
 use cdpu_hcbench::Suite;
 use cdpu_hwsim::params::{CdpuParams, MemParams, Placement, HISTORY_SWEEP};
 use cdpu_hwsim::profile::{profile_snappy, profile_zstd, CallProfile};
@@ -98,11 +99,14 @@ pub fn decompression_sweep(
 ) -> Sweep {
     assert_eq!(suite.op.dir, Direction::Decompress, "use compression_sweep");
     assert_eq!(profiles.len(), suite.files.len());
+    let _sweep_span = span!("dse.decomp.sweep");
     let xeon = suite_xeon_seconds(suite);
     let total_unc = suite.total_uncompressed();
     let mut points = Vec::new();
     for &placement in placements {
         for &history in histories {
+            let mut point_span = span!("dse.decomp.point");
+            counter!("dse.points").incr();
             let params = CdpuParams::full_size(placement)
                 .with_history(history)
                 .with_spec(spec_ways);
@@ -114,6 +118,7 @@ pub fn decompression_sweep(
                     _ => unreachable!(),
                 };
             }
+            point_span.add_cycles(cycles);
             let accel_seconds = cycles as f64 / (mem.freq_ghz * 1e9);
             let area_mm2 = match suite.op.algo {
                 Algorithm::Snappy => area::snappy_decompressor_mm2(&params),
@@ -151,6 +156,7 @@ pub fn compression_sweep(
     mem: &MemParams,
 ) -> Sweep {
     assert_eq!(suite.op.dir, Direction::Compress, "use decompression_sweep");
+    let _sweep_span = span!("dse.comp.sweep");
     let xeon = suite_xeon_seconds(suite);
     let total_unc = suite.total_uncompressed();
     // Software ratio baseline: the suite compressed by the fleet's
@@ -165,6 +171,8 @@ pub fn compression_sweep(
     let mut points = Vec::new();
     for &placement in placements {
         for &history in histories {
+            let mut point_span = span!("dse.comp.point");
+            counter!("dse.points").incr();
             let params = CdpuParams::full_size(placement)
                 .with_history(history)
                 .with_hash_entries_log(hash_entries_log);
@@ -179,6 +187,7 @@ pub fn compression_sweep(
                 cycles += sim.sim.cycles;
                 hw_compressed += sim.compressed_bytes;
             }
+            point_span.add_cycles(cycles);
             let accel_seconds = cycles as f64 / (mem.freq_ghz * 1e9);
             let hw_ratio = total_unc as f64 / hw_compressed as f64;
             let area_mm2 = match suite.op.algo {

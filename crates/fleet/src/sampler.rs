@@ -10,6 +10,8 @@
 //! the paper's methodology.
 
 use crate::{callers, callsizes, levels, mix, windows, Algorithm, AlgoOp, CallRecord};
+use cdpu_telemetry::counter;
+use cdpu_telemetry::metrics::{Counter, Histogram};
 use cdpu_util::hist::Categorical;
 use cdpu_util::rng::Xoshiro256;
 
@@ -23,6 +25,11 @@ pub struct FleetSampler {
     caller_names: Vec<&'static str>,
     level_dist: Categorical,
     level_values: Vec<i32>,
+    // Telemetry handles, created once at construction because their names
+    // are dynamic (per-op / per-caller) and the `counter!`-style macros
+    // cache exactly one handle per call site.
+    size_hists: Vec<(AlgoOp, Histogram)>,
+    caller_draws: Vec<Counter>,
 }
 
 impl FleetSampler {
@@ -39,6 +46,15 @@ impl FleetSampler {
         let caller_names: Vec<&'static str> = caller_shares.iter().map(|c| c.name).collect();
         let caller_weights: Vec<f64> = caller_shares.iter().map(|c| c.percent).collect();
         let lw = levels::level_weights();
+        let registry = cdpu_telemetry::registry();
+        let size_hists = ops
+            .iter()
+            .map(|&op| (op, registry.histogram(&format!("fleet.callsize.{}", op.label()))))
+            .collect();
+        let caller_draws = caller_names
+            .iter()
+            .map(|name| registry.counter(&format!("fleet.caller.{name}.draws")))
+            .collect();
         FleetSampler {
             rng: Xoshiro256::seed_from(seed),
             op_dist: Categorical::new(&op_weights).expect("op weights"),
@@ -48,6 +64,8 @@ impl FleetSampler {
             level_dist: Categorical::new(&lw.iter().map(|&(_, w)| w).collect::<Vec<_>>())
                 .expect("level weights"),
             level_values: lw.iter().map(|&(l, _)| l).collect(),
+            size_hists,
+            caller_draws,
         }
     }
 
@@ -68,13 +86,22 @@ impl FleetSampler {
         } else {
             (None, None)
         };
-        CallRecord {
+        let caller_idx = self.caller_dist.sample(&mut self.rng);
+        let record = CallRecord {
             op,
             uncompressed_bytes: size.clamp(callsizes::MIN_CALL, callsizes::MAX_CALL),
             level,
             window_log,
-            caller: self.caller_names[self.caller_dist.sample(&mut self.rng)],
+            caller: self.caller_names[caller_idx],
+        };
+        if cdpu_telemetry::enabled() {
+            counter!("fleet.sampler.draws").incr();
+            self.caller_draws[caller_idx].incr();
+            if let Some((_, h)) = self.size_hists.iter().find(|&&(o, _)| o == op) {
+                h.record(record.uncompressed_bytes);
+            }
         }
+        record
     }
 
     /// Draws `n` records.
@@ -158,6 +185,26 @@ mod tests {
         }
         let frac = le3 as f64 / n as f64;
         assert!((frac - levels::cumulative_at(3)).abs() < 0.01, "≤3 {frac}");
+    }
+
+    #[test]
+    fn telemetry_records_draws_and_sizes() {
+        // Other tests in this binary may draw concurrently once telemetry
+        // is on, so assert only lower bounds on the shared global metrics.
+        let registry = cdpu_telemetry::registry();
+        let draws_before = registry.counter("fleet.sampler.draws").get();
+        cdpu_telemetry::enable();
+        let mut s = FleetSampler::new(5);
+        let op = AlgoOp::new(Algorithm::Snappy, Direction::Decompress);
+        for _ in 0..100 {
+            s.sample_call_for(op);
+        }
+        cdpu_telemetry::disable();
+        assert!(registry.counter("fleet.sampler.draws").get() >= draws_before + 100);
+        let snap = registry
+            .histogram("fleet.callsize.D-Snappy")
+            .snapshot();
+        assert!(snap.count >= 100, "histogram count {}", snap.count);
     }
 
     #[test]

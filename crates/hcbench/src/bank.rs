@@ -205,7 +205,7 @@ mod tests {
         assert_eq!(bank.len(), 7 * 16, "7 kinds × 16 chunks of 4 KiB each");
         for combo in [Combo::Snappy, Combo::Zstd { level: 1 }, Combo::Zstd { level: 3 }] {
             let (lo, hi) = bank.ratio_range(combo);
-            assert!(lo >= 0.5 && lo <= 1.1, "{combo:?} min ratio {lo}");
+            assert!((0.5..=1.1).contains(&lo), "{combo:?} min ratio {lo}");
             assert!(hi > 5.0, "{combo:?} max ratio {hi} — Runs chunks compress hard");
         }
     }

@@ -13,6 +13,7 @@
 use crate::params::{CdpuParams, MemParams, Placement};
 use crate::profile::CallProfile;
 use crate::{decomp, SimResult};
+use cdpu_telemetry::{counter, histogram};
 
 /// Throughput of the companion serializer block, bytes per cycle
 /// (protobuf-class field encoding; comparable to published accelerator
@@ -55,6 +56,14 @@ pub fn read_path(profile: &CallProfile, p: &CdpuParams, mem: &MemParams) -> Chai
     };
 
     let cycles = decompress.cycles + intermediate + deser_cycles + decomp::DISPATCH_CYCLES;
+    if cdpu_telemetry::enabled() {
+        counter!("hwsim.chain.read_path.ops").incr();
+        counter!("hwsim.chain.intermediate_cycles").add(intermediate);
+        // Depth of the hand-off queue between the two accelerators: one
+        // descriptor per 4 KiB page of intermediate buffer.
+        histogram!("hwsim.chain.queue_depth")
+            .record(profile.uncompressed.div_ceil(4096));
+    }
     let fused = fused_read_path(profile, mem);
     ChainSim {
         cycles,

@@ -20,9 +20,10 @@ use cdpu_lz77::matcher::{HashTableMatcher, MatcherConfig};
 use cdpu_lz77::Parse;
 use cdpu_util::floor_log2;
 
-use crate::decomp::DISPATCH_CYCLES;
+use crate::decomp::{bound_label, DISPATCH_CYCLES};
 use crate::params::{CdpuParams, MemParams};
 use crate::SimResult;
+use cdpu_telemetry::counter;
 
 /// LZ77 encoder: literal positions probed per cycle (hash pipeline).
 const PROBE_BPC: f64 = 2.0;
@@ -78,6 +79,17 @@ pub fn hw_matcher_config(p: &CdpuParams) -> MatcherConfig {
     }
 }
 
+/// Records per-call compressor telemetry: call count, bottleneck
+/// attribution and per-stage occupancy cycles.
+fn record_comp(bound: &'static str, stages: &[(&'static str, u64)]) {
+    counter!("hwsim.comp.calls").incr();
+    counter!("hwsim.comp.dispatch_cycles").add(DISPATCH_CYCLES);
+    cdpu_telemetry::registry().counter(bound).add(1);
+    for &(name, cycles) in stages {
+        cdpu_telemetry::registry().counter(name).add(cycles);
+    }
+}
+
 fn matcher_cycles(parse: &Parse, probe_bpc: f64) -> u64 {
     (parse.literal_len() as f64 / probe_bpc
         + parse.matched_len() as f64 / MATCH_SKIP_BPC
@@ -97,6 +109,23 @@ pub fn snappy_compress(data: &[u8], p: &CdpuParams, mem: &MemParams) -> Compress
     let output = mem.stream_cycles(compressed, io);
     let compute = matcher_cycles(&parse, PROBE_BPC);
     let cycles = DISPATCH_CYCLES + input.max(compute).max(output);
+    if cdpu_telemetry::enabled() {
+        record_comp(
+            bound_label(
+                "hwsim.comp.snappy.bound.input",
+                "hwsim.comp.snappy.bound.compute",
+                "hwsim.comp.snappy.bound.output",
+                input,
+                compute,
+                output,
+            ),
+            &[
+                ("hwsim.comp.snappy.input_stream_cycles", input),
+                ("hwsim.comp.snappy.matcher_cycles", compute),
+                ("hwsim.comp.snappy.output_stream_cycles", output),
+            ],
+        );
+    }
     CompressSim {
         sim: SimResult {
             cycles,
@@ -134,6 +163,27 @@ pub fn zstd_compress(data: &[u8], p: &CdpuParams, mem: &MemParams) -> CompressSi
     let builds = huff_blocks * HUFF_DICT_BUILD + blocks * FSE_DICT_BUILD;
     let compute = matcher.max(stats_stage).max(huff_stage).max(fse_stage) + builds;
     let cycles = DISPATCH_CYCLES + input.max(compute).max(output);
+    if cdpu_telemetry::enabled() {
+        record_comp(
+            bound_label(
+                "hwsim.comp.zstd.bound.input",
+                "hwsim.comp.zstd.bound.compute",
+                "hwsim.comp.zstd.bound.output",
+                input,
+                compute,
+                output,
+            ),
+            &[
+                ("hwsim.comp.zstd.input_stream_cycles", input),
+                ("hwsim.comp.zstd.matcher_cycles", matcher),
+                ("hwsim.comp.zstd.stats_cycles", stats_stage),
+                ("hwsim.comp.zstd.huffman_cycles", huff_stage),
+                ("hwsim.comp.zstd.fse_cycles", fse_stage),
+                ("hwsim.comp.zstd.dict_build_cycles", builds),
+                ("hwsim.comp.zstd.output_stream_cycles", output),
+            ],
+        );
+    }
     CompressSim {
         sim: SimResult {
             cycles,
@@ -169,6 +219,25 @@ pub fn flate_compress(data: &[u8], p: &CdpuParams, mem: &MemParams) -> CompressS
     let builds = blocks * 2 * HUFF_DICT_BUILD;
     let compute = matcher.max(huff_stage) + builds;
     let cycles = DISPATCH_CYCLES + input.max(compute).max(output);
+    if cdpu_telemetry::enabled() {
+        record_comp(
+            bound_label(
+                "hwsim.comp.flate.bound.input",
+                "hwsim.comp.flate.bound.compute",
+                "hwsim.comp.flate.bound.output",
+                input,
+                compute,
+                output,
+            ),
+            &[
+                ("hwsim.comp.flate.input_stream_cycles", input),
+                ("hwsim.comp.flate.matcher_cycles", matcher),
+                ("hwsim.comp.flate.huffman_cycles", huff_stage),
+                ("hwsim.comp.flate.dict_build_cycles", builds),
+                ("hwsim.comp.flate.output_stream_cycles", output),
+            ],
+        );
+    }
     CompressSim {
         sim: SimResult {
             cycles,

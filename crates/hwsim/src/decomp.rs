@@ -16,6 +16,7 @@
 use crate::params::{CdpuParams, MemParams};
 use crate::profile::CallProfile;
 use crate::SimResult;
+use cdpu_telemetry::counter;
 
 /// RoCC command dispatch + unit setup overhead per call, cycles.
 pub const DISPATCH_CYCLES: u64 = 60;
@@ -68,6 +69,46 @@ fn writer_cycles(profile: &CallProfile, p: &CdpuParams, mem: &MemParams) -> u64 
     base.round() as u64 + fallback_cycles(profile.fallback_bytes(p.history_bytes), p, mem)
 }
 
+/// Records per-call telemetry shared by every decompressor pipeline:
+/// bottleneck attribution (which stage bounded the call) and history-SRAM
+/// hit/fallback volumes derived from the profiled offset distribution.
+fn record_decomp_common(
+    bound: &'static str,
+    profile: &CallProfile,
+    p: &CdpuParams,
+    stages: &[(&'static str, u64)],
+) {
+    counter!("hwsim.decomp.calls").incr();
+    counter!("hwsim.decomp.dispatch_cycles").add(DISPATCH_CYCLES);
+    cdpu_telemetry::registry().counter(bound).add(1);
+    for &(name, cycles) in stages {
+        cdpu_telemetry::registry().counter(name).add(cycles);
+    }
+    let fb = profile.fallback_bytes(p.history_bytes);
+    counter!("hwsim.history.fallback_bytes").add(fb);
+    counter!("hwsim.history.local_bytes").add(profile.match_bytes - fb);
+    counter!("hwsim.history.fallback_requests")
+        .add((fb as f64 / FALLBACK_CHUNK).ceil() as u64);
+}
+
+/// The stage that bounds the streaming pipeline: input, compute or output.
+pub(crate) fn bound_label(
+    prefix_in: &'static str,
+    prefix_cp: &'static str,
+    prefix_out: &'static str,
+    input: u64,
+    compute: u64,
+    output: u64,
+) -> &'static str {
+    if compute >= input && compute >= output {
+        prefix_cp
+    } else if input >= output {
+        prefix_in
+    } else {
+        prefix_out
+    }
+}
+
 /// Simulates one Snappy decompression call.
 pub fn snappy_decompress(profile: &CallProfile, p: &CdpuParams, mem: &MemParams) -> SimResult {
     p.validate();
@@ -76,6 +117,25 @@ pub fn snappy_decompress(profile: &CallProfile, p: &CdpuParams, mem: &MemParams)
     let output = mem.stream_cycles(profile.uncompressed, io);
     let compute = writer_cycles(profile, p, mem);
     let cycles = DISPATCH_CYCLES + input.max(compute).max(output);
+    if cdpu_telemetry::enabled() {
+        record_decomp_common(
+            bound_label(
+                "hwsim.decomp.snappy.bound.input",
+                "hwsim.decomp.snappy.bound.compute",
+                "hwsim.decomp.snappy.bound.output",
+                input,
+                compute,
+                output,
+            ),
+            profile,
+            p,
+            &[
+                ("hwsim.decomp.snappy.input_stream_cycles", input),
+                ("hwsim.decomp.snappy.writer_cycles", compute),
+                ("hwsim.decomp.snappy.output_stream_cycles", output),
+            ],
+        );
+    }
     SimResult {
         cycles,
         input_bytes: profile.compressed,
@@ -111,6 +171,35 @@ pub fn zstd_decompress(profile: &CallProfile, p: &CdpuParams, mem: &MemParams) -
 
     let compute = huff_stage.max(fse_stage).max(writer) + table_builds;
     let cycles = DISPATCH_CYCLES + input.max(compute).max(output);
+    if cdpu_telemetry::enabled() {
+        record_decomp_common(
+            bound_label(
+                "hwsim.decomp.zstd.bound.input",
+                "hwsim.decomp.zstd.bound.compute",
+                "hwsim.decomp.zstd.bound.output",
+                input,
+                compute,
+                output,
+            ),
+            profile,
+            p,
+            &[
+                ("hwsim.decomp.zstd.input_stream_cycles", input),
+                ("hwsim.decomp.zstd.huffman_cycles", huff_stage),
+                ("hwsim.decomp.zstd.fse_cycles", fse_stage),
+                ("hwsim.decomp.zstd.writer_cycles", writer),
+                ("hwsim.decomp.zstd.table_build_cycles", table_builds),
+                ("hwsim.decomp.zstd.output_stream_cycles", output),
+            ],
+        );
+        // Speculation accounting per the √spec model: decoding one useful
+        // byte launches `spec_ways` candidate starts of which only
+        // ~√spec-aligned ones contribute, so the wasted share per useful
+        // byte is √spec − 1 mispredicted starts.
+        let waste = (p.spec_ways as f64).sqrt() - 1.0;
+        counter!("hwsim.spec.decoded_bytes").add(huff_lit.round() as u64);
+        counter!("hwsim.spec.mispredict_bytes").add((huff_lit * waste).round() as u64);
+    }
     SimResult {
         cycles,
         input_bytes: profile.compressed,
@@ -138,6 +227,27 @@ pub fn flate_decompress(profile: &CallProfile, p: &CdpuParams, mem: &MemParams) 
 
     let compute = huff_stage.max(writer) + table_builds;
     let cycles = DISPATCH_CYCLES + input.max(compute).max(output);
+    if cdpu_telemetry::enabled() {
+        record_decomp_common(
+            bound_label(
+                "hwsim.decomp.flate.bound.input",
+                "hwsim.decomp.flate.bound.compute",
+                "hwsim.decomp.flate.bound.output",
+                input,
+                compute,
+                output,
+            ),
+            profile,
+            p,
+            &[
+                ("hwsim.decomp.flate.input_stream_cycles", input),
+                ("hwsim.decomp.flate.huffman_cycles", huff_stage),
+                ("hwsim.decomp.flate.writer_cycles", writer),
+                ("hwsim.decomp.flate.table_build_cycles", table_builds),
+                ("hwsim.decomp.flate.output_stream_cycles", output),
+            ],
+        );
+    }
     SimResult {
         cycles,
         input_bytes: profile.compressed,

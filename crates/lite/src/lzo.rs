@@ -108,7 +108,7 @@ fn emit_literals(out: &mut Vec<u8>, lits: &[u8]) {
 }
 
 fn emit_match(out: &mut Vec<u8>, offset: u32, len: u32) {
-    debug_assert!(offset >= 1 && offset <= MAX_OFFSET);
+    debug_assert!((1..=MAX_OFFSET).contains(&offset));
     debug_assert!(len >= 4);
     // Two tiers, like LZO's M2/M3 forms: a 2-byte token for short, near
     // matches and a 3+-byte token for the rest.

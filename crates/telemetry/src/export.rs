@@ -1,0 +1,224 @@
+//! Exporters: markdown snapshot, JSONL metrics dump, Chrome trace JSON.
+//!
+//! All three read the process-global registry and span log. JSON is
+//! emitted by hand (the crate is dependency-free); names are escaped per
+//! RFC 8259 so arbitrary metric names stay valid.
+//!
+//! The Chrome trace uses complete (`"ph":"X"`) events — one per recorded
+//! span, with the modeled cycle payload under `args` — and loads directly
+//! in `chrome://tracing` or <https://ui.perfetto.dev>.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::metrics::Histogram;
+use crate::{registry, span};
+
+/// Escapes `s` as the contents of a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders every registered metric and span aggregate as markdown — the
+/// human-readable snapshot `figures --telemetry` prints.
+pub fn snapshot_markdown() -> String {
+    let mut out = String::new();
+    out.push_str("# Telemetry snapshot\n");
+
+    let counters = registry().counters();
+    if !counters.is_empty() {
+        out.push_str("\n## Counters\n\n");
+        let width = counters.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+        for (name, v) in &counters {
+            let _ = writeln!(out, "  {name:<width$}  {v}");
+        }
+    }
+
+    let gauges = registry().gauges();
+    if !gauges.is_empty() {
+        out.push_str("\n## Gauges\n\n");
+        let width = gauges.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+        for (name, v) in &gauges {
+            let _ = writeln!(out, "  {name:<width$}  {v}");
+        }
+    }
+
+    let hists = registry().histograms();
+    if !hists.is_empty() {
+        out.push_str("\n## Histograms\n\n");
+        for (name, s) in &hists {
+            let _ = writeln!(
+                out,
+                "  {name}: count {} min {} mean {:.1} p50 ~{} p99 ~{} max {}",
+                s.count,
+                s.min,
+                s.mean(),
+                s.approx_quantile(0.50),
+                s.approx_quantile(0.99),
+                s.max
+            );
+            for &(i, c) in &s.buckets {
+                let (lo, hi) = Histogram::bucket_bounds(i);
+                let _ = writeln!(out, "    [{lo}, {hi}]: {c}");
+            }
+        }
+    }
+
+    let aggs = span::log().aggregate();
+    if !aggs.is_empty() {
+        out.push_str("\n## Spans\n\n");
+        let width = aggs.iter().map(|a| a.name.len()).max().unwrap_or(0);
+        for a in &aggs {
+            let _ = writeln!(
+                out,
+                "  {:<width$}  n={:<6} wall {:>10.3} ms  cycles {}",
+                a.name,
+                a.count,
+                a.total_dur_ns as f64 / 1e6,
+                a.total_cycles
+            );
+        }
+        let dropped = span::log().dropped();
+        if dropped > 0 {
+            let _ = writeln!(out, "\n  ({dropped} span events overwritten by ring overflow)");
+        }
+    }
+    out
+}
+
+/// Dumps every metric (and span aggregate) as one JSON object per line.
+pub fn metrics_jsonl() -> String {
+    let mut out = String::new();
+    for (name, v) in registry().counters() {
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"counter\",\"name\":\"{}\",\"value\":{v}}}",
+            json_escape(&name)
+        );
+    }
+    for (name, v) in registry().gauges() {
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"gauge\",\"name\":\"{}\",\"value\":{v}}}",
+            json_escape(&name)
+        );
+    }
+    for (name, s) in registry().histograms() {
+        let buckets: Vec<String> = s
+            .buckets
+            .iter()
+            .map(|&(i, c)| {
+                let (lo, hi) = Histogram::bucket_bounds(i);
+                format!("{{\"lo\":{lo},\"hi\":{hi},\"count\":{c}}}")
+            })
+            .collect();
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"histogram\",\"name\":\"{}\",\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"buckets\":[{}]}}",
+            json_escape(&name),
+            s.count,
+            s.sum,
+            s.min,
+            s.max,
+            buckets.join(",")
+        );
+    }
+    for a in span::log().aggregate() {
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"span_summary\",\"name\":\"{}\",\"count\":{},\"total_dur_ns\":{},\"total_cycles\":{}}}",
+            json_escape(a.name),
+            a.count,
+            a.total_dur_ns,
+            a.total_cycles
+        );
+    }
+    out
+}
+
+/// Renders the span log as Chrome `trace_event` JSON (object format, all
+/// complete `"X"` events, timestamps in microseconds).
+pub fn chrome_trace_json() -> String {
+    let events = span::log().events();
+    let mut out = String::with_capacity(64 + events.len() * 96);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    // Name the process so Perfetto's track labels are meaningful.
+    out.push_str(
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\
+         \"args\":{\"name\":\"cdpu\"}}",
+    );
+    for ev in &events {
+        out.push(',');
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"cat\":\"cdpu\",\"ph\":\"X\",\"ts\":{}.{:03},\"dur\":{}.{:03},\"pid\":1,\"tid\":{},\"args\":{{\"cycles\":{}}}}}",
+            json_escape(ev.name),
+            ev.start_ns / 1_000,
+            ev.start_ns % 1_000,
+            ev.dur_ns / 1_000,
+            ev.dur_ns % 1_000,
+            ev.tid,
+            ev.cycles
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Writes `snapshot.md`, `metrics.jsonl` and `trace.json` under `dir`
+/// (created if missing; conventionally `results/telemetry/`), returning
+/// the written paths.
+pub fn write_all<P: AsRef<Path>>(dir: P) -> io::Result<Vec<PathBuf>> {
+    let dir = dir.as_ref();
+    std::fs::create_dir_all(dir)?;
+    let outputs = [
+        ("snapshot.md", snapshot_markdown()),
+        ("metrics.jsonl", metrics_jsonl()),
+        ("trace.json", chrome_trace_json()),
+    ];
+    let mut paths = Vec::new();
+    for (name, contents) in outputs {
+        let path = dir.join(name);
+        std::fs::write(&path, contents)?;
+        paths.push(path);
+    }
+    Ok(paths)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping() {
+        assert_eq!(json_escape("plain"), "plain");
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("x\ny"), "x\\ny");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn empty_trace_is_valid_shape() {
+        // With nothing recorded the trace still has the metadata event and
+        // balanced brackets.
+        let t = chrome_trace_json();
+        assert!(t.starts_with("{\"displayTimeUnit\""));
+        assert!(t.ends_with("]}"));
+        assert!(t.contains("\"ph\":\"M\""));
+    }
+}

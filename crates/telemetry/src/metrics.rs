@@ -1,0 +1,397 @@
+//! Named counters, gauges and histograms over a lock-sharded registry.
+//!
+//! Registration (name → handle) takes a shard lock and may allocate; every
+//! subsequent update through the returned handle is lock-free relaxed
+//! atomics. Histograms use power-of-two buckets (see
+//! [`Histogram::bucket_index`]) — the same log2 binning the fleet profiles
+//! and `CallProfile::offset_bytes` use, so telemetry output lines up with
+//! the paper's figures.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering::Relaxed};
+use std::sync::{Arc, Mutex};
+
+/// Number of shards in the registry: must be a power of two.
+const SHARDS: usize = 16;
+
+/// Histogram bucket count: bucket 0 for value 0, buckets 1..=64 for the
+/// 64 power-of-two magnitude classes of a `u64`.
+pub const HIST_BUCKETS: usize = 65;
+
+/// A monotonically-increasing named counter.
+#[derive(Clone, Debug)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds `n`. No-op while telemetry is disabled.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if crate::enabled() {
+            self.0.fetch_add(n, Relaxed);
+        }
+    }
+
+    /// Adds 1. No-op while telemetry is disabled.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Relaxed)
+    }
+}
+
+/// A named gauge: a signed value that can move both ways.
+#[derive(Clone, Debug)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// Sets the gauge. No-op while telemetry is disabled.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        if crate::enabled() {
+            self.0.store(v, Relaxed);
+        }
+    }
+
+    /// Adds `delta` (may be negative). No-op while telemetry is disabled.
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        if crate::enabled() {
+            self.0.fetch_add(delta, Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Relaxed)
+    }
+}
+
+#[derive(Debug)]
+pub(crate) struct HistogramInner {
+    buckets: [AtomicU64; HIST_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl HistogramInner {
+    fn new() -> Self {
+        HistogramInner {
+            buckets: [const { AtomicU64::new(0) }; HIST_BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Relaxed);
+        }
+        self.count.store(0, Relaxed);
+        self.sum.store(0, Relaxed);
+        self.min.store(u64::MAX, Relaxed);
+        self.max.store(0, Relaxed);
+    }
+}
+
+/// A named histogram with power-of-two buckets.
+#[derive(Clone, Debug)]
+pub struct Histogram(Arc<HistogramInner>);
+
+impl Histogram {
+    /// The bucket a value lands in: 0 for value 0, otherwise
+    /// `floor(log2(v)) + 1`, i.e. bucket `k >= 1` covers
+    /// `[2^(k-1), 2^k - 1]`.
+    #[inline]
+    pub fn bucket_index(v: u64) -> usize {
+        if v == 0 {
+            0
+        } else {
+            (64 - v.leading_zeros()) as usize
+        }
+    }
+
+    /// Inclusive `(lo, hi)` value bounds of bucket `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= HIST_BUCKETS`.
+    pub fn bucket_bounds(i: usize) -> (u64, u64) {
+        assert!(i < HIST_BUCKETS, "bucket {i} out of range");
+        if i == 0 {
+            (0, 0)
+        } else if i == 64 {
+            (1 << 63, u64::MAX)
+        } else {
+            (1 << (i - 1), (1 << i) - 1)
+        }
+    }
+
+    /// Records one observation. No-op while telemetry is disabled.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if !crate::enabled() {
+            return;
+        }
+        let inner = &*self.0;
+        inner.buckets[Self::bucket_index(v)].fetch_add(1, Relaxed);
+        inner.count.fetch_add(1, Relaxed);
+        inner.sum.fetch_add(v, Relaxed);
+        inner.min.fetch_min(v, Relaxed);
+        inner.max.fetch_max(v, Relaxed);
+    }
+
+    /// A consistent-enough copy of the histogram state (relaxed reads).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let inner = &*self.0;
+        let buckets: Vec<(usize, u64)> = inner
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let c = b.load(Relaxed);
+                (c > 0).then_some((i, c))
+            })
+            .collect();
+        let count = inner.count.load(Relaxed);
+        HistogramSnapshot {
+            count,
+            sum: inner.sum.load(Relaxed),
+            min: if count == 0 {
+                0
+            } else {
+                inner.min.load(Relaxed)
+            },
+            max: inner.max.load(Relaxed),
+            buckets,
+        }
+    }
+}
+
+/// Point-in-time histogram state for export.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Number of recorded observations.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: u64,
+    /// Smallest recorded value (0 when empty).
+    pub min: u64,
+    /// Largest recorded value (0 when empty).
+    pub max: u64,
+    /// Occupied buckets as `(bucket_index, count)`, ascending.
+    pub buckets: Vec<(usize, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Mean of recorded values (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Approximate quantile (`q` in `[0, 1]`) from the bucket counts,
+    /// using each bucket's geometric midpoint. Bucket resolution only —
+    /// adequate for the order-of-magnitude views the figures need.
+    pub fn approx_quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for &(i, c) in &self.buckets {
+            seen += c;
+            if seen >= target {
+                let (lo, hi) = Histogram::bucket_bounds(i);
+                return ((lo as f64 * hi as f64).sqrt()) as u64;
+            }
+        }
+        self.max
+    }
+}
+
+#[derive(Default)]
+struct Shard {
+    counters: Mutex<HashMap<String, Arc<AtomicU64>>>,
+    gauges: Mutex<HashMap<String, Arc<AtomicI64>>>,
+    histograms: Mutex<HashMap<String, Arc<HistogramInner>>>,
+}
+
+/// The lock-sharded name → metric registry.
+pub struct Registry {
+    shards: Vec<Shard>,
+}
+
+impl Registry {
+    pub(crate) fn new() -> Self {
+        Registry {
+            shards: (0..SHARDS).map(|_| Shard::default()).collect(),
+        }
+    }
+
+    fn shard(&self, name: &str) -> &Shard {
+        // FNV-1a: tiny, deterministic, good enough to spread shard load.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        &self.shards[(h as usize) & (SHARDS - 1)]
+    }
+
+    /// Returns the counter registered under `name`, creating it on first
+    /// use. Subsequent updates through the handle take no locks.
+    pub fn counter(&self, name: &str) -> Counter {
+        let map = &mut *self.shard(name).counters.lock().expect("registry poisoned");
+        if let Some(c) = map.get(name) {
+            return Counter(Arc::clone(c));
+        }
+        let c = Arc::new(AtomicU64::new(0));
+        map.insert(name.to_string(), Arc::clone(&c));
+        Counter(c)
+    }
+
+    /// Returns the gauge registered under `name`, creating it on first use.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let map = &mut *self.shard(name).gauges.lock().expect("registry poisoned");
+        if let Some(g) = map.get(name) {
+            return Gauge(Arc::clone(g));
+        }
+        let g = Arc::new(AtomicI64::new(0));
+        map.insert(name.to_string(), Arc::clone(&g));
+        Gauge(g)
+    }
+
+    /// Returns the histogram registered under `name`, creating it on first
+    /// use.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let map = &mut *self
+            .shard(name)
+            .histograms
+            .lock()
+            .expect("registry poisoned");
+        if let Some(h) = map.get(name) {
+            return Histogram(Arc::clone(h));
+        }
+        let h = Arc::new(HistogramInner::new());
+        map.insert(name.to_string(), Arc::clone(&h));
+        Histogram(h)
+    }
+
+    /// Zeroes every metric in place. Registered names (and cached handles)
+    /// survive.
+    pub fn reset_values(&self) {
+        for s in &self.shards {
+            for c in s.counters.lock().expect("registry poisoned").values() {
+                c.store(0, Relaxed);
+            }
+            for g in s.gauges.lock().expect("registry poisoned").values() {
+                g.store(0, Relaxed);
+            }
+            for h in s.histograms.lock().expect("registry poisoned").values() {
+                h.reset();
+            }
+        }
+    }
+
+    /// All counters as `(name, value)`, sorted by name.
+    pub fn counters(&self) -> Vec<(String, u64)> {
+        let mut out = Vec::new();
+        for s in &self.shards {
+            for (k, v) in s.counters.lock().expect("registry poisoned").iter() {
+                out.push((k.clone(), v.load(Relaxed)));
+            }
+        }
+        out.sort();
+        out
+    }
+
+    /// All gauges as `(name, value)`, sorted by name.
+    pub fn gauges(&self) -> Vec<(String, i64)> {
+        let mut out = Vec::new();
+        for s in &self.shards {
+            for (k, v) in s.gauges.lock().expect("registry poisoned").iter() {
+                out.push((k.clone(), v.load(Relaxed)));
+            }
+        }
+        out.sort();
+        out
+    }
+
+    /// All histograms as `(name, snapshot)`, sorted by name.
+    pub fn histograms(&self) -> Vec<(String, HistogramSnapshot)> {
+        let mut out = Vec::new();
+        for s in &self.shards {
+            for (k, v) in s.histograms.lock().expect("registry poisoned").iter() {
+                out.push((k.clone(), Histogram(Arc::clone(v)).snapshot()));
+            }
+        }
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_exact() {
+        // Bucket 0 is the zero bucket; bucket k >= 1 covers
+        // [2^(k-1), 2^k - 1], so powers of two open new buckets.
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(1023), 10);
+        assert_eq!(Histogram::bucket_index(1024), 11);
+        assert_eq!(Histogram::bucket_index(u64::MAX), 64);
+        for i in 0..HIST_BUCKETS {
+            let (lo, hi) = Histogram::bucket_bounds(i);
+            assert!(lo <= hi);
+            assert_eq!(Histogram::bucket_index(lo), i, "lo of bucket {i}");
+            assert_eq!(Histogram::bucket_index(hi), i, "hi of bucket {i}");
+            if i > 0 {
+                let (_, prev_hi) = Histogram::bucket_bounds(i - 1);
+                assert_eq!(prev_hi + 1, lo, "buckets {i} must be contiguous");
+            }
+        }
+    }
+
+    #[test]
+    fn registry_dedupes_names() {
+        let r = Registry::new();
+        let a = r.counter("x");
+        let b = r.counter("x");
+        assert!(Arc::ptr_eq(&a.0, &b.0));
+        let g1 = r.gauge("x"); // same name, different kind: distinct metric
+        let g2 = r.gauge("x");
+        assert!(Arc::ptr_eq(&g1.0, &g2.0));
+        let h1 = r.histogram("h");
+        let h2 = r.histogram("h");
+        assert!(Arc::ptr_eq(&h1.0, &h2.0));
+    }
+
+    #[test]
+    fn snapshot_of_empty_histogram() {
+        let r = Registry::new();
+        let h = r.histogram("empty");
+        let s = h.snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.approx_quantile(0.5), 0);
+        assert!(s.buckets.is_empty());
+    }
+}

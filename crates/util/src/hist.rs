@@ -251,7 +251,7 @@ impl Categorical {
     /// empty.
     pub fn new(weights: &[f64]) -> Result<Self, EmptyDistribution> {
         let total: f64 = weights.iter().sum();
-        if !(total > 0.0) {
+        if total.is_nan() || total <= 0.0 {
             return Err(EmptyDistribution);
         }
         let mut acc = 0.0;

@@ -53,7 +53,7 @@ pub fn format_bytes(n: u64) -> String {
     ];
     for (name, unit) in UNITS {
         if n >= unit {
-            if n % unit == 0 {
+            if n.is_multiple_of(unit) {
                 return format!("{} {}", n / unit, name);
             }
             if unit > 1 {

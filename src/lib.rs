@@ -38,5 +38,6 @@ pub use cdpu_hwsim as hwsim;
 pub use cdpu_lite as lite;
 pub use cdpu_lz77 as lz77;
 pub use cdpu_snappy as snappy;
+pub use cdpu_telemetry as telemetry;
 pub use cdpu_util as util;
 pub use cdpu_zstd as zstd;

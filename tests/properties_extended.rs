@@ -1,89 +1,194 @@
-//! Property-based tests for the extended codecs: Flate-class, the
+//! Randomized property tests for the extended codecs: Flate-class, the
 //! lightweight pair (LZO/Gipfeli), the Snappy framing format, and CRC-32C.
+//!
+//! Formerly written against `proptest`; rewritten on the workspace's own
+//! deterministic [`Xoshiro256`] so the suite builds offline.
 
-use proptest::prelude::*;
+use cdpu::util::rng::Xoshiro256;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+const CASES: u64 = 48;
 
-    #[test]
-    fn flate_roundtrip_arbitrary(data in prop::collection::vec(any::<u8>(), 0..32768), level in 1u32..=9) {
+/// A random byte vector of length in `[0, max_len)`, half noise and half
+/// match-rich structure (see `tests/properties.rs`).
+fn random_bytes(rng: &mut Xoshiro256, max_len: usize) -> Vec<u8> {
+    let len = rng.index(max_len);
+    let mut data = vec![0u8; len];
+    if rng.chance(0.5) {
+        rng.fill_bytes(&mut data);
+    } else {
+        let alphabet = 1 + rng.index(32) as u8;
+        let mut i = 0;
+        while i < len {
+            let run = 1 + rng.index(16);
+            let b = (rng.index(alphabet as usize + 1)) as u8;
+            for _ in 0..run.min(len - i) {
+                data[i] = b;
+                i += 1;
+            }
+        }
+    }
+    data
+}
+
+#[test]
+fn flate_roundtrip_arbitrary() {
+    for case in 0..CASES {
+        let mut rng = Xoshiro256::seed_from(0xF1A7 ^ case);
+        let data = random_bytes(&mut rng, 32768);
+        let level = rng.range_u64(1, 9) as u32;
         let cfg = cdpu::flate::FlateConfig::with_level(level);
         let c = cdpu::flate::compress_with(&data, &cfg);
-        prop_assert_eq!(cdpu::flate::decompress(&c).unwrap(), data);
+        assert_eq!(
+            cdpu::flate::decompress(&c).unwrap(),
+            data,
+            "case {case} level {level}"
+        );
     }
+}
 
-    #[test]
-    fn flate_decompress_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..2048)) {
+#[test]
+fn flate_decompress_never_panics() {
+    for case in 0..CASES {
+        let mut rng = Xoshiro256::seed_from(0xF1A8 ^ case);
+        let mut bytes = vec![0u8; rng.index(2048)];
+        rng.fill_bytes(&mut bytes);
         let _ = cdpu::flate::decompress(&bytes);
     }
+}
 
-    #[test]
-    fn lzo_roundtrip_arbitrary(data in prop::collection::vec(any::<u8>(), 0..32768), level in 1u32..=9) {
+#[test]
+fn lzo_roundtrip_arbitrary() {
+    for case in 0..CASES {
+        let mut rng = Xoshiro256::seed_from(0x120 ^ case);
+        let data = random_bytes(&mut rng, 32768);
+        let level = rng.range_u64(1, 9) as u32;
         let c = cdpu::lite::lzo::compress_with_level(&data, level);
-        prop_assert_eq!(cdpu::lite::lzo::decompress(&c).unwrap(), data);
+        assert_eq!(
+            cdpu::lite::lzo::decompress(&c).unwrap(),
+            data,
+            "case {case} level {level}"
+        );
     }
+}
 
-    #[test]
-    fn lzo_decompress_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..2048)) {
+#[test]
+fn lzo_decompress_never_panics() {
+    for case in 0..CASES {
+        let mut rng = Xoshiro256::seed_from(0x121 ^ case);
+        let mut bytes = vec![0u8; rng.index(2048)];
+        rng.fill_bytes(&mut bytes);
         let _ = cdpu::lite::lzo::decompress(&bytes);
     }
+}
 
-    #[test]
-    fn gipfeli_roundtrip_arbitrary(data in prop::collection::vec(any::<u8>(), 0..32768)) {
+#[test]
+fn gipfeli_roundtrip_arbitrary() {
+    for case in 0..CASES {
+        let mut rng = Xoshiro256::seed_from(0x61F ^ case);
+        let data = random_bytes(&mut rng, 32768);
         let c = cdpu::lite::gipfeli::compress(&data);
-        prop_assert_eq!(cdpu::lite::gipfeli::decompress(&c).unwrap(), data);
+        assert_eq!(
+            cdpu::lite::gipfeli::decompress(&c).unwrap(),
+            data,
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn gipfeli_decompress_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..2048)) {
+#[test]
+fn gipfeli_decompress_never_panics() {
+    for case in 0..CASES {
+        let mut rng = Xoshiro256::seed_from(0x620 ^ case);
+        let mut bytes = vec![0u8; rng.index(2048)];
+        rng.fill_bytes(&mut bytes);
         let _ = cdpu::lite::gipfeli::decompress(&bytes);
     }
+}
 
-    #[test]
-    fn snappy_framing_roundtrip_arbitrary(data in prop::collection::vec(any::<u8>(), 0..200_000)) {
+#[test]
+fn snappy_framing_roundtrip_arbitrary() {
+    for case in 0..CASES {
+        let mut rng = Xoshiro256::seed_from(0x54AF ^ case);
+        let data = random_bytes(&mut rng, 200_000);
         let s = cdpu::snappy::frame::compress_frames(&data);
-        prop_assert_eq!(cdpu::snappy::frame::decompress_frames(&s).unwrap(), data);
+        assert_eq!(
+            cdpu::snappy::frame::decompress_frames(&s).unwrap(),
+            data,
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn snappy_framing_bitflips_never_pass_silently(
-        data in prop::collection::vec(any::<u8>(), 256..4096),
-        idx in any::<prop::sample::Index>(),
-        bit in 0u8..8
-    ) {
+#[test]
+fn snappy_framing_bitflips_never_pass_silently() {
+    for case in 0..CASES {
+        let mut rng = Xoshiro256::seed_from(0xB1F ^ case);
+        let mut data = random_bytes(&mut rng, 4096);
+        while data.len() < 256 {
+            data.push(rng.next_u64() as u8);
+        }
         let s = cdpu::snappy::frame::compress_frames(&data);
         let mut bad = s.clone();
         // Only flip bytes past the stream identifier and chunk header, i.e.
         // inside CRC or payload, where corruption must never produce a
         // silently different output.
         let start = 14.min(bad.len() - 1);
-        let i = start + idx.index(bad.len() - start);
+        let i = start + rng.index(bad.len() - start);
+        let bit = rng.index(8) as u8;
         bad[i] ^= 1 << bit;
-        match cdpu::snappy::frame::decompress_frames(&bad) {
-            Ok(out) => prop_assert_eq!(out, data, "corruption changed output undetected"),
-            Err(_) => {} // detected: good
+        // An Err means the corruption was detected: good. If decoding
+        // still succeeds, the output must be untouched.
+        if let Ok(out) = cdpu::snappy::frame::decompress_frames(&bad) {
+            assert_eq!(out, data, "case {case}: corruption changed output undetected");
         }
     }
+}
 
-    #[test]
-    fn crc32c_linearity_of_detection(data in prop::collection::vec(any::<u8>(), 1..1024),
-                                     idx in any::<prop::sample::Index>(), bit in 0u8..8) {
+#[test]
+fn crc32c_linearity_of_detection() {
+    for case in 0..CASES {
+        let mut rng = Xoshiro256::seed_from(0xCBC ^ case);
+        let mut data = vec![0u8; 1 + rng.index(1023)];
+        rng.fill_bytes(&mut data);
         let before = cdpu::util::crc32c::crc32c(&data);
         let mut changed = data.clone();
-        let i = idx.index(changed.len());
+        let i = rng.index(changed.len());
+        let bit = rng.index(8) as u8;
         changed[i] ^= 1 << bit;
-        prop_assert_ne!(before, cdpu::util::crc32c::crc32c(&changed));
+        assert_ne!(
+            before,
+            cdpu::util::crc32c::crc32c(&changed),
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn all_codecs_agree_on_content(data in prop::collection::vec(any::<u8>(), 0..16384)) {
+#[test]
+fn all_codecs_agree_on_content() {
+    for case in 0..CASES {
+        let mut rng = Xoshiro256::seed_from(0xA11 ^ case);
+        let data = random_bytes(&mut rng, 16384);
         // Five codecs, one truth: every decompress(compress(x)) == x.
-        prop_assert_eq!(cdpu::snappy::decompress(&cdpu::snappy::compress(&data)).unwrap(), data.clone());
-        prop_assert_eq!(cdpu::zstd::decompress(&cdpu::zstd::compress(&data)).unwrap(), data.clone());
-        prop_assert_eq!(cdpu::flate::decompress(&cdpu::flate::compress(&data)).unwrap(), data.clone());
-        prop_assert_eq!(cdpu::lite::lzo::decompress(&cdpu::lite::lzo::compress(&data)).unwrap(), data.clone());
-        prop_assert_eq!(cdpu::lite::gipfeli::decompress(&cdpu::lite::gipfeli::compress(&data)).unwrap(), data);
+        assert_eq!(
+            cdpu::snappy::decompress(&cdpu::snappy::compress(&data)).unwrap(),
+            data
+        );
+        assert_eq!(
+            cdpu::zstd::decompress(&cdpu::zstd::compress(&data)).unwrap(),
+            data
+        );
+        assert_eq!(
+            cdpu::flate::decompress(&cdpu::flate::compress(&data)).unwrap(),
+            data
+        );
+        assert_eq!(
+            cdpu::lite::lzo::decompress(&cdpu::lite::lzo::compress(&data)).unwrap(),
+            data
+        );
+        assert_eq!(
+            cdpu::lite::gipfeli::decompress(&cdpu::lite::gipfeli::compress(&data)).unwrap(),
+            data
+        );
     }
 }
 
