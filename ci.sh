@@ -5,13 +5,21 @@ set -eu
 
 cd "$(dirname "$0")"
 
-echo "==> cargo build --release"
-cargo build --release
+echo "==> cargo build --release --workspace"
+cargo build --release --workspace
 
 echo "==> cargo test -q"
 cargo test -q
 
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> figures determinism smoke (serial vs parallel at tiny scale)"
+./target/release/figures --tiny --jobs 1 > /tmp/cdpu_figures_serial.txt
+./target/release/figures --tiny > /tmp/cdpu_figures_parallel.txt
+if ! diff -q /tmp/cdpu_figures_serial.txt /tmp/cdpu_figures_parallel.txt; then
+    echo "FAIL: parallel figures output differs from serial" >&2
+    exit 1
+fi
 
 echo "CI OK"

@@ -16,7 +16,7 @@ use cdpu_hwsim::params::{CdpuParams, MemParams, Placement};
 use cdpu_lz77::hash::HashFn;
 use cdpu_lz77::matcher::{ChainConfig, HashChainMatcher, HashTableMatcher, MatcherConfig};
 
-fn suite_data(wb: &mut Workbench, op: AlgoOp, max_files: usize) -> Vec<Vec<u8>> {
+fn suite_data(wb: &Workbench, op: AlgoOp, max_files: usize) -> Vec<Vec<u8>> {
     wb.suite(op)
         .files
         .iter()
@@ -27,7 +27,7 @@ fn suite_data(wb: &mut Workbench, op: AlgoOp, max_files: usize) -> Vec<Vec<u8>> 
 
 /// Hash-function ablation: Multiplicative vs XorFold on the Snappy
 /// compression suite (ratio per hash-table size).
-pub fn hash_function(wb: &mut Workbench) -> String {
+pub fn hash_function(wb: &Workbench) -> String {
     let files = suite_data(wb, AlgoOp::new(Algorithm::Snappy, Direction::Compress), 24);
     let total: usize = files.iter().map(Vec::len).sum();
     let mut rows = Vec::new();
@@ -56,7 +56,7 @@ pub fn hash_function(wb: &mut Workbench) -> String {
 
 /// Associativity ablation: 1/2/4-way hash tables at small sizes, where
 /// conflict misses bite (ratio and area).
-pub fn associativity(wb: &mut Workbench) -> String {
+pub fn associativity(wb: &Workbench) -> String {
     let files = suite_data(wb, AlgoOp::new(Algorithm::Snappy, Direction::Compress), 24);
     let total: usize = files.iter().map(Vec::len).sum();
     let mut rows = Vec::new();
@@ -89,7 +89,7 @@ pub fn associativity(wb: &mut Workbench) -> String {
 
 /// Software-effort ablation: chain depth and lazy matching — the knobs
 /// compression levels are made of (positions searched vs bytes saved).
-pub fn matcher_effort(wb: &mut Workbench) -> String {
+pub fn matcher_effort(wb: &Workbench) -> String {
     let files = suite_data(wb, AlgoOp::new(Algorithm::Zstd, Direction::Compress), 16);
     let total: usize = files.iter().map(Vec::len).sum();
     let mut rows = Vec::new();
@@ -124,7 +124,7 @@ pub fn matcher_effort(wb: &mut Workbench) -> String {
 /// Greedy-vs-chain ablation: the hardware's single-probe matcher against
 /// software chain search at equal window — the structural reason Figure
 /// 15's hardware ratio trails software.
-pub fn greedy_vs_chain(wb: &mut Workbench) -> String {
+pub fn greedy_vs_chain(wb: &Workbench) -> String {
     let files = suite_data(wb, AlgoOp::new(Algorithm::Zstd, Direction::Compress), 16);
     let total: usize = files.iter().map(Vec::len).sum();
     let greedy = HashTableMatcher::new(MatcherConfig::snappy_hw());
@@ -145,7 +145,7 @@ pub fn greedy_vs_chain(wb: &mut Workbench) -> String {
 }
 
 /// FSE accuracy ablation: table log vs sequence-stream size (parameter 12).
-pub fn fse_accuracy(wb: &mut Workbench) -> String {
+pub fn fse_accuracy(wb: &Workbench) -> String {
     use cdpu_entropy::fse;
     let files = suite_data(wb, AlgoOp::new(Algorithm::Zstd, Direction::Compress), 8);
     // Collect a realistic LL-code symbol stream from the suite's parses.
@@ -185,17 +185,16 @@ pub fn fse_accuracy(wb: &mut Workbench) -> String {
 
 /// The Section 3.5.2 chaining study: decompress→deserialize read path per
 /// placement.
-pub fn chaining_study(wb: &mut Workbench) -> String {
+pub fn chaining_study(wb: &Workbench) -> String {
     let op = AlgoOp::new(Algorithm::Snappy, Direction::Decompress);
-    wb.profiles(op);
-    let profiles = wb.profiles(op).to_vec();
+    let profiles = wb.profiles(op);
     let mem = MemParams::default();
     let mut rows = Vec::new();
     for placement in Placement::ALL {
         let params = CdpuParams::full_size(placement);
         let mut cycles = 0u64;
         let mut fused = 0u64;
-        for prof in &profiles {
+        for prof in profiles.iter() {
             let sim = chaining::read_path(prof, &params, &mem);
             cycles += sim.cycles;
             fused += sim.fused_cycles;
@@ -295,7 +294,7 @@ pub fn window_coverage() -> String {
 }
 
 /// All ablations, concatenated (the `figures ablations` target).
-pub fn all(wb: &mut Workbench) -> String {
+pub fn all(wb: &Workbench) -> String {
     let mut out = String::new();
     for part in [
         hash_function(wb),
@@ -321,8 +320,8 @@ mod tests {
 
     #[test]
     fn ablations_render_at_tiny_scale() {
-        let mut wb = Workbench::new(Scale::tiny());
-        let s = all(&mut wb);
+        let wb = Workbench::new(Scale::tiny());
+        let s = all(&wb);
         for needle in [
             "hash function",
             "associativity",
@@ -340,8 +339,8 @@ mod tests {
 
     #[test]
     fn chaining_orders_placements() {
-        let mut wb = Workbench::new(Scale::tiny());
-        let s = chaining_study(&mut wb);
+        let wb = Workbench::new(Scale::tiny());
+        let s = chaining_study(&wb);
         // RoCC row must show lower overhead than PCIeNoCache row.
         let rocc_line = s.lines().find(|l| l.contains("RoCC")).unwrap();
         let pcie_line = s.lines().find(|l| l.contains("PCIeNoCache")).unwrap();

@@ -1,0 +1,191 @@
+//! `bench` — times the experiment pipeline serial vs parallel and writes
+//! `results/BENCH_parallel.json`.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench [--files N] [--seed N] [--jobs N] [--out PATH] [--tiny]
+//! ```
+//!
+//! Each stage (chunk bank, suite generation, call profiling, DSE sweeps,
+//! figure rendering) runs twice against a fresh workbench: once pinned to
+//! one thread, once across the pool (`--jobs`, else `CDPU_THREADS`, else
+//! host parallelism). The report records per-stage wall-clock and speedup
+//! and asserts the two runs rendered byte-identical figure tables.
+
+use std::time::Instant;
+
+use cdpu_bench::{dse_figures, Scale, Workbench};
+use cdpu_core::dse::{
+    compression_sweep, decompression_sweep, standard_histories, standard_placements,
+};
+use cdpu_fleet::Direction;
+use cdpu_hwsim::params::MemParams;
+
+const FIGS: [&str; 6] = ["fig11", "fig12", "fig13", "fig14", "fig15", "summary"];
+
+struct Run {
+    stages: Vec<(&'static str, f64)>,
+    tables: String,
+}
+
+fn run_once(scale: Scale) -> Run {
+    let mut stages = Vec::new();
+    let wb = Workbench::new(scale);
+
+    let t = Instant::now();
+    wb.bank();
+    stages.push(("bank", t.elapsed().as_secs_f64()));
+
+    let t = Instant::now();
+    cdpu_par::par_map(&Workbench::ops(), |&op| {
+        wb.suite(op);
+    });
+    stages.push(("suites", t.elapsed().as_secs_f64()));
+
+    let t = Instant::now();
+    cdpu_par::par_map(&Workbench::ops(), |&op| {
+        if op.dir == Direction::Decompress {
+            wb.profiles(op);
+        }
+    });
+    stages.push(("profiles", t.elapsed().as_secs_f64()));
+
+    let t = Instant::now();
+    let mem = MemParams::default();
+    for op in Workbench::ops() {
+        let suite = wb.suite(op);
+        if op.dir == Direction::Decompress {
+            let profiles = wb.profiles(op);
+            let _ = decompression_sweep(
+                &suite,
+                &profiles,
+                &standard_placements(),
+                &standard_histories(),
+                16,
+                &mem,
+            );
+        } else {
+            let _ = compression_sweep(
+                &suite,
+                &standard_placements(),
+                &standard_histories(),
+                14,
+                &mem,
+            );
+        }
+    }
+    stages.push(("sweeps", t.elapsed().as_secs_f64()));
+
+    let t = Instant::now();
+    let rendered = cdpu_par::par_map(&FIGS, |&fig| match fig {
+        "fig11" => dse_figures::fig11(&wb),
+        "fig12" => dse_figures::fig12(&wb),
+        "fig13" => dse_figures::fig13(&wb),
+        "fig14" => dse_figures::fig14(&wb),
+        "fig15" => dse_figures::fig15(&wb),
+        _ => dse_figures::summary(&wb),
+    });
+    stages.push(("figures", t.elapsed().as_secs_f64()));
+
+    Run {
+        stages,
+        tables: rendered.join("\n"),
+    }
+}
+
+fn main() {
+    let mut scale = Scale {
+        files_per_suite: 48,
+        ..Scale::default()
+    };
+    let mut jobs = 0usize;
+    let mut out = String::from("results/BENCH_parallel.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--files" => {
+                scale.files_per_suite = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--files needs a number"));
+            }
+            "--seed" => {
+                scale.seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--seed needs a number"));
+            }
+            "--jobs" => {
+                jobs = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--jobs needs a thread count"));
+            }
+            "--out" => {
+                out = args.next().unwrap_or_else(|| usage("--out needs a path"));
+            }
+            "--tiny" => {
+                let seed = scale.seed;
+                scale = Scale::tiny();
+                scale.seed = seed;
+            }
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unknown argument {other}")),
+        }
+    }
+
+    cdpu_par::set_threads(1);
+    eprintln!("bench: serial pass ({} files/suite)...", scale.files_per_suite);
+    let serial = run_once(scale);
+
+    cdpu_par::set_threads(jobs);
+    let workers = cdpu_par::threads();
+    eprintln!("bench: parallel pass ({workers} threads)...");
+    let parallel = run_once(scale);
+
+    let identical = serial.tables == parallel.tables;
+    let mut stage_objs = Vec::new();
+    let (mut ser_total, mut par_total) = (0.0f64, 0.0f64);
+    for ((name, s), (_, p)) in serial.stages.iter().zip(&parallel.stages) {
+        ser_total += s;
+        par_total += p;
+        stage_objs.push(format!(
+            "    {{\"name\": \"{name}\", \"serial_s\": {s:.6}, \"parallel_s\": {p:.6}, \"speedup\": {:.3}}}",
+            s / p
+        ));
+        eprintln!("  {name:<10} serial {s:>8.3}s  parallel {p:>8.3}s  {:.2}x", s / p);
+    }
+    eprintln!(
+        "  {:<10} serial {ser_total:>8.3}s  parallel {par_total:>8.3}s  {:.2}x  tables_identical={identical}",
+        "total",
+        ser_total / par_total
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"cdpu parallel experiment engine\",\n  \"host_threads\": {},\n  \"workers\": {workers},\n  \"scale\": {{\"files_per_suite\": {}, \"max_call_bytes\": {}, \"bank_bytes_per_kind\": {}, \"seed\": {}}},\n  \"stages\": [\n{}\n  ],\n  \"total\": {{\"serial_s\": {ser_total:.6}, \"parallel_s\": {par_total:.6}, \"speedup\": {:.3}}},\n  \"tables_identical\": {identical}\n}}\n",
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+        scale.files_per_suite,
+        scale.max_call_bytes,
+        scale.bank_bytes_per_kind,
+        scale.seed,
+        stage_objs.join(",\n"),
+        ser_total / par_total,
+    );
+    if let Some(dir) = std::path::Path::new(&out).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create output directory");
+        }
+    }
+    std::fs::write(&out, json).expect("write benchmark report");
+    eprintln!("bench: wrote {out}");
+    assert!(identical, "serial and parallel figure tables diverged");
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}");
+    }
+    eprintln!("usage: bench [--files N] [--seed N] [--jobs N] [--out PATH] [--tiny]");
+    std::process::exit(2);
+}

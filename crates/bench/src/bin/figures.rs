@@ -3,24 +3,34 @@
 //! Usage:
 //!
 //! ```text
-//! figures [FIGURE ...] [--files N] [--max-call BYTES] [--seed N] [--telemetry]
+//! figures [FIGURE ...] [--files N] [--max-call BYTES] [--seed N]
+//!         [--jobs N] [--tiny] [--telemetry]
 //!
 //! FIGURE: fig1 fig2a fig2b fig2c fig3 fig4 fig5 fig6 fig7
 //!         fig11 fig12 fig13 fig14 fig15 summary | all (default)
 //! ```
 //!
 //! Run with `--release`; the default scale completes the full set in
-//! minutes. `--files`/`--max-call` push toward paper scale. `--telemetry`
-//! enables the metrics/span instrumentation, prints a snapshot after the
-//! figures, and writes `snapshot.md`, `metrics.jsonl` and a Chrome
-//! `trace.json` (loadable in Perfetto / chrome://tracing) under
-//! `results/telemetry/`.
+//! minutes. `--files`/`--max-call` push toward paper scale; `--tiny` drops
+//! to the smoke-test scale. Independent figures render concurrently across
+//! the `cdpu-par` pool (worker count from `--jobs`, else `CDPU_THREADS`,
+//! else the host's parallelism); output order and content are identical to
+//! a serial run. `--telemetry` enables the metrics/span instrumentation,
+//! prints a snapshot after the figures, and writes `snapshot.md`,
+//! `metrics.jsonl` and a Chrome `trace.json` (loadable in Perfetto /
+//! chrome://tracing) under `results/telemetry/`.
 
 use cdpu_bench::{dse_figures, profile_figures, Scale, Workbench};
 
 const ALL_FIGURES: [&str; 17] = [
     "fig1", "fig2a", "fig2b", "fig2c", "fig2c-measured", "fig3", "fig4", "fig5", "fig6", "fig7",
     "fig11", "fig12", "fig13", "fig14", "fig15", "summary", "ablations",
+];
+
+/// Figures that need suite/profile state (everything else is pure fleet
+/// model and needs no workbench).
+const WB_FIGURES: [&str; 9] = [
+    "fig2c-measured", "fig7", "fig11", "fig12", "fig13", "fig14", "fig15", "summary", "ablations",
 ];
 
 fn main() {
@@ -48,6 +58,18 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage("--seed needs a number"));
             }
+            "--jobs" => {
+                let n: usize = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--jobs needs a thread count"));
+                cdpu_par::set_threads(n);
+            }
+            "--tiny" => {
+                let seed = scale.seed;
+                scale = Scale::tiny();
+                scale.seed = seed;
+            }
             "--telemetry" => telemetry = true,
             "--help" | "-h" => usage(""),
             other if other.starts_with('-') => usage(&format!("unknown flag {other}")),
@@ -66,38 +88,28 @@ fn main() {
     } else {
         figures.iter().map(|s| s.as_str()).collect()
     };
+    // Reject unknown names before any work starts (workers must not exit).
+    if let Some(bad) = selected.iter().find(|f| !ALL_FIGURES.contains(f)) {
+        usage(&format!("unknown figure {bad}"));
+    }
 
-    let mut wb = Workbench::new(scale);
-    for fig in selected {
-        // Span the whole rendering of each figure under its static name
-        // (unknown names fall back to a shared label before usage() exits).
-        let span_name = ALL_FIGURES
-            .iter()
-            .find(|&&n| n == fig)
-            .copied()
-            .unwrap_or("figure");
-        let _fig_span = cdpu_telemetry::span::SpanGuard::enter(span_name);
-        let rendered = match fig {
-            "fig1" => profile_figures::fig1(),
-            "fig2a" => profile_figures::fig2a(),
-            "fig2b" => profile_figures::fig2b(),
-            "fig2c" => profile_figures::fig2c(),
-            "fig2c-measured" => profile_figures::fig2c_measured(&mut wb),
-            "fig3" => profile_figures::fig3(),
-            "fig4" => profile_figures::fig4(),
-            "fig5" => profile_figures::fig5(),
-            "fig6" => profile_figures::fig6(),
-            "fig7" => profile_figures::fig7(&mut wb),
-            "fig11" => dse_figures::fig11(&mut wb),
-            "fig12" => dse_figures::fig12(&mut wb),
-            "fig13" => dse_figures::fig13(&mut wb),
-            "fig14" => dse_figures::fig14(&mut wb),
-            "fig15" => dse_figures::fig15(&mut wb),
-            "summary" => dse_figures::summary(&mut wb),
-            "ablations" => cdpu_bench::ablations::all(&mut wb),
-            other => usage(&format!("unknown figure {other}")),
-        };
-        println!("{rendered}");
+    let wb = Workbench::new(scale);
+    if selected.iter().any(|f| WB_FIGURES.contains(f)) {
+        // Build the shared bank/suites/profiles once, across the pool, so
+        // concurrent figures below only hit caches.
+        wb.prepare_all();
+    }
+
+    // Figures are independent given a prepared workbench: render them
+    // across the pool, then print in selection order.
+    let rendered = cdpu_par::par_map(&selected, |&fig| {
+        let _fig_span = cdpu_telemetry::span::SpanGuard::enter(
+            ALL_FIGURES.iter().find(|&&n| n == fig).copied().unwrap_or("figure"),
+        );
+        render_figure(fig, &wb)
+    });
+    for r in rendered {
+        println!("{r}");
         println!("{}", "=".repeat(72));
     }
 
@@ -114,6 +126,29 @@ fn main() {
     }
 }
 
+fn render_figure(fig: &str, wb: &Workbench) -> String {
+    match fig {
+        "fig1" => profile_figures::fig1(),
+        "fig2a" => profile_figures::fig2a(),
+        "fig2b" => profile_figures::fig2b(),
+        "fig2c" => profile_figures::fig2c(),
+        "fig2c-measured" => profile_figures::fig2c_measured(wb),
+        "fig3" => profile_figures::fig3(),
+        "fig4" => profile_figures::fig4(),
+        "fig5" => profile_figures::fig5(),
+        "fig6" => profile_figures::fig6(),
+        "fig7" => profile_figures::fig7(wb),
+        "fig11" => dse_figures::fig11(wb),
+        "fig12" => dse_figures::fig12(wb),
+        "fig13" => dse_figures::fig13(wb),
+        "fig14" => dse_figures::fig14(wb),
+        "fig15" => dse_figures::fig15(wb),
+        "summary" => dse_figures::summary(wb),
+        "ablations" => cdpu_bench::ablations::all(wb),
+        other => unreachable!("figure {other} validated above"),
+    }
+}
+
 fn usage(err: &str) -> ! {
     if !err.is_empty() {
         eprintln!("error: {err}");
@@ -121,7 +156,7 @@ fn usage(err: &str) -> ! {
     eprintln!(
         "usage: figures [fig1|fig2a|fig2b|fig2c|fig2c-measured|fig3|fig4|fig5|fig6|fig7|\n\
          \x20       fig11|fig12|fig13|fig14|fig15|summary|ablations|all]\n\
-         \x20       [--files N] [--max-call BYTES] [--seed N] [--telemetry]"
+         \x20       [--files N] [--max-call BYTES] [--seed N] [--jobs N] [--tiny] [--telemetry]"
     );
     std::process::exit(2);
 }

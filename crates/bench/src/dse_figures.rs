@@ -45,11 +45,10 @@ fn sweep_table(title: &str, sweep: &Sweep, with_ratio: bool) -> String {
 
 /// Figure 11: Snappy decompression speedup/area across placements ×
 /// history SRAM sizes.
-pub fn fig11(wb: &mut Workbench) -> String {
+pub fn fig11(wb: &Workbench) -> String {
     let op = AlgoOp::new(Algorithm::Snappy, Direction::Decompress);
-    wb.profiles(op);
-    let suite = wb.suite(op).clone();
-    let profiles = wb.profiles(op).to_vec();
+    let suite = wb.suite(op);
+    let profiles = wb.profiles(op);
     let sweep = decompression_sweep(
         &suite,
         &profiles,
@@ -72,18 +71,18 @@ pub fn fig11(wb: &mut Workbench) -> String {
 }
 
 /// Figure 12: Snappy compression, 2^14 hash-table entries.
-pub fn fig12(wb: &mut Workbench) -> String {
+pub fn fig12(wb: &Workbench) -> String {
     snappy_comp_fig(wb, 14, "Figure 12: Snappy compression, 2^14 HT entries")
 }
 
 /// Figure 13: Snappy compression, 2^9 hash-table entries.
-pub fn fig13(wb: &mut Workbench) -> String {
+pub fn fig13(wb: &Workbench) -> String {
     snappy_comp_fig(wb, 9, "Figure 13: Snappy compression, 2^9 HT entries")
 }
 
-fn snappy_comp_fig(wb: &mut Workbench, ht_log: u32, title: &str) -> String {
+fn snappy_comp_fig(wb: &Workbench, ht_log: u32, title: &str) -> String {
     let op = AlgoOp::new(Algorithm::Snappy, Direction::Compress);
-    let suite = wb.suite(op).clone();
+    let suite = wb.suite(op);
     let sweep = compression_sweep(
         &suite,
         &standard_placements(),
@@ -102,11 +101,10 @@ fn snappy_comp_fig(wb: &mut Workbench, ht_log: u32, title: &str) -> String {
 
 /// Figure 14: ZStd decompression sweep plus the Section 6.4 speculation
 /// exploration (4 / 16 / 32).
-pub fn fig14(wb: &mut Workbench) -> String {
+pub fn fig14(wb: &Workbench) -> String {
     let op = AlgoOp::new(Algorithm::Zstd, Direction::Decompress);
-    wb.profiles(op);
-    let suite = wb.suite(op).clone();
-    let profiles = wb.profiles(op).to_vec();
+    let suite = wb.suite(op);
+    let profiles = wb.profiles(op);
     let mem = MemParams::default();
     let sweep = decompression_sweep(
         &suite,
@@ -132,9 +130,9 @@ pub fn fig14(wb: &mut Workbench) -> String {
 }
 
 /// Figure 15: ZStd compression sweep.
-pub fn fig15(wb: &mut Workbench) -> String {
+pub fn fig15(wb: &Workbench) -> String {
     let op = AlgoOp::new(Algorithm::Zstd, Direction::Compress);
-    let suite = wb.suite(op).clone();
+    let suite = wb.suite(op);
     let sweep = compression_sweep(
         &suite,
         &standard_placements(),
@@ -159,18 +157,16 @@ pub fn fig15(wb: &mut Workbench) -> String {
 
 /// The Section 6.6 summary — regenerated with this run's measured numbers
 /// (the artifact's `FINAL_TEXT_SUMMARIES.txt` analogue).
-pub fn summary(wb: &mut Workbench) -> String {
+pub fn summary(wb: &Workbench) -> String {
     let mem = MemParams::default();
     let sd_op = AlgoOp::new(Algorithm::Snappy, Direction::Decompress);
     let zd_op = AlgoOp::new(Algorithm::Zstd, Direction::Decompress);
-    wb.profiles(sd_op);
-    wb.profiles(zd_op);
-    let sd_suite = wb.suite(sd_op).clone();
-    let sd_prof = wb.profiles(sd_op).to_vec();
-    let zd_suite = wb.suite(zd_op).clone();
-    let zd_prof = wb.profiles(zd_op).to_vec();
-    let sc_suite = wb.snappy_c().clone();
-    let zc_suite = wb.zstd_c().clone();
+    let sd_suite = wb.suite(sd_op);
+    let sd_prof = wb.profiles(sd_op);
+    let zd_suite = wb.suite(zd_op);
+    let zd_prof = wb.profiles(zd_op);
+    let sc_suite = wb.snappy_c();
+    let zc_suite = wb.zstd_c();
 
     let sd = decompression_sweep(
         &sd_suite,
@@ -267,19 +263,19 @@ mod tests {
 
     #[test]
     fn dse_figures_render_at_tiny_scale() {
-        let mut wb = Workbench::new(Scale::tiny());
-        let f11 = fig11(&mut wb);
+        let wb = Workbench::new(Scale::tiny());
+        let f11 = fig11(&wb);
         assert!(f11.contains("RoCC") && f11.contains("64 KiB"));
-        let f12 = fig12(&mut wb);
+        let f12 = fig12(&wb);
         assert!(f12.contains("ratio vs SW"));
-        let f14 = fig14(&mut wb);
+        let f14 = fig14(&wb);
         assert!(f14.contains("spec 32") || f14.contains("spec  4"));
     }
 
     #[test]
     fn summary_renders() {
-        let mut wb = Workbench::new(Scale::tiny());
-        let s = summary(&mut wb);
+        let wb = Workbench::new(Scale::tiny());
+        let s = summary(&wb);
         assert!(s.contains("Speedup span"));
         assert!(s.contains("Snappy-D 64K"));
     }

@@ -94,7 +94,7 @@ pub fn fig2c() -> String {
 /// HyperCompressBench data (the check Section 3.3.3 says fleet aggregates
 /// cannot provide: "a true comparison ... requires running the same sets
 /// of representative data through algorithms/levels of interest").
-pub fn fig2c_measured(wb: &mut Workbench) -> String {
+pub fn fig2c_measured(wb: &Workbench) -> String {
     let files: Vec<Vec<u8>> = wb
         .snappy_c()
         .files
@@ -258,7 +258,7 @@ pub fn fig6() -> String {
 
 /// Figure 7: HyperCompressBench call-size CDFs, side by side with the
 /// fleet targets, plus the suite validation report.
-pub fn fig7(wb: &mut Workbench) -> String {
+pub fn fig7(wb: &Workbench) -> String {
     let mut out = String::new();
     let cap = wb.scale().max_call_bytes;
     let header = ["lg2(B)", "suite cum %", "fleet cum %"];
@@ -280,7 +280,7 @@ pub fn fig7(wb: &mut Workbench) -> String {
             &header,
             &rows,
         ));
-        let report = cdpu_hcbench::validate::validate_suite(suite);
+        let report = cdpu_hcbench::validate::validate_suite(&suite);
         out.push_str(&format!(
             "  validation: CDF gap {:.1} pp; achieved ratio {:.2} vs fleet {:.2} ({:.0}% err)\n\n",
             report.callsize_cdf_gap,
@@ -341,8 +341,8 @@ mod tests {
 
     #[test]
     fn fig2c_measured_orders_heavy_over_light() {
-        let mut wb = Workbench::new(Scale::tiny());
-        let f = fig2c_measured(&mut wb);
+        let wb = Workbench::new(Scale::tiny());
+        let f = fig2c_measured(&wb);
         let get = |label: &str| -> f64 {
             f.lines()
                 .find(|l| l.trim_start().starts_with(label))
@@ -361,8 +361,8 @@ mod tests {
 
     #[test]
     fn fig7_renders_at_tiny_scale() {
-        let mut wb = Workbench::new(Scale::tiny());
-        let f = fig7(&mut wb);
+        let wb = Workbench::new(Scale::tiny());
+        let f = fig7(&wb);
         assert!(f.contains("C-Snappy"));
         assert!(f.contains("validation"));
     }

@@ -1,4 +1,13 @@
 //! Shared experiment state: bank, suites and profiles built once.
+//!
+//! The workbench uses interior mutability (`&self` accessors returning
+//! `Arc`s) so independent figures can be rendered concurrently against
+//! one shared instance. [`Workbench::prepare_all`] builds every suite and
+//! profile across the thread pool up front; after that, accessors are
+//! cheap cache hits.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
 
 use cdpu_core::dse::profile_suite;
 use cdpu_fleet::{callsizes, Algorithm, AlgoOp, Direction};
@@ -31,7 +40,7 @@ impl Default for Scale {
 }
 
 impl Scale {
-    /// A tiny scale for tests and Criterion benches.
+    /// A tiny scale for tests and smoke runs.
     pub fn tiny() -> Self {
         Scale {
             files_per_suite: 8,
@@ -42,12 +51,14 @@ impl Scale {
     }
 }
 
-/// Lazily-built shared state for figure generation.
+/// Lazily-built shared state for figure generation. All accessors take
+/// `&self` and build on first use; generation is deterministic, so a
+/// duplicate build lost in a cache race costs time, never correctness.
 pub struct Workbench {
     scale: Scale,
-    bank: Option<ChunkBank>,
-    suites: std::collections::HashMap<AlgoOp, Suite>,
-    profiles: std::collections::HashMap<AlgoOp, Vec<CallProfile>>,
+    bank: OnceLock<ChunkBank>,
+    suites: Mutex<HashMap<AlgoOp, Arc<Suite>>>,
+    profiles: Mutex<HashMap<AlgoOp, Arc<Vec<CallProfile>>>>,
 }
 
 impl Workbench {
@@ -55,9 +66,9 @@ impl Workbench {
     pub fn new(scale: Scale) -> Self {
         Workbench {
             scale,
-            bank: None,
-            suites: std::collections::HashMap::new(),
-            profiles: std::collections::HashMap::new(),
+            bank: OnceLock::new(),
+            suites: Mutex::new(HashMap::new()),
+            profiles: Mutex::new(HashMap::new()),
         }
     }
 
@@ -66,64 +77,89 @@ impl Workbench {
         self.scale
     }
 
+    /// Builds everything every figure needs — bank, all four suites, both
+    /// decompression profile sets — fanning the suites out across the
+    /// thread pool. Figures rendered afterwards only hit caches.
+    pub fn prepare_all(&self) {
+        self.bank();
+        cdpu_par::par_map(&Self::ops(), |&op| {
+            self.suite(op);
+            if op.dir == Direction::Decompress {
+                self.profiles(op);
+            }
+        });
+    }
+
     /// The chunk bank, building on first use.
-    pub fn bank(&mut self) -> &ChunkBank {
-        if self.bank.is_none() {
-            self.bank = Some(ChunkBank::build(&BankConfig {
+    pub fn bank(&self) -> &ChunkBank {
+        self.bank.get_or_init(|| {
+            ChunkBank::build(&BankConfig {
                 chunk_size: 4096,
                 per_kind_bytes: self.scale.bank_bytes_per_kind,
                 zstd_levels: vec![-5, 1, 3, 9],
                 seed: self.scale.seed ^ 0xBA_4B,
-            }));
-        }
-        self.bank.as_ref().expect("just built")
+            })
+        })
     }
 
     /// The HyperCompressBench suite for an op, generating on first use.
-    pub fn suite(&mut self, op: AlgoOp) -> &Suite {
-        if !self.suites.contains_key(&op) {
-            let cfg = SuiteConfig {
-                op,
-                files: self.scale.files_per_suite,
-                max_call_bytes: self.scale.max_call_bytes,
-                seed: self.scale.seed ^ seed_tag(op),
-            };
-            self.bank();
-            let bank = self.bank.as_ref().expect("bank built");
-            let suite = generate_suite(bank, &cfg);
-            self.suites.insert(op, suite);
+    pub fn suite(&self, op: AlgoOp) -> Arc<Suite> {
+        if let Some(s) = self.suites.lock().expect("suite cache poisoned").get(&op) {
+            return s.clone();
         }
-        &self.suites[&op]
+        let cfg = SuiteConfig {
+            op,
+            files: self.scale.files_per_suite,
+            max_call_bytes: self.scale.max_call_bytes,
+            seed: self.scale.seed ^ seed_tag(op),
+        };
+        let suite = Arc::new(generate_suite(self.bank(), &cfg));
+        self.suites
+            .lock()
+            .expect("suite cache poisoned")
+            .entry(op)
+            .or_insert(suite)
+            .clone()
     }
 
     /// Cached per-file decompression profiles for an op's suite.
-    pub fn profiles(&mut self, op: AlgoOp) -> &[CallProfile] {
+    pub fn profiles(&self, op: AlgoOp) -> Arc<Vec<CallProfile>> {
         assert_eq!(op.dir, Direction::Decompress, "profiles are for decompression");
-        if !self.profiles.contains_key(&op) {
-            self.suite(op);
-            let profiles = profile_suite(&self.suites[&op]);
-            self.profiles.insert(op, profiles);
+        if let Some(p) = self
+            .profiles
+            .lock()
+            .expect("profile cache poisoned")
+            .get(&op)
+        {
+            return p.clone();
         }
-        &self.profiles[&op]
+        let suite = self.suite(op);
+        let profiles = Arc::new(profile_suite(&suite));
+        self.profiles
+            .lock()
+            .expect("profile cache poisoned")
+            .entry(op)
+            .or_insert(profiles)
+            .clone()
     }
 
     /// Convenience accessors for the four instrumented ops.
-    pub fn snappy_c(&mut self) -> &Suite {
+    pub fn snappy_c(&self) -> Arc<Suite> {
         self.suite(AlgoOp::new(Algorithm::Snappy, Direction::Compress))
     }
 
     /// Snappy decompression suite.
-    pub fn snappy_d(&mut self) -> &Suite {
+    pub fn snappy_d(&self) -> Arc<Suite> {
         self.suite(AlgoOp::new(Algorithm::Snappy, Direction::Decompress))
     }
 
     /// ZStd compression suite.
-    pub fn zstd_c(&mut self) -> &Suite {
+    pub fn zstd_c(&self) -> Arc<Suite> {
         self.suite(AlgoOp::new(Algorithm::Zstd, Direction::Compress))
     }
 
     /// ZStd decompression suite.
-    pub fn zstd_d(&mut self) -> &Suite {
+    pub fn zstd_d(&self) -> Arc<Suite> {
         self.suite(AlgoOp::new(Algorithm::Zstd, Direction::Decompress))
     }
 
@@ -152,7 +188,7 @@ mod tests {
 
     #[test]
     fn workbench_caches() {
-        let mut wb = Workbench::new(Scale::tiny());
+        let wb = Workbench::new(Scale::tiny());
         let n1 = wb.snappy_c().files.len();
         let n2 = wb.snappy_c().files.len();
         assert_eq!(n1, n2);
@@ -164,9 +200,26 @@ mod tests {
     }
 
     #[test]
+    fn workbench_shares_across_threads() {
+        let wb = Workbench::new(Scale::tiny());
+        wb.prepare_all();
+        let op = AlgoOp::new(Algorithm::Zstd, Direction::Decompress);
+        let a = wb.suite(op);
+        std::thread::scope(|s| {
+            let wb = &wb;
+            s.spawn(move || {
+                let b = wb.suite(op);
+                assert_eq!(b.files.len(), Scale::tiny().files_per_suite);
+            });
+        });
+        // prepare_all built the suite once; later accessors share it.
+        assert!(Arc::ptr_eq(&a, &wb.suite(op)));
+    }
+
+    #[test]
     #[should_panic]
     fn profiles_only_for_decompression() {
-        let mut wb = Workbench::new(Scale::tiny());
+        let wb = Workbench::new(Scale::tiny());
         let _ = wb.profiles(AlgoOp::new(Algorithm::Snappy, Direction::Compress));
     }
 }

@@ -1,0 +1,81 @@
+//! Serial vs parallel determinism: the whole point of `cdpu-par` is free
+//! speed — every figure table and every DSE point must come out
+//! bit-identical whether the pool runs one worker or many.
+
+use cdpu_bench::{ablations, dse_figures, profile_figures, Scale, Workbench};
+use cdpu_core::dse::{
+    decompression_sweep, speculation_sweep, standard_histories, standard_placements,
+};
+use cdpu_fleet::{Algorithm, AlgoOp, Direction};
+use cdpu_hwsim::params::MemParams;
+
+fn render_all(wb: &Workbench) -> Vec<String> {
+    vec![
+        profile_figures::fig2c_measured(wb),
+        profile_figures::fig7(wb),
+        dse_figures::fig11(wb),
+        dse_figures::fig12(wb),
+        dse_figures::fig13(wb),
+        dse_figures::fig14(wb),
+        dse_figures::fig15(wb),
+        dse_figures::summary(wb),
+        ablations::all(wb),
+    ]
+}
+
+/// One test body (not several) because the worker-count override is
+/// process-global and cargo runs tests concurrently.
+#[test]
+fn figures_and_sweeps_are_thread_count_invariant() {
+    let scale = Scale::tiny();
+
+    cdpu_par::set_threads(1);
+    let serial_wb = Workbench::new(scale);
+    serial_wb.prepare_all();
+    let serial_tables = render_all(&serial_wb);
+    let op = AlgoOp::new(Algorithm::Snappy, Direction::Decompress);
+    let serial_sweep = decompression_sweep(
+        &serial_wb.suite(op),
+        &serial_wb.profiles(op),
+        &standard_placements(),
+        &standard_histories(),
+        16,
+        &MemParams::default(),
+    );
+    let zd = AlgoOp::new(Algorithm::Zstd, Direction::Decompress);
+    let serial_spec = speculation_sweep(
+        &serial_wb.suite(zd),
+        &serial_wb.profiles(zd),
+        &[4, 16, 32],
+        &MemParams::default(),
+    );
+
+    cdpu_par::set_threads(4);
+    let par_wb = Workbench::new(scale);
+    par_wb.prepare_all();
+    let par_tables = render_all(&par_wb);
+    let par_sweep = decompression_sweep(
+        &par_wb.suite(op),
+        &par_wb.profiles(op),
+        &standard_placements(),
+        &standard_histories(),
+        16,
+        &MemParams::default(),
+    );
+    let par_spec = speculation_sweep(
+        &par_wb.suite(zd),
+        &par_wb.profiles(zd),
+        &[4, 16, 32],
+        &MemParams::default(),
+    );
+    cdpu_par::set_threads(0);
+
+    // Rendered figure tables: byte-identical.
+    assert_eq!(serial_tables.len(), par_tables.len());
+    for (s, p) in serial_tables.iter().zip(&par_tables) {
+        assert_eq!(s, p, "figure table differs between 1 and 4 threads");
+    }
+    // Raw design points: exact float equality, not approximate.
+    assert_eq!(serial_sweep.points, par_sweep.points);
+    assert_eq!(serial_spec, par_spec);
+}

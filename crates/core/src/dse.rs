@@ -42,45 +42,66 @@ pub struct DsePoint {
 }
 
 /// A full sweep: points for every (placement × history) combination.
+///
+/// Construct with [`Sweep::new`]: the constructor builds a
+/// placement/history lookup index and caches the sweep's maximum area, so
+/// [`Sweep::point`] and [`Sweep::area_norm`] are O(1) per table cell.
+/// `points` is public for read access; it must not be mutated after
+/// construction (the index and cached max would go stale).
 #[derive(Debug, Clone)]
 pub struct Sweep {
     /// Which figure-suite this reproduces.
     pub op: AlgoOp,
     /// All points, ordered placement-major, history descending (64K→2K).
     pub points: Vec<DsePoint>,
+    /// (placement, history) → index into `points` (first occurrence wins,
+    /// matching the old linear scan's find-first semantics).
+    index: std::collections::HashMap<(Placement, usize), usize>,
+    /// Largest `area_mm2` across `points` (0.0 for an empty sweep).
+    max_area_mm2: f64,
 }
 
 impl Sweep {
-    /// The point for a given placement/history.
-    pub fn point(&self, placement: Placement, history: usize) -> Option<&DsePoint> {
-        self.points
-            .iter()
-            .find(|p| p.placement == placement && p.history_bytes == history)
+    /// Builds a sweep, indexing points by (placement, history) and caching
+    /// the fold-max of `area_mm2`.
+    pub fn new(op: AlgoOp, points: Vec<DsePoint>) -> Sweep {
+        let mut index = std::collections::HashMap::with_capacity(points.len());
+        for (i, p) in points.iter().enumerate() {
+            index.entry((p.placement, p.history_bytes)).or_insert(i);
+        }
+        let max_area_mm2 = points.iter().map(|p| p.area_mm2).fold(0.0f64, f64::max);
+        Sweep {
+            op,
+            points,
+            index,
+            max_area_mm2,
+        }
     }
 
-    /// Area normalized to the largest configuration in the sweep.
+    /// The point for a given placement/history (O(1) hash lookup).
+    pub fn point(&self, placement: Placement, history: usize) -> Option<&DsePoint> {
+        self.index
+            .get(&(placement, history))
+            .map(|&i| &self.points[i])
+    }
+
+    /// Area normalized to the largest configuration in the sweep (cached
+    /// at construction).
     pub fn area_norm(&self, p: &DsePoint) -> f64 {
-        let max = self
-            .points
-            .iter()
-            .map(|q| q.area_mm2)
-            .fold(0.0f64, f64::max);
-        p.area_mm2 / max
+        p.area_mm2 / self.max_area_mm2
     }
 }
 
 /// Profiles every file of a decompression suite once (reused across all
-/// configurations — the stream does not depend on CDPU knobs).
+/// configurations — the stream does not depend on CDPU knobs). Files
+/// profile independently across the thread pool, results in file order.
 pub fn profile_suite(suite: &Suite) -> Vec<CallProfile> {
-    suite
-        .files
-        .iter()
-        .map(|f| match suite.op.algo {
-            Algorithm::Snappy => profile_snappy(&f.data),
-            Algorithm::Zstd => profile_zstd(&f.data, f.level.unwrap_or(3), f.window_log),
-            _ => unreachable!("suites are Snappy/ZStd"),
-        })
-        .collect()
+    let _span = span!("dse.profile_suite");
+    cdpu_par::par_map(&suite.files, |f| match suite.op.algo {
+        Algorithm::Snappy => profile_snappy(&f.data),
+        Algorithm::Zstd => profile_zstd(&f.data, f.level.unwrap_or(3), f.window_log),
+        _ => unreachable!("suites are Snappy/ZStd"),
+    })
 }
 
 fn suite_xeon_seconds(suite: &Suite) -> f64 {
@@ -102,47 +123,57 @@ pub fn decompression_sweep(
     let _sweep_span = span!("dse.decomp.sweep");
     let xeon = suite_xeon_seconds(suite);
     let total_unc = suite.total_uncompressed();
-    let mut points = Vec::new();
-    for &placement in placements {
-        for &history in histories {
-            let mut point_span = span!("dse.decomp.point");
-            counter!("dse.points").incr();
-            let params = CdpuParams::full_size(placement)
-                .with_history(history)
-                .with_spec(spec_ways);
-            let mut cycles = 0u64;
-            for prof in profiles {
-                cycles += match suite.op.algo {
-                    Algorithm::Snappy => decomp::snappy_decompress(prof, &params, mem).cycles,
-                    Algorithm::Zstd => decomp::zstd_decompress(prof, &params, mem).cycles,
-                    _ => unreachable!(),
-                };
-            }
-            point_span.add_cycles(cycles);
-            let accel_seconds = cycles as f64 / (mem.freq_ghz * 1e9);
-            let area_mm2 = match suite.op.algo {
-                Algorithm::Snappy => area::snappy_decompressor_mm2(&params),
-                Algorithm::Zstd => area::zstd_decompressor_mm2(&params),
+    // One pool task per design point; each point is a pure function of the
+    // immutable profiles + params, and par_map returns results in grid
+    // order, so the table is byte-identical to a serial run.
+    let grid = placement_history_grid(placements, histories);
+    let points = cdpu_par::par_map(&grid, |&(placement, history)| {
+        let mut point_span = span!("dse.decomp.point");
+        counter!("dse.points").incr();
+        let params = CdpuParams::full_size(placement)
+            .with_history(history)
+            .with_spec(spec_ways);
+        let mut cycles = 0u64;
+        for prof in profiles {
+            cycles += match suite.op.algo {
+                Algorithm::Snappy => decomp::snappy_decompress(prof, &params, mem).cycles,
+                Algorithm::Zstd => decomp::zstd_decompress(prof, &params, mem).cycles,
                 _ => unreachable!(),
             };
-            points.push(DsePoint {
-                placement,
-                history_bytes: history,
-                spec_ways,
-                hash_entries_log: params.hash_entries_log,
-                accel_seconds,
-                xeon_seconds: xeon,
-                accel_gbps: total_unc as f64 / accel_seconds / 1e9,
-                speedup: xeon / accel_seconds,
-                area_mm2,
-                ratio_vs_sw: None,
-            });
         }
-    }
-    Sweep {
-        op: suite.op,
-        points,
-    }
+        point_span.add_cycles(cycles);
+        let accel_seconds = cycles as f64 / (mem.freq_ghz * 1e9);
+        let area_mm2 = match suite.op.algo {
+            Algorithm::Snappy => area::snappy_decompressor_mm2(&params),
+            Algorithm::Zstd => area::zstd_decompressor_mm2(&params),
+            _ => unreachable!(),
+        };
+        DsePoint {
+            placement,
+            history_bytes: history,
+            spec_ways,
+            hash_entries_log: params.hash_entries_log,
+            accel_seconds,
+            xeon_seconds: xeon,
+            accel_gbps: total_unc as f64 / accel_seconds / 1e9,
+            speedup: xeon / accel_seconds,
+            area_mm2,
+            ratio_vs_sw: None,
+        }
+    });
+    Sweep::new(suite.op, points)
+}
+
+/// The sweep grid in deterministic placement-major order (history order as
+/// given, 64K→2K in the standard axes).
+fn placement_history_grid(
+    placements: &[Placement],
+    histories: &[usize],
+) -> Vec<(Placement, usize)> {
+    placements
+        .iter()
+        .flat_map(|&p| histories.iter().map(move |&h| (p, h)))
+        .collect()
 }
 
 /// Figures 12, 13, 15: compression sweep over placements × history SRAM
@@ -160,59 +191,55 @@ pub fn compression_sweep(
     let xeon = suite_xeon_seconds(suite);
     let total_unc = suite.total_uncompressed();
     // Software ratio baseline: the suite compressed by the fleet's
-    // software at each file's own parameters.
-    let sw_compressed: u64 = suite
-        .files
-        .iter()
-        .map(|f| cdpu_hcbench::compressed_len(f) as u64)
-        .sum();
+    // software at each file's own parameters. Files compress
+    // independently; the u64 sum is order-independent.
+    let sw_compressed: u64 = cdpu_par::par_map(&suite.files, |f| {
+        cdpu_hcbench::compressed_len(f) as u64
+    })
+    .into_iter()
+    .sum();
     let sw_ratio = total_unc as f64 / sw_compressed as f64;
 
-    let mut points = Vec::new();
-    for &placement in placements {
-        for &history in histories {
-            let mut point_span = span!("dse.comp.point");
-            counter!("dse.points").incr();
-            let params = CdpuParams::full_size(placement)
-                .with_history(history)
-                .with_hash_entries_log(hash_entries_log);
-            let mut cycles = 0u64;
-            let mut hw_compressed = 0u64;
-            for f in &suite.files {
-                let sim = match suite.op.algo {
-                    Algorithm::Snappy => comp::snappy_compress(&f.data, &params, mem),
-                    Algorithm::Zstd => comp::zstd_compress(&f.data, &params, mem),
-                    _ => unreachable!(),
-                };
-                cycles += sim.sim.cycles;
-                hw_compressed += sim.compressed_bytes;
-            }
-            point_span.add_cycles(cycles);
-            let accel_seconds = cycles as f64 / (mem.freq_ghz * 1e9);
-            let hw_ratio = total_unc as f64 / hw_compressed as f64;
-            let area_mm2 = match suite.op.algo {
-                Algorithm::Snappy => area::snappy_compressor_mm2(&params),
-                Algorithm::Zstd => area::zstd_compressor_mm2(&params),
+    let grid = placement_history_grid(placements, histories);
+    let points = cdpu_par::par_map(&grid, |&(placement, history)| {
+        let mut point_span = span!("dse.comp.point");
+        counter!("dse.points").incr();
+        let params = CdpuParams::full_size(placement)
+            .with_history(history)
+            .with_hash_entries_log(hash_entries_log);
+        let mut cycles = 0u64;
+        let mut hw_compressed = 0u64;
+        for f in &suite.files {
+            let sim = match suite.op.algo {
+                Algorithm::Snappy => comp::snappy_compress(&f.data, &params, mem),
+                Algorithm::Zstd => comp::zstd_compress(&f.data, &params, mem),
                 _ => unreachable!(),
             };
-            points.push(DsePoint {
-                placement,
-                history_bytes: history,
-                spec_ways: params.spec_ways,
-                hash_entries_log,
-                accel_seconds,
-                xeon_seconds: xeon,
-                accel_gbps: total_unc as f64 / accel_seconds / 1e9,
-                speedup: xeon / accel_seconds,
-                area_mm2,
-                ratio_vs_sw: Some(hw_ratio / sw_ratio),
-            });
+            cycles += sim.sim.cycles;
+            hw_compressed += sim.compressed_bytes;
         }
-    }
-    Sweep {
-        op: suite.op,
-        points,
-    }
+        point_span.add_cycles(cycles);
+        let accel_seconds = cycles as f64 / (mem.freq_ghz * 1e9);
+        let hw_ratio = total_unc as f64 / hw_compressed as f64;
+        let area_mm2 = match suite.op.algo {
+            Algorithm::Snappy => area::snappy_compressor_mm2(&params),
+            Algorithm::Zstd => area::zstd_compressor_mm2(&params),
+            _ => unreachable!(),
+        };
+        DsePoint {
+            placement,
+            history_bytes: history,
+            spec_ways: params.spec_ways,
+            hash_entries_log,
+            accel_seconds,
+            xeon_seconds: xeon,
+            accel_gbps: total_unc as f64 / accel_seconds / 1e9,
+            speedup: xeon / accel_seconds,
+            area_mm2,
+            ratio_vs_sw: Some(hw_ratio / sw_ratio),
+        }
+    });
+    Sweep::new(suite.op, points)
 }
 
 /// Section 6.4's speculation sweep: ZStd decompression at fixed 64 KiB
@@ -225,20 +252,22 @@ pub fn speculation_sweep(
 ) -> Vec<DsePoint> {
     assert_eq!(suite.op.algo, Algorithm::Zstd);
     assert_eq!(suite.op.dir, Direction::Decompress);
-    specs
-        .iter()
-        .flat_map(|&s| {
-            decompression_sweep(
-                suite,
-                profiles,
-                &[Placement::Rocc],
-                &[64 * 1024],
-                s,
-                mem,
-            )
-            .points
-        })
-        .collect()
+    // One task per speculation count (each inner sweep is a single point);
+    // results stay in `specs` order.
+    cdpu_par::par_map(specs, |&s| {
+        decompression_sweep(
+            suite,
+            profiles,
+            &[Placement::Rocc],
+            &[64 * 1024],
+            s,
+            mem,
+        )
+        .points
+    })
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 /// The standard figure axes.
@@ -334,6 +363,55 @@ mod tests {
         assert!(pts[0].speedup <= pts[1].speedup);
         assert!(pts[1].speedup <= pts[2].speedup);
         assert!(pts[0].area_mm2 < pts[2].area_mm2);
+    }
+
+    #[test]
+    fn point_index_keeps_find_first_semantics() {
+        let op = AlgoOp::new(Algorithm::Snappy, Direction::Decompress);
+        let mk = |speedup: f64| DsePoint {
+            placement: Placement::Rocc,
+            history_bytes: 2048,
+            spec_ways: 16,
+            hash_entries_log: 14,
+            accel_seconds: 1.0,
+            xeon_seconds: 1.0,
+            accel_gbps: 1.0,
+            speedup,
+            area_mm2: speedup,
+            ratio_vs_sw: None,
+        };
+        let sweep = Sweep::new(op, vec![mk(1.0), mk(2.0)]);
+        // Duplicate (placement, history): the first point wins, exactly as
+        // the old linear scan returned it.
+        assert_eq!(sweep.point(Placement::Rocc, 2048).unwrap().speedup, 1.0);
+        assert!(sweep.point(Placement::Chiplet, 2048).is_none());
+        assert!(sweep.point(Placement::Rocc, 4096).is_none());
+        // area_norm uses the cached max (2.0).
+        assert_eq!(sweep.area_norm(&mk(2.0)), 1.0);
+        assert_eq!(sweep.area_norm(&mk(1.0)), 0.5);
+    }
+
+    #[test]
+    fn parallel_sweeps_match_serial_exactly() {
+        let suite = tiny_suite(AlgoOp::new(Algorithm::Snappy, Direction::Decompress));
+        let profiles = profile_suite(&suite);
+        let run = || {
+            decompression_sweep(
+                &suite,
+                &profiles,
+                &standard_placements(),
+                &standard_histories(),
+                16,
+                &MemParams::default(),
+            )
+        };
+        cdpu_par::set_threads(1);
+        let serial = run();
+        cdpu_par::set_threads(4);
+        let parallel = run();
+        cdpu_par::set_threads(0);
+        // Exact float equality: the parallel gather must be bit-identical.
+        assert_eq!(serial.points, parallel.points);
     }
 
     #[test]

@@ -108,21 +108,21 @@ mod tests {
 
     #[test]
     fn summary_spans() {
-        let d = Sweep {
-            op: AlgoOp::new(Algorithm::Snappy, Direction::Decompress),
-            points: vec![
+        let d = Sweep::new(
+            AlgoOp::new(Algorithm::Snappy, Direction::Decompress),
+            vec![
                 fake_point(Placement::Rocc, 64 * 1024, 10.0, 0.43),
                 fake_point(Placement::PcieNoCache, 64 * 1024, 1.8, 0.43),
             ],
-        };
-        let c = Sweep {
-            op: AlgoOp::new(Algorithm::Snappy, Direction::Compress),
-            points: vec![
+        );
+        let c = Sweep::new(
+            AlgoOp::new(Algorithm::Snappy, Direction::Compress),
+            vec![
                 fake_point(Placement::Rocc, 64 * 1024, 16.0, 0.85),
                 fake_point(Placement::PcieNoCache, 64 * 1024, 6.6, 0.85),
                 fake_point(Placement::Rocc, 2048, 15.0, 0.29),
             ],
-        };
+        );
         let s = summarize(&[&d, &c], &[fake_point(Placement::Rocc, 64 * 1024, 0.35, 1.7)]);
         assert!((s.speedup_span - 16.0 / 0.35).abs() < 1e-9);
         assert!((s.area_span - 0.85 / 0.29).abs() < 1e-9, "{}", s.area_span);

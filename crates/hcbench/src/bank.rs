@@ -70,15 +70,17 @@ impl ChunkBank {
         assert!(cfg.chunk_size >= 256, "chunks must be meaningfully sized");
         assert!(!cfg.zstd_levels.is_empty(), "need at least one zstd level");
         let mut rng = Xoshiro256::seed_from(cfg.seed);
-        let mut chunks: Vec<Vec<u8>> = Vec::new();
-        for kind in ALL_KINDS {
+        // Each kind's corpus is generated from its own derived seed, so
+        // kinds parallelize with output identical to the serial loop
+        // (results concatenate in kind order).
+        let per_kind: Vec<Vec<Vec<u8>>> = cdpu_par::par_map(&ALL_KINDS, |&kind| {
             let data = generate(kind, cfg.per_kind_bytes, cfg.seed ^ kind_seed(kind));
-            for chunk in data.chunks(cfg.chunk_size) {
-                if chunk.len() == cfg.chunk_size {
-                    chunks.push(chunk.to_vec());
-                }
-            }
-        }
+            data.chunks(cfg.chunk_size)
+                .filter(|c| c.len() == cfg.chunk_size)
+                .map(<[u8]>::to_vec)
+                .collect()
+        });
+        let mut chunks: Vec<Vec<u8>> = per_kind.into_iter().flatten().collect();
         // The paper introduces random shuffles within the lookup table to
         // avoid pathological orderings; shuffling the chunk list gives ties
         // (equal ratios) a randomized order in the sorted tables.
@@ -88,11 +90,13 @@ impl ChunkBank {
         let mut combos = vec![Combo::Snappy];
         combos.extend(cfg.zstd_levels.iter().map(|&level| Combo::Zstd { level }));
         for combo in combos {
-            let mut entries: Vec<(f64, u32)> = chunks
-                .iter()
-                .enumerate()
-                .map(|(i, c)| (chunk_ratio(c, combo), i as u32))
-                .collect();
+            // Per-chunk compression dominates bank build time; chunks are
+            // independent and index order is preserved, and the stable
+            // ratio sort then matches the serial result exactly.
+            let mut entries: Vec<(f64, u32)> =
+                cdpu_par::par_map_indexed(chunks.len(), |i| {
+                    (chunk_ratio(&chunks[i], combo), i as u32)
+                });
             entries.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("ratios are finite"));
             tables.insert(combo, entries);
         }

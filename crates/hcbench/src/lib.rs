@@ -82,13 +82,14 @@ impl Suite {
 
     /// Aggregate achieved compression ratio, measured by actually running
     /// the suite's algorithm (total uncompressed / total compressed).
+    /// Files compress independently across the thread pool; the integer
+    /// sums are order-independent.
     pub fn aggregate_ratio(&self) -> f64 {
-        let mut unc = 0u64;
-        let mut comp = 0u64;
-        for f in &self.files {
-            unc += f.data.len() as u64;
-            comp += compressed_len(f) as u64;
-        }
+        let sizes = cdpu_par::par_map(&self.files, |f| {
+            (f.data.len() as u64, compressed_len(f) as u64)
+        });
+        let unc: u64 = sizes.iter().map(|&(u, _)| u).sum();
+        let comp: u64 = sizes.iter().map(|&(_, c)| c).sum();
         if comp == 0 {
             1.0
         } else {
@@ -143,6 +144,10 @@ const RATIO_SPREAD_LOG: f64 = 0.30;
 
 /// Generates one suite from a chunk bank.
 ///
+/// Every file draws from its own RNG derived from the master seed, so
+/// files are mutually independent and generation fans out across the
+/// thread pool with output bit-identical to a serial (`--jobs 1`) run.
+///
 /// # Panics
 ///
 /// Panics if `cfg.op` is not a Snappy/ZStd pair (the instrumented set) or
@@ -153,7 +158,7 @@ pub fn generate_suite(bank: &ChunkBank, cfg: &SuiteConfig) -> Suite {
         matches!(cfg.op.algo, Algorithm::Snappy | Algorithm::Zstd),
         "suites exist only for the instrumented algorithms"
     );
-    let mut rng = Xoshiro256::seed_from(cfg.seed ^ 0x4843_4245_4e43_4821);
+    let master = cfg.seed ^ 0x4843_4245_4e43_4821;
     let size_cdf = callsizes::call_size_cdf(cfg.op);
     let level_weights = levels::level_weights();
     let level_dist = cdpu_util::hist::Categorical::new(
@@ -173,8 +178,12 @@ pub fn generate_suite(bank: &ChunkBank, cfg: &SuiteConfig) -> Suite {
     // spurious mass at the cap.
     let cap_mass = size_cdf.eval(cfg.max_call_bytes as f64);
 
-    let mut files = Vec::with_capacity(cfg.files);
-    for i in 0..cfg.files {
+    let files = cdpu_par::par_map_indexed(cfg.files, |i| {
+        let mut rng = Xoshiro256::seed_from(
+            cdpu_util::rng::mix64(master).wrapping_add(
+                cdpu_util::rng::mix64((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ master),
+            ),
+        );
         let call_size = (size_cdf.quantile(rng.next_f64() * cap_mass) as u64)
             .clamp(callsizes::MIN_CALL, cfg.max_call_bytes) as usize;
         let (level, window_log) = if cfg.op.algo == Algorithm::Zstd {
@@ -195,15 +204,15 @@ pub fn generate_suite(bank: &ChunkBank, cfg: &SuiteConfig) -> Suite {
             _ => unreachable!(),
         };
         let data = assemble_file(bank, combo, call_size, target_ratio, &mut rng);
-        files.push(BenchmarkFile {
+        BenchmarkFile {
             name: format!("{}-{:05}", cfg.op.label(), i),
             op: cfg.op,
             data,
             level,
             window_log,
             target_ratio,
-        });
-    }
+        }
+    });
     Suite { op: cfg.op, files }
 }
 
@@ -319,6 +328,25 @@ mod tests {
         for (x, y) in a.files.iter().zip(&b.files) {
             assert_eq!(x.data, y.data);
             assert_eq!(x.level, y.level);
+        }
+    }
+
+    #[test]
+    fn parallel_generation_matches_serial_bit_for_bit() {
+        let bank = tiny_bank();
+        let op = AlgoOp::new(Algorithm::Zstd, Direction::Compress);
+        cdpu_par::set_threads(1);
+        let serial = generate_suite(&bank, &tiny_cfg(op));
+        cdpu_par::set_threads(4);
+        let parallel = generate_suite(&bank, &tiny_cfg(op));
+        cdpu_par::set_threads(0);
+        assert_eq!(serial.files.len(), parallel.files.len());
+        for (x, y) in serial.files.iter().zip(&parallel.files) {
+            assert_eq!(x.data, y.data);
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.level, y.level);
+            assert_eq!(x.window_log, y.window_log);
+            assert_eq!(x.target_ratio.to_bits(), y.target_ratio.to_bits());
         }
     }
 

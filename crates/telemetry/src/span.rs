@@ -7,9 +7,19 @@
 //! modeled time next to host time). Events land in a fixed-capacity ring —
 //! when full, the oldest event is overwritten and a drop counter advances,
 //! bounding memory regardless of run length.
+//!
+//! # Concurrency
+//!
+//! Recording is sharded per thread: each recording thread buffers events
+//! in its own small shard (one uncontended mutex per thread) and batches
+//! them into the central ring, so parallel sweep workers never serialize
+//! on the ring lock per event. Shards are flushed into the ring when a
+//! thread exits and transparently whenever the global log is read
+//! ([`SpanLog::events`] / [`SpanLog::aggregate`]), so exports always see
+//! every completed span; merged events are ordered by start time.
 
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
 /// Default ring capacity (events). At 48 bytes/event this bounds the log
@@ -63,6 +73,9 @@ impl SpanLog {
     /// Panics if `cap` is 0.
     pub fn set_capacity(&self, cap: usize) {
         assert!(cap > 0, "span log capacity must be positive");
+        if self.is_global() {
+            discard_shards();
+        }
         let mut ring = self.ring.lock().expect("span log poisoned");
         ring.buf = Vec::with_capacity(cap);
         ring.cap = cap;
@@ -70,8 +83,12 @@ impl SpanLog {
         ring.dropped = 0;
     }
 
-    /// Clears recorded events and the drop counter; keeps the capacity.
+    /// Clears recorded events (including per-thread shards of the global
+    /// log) and the drop counter; keeps the capacity.
     pub fn clear(&self) {
+        if self.is_global() {
+            discard_shards();
+        }
         let mut ring = self.ring.lock().expect("span log poisoned");
         ring.buf.clear();
         ring.head = 0;
@@ -94,13 +111,24 @@ impl SpanLog {
         }
     }
 
-    /// Recorded events, oldest first.
+    /// Recorded events, ordered by start time. Reading the global log
+    /// first drains every live thread's shard so concurrent recordings
+    /// are never missed.
     pub fn events(&self) -> Vec<SpanEvent> {
+        if self.is_global() {
+            flush();
+        }
         let ring = self.ring.lock().expect("span log poisoned");
         let mut out = Vec::with_capacity(ring.buf.len());
         out.extend_from_slice(&ring.buf[ring.head..]);
         out.extend_from_slice(&ring.buf[..ring.head]);
+        drop(ring);
+        out.sort_by_key(|e| (e.start_ns, e.tid));
         out
+    }
+
+    fn is_global(&self) -> bool {
+        LOG.get().is_some_and(|l| std::ptr::eq(l, self))
     }
 
     /// Events overwritten because the ring was full.
@@ -143,10 +171,112 @@ pub struct SpanAggregate {
     pub total_cycles: u64,
 }
 
+static LOG: OnceLock<SpanLog> = OnceLock::new();
+
 /// The process-global span log.
 pub fn log() -> &'static SpanLog {
-    static LOG: OnceLock<SpanLog> = OnceLock::new();
     LOG.get_or_init(SpanLog::new)
+}
+
+/// Events buffered per shard before a batch is pushed into the central
+/// ring (one ring-lock acquisition per batch, not per span).
+const SHARD_FLUSH: usize = 128;
+
+/// One thread's buffered, not-yet-central events. The mutex is almost
+/// always uncontended: only the owning thread pushes, and readers touch
+/// it only during [`flush`].
+struct Shard {
+    buf: Mutex<Vec<SpanEvent>>,
+}
+
+fn shard_registry() -> &'static Mutex<Vec<Arc<Shard>>> {
+    static SHARDS: OnceLock<Mutex<Vec<Arc<Shard>>>> = OnceLock::new();
+    SHARDS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Owns a thread's shard registration; on thread exit the remaining
+/// events are flushed into the central ring and the shard deregistered.
+struct ShardHandle {
+    shard: Arc<Shard>,
+}
+
+impl Drop for ShardHandle {
+    fn drop(&mut self) {
+        let drained: Vec<SpanEvent> = {
+            let mut buf = self.shard.buf.lock().expect("shard poisoned");
+            buf.drain(..).collect()
+        };
+        for ev in drained {
+            log().push(ev);
+        }
+        let mut list = shard_registry().lock().expect("shard registry poisoned");
+        list.retain(|s| !Arc::ptr_eq(s, &self.shard));
+    }
+}
+
+thread_local! {
+    static SHARD: ShardHandle = {
+        let shard = Arc::new(Shard {
+            buf: Mutex::new(Vec::with_capacity(SHARD_FLUSH)),
+        });
+        shard_registry()
+            .lock()
+            .expect("shard registry poisoned")
+            .push(shard.clone());
+        ShardHandle { shard }
+    };
+}
+
+/// Records one completed span into the calling thread's shard, batching
+/// into the central ring. Falls back to a direct ring push if the
+/// thread-local shard is already destroyed (recording during thread
+/// teardown).
+fn record(ev: SpanEvent) {
+    let ok = SHARD.try_with(|h| {
+        let mut buf = h.shard.buf.lock().expect("shard poisoned");
+        buf.push(ev);
+        if buf.len() >= SHARD_FLUSH {
+            let drained: Vec<SpanEvent> = buf.drain(..).collect();
+            drop(buf);
+            for e in drained {
+                log().push(e);
+            }
+        }
+    });
+    if ok.is_err() {
+        log().push(ev);
+    }
+}
+
+/// Drains every live thread's shard into the central ring. Called
+/// automatically when the global log is read; call it directly only when
+/// inspecting the ring through other means.
+pub fn flush() {
+    let shards: Vec<Arc<Shard>> = shard_registry()
+        .lock()
+        .expect("shard registry poisoned")
+        .clone();
+    for shard in shards {
+        let drained: Vec<SpanEvent> = {
+            let mut buf = shard.buf.lock().expect("shard poisoned");
+            buf.drain(..).collect()
+        };
+        for ev in drained {
+            log().push(ev);
+        }
+    }
+}
+
+/// Empties every live shard without moving events to the ring (global
+/// log clear/resize).
+fn discard_shards() {
+    let shards: Vec<Arc<Shard>> = shard_registry()
+        .lock()
+        .expect("shard registry poisoned")
+        .clone();
+    for shard in shards {
+        shard.buf.lock().expect("shard poisoned").clear();
+    }
 }
 
 /// The telemetry epoch: fixed at first use; all span timestamps are
@@ -201,7 +331,7 @@ impl Drop for SpanGuard {
         let Some(start) = self.start else { return };
         let start_ns = start.duration_since(epoch()).as_nanos() as u64;
         let dur_ns = start.elapsed().as_nanos() as u64;
-        log().push(SpanEvent {
+        record(SpanEvent {
             name: self.name,
             tid: thread_id(),
             start_ns,

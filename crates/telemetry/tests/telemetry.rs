@@ -140,6 +140,55 @@ fn macros_record_through_cached_handles() {
 }
 
 #[test]
+fn sharded_spans_merge_at_export() {
+    let g = guard();
+    const THREADS: u64 = 6;
+    const PER_THREAD: u64 = 300; // > one shard-flush batch per thread
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            s.spawn(move || {
+                for _ in 0..PER_THREAD {
+                    let mut sp = telemetry::span!("sharded");
+                    sp.add_cycles(t + 1);
+                }
+            });
+        }
+    });
+    // Worker threads exited: their shards flushed on teardown; events()
+    // flushes any remainder and merges in start order.
+    let events = span::log().events();
+    assert_eq!(events.len(), (THREADS * PER_THREAD) as usize);
+    for w in events.windows(2) {
+        assert!(w[0].start_ns <= w[1].start_ns, "merged order by start");
+    }
+    let tids: std::collections::HashSet<u64> = events.iter().map(|e| e.tid).collect();
+    assert_eq!(tids.len(), THREADS as usize, "one tid per recording thread");
+    let agg = span::log().aggregate();
+    let a = agg.iter().find(|a| a.name == "sharded").expect("aggregated");
+    assert_eq!(a.count, THREADS * PER_THREAD);
+    let expected_cycles: u64 = (1..=THREADS).map(|t| t * PER_THREAD).sum();
+    assert_eq!(a.total_cycles, expected_cycles);
+    finish(g);
+}
+
+#[test]
+fn live_thread_shard_visible_before_batch_flush() {
+    let g = guard();
+    // Record fewer spans than one flush batch on the main thread: they sit
+    // in the shard until the log is read.
+    for _ in 0..5 {
+        let _s = telemetry::span!("buffered");
+    }
+    let events = span::log().events();
+    assert_eq!(
+        events.iter().filter(|e| e.name == "buffered").count(),
+        5,
+        "reading the global log drains live shards"
+    );
+    finish(g);
+}
+
+#[test]
 fn disabled_records_nothing_and_stays_cheap() {
     let g = guard();
     telemetry::disable();

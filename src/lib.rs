@@ -16,6 +16,9 @@
 //!   history-SRAM, hash-table and speculation parameters (Sections 5–6).
 //! - [`core`]: the CDPU generator front-end and design-space-exploration
 //!   driver that regenerates Figures 11–15.
+//! - [`par`]: the zero-dependency scoped thread pool that parallelizes
+//!   suite generation, profiling and the DSE sweeps (`CDPU_THREADS` /
+//!   `--jobs` control the worker count).
 //!
 //! ## Quickstart
 //!
@@ -37,6 +40,7 @@ pub use cdpu_hcbench as hcbench;
 pub use cdpu_hwsim as hwsim;
 pub use cdpu_lite as lite;
 pub use cdpu_lz77 as lz77;
+pub use cdpu_par as par;
 pub use cdpu_snappy as snappy;
 pub use cdpu_telemetry as telemetry;
 pub use cdpu_util as util;
