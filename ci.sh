@@ -22,4 +22,12 @@ if ! diff -q /tmp/cdpu_figures_serial.txt /tmp/cdpu_figures_parallel.txt; then
     exit 1
 fi
 
+echo "==> serving-tier determinism smoke (serial vs parallel at tiny scale)"
+./target/release/figures --serve --tiny --jobs 1 > /tmp/cdpu_serve_serial.txt
+./target/release/figures --serve --tiny > /tmp/cdpu_serve_parallel.txt
+if ! diff -q /tmp/cdpu_serve_serial.txt /tmp/cdpu_serve_parallel.txt; then
+    echo "FAIL: parallel serve figures output differs from serial" >&2
+    exit 1
+fi
+
 echo "CI OK"

@@ -4,7 +4,7 @@
 //! Usage:
 //!
 //! ```text
-//! bench [--files N] [--seed N] [--jobs N] [--out PATH] [--tiny]
+//! bench [--files N] [--seed N] [--jobs N] [--out PATH] [--tiny] [--serve]
 //! ```
 //!
 //! Each stage (chunk bank, suite generation, call profiling, DSE sweeps,
@@ -12,10 +12,14 @@
 //! one thread, once across the pool (`--jobs`, else `CDPU_THREADS`, else
 //! host parallelism). The report records per-stage wall-clock and speedup
 //! and asserts the two runs rendered byte-identical figure tables.
+//!
+//! `--serve` times the serving-tier simulations instead (load sweep,
+//! placement grid, fairness grid — each point its own RNG stream across
+//! the pool) and writes `results/BENCH_serve.json` by default.
 
 use std::time::Instant;
 
-use cdpu_bench::{dse_figures, Scale, Workbench};
+use cdpu_bench::{dse_figures, serve_figures, Scale, Workbench};
 use cdpu_core::dse::{
     compression_sweep, decompression_sweep, standard_histories, standard_placements,
 };
@@ -94,13 +98,36 @@ fn run_once(scale: Scale) -> Run {
     }
 }
 
+fn run_serve_once(scale: Scale) -> Run {
+    let mut stages = Vec::new();
+    let mut tables = Vec::new();
+
+    let t = Instant::now();
+    tables.push(serve_figures::serve_load(scale));
+    stages.push(("load-sweep", t.elapsed().as_secs_f64()));
+
+    let t = Instant::now();
+    tables.push(serve_figures::serve_placement(scale));
+    stages.push(("placement", t.elapsed().as_secs_f64()));
+
+    let t = Instant::now();
+    tables.push(serve_figures::serve_fairness(scale));
+    stages.push(("fairness", t.elapsed().as_secs_f64()));
+
+    Run {
+        stages,
+        tables: tables.join("\n"),
+    }
+}
+
 fn main() {
     let mut scale = Scale {
         files_per_suite: 48,
         ..Scale::default()
     };
     let mut jobs = 0usize;
-    let mut out = String::from("results/BENCH_parallel.json");
+    let mut out: Option<String> = None;
+    let mut serve = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -123,8 +150,9 @@ fn main() {
                     .unwrap_or_else(|| usage("--jobs needs a thread count"));
             }
             "--out" => {
-                out = args.next().unwrap_or_else(|| usage("--out needs a path"));
+                out = Some(args.next().unwrap_or_else(|| usage("--out needs a path")));
             }
+            "--serve" => serve = true,
             "--tiny" => {
                 let seed = scale.seed;
                 scale = Scale::tiny();
@@ -135,14 +163,27 @@ fn main() {
         }
     }
 
+    let out = out.unwrap_or_else(|| {
+        String::from(if serve {
+            "results/BENCH_serve.json"
+        } else {
+            "results/BENCH_parallel.json"
+        })
+    });
+    let (bench_name, pass): (&str, fn(Scale) -> Run) = if serve {
+        ("cdpu serving-tier simulator", run_serve_once)
+    } else {
+        ("cdpu parallel experiment engine", run_once)
+    };
+
     cdpu_par::set_threads(1);
     eprintln!("bench: serial pass ({} files/suite)...", scale.files_per_suite);
-    let serial = run_once(scale);
+    let serial = pass(scale);
 
     cdpu_par::set_threads(jobs);
     let workers = cdpu_par::threads();
     eprintln!("bench: parallel pass ({workers} threads)...");
-    let parallel = run_once(scale);
+    let parallel = pass(scale);
 
     let identical = serial.tables == parallel.tables;
     let mut stage_objs = Vec::new();
@@ -163,7 +204,7 @@ fn main() {
     );
 
     let json = format!(
-        "{{\n  \"bench\": \"cdpu parallel experiment engine\",\n  \"host_threads\": {},\n  \"workers\": {workers},\n  \"scale\": {{\"files_per_suite\": {}, \"max_call_bytes\": {}, \"bank_bytes_per_kind\": {}, \"seed\": {}}},\n  \"stages\": [\n{}\n  ],\n  \"total\": {{\"serial_s\": {ser_total:.6}, \"parallel_s\": {par_total:.6}, \"speedup\": {:.3}}},\n  \"tables_identical\": {identical}\n}}\n",
+        "{{\n  \"bench\": \"{bench_name}\",\n  \"host_threads\": {},\n  \"workers\": {workers},\n  \"scale\": {{\"files_per_suite\": {}, \"max_call_bytes\": {}, \"bank_bytes_per_kind\": {}, \"seed\": {}}},\n  \"stages\": [\n{}\n  ],\n  \"total\": {{\"serial_s\": {ser_total:.6}, \"parallel_s\": {par_total:.6}, \"speedup\": {:.3}}},\n  \"tables_identical\": {identical}\n}}\n",
         std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
         scale.files_per_suite,
         scale.max_call_bytes,
@@ -186,6 +227,6 @@ fn usage(err: &str) -> ! {
     if !err.is_empty() {
         eprintln!("error: {err}");
     }
-    eprintln!("usage: bench [--files N] [--seed N] [--jobs N] [--out PATH] [--tiny]");
+    eprintln!("usage: bench [--files N] [--seed N] [--jobs N] [--out PATH] [--tiny] [--serve]");
     std::process::exit(2);
 }

@@ -4,10 +4,11 @@
 //!
 //! ```text
 //! figures [FIGURE ...] [--files N] [--max-call BYTES] [--seed N]
-//!         [--jobs N] [--tiny] [--telemetry]
+//!         [--jobs N] [--tiny] [--serve] [--telemetry]
 //!
 //! FIGURE: fig1 fig2a fig2b fig2c fig3 fig4 fig5 fig6 fig7
-//!         fig11 fig12 fig13 fig14 fig15 summary | all (default)
+//!         fig11 fig12 fig13 fig14 fig15 summary
+//!         serve-load serve-placement serve-fairness | all (default)
 //! ```
 //!
 //! Run with `--release`; the default scale completes the full set in
@@ -15,17 +16,22 @@
 //! to the smoke-test scale. Independent figures render concurrently across
 //! the `cdpu-par` pool (worker count from `--jobs`, else `CDPU_THREADS`,
 //! else the host's parallelism); output order and content are identical to
-//! a serial run. `--telemetry` enables the metrics/span instrumentation,
+//! a serial run. `--serve` selects the serving-tier figures (appending
+//! them when other figures are also named). `--telemetry` enables the metrics/span instrumentation,
 //! prints a snapshot after the figures, and writes `snapshot.md`,
 //! `metrics.jsonl` and a Chrome `trace.json` (loadable in Perfetto /
 //! chrome://tracing) under `results/telemetry/`.
 
-use cdpu_bench::{dse_figures, profile_figures, Scale, Workbench};
+use cdpu_bench::{dse_figures, profile_figures, serve_figures, Scale, Workbench};
 
-const ALL_FIGURES: [&str; 17] = [
+const ALL_FIGURES: [&str; 20] = [
     "fig1", "fig2a", "fig2b", "fig2c", "fig2c-measured", "fig3", "fig4", "fig5", "fig6", "fig7",
-    "fig11", "fig12", "fig13", "fig14", "fig15", "summary", "ablations",
+    "fig11", "fig12", "fig13", "fig14", "fig15", "summary", "ablations", "serve-load",
+    "serve-placement", "serve-fairness",
 ];
+
+/// The serving-tier figures `--serve` selects.
+const SERVE_FIGURES: [&str; 3] = ["serve-load", "serve-placement", "serve-fairness"];
 
 /// Figures that need suite/profile state (everything else is pure fleet
 /// model and needs no workbench).
@@ -37,6 +43,7 @@ fn main() {
     let mut figures: Vec<String> = Vec::new();
     let mut scale = Scale::default();
     let mut telemetry = false;
+    let mut serve = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -70,10 +77,18 @@ fn main() {
                 scale = Scale::tiny();
                 scale.seed = seed;
             }
+            "--serve" => serve = true,
             "--telemetry" => telemetry = true,
             "--help" | "-h" => usage(""),
             other if other.starts_with('-') => usage(&format!("unknown flag {other}")),
             other => figures.push(other.to_string()),
+        }
+    }
+    if serve {
+        for f in SERVE_FIGURES {
+            if !figures.iter().any(|g| g == f) {
+                figures.push(f.to_string());
+            }
         }
     }
     if figures.is_empty() {
@@ -145,6 +160,9 @@ fn render_figure(fig: &str, wb: &Workbench) -> String {
         "fig15" => dse_figures::fig15(wb),
         "summary" => dse_figures::summary(wb),
         "ablations" => cdpu_bench::ablations::all(wb),
+        "serve-load" => serve_figures::serve_load(wb.scale()),
+        "serve-placement" => serve_figures::serve_placement(wb.scale()),
+        "serve-fairness" => serve_figures::serve_fairness(wb.scale()),
         other => unreachable!("figure {other} validated above"),
     }
 }
@@ -155,8 +173,10 @@ fn usage(err: &str) -> ! {
     }
     eprintln!(
         "usage: figures [fig1|fig2a|fig2b|fig2c|fig2c-measured|fig3|fig4|fig5|fig6|fig7|\n\
-         \x20       fig11|fig12|fig13|fig14|fig15|summary|ablations|all]\n\
-         \x20       [--files N] [--max-call BYTES] [--seed N] [--jobs N] [--tiny] [--telemetry]"
+         \x20       fig11|fig12|fig13|fig14|fig15|summary|ablations|\n\
+         \x20       serve-load|serve-placement|serve-fairness|all]\n\
+         \x20       [--files N] [--max-call BYTES] [--seed N] [--jobs N] [--tiny] [--serve]\n\
+         \x20       [--telemetry]"
     );
     std::process::exit(2);
 }

@@ -1,6 +1,7 @@
 //! Benchmark harness: regenerates every table and figure of the paper's
 //! evaluation (Figures 1–7 and 11–15, plus the Section 6.4/6.6 text
-//! numbers).
+//! numbers), and the serving-tier experiments ([`serve_figures`]) built
+//! on the Table 7 offload-latency argument.
 //!
 //! Each `fig*` function returns the figure's data as a printable table so
 //! the `figures` binary, the Criterion benches and the integration tests
@@ -17,6 +18,7 @@
 pub mod ablations;
 pub mod dse_figures;
 pub mod profile_figures;
+pub mod serve_figures;
 pub mod workbench;
 
 pub use workbench::{Scale, Workbench};

@@ -1,0 +1,33 @@
+//! Serial vs parallel determinism for the serving-tier figures: every
+//! offered-load point, placement and scheduler simulates on its own RNG
+//! stream, so the rendered tables must come out byte-identical whether
+//! the pool runs one worker or many.
+
+use cdpu_bench::{serve_figures, Scale};
+
+fn render_all(scale: Scale) -> Vec<String> {
+    vec![
+        serve_figures::serve_load(scale),
+        serve_figures::serve_placement(scale),
+        serve_figures::serve_fairness(scale),
+    ]
+}
+
+/// One test body (not several) because the worker-count override is
+/// process-global and cargo runs tests concurrently.
+#[test]
+fn serve_figures_are_thread_count_invariant() {
+    let scale = Scale::tiny();
+
+    cdpu_par::set_threads(1);
+    let serial = render_all(scale);
+
+    cdpu_par::set_threads(4);
+    let parallel = render_all(scale);
+    cdpu_par::set_threads(0);
+
+    assert_eq!(serial.len(), parallel.len());
+    for (s, p) in serial.iter().zip(&parallel) {
+        assert_eq!(s, p, "serve figure differs between 1 and 4 threads");
+    }
+}

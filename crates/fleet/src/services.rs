@@ -51,6 +51,20 @@ pub fn catalog_coverage() -> f64 {
         .sum()
 }
 
+/// Per-service arrival weights for the serving tier: each catalog
+/// service's share of fleet codec cycles, normalized over the catalog so
+/// the weights sum to 1. Call-rate proportional to codec-cycle share is
+/// the simplest demand model consistent with Section 3.2, and is what the
+/// multi-tenant serving simulator (`cdpu-serve`) uses to split an offered
+/// load across tenants.
+pub fn arrival_weights() -> Vec<(&'static str, f64)> {
+    let cat = service_catalog();
+    let total: f64 = cat.iter().map(|s| s.share_of_fleet_codec_cycles).sum();
+    cat.iter()
+        .map(|s| (s.name, s.share_of_fleet_codec_cycles / total))
+        .collect()
+}
+
 /// Projected cycle increase for a service that moves `frac_on_snappy_c` of
 /// its cycles from Snappy compression to ZStd at the highest levels, using
 /// the cost factors of Section 3.3.4. The paper's example: a service with
@@ -97,6 +111,23 @@ mod tests {
         // switched to the highest ZStd levels (1.55 × 2.39 ≈ 3.70×).
         let inc = projected_cycle_increase(0.25);
         assert!((inc - 0.676).abs() < 0.01, "increase {inc}");
+    }
+
+    #[test]
+    fn arrival_weights_normalized_and_aligned() {
+        let w = arrival_weights();
+        assert_eq!(w.len(), 16);
+        let total: f64 = w.iter().map(|&(_, x)| x).sum();
+        assert!((total - 1.0).abs() < 1e-12, "weights sum {total}");
+        // Same order and relative magnitudes as the catalog.
+        let cat = service_catalog();
+        for (i, &(name, weight)) in w.iter().enumerate() {
+            assert_eq!(name, cat[i].name);
+            assert!(weight > 0.0);
+        }
+        for pair in w.windows(2) {
+            assert!(pair[0].1 >= pair[1].1, "weights must descend");
+        }
     }
 
     #[test]

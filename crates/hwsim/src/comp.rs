@@ -22,6 +22,7 @@ use cdpu_util::floor_log2;
 
 use crate::decomp::{bound_label, DISPATCH_CYCLES};
 use crate::params::{CdpuParams, MemParams};
+use crate::profile::CallProfile;
 use crate::SimResult;
 use cdpu_telemetry::counter;
 
@@ -249,6 +250,154 @@ pub fn flate_compress(data: &[u8], p: &CdpuParams, mem: &MemParams) -> CompressS
     }
 }
 
+/// Matcher-stage cycles from a structural profile instead of a live parse
+/// (the serving tier's analytic path — see [`crate::service`]).
+fn profiled_matcher_cycles(profile: &CallProfile, probe_bpc: f64) -> u64 {
+    (profile.literal_bytes as f64 / probe_bpc
+        + profile.match_bytes as f64 / MATCH_SKIP_BPC
+        + profile.seqs as f64 * SEQ_CYCLES)
+        .round() as u64
+}
+
+/// Simulates one Snappy compression call from a pre-built [`CallProfile`]
+/// instead of real data: the matcher stage is charged from the profile's
+/// parse statistics and the output size is the profile's `compressed`
+/// field. This is the fast path for the serving simulator, which must
+/// price hundreds of thousands of calls without running the matcher.
+pub fn snappy_compress_profiled(
+    profile: &CallProfile,
+    p: &CdpuParams,
+    mem: &MemParams,
+) -> SimResult {
+    p.validate();
+    let io = p.placement.io_injection_cycles(mem.freq_ghz);
+    let input = mem.stream_cycles(profile.uncompressed, io);
+    let output = mem.stream_cycles(profile.compressed, io);
+    let compute = profiled_matcher_cycles(profile, PROBE_BPC);
+    let cycles = DISPATCH_CYCLES + input.max(compute).max(output);
+    if cdpu_telemetry::enabled() {
+        record_comp(
+            bound_label(
+                "hwsim.comp.snappy.bound.input",
+                "hwsim.comp.snappy.bound.compute",
+                "hwsim.comp.snappy.bound.output",
+                input,
+                compute,
+                output,
+            ),
+            &[
+                ("hwsim.comp.snappy.input_stream_cycles", input),
+                ("hwsim.comp.snappy.matcher_cycles", compute),
+                ("hwsim.comp.snappy.output_stream_cycles", output),
+            ],
+        );
+    }
+    SimResult {
+        cycles,
+        input_bytes: profile.uncompressed,
+        output_bytes: profile.compressed,
+        freq_ghz: mem.freq_ghz,
+    }
+}
+
+/// Simulates one ZStd compression call from a pre-built [`CallProfile`]:
+/// the analytic counterpart of [`zstd_compress`], with identical stage
+/// structure (matcher, statistics, Huffman/FSE encode, dictionary builds)
+/// but all occupancies derived from the profile's counts.
+pub fn zstd_compress_profiled(
+    profile: &CallProfile,
+    p: &CdpuParams,
+    mem: &MemParams,
+) -> SimResult {
+    p.validate();
+    let io = p.placement.io_injection_cycles(mem.freq_ghz);
+    let input = mem.stream_cycles(profile.uncompressed, io);
+    let output = mem.stream_cycles(profile.compressed, io);
+
+    let lit = profile.literal_bytes as f64;
+    let matcher = profiled_matcher_cycles(profile, ZSTD_PROBE_BPC);
+    let stats_stage = (lit / p.stats_bytes_per_cycle as f64).round() as u64;
+    let huff_stage = (lit / HUFF_ENC_BPC).round() as u64;
+    let fse_stage = (profile.seqs as f64 / FSE_ENC_SEQS_PER_CYCLE).round() as u64;
+    let builds = profile.huffman_blocks * HUFF_DICT_BUILD + profile.blocks * FSE_DICT_BUILD;
+    let compute = matcher.max(stats_stage).max(huff_stage).max(fse_stage) + builds;
+    let cycles = DISPATCH_CYCLES + input.max(compute).max(output);
+    if cdpu_telemetry::enabled() {
+        record_comp(
+            bound_label(
+                "hwsim.comp.zstd.bound.input",
+                "hwsim.comp.zstd.bound.compute",
+                "hwsim.comp.zstd.bound.output",
+                input,
+                compute,
+                output,
+            ),
+            &[
+                ("hwsim.comp.zstd.input_stream_cycles", input),
+                ("hwsim.comp.zstd.matcher_cycles", matcher),
+                ("hwsim.comp.zstd.stats_cycles", stats_stage),
+                ("hwsim.comp.zstd.huffman_cycles", huff_stage),
+                ("hwsim.comp.zstd.fse_cycles", fse_stage),
+                ("hwsim.comp.zstd.dict_build_cycles", builds),
+                ("hwsim.comp.zstd.output_stream_cycles", output),
+            ],
+        );
+    }
+    SimResult {
+        cycles,
+        input_bytes: profile.uncompressed,
+        output_bytes: profile.compressed,
+        freq_ghz: mem.freq_ghz,
+    }
+}
+
+/// Simulates one Flate compression call from a pre-built [`CallProfile`]:
+/// the ZStd analytic path minus the FSE stages, with the Huffman encoder
+/// carrying literals plus two coded symbols per sequence.
+pub fn flate_compress_profiled(
+    profile: &CallProfile,
+    p: &CdpuParams,
+    mem: &MemParams,
+) -> SimResult {
+    p.validate();
+    let io = p.placement.io_injection_cycles(mem.freq_ghz);
+    let input = mem.stream_cycles(profile.uncompressed, io);
+    let output = mem.stream_cycles(profile.compressed, io);
+
+    let matcher = profiled_matcher_cycles(profile, ZSTD_PROBE_BPC);
+    let huff_stage = ((profile.literal_bytes as f64 + 2.0 * profile.seqs as f64)
+        / HUFF_ENC_BPC)
+        .round() as u64;
+    let builds = profile.blocks * 2 * HUFF_DICT_BUILD;
+    let compute = matcher.max(huff_stage) + builds;
+    let cycles = DISPATCH_CYCLES + input.max(compute).max(output);
+    if cdpu_telemetry::enabled() {
+        record_comp(
+            bound_label(
+                "hwsim.comp.flate.bound.input",
+                "hwsim.comp.flate.bound.compute",
+                "hwsim.comp.flate.bound.output",
+                input,
+                compute,
+                output,
+            ),
+            &[
+                ("hwsim.comp.flate.input_stream_cycles", input),
+                ("hwsim.comp.flate.matcher_cycles", matcher),
+                ("hwsim.comp.flate.huffman_cycles", huff_stage),
+                ("hwsim.comp.flate.dict_build_cycles", builds),
+                ("hwsim.comp.flate.output_stream_cycles", output),
+            ],
+        );
+    }
+    SimResult {
+        cycles,
+        input_bytes: profile.uncompressed,
+        output_bytes: profile.compressed,
+        freq_ghz: mem.freq_ghz,
+    }
+}
+
 /// Encodes the hardware parse through the real ZStd-class block coder and
 /// returns `(compressed_bytes, blocks, huffman_blocks)`.
 fn encode_hw_frame(data: &[u8], parse: &Parse, _p: &CdpuParams) -> (u64, u64, u64) {
@@ -405,6 +554,37 @@ mod tests {
         assert!(r.sim.cycles < 200, "{}", r.sim.cycles);
         let z = zstd_compress(b"", &CdpuParams::default(), &MemParams::default());
         assert!(z.sim.cycles >= DISPATCH_CYCLES);
+    }
+
+    #[test]
+    fn profiled_compress_tracks_real_matcher() {
+        // The analytic path charges the same stages from profile counts;
+        // on a profile extracted from real data it must land near the
+        // live-matcher simulation (same window, same constants).
+        let data = sample(256 * 1024);
+        let mem = MemParams::default();
+        let p = CdpuParams::default();
+        let real = snappy_compress(&data, &p, &mem);
+        let prof = crate::profile::profile_snappy(&data);
+        let analytic = snappy_compress_profiled(&prof, &p, &mem);
+        let ratio = analytic.cycles as f64 / real.sim.cycles as f64;
+        assert!((0.5..=2.0).contains(&ratio), "analytic/real {ratio}");
+        assert_eq!(analytic.output_bytes, prof.compressed);
+
+        let zprof = crate::profile::profile_zstd(&data, 3, None);
+        let zreal = zstd_compress(&data, &p, &mem);
+        let zana = zstd_compress_profiled(&zprof, &p, &mem);
+        let zratio = zana.cycles as f64 / zreal.sim.cycles as f64;
+        assert!((0.4..=2.5).contains(&zratio), "zstd analytic/real {zratio}");
+    }
+
+    #[test]
+    fn flate_profiled_between_calls() {
+        let data = sample(128 * 1024);
+        let prof = crate::profile::profile_flate(&data, 6);
+        let r = flate_compress_profiled(&prof, &CdpuParams::default(), &MemParams::default());
+        assert!(r.cycles > DISPATCH_CYCLES);
+        assert_eq!(r.input_bytes, prof.uncompressed);
     }
 
     #[test]

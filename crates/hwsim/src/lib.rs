@@ -16,6 +16,8 @@
 //!   the restricted window/hash-table and measures the achieved ratio.
 //! - [`area`]: the 16nm-class silicon area model calibrated to the
 //!   paper's reported mm² figures.
+//! - [`service`]: the analytic per-call service-time entry point the
+//!   multi-tenant serving simulator (`cdpu-serve`) prices jobs with.
 //!
 //! Calibration philosophy: the handful of per-stage constants are fixed so
 //! the four RoCC 64 KiB design points land on the paper's absolute
@@ -38,6 +40,7 @@ pub mod comp;
 pub mod decomp;
 pub mod params;
 pub mod profile;
+pub mod service;
 
 /// Result of simulating one accelerator call.
 #[derive(Debug, Clone, Copy, PartialEq)]

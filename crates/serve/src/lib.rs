@@ -1,0 +1,43 @@
+//! Discrete-event multi-tenant CDPU serving simulator.
+//!
+//! The paper's Table 7 argues that per-invocation *offload latency* — not
+//! peak throughput — decides which placements make sense for the fleet's
+//! small-call-dominated workloads. This crate turns that argument into a
+//! queueing experiment: an open-loop arrival stream of fleet calls
+//! (tenants = the Section 3.2 service catalog, sizes/levels from the
+//! Figure 3/2b distributions) is served by N CDPU instances whose per-call
+//! service times come from the `cdpu-hwsim` cycle model plus a
+//! per-placement software offload overhead, under a pluggable scheduler.
+//!
+//! - [`event`]: the event heap — total order on `(time, seq)`, so a run
+//!   is a pure function of its seed.
+//! - [`scheduler`]: FCFS, size-aware SJF, and per-tenant deficit
+//!   round-robin (weighted fair) queue disciplines.
+//! - [`tenants`]: tenant specifications and call mixes (full fleet mix,
+//!   one algorithm/direction, or fixed-size synthetic tenants).
+//! - [`sim`]: the simulator core — open-loop Poisson arrivals calibrated
+//!   to an offered load, bounded queue with drop accounting, busy/idle
+//!   instance tracking.
+//! - [`report`]: per-tenant and aggregate tail-latency reports
+//!   (p50/p99/p99.9 wait and sojourn, utilization, goodput).
+//!
+//! Everything is deterministic from `ServeConfig::seed`: two runs of the
+//! same config produce bit-identical event logs and reports, regardless
+//! of thread count (the simulator itself is single-threaded; parallelism
+//! lives one level up, across independent load points).
+
+pub mod event;
+pub mod report;
+pub mod scheduler;
+pub mod sim;
+pub mod tenants;
+
+pub use report::{ServeReport, SizeBin, TenantReport};
+pub use scheduler::SchedKind;
+pub use sim::{offload_overhead_ps, ServeConfig};
+pub use tenants::{CallMix, TenantSpec};
+
+/// Picoseconds per second — the simulator's time base. Picosecond
+/// resolution keeps cycle→time conversion exact at 2 GHz (500 ps/cycle)
+/// while `u64` still spans ~213 days of simulated time.
+pub const PS_PER_SEC: u64 = 1_000_000_000_000;

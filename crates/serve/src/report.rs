@@ -1,0 +1,130 @@
+//! Tail-latency reports: what a load sweep renders into figures.
+
+use cdpu_util::stats::percentile_of_sorted;
+
+/// Latency percentiles of one sample, nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LatencyDist {
+    /// Median.
+    pub p50_ns: f64,
+    /// 99th percentile.
+    pub p99_ns: f64,
+    /// 99.9th percentile.
+    pub p999_ns: f64,
+    /// Mean.
+    pub mean_ns: f64,
+}
+
+impl LatencyDist {
+    /// Summarizes a sample given in picoseconds. Sorts once, probes the
+    /// three tail points. Zeroes for an empty sample.
+    pub fn from_ps(sample: &mut [u64]) -> Self {
+        if sample.is_empty() {
+            return LatencyDist::default();
+        }
+        sample.sort_unstable();
+        let ns: Vec<f64> = sample.iter().map(|&ps| ps as f64 / 1000.0).collect();
+        let probe = |q| percentile_of_sorted(&ns, q).unwrap_or(0.0);
+        LatencyDist {
+            p50_ns: probe(0.50),
+            p99_ns: probe(0.99),
+            p999_ns: probe(0.999),
+            mean_ns: ns.iter().sum::<f64>() / ns.len() as f64,
+        }
+    }
+}
+
+/// Per-tenant outcome of one simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantReport {
+    /// Tenant name.
+    pub name: String,
+    /// Normalized arrival weight.
+    pub weight: f64,
+    /// Calls injected (arrived).
+    pub injected: u64,
+    /// Calls completed.
+    pub completed: u64,
+    /// Calls shed at a full queue.
+    pub dropped: u64,
+    /// Queueing delay (arrival → start of service).
+    pub wait: LatencyDist,
+    /// Sojourn time (arrival → departure).
+    pub total: LatencyDist,
+    /// Mean accelerator-resident service time, ns.
+    pub mean_service_ns: f64,
+}
+
+/// Mean service latency for calls in one `ceil(log2(bytes))` size bin —
+/// the placement-crossover figure's rows.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SizeBin {
+    /// `ceil(log2(uncompressed_bytes))`.
+    pub log2: u32,
+    /// Calls in the bin.
+    pub count: u64,
+    /// Mean accelerator-resident service time, ns.
+    pub mean_service_ns: f64,
+    /// Mean uncompressed bytes.
+    pub mean_bytes: f64,
+}
+
+/// Aggregate outcome of one simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeReport {
+    /// Offered load the arrival rates were calibrated to (ρ).
+    pub offered_load: f64,
+    /// CDPU instances.
+    pub instances: u32,
+    /// Calls injected across tenants.
+    pub injected: u64,
+    /// Calls completed.
+    pub completed: u64,
+    /// Calls shed at a full queue.
+    pub dropped: u64,
+    /// Aggregate queueing delay.
+    pub wait: LatencyDist,
+    /// Aggregate sojourn time.
+    pub total: LatencyDist,
+    /// Mean service time, ns.
+    pub mean_service_ns: f64,
+    /// Fraction of instance-time spent serving (busy / N·span).
+    pub utilization: f64,
+    /// Uncompressed GB/s of completed work over the simulated span.
+    pub goodput_gbps: f64,
+    /// Peak queue depth observed.
+    pub peak_queue_depth: u64,
+    /// Per-tenant breakdown, in tenant order.
+    pub tenants: Vec<TenantReport>,
+    /// Service latency by call-size bin.
+    pub size_bins: Vec<SizeBin>,
+    /// Compact event log (empty unless `ServeConfig::record_events`).
+    pub events: Vec<crate::event::LogRecord>,
+}
+
+impl ServeReport {
+    /// The tenant report by name, if present.
+    pub fn tenant(&self, name: &str) -> Option<&TenantReport> {
+        self.tenants.iter().find(|t| t.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_dist_from_ps() {
+        let mut sample: Vec<u64> = (1..=1000).map(|i| i * 1000).collect(); // 1..1000 ns
+        let d = LatencyDist::from_ps(&mut sample);
+        assert!((d.p50_ns - 500.5).abs() < 1.0, "p50 {}", d.p50_ns);
+        assert!((d.p99_ns - 990.0).abs() < 2.0, "p99 {}", d.p99_ns);
+        assert!(d.p999_ns > d.p99_ns);
+        assert!((d.mean_ns - 500.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn empty_sample_is_zeroed() {
+        assert_eq!(LatencyDist::from_ps(&mut Vec::new()), LatencyDist::default());
+    }
+}

@@ -1,0 +1,139 @@
+//! Tenant specifications: who sends traffic to the serving tier and what
+//! their calls look like.
+//!
+//! The default population is the paper's Section 3.2 service catalog —
+//! sixteen services covering about half of fleet codec cycles — with
+//! arrival rates proportional to each service's share
+//! (`cdpu_fleet::services::arrival_weights`). Synthetic tenants with a
+//! pinned algorithm/direction or a fixed call size support the
+//! placement-crossover and fairness figures.
+
+use cdpu_fleet::sampler::FleetSampler;
+use cdpu_fleet::{AlgoOp, Algorithm, CallRecord};
+
+/// What one tenant's calls look like.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CallMix {
+    /// The full fleet mix (byte-weighted over the four instrumented
+    /// algorithm/direction pairs, sizes and levels per Figures 3/2b).
+    Fleet,
+    /// The fleet's size/level distribution for one algorithm/direction.
+    FleetOp(AlgoOp),
+    /// Every call identical — the controlled workload for fairness
+    /// experiments.
+    Fixed {
+        /// Algorithm and direction.
+        op: AlgoOp,
+        /// Uncompressed bytes per call.
+        bytes: u64,
+        /// ZStd level, if applicable.
+        level: Option<i32>,
+    },
+}
+
+/// One tenant of the serving tier.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantSpec {
+    /// Display name.
+    pub name: String,
+    /// Share of the offered load this tenant contributes (normalized
+    /// against the other tenants' weights; also the DRR quantum weight).
+    pub weight: f64,
+    /// The tenant's call distribution.
+    pub mix: CallMix,
+}
+
+impl TenantSpec {
+    /// Draws one call of this tenant's mix from `sampler`.
+    pub fn sample(&self, sampler: &mut FleetSampler) -> CallRecord {
+        match self.mix {
+            CallMix::Fleet => sampler.sample_call(),
+            CallMix::FleetOp(op) => sampler.sample_call_for(op),
+            CallMix::Fixed { op, bytes, level } => CallRecord {
+                op,
+                uncompressed_bytes: bytes,
+                level: if op.algo == Algorithm::Zstd { level.or(Some(3)) } else { level },
+                window_log: None,
+                caller: "serve-fixed",
+            },
+        }
+    }
+}
+
+/// The top `n` catalog services as fleet-mix tenants, weighted by their
+/// share of fleet codec cycles (the serving tier's default population).
+pub fn fleet_tenants(n: usize) -> Vec<TenantSpec> {
+    cdpu_fleet::services::arrival_weights()
+        .into_iter()
+        .take(n.max(1))
+        .map(|(name, weight)| TenantSpec {
+            name: name.to_string(),
+            weight,
+            mix: CallMix::Fleet,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdpu_fleet::Direction;
+
+    #[test]
+    fn fleet_tenants_ordered_by_weight() {
+        let ts = fleet_tenants(8);
+        assert_eq!(ts.len(), 8);
+        for pair in ts.windows(2) {
+            assert!(pair[0].weight >= pair[1].weight);
+        }
+        assert_eq!(ts[0].name, "svc-storage-a");
+    }
+
+    #[test]
+    fn fixed_mix_is_constant() {
+        let spec = TenantSpec {
+            name: "pinned".into(),
+            weight: 1.0,
+            mix: CallMix::Fixed {
+                op: AlgoOp::new(Algorithm::Snappy, Direction::Decompress),
+                bytes: 4096,
+                level: None,
+            },
+        };
+        let mut s = FleetSampler::new(1);
+        for _ in 0..10 {
+            let r = spec.sample(&mut s);
+            assert_eq!(r.uncompressed_bytes, 4096);
+            assert_eq!(r.level, None);
+        }
+    }
+
+    #[test]
+    fn fixed_zstd_defaults_level() {
+        let spec = TenantSpec {
+            name: "z".into(),
+            weight: 1.0,
+            mix: CallMix::Fixed {
+                op: AlgoOp::new(Algorithm::Zstd, Direction::Decompress),
+                bytes: 1 << 20,
+                level: None,
+            },
+        };
+        let r = spec.sample(&mut FleetSampler::new(2));
+        assert_eq!(r.level, Some(3));
+    }
+
+    #[test]
+    fn fleet_op_mix_pins_op() {
+        let op = AlgoOp::new(Algorithm::Snappy, Direction::Decompress);
+        let spec = TenantSpec {
+            name: "snappy-d".into(),
+            weight: 1.0,
+            mix: CallMix::FleetOp(op),
+        };
+        let mut s = FleetSampler::new(3);
+        for _ in 0..20 {
+            assert_eq!(spec.sample(&mut s).op, op);
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! Replay guarantees: a serving simulation is a pure function of its
+//! config — same seed, same event log, same report, every time, under
+//! every scheduler.
+
+use cdpu_serve::{sim, SchedKind, ServeConfig};
+
+fn cfg(sched: SchedKind, seed: u64) -> ServeConfig {
+    let mut cfg = ServeConfig::new(cdpu_serve::tenants::fleet_tenants(6));
+    cfg.seed = seed;
+    cfg.sched = sched;
+    cfg.total_calls = 3_000;
+    cfg.offered_load = 0.8;
+    cfg.record_events = true;
+    cfg
+}
+
+#[test]
+fn identical_seed_identical_run() {
+    for sched in SchedKind::ALL {
+        let c = cfg(sched, 0xDECAF);
+        let a = sim::run(&c);
+        let b = sim::run(&c);
+        assert_eq!(a.events, b.events, "{sched}: event logs must be bit-identical");
+        assert_eq!(a, b, "{sched}: reports must be bit-identical");
+        assert!(!a.events.is_empty());
+    }
+}
+
+#[test]
+fn different_seed_different_run() {
+    let a = sim::run(&cfg(SchedKind::Fcfs, 1));
+    let b = sim::run(&cfg(SchedKind::Fcfs, 2));
+    assert_ne!(a.events, b.events);
+}
+
+#[test]
+fn event_log_times_are_monotone() {
+    let r = sim::run(&cfg(SchedKind::Drr, 7));
+    for pair in r.events.windows(2) {
+        assert!(pair[0].time_ps <= pair[1].time_ps, "log out of order");
+    }
+    // Every injected job appears exactly once as an arrival.
+    let arrivals = r.events.iter().filter(|e| e.kind == 0).count() as u64;
+    assert_eq!(arrivals, r.injected);
+    let departures = r.events.iter().filter(|e| e.kind == 2).count() as u64;
+    assert_eq!(departures, r.completed);
+    let drops = r.events.iter().filter(|e| e.kind == 3).count() as u64;
+    assert_eq!(drops, r.dropped);
+}

@@ -64,6 +64,16 @@ impl Gauge {
         }
     }
 
+    /// Raises the gauge to `v` if `v` exceeds the current value — a
+    /// high-watermark update (e.g. peak queue depth in the serving
+    /// simulator). No-op while telemetry is disabled.
+    #[inline]
+    pub fn set_max(&self, v: i64) {
+        if crate::enabled() {
+            self.0.fetch_max(v, Relaxed);
+        }
+    }
+
     /// Current value.
     pub fn get(&self) -> i64 {
         self.0.load(Relaxed)

@@ -92,6 +92,22 @@ fn histogram_bucket_boundaries_via_recording() {
 }
 
 #[test]
+fn gauge_set_max_is_a_high_watermark() {
+    let g = guard();
+    let depth = telemetry::registry().gauge("test.queue_depth_peak");
+    for v in [3, 9, 4, 9, 1] {
+        depth.set_max(v);
+    }
+    assert_eq!(depth.get(), 9, "watermark keeps the maximum");
+    // Disabled: updates are dropped, the watermark stays.
+    telemetry::disable();
+    depth.set_max(100);
+    assert_eq!(depth.get(), 9);
+    telemetry::enable();
+    finish(g);
+}
+
+#[test]
 fn ring_buffer_overflow_keeps_newest() {
     let g = guard();
     span::log().set_capacity(8);

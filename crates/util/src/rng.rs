@@ -166,6 +166,23 @@ impl Xoshiro256 {
         }
     }
 
+    /// Exponential variate with the given `rate` (mean `1/rate`), by
+    /// inversion of the CDF. This is the inter-arrival distribution of a
+    /// Poisson process — the open-loop arrival model of the serving
+    /// simulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not strictly positive and finite.
+    pub fn exp_f64(&mut self, rate: f64) -> f64 {
+        assert!(
+            rate > 0.0 && rate.is_finite(),
+            "exp_f64: rate ({rate}) must be positive and finite"
+        );
+        // next_f64 ∈ [0, 1): 1 - u ∈ (0, 1], so ln never sees zero.
+        -(1.0 - self.next_f64()).ln() / rate
+    }
+
     /// Samples from a geometric-ish distribution: the number of failures
     /// before the first success with success probability `p`, capped at
     /// `cap`. Used by corpus generators for run lengths.
@@ -273,6 +290,41 @@ mod tests {
         let mut buf = [0u8; 37];
         rng.fill_bytes(&mut buf);
         assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn exp_f64_mean_and_positivity() {
+        let mut rng = Xoshiro256::seed_from(21);
+        let n = 40_000;
+        for &rate in &[0.5f64, 2.0, 1000.0] {
+            let mut sum = 0.0;
+            for _ in 0..n {
+                let v = rng.exp_f64(rate);
+                assert!(v >= 0.0 && v.is_finite());
+                sum += v;
+            }
+            let mean = sum / n as f64;
+            let expect = 1.0 / rate;
+            assert!(
+                (mean - expect).abs() / expect < 0.03,
+                "rate {rate}: mean {mean} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn exp_f64_deterministic() {
+        let mut a = Xoshiro256::seed_from(5);
+        let mut b = Xoshiro256::seed_from(5);
+        for _ in 0..100 {
+            assert_eq!(a.exp_f64(3.0), b.exp_f64(3.0));
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn exp_f64_rejects_nonpositive_rate() {
+        let _ = Xoshiro256::seed_from(1).exp_f64(0.0);
     }
 
     #[test]

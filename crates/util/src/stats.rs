@@ -34,12 +34,32 @@ pub fn weighted_mean(pairs: &[(f64, f64)]) -> Option<f64> {
 
 /// The `q`-quantile (0 ≤ q ≤ 1) of an unsorted slice, by linear
 /// interpolation between order statistics; `None` for an empty slice.
+///
+/// Sorting uses [`f64::total_cmp`], so NaN inputs cannot panic; NaNs order
+/// after every finite value (IEEE 754 total order) and therefore surface
+/// only in the top quantiles of a contaminated sample.
 pub fn quantile(xs: &[f64], q: f64) -> Option<f64> {
     if xs.is_empty() {
         return None;
     }
     let mut sorted = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN"));
+    sorted.sort_by(f64::total_cmp);
+    percentile_of_sorted(&sorted, q)
+}
+
+/// The `q`-quantile (0 ≤ q ≤ 1, clamped) of an **already sorted** slice —
+/// the allocation-free fast path for harnesses that take many quantiles of
+/// one sample (sort once, probe repeatedly). `None` for an empty slice.
+///
+/// ```
+/// let xs = [1.0, 2.0, 3.0, 4.0];
+/// assert_eq!(cdpu_util::stats::percentile_of_sorted(&xs, 0.5), Some(2.5));
+/// assert_eq!(cdpu_util::stats::percentile_of_sorted(&xs, 1.0), Some(4.0));
+/// ```
+pub fn percentile_of_sorted(sorted: &[f64], q: f64) -> Option<f64> {
+    if sorted.is_empty() {
+        return None;
+    }
     let q = q.clamp(0.0, 1.0);
     let rank = q * (sorted.len() - 1) as f64;
     let lo = rank.floor() as usize;
@@ -96,6 +116,40 @@ mod tests {
         assert_eq!(quantile(&xs, 1.0), Some(4.0));
         assert_eq!(quantile(&xs, 0.5), Some(2.5));
         assert_eq!(quantile(&[], 0.5), None);
+    }
+
+    #[test]
+    fn quantile_edge_cases() {
+        // Single element: every quantile is that element.
+        assert_eq!(quantile(&[7.0], 0.0), Some(7.0));
+        assert_eq!(quantile(&[7.0], 0.5), Some(7.0));
+        assert_eq!(quantile(&[7.0], 1.0), Some(7.0));
+        // Out-of-range q clamps rather than panicking or extrapolating.
+        assert_eq!(quantile(&[1.0, 2.0], -0.5), Some(1.0));
+        assert_eq!(quantile(&[1.0, 2.0], 1.5), Some(2.0));
+    }
+
+    #[test]
+    fn quantile_nan_safe() {
+        // A NaN observation must not panic the sort; total_cmp places it
+        // after every finite value, so low quantiles stay clean.
+        let xs = [2.0, f64::NAN, 1.0, 3.0];
+        assert_eq!(quantile(&xs, 0.0), Some(1.0));
+        let med = quantile(&xs, 1.0 / 3.0).unwrap();
+        assert_eq!(med, 2.0);
+        assert!(quantile(&xs, 1.0).unwrap().is_nan());
+    }
+
+    #[test]
+    fn percentile_of_sorted_matches_quantile() {
+        let xs = [4.0, 1.0, 3.0, 2.0, 9.0, 0.5];
+        let mut sorted = xs.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        for q in [0.0, 0.1, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(percentile_of_sorted(&sorted, q), quantile(&xs, q));
+        }
+        assert_eq!(percentile_of_sorted(&[], 0.5), None);
+        assert_eq!(percentile_of_sorted(&[5.0], 0.99), Some(5.0));
     }
 
     #[test]

@@ -19,6 +19,9 @@
 //! - [`par`]: the zero-dependency scoped thread pool that parallelizes
 //!   suite generation, profiling and the DSE sweeps (`CDPU_THREADS` /
 //!   `--jobs` control the worker count).
+//! - [`serve`]: the discrete-event multi-tenant serving simulator —
+//!   open-loop fleet arrivals, pluggable schedulers, tail-latency
+//!   reports (the Table 7 offload-latency argument as an experiment).
 //!
 //! ## Quickstart
 //!
@@ -41,6 +44,7 @@ pub use cdpu_hwsim as hwsim;
 pub use cdpu_lite as lite;
 pub use cdpu_lz77 as lz77;
 pub use cdpu_par as par;
+pub use cdpu_serve as serve;
 pub use cdpu_snappy as snappy;
 pub use cdpu_telemetry as telemetry;
 pub use cdpu_util as util;
