@@ -30,4 +30,11 @@ if ! diff -q /tmp/cdpu_serve_serial.txt /tmp/cdpu_serve_parallel.txt; then
     exit 1
 fi
 
+echo "==> kernel microbenchmark smoke (tiny)"
+./target/release/bench --kernels --tiny --out /tmp/cdpu_bench_kernels.json
+if ! grep -q '"min_profile_speedup"' /tmp/cdpu_bench_kernels.json; then
+    echo "FAIL: kernels benchmark wrote no speedup summary" >&2
+    exit 1
+fi
+
 echo "CI OK"

@@ -4,7 +4,7 @@
 //! Usage:
 //!
 //! ```text
-//! bench [--files N] [--seed N] [--jobs N] [--out PATH] [--tiny] [--serve]
+//! bench [--files N] [--seed N] [--jobs N] [--out PATH] [--tiny] [--serve] [--kernels]
 //! ```
 //!
 //! Each stage (chunk bank, suite generation, call profiling, DSE sweeps,
@@ -16,7 +16,16 @@
 //! `--serve` times the serving-tier simulations instead (load sweep,
 //! placement grid, fairness grid — each point its own RNG stream across
 //! the pool) and writes `results/BENCH_serve.json` by default.
+//!
+//! `--kernels` microbenchmarks the single-threaded compression kernels
+//! instead: parse, compress and call-profile throughput (MB/s) per
+//! algorithm (Snappy, ZStd L3, Flate L6) over a deterministic suite
+//! corpus, plus the two-pass profiling baseline (`parse_with` followed by
+//! the profiler, i.e. the pre-single-parse pipeline) the speedup is
+//! measured against. Writes `results/BENCH_kernels.json` by default and a
+//! scratch/probe telemetry snapshot alongside the timings.
 
+use std::hint::black_box;
 use std::time::Instant;
 
 use cdpu_bench::{dse_figures, serve_figures, Scale, Workbench};
@@ -25,6 +34,8 @@ use cdpu_core::dse::{
 };
 use cdpu_fleet::Direction;
 use cdpu_hwsim::params::MemParams;
+use cdpu_hwsim::profile::{profile_flate, profile_snappy, profile_zstd};
+use cdpu_lz77::matcher::MatcherConfig;
 
 const FIGS: [&str; 6] = ["fig11", "fig12", "fig13", "fig14", "fig15", "summary"];
 
@@ -120,6 +131,202 @@ fn run_serve_once(scale: Scale) -> Run {
     }
 }
 
+/// One kernel-stage measurement: the best (minimum) single-pass time over
+/// the corpus across `iters` repetitions, and the resulting throughput.
+/// Best-of-N discards transient interference (scheduler preemption,
+/// frequency ramps), which dwarfs per-pass variance on shared hosts.
+fn time_stage(corpus: &[&[u8]], iters: usize, mut f: impl FnMut(&[u8])) -> (f64, f64) {
+    // Warm-up pass: page in the corpus, populate thread-local scratch.
+    for d in corpus {
+        f(d);
+    }
+    let bytes: usize = corpus.iter().map(|d| d.len()).sum();
+    let mut best = f64::INFINITY;
+    for _ in 0..iters.max(2) {
+        let t = Instant::now();
+        for d in corpus {
+            f(d);
+        }
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    let mb_s = bytes as f64 / best / 1e6;
+    (best, mb_s)
+}
+
+/// Microbenchmarks the per-algorithm kernels: parse, compress, and the
+/// call profiler, against the seed pipeline they replaced.
+///
+/// The `baseline_profile` stage reproduces the profiler as it stood before
+/// this optimization pass: the naive byte-at-a-time, allocate-per-call
+/// reference matcher (retained verbatim in `cdpu_lz77::reference`) run
+/// **twice** per call — once standalone for the structural features and
+/// once inside the compressor — exactly the double-parse shape the old
+/// `profile_*` functions had. `profile_speedup` is that baseline's time
+/// over the single-parse optimized profiler's. `parse_reference` times the
+/// naive matcher alone, so `parse_speedup` isolates the word-at-a-time +
+/// scratch-reuse kernel win.
+fn run_kernels(scale: Scale, iters: usize, out: &str) {
+    use cdpu_lz77::reference;
+    use cdpu_zstd::SearchParams;
+
+    let wb = Workbench::new(scale);
+    let snappy_suite = wb.snappy_c();
+    let zstd_suite = wb.zstd_c();
+    let snappy_corpus: Vec<&[u8]> =
+        snappy_suite.files.iter().map(|f| f.data.as_slice()).collect();
+    let heavy_corpus: Vec<&[u8]> = zstd_suite.files.iter().map(|f| f.data.as_slice()).collect();
+    let scfg = MatcherConfig::snappy_sw();
+    let zcfg = cdpu_zstd::ZstdConfig::default(); // level 3, the fleet's mode
+    let fcfg = cdpu_flate::FlateConfig::default(); // level 6, zlib's default
+    let zstd_ref_parse = move |d: &[u8]| match zcfg.search_params() {
+        SearchParams::Greedy(m) => reference::hash_table_parse(&m, d),
+        SearchParams::Chain(c) => reference::hash_chain_parse(&c, d),
+    };
+    let flate_chain = fcfg.chain_config();
+
+    type StageFn<'a> = Box<dyn FnMut(&[u8]) + 'a>;
+    struct Algo<'a> {
+        name: &'static str,
+        corpus: &'a [&'a [u8]],
+        parse: StageFn<'a>,
+        parse_reference: StageFn<'a>,
+        compress: StageFn<'a>,
+        profile: StageFn<'a>,
+        baseline_profile: StageFn<'a>,
+    }
+    let mut algos = [
+        Algo {
+            name: "snappy",
+            corpus: &snappy_corpus,
+            parse: Box::new(|d| {
+                black_box(cdpu_snappy::parse_with(d, &scfg));
+            }),
+            parse_reference: Box::new(|d| {
+                black_box(reference::hash_table_parse(&scfg, d));
+            }),
+            compress: Box::new(|d| {
+                black_box(cdpu_snappy::compress_with(d, &scfg));
+            }),
+            profile: Box::new(|d| {
+                black_box(profile_snappy(d));
+            }),
+            baseline_profile: Box::new(|d| {
+                black_box(reference::hash_table_parse(&scfg, d));
+                let p = reference::hash_table_parse(&scfg, d);
+                black_box(cdpu_snappy::compress_parse(d, &p));
+            }),
+        },
+        Algo {
+            name: "zstd-l3",
+            corpus: &heavy_corpus,
+            parse: Box::new(|d| {
+                black_box(cdpu_zstd::parse_with(d, &zcfg));
+            }),
+            parse_reference: Box::new(move |d| {
+                black_box(zstd_ref_parse(d));
+            }),
+            compress: Box::new(|d| {
+                black_box(cdpu_zstd::compress_with(d, &zcfg));
+            }),
+            profile: Box::new(|d| {
+                black_box(profile_zstd(d, 3, None));
+            }),
+            baseline_profile: Box::new(move |d| {
+                black_box(zstd_ref_parse(d));
+                let p = zstd_ref_parse(d);
+                black_box(cdpu_zstd::compress_parse_with_stats(d, &p, &zcfg));
+            }),
+        },
+        Algo {
+            name: "flate-l6",
+            corpus: &heavy_corpus,
+            parse: Box::new(|d| {
+                black_box(cdpu_flate::parse_with(d, &fcfg));
+            }),
+            parse_reference: Box::new(move |d| {
+                black_box(reference::hash_chain_parse(&flate_chain, d));
+            }),
+            compress: Box::new(|d| {
+                black_box(cdpu_flate::compress_with(d, &fcfg));
+            }),
+            profile: Box::new(|d| {
+                black_box(profile_flate(d, 6));
+            }),
+            baseline_profile: Box::new(move |d| {
+                black_box(reference::hash_chain_parse(&flate_chain, d));
+                let p = reference::hash_chain_parse(&flate_chain, d);
+                black_box(cdpu_flate::compress_parse(d, &p, &fcfg));
+            }),
+        },
+    ];
+
+    let mut algo_objs = Vec::new();
+    let mut min_speedup = f64::INFINITY;
+    for algo in &mut algos {
+        let bytes: usize = algo.corpus.iter().map(|d| d.len()).sum();
+        eprintln!("bench: kernels {} ({} files, {bytes} bytes)...", algo.name, algo.corpus.len());
+        let (_, parse_mb_s) = time_stage(algo.corpus, iters, &mut algo.parse);
+        let (_, ref_mb_s) = time_stage(algo.corpus, iters, &mut algo.parse_reference);
+        let (_, compress_mb_s) = time_stage(algo.corpus, iters, &mut algo.compress);
+        let (profile_s, profile_mb_s) = time_stage(algo.corpus, iters, &mut algo.profile);
+        let (baseline_s, baseline_mb_s) = time_stage(algo.corpus, iters, &mut algo.baseline_profile);
+        let parse_speedup = parse_mb_s / ref_mb_s;
+        let speedup = baseline_s / profile_s;
+        min_speedup = min_speedup.min(speedup);
+        eprintln!(
+            "  parse {parse_mb_s:>8.1} MB/s (reference {ref_mb_s:.1}, {parse_speedup:.2}x)  \
+             compress {compress_mb_s:>8.1} MB/s  profile {profile_mb_s:>8.1} MB/s  \
+             baseline {baseline_mb_s:>8.1} MB/s  profile speedup {speedup:.2}x"
+        );
+        algo_objs.push(format!(
+            "    {{\"name\": \"{}\", \"corpus_files\": {}, \"corpus_bytes\": {bytes}, \
+             \"parse_mb_s\": {parse_mb_s:.2}, \"parse_reference_mb_s\": {ref_mb_s:.2}, \
+             \"parse_speedup\": {parse_speedup:.3}, \"compress_mb_s\": {compress_mb_s:.2}, \
+             \"profile_mb_s\": {profile_mb_s:.2}, \"baseline_profile_mb_s\": {baseline_mb_s:.2}, \
+             \"profile_speedup\": {speedup:.3}}}",
+            algo.name,
+            algo.corpus.len(),
+        ));
+    }
+
+    // One instrumented profiling pass per algorithm: scratch-reuse and
+    // probe counters for the run (timings above are with telemetry off,
+    // matching production).
+    cdpu_telemetry::reset();
+    cdpu_telemetry::enable();
+    for algo in &mut algos {
+        for d in algo.corpus {
+            (algo.profile)(d);
+        }
+    }
+    cdpu_telemetry::disable();
+    let counters = cdpu_telemetry::registry().counters();
+    let counter_objs: Vec<String> = counters
+        .iter()
+        .map(|(name, v)| format!("    \"{name}\": {v}"))
+        .collect();
+
+    let json = format!(
+        "{{\n  \"bench\": \"cdpu kernel microbenchmarks\",\n  \"iters\": {iters},\n  \
+         \"scale\": {{\"files_per_suite\": {}, \"max_call_bytes\": {}, \"bank_bytes_per_kind\": {}, \"seed\": {}}},\n  \
+         \"algorithms\": [\n{}\n  ],\n  \"min_profile_speedup\": {min_speedup:.3},\n  \
+         \"profile_telemetry\": {{\n{}\n  }}\n}}\n",
+        scale.files_per_suite,
+        scale.max_call_bytes,
+        scale.bank_bytes_per_kind,
+        scale.seed,
+        algo_objs.join(",\n"),
+        counter_objs.join(",\n"),
+    );
+    if let Some(dir) = std::path::Path::new(out).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create output directory");
+        }
+    }
+    std::fs::write(out, json).expect("write benchmark report");
+    eprintln!("bench: wrote {out} (min profile speedup {min_speedup:.2}x)");
+}
+
 fn main() {
     let mut scale = Scale {
         files_per_suite: 48,
@@ -128,6 +335,7 @@ fn main() {
     let mut jobs = 0usize;
     let mut out: Option<String> = None;
     let mut serve = false;
+    let mut kernels = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -153,6 +361,7 @@ fn main() {
                 out = Some(args.next().unwrap_or_else(|| usage("--out needs a path")));
             }
             "--serve" => serve = true,
+            "--kernels" => kernels = true,
             "--tiny" => {
                 let seed = scale.seed;
                 scale = Scale::tiny();
@@ -164,12 +373,22 @@ fn main() {
     }
 
     let out = out.unwrap_or_else(|| {
-        String::from(if serve {
+        String::from(if kernels {
+            "results/BENCH_kernels.json"
+        } else if serve {
             "results/BENCH_serve.json"
         } else {
             "results/BENCH_parallel.json"
         })
     });
+    if kernels {
+        // Kernel microbenchmarks are single-threaded by design: they time
+        // the per-call code paths (including thread-local scratch reuse),
+        // not the pool.
+        let iters = if scale.files_per_suite <= Scale::tiny().files_per_suite { 1 } else { 3 };
+        run_kernels(scale, iters, &out);
+        return;
+    }
     let (bench_name, pass): (&str, fn(Scale) -> Run) = if serve {
         ("cdpu serving-tier simulator", run_serve_once)
     } else {
@@ -227,6 +446,8 @@ fn usage(err: &str) -> ! {
     if !err.is_empty() {
         eprintln!("error: {err}");
     }
-    eprintln!("usage: bench [--files N] [--seed N] [--jobs N] [--out PATH] [--tiny] [--serve]");
+    eprintln!(
+        "usage: bench [--files N] [--seed N] [--jobs N] [--out PATH] [--tiny] [--serve] [--kernels]"
+    );
     std::process::exit(2);
 }

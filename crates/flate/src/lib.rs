@@ -127,7 +127,11 @@ impl FlateConfig {
         }
     }
 
-    fn chain_config(&self) -> ChainConfig {
+    /// The hash-chain matcher configuration this level maps to.
+    ///
+    /// Public so benchmarks and baseline comparisons can parse with
+    /// exactly the matcher configuration [`parse_with`] uses.
+    pub fn chain_config(&self) -> ChainConfig {
         let (max_chain, lazy) = match self.level {
             1 => (1, false),
             2 => (4, false),
@@ -162,22 +166,38 @@ pub fn compress(data: &[u8]) -> Vec<u8> {
 
 /// Compresses with an explicit configuration.
 pub fn compress_with(data: &[u8], cfg: &FlateConfig) -> Vec<u8> {
+    let parse = parse_with(data, cfg);
+    compress_parse(data, &parse, cfg)
+}
+
+/// Encodes a frame from a precomputed dictionary-stage parse, skipping the
+/// (dominant) LZ77 matching cost. `parse` must be a parse of exactly `data`
+/// at this configuration — i.e. the value [`parse_with`] returns — in which
+/// case the output is byte-identical to [`compress_with`]'s. The hardware
+/// simulator's call profiler uses this to parse each input exactly once.
+///
+/// # Panics
+///
+/// Panics if `parse` does not cover `data` exactly.
+pub fn compress_parse(data: &[u8], parse: &Parse, cfg: &FlateConfig) -> Vec<u8> {
+    assert_eq!(parse.total_len(), data.len(), "parse must cover the input");
     let mut out = Vec::with_capacity(data.len() / 2 + 64);
     out.extend_from_slice(&MAGIC);
     out.push(cfg.window_log.min(MAX_WINDOW_LOG) as u8);
     varint::write_u64(&mut out, data.len() as u64);
 
-    let parse = HashChainMatcher::new(cfg.chain_config()).parse(data);
-    let chunks = split_parse(&parse, MAX_BLOCK_SIZE);
+    // One payload scratch buffer serves every block of the frame.
+    let chunks = split_parse(parse, MAX_BLOCK_SIZE);
+    let mut payload = Vec::new();
     let mut pos = 0usize;
     for (i, chunk) in chunks.iter().enumerate() {
         let last = i + 1 == chunks.len();
         let len = chunk.total_len();
-        emit_block(&data[pos..pos + len], chunk, last, &mut out);
+        emit_block(&data[pos..pos + len], chunk, last, &mut out, &mut payload);
         pos += len;
     }
     if chunks.is_empty() {
-        emit_block(b"", &Parse::default(), true, &mut out);
+        emit_block(b"", &Parse::default(), true, &mut out, &mut payload);
     }
     out
 }
@@ -256,15 +276,16 @@ fn split_parse(parse: &Parse, target: usize) -> Vec<Parse> {
 const BLOCK_RAW: u8 = 0;
 const BLOCK_HUFF: u8 = 1;
 
-fn emit_block(data: &[u8], parse: &Parse, last: bool, out: &mut Vec<u8>) {
+fn emit_block(data: &[u8], parse: &Parse, last: bool, out: &mut Vec<u8>, payload: &mut Vec<u8>) {
     let last_bit = if last { 1u8 } else { 0 };
-    let mut payload = Vec::new();
-    match encode_huff_block(data, parse, &mut payload) {
+    // The payload scratch is caller-owned so one allocation serves the frame.
+    payload.clear();
+    match encode_huff_block(data, parse, payload) {
         Ok(()) if payload.len() < data.len() => {
             out.push(last_bit | (BLOCK_HUFF << 1));
             varint::write_u64(out, data.len() as u64);
             varint::write_u64(out, payload.len() as u64);
-            out.extend_from_slice(&payload);
+            out.extend_from_slice(payload);
         }
         _ => {
             out.push(last_bit | (BLOCK_RAW << 1));
@@ -336,6 +357,12 @@ fn encode_huff_block(data: &[u8], parse: &Parse, out: &mut Vec<u8>) -> Result<()
     let (bits, bit_len) = w.finish();
     varint::write_u64(out, bit_len as u64);
     out.extend_from_slice(&bits);
+    if cdpu_telemetry::enabled() {
+        use cdpu_telemetry::counter;
+        counter!("flate.entropy.blocks").incr();
+        counter!("flate.entropy.sequences").add(parse.seqs.len() as u64);
+        counter!("flate.entropy.payload_bits").add(bit_len as u64);
+    }
     Ok(())
 }
 

@@ -9,7 +9,7 @@
 //! 2 KiB history SRAM turns every copy with offset > 2 KiB into an
 //! off-chip history lookup (Section 5.2's fallback path).
 
-use cdpu_lz77::matcher::{HashTableMatcher, MatcherConfig};
+use cdpu_lz77::matcher::MatcherConfig;
 use cdpu_lz77::Parse;
 use cdpu_zstd::ZstdConfig;
 
@@ -70,10 +70,14 @@ impl CallProfile {
 
 /// Profiles a Snappy call: the stream the fleet's software compressor
 /// would produce for `data` (fixed 64 KiB window).
+///
+/// The dictionary stage runs exactly once: the same parse feeds both the
+/// structural features and the compressed-size measurement (via
+/// [`cdpu_snappy::compress_parse`]).
 pub fn profile_snappy(data: &[u8]) -> CallProfile {
     let cfg = MatcherConfig::snappy_sw();
-    let parse = HashTableMatcher::new(cfg).parse(data);
-    let compressed = cdpu_snappy::compress_with(data, &cfg).len() as u64;
+    let parse = cdpu_snappy::parse_with(data, &cfg);
+    let compressed = cdpu_snappy::compress_parse(data, &parse).len() as u64;
     let mut p = CallProfile {
         uncompressed: data.len() as u64,
         compressed,
@@ -93,7 +97,7 @@ pub fn profile_zstd(data: &[u8], level: i32, window_log: Option<u32>) -> CallPro
         cfg = cfg.window_log(w.clamp(10, 24));
     }
     let parse = cdpu_zstd::parse_with(data, &cfg);
-    let (compressed, stats) = cdpu_zstd::compress_with_stats(data, &cfg);
+    let (compressed, stats) = cdpu_zstd::compress_parse_with_stats(data, &parse, &cfg);
     let mut p = CallProfile {
         uncompressed: data.len() as u64,
         compressed: compressed.len() as u64,
@@ -118,7 +122,7 @@ pub fn profile_zstd(data: &[u8], level: i32, window_log: Option<u32>) -> CallPro
 pub fn profile_flate(data: &[u8], level: u32) -> CallProfile {
     let cfg = cdpu_flate::FlateConfig::with_level(level.clamp(1, 9));
     let parse = cdpu_flate::parse_with(data, &cfg);
-    let compressed = cdpu_flate::compress_with(data, &cfg).len() as u64;
+    let compressed = cdpu_flate::compress_parse(data, &parse, &cfg).len() as u64;
     let blocks = data.len().div_ceil(cdpu_flate::MAX_BLOCK_SIZE).max(1) as u64;
     let mut p = CallProfile {
         uncompressed: data.len() as u64,

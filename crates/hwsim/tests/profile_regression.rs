@@ -1,0 +1,165 @@
+//! Regression pin: single-parse profiling must report the *identical*
+//! `CallProfile` the original two-pass implementation produced.
+//!
+//! The profilers used to run the dictionary stage twice per call — once
+//! via `parse_with` for the structural features and once more inside
+//! `compress_with`/`compress_with_stats` for the compressed size. They now
+//! parse once and feed the shared parse to the codec's `compress_parse`
+//! entry point. These tests reconstruct the old two-pass pipeline from
+//! public APIs on a fixed-seed corpus and assert field-for-field equality,
+//! so any drift in either path (parse, encoder, or offset binning) fails
+//! loudly.
+
+use cdpu_hwsim::profile::{profile_flate, profile_snappy, profile_zstd, CallProfile};
+use cdpu_lz77::matcher::MatcherConfig;
+use cdpu_lz77::Parse;
+use cdpu_util::rng::Xoshiro256;
+
+/// Fixed-seed corpus spanning the regimes the profilers see: empty, tiny,
+/// structured text, uniform runs, incompressible noise, and a multi-block
+/// (> 128 KiB) input so the ZStd block splitter participates.
+fn corpus() -> Vec<Vec<u8>> {
+    let mut rng = Xoshiro256::seed_from(0xCA11);
+    let mut inputs: Vec<Vec<u8>> = vec![
+        vec![],
+        b"x".to_vec(),
+        b"profile".to_vec(),
+        vec![b'r'; 50_000],
+    ];
+    let mut text = Vec::new();
+    for i in 0..4000 {
+        text.extend_from_slice(
+            format!("call {:05} bytes {} level {}\n", i % 700, rng.index(100_000), rng.index(9))
+                .as_bytes(),
+        );
+    }
+    inputs.push(text); // > 128 KiB: multiple zstd blocks
+    let mut noise = vec![0u8; 40_000];
+    rng.fill_bytes(&mut noise);
+    inputs.push(noise);
+    let mut mixed = Vec::new();
+    for _ in 0..30 {
+        let mut chunk = vec![0u8; rng.index(2000) + 1];
+        rng.fill_bytes(&mut chunk);
+        mixed.extend_from_slice(&chunk);
+        mixed.extend_from_slice(&b"shared-prefix/shared-suffix".repeat(rng.index(40) + 1));
+    }
+    inputs.push(mixed);
+    inputs
+}
+
+/// The original structural accumulation: sequence counts, literal/match
+/// bytes, and match bytes binned by `ceil(log2(offset))`.
+fn accumulate(p: &mut CallProfile, parse: &Parse) {
+    p.seqs += parse.seqs.len() as u64;
+    p.literal_bytes += parse.literal_len() as u64;
+    p.match_bytes += parse.matched_len() as u64;
+    for s in &parse.seqs {
+        let bin = cdpu_util::ceil_log2(s.offset as u64) as usize;
+        p.offset_bytes[bin.min(31)] += s.match_len as u64;
+    }
+}
+
+#[test]
+fn snappy_profile_matches_two_pass_pipeline() {
+    for (i, data) in corpus().iter().enumerate() {
+        let cfg = MatcherConfig::snappy_sw();
+        // Old pipeline: one parse for structure, a second inside
+        // compress_with for the stream size.
+        let parse = cdpu_snappy::parse_with(data, &cfg);
+        let mut expected = CallProfile {
+            uncompressed: data.len() as u64,
+            compressed: cdpu_snappy::compress_with(data, &cfg).len() as u64,
+            blocks: 1,
+            ..Default::default()
+        };
+        accumulate(&mut expected, &parse);
+        assert_eq!(profile_snappy(data), expected, "input {i} ({} bytes)", data.len());
+    }
+}
+
+#[test]
+fn zstd_profile_matches_two_pass_pipeline() {
+    for (i, data) in corpus().iter().enumerate() {
+        for (level, wlog) in [(3, None), (-3, None), (9, None), (3, Some(12))] {
+            let mut cfg = cdpu_zstd::ZstdConfig::with_level(level);
+            if let Some(w) = wlog {
+                cfg = cfg.window_log(w);
+            }
+            let parse = cdpu_zstd::parse_with(data, &cfg);
+            let (compressed, stats) = cdpu_zstd::compress_with_stats(data, &cfg);
+            let mut expected = CallProfile {
+                uncompressed: data.len() as u64,
+                compressed: compressed.len() as u64,
+                blocks: (stats.blocks.len() + stats.raw_blocks + stats.rle_blocks).max(1) as u64,
+                huffman_blocks: stats.blocks.iter().filter(|b| b.huffman_literals).count() as u64,
+                huffman_stream_bytes: stats.blocks.iter().map(|b| b.huffman_bits as u64 / 8).sum(),
+                fse_stream_bytes: stats.blocks.iter().map(|b| b.fse_bytes as u64).sum(),
+                ..Default::default()
+            };
+            accumulate(&mut expected, &parse);
+            assert_eq!(
+                profile_zstd(data, level, wlog),
+                expected,
+                "input {i} ({} bytes), level {level}, wlog {wlog:?}",
+                data.len()
+            );
+        }
+    }
+}
+
+#[test]
+fn flate_profile_matches_two_pass_pipeline() {
+    for (i, data) in corpus().iter().enumerate() {
+        for level in [1u32, 6, 9] {
+            let cfg = cdpu_flate::FlateConfig::with_level(level);
+            let parse = cdpu_flate::parse_with(data, &cfg);
+            let blocks = data.len().div_ceil(cdpu_flate::MAX_BLOCK_SIZE).max(1) as u64;
+            let mut expected = CallProfile {
+                uncompressed: data.len() as u64,
+                compressed: cdpu_flate::compress_with(data, &cfg).len() as u64,
+                blocks,
+                huffman_blocks: blocks,
+                ..Default::default()
+            };
+            accumulate(&mut expected, &parse);
+            assert_eq!(
+                profile_flate(data, level),
+                expected,
+                "input {i} ({} bytes), level {level}",
+                data.len()
+            );
+        }
+    }
+}
+
+#[test]
+fn codec_compress_parse_is_bit_identical_to_compress() {
+    // The single-parse entry points must emit byte-identical streams to
+    // the parse-internally variants (the profilers rely on this).
+    for (i, data) in corpus().iter().enumerate() {
+        let scfg = MatcherConfig::snappy_sw();
+        let sparse = cdpu_snappy::parse_with(data, &scfg);
+        assert_eq!(
+            cdpu_snappy::compress_parse(data, &sparse),
+            cdpu_snappy::compress_with(data, &scfg),
+            "snappy stream diverged on input {i}"
+        );
+
+        let zcfg = cdpu_zstd::ZstdConfig::default();
+        let zparse = cdpu_zstd::parse_with(data, &zcfg);
+        assert_eq!(
+            cdpu_zstd::compress_parse_with_stats(data, &zparse, &zcfg),
+            cdpu_zstd::compress_with_stats(data, &zcfg),
+            "zstd stream diverged on input {i}"
+        );
+
+        let fcfg = cdpu_flate::FlateConfig::default();
+        let fparse = cdpu_flate::parse_with(data, &fcfg);
+        assert_eq!(
+            cdpu_flate::compress_parse(data, &fparse, &fcfg),
+            cdpu_flate::compress_with(data, &fcfg),
+            "flate stream diverged on input {i}"
+        );
+    }
+}

@@ -7,8 +7,56 @@
 //! one-step lazy matching, which the ZStd-class codec maps compression
 //! levels onto.
 
+use std::cell::RefCell;
+
 use crate::hash::{hash_at, HashFn};
 use crate::{Parse, Seq, MIN_MATCH};
+use cdpu_telemetry::counter;
+
+/// Reusable table storage for the match finders.
+///
+/// Both matchers need per-parse working tables (hash buckets, chain
+/// heads/links) whose size depends only on the configuration, not the
+/// input. Allocating them per call shows up hard when the experiment
+/// engine profiles thousands of small files, so the tables live in one
+/// contiguous `u32` buffer that is zeroed — never reallocated — between
+/// calls of compatible size. Obtain one with [`MatcherScratch::new`] and
+/// pass it to `parse_with_scratch`, or let the plain `parse` entry points
+/// use a per-thread scratch automatically (each `cdpu-par` worker thread
+/// gets its own, so parallel suites reuse without contention).
+#[derive(Debug, Default)]
+pub struct MatcherScratch {
+    buf: Vec<u32>,
+}
+
+impl MatcherScratch {
+    /// Creates an empty scratch; tables are allocated on first use.
+    pub const fn new() -> Self {
+        MatcherScratch { buf: Vec::new() }
+    }
+
+    /// Returns a zeroed slice of exactly `n` entries, reusing the backing
+    /// allocation when it is already large enough.
+    fn zeroed(&mut self, n: usize) -> &mut [u32] {
+        if self.buf.len() < n {
+            counter!("lz77.scratch.misses").incr();
+            self.buf = vec![0u32; n];
+        } else {
+            counter!("lz77.scratch.hits").incr();
+            self.buf[..n].fill(0);
+        }
+        &mut self.buf[..n]
+    }
+}
+
+thread_local! {
+    /// Per-thread scratch behind the allocation-free `parse` entry points.
+    static TLS_SCRATCH: RefCell<MatcherScratch> = const { RefCell::new(MatcherScratch::new()) };
+}
+
+fn with_tls_scratch<R>(f: impl FnOnce(&mut MatcherScratch) -> R) -> R {
+    TLS_SCRATCH.with(|s| f(&mut s.borrow_mut()))
+}
 
 /// Configuration for [`HashTableMatcher`], mirroring the generator's LZ77
 /// encoder parameters (Section 5.8, parameters 4–8).
@@ -76,6 +124,12 @@ impl MatcherConfig {
 
 /// Extends a candidate match forward. Returns the match length (0 if the
 /// first `min_match` bytes do not all match).
+///
+/// Compares eight bytes per step (the match-extension discipline the
+/// paper's hardware applies per SRAM word); on divergence the XOR's
+/// trailing zeros give the byte-exact length, so results are identical to
+/// a byte-at-a-time scan.
+#[inline]
 fn match_length(data: &[u8], pos: usize, cand: usize, min_match: usize) -> usize {
     debug_assert!(cand < pos);
     let max = data.len() - pos;
@@ -83,6 +137,16 @@ fn match_length(data: &[u8], pos: usize, cand: usize, min_match: usize) -> usize
         return 0;
     }
     let mut len = 0usize;
+    while len + 8 <= max {
+        let a = u64::from_le_bytes(data[cand + len..cand + len + 8].try_into().unwrap());
+        let b = u64::from_le_bytes(data[pos + len..pos + len + 8].try_into().unwrap());
+        let x = a ^ b;
+        if x != 0 {
+            len += (x.trailing_zeros() >> 3) as usize;
+            return if len >= min_match { len } else { 0 };
+        }
+        len += 8;
+    }
     while len < max && data[cand + len] == data[pos + len] {
         len += 1;
     }
@@ -127,8 +191,17 @@ impl HashTableMatcher {
         &self.cfg
     }
 
-    /// Greedily parses `data` into LZ77 sequences.
+    /// Greedily parses `data` into LZ77 sequences, using the calling
+    /// thread's scratch tables.
     pub fn parse(&self, data: &[u8]) -> Parse {
+        with_tls_scratch(|scratch| self.parse_with_scratch(data, scratch))
+    }
+
+    /// Like [`HashTableMatcher::parse`], but with caller-provided scratch
+    /// tables — reuse one [`MatcherScratch`] across calls to amortize the
+    /// hash-table allocation. The parse produced is identical to
+    /// [`HashTableMatcher::parse`]'s.
+    pub fn parse_with_scratch(&self, data: &[u8], scratch: &mut MatcherScratch) -> Parse {
         let cfg = &self.cfg;
         let ways = cfg.ways as usize;
         let sets = (1usize << cfg.entries_log) / ways;
@@ -136,8 +209,12 @@ impl HashTableMatcher {
         let window = cfg.window_size();
         // Slot stores position + 1; 0 means empty. Within a set, slot 0 is
         // most recent (FIFO replacement, like a shift register in SRAM).
-        let mut table = vec![0u32; sets * ways];
+        // The table is one contiguous bucket array: set s occupies
+        // `[s*ways, (s+1)*ways)`, so a probe touches one cache line for
+        // typical way counts.
+        let table = scratch.zeroed(sets * ways);
 
+        let mut probes = 0u64;
         let mut seqs = Vec::new();
         let mut pos = 0usize;
         let mut anchor = 0usize;
@@ -149,6 +226,7 @@ impl HashTableMatcher {
             while pos + cfg.min_match <= data.len() {
                 let h = hash_at(data, pos, cfg.hash_fn, set_log) as usize;
                 let set = &mut table[h * ways..(h + 1) * ways];
+                probes += 1;
 
                 // Probe all ways; take the longest valid match (ties to the
                 // most recent way, i.e. smallest offset).
@@ -203,10 +281,17 @@ impl HashTableMatcher {
                 }
             }
         }
-        Parse {
+        let parse = Parse {
             seqs,
             last_literals: (data.len() - anchor) as u32,
+        };
+        if cdpu_telemetry::enabled() {
+            counter!("lz77.parse_calls").incr();
+            counter!("lz77.input_bytes").add(data.len() as u64);
+            counter!("lz77.match_bytes").add(parse.matched_len() as u64);
+            counter!("lz77.probes").add(probes);
         }
+        parse
     }
 }
 
@@ -282,6 +367,7 @@ impl HashChainMatcher {
         head: &[u32],
         prev: &[u32],
         window: usize,
+        probes: &mut u64,
     ) -> (usize, usize) {
         let cfg = &self.cfg;
         let h = hash_at(data, pos, HashFn::Multiplicative, cfg.hash_log) as usize;
@@ -295,6 +381,7 @@ impl HashChainMatcher {
             if cand >= pos || pos - cand > window {
                 break;
             }
+            *probes += 1;
             let len = match_length(data, pos, cand, cfg.min_match);
             if len > best_len {
                 best_len = len;
@@ -306,13 +393,23 @@ impl HashChainMatcher {
         (best_len, best_off)
     }
 
-    /// Parses `data` into LZ77 sequences (greedy, optionally 1-step lazy).
+    /// Parses `data` into LZ77 sequences (greedy, optionally 1-step lazy),
+    /// using the calling thread's scratch tables.
     pub fn parse(&self, data: &[u8]) -> Parse {
+        with_tls_scratch(|scratch| self.parse_with_scratch(data, scratch))
+    }
+
+    /// Like [`HashChainMatcher::parse`], but with caller-provided scratch
+    /// tables; the parse produced is identical.
+    pub fn parse_with_scratch(&self, data: &[u8], scratch: &mut MatcherScratch) -> Parse {
         let cfg = &self.cfg;
         let window = 1usize << cfg.window_log;
         let wmask = window - 1;
-        let mut head = vec![0u32; 1usize << cfg.hash_log];
-        let mut prev = vec![0u32; window];
+        // Head table and chain links share one contiguous allocation:
+        // `[0, heads)` is the hash-head table, `[heads, heads+window)` the
+        // per-position previous-occurrence links.
+        let heads = 1usize << cfg.hash_log;
+        let (head, prev) = scratch.zeroed(heads + window).split_at_mut(heads);
 
         let insert = |data: &[u8], p: usize, head: &mut [u32], prev: &mut [u32]| {
             let h = hash_at(data, p, HashFn::Multiplicative, cfg.hash_log) as usize;
@@ -320,21 +417,23 @@ impl HashChainMatcher {
             head[h] = p as u32 + 1;
         };
 
+        let mut probes = 0u64;
         let mut seqs = Vec::new();
         let mut pos = 0usize;
         let mut anchor = 0usize;
         while pos + cfg.min_match <= data.len() {
-            let (mut len, mut off) = self.best_match(data, pos, &head, &prev, window);
-            insert(data, pos, &mut head, &mut prev);
+            let (mut len, mut off) = self.best_match(data, pos, head, prev, window, &mut probes);
+            insert(data, pos, head, prev);
             if len == 0 {
                 pos += 1;
                 continue;
             }
             if cfg.lazy && pos + 1 + cfg.min_match <= data.len() {
-                let (len2, off2) = self.best_match(data, pos + 1, &head, &prev, window);
+                let (len2, off2) =
+                    self.best_match(data, pos + 1, head, prev, window, &mut probes);
                 if len2 > len + 1 {
                     // Emit current byte as a literal; take the later match.
-                    insert(data, pos + 1, &mut head, &mut prev);
+                    insert(data, pos + 1, head, prev);
                     pos += 1;
                     len = len2;
                     off = off2;
@@ -348,16 +447,23 @@ impl HashChainMatcher {
             let end = pos + len;
             let mut p = pos + 1;
             while p + cfg.min_match <= data.len() && p < end {
-                insert(data, p, &mut head, &mut prev);
+                insert(data, p, head, prev);
                 p += 1;
             }
             pos = end;
             anchor = pos;
         }
-        Parse {
+        let parse = Parse {
             seqs,
             last_literals: (data.len() - anchor) as u32,
+        };
+        if cdpu_telemetry::enabled() {
+            counter!("lz77.parse_calls").incr();
+            counter!("lz77.input_bytes").add(data.len() as u64);
+            counter!("lz77.match_bytes").add(parse.matched_len() as u64);
+            counter!("lz77.probes").add(probes);
         }
+        parse
     }
 }
 

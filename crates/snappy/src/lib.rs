@@ -29,6 +29,7 @@ pub mod frame;
 
 use cdpu_lz77::matcher::{HashTableMatcher, MatcherConfig};
 use cdpu_lz77::window::apply_copy;
+use cdpu_lz77::Parse;
 use cdpu_util::varint;
 
 /// Snappy's fixed history window: 64 KiB for both directions (Section 3.6).
@@ -109,13 +110,38 @@ pub fn compress(data: &[u8]) -> Vec<u8> {
 /// Panics if `data` exceeds the format's 4 GiB limit or the configuration
 /// is structurally invalid.
 pub fn compress_with(data: &[u8], cfg: &MatcherConfig) -> Vec<u8> {
+    let parse = parse_with(data, cfg);
+    compress_parse(data, &parse)
+}
+
+/// Runs only the dictionary-coding stage (with the format's 64 KiB window
+/// clamp applied), returning the whole-input LZ77 parse. Feed the result to
+/// [`compress_parse`] to finish encoding without re-parsing.
+///
+/// # Panics
+///
+/// Panics if `data` exceeds the format's 4 GiB limit or the configuration
+/// is structurally invalid.
+pub fn parse_with(data: &[u8], cfg: &MatcherConfig) -> Parse {
     assert!(data.len() <= u32::MAX as usize, "snappy caps input at 4 GiB");
     let cfg = MatcherConfig {
         window_log: cfg.window_log.min(16),
         ..*cfg
     };
-    let parse = HashTableMatcher::new(cfg).parse(data);
+    HashTableMatcher::new(cfg).parse(data)
+}
 
+/// Encodes the element stream from a precomputed dictionary-stage parse,
+/// skipping the (dominant) LZ77 matching cost. `parse` must be a parse of
+/// exactly `data` — i.e. the value [`parse_with`] returns — in which case
+/// the output is byte-identical to [`compress_with`]'s. The hardware
+/// simulator's call profiler uses this to parse each input exactly once.
+///
+/// # Panics
+///
+/// Panics if `parse` does not cover `data` exactly.
+pub fn compress_parse(data: &[u8], parse: &Parse) -> Vec<u8> {
+    assert_eq!(parse.total_len(), data.len(), "parse must cover the input");
     let mut out = Vec::with_capacity(max_compressed_len(data.len()));
     varint::write_u64(&mut out, data.len() as u64);
 

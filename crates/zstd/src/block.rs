@@ -394,6 +394,13 @@ pub fn encode_block(data: &[u8], parse: &Parse, out: &mut Vec<u8>) -> Result<Blo
     encode_sequences(&parse.seqs, out, &mut stats)?;
     varint::write_u64(out, parse.last_literals as u64);
     stats.output_bytes = out.len() - start;
+    if cdpu_telemetry::enabled() {
+        use cdpu_telemetry::counter;
+        counter!("zstd.entropy.blocks").incr();
+        counter!("zstd.entropy.literal_bytes").add(literals.len() as u64);
+        counter!("zstd.entropy.sequences").add(parse.seqs.len() as u64);
+        counter!("zstd.entropy.payload_bytes").add(stats.output_bytes as u64);
+    }
     Ok(stats)
 }
 

@@ -174,7 +174,10 @@ impl ZstdConfig {
     }
 
     /// Search effort for this level, mapped onto the matcher knobs.
-    fn search_params(&self) -> SearchParams {
+    ///
+    /// Public so benchmarks and baseline comparisons can parse with
+    /// exactly the matcher configuration [`parse_with`] uses.
+    pub fn search_params(&self) -> SearchParams {
         let wlog = self.effective_window_log();
         if self.level <= 0 {
             // Negative/zero levels: hash-table greedy matcher with a table
@@ -212,8 +215,12 @@ impl ZstdConfig {
     }
 }
 
-enum SearchParams {
+/// The match-finder a [`ZstdConfig`] level maps to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SearchParams {
+    /// Negative/zero levels: single-probe greedy hash-table matcher.
     Greedy(MatcherConfig),
+    /// Positive levels: hash-chain matcher with level-scaled depth.
     Chain(ChainConfig),
 }
 
@@ -287,6 +294,29 @@ pub fn compress_with(data: &[u8], cfg: &ZstdConfig) -> Vec<u8> {
 /// Compresses and reports the per-block statistics the hardware model
 /// charges cycles from.
 pub fn compress_with_stats(data: &[u8], cfg: &ZstdConfig) -> (Vec<u8>, ZstdStats) {
+    // One whole-input parse (the window spans block boundaries, as in
+    // ZStd), then encode from it.
+    let parse = parse_with(data, cfg);
+    compress_parse_with_stats(data, &parse, cfg)
+}
+
+/// Encodes a frame from a precomputed dictionary-stage parse, skipping
+/// the (dominant) LZ77 matching cost. `parse` must be a parse of exactly
+/// `data` at this configuration — i.e. the value [`parse_with`] returns —
+/// in which case the output is byte-identical to
+/// [`compress_with_stats`]'s. Callers that already ran the dictionary
+/// stage (the hardware simulator's profiler, ratio studies) use this to
+/// parse each input exactly once.
+///
+/// # Panics
+///
+/// Panics if `parse` does not cover `data` exactly.
+pub fn compress_parse_with_stats(
+    data: &[u8],
+    parse: &Parse,
+    cfg: &ZstdConfig,
+) -> (Vec<u8>, ZstdStats) {
+    assert_eq!(parse.total_len(), data.len(), "parse must cover the input");
     let wlog = cfg.effective_window_log();
     let mut out = Vec::with_capacity(data.len() / 2 + 64);
     out.extend_from_slice(&MAGIC);
@@ -298,22 +328,22 @@ pub fn compress_with_stats(data: &[u8], cfg: &ZstdConfig) -> (Vec<u8>, ZstdStats
         ..Default::default()
     };
 
-    // One whole-input parse (the window spans block boundaries, as in
-    // ZStd), then split at sequence granularity into <= 128 KiB blocks.
-    let parse = parse_with(data, cfg);
-    let chunks = split_parse(&parse, MAX_BLOCK_SIZE);
+    // Split at sequence granularity into <= 128 KiB blocks; one payload
+    // scratch buffer serves every block of the frame.
+    let chunks = split_parse(parse, MAX_BLOCK_SIZE);
+    let mut payload = Vec::new();
 
     let mut pos = 0usize;
     for (i, chunk) in chunks.iter().enumerate() {
         let last = i + 1 == chunks.len();
         let len = chunk.total_len();
         let data_slice = &data[pos..pos + len];
-        emit_block(data_slice, chunk, last, &mut out, &mut stats);
+        emit_block(data_slice, chunk, last, &mut out, &mut stats, &mut payload);
         pos += len;
     }
     if chunks.is_empty() {
         // Zero-length content still needs a terminating block.
-        emit_block(b"", &Parse::default(), true, &mut out, &mut stats);
+        emit_block(b"", &Parse::default(), true, &mut out, &mut stats, &mut payload);
     }
     stats.compressed_size = out.len();
     (out, stats)
@@ -412,6 +442,7 @@ pub(crate) fn emit_block(
     last: bool,
     out: &mut Vec<u8>,
     stats: &mut ZstdStats,
+    payload: &mut Vec<u8>,
 ) {
     let last_bit = if last { 1u8 } else { 0 };
     // RLE block: uniform content.
@@ -422,14 +453,15 @@ pub(crate) fn emit_block(
         stats.rle_blocks += 1;
         return;
     }
-    // Try a compressed block; fall back to raw when it does not pay.
-    let mut payload = Vec::new();
-    match block::encode_block(data, parse, &mut payload) {
+    // Try a compressed block; fall back to raw when it does not pay. The
+    // payload scratch is caller-owned so one allocation serves the frame.
+    payload.clear();
+    match block::encode_block(data, parse, payload) {
         Ok(bstats) if payload.len() < data.len() => {
             out.push(last_bit | (2 << 1));
             varint::write_u64(out, data.len() as u64);
             varint::write_u64(out, payload.len() as u64);
-            out.extend_from_slice(&payload);
+            out.extend_from_slice(payload);
             stats.blocks.push(bstats);
         }
         _ => {
