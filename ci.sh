@@ -37,4 +37,11 @@ if ! grep -q '"min_profile_speedup"' /tmp/cdpu_bench_kernels.json; then
     exit 1
 fi
 
+echo "==> decompression kernel microbenchmark smoke (tiny)"
+./target/release/bench --dekernels --tiny --out /tmp/cdpu_bench_dekernels.json
+if ! grep -q '"min_decompress_speedup"' /tmp/cdpu_bench_dekernels.json; then
+    echo "FAIL: dekernels benchmark wrote no speedup summary" >&2
+    exit 1
+fi
+
 echo "CI OK"

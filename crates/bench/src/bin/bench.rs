@@ -4,7 +4,7 @@
 //! Usage:
 //!
 //! ```text
-//! bench [--files N] [--seed N] [--jobs N] [--out PATH] [--tiny] [--serve] [--kernels]
+//! bench [--files N] [--seed N] [--jobs N] [--out PATH] [--tiny] [--serve] [--kernels] [--dekernels]
 //! ```
 //!
 //! Each stage (chunk bank, suite generation, call profiling, DSE sweeps,
@@ -24,6 +24,16 @@
 //! the profiler, i.e. the pre-single-parse pipeline) the speedup is
 //! measured against. Writes `results/BENCH_kernels.json` by default and a
 //! scratch/probe telemetry snapshot alongside the timings.
+//!
+//! `--dekernels` microbenchmarks the single-threaded decompression
+//! kernels: `decompress` (fresh allocation) and `decompress_into`
+//! (persistent scratch) throughput per algorithm (Snappy, ZStd L3,
+//! Flate L6, LZO-class, Gipfeli-class) over pre-compressed suite corpora,
+//! against the retained seed decoders in each crate's `reference` module
+//! (per-symbol entropy decode, byte-wise copies, allocate-per-call).
+//! Throughput is reported over *decompressed* bytes. Writes
+//! `results/BENCH_dekernels.json` by default plus a decode-side telemetry
+//! snapshot (refills, wild copies, scratch hits).
 
 use std::hint::black_box;
 use std::time::Instant;
@@ -327,6 +337,221 @@ fn run_kernels(scale: Scale, iters: usize, out: &str) {
     eprintln!("bench: wrote {out} (min profile speedup {min_speedup:.2}x)");
 }
 
+/// Microbenchmarks the per-algorithm decompression kernels against the
+/// retained seed decoders.
+///
+/// Every corpus is compressed once up front; the timed loops then decode
+/// the same streams three ways: `decompress` (fresh `Vec` per call),
+/// `decompress_into` (one persistent `DecoderScratch` across the whole
+/// corpus, the serving-tier shape), and the crate's `reference` decoder —
+/// the seed implementation kept verbatim as the equivalence oracle
+/// (per-symbol entropy decode, byte-at-a-time LZ copies,
+/// allocate-per-call). `decompress_speedup` is the reference decoder's
+/// best wall-clock over the fast `decompress`'s. MB/s is computed over
+/// decompressed bytes — the figure that matters for a decompression
+/// engine — while `compressed_bytes` records what the timed loops
+/// actually read.
+fn run_dekernels(scale: Scale, iters: usize, out: &str) {
+    use cdpu_lz77::window::DecoderScratch;
+
+    let wb = Workbench::new(scale);
+    let snappy_suite = wb.snappy_c();
+    let zstd_suite = wb.zstd_c();
+    let light: Vec<&[u8]> = snappy_suite.files.iter().map(|f| f.data.as_slice()).collect();
+    let heavy: Vec<&[u8]> = zstd_suite.files.iter().map(|f| f.data.as_slice()).collect();
+    let zcfg = cdpu_zstd::ZstdConfig::default(); // level 3, the fleet's mode
+    let fcfg = cdpu_flate::FlateConfig::default(); // level 6, zlib's default
+
+    let compress_all = |corpus: &[&[u8]], f: &dyn Fn(&[u8]) -> Vec<u8>| -> Vec<Vec<u8>> {
+        corpus.iter().map(|d| f(d)).collect()
+    };
+    let snappy_streams = compress_all(&light, &cdpu_snappy::compress);
+    let zstd_streams = compress_all(&heavy, &|d| cdpu_zstd::compress_with(d, &zcfg));
+    let flate_streams = compress_all(&heavy, &|d| cdpu_flate::compress_with(d, &fcfg));
+    let lzo_streams = compress_all(&light, &cdpu_lite::lzo::compress);
+    let gipfeli_streams = compress_all(&light, &cdpu_lite::gipfeli::compress);
+
+    type StageFn<'a> = Box<dyn FnMut(&[u8]) + 'a>;
+    struct Algo<'a> {
+        name: &'static str,
+        streams: &'a [Vec<u8>],
+        uncompressed_bytes: usize,
+        decompress: StageFn<'a>,
+        decompress_into: StageFn<'a>,
+        reference: StageFn<'a>,
+    }
+    let light_bytes: usize = light.iter().map(|d| d.len()).sum();
+    let heavy_bytes: usize = heavy.iter().map(|d| d.len()).sum();
+    let mut snappy_scratch = DecoderScratch::new();
+    let mut zstd_scratch = DecoderScratch::new();
+    let mut flate_scratch = DecoderScratch::new();
+    let mut lzo_scratch = DecoderScratch::new();
+    let mut gipfeli_scratch = DecoderScratch::new();
+    let mut algos = [
+        Algo {
+            name: "snappy",
+            streams: &snappy_streams,
+            uncompressed_bytes: light_bytes,
+            decompress: Box::new(|s| {
+                black_box(cdpu_snappy::decompress(s).expect("roundtrip"));
+            }),
+            decompress_into: Box::new(move |s| {
+                black_box(
+                    cdpu_snappy::decompress_into(s, &mut snappy_scratch)
+                        .expect("roundtrip")
+                        .len(),
+                );
+            }),
+            reference: Box::new(|s| {
+                black_box(cdpu_snappy::reference::decompress(s).expect("roundtrip"));
+            }),
+        },
+        Algo {
+            name: "zstd-l3",
+            streams: &zstd_streams,
+            uncompressed_bytes: heavy_bytes,
+            decompress: Box::new(|s| {
+                black_box(cdpu_zstd::decompress(s).expect("roundtrip"));
+            }),
+            decompress_into: Box::new(move |s| {
+                black_box(
+                    cdpu_zstd::decompress_into(s, &mut zstd_scratch)
+                        .expect("roundtrip")
+                        .len(),
+                );
+            }),
+            reference: Box::new(|s| {
+                black_box(cdpu_zstd::reference::decompress(s).expect("roundtrip"));
+            }),
+        },
+        Algo {
+            name: "flate-l6",
+            streams: &flate_streams,
+            uncompressed_bytes: heavy_bytes,
+            decompress: Box::new(|s| {
+                black_box(cdpu_flate::decompress(s).expect("roundtrip"));
+            }),
+            decompress_into: Box::new(move |s| {
+                black_box(
+                    cdpu_flate::decompress_into(s, &mut flate_scratch)
+                        .expect("roundtrip")
+                        .len(),
+                );
+            }),
+            reference: Box::new(|s| {
+                black_box(cdpu_flate::reference::decompress(s).expect("roundtrip"));
+            }),
+        },
+        Algo {
+            name: "lzo-class",
+            streams: &lzo_streams,
+            uncompressed_bytes: light_bytes,
+            decompress: Box::new(|s| {
+                black_box(cdpu_lite::lzo::decompress(s).expect("roundtrip"));
+            }),
+            decompress_into: Box::new(move |s| {
+                black_box(
+                    cdpu_lite::lzo::decompress_into(s, &mut lzo_scratch)
+                        .expect("roundtrip")
+                        .len(),
+                );
+            }),
+            reference: Box::new(|s| {
+                black_box(cdpu_lite::reference::lzo::decompress(s).expect("roundtrip"));
+            }),
+        },
+        Algo {
+            name: "gipfeli-class",
+            streams: &gipfeli_streams,
+            uncompressed_bytes: light_bytes,
+            decompress: Box::new(|s| {
+                black_box(cdpu_lite::gipfeli::decompress(s).expect("roundtrip"));
+            }),
+            decompress_into: Box::new(move |s| {
+                black_box(
+                    cdpu_lite::gipfeli::decompress_into(s, &mut gipfeli_scratch)
+                        .expect("roundtrip")
+                        .len(),
+                );
+            }),
+            reference: Box::new(|s| {
+                black_box(cdpu_lite::reference::gipfeli::decompress(s).expect("roundtrip"));
+            }),
+        },
+    ];
+
+    let mut algo_objs = Vec::new();
+    let mut min_speedup = f64::INFINITY;
+    for algo in &mut algos {
+        let streams: Vec<&[u8]> = algo.streams.iter().map(Vec::as_slice).collect();
+        let cbytes: usize = streams.iter().map(|s| s.len()).sum();
+        let ubytes = algo.uncompressed_bytes;
+        eprintln!(
+            "bench: dekernels {} ({} streams, {cbytes} -> {ubytes} bytes)...",
+            algo.name,
+            streams.len()
+        );
+        // time_stage reports MB/s over the corpus it iterates — compressed
+        // bytes here — so recompute throughput over decompressed output.
+        let mb = |best: f64| ubytes as f64 / best / 1e6;
+        let (fast_s, _) = time_stage(&streams, iters, &mut algo.decompress);
+        let (into_s, _) = time_stage(&streams, iters, &mut algo.decompress_into);
+        let (ref_s, _) = time_stage(&streams, iters, &mut algo.reference);
+        let (fast_mb_s, into_mb_s, ref_mb_s) = (mb(fast_s), mb(into_s), mb(ref_s));
+        let speedup = ref_s / fast_s;
+        min_speedup = min_speedup.min(speedup);
+        eprintln!(
+            "  decompress {fast_mb_s:>8.1} MB/s  into {into_mb_s:>8.1} MB/s  \
+             reference {ref_mb_s:>8.1} MB/s  speedup {speedup:.2}x"
+        );
+        algo_objs.push(format!(
+            "    {{\"name\": \"{}\", \"streams\": {}, \"compressed_bytes\": {cbytes}, \
+             \"uncompressed_bytes\": {ubytes}, \"decompress_mb_s\": {fast_mb_s:.2}, \
+             \"decompress_into_mb_s\": {into_mb_s:.2}, \"reference_mb_s\": {ref_mb_s:.2}, \
+             \"decompress_speedup\": {speedup:.3}}}",
+            algo.name,
+            streams.len(),
+        ));
+    }
+
+    // One instrumented decode pass per algorithm through the scratch-reuse
+    // entry point: refill, wild-copy and scratch counters for the run
+    // (timings above are with telemetry off, matching production).
+    cdpu_telemetry::reset();
+    cdpu_telemetry::enable();
+    for algo in &mut algos {
+        for s in algo.streams {
+            (algo.decompress_into)(s);
+        }
+    }
+    cdpu_telemetry::disable();
+    let counters = cdpu_telemetry::registry().counters();
+    let counter_objs: Vec<String> = counters
+        .iter()
+        .map(|(name, v)| format!("    \"{name}\": {v}"))
+        .collect();
+
+    let json = format!(
+        "{{\n  \"bench\": \"cdpu decompression kernel microbenchmarks\",\n  \"iters\": {iters},\n  \
+         \"scale\": {{\"files_per_suite\": {}, \"max_call_bytes\": {}, \"bank_bytes_per_kind\": {}, \"seed\": {}}},\n  \
+         \"algorithms\": [\n{}\n  ],\n  \"min_decompress_speedup\": {min_speedup:.3},\n  \
+         \"decode_telemetry\": {{\n{}\n  }}\n}}\n",
+        scale.files_per_suite,
+        scale.max_call_bytes,
+        scale.bank_bytes_per_kind,
+        scale.seed,
+        algo_objs.join(",\n"),
+        counter_objs.join(",\n"),
+    );
+    if let Some(dir) = std::path::Path::new(out).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create output directory");
+        }
+    }
+    std::fs::write(out, json).expect("write benchmark report");
+    eprintln!("bench: wrote {out} (min decompress speedup {min_speedup:.2}x)");
+}
+
 fn main() {
     let mut scale = Scale {
         files_per_suite: 48,
@@ -336,6 +561,7 @@ fn main() {
     let mut out: Option<String> = None;
     let mut serve = false;
     let mut kernels = false;
+    let mut dekernels = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -362,6 +588,7 @@ fn main() {
             }
             "--serve" => serve = true,
             "--kernels" => kernels = true,
+            "--dekernels" => dekernels = true,
             "--tiny" => {
                 let seed = scale.seed;
                 scale = Scale::tiny();
@@ -375,18 +602,24 @@ fn main() {
     let out = out.unwrap_or_else(|| {
         String::from(if kernels {
             "results/BENCH_kernels.json"
+        } else if dekernels {
+            "results/BENCH_dekernels.json"
         } else if serve {
             "results/BENCH_serve.json"
         } else {
             "results/BENCH_parallel.json"
         })
     });
-    if kernels {
+    if kernels || dekernels {
         // Kernel microbenchmarks are single-threaded by design: they time
         // the per-call code paths (including thread-local scratch reuse),
         // not the pool.
         let iters = if scale.files_per_suite <= Scale::tiny().files_per_suite { 1 } else { 3 };
-        run_kernels(scale, iters, &out);
+        if kernels {
+            run_kernels(scale, iters, &out);
+        } else {
+            run_dekernels(scale, iters, &out);
+        }
         return;
     }
     let (bench_name, pass): (&str, fn(Scale) -> Run) = if serve {
@@ -447,7 +680,7 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}");
     }
     eprintln!(
-        "usage: bench [--files N] [--seed N] [--jobs N] [--out PATH] [--tiny] [--serve] [--kernels]"
+        "usage: bench [--files N] [--seed N] [--jobs N] [--out PATH] [--tiny] [--serve] [--kernels] [--dekernels]"
     );
     std::process::exit(2);
 }

@@ -421,6 +421,66 @@ impl<'t> FseStreamDecoder<'t> {
     pub fn last(self) -> u16 {
         self.table.entries[self.state as usize].symbol
     }
+
+    /// Bits the next state transition will consume —
+    /// [`FseStreamDecoder::next`] reads exactly this many. Lets callers
+    /// that interleave several decoders in one bitstream budget a shared
+    /// peeked window before extracting any field.
+    pub fn transition_width(&self) -> u32 {
+        self.table.entries[self.state as usize].nb_bits as u32
+    }
+
+    /// Advances the state with transition bits the caller already
+    /// extracted from a peeked window — exactly
+    /// [`FseStreamDecoder::transition_width`] bits, taken where
+    /// [`FseStreamDecoder::next`] would have read them. Returns the symbol
+    /// the outgoing state emits, like `next`.
+    pub fn advance(&mut self, bits: u64) -> u16 {
+        let e = self.table.entries[self.state as usize];
+        self.state = e.new_state_base + bits as u16;
+        e.symbol
+    }
+
+    /// Batched form of [`FseStreamDecoder::next`]: decodes up to `max`
+    /// symbols into `out`, returning how many were produced.
+    ///
+    /// Instead of one bounds-checked [`ReverseBitReader::read_bits`] per
+    /// symbol, the decoder peeks a 57-bit tail window once, pulls
+    /// transition fields from it while at least [`MAX_TABLE_LOG`] bits are
+    /// left in the window (so no field can straddle the window edge), and
+    /// consumes the total afterwards. It stops short of the last 57 stream
+    /// bits; inside that guard `read_bits` cannot fail, so the symbol and
+    /// error sequence is identical to calling `next` in a loop — the
+    /// caller finishes the tail with `next`/`last` as usual.
+    pub fn next_batch(
+        &mut self,
+        input: &mut ReverseBitReader<'_>,
+        out: &mut Vec<u16>,
+        max: usize,
+    ) -> usize {
+        let mut produced = 0usize;
+        let mut refills = 0u64;
+        while produced < max && input.remaining() >= 57 {
+            let (window, mut have) = input.peek_tail();
+            refills += 1;
+            let mut used = 0u32;
+            while produced < max && have >= MAX_TABLE_LOG as u32 {
+                let e = self.table.entries[self.state as usize];
+                let nb = e.nb_bits as u32;
+                let bits = (window >> (have - nb)) & ((1u64 << nb) - 1);
+                self.state = e.new_state_base + bits as u16;
+                out.push(e.symbol);
+                have -= nb;
+                used += nb;
+                produced += 1;
+            }
+            input.consume(used);
+        }
+        if cdpu_telemetry::enabled() {
+            cdpu_telemetry::counter!("decode.refills").add(refills);
+        }
+        produced
+    }
 }
 
 /// One-shot convenience: FSE-encodes `symbols` with the given normalized
@@ -463,7 +523,11 @@ pub fn decode(
     let mut r = ReverseBitReader::new(bytes).map_err(|_| FseError::BadStream)?;
     let mut dec = FseStreamDecoder::new(&table, &mut r)?;
     let mut out = Vec::with_capacity(count);
-    for _ in 0..count - 1 {
+    // Bulk of the stream through the batched window decoder; the final
+    // sub-window tail through the per-symbol path (identical symbols and
+    // errors either way — see `next_batch`).
+    dec.next_batch(&mut r, &mut out, count - 1);
+    while out.len() < count - 1 {
         out.push(dec.next(&mut r)?);
     }
     out.push(dec.last());
@@ -481,6 +545,54 @@ mod tests {
             h[s as usize] += 1;
         }
         h
+    }
+
+    /// Per-symbol reference decode: the seed `decode` loop.
+    fn decode_per_symbol(
+        bytes: &[u8],
+        norm: &[u32],
+        table_log: u8,
+        count: usize,
+    ) -> Result<Vec<u16>, FseError> {
+        if count == 0 {
+            return Ok(Vec::new());
+        }
+        let table = FseDecodeTable::new(norm, table_log)?;
+        let mut r = ReverseBitReader::new(bytes).map_err(|_| FseError::BadStream)?;
+        let mut dec = FseStreamDecoder::new(&table, &mut r)?;
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count - 1 {
+            out.push(dec.next(&mut r)?);
+        }
+        out.push(dec.last());
+        Ok(out)
+    }
+
+    #[test]
+    fn batched_decode_matches_per_symbol() {
+        let mut rng = Xoshiro256::seed_from(92);
+        for trial in 0..40 {
+            let alphabet = rng.index(40) + 2;
+            let len = rng.index(4000) + 2;
+            let data: Vec<u16> = (0..len).map(|_| rng.index(alphabet) as u16).collect();
+            let hist = hist_u16(&data, alphabet);
+            let table_log = recommended_table_log(&hist, 12);
+            let norm = normalize_counts(&hist, table_log).unwrap();
+            let bytes = encode(&data, &norm, table_log).unwrap();
+            assert_eq!(
+                decode(&bytes, &norm, table_log, len).unwrap(),
+                decode_per_symbol(&bytes, &norm, table_log, len).unwrap(),
+                "trial {trial}"
+            );
+            // Truncated streams must fail with the same error at the same
+            // place (or succeed identically when the cut lands mid-padding).
+            let cut = rng.index(bytes.len().max(2)).max(1);
+            assert_eq!(
+                decode(&bytes[..cut], &norm, table_log, len),
+                decode_per_symbol(&bytes[..cut], &norm, table_log, len),
+                "trial {trial} truncated to {cut} bytes"
+            );
+        }
     }
 
     #[test]

@@ -13,7 +13,7 @@
 //! Huffman expander (Section 5.3); `cdpu-hwsim` reuses [`HuffmanTable`] and
 //! performs the multi-start-position speculation on top of it.
 
-use cdpu_util::bits::{MsbBitReader, MsbBitWriter};
+use cdpu_util::bits::{BitBuf, MsbBitReader, MsbBitWriter};
 
 /// Maximum supported code length (table entries are `1 << max_len`).
 pub const MAX_CODE_LEN: u8 = 15;
@@ -366,16 +366,66 @@ impl HuffmanTable {
         bit_len: usize,
         count: usize,
     ) -> Result<Vec<u8>, HuffmanError> {
-        let mut r = MsbBitReader::new(bytes, bit_len);
         let mut out = Vec::with_capacity(count);
-        for _ in 0..count {
+        self.decode_bytes_into(bytes, bit_len, count, &mut out)?;
+        Ok(out)
+    }
+
+    /// Decodes exactly `count` byte symbols, appending them to `out` — the
+    /// allocation-free form [`HuffmanTable::decode_bytes`] wraps.
+    ///
+    /// Batched: while at least 64 bits remain, symbols are pulled from a
+    /// cached [`BitBuf`] window that is refilled once per ~57 bits instead
+    /// of once per symbol, with the bounds/end-padding checks hoisted out
+    /// of the loop (inside the 64-bit guard every peek is fully inside the
+    /// logical stream, so the only reachable failure is an invalid table
+    /// entry — exactly when [`HuffmanTable::decode_symbol`] fails too).
+    /// The sub-64-bit tail falls back to the per-symbol path, keeping
+    /// output and error behaviour bit-identical to the seed decoder.
+    ///
+    /// # Errors
+    ///
+    /// [`HuffmanError::BadStream`] on truncation or a non-byte symbol.
+    pub fn decode_bytes_into(
+        &self,
+        bytes: &[u8],
+        bit_len: usize,
+        count: usize,
+        out: &mut Vec<u8>,
+    ) -> Result<(), HuffmanError> {
+        out.reserve(count);
+        let max_len = self.max_len as u32;
+        let mut buf = BitBuf::new(bytes, bit_len);
+        let mut decoded = 0usize;
+        let mut refills = 0u64;
+        while decoded < count && buf.remaining() >= 64 {
+            buf.refill();
+            refills += 1;
+            while decoded < count && buf.valid() >= max_len {
+                let peek = buf.peek(max_len);
+                let (sym, len) = self.decode[peek as usize];
+                if len == 0 || sym > 255 {
+                    return Err(HuffmanError::BadStream);
+                }
+                buf.consume(len as u32);
+                out.push(sym as u8);
+                decoded += 1;
+            }
+        }
+        if cdpu_telemetry::enabled() {
+            cdpu_telemetry::counter!("decode.refills").add(refills);
+        }
+        let mut r = MsbBitReader::new(bytes, bit_len);
+        r.seek(buf.position());
+        while decoded < count {
             let sym = self.decode_symbol(&mut r)?;
             if sym > 255 {
                 return Err(HuffmanError::BadStream);
             }
             out.push(sym as u8);
+            decoded += 1;
         }
-        Ok(out)
+        Ok(())
     }
 }
 
@@ -483,6 +533,55 @@ mod tests {
         let (bytes, bits) = t.encode_bytes(data).unwrap();
         assert!(bytes.len() < data.len(), "entropy coding should shrink text");
         assert_eq!(t.decode_bytes(&bytes, bits, data.len()).unwrap(), data);
+    }
+
+    /// Per-symbol reference decode: the seed `decode_bytes` loop.
+    fn decode_bytes_per_symbol(
+        t: &HuffmanTable,
+        bytes: &[u8],
+        bit_len: usize,
+        count: usize,
+    ) -> Result<Vec<u8>, HuffmanError> {
+        let mut r = MsbBitReader::new(bytes, bit_len);
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            let sym = t.decode_symbol(&mut r)?;
+            if sym > 255 {
+                return Err(HuffmanError::BadStream);
+            }
+            out.push(sym as u8);
+        }
+        Ok(out)
+    }
+
+    #[test]
+    fn batched_decode_matches_per_symbol() {
+        let mut rng = Xoshiro256::seed_from(91);
+        for trial in 0..40 {
+            // Skewed alphabets produce long and short codes in one stream.
+            let alphabet = rng.index(200) + 2;
+            let len = rng.index(3000) + 1;
+            let data: Vec<u8> = (0..len).map(|_| rng.index(alphabet) as u8).collect();
+            let t = HuffmanTable::from_frequencies(&freq_of(&data)).unwrap();
+            let (bytes, bits) = t.encode_bytes(&data).unwrap();
+            assert_eq!(
+                t.decode_bytes(&bytes, bits, len).unwrap(),
+                decode_bytes_per_symbol(&t, &bytes, bits, len).unwrap(),
+                "trial {trial}"
+            );
+            // Over-reading and truncation must fail identically.
+            assert_eq!(
+                t.decode_bytes(&bytes, bits, len + 1),
+                decode_bytes_per_symbol(&t, &bytes, bits, len + 1),
+                "trial {trial} over-read"
+            );
+            let cut = rng.index(bits.max(1));
+            assert_eq!(
+                t.decode_bytes(&bytes, cut, len),
+                decode_bytes_per_symbol(&t, &bytes, cut, len),
+                "trial {trial} truncated to {cut} bits"
+            );
+        }
     }
 
     #[test]

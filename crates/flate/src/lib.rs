@@ -26,12 +26,13 @@
 
 use cdpu_entropy::huffman::{HuffmanError, HuffmanTable};
 use cdpu_lz77::matcher::{ChainConfig, HashChainMatcher};
-use cdpu_lz77::window::apply_copy;
+use cdpu_lz77::window::{apply_copy, DecoderScratch};
 use cdpu_lz77::{Parse, Seq};
 use cdpu_util::bits::{MsbBitReader, MsbBitWriter};
 use cdpu_util::varint;
 
 pub mod codes;
+pub mod reference;
 
 /// Frame magic (`CDPF`): deliberately distinct from gzip/zlib headers.
 pub const MAGIC: [u8; 4] = *b"CDPF";
@@ -430,6 +431,29 @@ fn decode_huff_block(
 /// Any [`FlateError`]: malformed framing, Huffman corruption, bad
 /// distances, or length mismatches.
 pub fn decompress(frame: &[u8]) -> Result<Vec<u8>, FlateError> {
+    let mut out = Vec::new();
+    decompress_impl(frame, &mut out)?;
+    Ok(out)
+}
+
+/// Decompresses into caller-provided scratch buffers, so steady-state
+/// decode allocates nothing once the scratch has warmed up. Output bytes
+/// and error behaviour are identical to [`decompress`]; the returned slice
+/// borrows the scratch and is valid until its next use.
+///
+/// # Errors
+///
+/// Any [`FlateError`], identically to [`decompress`].
+pub fn decompress_into<'a>(
+    frame: &[u8],
+    scratch: &'a mut DecoderScratch,
+) -> Result<&'a [u8], FlateError> {
+    let (out, _, _) = scratch.buffers();
+    decompress_impl(frame, out)?;
+    Ok(out)
+}
+
+fn decompress_impl(frame: &[u8], out: &mut Vec<u8>) -> Result<(), FlateError> {
     if frame.len() < 5 || frame[..4] != MAGIC {
         return Err(FlateError::BadMagic);
     }
@@ -444,7 +468,7 @@ pub fn decompress(frame: &[u8]) -> Result<Vec<u8>, FlateError> {
 
     // Reserve conservatively: the declared size is untrusted input, so cap
     // the up-front allocation and let the vector grow if the data is real.
-    let mut out = Vec::with_capacity((expected as usize).min(MAX_BLOCK_SIZE));
+    out.reserve((expected as usize).min(MAX_BLOCK_SIZE));
     let mut saw_last = false;
     while !saw_last {
         if pos >= frame.len() {
@@ -477,7 +501,7 @@ pub fn decompress(frame: &[u8]) -> Result<Vec<u8>, FlateError> {
                     return Err(FlateError::Truncated);
                 }
                 let before = out.len();
-                decode_huff_block(&frame[pos..pos + payload_len], &mut out, window, block_len)?;
+                decode_huff_block(&frame[pos..pos + payload_len], out, window, block_len)?;
                 if out.len() - before != block_len {
                     return Err(FlateError::BadBlock("block length mismatch"));
                 }
@@ -498,7 +522,7 @@ pub fn decompress(frame: &[u8]) -> Result<Vec<u8>, FlateError> {
             actual: out.len() as u64,
         });
     }
-    Ok(out)
+    Ok(())
 }
 
 /// Compression ratio at a level.

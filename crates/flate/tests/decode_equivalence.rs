@@ -1,0 +1,86 @@
+//! Pins the fast Flate-class decoder to the retained seed decoder:
+//! identical output bytes on every valid frame, identical error variants
+//! on every hostile one, and `decompress_into` bit-identical to
+//! `decompress`.
+
+use cdpu_corpus::CorpusKind;
+use cdpu_flate::{compress_with, decompress, decompress_into, reference, FlateConfig};
+use cdpu_lz77::window::DecoderScratch;
+use cdpu_util::rng::Xoshiro256;
+
+const KINDS: &[CorpusKind] = &[
+    CorpusKind::Runs,
+    CorpusKind::JsonLogs,
+    CorpusKind::MarkovText,
+    CorpusKind::DbPages,
+    CorpusKind::ProtoRecords,
+    CorpusKind::Base64,
+    CorpusKind::Random,
+];
+
+fn frames(seed: u64) -> Vec<(Vec<u8>, Vec<u8>)> {
+    let mut out = Vec::new();
+    for (i, &kind) in KINDS.iter().enumerate() {
+        for (len, level) in [(0usize, 6), (1, 6), (300, 1), (5_000, 6), (40_000, 9), (300_000, 6)]
+        {
+            let data = cdpu_corpus::generate(kind, len, seed + i as u64);
+            let frame = compress_with(&data, &FlateConfig::with_level(level));
+            out.push((data, frame));
+        }
+    }
+    out
+}
+
+#[test]
+fn fast_decoder_matches_reference_on_roundtrips() {
+    let mut scratch = DecoderScratch::new();
+    for (data, frame) in frames(61) {
+        let fast = decompress(&frame).expect("valid frame");
+        let slow = reference::decompress(&frame).expect("valid frame");
+        assert_eq!(fast, slow);
+        assert_eq!(fast, data);
+        let into = decompress_into(&frame, &mut scratch).expect("valid frame");
+        assert_eq!(into, &data[..]);
+    }
+}
+
+#[test]
+fn truncation_parity_with_reference() {
+    let mut rng = Xoshiro256::seed_from(62);
+    for (_, frame) in frames(63).into_iter().step_by(4) {
+        for _ in 0..25 {
+            let cut = rng.index(frame.len());
+            assert_eq!(
+                decompress(&frame[..cut]),
+                reference::decompress(&frame[..cut]),
+                "cut {cut} of {}",
+                frame.len()
+            );
+        }
+    }
+}
+
+#[test]
+fn bitflip_parity_with_reference() {
+    let mut rng = Xoshiro256::seed_from(64);
+    for (_, frame) in frames(65).into_iter().step_by(6) {
+        for _ in 0..40 {
+            let mut bad = frame.clone();
+            let i = rng.index(bad.len());
+            bad[i] ^= 1 << rng.index(8);
+            assert_eq!(decompress(&bad), reference::decompress(&bad), "flip at {i}");
+        }
+    }
+}
+
+#[test]
+fn scratch_reuse_is_bit_identical() {
+    let pairs: Vec<_> = frames(66).into_iter().step_by(5).collect();
+    let mut scratch = DecoderScratch::new();
+    for pass in 0..2 {
+        for (data, frame) in &pairs {
+            let got = decompress_into(frame, &mut scratch).expect("valid frame");
+            assert_eq!(got, &data[..], "pass {pass}");
+        }
+    }
+}

@@ -77,7 +77,13 @@ impl CallProfile {
 pub fn profile_snappy(data: &[u8]) -> CallProfile {
     let cfg = MatcherConfig::snappy_sw();
     let parse = cdpu_snappy::parse_with(data, &cfg);
-    let compressed = cdpu_snappy::compress_parse(data, &parse).len() as u64;
+    let stream = cdpu_snappy::compress_parse(data, &parse);
+    if cdpu_telemetry::enabled() {
+        verify_decode(data, &stream, |bytes, scratch| {
+            cdpu_snappy::decompress_into(bytes, scratch).map_err(|e| e.to_string())
+        });
+    }
+    let compressed = stream.len() as u64;
     let mut p = CallProfile {
         uncompressed: data.len() as u64,
         compressed,
@@ -98,6 +104,11 @@ pub fn profile_zstd(data: &[u8], level: i32, window_log: Option<u32>) -> CallPro
     }
     let parse = cdpu_zstd::parse_with(data, &cfg);
     let (compressed, stats) = cdpu_zstd::compress_parse_with_stats(data, &parse, &cfg);
+    if cdpu_telemetry::enabled() {
+        verify_decode(data, &compressed, |bytes, scratch| {
+            cdpu_zstd::decompress_into(bytes, scratch).map_err(|e| e.to_string())
+        });
+    }
     let mut p = CallProfile {
         uncompressed: data.len() as u64,
         compressed: compressed.len() as u64,
@@ -122,7 +133,13 @@ pub fn profile_zstd(data: &[u8], level: i32, window_log: Option<u32>) -> CallPro
 pub fn profile_flate(data: &[u8], level: u32) -> CallProfile {
     let cfg = cdpu_flate::FlateConfig::with_level(level.clamp(1, 9));
     let parse = cdpu_flate::parse_with(data, &cfg);
-    let compressed = cdpu_flate::compress_parse(data, &parse, &cfg).len() as u64;
+    let stream = cdpu_flate::compress_parse(data, &parse, &cfg);
+    if cdpu_telemetry::enabled() {
+        verify_decode(data, &stream, |bytes, scratch| {
+            cdpu_flate::decompress_into(bytes, scratch).map_err(|e| e.to_string())
+        });
+    }
+    let compressed = stream.len() as u64;
     let blocks = data.len().div_ceil(cdpu_flate::MAX_BLOCK_SIZE).max(1) as u64;
     let mut p = CallProfile {
         uncompressed: data.len() as u64,
@@ -133,6 +150,33 @@ pub fn profile_flate(data: &[u8], level: u32) -> CallProfile {
     };
     p.accumulate_parse(&parse);
     p
+}
+
+/// Instrumented-run decompression check: decodes the stream a profiler
+/// just produced through the codec's zero-alloc `decompress_into` path
+/// (thread-local scratch) and verifies it reproduces the input. Runs only
+/// when telemetry is enabled, so canonical figure/serve runs are
+/// untouched; its cost shows up in the `decode.*` counters the
+/// instrumented bench pass reports.
+///
+/// # Panics
+///
+/// Panics if the round trip fails — that is a codec bug, never an input
+/// problem.
+fn verify_decode<F>(data: &[u8], stream: &[u8], decode: F)
+where
+    F: for<'a> FnOnce(
+        &[u8],
+        &'a mut cdpu_lz77::window::DecoderScratch,
+    ) -> Result<&'a [u8], String>,
+{
+    use cdpu_telemetry::counter;
+    cdpu_lz77::window::with_tls_decoder_scratch(|scratch| {
+        let out = decode(stream, scratch).unwrap_or_else(|e| panic!("roundtrip decode: {e}"));
+        assert!(out == data, "decompressed output diverges from input");
+    });
+    counter!("decode.verify.calls").incr();
+    counter!("decode.verify.bytes").add(data.len() as u64);
 }
 
 #[cfg(test)]

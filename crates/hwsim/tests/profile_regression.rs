@@ -163,3 +163,24 @@ fn codec_compress_parse_is_bit_identical_to_compress() {
         );
     }
 }
+
+#[test]
+fn instrumented_profiling_verifies_decompression() {
+    // With telemetry on, every profiler round-trips its compressed stream
+    // through the codec's zero-alloc decoder and counts the verification.
+    cdpu_telemetry::enable();
+    let calls_before = cdpu_telemetry::counter!("decode.verify.calls").get();
+    let bytes_before = cdpu_telemetry::counter!("decode.verify.bytes").get();
+    let mut total = 0u64;
+    for data in corpus() {
+        profile_snappy(&data);
+        profile_zstd(&data, 3, None);
+        profile_flate(&data, 6);
+        total += 3 * data.len() as u64;
+    }
+    let calls = cdpu_telemetry::counter!("decode.verify.calls").get() - calls_before;
+    let bytes = cdpu_telemetry::counter!("decode.verify.bytes").get() - bytes_before;
+    // Other tests may also verify concurrently: assert floors, not equality.
+    assert!(calls >= 3 * corpus().len() as u64, "verify calls {calls}");
+    assert!(bytes >= total, "verify bytes {bytes} < {total}");
+}

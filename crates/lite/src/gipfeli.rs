@@ -18,12 +18,15 @@
 //! literal bitstream.
 
 use cdpu_lz77::matcher::{HashTableMatcher, MatcherConfig};
-use cdpu_lz77::window::apply_copy;
+use cdpu_lz77::window::{apply_copy, DecoderScratch};
 use cdpu_util::bits::{MsbBitReader, MsbBitWriter};
 use cdpu_util::varint;
 
 /// Number of short-coded frequent symbols.
 pub const FREQUENT: usize = 32;
+
+/// Maximum offset the 16-bit long-match field expresses.
+pub const MAX_OFFSET: u32 = 65535;
 
 /// Errors from Gipfeli-class decompression.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -61,7 +64,11 @@ impl std::error::Error for GipfeliError {}
 /// Compresses with Gipfeli's fixed parameters (64 KiB window, no levels —
 /// Section 2.2).
 pub fn compress(data: &[u8]) -> Vec<u8> {
-    let parse = HashTableMatcher::new(MatcherConfig::snappy_sw()).parse(data);
+    let mut parse = HashTableMatcher::new(MatcherConfig::snappy_sw()).parse(data);
+    // The matcher's 64 KiB window admits offsets up to 65536, one past
+    // what the 16-bit field expresses; demote boundary matches to
+    // literals rather than truncating the offset on encode.
+    parse.fold_matches_beyond(MAX_OFFSET);
     let literals = parse.literal_bytes(data);
 
     // Rank the literal alphabet; the top 32 get short codes.
@@ -164,6 +171,29 @@ fn check_room(out: &[u8], add: u64, expected: u64) -> Result<(), GipfeliError> {
 ///
 /// Any [`GipfeliError`].
 pub fn decompress(input: &[u8]) -> Result<Vec<u8>, GipfeliError> {
+    let mut out = Vec::new();
+    decompress_impl(input, &mut out)?;
+    Ok(out)
+}
+
+/// Decompresses into caller-provided scratch buffers, so steady-state
+/// decode allocates nothing once the scratch has warmed up. Output bytes
+/// and error behaviour are identical to [`decompress`]; the returned slice
+/// borrows the scratch and is valid until its next use.
+///
+/// # Errors
+///
+/// Any [`GipfeliError`], identically to [`decompress`].
+pub fn decompress_into<'a>(
+    input: &[u8],
+    scratch: &'a mut DecoderScratch,
+) -> Result<&'a [u8], GipfeliError> {
+    let (out, _, _) = scratch.buffers();
+    decompress_impl(input, out)?;
+    Ok(out)
+}
+
+fn decompress_impl(input: &[u8], out: &mut Vec<u8>) -> Result<(), GipfeliError> {
     let (expected, mut pos) = varint::read_u64(input).map_err(|_| GipfeliError::BadHeader)?;
     if pos + FREQUENT > input.len() {
         return Err(GipfeliError::Truncated);
@@ -200,7 +230,7 @@ pub fn decompress(input: &[u8]) -> Result<Vec<u8>, GipfeliError> {
 
     // Reserve conservatively: the declared size is untrusted input, so cap
     // the up-front allocation and let the vector grow if the data is real.
-    let mut out = Vec::with_capacity((expected as usize).min(1 << 20));
+    out.reserve((expected as usize).min(1 << 20));
     let mut op_pos = 0usize;
     while op_pos < ops.len() {
         let token = ops[op_pos];
@@ -215,7 +245,7 @@ pub fn decompress(input: &[u8]) -> Result<Vec<u8>, GipfeliError> {
                 v += ext;
             }
             for _ in 0..=v {
-                read_literal(&mut out)?;
+                read_literal(out)?;
             }
         } else if token & 0x40 == 0 {
             // Short match: 3-bit length, 11-bit offset.
@@ -225,8 +255,8 @@ pub fn decompress(input: &[u8]) -> Result<Vec<u8>, GipfeliError> {
             let len = 4 + ((token >> 3) & 0x7) as u32;
             let offset = (((token & 0x7) as u32) << 8) | ops[op_pos] as u32;
             op_pos += 1;
-            check_room(&out, len as u64, expected)?;
-            apply_copy(&mut out, offset, len).map_err(|_| GipfeliError::BadOffset)?;
+            check_room(out, len as u64, expected)?;
+            apply_copy(out, offset, len).map_err(|_| GipfeliError::BadOffset)?;
         } else {
             // Long match: 6-bit length (varint-extended), 16-bit offset.
             let mut v = (token & 0x3F) as u64;
@@ -241,8 +271,8 @@ pub fn decompress(input: &[u8]) -> Result<Vec<u8>, GipfeliError> {
             }
             let offset = u16::from_le_bytes([ops[op_pos], ops[op_pos + 1]]) as u32;
             op_pos += 2;
-            check_room(&out, v + 4, expected)?;
-            apply_copy(&mut out, offset, v as u32 + 4).map_err(|_| GipfeliError::BadOffset)?;
+            check_room(out, v + 4, expected)?;
+            apply_copy(out, offset, v as u32 + 4).map_err(|_| GipfeliError::BadOffset)?;
         }
         if out.len() as u64 > expected {
             return Err(GipfeliError::LengthMismatch {
@@ -257,7 +287,7 @@ pub fn decompress(input: &[u8]) -> Result<Vec<u8>, GipfeliError> {
             actual: out.len() as u64,
         });
     }
-    Ok(out)
+    Ok(())
 }
 
 #[cfg(test)]

@@ -17,6 +17,7 @@
 
 pub mod gipfeli;
 pub mod lzo;
+pub mod reference;
 
 #[cfg(test)]
 mod tests {

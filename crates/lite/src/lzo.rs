@@ -15,7 +15,7 @@
 
 use cdpu_lz77::hash::HashFn;
 use cdpu_lz77::matcher::{HashTableMatcher, MatcherConfig};
-use cdpu_lz77::window::apply_copy;
+use cdpu_lz77::window::{apply_copy, DecoderScratch};
 use cdpu_util::varint;
 
 /// Maximum offset the 16-bit field expresses (also the window size).
@@ -79,7 +79,11 @@ pub fn compress(data: &[u8]) -> Vec<u8> {
 /// Panics for levels outside 1..=9.
 pub fn compress_with_level(data: &[u8], level: u32) -> Vec<u8> {
     assert!((1..=9).contains(&level), "lzo levels are 1..=9");
-    let parse = HashTableMatcher::new(matcher_for_level(level)).parse(data);
+    let mut parse = HashTableMatcher::new(matcher_for_level(level)).parse(data);
+    // The matcher's 64 KiB window admits offsets up to 65536, one past
+    // what the 16-bit field expresses; demote boundary matches to
+    // literals rather than truncating the offset on encode.
+    parse.fold_matches_beyond(MAX_OFFSET);
     let mut out = Vec::with_capacity(data.len() / 2 + 16);
     varint::write_u64(&mut out, data.len() as u64);
     let mut pos = 0usize;
@@ -133,10 +137,33 @@ fn emit_match(out: &mut Vec<u8>, offset: u32, len: u32) {
 ///
 /// Any [`LzoError`].
 pub fn decompress(input: &[u8]) -> Result<Vec<u8>, LzoError> {
+    let mut out = Vec::new();
+    decompress_impl(input, &mut out)?;
+    Ok(out)
+}
+
+/// Decompresses into caller-provided scratch buffers, so steady-state
+/// decode allocates nothing once the scratch has warmed up. Output bytes
+/// and error behaviour are identical to [`decompress`]; the returned slice
+/// borrows the scratch and is valid until its next use.
+///
+/// # Errors
+///
+/// Any [`LzoError`], identically to [`decompress`].
+pub fn decompress_into<'a>(
+    input: &[u8],
+    scratch: &'a mut DecoderScratch,
+) -> Result<&'a [u8], LzoError> {
+    let (out, _, _) = scratch.buffers();
+    decompress_impl(input, out)?;
+    Ok(out)
+}
+
+fn decompress_impl(input: &[u8], out: &mut Vec<u8>) -> Result<(), LzoError> {
     let (expected, mut pos) = varint::read_u64(input).map_err(|_| LzoError::BadPreamble)?;
     // Reserve conservatively: the declared size is untrusted input, so cap
     // the up-front allocation and let the vector grow if the data is real.
-    let mut out = Vec::with_capacity((expected as usize).min(1 << 20));
+    out.reserve((expected as usize).min(1 << 20));
     while pos < input.len() {
         let token = input[pos];
         pos += 1;
@@ -163,7 +190,7 @@ pub fn decompress(input: &[u8]) -> Result<Vec<u8>, LzoError> {
             let len = 4 + ((token >> 3) & 0x7) as u32;
             let offset = (((token & 0x7) as u32) << 8) | input[pos] as u32;
             pos += 1;
-            apply_copy(&mut out, offset, len).map_err(|_| LzoError::BadOffset)?;
+            apply_copy(out, offset, len).map_err(|_| LzoError::BadOffset)?;
         } else {
             // Long match: 6-bit length (varint-extended), 16-bit offset.
             let mut n = (token & 0x3F) as u64;
@@ -186,7 +213,7 @@ pub fn decompress(input: &[u8]) -> Result<Vec<u8>, LzoError> {
                     actual: out.len() as u64 + n + 4,
                 });
             }
-            apply_copy(&mut out, offset, n as u32 + 4).map_err(|_| LzoError::BadOffset)?;
+            apply_copy(out, offset, n as u32 + 4).map_err(|_| LzoError::BadOffset)?;
         }
         if out.len() as u64 > expected {
             return Err(LzoError::LengthMismatch {
@@ -201,7 +228,7 @@ pub fn decompress(input: &[u8]) -> Result<Vec<u8>, LzoError> {
             actual: out.len() as u64,
         });
     }
-    Ok(out)
+    Ok(())
 }
 
 #[cfg(test)]

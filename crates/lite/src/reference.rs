@@ -1,0 +1,216 @@
+//! Retained seed decoders, kept as executable specifications.
+//!
+//! [`lzo::decompress`] and [`gipfeli::decompress`] here are the original
+//! allocate-per-call token-loop decoders with byte-at-a-time copies via
+//! [`cdpu_lz77::reference::apply_copy`]. The optimized crate decoders
+//! must produce the **identical** output bytes and error variants on
+//! every input — the `decode_equivalence` test suite asserts exactly
+//! that across random roundtrips and hostile streams, and
+//! `bench --dekernels` times these decoders as the speedup baseline.
+//!
+//! Not for production use: they run slower than the fast paths and
+//! allocate a fresh output vector for every call.
+
+/// Seed LZO-class decoder.
+pub mod lzo {
+    use cdpu_lz77::reference::apply_copy;
+    use cdpu_util::varint;
+
+    use crate::lzo::LzoError;
+
+    /// The original (seed) LZO-class decoder.
+    ///
+    /// # Errors
+    ///
+    /// Any [`LzoError`], identically to [`crate::lzo::decompress`].
+    pub fn decompress(input: &[u8]) -> Result<Vec<u8>, LzoError> {
+        let (expected, mut pos) = varint::read_u64(input).map_err(|_| LzoError::BadPreamble)?;
+        let mut out = Vec::with_capacity((expected as usize).min(1 << 20));
+        while pos < input.len() {
+            let token = input[pos];
+            pos += 1;
+            if token & 0x80 == 0 {
+                // Literal run, varint-extended count.
+                let mut n = (token & 0x7F) as u64;
+                if n == 0x7F {
+                    let (ext, used) =
+                        varint::read_u64(&input[pos..]).map_err(|_| LzoError::Truncated)?;
+                    pos += used;
+                    n += ext;
+                }
+                let len = n as usize + 1;
+                if pos + len > input.len() {
+                    return Err(LzoError::Truncated);
+                }
+                out.extend_from_slice(&input[pos..pos + len]);
+                pos += len;
+            } else if token & 0x40 == 0 {
+                // Short match: 3-bit length, 11-bit offset.
+                if pos + 1 > input.len() {
+                    return Err(LzoError::Truncated);
+                }
+                let len = 4 + ((token >> 3) & 0x7) as u32;
+                let offset = (((token & 0x7) as u32) << 8) | input[pos] as u32;
+                pos += 1;
+                apply_copy(&mut out, offset, len).map_err(|_| LzoError::BadOffset)?;
+            } else {
+                // Long match: 6-bit length (varint-extended), 16-bit offset.
+                let mut n = (token & 0x3F) as u64;
+                if n == 0x3F {
+                    let (ext, used) =
+                        varint::read_u64(&input[pos..]).map_err(|_| LzoError::Truncated)?;
+                    pos += used;
+                    n += ext;
+                }
+                if pos + 2 > input.len() {
+                    return Err(LzoError::Truncated);
+                }
+                let offset = u16::from_le_bytes([input[pos], input[pos + 1]]) as u32;
+                pos += 2;
+                // Guard before copying: a hostile length must not balloon
+                // the output past the declared size.
+                if n + 4 > expected.saturating_sub(out.len() as u64) {
+                    return Err(LzoError::LengthMismatch {
+                        expected,
+                        actual: out.len() as u64 + n + 4,
+                    });
+                }
+                apply_copy(&mut out, offset, n as u32 + 4).map_err(|_| LzoError::BadOffset)?;
+            }
+            if out.len() as u64 > expected {
+                return Err(LzoError::LengthMismatch {
+                    expected,
+                    actual: out.len() as u64,
+                });
+            }
+        }
+        if out.len() as u64 != expected {
+            return Err(LzoError::LengthMismatch {
+                expected,
+                actual: out.len() as u64,
+            });
+        }
+        Ok(out)
+    }
+}
+
+/// Seed Gipfeli-class decoder.
+pub mod gipfeli {
+    use cdpu_lz77::reference::apply_copy;
+    use cdpu_util::bits::MsbBitReader;
+    use cdpu_util::varint;
+
+    use crate::gipfeli::{GipfeliError, FREQUENT};
+
+    fn check_room(out: &[u8], add: u64, expected: u64) -> Result<(), GipfeliError> {
+        if add > expected.saturating_sub(out.len() as u64) {
+            return Err(GipfeliError::LengthMismatch {
+                expected,
+                actual: out.len() as u64 + add,
+            });
+        }
+        Ok(())
+    }
+
+    /// The original (seed) Gipfeli-class decoder.
+    ///
+    /// # Errors
+    ///
+    /// Any [`GipfeliError`], identically to [`crate::gipfeli::decompress`].
+    pub fn decompress(input: &[u8]) -> Result<Vec<u8>, GipfeliError> {
+        let (expected, mut pos) =
+            varint::read_u64(input).map_err(|_| GipfeliError::BadHeader)?;
+        if pos + FREQUENT > input.len() {
+            return Err(GipfeliError::Truncated);
+        }
+        let table: [u8; FREQUENT] = input[pos..pos + FREQUENT].try_into().expect("sized");
+        pos += FREQUENT;
+        let (ops_len, n) = varint::read_u64(&input[pos..]).map_err(|_| GipfeliError::BadHeader)?;
+        pos += n;
+        let ops_len = ops_len as usize;
+        if pos + ops_len > input.len() {
+            return Err(GipfeliError::Truncated);
+        }
+        let ops = &input[pos..pos + ops_len];
+        pos += ops_len;
+        let (bit_len, n) = varint::read_u64(&input[pos..]).map_err(|_| GipfeliError::BadHeader)?;
+        pos += n;
+        let bit_bytes = (bit_len as usize).div_ceil(8);
+        if pos + bit_bytes > input.len() {
+            return Err(GipfeliError::Truncated);
+        }
+        let mut bits = MsbBitReader::new(&input[pos..pos + bit_bytes], bit_len as usize);
+
+        let mut read_literal = |out: &mut Vec<u8>| -> Result<(), GipfeliError> {
+            let flag = bits.read_bits(1).map_err(|_| GipfeliError::Truncated)?;
+            let b = if flag == 0 {
+                let idx = bits.read_bits(5).map_err(|_| GipfeliError::Truncated)? as usize;
+                table[idx]
+            } else {
+                bits.read_bits(8).map_err(|_| GipfeliError::Truncated)? as u8
+            };
+            out.push(b);
+            Ok(())
+        };
+
+        let mut out = Vec::with_capacity((expected as usize).min(1 << 20));
+        let mut op_pos = 0usize;
+        while op_pos < ops.len() {
+            let token = ops[op_pos];
+            op_pos += 1;
+            if token & 0x80 == 0 {
+                // Literal count, varint-extended.
+                let mut v = (token & 0x7F) as u64;
+                if v == 0x7F {
+                    let (ext, used) =
+                        varint::read_u64(&ops[op_pos..]).map_err(|_| GipfeliError::Truncated)?;
+                    op_pos += used;
+                    v += ext;
+                }
+                for _ in 0..=v {
+                    read_literal(&mut out)?;
+                }
+            } else if token & 0x40 == 0 {
+                // Short match: 3-bit length, 11-bit offset.
+                if op_pos + 1 > ops.len() {
+                    return Err(GipfeliError::Truncated);
+                }
+                let len = 4 + ((token >> 3) & 0x7) as u32;
+                let offset = (((token & 0x7) as u32) << 8) | ops[op_pos] as u32;
+                op_pos += 1;
+                check_room(&out, len as u64, expected)?;
+                apply_copy(&mut out, offset, len).map_err(|_| GipfeliError::BadOffset)?;
+            } else {
+                // Long match: 6-bit length (varint-extended), 16-bit offset.
+                let mut v = (token & 0x3F) as u64;
+                if v == 0x3F {
+                    let (ext, used) =
+                        varint::read_u64(&ops[op_pos..]).map_err(|_| GipfeliError::Truncated)?;
+                    op_pos += used;
+                    v += ext;
+                }
+                if op_pos + 2 > ops.len() {
+                    return Err(GipfeliError::Truncated);
+                }
+                let offset = u16::from_le_bytes([ops[op_pos], ops[op_pos + 1]]) as u32;
+                op_pos += 2;
+                check_room(&out, v + 4, expected)?;
+                apply_copy(&mut out, offset, v as u32 + 4)
+                    .map_err(|_| GipfeliError::BadOffset)?;
+            }
+            if out.len() as u64 > expected {
+                return Err(GipfeliError::LengthMismatch {
+                    expected,
+                    actual: out.len() as u64,
+                });
+            }
+        }
+        if out.len() as u64 != expected {
+            return Err(GipfeliError::LengthMismatch {
+                expected,
+                actual: out.len() as u64,
+            });
+        }
+        Ok(out)
+    }
+}

@@ -1,0 +1,156 @@
+//! Pins the fast LZO-class and Gipfeli-class decoders to the retained
+//! seed decoders: identical output bytes on every valid stream, identical
+//! error variants on every hostile one, and `decompress_into`
+//! bit-identical to `decompress`.
+
+use cdpu_corpus::CorpusKind;
+use cdpu_lite::lzo::LzoError;
+use cdpu_lite::{gipfeli, lzo, reference};
+use cdpu_lz77::window::DecoderScratch;
+use cdpu_util::rng::Xoshiro256;
+
+const KINDS: &[CorpusKind] = &[
+    CorpusKind::Runs,
+    CorpusKind::JsonLogs,
+    CorpusKind::MarkovText,
+    CorpusKind::DbPages,
+    CorpusKind::ProtoRecords,
+    CorpusKind::Base64,
+    CorpusKind::Random,
+];
+
+fn corpora(seed: u64) -> Vec<Vec<u8>> {
+    let mut out = Vec::new();
+    for (i, &kind) in KINDS.iter().enumerate() {
+        for len in [0usize, 1, 300, 5_000, 120_000] {
+            out.push(cdpu_corpus::generate(kind, len, seed + i as u64));
+        }
+    }
+    out
+}
+
+#[test]
+fn lzo_fast_decoder_matches_reference() {
+    let mut scratch = DecoderScratch::new();
+    for data in corpora(71) {
+        let c = lzo::compress(&data);
+        let fast = lzo::decompress(&c).expect("valid stream");
+        let slow = reference::lzo::decompress(&c).expect("valid stream");
+        assert_eq!(fast, slow);
+        assert_eq!(fast, data);
+        let into = lzo::decompress_into(&c, &mut scratch).expect("valid stream");
+        assert_eq!(into, &data[..]);
+    }
+}
+
+#[test]
+fn gipfeli_fast_decoder_matches_reference() {
+    let mut scratch = DecoderScratch::new();
+    for data in corpora(72) {
+        let c = gipfeli::compress(&data);
+        let fast = gipfeli::decompress(&c).expect("valid stream");
+        let slow = reference::gipfeli::decompress(&c).expect("valid stream");
+        assert_eq!(fast, slow);
+        assert_eq!(fast, data);
+        let into = gipfeli::decompress_into(&c, &mut scratch).expect("valid stream");
+        assert_eq!(into, &data[..]);
+    }
+}
+
+#[test]
+fn lzo_truncation_and_bitflip_parity() {
+    let mut rng = Xoshiro256::seed_from(73);
+    for data in corpora(74).into_iter().step_by(4) {
+        let c = lzo::compress(&data);
+        if c.is_empty() {
+            continue;
+        }
+        for _ in 0..25 {
+            let cut = rng.index(c.len());
+            assert_eq!(
+                lzo::decompress(&c[..cut]),
+                reference::lzo::decompress(&c[..cut]),
+                "cut {cut}"
+            );
+        }
+        for _ in 0..30 {
+            let mut bad = c.clone();
+            let i = rng.index(bad.len());
+            bad[i] ^= 1 << rng.index(8);
+            assert_eq!(
+                lzo::decompress(&bad),
+                reference::lzo::decompress(&bad),
+                "flip at {i}"
+            );
+        }
+    }
+}
+
+#[test]
+fn gipfeli_truncation_and_bitflip_parity() {
+    let mut rng = Xoshiro256::seed_from(75);
+    for data in corpora(76).into_iter().step_by(4) {
+        let c = gipfeli::compress(&data);
+        for _ in 0..25 {
+            let cut = rng.index(c.len());
+            assert_eq!(
+                gipfeli::decompress(&c[..cut]),
+                reference::gipfeli::decompress(&c[..cut]),
+                "cut {cut}"
+            );
+        }
+        for _ in 0..30 {
+            let mut bad = c.clone();
+            let i = rng.index(bad.len());
+            bad[i] ^= 1 << rng.index(8);
+            assert_eq!(
+                gipfeli::decompress(&bad),
+                reference::gipfeli::decompress(&bad),
+                "flip at {i}"
+            );
+        }
+    }
+}
+
+#[test]
+fn window_boundary_offset_roundtrips() {
+    // This corpus makes the matcher emit a match at distance 65536 — the
+    // full window, one past what the 16-bit offset field expresses — for
+    // both the LZO level-3 and the Gipfeli matcher configs. The
+    // compressors must demote such matches to literals; truncating the
+    // offset on encode produced undecodable streams.
+    let data = cdpu_corpus::generate(CorpusKind::DbPages, 300_000, 4);
+    let c = lzo::compress(&data);
+    assert_eq!(lzo::decompress(&c).expect("fast lzo"), data);
+    assert_eq!(reference::lzo::decompress(&c).expect("reference lzo"), data);
+    let g = gipfeli::compress(&data);
+    assert_eq!(gipfeli::decompress(&g).expect("fast gipfeli"), data);
+    assert_eq!(
+        reference::gipfeli::decompress(&g).expect("reference gipfeli"),
+        data
+    );
+}
+
+#[test]
+fn lzo_hostile_streams_same_error_variant() {
+    // Preamble 8, short-match token with offset 9 before any output.
+    let far_offset = [0x08u8, 0x80, 0x09, 0x00];
+    // Preamble 8, short-match token with offset 0.
+    let zero_offset = [0x08u8, 0x80, 0x00, 0x00];
+    // Preamble 4, literal "abcd", long match whose length overruns it.
+    let overrun = [0x04u8, 0x03, b'a', b'b', b'c', b'd', 0xC8, 0x01, 0x00];
+    // Truncated long-match offset.
+    let cut_offset = [0x08u8, 0xC0, 0x01];
+    for hostile in [&far_offset[..], &zero_offset[..], &overrun[..], &cut_offset[..]] {
+        let fast = lzo::decompress(hostile);
+        let slow = reference::lzo::decompress(hostile);
+        assert!(fast.is_err(), "hostile stream accepted: {hostile:?}");
+        assert_eq!(fast, slow, "variant mismatch on {hostile:?}");
+    }
+    assert_eq!(lzo::decompress(&zero_offset).unwrap_err(), LzoError::BadOffset);
+    // The overrun stream must fail on the pre-copy room check, not offset.
+    assert!(matches!(
+        lzo::decompress(&overrun).unwrap_err(),
+        LzoError::LengthMismatch { .. }
+    ));
+}

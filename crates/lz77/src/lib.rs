@@ -77,6 +77,37 @@ impl Parse {
         self.seqs.iter().map(|s| s.match_len as usize).sum()
     }
 
+    /// Demotes every match whose offset exceeds `max_offset` back into
+    /// literals (its bytes join the following literal run).
+    ///
+    /// The matchers accept offsets up to and including their window size
+    /// (`1 << window_log`), but a format whose offset field is exactly
+    /// `window_log` bits wide can only express `window - 1` — the
+    /// boundary match would silently truncate on encode. Codecs with such
+    /// fields call this before emitting. Parses already within bounds are
+    /// returned untouched.
+    pub fn fold_matches_beyond(&mut self, max_offset: u32) {
+        if self.seqs.iter().all(|s| s.offset <= max_offset) {
+            return;
+        }
+        let mut folded: Vec<Seq> = Vec::with_capacity(self.seqs.len());
+        let mut carry = 0u32;
+        for s in &self.seqs {
+            if s.offset > max_offset {
+                carry += s.lit_len + s.match_len;
+            } else {
+                folded.push(Seq {
+                    lit_len: carry + s.lit_len,
+                    match_len: s.match_len,
+                    offset: s.offset,
+                });
+                carry = 0;
+            }
+        }
+        self.last_literals += carry;
+        self.seqs = folded;
+    }
+
     /// Extracts the concatenated literal bytes from the source buffer this
     /// parse was produced from.
     ///
@@ -149,6 +180,37 @@ mod tests {
         assert_eq!(p.total_len(), 14);
         assert_eq!(p.literal_len(), 5);
         assert_eq!(p.matched_len(), 9);
+    }
+
+    #[test]
+    fn fold_matches_beyond_demotes_to_literals() {
+        let mut p = Parse {
+            seqs: vec![
+                Seq { lit_len: 2, match_len: 5, offset: 70_000 },
+                Seq { lit_len: 3, match_len: 4, offset: 10 },
+                Seq { lit_len: 1, match_len: 6, offset: 70_000 },
+            ],
+            last_literals: 2,
+        };
+        let total = p.total_len();
+        p.fold_matches_beyond(65_535);
+        assert_eq!(p.total_len(), total, "folding must not change coverage");
+        assert_eq!(
+            p.seqs,
+            vec![Seq { lit_len: 10, match_len: 4, offset: 10 }]
+        );
+        assert_eq!(p.last_literals, 9);
+    }
+
+    #[test]
+    fn fold_matches_beyond_is_noop_within_bounds() {
+        let mut p = Parse {
+            seqs: vec![Seq { lit_len: 3, match_len: 5, offset: 65_535 }],
+            last_literals: 2,
+        };
+        let before = p.clone();
+        p.fold_matches_beyond(65_535);
+        assert_eq!(p, before);
     }
 
     #[test]

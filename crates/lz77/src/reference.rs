@@ -1,21 +1,44 @@
-//! Retained naive reference match finders.
+//! Retained naive reference match finders and the reference decode copy.
 //!
 //! These are the original byte-at-a-time, allocate-per-call
-//! implementations of [`crate::matcher::HashTableMatcher`] and
-//! [`crate::matcher::HashChainMatcher`], kept as executable
-//! specifications: the optimized matchers (word-at-a-time match
-//! extension, contiguous scratch-backed tables) must produce the
-//! **identical** [`Parse`] — same sequences, offsets and lengths — on
-//! every input. The `equivalence` test suite asserts exactly that across
-//! random and adversarial corpora; any future matcher optimization that
-//! changes an output byte fails there first.
+//! implementations of [`crate::matcher::HashTableMatcher`],
+//! [`crate::matcher::HashChainMatcher`] and
+//! [`crate::window::apply_copy`], kept as executable specifications: the
+//! optimized versions (word-at-a-time match extension, contiguous
+//! scratch-backed tables, wild/region copies) must produce the
+//! **identical** [`Parse`] and output bytes on every input. The
+//! `equivalence` test suites assert exactly that across random and
+//! adversarial corpora; any future optimization that changes an output
+//! byte fails there first.
 //!
 //! Not for production use: these run several times slower than the
-//! optimized matchers and exist only as a comparison oracle.
+//! optimized versions and exist only as a comparison oracle and a
+//! benchmark baseline (`bench --dekernels` times the codecs' `reference`
+//! decoders against the fast paths).
 
 use crate::hash::hash_at;
 use crate::matcher::{ChainConfig, MatcherConfig};
-use crate::{Parse, Seq};
+use crate::{Lz77Error, Parse, Seq};
+
+/// The original byte-sequential sequence copy (the seed
+/// [`crate::window::apply_copy`]): pushes one byte per iteration, which
+/// handles overlap implicitly. Identical output and errors to the
+/// optimized copy; kept as the decode-side oracle.
+pub fn apply_copy(out: &mut Vec<u8>, offset: u32, len: u32) -> Result<(), Lz77Error> {
+    if offset == 0 || offset as usize > out.len() {
+        return Err(Lz77Error::BadOffset {
+            offset,
+            produced: out.len(),
+        });
+    }
+    let start = out.len() - offset as usize;
+    out.reserve(len as usize);
+    for i in 0..len as usize {
+        let b = out[start + i];
+        out.push(b);
+    }
+    Ok(())
+}
 
 /// Byte-at-a-time match extension (the original `match_length`).
 fn match_length(data: &[u8], pos: usize, cand: usize, min_match: usize) -> usize {

@@ -4,16 +4,24 @@
 //! literal)` triplets and produces output by copying from a history window,
 //! falling back to memory when the offset exceeds the on-chip SRAM. This
 //! module provides the functional equivalent: [`reconstruct`] applies a
-//! [`Parse`] against a literal stream, validating every offset; the
-//! byte-granular copy handles the classic overlapping case (`offset <
-//! length`) that RLE-style matches rely on.
+//! [`Parse`] against a literal stream, validating every offset; the copy
+//! handles the classic overlapping case (`offset < length`) that RLE-style
+//! matches rely on by replicating the period region-at-a-time.
+
+use std::cell::RefCell;
 
 use crate::{Lz77Error, Parse, Seq};
 
 /// Applies one copy of `len` bytes from `offset` back onto `out`.
 ///
-/// Overlapping copies replicate already-written bytes (e.g. `offset == 1`
-/// extends a run), which is why the copy is byte-sequential.
+/// Non-overlapping copies (`offset >= len`) are a single wide
+/// `extend_from_within` — the wild-copy fast path every LZ decoder spends
+/// most of its time in. Overlapping copies replicate already-written bytes
+/// (e.g. `offset == 1` extends a run) by doubling the copied region: each
+/// full-region `extend_from_within` keeps the region length a multiple of
+/// `offset`, so the region stays periodic and a final partial copy is
+/// still the exact continuation. Output is byte-identical to the retained
+/// byte-at-a-time [`crate::reference::apply_copy`].
 ///
 /// # Errors
 ///
@@ -25,11 +33,24 @@ pub fn apply_copy(out: &mut Vec<u8>, offset: u32, len: u32) -> Result<(), Lz77Er
             produced: out.len(),
         });
     }
+    let len = len as usize;
     let start = out.len() - offset as usize;
-    out.reserve(len as usize);
-    for i in 0..len as usize {
-        let b = out[start + i];
-        out.push(b);
+    if offset as usize >= len {
+        if cdpu_telemetry::enabled() {
+            cdpu_telemetry::counter!("decode.wild_copies").incr();
+        }
+        out.extend_from_within(start..start + len);
+    } else {
+        if cdpu_telemetry::enabled() {
+            cdpu_telemetry::counter!("decode.overlap_copies").incr();
+        }
+        let mut produced = 0usize;
+        while produced < len {
+            let region = out.len() - start;
+            let take = region.min(len - produced);
+            out.extend_from_within(start..start + take);
+            produced += take;
+        }
     }
     Ok(())
 }
@@ -73,6 +94,67 @@ fn take_literals(
     }
     out.extend_from_slice(&literals[lit_pos..end]);
     Ok(end)
+}
+
+/// Reusable buffers for the decode side, mirroring
+/// [`crate::matcher::MatcherScratch`] on the encode side: one long-lived
+/// instance absorbs the per-call allocations of every codec's
+/// `decompress_into`, so steady-state decode does not touch the allocator.
+///
+/// The three buffers cover the decoder shapes in the workspace: `out` is
+/// the reconstructed output every codec needs; `lits` and `seqs` hold the
+/// per-block literal and sequence staging the ZStd-class decoder otherwise
+/// allocates per block.
+#[derive(Debug, Default)]
+pub struct DecoderScratch {
+    out: Vec<u8>,
+    lits: Vec<u8>,
+    seqs: Vec<Seq>,
+}
+
+impl DecoderScratch {
+    /// Creates an empty scratch (no allocation until first use).
+    pub const fn new() -> Self {
+        DecoderScratch {
+            out: Vec::new(),
+            lits: Vec::new(),
+            seqs: Vec::new(),
+        }
+    }
+
+    /// Clears and hands out the `(output, literals, sequences)` buffers.
+    ///
+    /// Telemetry: counts `decode.scratch.hits` when previously-allocated
+    /// output capacity is being reused, `decode.scratch.misses` on a cold
+    /// buffer.
+    pub fn buffers(&mut self) -> (&mut Vec<u8>, &mut Vec<u8>, &mut Vec<Seq>) {
+        if self.out.capacity() == 0 {
+            cdpu_telemetry::counter!("decode.scratch.misses").incr();
+        } else {
+            cdpu_telemetry::counter!("decode.scratch.hits").incr();
+        }
+        self.out.clear();
+        self.lits.clear();
+        self.seqs.clear();
+        (&mut self.out, &mut self.lits, &mut self.seqs)
+    }
+}
+
+thread_local! {
+    static TLS_DECODER_SCRATCH: RefCell<DecoderScratch> =
+        const { RefCell::new(DecoderScratch::new()) };
+}
+
+/// Runs `f` with this thread's shared [`DecoderScratch`] — the fallback the
+/// codecs' plain `decompress` entries could use when the caller does not
+/// hold a scratch of their own.
+///
+/// # Panics
+///
+/// Panics if called reentrantly from within `f` (the scratch is already
+/// borrowed).
+pub fn with_tls_decoder_scratch<R>(f: impl FnOnce(&mut DecoderScratch) -> R) -> R {
+    TLS_DECODER_SCRATCH.with(|s| f(&mut s.borrow_mut()))
 }
 
 fn check_window(seq: &Seq, max_window: Option<u32>) -> Result<(), Lz77Error> {
@@ -163,5 +245,67 @@ mod tests {
     #[test]
     fn reconstruct_empty() {
         assert_eq!(reconstruct(&Parse::default(), b"", None).unwrap(), b"");
+    }
+
+    #[test]
+    fn copy_matches_reference_on_random_sequences() {
+        use cdpu_util::rng::Xoshiro256;
+        let mut rng = Xoshiro256::seed_from(90);
+        for _trial in 0..200 {
+            let seed_len = rng.index(24) + 1;
+            let mut fast: Vec<u8> = (0..seed_len).map(|_| rng.next_u64() as u8).collect();
+            let mut slow = fast.clone();
+            for _ in 0..rng.index(8) + 1 {
+                // Deliberately include invalid offsets (0 and past-start).
+                let offset = rng.index(fast.len() + 3) as u32;
+                let len = rng.index(300) as u32;
+                let a = apply_copy(&mut fast, offset, len);
+                let b = crate::reference::apply_copy(&mut slow, offset, len);
+                assert_eq!(a, b, "offset {offset} len {len}");
+                assert_eq!(fast, slow, "offset {offset} len {len}");
+            }
+        }
+    }
+
+    #[test]
+    fn copy_small_offset_large_len() {
+        for offset in 1..=12u32 {
+            for len in [0u32, 1, 7, 8, 9, 63, 64, 65, 200] {
+                let mut fast: Vec<u8> = (0..16).map(|i| i as u8 * 3).collect();
+                let mut slow = fast.clone();
+                apply_copy(&mut fast, offset, len).unwrap();
+                crate::reference::apply_copy(&mut slow, offset, len).unwrap();
+                assert_eq!(fast, slow, "offset {offset} len {len}");
+            }
+        }
+    }
+
+    #[test]
+    fn decoder_scratch_hands_out_cleared_buffers() {
+        let mut scratch = DecoderScratch::new();
+        {
+            let (out, lits, seqs) = scratch.buffers();
+            out.extend_from_slice(b"hello");
+            lits.push(1);
+            seqs.push(Seq { lit_len: 1, match_len: 4, offset: 1 });
+        }
+        let (out, lits, seqs) = scratch.buffers();
+        assert!(out.is_empty() && lits.is_empty() && seqs.is_empty());
+        assert!(out.capacity() >= 5, "capacity must survive reuse");
+    }
+
+    #[test]
+    fn tls_decoder_scratch_is_reusable() {
+        let cap = with_tls_decoder_scratch(|s| {
+            let (out, _, _) = s.buffers();
+            out.extend_from_slice(&[0u8; 256]);
+            out.capacity()
+        });
+        let cap2 = with_tls_decoder_scratch(|s| {
+            let (out, _, _) = s.buffers();
+            assert!(out.is_empty());
+            out.capacity()
+        });
+        assert!(cap2 >= cap.min(256));
     }
 }

@@ -26,9 +26,10 @@
 //! ```
 
 pub mod frame;
+pub mod reference;
 
 use cdpu_lz77::matcher::{HashTableMatcher, MatcherConfig};
-use cdpu_lz77::window::apply_copy;
+use cdpu_lz77::window::{apply_copy, DecoderScratch};
 use cdpu_lz77::Parse;
 use cdpu_util::varint;
 
@@ -217,12 +218,44 @@ fn emit_one_copy(out: &mut Vec<u8>, offset: u32, len: u32) {
 /// Any [`SnappyError`]: malformed preamble, truncated elements, invalid
 /// copy offsets, or a final length that disagrees with the preamble.
 pub fn decompress(compressed: &[u8]) -> Result<Vec<u8>, SnappyError> {
+    let mut out = Vec::new();
+    decompress_impl(compressed, &mut out)?;
+    Ok(out)
+}
+
+/// Decompresses a Snappy block into caller-held scratch buffers, so
+/// steady-state decode performs no allocation once the scratch has warmed
+/// up. The returned slice borrows the scratch and is valid until its next
+/// use; output bytes and errors are identical to [`decompress`].
+///
+/// # Errors
+///
+/// Any [`SnappyError`], exactly as [`decompress`] reports them.
+pub fn decompress_into<'a>(
+    compressed: &[u8],
+    scratch: &'a mut DecoderScratch,
+) -> Result<&'a [u8], SnappyError> {
+    let (out, _, _) = scratch.buffers();
+    decompress_impl(compressed, out)?;
+    Ok(out)
+}
+
+fn decompress_impl(compressed: &[u8], out: &mut Vec<u8>) -> Result<(), SnappyError> {
     let (expected, mut pos) =
         varint::read_u32(compressed).map_err(|_| SnappyError::BadPreamble)?;
     let expected = expected as u64;
-    // Reserve conservatively: the declared size is untrusted input, so cap
-    // the up-front allocation and let the vector grow if the data is real.
-    let mut out: Vec<u8> = Vec::with_capacity((expected as usize).min(1 << 20));
+    // The declared size is untrusted input, so cross-check it against what
+    // the element stream could possibly expand to before reserving: the
+    // densest element is a 3-byte type-10 copy producing 64 output bytes,
+    // and literal elements produce at most one output byte per input byte,
+    // so `payload` element bytes can never yield more than
+    // `(payload / 3 + 1) * 64 + payload` output bytes. Reserving
+    // `min(expected, bound)` both avoids the hostile-preamble
+    // overallocation and — unlike the former fixed 1 MiB cap — never
+    // regrows mid-decode for honest streams of any size.
+    let payload = (compressed.len() - pos) as u64;
+    let bound = (payload / 3 + 1) * 64 + payload;
+    out.reserve(expected.min(bound) as usize);
 
     while pos < compressed.len() {
         let tag = compressed[pos];
@@ -257,7 +290,7 @@ pub fn decompress(compressed: &[u8]) -> Result<Vec<u8>, SnappyError> {
                 let len = 4 + ((tag >> 2) & 0b111) as u32;
                 let offset = (((tag >> 5) as u32) << 8) | compressed[pos] as u32;
                 pos += 1;
-                apply_copy(&mut out, offset, len).map_err(|_| SnappyError::BadOffset)?;
+                apply_copy(out, offset, len).map_err(|_| SnappyError::BadOffset)?;
             }
             0b10 => {
                 if pos + 2 > compressed.len() {
@@ -267,7 +300,7 @@ pub fn decompress(compressed: &[u8]) -> Result<Vec<u8>, SnappyError> {
                 let offset =
                     u16::from_le_bytes([compressed[pos], compressed[pos + 1]]) as u32;
                 pos += 2;
-                apply_copy(&mut out, offset, len).map_err(|_| SnappyError::BadOffset)?;
+                apply_copy(out, offset, len).map_err(|_| SnappyError::BadOffset)?;
             }
             _ => {
                 if pos + 4 > compressed.len() {
@@ -281,7 +314,7 @@ pub fn decompress(compressed: &[u8]) -> Result<Vec<u8>, SnappyError> {
                     compressed[pos + 3],
                 ]);
                 pos += 4;
-                apply_copy(&mut out, offset, len).map_err(|_| SnappyError::BadOffset)?;
+                apply_copy(out, offset, len).map_err(|_| SnappyError::BadOffset)?;
             }
         }
         if out.len() as u64 > expected {
@@ -298,7 +331,7 @@ pub fn decompress(compressed: &[u8]) -> Result<Vec<u8>, SnappyError> {
             actual: out.len() as u64,
         });
     }
-    Ok(out)
+    Ok(())
 }
 
 /// Compression ratio achieved on `data` (uncompressed / compressed), the

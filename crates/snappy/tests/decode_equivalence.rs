@@ -1,0 +1,158 @@
+//! Pins the fast Snappy decoder to the retained seed decoder: identical
+//! output bytes on every valid stream, identical error variants on every
+//! hostile one, and `decompress_into` bit-identical to `decompress`.
+
+use cdpu_corpus::CorpusKind;
+use cdpu_lz77::window::DecoderScratch;
+use cdpu_snappy::{compress, decompress, decompress_into, reference, SnappyError};
+use cdpu_util::rng::Xoshiro256;
+
+const KINDS: &[CorpusKind] = &[
+    CorpusKind::Runs,
+    CorpusKind::JsonLogs,
+    CorpusKind::MarkovText,
+    CorpusKind::DbPages,
+    CorpusKind::ProtoRecords,
+    CorpusKind::Base64,
+    CorpusKind::Random,
+];
+
+fn corpora(seed: u64) -> Vec<Vec<u8>> {
+    let mut out = Vec::new();
+    for (i, &kind) in KINDS.iter().enumerate() {
+        for len in [0usize, 1, 7, 300, 5_000, 120_000] {
+            out.push(cdpu_corpus::generate(kind, len, seed + i as u64));
+        }
+    }
+    out
+}
+
+#[test]
+fn fast_decoder_matches_reference_on_roundtrips() {
+    let mut scratch = DecoderScratch::new();
+    for data in corpora(41) {
+        let c = compress(&data);
+        let fast = decompress(&c).expect("valid stream");
+        let slow = reference::decompress(&c).expect("valid stream");
+        assert_eq!(fast, slow);
+        assert_eq!(fast, data);
+        let into = decompress_into(&c, &mut scratch).expect("valid stream");
+        assert_eq!(into, &data[..]);
+    }
+}
+
+#[test]
+fn truncation_parity_with_reference() {
+    let mut rng = Xoshiro256::seed_from(42);
+    for data in corpora(43) {
+        let c = compress(&data);
+        if c.is_empty() {
+            continue;
+        }
+        for _ in 0..30 {
+            let cut = rng.index(c.len());
+            assert_eq!(
+                decompress(&c[..cut]),
+                reference::decompress(&c[..cut]),
+                "cut {cut} of {}",
+                c.len()
+            );
+        }
+    }
+}
+
+#[test]
+fn bitflip_parity_with_reference() {
+    let mut rng = Xoshiro256::seed_from(44);
+    for data in corpora(45).into_iter().step_by(5) {
+        let c = compress(&data);
+        if c.is_empty() {
+            continue;
+        }
+        for _ in 0..40 {
+            let mut bad = c.clone();
+            let i = rng.index(bad.len());
+            bad[i] ^= 1 << rng.index(8);
+            assert_eq!(decompress(&bad), reference::decompress(&bad), "flip at {i}");
+        }
+    }
+}
+
+#[test]
+fn hostile_streams_same_error_variant() {
+    // Preamble declares 8 bytes; copy tag (type-01) with offset 0.
+    let zero_offset = [0x08u8, 0b0000_0001, 0x00];
+    // Copy tag reaching back further than anything produced.
+    let far_offset = [0x08u8, 0b0010_0001, 0x09];
+    // Literal of 4 then a copy whose length overruns the declared size.
+    let overrun = [0x04u8, 0b0000_1100, b'a', b'b', b'c', b'd', 0b0001_1101, 0x01];
+    // Literal longer than the remaining input.
+    let short_literal = [0x20u8, 0b0111_1100, b'x'];
+    // Truncated extended-length literal header.
+    let cut_header = [0x08u8, 0xF0];
+    for hostile in [
+        &zero_offset[..],
+        &far_offset[..],
+        &overrun[..],
+        &short_literal[..],
+        &cut_header[..],
+    ] {
+        let fast = decompress(hostile);
+        let slow = reference::decompress(hostile);
+        assert!(fast.is_err(), "hostile stream accepted: {hostile:?}");
+        assert_eq!(fast, slow, "variant mismatch on {hostile:?}");
+    }
+    assert_eq!(
+        decompress(&zero_offset).unwrap_err(),
+        SnappyError::BadOffset
+    );
+}
+
+#[test]
+fn huge_declared_size_does_not_reserve_unbounded() {
+    // 1 GiB declared in the preamble, 3 bytes of actual input: the decoder
+    // must fail on length mismatch without having tried to reserve the
+    // declared gigabyte (the reserve bound derives from the input length).
+    let mut hostile = Vec::new();
+    cdpu_util::varint::write_u64(&mut hostile, 1 << 30);
+    hostile.push(0x00); // 1-byte literal
+    hostile.push(b'x');
+    let fast = decompress(&hostile);
+    let slow = reference::decompress(&hostile);
+    assert_eq!(fast, slow);
+    assert!(matches!(fast, Err(SnappyError::LengthMismatch { .. })));
+}
+
+#[test]
+fn scratch_reuse_is_bit_identical_and_counted() {
+    cdpu_telemetry::enable();
+    // Empty inputs never warm the scratch (a zero-length decode reserves
+    // nothing), so they stay misses forever — exclude them from the floor.
+    let inputs: Vec<Vec<u8>> = corpora(46)
+        .into_iter()
+        .step_by(3)
+        .filter(|d| !d.is_empty())
+        .collect();
+    let compressed: Vec<Vec<u8>> = inputs.iter().map(|d| compress(d)).collect();
+
+    let hits_before = cdpu_telemetry::counter!("decode.scratch.hits").get();
+    let mut scratch = DecoderScratch::new();
+    // Two passes over every input with one scratch: the second pass must
+    // reuse warmed buffers and still match a fresh decompress exactly.
+    for pass in 0..2 {
+        for (data, c) in inputs.iter().zip(&compressed) {
+            let got = decompress_into(c, &mut scratch).expect("valid stream");
+            assert_eq!(got, &data[..], "pass {pass}");
+            let fresh = decompress(c).expect("valid stream");
+            assert_eq!(got, &fresh[..], "pass {pass}");
+        }
+    }
+    let hits_after = cdpu_telemetry::counter!("decode.scratch.hits").get();
+    // All calls except the very first hit a warmed scratch (other tests
+    // run concurrently, so assert the delta only grows past our floor).
+    assert!(
+        hits_after - hits_before >= (2 * inputs.len() - 1) as u64,
+        "scratch hits {hits_before} -> {hits_after} for {} calls",
+        2 * inputs.len()
+    );
+}

@@ -142,22 +142,49 @@ impl<'a> BitReader<'a> {
     }
 }
 
+/// Loads 8 bytes at `byte_pos` as a little-endian u64; bytes past the end of
+/// the slice read as zero. A 57-bit field at any intra-byte alignment
+/// (shift ≤ 7) fits entirely inside this window: 57 + 7 = 64.
+#[inline(always)]
+fn load_le_window(bytes: &[u8], byte_pos: usize) -> u64 {
+    match bytes.get(byte_pos..byte_pos + 8) {
+        Some(chunk) => u64::from_le_bytes(chunk.try_into().unwrap()),
+        None => {
+            let mut buf = [0u8; 8];
+            if byte_pos < bytes.len() {
+                let tail = &bytes[byte_pos..];
+                buf[..tail.len()].copy_from_slice(tail);
+            }
+            u64::from_le_bytes(buf)
+        }
+    }
+}
+
+/// Big-endian analogue of [`load_le_window`]: byte `byte_pos` lands in the
+/// most significant byte; bytes past the end of the slice read as zero.
+#[inline(always)]
+fn load_be_window(bytes: &[u8], byte_pos: usize) -> u64 {
+    match bytes.get(byte_pos..byte_pos + 8) {
+        Some(chunk) => u64::from_be_bytes(chunk.try_into().unwrap()),
+        None => {
+            let mut buf = [0u8; 8];
+            if byte_pos < bytes.len() {
+                let tail = &bytes[byte_pos..];
+                buf[..tail.len()].copy_from_slice(tail);
+            }
+            u64::from_be_bytes(buf)
+        }
+    }
+}
+
 /// Extracts `nbits` starting at absolute LSB-first bit index `start`.
 fn extract_bits_lsb(bytes: &[u8], start: usize, nbits: u32) -> u64 {
     debug_assert!(nbits <= MAX_FIELD_BITS);
     if nbits == 0 {
         return 0;
     }
-    let first_byte = start / 8;
     let shift = (start % 8) as u32;
-    // Collect up to 9 bytes into a u128 window so any 57-bit field at any
-    // alignment fits.
-    let mut window: u128 = 0;
-    for i in 0..9usize {
-        let b = bytes.get(first_byte + i).copied().unwrap_or(0) as u128;
-        window |= b << (8 * i as u32);
-    }
-    ((window >> shift) as u64) & mask(nbits)
+    (load_le_window(bytes, start / 8) >> shift) & mask(nbits)
 }
 
 fn mask(nbits: u32) -> u64 {
@@ -230,6 +257,27 @@ impl<'a> ReverseBitReader<'a> {
         }
         self.pos -= nbits as usize;
         Ok(extract_bits_lsb(self.bytes, self.pos, nbits))
+    }
+
+    /// Peeks up to 57 of the most recently written bits without consuming
+    /// them, as `(window, valid)`: the window is LSB-aligned with bit
+    /// `pos - 1` of the stream in its highest valid position, so a field of
+    /// `n ≤ valid` bits reads as `(window >> (valid - n)) & ((1 << n) - 1)`.
+    /// Batched entropy decoders use one `peek_tail` per refill and then
+    /// [`ReverseBitReader::consume`] the total once.
+    pub fn peek_tail(&self) -> (u64, u32) {
+        let n = self.pos.min(MAX_FIELD_BITS as usize) as u32;
+        (extract_bits_lsb(self.bytes, self.pos - n as usize, n), n)
+    }
+
+    /// Consumes `nbits` previously examined via [`ReverseBitReader::peek_tail`].
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that at least `nbits` remain.
+    pub fn consume(&mut self, nbits: u32) {
+        debug_assert!(nbits as usize <= self.pos);
+        self.pos -= nbits as usize;
     }
 }
 
@@ -360,14 +408,8 @@ impl<'a> MsbBitReader<'a> {
         if nbits == 0 {
             return 0;
         }
-        let first_byte = self.pos / 8;
         let shift = (self.pos % 8) as u32;
-        let mut window: u128 = 0;
-        for i in 0..9usize {
-            let b = self.bytes.get(first_byte + i).copied().unwrap_or(0) as u128;
-            window = (window << 8) | b;
-        }
-        let v = (window >> (72 - shift - nbits)) as u64 & mask(nbits);
+        let v = (load_be_window(self.bytes, self.pos / 8) << shift) >> (64 - nbits);
         // Zero out any bits past the logical end (they sit in the low bits of
         // an MSB-first peek).
         let avail = self.remaining().min(nbits as usize) as u32;
@@ -382,6 +424,94 @@ impl<'a> MsbBitReader<'a> {
     /// end is clamped to the end.
     pub fn consume(&mut self, nbits: u32) {
         self.pos = (self.pos + nbits as usize).min(self.bit_len);
+    }
+}
+
+/// Forward MSB-first reader with a cached u64 window — the fast path behind
+/// batched entropy decode.
+///
+/// Where [`MsbBitReader`] re-derives byte/bit offsets and re-loads the
+/// stream on every `peek_bits`, `BitBuf` loads a 64-bit window once per
+/// [`BitBuf::refill`] and serves `peek`/`consume` from registers with no
+/// bounds math. After a refill at least 57 valid bits are available, so a
+/// decoder can pull several table-sized fields per refill.
+///
+/// The intended discipline, which keeps `BitBuf` bit-identical to an
+/// [`MsbBitReader`] walking the same stream:
+///
+/// 1. only enter the fast loop while [`BitBuf::remaining`] `>= 64` (every
+///    cached bit is then inside the logical stream — end-of-stream
+///    zero-padding can never be observed),
+/// 2. `refill()`, then `peek`/`consume` while [`BitBuf::valid`] covers the
+///    next field,
+/// 3. fall back to [`MsbBitReader`] (via [`MsbBitReader::seek`] to
+///    [`BitBuf::position`]) for the sub-64-bit tail.
+#[derive(Debug, Clone)]
+pub struct BitBuf<'a> {
+    bytes: &'a [u8],
+    bit_len: usize,
+    /// Absolute bit position of the first bit in `acc`.
+    pos: usize,
+    /// Cached window, MSB-aligned: the top [`BitBuf::valid`] bits of `acc`
+    /// are the next bits of the stream.
+    acc: u64,
+    valid: u32,
+}
+
+impl<'a> BitBuf<'a> {
+    /// Creates a reader over the first `bit_len` bits of `bytes`, positioned
+    /// at bit 0 with an empty window (call [`BitBuf::refill`] first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit_len` exceeds the bits available in `bytes`.
+    pub fn new(bytes: &'a [u8], bit_len: usize) -> Self {
+        assert!(bit_len <= bytes.len() * 8);
+        BitBuf { bytes, bit_len, pos: 0, acc: 0, valid: 0 }
+    }
+
+    /// Current absolute bit position.
+    #[inline(always)]
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Bits remaining to the logical end of the stream.
+    #[inline(always)]
+    pub fn remaining(&self) -> usize {
+        self.bit_len - self.pos
+    }
+
+    /// Valid bits currently cached in the window.
+    #[inline(always)]
+    pub fn valid(&self) -> u32 {
+        self.valid
+    }
+
+    /// Reloads the window at the current bit position: one unaligned u64
+    /// load and a shift, no per-bit work. Afterwards `valid() >= 57`
+    /// (64 minus at most 7 bits of intra-byte misalignment).
+    #[inline(always)]
+    pub fn refill(&mut self) {
+        let shift = (self.pos % 8) as u32;
+        self.acc = load_be_window(self.bytes, self.pos / 8) << shift;
+        self.valid = 64 - shift;
+    }
+
+    /// Returns the next `nbits` (1 ..= [`BitBuf::valid`]) without consuming.
+    #[inline(always)]
+    pub fn peek(&self, nbits: u32) -> u64 {
+        debug_assert!(nbits >= 1 && nbits <= self.valid);
+        self.acc >> (64 - nbits)
+    }
+
+    /// Advances past `nbits` previously peeked bits.
+    #[inline(always)]
+    pub fn consume(&mut self, nbits: u32) {
+        debug_assert!(nbits <= self.valid);
+        self.acc <<= nbits;
+        self.valid -= nbits;
+        self.pos += nbits as usize;
     }
 }
 
@@ -503,6 +633,88 @@ mod tests {
                 assert_eq!(r.read_bits(nbits).unwrap(), v);
             }
             assert_eq!(r.remaining(), 0);
+        }
+    }
+
+    #[test]
+    fn bitbuf_matches_msb_reader() {
+        let mut rng = Xoshiro256::seed_from(79);
+        for _trial in 0..200 {
+            let n_fields = rng.index(60) + 1;
+            let mut w = MsbBitWriter::new();
+            let mut fields = Vec::new();
+            for _ in 0..n_fields {
+                let nbits = rng.range_u64(1, 16) as u32;
+                let v = rng.next_u64() & mask(nbits);
+                fields.push((v, nbits));
+                w.write_bits(v, nbits);
+            }
+            let (bytes, len) = w.finish();
+            let mut buf = BitBuf::new(&bytes, len);
+            let mut slow = MsbBitReader::new(&bytes, len);
+            for &(v, nbits) in &fields {
+                if buf.remaining() >= 64 {
+                    // Fast-path discipline: refill when the window runs dry.
+                    if buf.valid() < nbits {
+                        buf.refill();
+                    }
+                    assert_eq!(buf.peek(nbits), v);
+                    buf.consume(nbits);
+                    slow.seek(buf.position());
+                } else {
+                    // Tail discipline: fall back to the per-field reader.
+                    assert_eq!(slow.read_bits(nbits).unwrap(), v);
+                }
+            }
+            assert_eq!(slow.remaining(), 0);
+        }
+    }
+
+    #[test]
+    fn bitbuf_refill_gives_57_plus_bits() {
+        let bytes = [0xAAu8; 16];
+        for start in 0..8usize {
+            let mut buf = BitBuf::new(&bytes, 128);
+            if start > 0 {
+                buf.refill();
+                buf.consume(start as u32);
+            }
+            buf.refill();
+            assert!(buf.valid() >= 57, "valid {} at start {start}", buf.valid());
+            // The window must agree with a fresh MsbBitReader at that offset.
+            let mut slow = MsbBitReader::new(&bytes, 128);
+            slow.seek(start);
+            assert_eq!(buf.peek(13), slow.peek_bits(13));
+        }
+    }
+
+    #[test]
+    fn reverse_peek_tail_matches_read_bits() {
+        let mut rng = Xoshiro256::seed_from(80);
+        for _trial in 0..100 {
+            let n_fields = rng.index(30) + 1;
+            let mut w = BitWriter::new();
+            let mut fields = Vec::new();
+            for _ in 0..n_fields {
+                let nbits = rng.range_u64(0, 12) as u32;
+                let v = rng.next_u64() & mask(nbits);
+                fields.push((v, nbits));
+                w.write_bits(v, nbits);
+            }
+            let bytes = w.finish_with_marker();
+            let mut peeker = ReverseBitReader::new(&bytes).unwrap();
+            let mut reader = ReverseBitReader::new(&bytes).unwrap();
+            for &(v, nbits) in fields.iter().rev() {
+                let (window, have) = peeker.peek_tail();
+                assert_eq!(have as usize, peeker.remaining().min(57));
+                if have >= nbits {
+                    let field = (window >> (have - nbits)) & mask(nbits);
+                    assert_eq!(field, v);
+                }
+                peeker.consume(nbits);
+                assert_eq!(reader.read_bits(nbits).unwrap(), v);
+                assert_eq!(peeker.remaining(), reader.remaining());
+            }
         }
     }
 

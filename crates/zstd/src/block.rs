@@ -130,8 +130,15 @@ fn encode_literals(literals: &[u8], out: &mut Vec<u8>, stats: &mut BlockStats) {
     out.extend_from_slice(literals);
 }
 
-/// Decodes the literals section; returns the literal bytes.
-fn decode_literals(input: &[u8], pos: &mut usize) -> Result<Vec<u8>, ZstdError> {
+/// Decodes the literals section, appending the literal bytes to `lits`
+/// (cleared by the caller; routing through a caller-held buffer lets one
+/// allocation serve every block of a frame — or every frame, with a
+/// [`cdpu_lz77::window::DecoderScratch`]).
+fn decode_literals_into(
+    input: &[u8],
+    pos: &mut usize,
+    lits: &mut Vec<u8>,
+) -> Result<(), ZstdError> {
     if *pos >= input.len() {
         return Err(ZstdError::Truncated);
     }
@@ -149,9 +156,9 @@ fn decode_literals(input: &[u8], pos: &mut usize) -> Result<Vec<u8>, ZstdError> 
             if *pos + count > input.len() {
                 return Err(ZstdError::Truncated);
             }
-            let lits = input[*pos..*pos + count].to_vec();
+            lits.extend_from_slice(&input[*pos..*pos + count]);
             *pos += count;
-            Ok(lits)
+            Ok(())
         }
         1 => {
             if *pos >= input.len() {
@@ -159,7 +166,8 @@ fn decode_literals(input: &[u8], pos: &mut usize) -> Result<Vec<u8>, ZstdError> 
             }
             let b = input[*pos];
             *pos += 1;
-            Ok(vec![b; count])
+            lits.resize(count, b);
+            Ok(())
         }
         2 => {
             let (table, consumed) = HuffmanTable::deserialize(&input[*pos..])
@@ -172,11 +180,11 @@ fn decode_literals(input: &[u8], pos: &mut usize) -> Result<Vec<u8>, ZstdError> 
             if *pos + nbytes > input.len() {
                 return Err(ZstdError::Truncated);
             }
-            let lits = table
-                .decode_bytes(&input[*pos..*pos + nbytes], bit_len as usize, count)
+            table
+                .decode_bytes_into(&input[*pos..*pos + nbytes], bit_len as usize, count, lits)
                 .map_err(ZstdError::Huffman)?;
             *pos += nbytes;
-            Ok(lits)
+            Ok(())
         }
         _ => Err(ZstdError::BadBlock("unknown literals mode")),
     }
@@ -278,14 +286,28 @@ fn encode_sequences(seqs: &[Seq], out: &mut Vec<u8>, stats: &mut BlockStats) -> 
     Ok(())
 }
 
-/// Decodes the sequences section.
-fn decode_sequences(input: &[u8], pos: &mut usize) -> Result<Vec<Seq>, ZstdError> {
+/// Decodes the sequences section, appending to `seqs` (cleared by the
+/// caller — same buffer-reuse contract as [`decode_literals_into`]).
+///
+/// Batched: per sequence the three extra-bit fields and three FSE state
+/// transitions are all width-known before any bit is read, so when their
+/// total fits the reader's peeked 57-bit tail window they are extracted
+/// with shifts and consumed once, instead of six bounds-checked
+/// `read_bits` calls. Inside that guard no read can fail, and sequences
+/// whose fields exceed the window (or sit at the stream tail) take the
+/// original per-field path — output bytes and error behaviour stay
+/// bit-identical to the seed decoder.
+fn decode_sequences_into(
+    input: &[u8],
+    pos: &mut usize,
+    seqs: &mut Vec<Seq>,
+) -> Result<(), ZstdError> {
     let (n, consumed) =
         varint::read_u64(&input[*pos..]).map_err(|_| ZstdError::BadBlock("sequence count"))?;
     *pos += consumed;
     let n = n as usize;
     if n == 0 {
-        return Ok(Vec::new());
+        return Ok(());
     }
     if n > crate::MAX_BLOCK_SIZE {
         return Err(ZstdError::BadBlock("absurd sequence count"));
@@ -297,7 +319,7 @@ fn decode_sequences(input: &[u8], pos: &mut usize) -> Result<Vec<Seq>, ZstdError
     *pos += 1;
     match mode {
         SEQ_MODE_RAW => {
-            let mut seqs = Vec::with_capacity(n);
+            seqs.reserve(n);
             for _ in 0..n {
                 let mut field = |what: &'static str| -> Result<u64, ZstdError> {
                     let (v, used) =
@@ -318,7 +340,7 @@ fn decode_sequences(input: &[u8], pos: &mut usize) -> Result<Vec<Seq>, ZstdError
                     offset: offset as u32,
                 });
             }
-            return Ok(seqs);
+            return Ok(());
         }
         SEQ_MODE_FSE => {}
         _ => return Err(ZstdError::BadBlock("unknown sequence mode")),
@@ -346,28 +368,56 @@ fn decode_sequences(input: &[u8], pos: &mut usize) -> Result<Vec<Seq>, ZstdError
     let mut ml_dec = FseStreamDecoder::new(&ml_table, &mut r).map_err(ZstdError::Fse)?;
     let mut ll_dec = FseStreamDecoder::new(&ll_table, &mut r).map_err(ZstdError::Fse)?;
 
-    let mut seqs = Vec::with_capacity(n);
+    seqs.reserve(n);
+    let mut batched = 0u64;
     for i in 0..n {
         let of_sym = of_dec.peek();
         let ml_sym = ml_dec.peek();
         let ll_sym = ll_dec.peek();
         // Extras were written ll, ml, of -> read back of, ml, of... i.e.
-        // reverse: of first, then ml, then ll.
-        let of_extra = r
-            .read_bits(codes::of_extra_bits(of_sym) as u32)
-            .map_err(|_| ZstdError::Truncated)? as u32;
-        let ml_extra = r
-            .read_bits(codes::ml_extra_bits(ml_sym) as u32)
-            .map_err(|_| ZstdError::Truncated)? as u32;
-        let ll_extra = r
-            .read_bits(codes::ll_extra_bits(ll_sym) as u32)
-            .map_err(|_| ZstdError::Truncated)? as u32;
-        if i + 1 < n {
-            // State updates mirror the encoder's push order (ll, ml, of) ->
-            // reverse: of, ml, ll.
-            of_dec.next(&mut r).map_err(ZstdError::Fse)?;
-            ml_dec.next(&mut r).map_err(ZstdError::Fse)?;
-            ll_dec.next(&mut r).map_err(ZstdError::Fse)?;
+        // reverse: of first, then ml, then ll. State updates mirror the
+        // encoder's push order (ll, ml, of) -> reverse: of, ml, ll; the
+        // final sequence pulls no transition bits.
+        let of_eb = codes::of_extra_bits(of_sym) as u32;
+        let ml_eb = codes::ml_extra_bits(ml_sym) as u32;
+        let ll_eb = codes::ll_extra_bits(ll_sym) as u32;
+        let last = i + 1 == n;
+        let trans = if last {
+            0
+        } else {
+            of_dec.transition_width() + ml_dec.transition_width() + ll_dec.transition_width()
+        };
+        let needed = of_eb + ml_eb + ll_eb + trans;
+        let (window, mut have) = r.peek_tail();
+        let (of_extra, ml_extra, ll_extra);
+        if needed <= have {
+            // Every field this sequence reads fits the peeked window, so no
+            // read below can fail: extract the six fields in the exact
+            // order the fallback reads them and consume the total once,
+            // instead of six bounds-checked `read_bits` calls.
+            let mut take = |nb: u32| {
+                have -= nb;
+                (window >> have) & ((1u64 << nb) - 1)
+            };
+            of_extra = take(of_eb) as u32;
+            ml_extra = take(ml_eb) as u32;
+            ll_extra = take(ll_eb) as u32;
+            if !last {
+                of_dec.advance(take(of_dec.transition_width()));
+                ml_dec.advance(take(ml_dec.transition_width()));
+                ll_dec.advance(take(ll_dec.transition_width()));
+            }
+            r.consume(needed);
+            batched += 1;
+        } else {
+            of_extra = r.read_bits(of_eb).map_err(|_| ZstdError::Truncated)? as u32;
+            ml_extra = r.read_bits(ml_eb).map_err(|_| ZstdError::Truncated)? as u32;
+            ll_extra = r.read_bits(ll_eb).map_err(|_| ZstdError::Truncated)? as u32;
+            if !last {
+                of_dec.next(&mut r).map_err(ZstdError::Fse)?;
+                ml_dec.next(&mut r).map_err(ZstdError::Fse)?;
+                ll_dec.next(&mut r).map_err(ZstdError::Fse)?;
+            }
         }
         seqs.push(Seq {
             lit_len: codes::ll_value(ll_sym, ll_extra)
@@ -378,7 +428,11 @@ fn decode_sequences(input: &[u8], pos: &mut usize) -> Result<Vec<Seq>, ZstdError
                 .map_err(|_| ZstdError::BadBlock("of code"))?,
         });
     }
-    Ok(seqs)
+    if cdpu_telemetry::enabled() {
+        cdpu_telemetry::counter!("decode.seq.batched").add(batched);
+        cdpu_telemetry::counter!("decode.seq.fallback").add(n as u64 - batched);
+    }
+    Ok(())
 }
 
 /// Encodes one compressed-block payload from a parse of `data`.
@@ -415,9 +469,30 @@ pub fn decode_block(
     window: u32,
     max_len: usize,
 ) -> Result<(), ZstdError> {
+    let mut lits = Vec::new();
+    let mut seqs = Vec::new();
+    decode_block_with(payload, out, window, max_len, &mut lits, &mut seqs)
+}
+
+/// [`decode_block`] with caller-held literal/sequence staging buffers, so a
+/// multi-block frame (or a long-lived decoder scratch) pays for those
+/// allocations once instead of per block. `lits`/`seqs` are cleared here;
+/// their contents afterwards are an implementation detail.
+pub fn decode_block_with(
+    payload: &[u8],
+    out: &mut Vec<u8>,
+    window: u32,
+    max_len: usize,
+    lits: &mut Vec<u8>,
+    seqs: &mut Vec<Seq>,
+) -> Result<(), ZstdError> {
+    lits.clear();
+    seqs.clear();
     let mut pos = 0usize;
-    let literals = decode_literals(payload, &mut pos)?;
-    let seqs = decode_sequences(payload, &mut pos)?;
+    decode_literals_into(payload, &mut pos, lits)?;
+    decode_sequences_into(payload, &mut pos, seqs)?;
+    let literals = &*lits;
+    let seqs = &*seqs;
     let (last_literals, consumed) =
         varint::read_u64(&payload[pos..]).map_err(|_| ZstdError::BadBlock("last literals"))?;
     pos += consumed;
@@ -427,7 +502,7 @@ pub fn decode_block(
 
     let start_len = out.len();
     let mut lit_pos = 0usize;
-    for seq in &seqs {
+    for seq in seqs {
         let lit_end = lit_pos + seq.lit_len as usize;
         if lit_end > literals.len() {
             return Err(ZstdError::BadBlock("literals exhausted"));
@@ -564,7 +639,8 @@ mod tests {
         let mut stats = BlockStats::default();
         encode_sequences(&seqs, &mut out, &mut stats).unwrap();
         let mut pos = 0;
-        let back = decode_sequences(&out, &mut pos).unwrap();
+        let mut back = Vec::new();
+        decode_sequences_into(&out, &mut pos, &mut back).unwrap();
         assert_eq!(back, seqs);
     }
 
@@ -575,7 +651,9 @@ mod tests {
         let mut stats = BlockStats::default();
         encode_sequences(&seqs, &mut out, &mut stats).unwrap();
         let mut pos = 0;
-        assert_eq!(decode_sequences(&out, &mut pos).unwrap(), seqs);
+        let mut back = Vec::new();
+        decode_sequences_into(&out, &mut pos, &mut back).unwrap();
+        assert_eq!(back, seqs);
     }
 
     #[test]

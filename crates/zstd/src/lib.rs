@@ -35,6 +35,7 @@ use cdpu_util::varint;
 pub mod block;
 pub mod codes;
 pub mod dict;
+pub mod reference;
 
 pub use block::BlockStats;
 
@@ -503,6 +504,37 @@ pub fn frame_info(frame: &[u8]) -> Result<FrameInfo, ZstdError> {
 /// Any [`ZstdError`]: malformed framing, entropy-stream corruption, window
 /// or length violations.
 pub fn decompress(frame: &[u8]) -> Result<Vec<u8>, ZstdError> {
+    let mut out = Vec::new();
+    let mut lits = Vec::new();
+    let mut seqs = Vec::new();
+    decompress_impl(frame, &mut out, &mut lits, &mut seqs)?;
+    Ok(out)
+}
+
+/// Decompresses a frame into caller-held scratch buffers (output plus the
+/// per-block literal/sequence staging), so steady-state decode performs no
+/// allocation once the scratch has warmed up. The returned slice borrows
+/// the scratch and is valid until its next use; output bytes and errors
+/// are identical to [`decompress`].
+///
+/// # Errors
+///
+/// Any [`ZstdError`], exactly as [`decompress`] reports them.
+pub fn decompress_into<'a>(
+    frame: &[u8],
+    scratch: &'a mut cdpu_lz77::window::DecoderScratch,
+) -> Result<&'a [u8], ZstdError> {
+    let (out, lits, seqs) = scratch.buffers();
+    decompress_impl(frame, out, lits, seqs)?;
+    Ok(out)
+}
+
+fn decompress_impl(
+    frame: &[u8],
+    out: &mut Vec<u8>,
+    lits: &mut Vec<u8>,
+    seqs: &mut Vec<cdpu_lz77::Seq>,
+) -> Result<(), ZstdError> {
     let info = frame_info(frame)?;
     let mut pos = 4 + 1;
     let (_, n) = varint::read_u64(&frame[pos..]).map_err(|_| ZstdError::BadHeader)?;
@@ -511,7 +543,7 @@ pub fn decompress(frame: &[u8]) -> Result<Vec<u8>, ZstdError> {
     let window = 1u64.checked_shl(info.window_log).unwrap_or(u64::MAX) as u32;
     // Reserve conservatively: the declared size is untrusted input, so cap
     // the up-front allocation and let the vector grow if the data is real.
-    let mut out: Vec<u8> = Vec::with_capacity((info.content_size as usize).min(MAX_BLOCK_SIZE));
+    out.reserve((info.content_size as usize).min(MAX_BLOCK_SIZE));
     let mut saw_last = false;
     while !saw_last {
         if pos >= frame.len() {
@@ -552,7 +584,14 @@ pub fn decompress(frame: &[u8]) -> Result<Vec<u8>, ZstdError> {
                     return Err(ZstdError::Truncated);
                 }
                 let before = out.len();
-                block::decode_block(&frame[pos..pos + payload_len], &mut out, window, block_len)?;
+                block::decode_block_with(
+                    &frame[pos..pos + payload_len],
+                    out,
+                    window,
+                    block_len,
+                    lits,
+                    seqs,
+                )?;
                 if out.len() - before != block_len {
                     return Err(ZstdError::BadBlock("block length mismatch"));
                 }
@@ -573,7 +612,7 @@ pub fn decompress(frame: &[u8]) -> Result<Vec<u8>, ZstdError> {
             actual: out.len() as u64,
         });
     }
-    Ok(out)
+    Ok(())
 }
 
 /// Compression ratio at a given level (uncompressed / compressed).
