@@ -30,6 +30,53 @@ if ! diff -q /tmp/cdpu_serve_serial.txt /tmp/cdpu_serve_parallel.txt; then
     exit 1
 fi
 
+echo "==> observability determinism smoke (serial vs parallel at tiny scale)"
+rm -rf /tmp/cdpu_obs_serial /tmp/cdpu_obs_parallel
+./target/release/figures --obs --tiny --jobs 1 --obs-dir /tmp/cdpu_obs_serial > /tmp/cdpu_obs_serial.txt
+./target/release/figures --obs --tiny --obs-dir /tmp/cdpu_obs_parallel > /tmp/cdpu_obs_parallel.txt
+if ! diff -q /tmp/cdpu_obs_serial.txt /tmp/cdpu_obs_parallel.txt; then
+    echo "FAIL: parallel obs figures output differs from serial" >&2
+    exit 1
+fi
+if ! diff -rq /tmp/cdpu_obs_serial /tmp/cdpu_obs_parallel; then
+    echo "FAIL: parallel obs report files differ from serial" >&2
+    exit 1
+fi
+for f in timelines.md slo.md exemplars.md; do
+    if ! [ -s "/tmp/cdpu_obs_serial/$f" ]; then
+        echo "FAIL: obs figures did not write $f" >&2
+        exit 1
+    fi
+done
+
+echo "==> telemetry export validity smoke (tiny)"
+# Run from a scratch cwd so the committed results/telemetry/ stays intact.
+TELEMETRY_TMP="$(mktemp -d)"
+BIN="$(pwd)/target/release/figures"
+(cd "$TELEMETRY_TMP" && "$BIN" serve-load --tiny --telemetry > /dev/null)
+for f in snapshot.md metrics.jsonl trace.json; do
+    if ! [ -s "$TELEMETRY_TMP/results/telemetry/$f" ]; then
+        echo "FAIL: telemetry export did not write $f" >&2
+        exit 1
+    fi
+done
+if ! grep -q '"traceEvents"' "$TELEMETRY_TMP/results/telemetry/trace.json"; then
+    echo "FAIL: trace.json is not a Chrome trace document" >&2
+    exit 1
+fi
+if ! grep -q '"type":"histogram"' "$TELEMETRY_TMP/results/telemetry/metrics.jsonl"; then
+    echo "FAIL: metrics.jsonl carries no histogram records" >&2
+    exit 1
+fi
+rm -rf "$TELEMETRY_TMP"
+
+echo "==> perf-regression gate smoke (tiny, advisory)"
+./target/release/bench --regress --tiny --out /tmp/cdpu_regress_tiny.md
+if ! grep -q '^# Perf-regression gate' /tmp/cdpu_regress_tiny.md; then
+    echo "FAIL: regression gate wrote no report" >&2
+    exit 1
+fi
+
 echo "==> kernel microbenchmark smoke (tiny)"
 ./target/release/bench --kernels --tiny --out /tmp/cdpu_bench_kernels.json
 if ! grep -q '"min_profile_speedup"' /tmp/cdpu_bench_kernels.json; then

@@ -5,6 +5,7 @@
 //!
 //! ```text
 //! bench [--files N] [--seed N] [--jobs N] [--out PATH] [--tiny] [--serve] [--kernels] [--dekernels]
+//!       [--regress] [--tolerance F] [--baseline-dir DIR]
 //! ```
 //!
 //! Each stage (chunk bank, suite generation, call profiling, DSE sweeps,
@@ -34,11 +35,20 @@
 //! Throughput is reported over *decompressed* bytes. Writes
 //! `results/BENCH_dekernels.json` by default plus a decode-side telemetry
 //! snapshot (refills, wild copies, scratch hits).
+//!
+//! `--regress` is the perf-regression gate: it re-runs both kernel and
+//! dekernel microbenchmarks, compares every machine-relative speedup
+//! ratio against the committed `BENCH_kernels.json`/`BENCH_dekernels.json`
+//! baselines (`--baseline-dir`, default `results/`) under a relative
+//! `--tolerance` (default 0.25), and writes a pass/fail markdown report
+//! (`--out`, default `results/REGRESS.md`). A failing gate exits
+//! non-zero — except at `--tiny` scale, where the corpus differs from the
+//! baseline's and the gate is advisory (report written, exit 0).
 
 use std::hint::black_box;
 use std::time::Instant;
 
-use cdpu_bench::{dse_figures, serve_figures, Scale, Workbench};
+use cdpu_bench::{dse_figures, regress, serve_figures, Scale, Workbench};
 use cdpu_core::dse::{
     compression_sweep, decompression_sweep, standard_histories, standard_placements,
 };
@@ -175,7 +185,17 @@ fn time_stage(corpus: &[&[u8]], iters: usize, mut f: impl FnMut(&[u8])) -> (f64,
 /// over the single-parse optimized profiler's. `parse_reference` times the
 /// naive matcher alone, so `parse_speedup` isolates the word-at-a-time +
 /// scratch-reuse kernel win.
-fn run_kernels(scale: Scale, iters: usize, out: &str) {
+/// Writes a report, creating the parent directory if needed.
+fn write_report(out: &str, contents: &str) {
+    if let Some(dir) = std::path::Path::new(out).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create output directory");
+        }
+    }
+    std::fs::write(out, contents).expect("write benchmark report");
+}
+
+fn run_kernels(scale: Scale, iters: usize) -> String {
     use cdpu_lz77::reference;
     use cdpu_zstd::SearchParams;
 
@@ -328,13 +348,8 @@ fn run_kernels(scale: Scale, iters: usize, out: &str) {
         algo_objs.join(",\n"),
         counter_objs.join(",\n"),
     );
-    if let Some(dir) = std::path::Path::new(out).parent() {
-        if !dir.as_os_str().is_empty() {
-            std::fs::create_dir_all(dir).expect("create output directory");
-        }
-    }
-    std::fs::write(out, json).expect("write benchmark report");
-    eprintln!("bench: wrote {out} (min profile speedup {min_speedup:.2}x)");
+    eprintln!("bench: kernels done (min profile speedup {min_speedup:.2}x)");
+    json
 }
 
 /// Microbenchmarks the per-algorithm decompression kernels against the
@@ -351,7 +366,7 @@ fn run_kernels(scale: Scale, iters: usize, out: &str) {
 /// decompressed bytes — the figure that matters for a decompression
 /// engine — while `compressed_bytes` records what the timed loops
 /// actually read.
-fn run_dekernels(scale: Scale, iters: usize, out: &str) {
+fn run_dekernels(scale: Scale, iters: usize) -> String {
     use cdpu_lz77::window::DecoderScratch;
 
     let wb = Workbench::new(scale);
@@ -543,13 +558,51 @@ fn run_dekernels(scale: Scale, iters: usize, out: &str) {
         algo_objs.join(",\n"),
         counter_objs.join(",\n"),
     );
-    if let Some(dir) = std::path::Path::new(out).parent() {
-        if !dir.as_os_str().is_empty() {
-            std::fs::create_dir_all(dir).expect("create output directory");
+    eprintln!("bench: dekernels done (min decompress speedup {min_speedup:.2}x)");
+    json
+}
+
+/// The perf-regression gate: re-runs both microbenchmark families,
+/// compares every speedup ratio against the committed baselines, writes
+/// the markdown report. Returns whether the gate passed.
+fn run_regress(scale: Scale, iters: usize, baseline_dir: &str, tolerance: f64, out: &str) -> bool {
+    let load = |name: &str| {
+        let path = format!("{baseline_dir}/{name}");
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("regress: cannot read baseline {path}: {e}"));
+        cdpu_util::json::parse(&text)
+            .unwrap_or_else(|e| panic!("regress: baseline {path} is not valid JSON: {e}"))
+    };
+    let (kernels_base, dekernels_base) =
+        (load("BENCH_kernels.json"), load("BENCH_dekernels.json"));
+
+    let kernels_cur = cdpu_util::json::parse(&run_kernels(scale, iters))
+        .expect("kernel bench emits valid JSON");
+    let dekernels_cur = cdpu_util::json::parse(&run_dekernels(scale, iters))
+        .expect("dekernel bench emits valid JSON");
+
+    let sections = [
+        ("Compression kernels", regress::compare(&kernels_base, &kernels_cur, tolerance)),
+        (
+            "Decompression kernels",
+            regress::compare(&dekernels_base, &dekernels_cur, tolerance),
+        ),
+    ];
+    let pass = regress::all_pass(&sections);
+    write_report(out, &regress::markdown_report(&sections, tolerance));
+    for (title, checks) in &sections {
+        for c in checks.iter().filter(|c| !c.pass) {
+            eprintln!(
+                "regress: FAIL {title}: {} baseline {:?} current {:?}",
+                c.name, c.baseline, c.current
+            );
         }
     }
-    std::fs::write(out, json).expect("write benchmark report");
-    eprintln!("bench: wrote {out} (min decompress speedup {min_speedup:.2}x)");
+    eprintln!(
+        "bench: wrote {out} ({})",
+        if pass { "PASS" } else { "FAIL" }
+    );
+    pass
 }
 
 fn main() {
@@ -562,6 +615,9 @@ fn main() {
     let mut serve = false;
     let mut kernels = false;
     let mut dekernels = false;
+    let mut regress_mode = false;
+    let mut tolerance = 0.25f64;
+    let mut baseline_dir = String::from("results");
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -589,6 +645,19 @@ fn main() {
             "--serve" => serve = true,
             "--kernels" => kernels = true,
             "--dekernels" => dekernels = true,
+            "--regress" => regress_mode = true,
+            "--tolerance" => {
+                tolerance = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|t: &f64| (0.0..1.0).contains(t))
+                    .unwrap_or_else(|| usage("--tolerance needs a fraction in [0, 1)"));
+            }
+            "--baseline-dir" => {
+                baseline_dir = args
+                    .next()
+                    .unwrap_or_else(|| usage("--baseline-dir needs a path"));
+            }
             "--tiny" => {
                 let seed = scale.seed;
                 scale = Scale::tiny();
@@ -600,7 +669,9 @@ fn main() {
     }
 
     let out = out.unwrap_or_else(|| {
-        String::from(if kernels {
+        String::from(if regress_mode {
+            "results/REGRESS.md"
+        } else if kernels {
             "results/BENCH_kernels.json"
         } else if dekernels {
             "results/BENCH_dekernels.json"
@@ -610,16 +681,30 @@ fn main() {
             "results/BENCH_parallel.json"
         })
     });
-    if kernels || dekernels {
-        // Kernel microbenchmarks are single-threaded by design: they time
-        // the per-call code paths (including thread-local scratch reuse),
-        // not the pool.
-        let iters = if scale.files_per_suite <= Scale::tiny().files_per_suite { 1 } else { 3 };
-        if kernels {
-            run_kernels(scale, iters, &out);
-        } else {
-            run_dekernels(scale, iters, &out);
+    // Kernel microbenchmarks (and the regression gate built on them) are
+    // single-threaded by design: they time the per-call code paths
+    // (including thread-local scratch reuse), not the pool.
+    let tiny = scale.files_per_suite <= Scale::tiny().files_per_suite;
+    let iters = if tiny { 1 } else { 3 };
+    if regress_mode {
+        let pass = run_regress(scale, iters, &baseline_dir, tolerance, &out);
+        if !pass && tiny {
+            eprintln!(
+                "regress: advisory only at tiny scale (corpus differs from the \
+                 committed baseline's) — not failing"
+            );
+        } else if !pass {
+            std::process::exit(1);
         }
+        return;
+    }
+    if kernels || dekernels {
+        if kernels {
+            write_report(&out, &run_kernels(scale, iters));
+        } else {
+            write_report(&out, &run_dekernels(scale, iters));
+        }
+        eprintln!("bench: wrote {out}");
         return;
     }
     let (bench_name, pass): (&str, fn(Scale) -> Run) = if serve {
@@ -680,7 +765,8 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}");
     }
     eprintln!(
-        "usage: bench [--files N] [--seed N] [--jobs N] [--out PATH] [--tiny] [--serve] [--kernels] [--dekernels]"
+        "usage: bench [--files N] [--seed N] [--jobs N] [--out PATH] [--tiny] [--serve] [--kernels] [--dekernels]\n\
+         \x20            [--regress] [--tolerance F] [--baseline-dir DIR]"
     );
     std::process::exit(2);
 }

@@ -4,11 +4,11 @@
 //!
 //! ```text
 //! figures [FIGURE ...] [--files N] [--max-call BYTES] [--seed N]
-//!         [--jobs N] [--tiny] [--serve] [--telemetry]
+//!         [--jobs N] [--tiny] [--serve] [--obs] [--obs-dir DIR] [--telemetry]
 //!
 //! FIGURE: fig1 fig2a fig2b fig2c fig3 fig4 fig5 fig6 fig7
 //!         fig11 fig12 fig13 fig14 fig15 summary
-//!         serve-load serve-placement serve-fairness | all (default)
+//!         serve-load serve-placement serve-fairness obs | all (default)
 //! ```
 //!
 //! Run with `--release`; the default scale completes the full set in
@@ -17,12 +17,17 @@
 //! the `cdpu-par` pool (worker count from `--jobs`, else `CDPU_THREADS`,
 //! else the host's parallelism); output order and content are identical to
 //! a serial run. `--serve` selects the serving-tier figures (appending
-//! them when other figures are also named). `--telemetry` enables the metrics/span instrumentation,
+//! them when other figures are also named). `--obs` (or the `obs` figure
+//! name) runs the serving-tier observability scenarios — windowed tenant
+//! timelines, SLO burn rates, slow-call exemplars — printing the combined
+//! report and writing `timelines.md`, `slo.md` and `exemplars.md` under
+//! `--obs-dir` (default `results/obs/`); `obs` is not part of `all`
+//! because it writes files. `--telemetry` enables the metrics/span instrumentation,
 //! prints a snapshot after the figures, and writes `snapshot.md`,
 //! `metrics.jsonl` and a Chrome `trace.json` (loadable in Perfetto /
 //! chrome://tracing) under `results/telemetry/`.
 
-use cdpu_bench::{dse_figures, profile_figures, serve_figures, Scale, Workbench};
+use cdpu_bench::{dse_figures, obs_figures, profile_figures, serve_figures, Scale, Workbench};
 
 const ALL_FIGURES: [&str; 20] = [
     "fig1", "fig2a", "fig2b", "fig2c", "fig2c-measured", "fig3", "fig4", "fig5", "fig6", "fig7",
@@ -44,6 +49,8 @@ fn main() {
     let mut scale = Scale::default();
     let mut telemetry = false;
     let mut serve = false;
+    let mut obs = false;
+    let mut obs_dir = String::from("results/obs");
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -78,6 +85,10 @@ fn main() {
                 scale.seed = seed;
             }
             "--serve" => serve = true,
+            "--obs" => obs = true,
+            "--obs-dir" => {
+                obs_dir = args.next().unwrap_or_else(|| usage("--obs-dir needs a path"));
+            }
             "--telemetry" => telemetry = true,
             "--help" | "-h" => usage(""),
             other if other.starts_with('-') => usage(&format!("unknown flag {other}")),
@@ -90,6 +101,9 @@ fn main() {
                 figures.push(f.to_string());
             }
         }
+    }
+    if obs && !figures.iter().any(|g| g == "obs") {
+        figures.push("obs".to_string());
     }
     if figures.is_empty() {
         figures.push("all".to_string());
@@ -104,7 +118,11 @@ fn main() {
         figures.iter().map(|s| s.as_str()).collect()
     };
     // Reject unknown names before any work starts (workers must not exit).
-    if let Some(bad) = selected.iter().find(|f| !ALL_FIGURES.contains(f)) {
+    // `obs` is valid but excluded from `all` (it writes report files).
+    if let Some(bad) = selected
+        .iter()
+        .find(|f| !ALL_FIGURES.contains(f) && **f != "obs")
+    {
         usage(&format!("unknown figure {bad}"));
     }
 
@@ -121,7 +139,7 @@ fn main() {
         let _fig_span = cdpu_telemetry::span::SpanGuard::enter(
             ALL_FIGURES.iter().find(|&&n| n == fig).copied().unwrap_or("figure"),
         );
-        render_figure(fig, &wb)
+        render_figure(fig, &wb, &obs_dir)
     });
     for r in rendered {
         println!("{r}");
@@ -141,7 +159,7 @@ fn main() {
     }
 }
 
-fn render_figure(fig: &str, wb: &Workbench) -> String {
+fn render_figure(fig: &str, wb: &Workbench, obs_dir: &str) -> String {
     match fig {
         "fig1" => profile_figures::fig1(),
         "fig2a" => profile_figures::fig2a(),
@@ -163,6 +181,8 @@ fn render_figure(fig: &str, wb: &Workbench) -> String {
         "serve-load" => serve_figures::serve_load(wb.scale()),
         "serve-placement" => serve_figures::serve_placement(wb.scale()),
         "serve-fairness" => serve_figures::serve_fairness(wb.scale()),
+        "obs" => obs_figures::write_obs(wb.scale(), std::path::Path::new(obs_dir))
+            .unwrap_or_else(|e| panic!("obs figures: cannot write {obs_dir}: {e}")),
         other => unreachable!("figure {other} validated above"),
     }
 }
@@ -174,9 +194,9 @@ fn usage(err: &str) -> ! {
     eprintln!(
         "usage: figures [fig1|fig2a|fig2b|fig2c|fig2c-measured|fig3|fig4|fig5|fig6|fig7|\n\
          \x20       fig11|fig12|fig13|fig14|fig15|summary|ablations|\n\
-         \x20       serve-load|serve-placement|serve-fairness|all]\n\
+         \x20       serve-load|serve-placement|serve-fairness|obs|all]\n\
          \x20       [--files N] [--max-call BYTES] [--seed N] [--jobs N] [--tiny] [--serve]\n\
-         \x20       [--telemetry]"
+         \x20       [--obs] [--obs-dir DIR] [--telemetry]"
     );
     std::process::exit(2);
 }

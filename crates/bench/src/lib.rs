@@ -17,7 +17,9 @@
 
 pub mod ablations;
 pub mod dse_figures;
+pub mod obs_figures;
 pub mod profile_figures;
+pub mod regress;
 pub mod serve_figures;
 pub mod workbench;
 

@@ -1,0 +1,239 @@
+//! Perf-regression gate: compares a fresh kernel/dekernel microbenchmark
+//! run against the committed `results/BENCH_*.json` baselines.
+//!
+//! Raw MB/s numbers are host-dependent — a laptop and a CI runner differ
+//! by integer factors — so the gate never compares them. What *is*
+//! comparable across machines is every **speedup ratio** the harness
+//! records: optimized kernel vs the retained seed implementation, both
+//! timed in the same process on the same host. A real regression (a
+//! kernel losing its fast path) drags its ratio down on every machine;
+//! host noise moves numerator and denominator together.
+//!
+//! The gate extracts all `*_speedup` metrics (per-algorithm and the
+//! `min_*` aggregates) from the baseline and current documents, compares
+//! them under a relative tolerance, and renders a pass/fail markdown
+//! report. A metric present in the baseline but missing from the current
+//! run fails (a silently dropped benchmark is a regression of the
+//! harness); metrics new in the current run are reported but never fail.
+
+use cdpu_util::json::Json;
+
+/// One compared metric.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricCheck {
+    /// Dotted metric name, e.g. `snappy.profile_speedup`.
+    pub name: String,
+    /// Baseline value, `None` when the metric is new in the current run.
+    pub baseline: Option<f64>,
+    /// Current value, `None` when the current run dropped the metric.
+    pub current: Option<f64>,
+    /// Whether the check passes under the gate's tolerance.
+    pub pass: bool,
+}
+
+impl MetricCheck {
+    /// current/baseline, when both sides exist.
+    pub fn ratio(&self) -> Option<f64> {
+        match (self.baseline, self.current) {
+            (Some(b), Some(c)) if b > 0.0 => Some(c / b),
+            _ => None,
+        }
+    }
+}
+
+/// Extracts every speedup metric from a benchmark document as
+/// `(dotted-name, value)`, in document order: top-level `*_speedup`
+/// keys (the `min_*` aggregates), then per-algorithm `*_speedup` keys
+/// prefixed with the algorithm name.
+pub fn speedup_metrics(doc: &Json) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    let Some(obj) = doc.as_obj() else { return out };
+    for (key, val) in obj {
+        if key.ends_with("_speedup") {
+            if let Some(v) = val.as_f64() {
+                out.push((key.clone(), v));
+            }
+        }
+    }
+    if let Some(algos) = doc.get("algorithms").and_then(Json::as_arr) {
+        for algo in algos {
+            let Some(name) = algo.get("name").and_then(Json::as_str) else { continue };
+            let Some(fields) = algo.as_obj() else { continue };
+            for (key, val) in fields {
+                if key.ends_with("_speedup") {
+                    if let Some(v) = val.as_f64() {
+                        out.push((format!("{name}.{key}"), v));
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Compares the speedup metrics of two benchmark documents. A metric
+/// passes when `current >= baseline * (1 - tolerance)`; `tolerance` is
+/// relative (0.25 allows a 25% dip before failing).
+pub fn compare(baseline: &Json, current: &Json, tolerance: f64) -> Vec<MetricCheck> {
+    let base = speedup_metrics(baseline);
+    let cur = speedup_metrics(current);
+    let lookup = |name: &str, set: &[(String, f64)]| {
+        set.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    };
+    let mut checks: Vec<MetricCheck> = base
+        .iter()
+        .map(|(name, b)| {
+            let c = lookup(name, &cur);
+            MetricCheck {
+                name: name.clone(),
+                baseline: Some(*b),
+                current: c,
+                pass: c.is_some_and(|c| c >= b * (1.0 - tolerance)),
+            }
+        })
+        .collect();
+    // Metrics new in the current run: informational, never failing.
+    for (name, c) in &cur {
+        if lookup(name, &base).is_none() {
+            checks.push(MetricCheck {
+                name: name.clone(),
+                baseline: None,
+                current: Some(*c),
+                pass: true,
+            });
+        }
+    }
+    checks
+}
+
+/// True when every check in every section passes.
+pub fn all_pass(sections: &[(&str, Vec<MetricCheck>)]) -> bool {
+    sections.iter().all(|(_, checks)| checks.iter().all(|c| c.pass))
+}
+
+/// Renders the gate outcome as a markdown report: one table per
+/// benchmark section, a verdict line at the top.
+pub fn markdown_report(sections: &[(&str, Vec<MetricCheck>)], tolerance: f64) -> String {
+    let fmt = |v: Option<f64>| v.map_or_else(|| "—".to_string(), |v| format!("{v:.3}"));
+    let mut out = String::from("# Perf-regression gate\n\n");
+    let verdict = if all_pass(sections) { "PASS" } else { "FAIL" };
+    out.push_str(&format!(
+        "**{verdict}** — speedup ratios vs committed baselines, relative tolerance {:.0}%.\n\n\
+         Ratios compare each optimized kernel against its retained seed implementation \
+         on the *same* host, so they are machine-relative; raw MB/s is never gated.\n",
+        tolerance * 100.0
+    ));
+    for (title, checks) in sections {
+        out.push_str(&format!("\n## {title}\n\n"));
+        out.push_str("| metric | baseline | current | current/baseline | status |\n");
+        out.push_str("|---|---:|---:|---:|---|\n");
+        for c in checks {
+            let status = match (c.pass, c.baseline, c.current) {
+                (_, Some(_), None) => "FAIL (missing)",
+                (_, None, Some(_)) => "new",
+                (true, _, _) => "ok",
+                (false, _, _) => "FAIL",
+            };
+            out.push_str(&format!(
+                "| `{}` | {} | {} | {} | {status} |\n",
+                c.name,
+                fmt(c.baseline),
+                fmt(c.current),
+                fmt(c.ratio()),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdpu_util::json;
+
+    const DOC: &str = r#"{
+      "bench": "cdpu kernel microbenchmarks",
+      "algorithms": [
+        {"name": "snappy", "parse_mb_s": 170.0, "parse_speedup": 1.2, "profile_speedup": 2.25},
+        {"name": "zstd-l3", "parse_speedup": 1.5, "profile_speedup": 1.77}
+      ],
+      "min_profile_speedup": 1.77
+    }"#;
+
+    fn doc() -> Json {
+        json::parse(DOC).expect("fixture parses")
+    }
+
+    #[test]
+    fn extracts_all_speedups_and_skips_raw_throughput() {
+        let m = speedup_metrics(&doc());
+        let names: Vec<&str> = m.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(
+            names,
+            [
+                "min_profile_speedup",
+                "snappy.parse_speedup",
+                "snappy.profile_speedup",
+                "zstd-l3.parse_speedup",
+                "zstd-l3.profile_speedup",
+            ]
+        );
+        assert!((m[0].1 - 1.77).abs() < 1e-9);
+    }
+
+    #[test]
+    fn identical_documents_pass() {
+        let checks = compare(&doc(), &doc(), 0.0);
+        assert_eq!(checks.len(), 5);
+        assert!(checks.iter().all(|c| c.pass));
+        assert!(checks.iter().all(|c| c.ratio() == Some(1.0)));
+        assert!(all_pass(&[("kernels", checks)]));
+    }
+
+    #[test]
+    fn degraded_metric_fails_and_is_named_in_the_report() {
+        let degraded = DOC.replace("\"profile_speedup\": 2.25", "\"profile_speedup\": 1.12");
+        let checks = compare(&doc(), &json::parse(&degraded).expect("parses"), 0.25);
+        let bad: Vec<&MetricCheck> = checks.iter().filter(|c| !c.pass).collect();
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].name, "snappy.profile_speedup");
+        assert!(bad[0].ratio().expect("both sides") < 0.75);
+        let sections = [("kernels", checks)];
+        assert!(!all_pass(&sections));
+        let md = markdown_report(&sections, 0.25);
+        assert!(md.contains("**FAIL**"));
+        assert!(md.contains("| `snappy.profile_speedup` | 2.250 | 1.120 |"));
+    }
+
+    #[test]
+    fn dip_within_tolerance_passes() {
+        let dip = DOC.replace("\"profile_speedup\": 2.25", "\"profile_speedup\": 1.80");
+        let checks = compare(&doc(), &json::parse(&dip).expect("parses"), 0.25);
+        assert!(checks.iter().all(|c| c.pass), "{checks:?}");
+    }
+
+    #[test]
+    fn missing_metric_fails_and_new_metric_is_informational() {
+        let cur = r#"{
+          "algorithms": [
+            {"name": "snappy", "parse_speedup": 1.2, "profile_speedup": 2.25,
+             "extra_speedup": 9.0}
+          ],
+          "min_profile_speedup": 1.77
+        }"#; // zstd-l3 dropped entirely; extra_speedup is new
+        let checks = compare(&doc(), &cdpu_util::json::parse(cur).expect("parses"), 0.25);
+        let missing: Vec<&str> = checks
+            .iter()
+            .filter(|c| c.current.is_none())
+            .map(|c| c.name.as_str())
+            .collect();
+        assert_eq!(missing, ["zstd-l3.parse_speedup", "zstd-l3.profile_speedup"]);
+        assert!(checks.iter().filter(|c| c.current.is_none()).all(|c| !c.pass));
+        let new = checks.iter().find(|c| c.baseline.is_none()).expect("new metric");
+        assert_eq!(new.name, "snappy.extra_speedup");
+        assert!(new.pass);
+        let md = markdown_report(&[("kernels", checks)], 0.25);
+        assert!(md.contains("FAIL (missing)"));
+        assert!(md.contains("| new |"));
+    }
+}

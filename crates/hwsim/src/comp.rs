@@ -23,6 +23,7 @@ use cdpu_util::floor_log2;
 use crate::decomp::{bound_label, DISPATCH_CYCLES};
 use crate::params::{CdpuParams, MemParams};
 use crate::profile::CallProfile;
+use crate::stages::StageCycles;
 use crate::SimResult;
 use cdpu_telemetry::counter;
 
@@ -259,6 +260,22 @@ fn profiled_matcher_cycles(profile: &CallProfile, probe_bpc: f64) -> u64 {
         .round() as u64
 }
 
+/// Per-stage breakdown of one profiled Snappy compression call.
+pub fn snappy_comp_stages(
+    profile: &CallProfile,
+    p: &CdpuParams,
+    mem: &MemParams,
+) -> StageCycles {
+    let io = p.placement.io_injection_cycles(mem.freq_ghz);
+    StageCycles {
+        dispatch: DISPATCH_CYCLES,
+        input_stream: mem.stream_cycles(profile.uncompressed, io),
+        matcher: profiled_matcher_cycles(profile, PROBE_BPC),
+        output_stream: mem.stream_cycles(profile.compressed, io),
+        ..Default::default()
+    }
+}
+
 /// Simulates one Snappy compression call from a pre-built [`CallProfile`]
 /// instead of real data: the matcher stage is charged from the profile's
 /// parse statistics and the output size is the profile's `compressed`
@@ -270,30 +287,26 @@ pub fn snappy_compress_profiled(
     mem: &MemParams,
 ) -> SimResult {
     p.validate();
-    let io = p.placement.io_injection_cycles(mem.freq_ghz);
-    let input = mem.stream_cycles(profile.uncompressed, io);
-    let output = mem.stream_cycles(profile.compressed, io);
-    let compute = profiled_matcher_cycles(profile, PROBE_BPC);
-    let cycles = DISPATCH_CYCLES + input.max(compute).max(output);
+    let s = snappy_comp_stages(profile, p, mem);
     if cdpu_telemetry::enabled() {
         record_comp(
             bound_label(
                 "hwsim.comp.snappy.bound.input",
                 "hwsim.comp.snappy.bound.compute",
                 "hwsim.comp.snappy.bound.output",
-                input,
-                compute,
-                output,
+                s.input_stream,
+                s.compute(),
+                s.output_stream,
             ),
             &[
-                ("hwsim.comp.snappy.input_stream_cycles", input),
-                ("hwsim.comp.snappy.matcher_cycles", compute),
-                ("hwsim.comp.snappy.output_stream_cycles", output),
+                ("hwsim.comp.snappy.input_stream_cycles", s.input_stream),
+                ("hwsim.comp.snappy.matcher_cycles", s.matcher),
+                ("hwsim.comp.snappy.output_stream_cycles", s.output_stream),
             ],
         );
     }
     SimResult {
-        cycles,
+        cycles: s.total(),
         input_bytes: profile.uncompressed,
         output_bytes: profile.compressed,
         freq_ghz: mem.freq_ghz,
@@ -310,44 +323,56 @@ pub fn zstd_compress_profiled(
     mem: &MemParams,
 ) -> SimResult {
     p.validate();
-    let io = p.placement.io_injection_cycles(mem.freq_ghz);
-    let input = mem.stream_cycles(profile.uncompressed, io);
-    let output = mem.stream_cycles(profile.compressed, io);
-
-    let lit = profile.literal_bytes as f64;
-    let matcher = profiled_matcher_cycles(profile, ZSTD_PROBE_BPC);
-    let stats_stage = (lit / p.stats_bytes_per_cycle as f64).round() as u64;
-    let huff_stage = (lit / HUFF_ENC_BPC).round() as u64;
-    let fse_stage = (profile.seqs as f64 / FSE_ENC_SEQS_PER_CYCLE).round() as u64;
-    let builds = profile.huffman_blocks * HUFF_DICT_BUILD + profile.blocks * FSE_DICT_BUILD;
-    let compute = matcher.max(stats_stage).max(huff_stage).max(fse_stage) + builds;
-    let cycles = DISPATCH_CYCLES + input.max(compute).max(output);
+    let s = zstd_comp_stages(profile, p, mem);
     if cdpu_telemetry::enabled() {
         record_comp(
             bound_label(
                 "hwsim.comp.zstd.bound.input",
                 "hwsim.comp.zstd.bound.compute",
                 "hwsim.comp.zstd.bound.output",
-                input,
-                compute,
-                output,
+                s.input_stream,
+                s.compute(),
+                s.output_stream,
             ),
             &[
-                ("hwsim.comp.zstd.input_stream_cycles", input),
-                ("hwsim.comp.zstd.matcher_cycles", matcher),
-                ("hwsim.comp.zstd.stats_cycles", stats_stage),
-                ("hwsim.comp.zstd.huffman_cycles", huff_stage),
-                ("hwsim.comp.zstd.fse_cycles", fse_stage),
-                ("hwsim.comp.zstd.dict_build_cycles", builds),
-                ("hwsim.comp.zstd.output_stream_cycles", output),
+                ("hwsim.comp.zstd.input_stream_cycles", s.input_stream),
+                ("hwsim.comp.zstd.matcher_cycles", s.matcher),
+                ("hwsim.comp.zstd.stats_cycles", s.stats),
+                ("hwsim.comp.zstd.huffman_cycles", s.huffman),
+                ("hwsim.comp.zstd.fse_cycles", s.fse),
+                ("hwsim.comp.zstd.dict_build_cycles", s.table_build),
+                ("hwsim.comp.zstd.output_stream_cycles", s.output_stream),
             ],
         );
     }
     SimResult {
-        cycles,
+        cycles: s.total(),
         input_bytes: profile.uncompressed,
         output_bytes: profile.compressed,
         freq_ghz: mem.freq_ghz,
+    }
+}
+
+/// Per-stage breakdown of one profiled ZStd compression call: matcher,
+/// statistics collection, Huffman/FSE encode, dictionary builds.
+pub fn zstd_comp_stages(
+    profile: &CallProfile,
+    p: &CdpuParams,
+    mem: &MemParams,
+) -> StageCycles {
+    let io = p.placement.io_injection_cycles(mem.freq_ghz);
+    let lit = profile.literal_bytes as f64;
+    StageCycles {
+        dispatch: DISPATCH_CYCLES,
+        input_stream: mem.stream_cycles(profile.uncompressed, io),
+        matcher: profiled_matcher_cycles(profile, ZSTD_PROBE_BPC),
+        stats: (lit / p.stats_bytes_per_cycle as f64).round() as u64,
+        huffman: (lit / HUFF_ENC_BPC).round() as u64,
+        fse: (profile.seqs as f64 / FSE_ENC_SEQS_PER_CYCLE).round() as u64,
+        table_build: profile.huffman_blocks * HUFF_DICT_BUILD
+            + profile.blocks * FSE_DICT_BUILD,
+        output_stream: mem.stream_cycles(profile.compressed, io),
+        ..Default::default()
     }
 }
 
@@ -360,41 +385,52 @@ pub fn flate_compress_profiled(
     mem: &MemParams,
 ) -> SimResult {
     p.validate();
-    let io = p.placement.io_injection_cycles(mem.freq_ghz);
-    let input = mem.stream_cycles(profile.uncompressed, io);
-    let output = mem.stream_cycles(profile.compressed, io);
-
-    let matcher = profiled_matcher_cycles(profile, ZSTD_PROBE_BPC);
-    let huff_stage = ((profile.literal_bytes as f64 + 2.0 * profile.seqs as f64)
-        / HUFF_ENC_BPC)
-        .round() as u64;
-    let builds = profile.blocks * 2 * HUFF_DICT_BUILD;
-    let compute = matcher.max(huff_stage) + builds;
-    let cycles = DISPATCH_CYCLES + input.max(compute).max(output);
+    let s = flate_comp_stages(profile, p, mem);
     if cdpu_telemetry::enabled() {
         record_comp(
             bound_label(
                 "hwsim.comp.flate.bound.input",
                 "hwsim.comp.flate.bound.compute",
                 "hwsim.comp.flate.bound.output",
-                input,
-                compute,
-                output,
+                s.input_stream,
+                s.compute(),
+                s.output_stream,
             ),
             &[
-                ("hwsim.comp.flate.input_stream_cycles", input),
-                ("hwsim.comp.flate.matcher_cycles", matcher),
-                ("hwsim.comp.flate.huffman_cycles", huff_stage),
-                ("hwsim.comp.flate.dict_build_cycles", builds),
-                ("hwsim.comp.flate.output_stream_cycles", output),
+                ("hwsim.comp.flate.input_stream_cycles", s.input_stream),
+                ("hwsim.comp.flate.matcher_cycles", s.matcher),
+                ("hwsim.comp.flate.huffman_cycles", s.huffman),
+                ("hwsim.comp.flate.dict_build_cycles", s.table_build),
+                ("hwsim.comp.flate.output_stream_cycles", s.output_stream),
             ],
         );
     }
     SimResult {
-        cycles,
+        cycles: s.total(),
         input_bytes: profile.uncompressed,
         output_bytes: profile.compressed,
         freq_ghz: mem.freq_ghz,
+    }
+}
+
+/// Per-stage breakdown of one profiled Flate compression call: the ZStd
+/// path minus the FSE stages, with the Huffman encoder carrying literals
+/// plus two coded symbols per sequence.
+pub fn flate_comp_stages(
+    profile: &CallProfile,
+    p: &CdpuParams,
+    mem: &MemParams,
+) -> StageCycles {
+    let io = p.placement.io_injection_cycles(mem.freq_ghz);
+    StageCycles {
+        dispatch: DISPATCH_CYCLES,
+        input_stream: mem.stream_cycles(profile.uncompressed, io),
+        matcher: profiled_matcher_cycles(profile, ZSTD_PROBE_BPC),
+        huffman: ((profile.literal_bytes as f64 + 2.0 * profile.seqs as f64) / HUFF_ENC_BPC)
+            .round() as u64,
+        table_build: profile.blocks * 2 * HUFF_DICT_BUILD,
+        output_stream: mem.stream_cycles(profile.compressed, io),
+        ..Default::default()
     }
 }
 

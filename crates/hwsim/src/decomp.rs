@@ -15,6 +15,7 @@
 
 use crate::params::{CdpuParams, MemParams};
 use crate::profile::CallProfile;
+use crate::stages::StageCycles;
 use crate::SimResult;
 use cdpu_telemetry::counter;
 
@@ -109,99 +110,127 @@ pub(crate) fn bound_label(
     }
 }
 
+/// Per-stage breakdown of one Snappy decompression call: memloader, the
+/// shared LZ77 writer, memwriter.
+pub fn snappy_decomp_stages(
+    profile: &CallProfile,
+    p: &CdpuParams,
+    mem: &MemParams,
+) -> StageCycles {
+    let io = p.placement.io_injection_cycles(mem.freq_ghz);
+    StageCycles {
+        dispatch: DISPATCH_CYCLES,
+        input_stream: mem.stream_cycles(profile.compressed, io),
+        writer: writer_cycles(profile, p, mem),
+        output_stream: mem.stream_cycles(profile.uncompressed, io),
+        ..Default::default()
+    }
+}
+
 /// Simulates one Snappy decompression call.
 pub fn snappy_decompress(profile: &CallProfile, p: &CdpuParams, mem: &MemParams) -> SimResult {
     p.validate();
-    let io = p.placement.io_injection_cycles(mem.freq_ghz);
-    let input = mem.stream_cycles(profile.compressed, io);
-    let output = mem.stream_cycles(profile.uncompressed, io);
-    let compute = writer_cycles(profile, p, mem);
-    let cycles = DISPATCH_CYCLES + input.max(compute).max(output);
+    let s = snappy_decomp_stages(profile, p, mem);
     if cdpu_telemetry::enabled() {
         record_decomp_common(
             bound_label(
                 "hwsim.decomp.snappy.bound.input",
                 "hwsim.decomp.snappy.bound.compute",
                 "hwsim.decomp.snappy.bound.output",
-                input,
-                compute,
-                output,
+                s.input_stream,
+                s.compute(),
+                s.output_stream,
             ),
             profile,
             p,
             &[
-                ("hwsim.decomp.snappy.input_stream_cycles", input),
-                ("hwsim.decomp.snappy.writer_cycles", compute),
-                ("hwsim.decomp.snappy.output_stream_cycles", output),
+                ("hwsim.decomp.snappy.input_stream_cycles", s.input_stream),
+                ("hwsim.decomp.snappy.writer_cycles", s.writer),
+                ("hwsim.decomp.snappy.output_stream_cycles", s.output_stream),
             ],
         );
     }
     SimResult {
-        cycles,
+        cycles: s.total(),
         input_bytes: profile.compressed,
         output_bytes: profile.uncompressed,
         freq_ghz: mem.freq_ghz,
     }
 }
 
-/// Simulates one ZStd decompression call.
-pub fn zstd_decompress(profile: &CallProfile, p: &CdpuParams, mem: &MemParams) -> SimResult {
-    p.validate();
-    let io = p.placement.io_injection_cycles(mem.freq_ghz);
-    let input = mem.stream_cycles(profile.compressed, io);
-    let output = mem.stream_cycles(profile.uncompressed, io);
-
-    // Entropy stages: Huffman-coded literal expansion and FSE sequence
-    // decode run concurrently with the writer; table builds serialize per
-    // block (the expander cannot decode while its table SRAM is filling).
-    let huff_tp = huffman_bytes_per_cycle(p.spec_ways);
-    // Literal bytes that went through Huffman (approximated by the share
-    // of blocks that chose Huffman literals).
-    let huff_lit = if profile.blocks == 0 {
+/// Literal bytes that went through Huffman (approximated by the share of
+/// blocks that chose Huffman literals).
+fn zstd_huff_lit(profile: &CallProfile) -> f64 {
+    if profile.blocks == 0 {
         0.0
     } else {
         profile.literal_bytes as f64 * profile.huffman_blocks as f64 / profile.blocks as f64
-    };
-    let raw_lit = profile.literal_bytes as f64 - huff_lit;
-    let huff_stage = (huff_lit / huff_tp + raw_lit / LIT_WRITE_BPC).round() as u64;
-    let fse_stage = (profile.seqs as f64 / FSE_SEQS_PER_CYCLE).round() as u64;
-    let writer = writer_cycles(profile, p, mem);
-    let table_builds =
-        profile.huffman_blocks * HUFF_BUILD_CYCLES + profile.blocks * FSE_BUILD_CYCLES;
+    }
+}
 
-    let compute = huff_stage.max(fse_stage).max(writer) + table_builds;
-    let cycles = DISPATCH_CYCLES + input.max(compute).max(output);
+/// Per-stage breakdown of one ZStd decompression call.
+///
+/// Entropy stages — Huffman-coded literal expansion and FSE sequence
+/// decode — run concurrently with the writer; table builds serialize per
+/// block (the expander cannot decode while its table SRAM is filling).
+pub fn zstd_decomp_stages(
+    profile: &CallProfile,
+    p: &CdpuParams,
+    mem: &MemParams,
+) -> StageCycles {
+    let io = p.placement.io_injection_cycles(mem.freq_ghz);
+    let huff_tp = huffman_bytes_per_cycle(p.spec_ways);
+    let huff_lit = zstd_huff_lit(profile);
+    let raw_lit = profile.literal_bytes as f64 - huff_lit;
+    StageCycles {
+        dispatch: DISPATCH_CYCLES,
+        input_stream: mem.stream_cycles(profile.compressed, io),
+        huffman: (huff_lit / huff_tp + raw_lit / LIT_WRITE_BPC).round() as u64,
+        fse: (profile.seqs as f64 / FSE_SEQS_PER_CYCLE).round() as u64,
+        writer: writer_cycles(profile, p, mem),
+        table_build: profile.huffman_blocks * HUFF_BUILD_CYCLES
+            + profile.blocks * FSE_BUILD_CYCLES,
+        output_stream: mem.stream_cycles(profile.uncompressed, io),
+        ..Default::default()
+    }
+}
+
+/// Simulates one ZStd decompression call.
+pub fn zstd_decompress(profile: &CallProfile, p: &CdpuParams, mem: &MemParams) -> SimResult {
+    p.validate();
+    let s = zstd_decomp_stages(profile, p, mem);
     if cdpu_telemetry::enabled() {
         record_decomp_common(
             bound_label(
                 "hwsim.decomp.zstd.bound.input",
                 "hwsim.decomp.zstd.bound.compute",
                 "hwsim.decomp.zstd.bound.output",
-                input,
-                compute,
-                output,
+                s.input_stream,
+                s.compute(),
+                s.output_stream,
             ),
             profile,
             p,
             &[
-                ("hwsim.decomp.zstd.input_stream_cycles", input),
-                ("hwsim.decomp.zstd.huffman_cycles", huff_stage),
-                ("hwsim.decomp.zstd.fse_cycles", fse_stage),
-                ("hwsim.decomp.zstd.writer_cycles", writer),
-                ("hwsim.decomp.zstd.table_build_cycles", table_builds),
-                ("hwsim.decomp.zstd.output_stream_cycles", output),
+                ("hwsim.decomp.zstd.input_stream_cycles", s.input_stream),
+                ("hwsim.decomp.zstd.huffman_cycles", s.huffman),
+                ("hwsim.decomp.zstd.fse_cycles", s.fse),
+                ("hwsim.decomp.zstd.writer_cycles", s.writer),
+                ("hwsim.decomp.zstd.table_build_cycles", s.table_build),
+                ("hwsim.decomp.zstd.output_stream_cycles", s.output_stream),
             ],
         );
         // Speculation accounting per the √spec model: decoding one useful
         // byte launches `spec_ways` candidate starts of which only
         // ~√spec-aligned ones contribute, so the wasted share per useful
         // byte is √spec − 1 mispredicted starts.
+        let huff_lit = zstd_huff_lit(profile);
         let waste = (p.spec_ways as f64).sqrt() - 1.0;
         counter!("hwsim.spec.decoded_bytes").add(huff_lit.round() as u64);
         counter!("hwsim.spec.mispredict_bytes").add((huff_lit * waste).round() as u64);
     }
     SimResult {
-        cycles,
+        cycles: s.total(),
         input_bytes: profile.compressed,
         output_bytes: profile.uncompressed,
         freq_ghz: mem.freq_ghz,
@@ -213,46 +242,55 @@ pub fn zstd_decompress(profile: &CallProfile, p: &CdpuParams, mem: &MemParams) -
 /// expander as literals (DEFLATE's single symbol stream).
 pub fn flate_decompress(profile: &CallProfile, p: &CdpuParams, mem: &MemParams) -> SimResult {
     p.validate();
-    let io = p.placement.io_injection_cycles(mem.freq_ghz);
-    let input = mem.stream_cycles(profile.compressed, io);
-    let output = mem.stream_cycles(profile.uncompressed, io);
-
-    let huff_tp = huffman_bytes_per_cycle(p.spec_ways);
-    // Literals plus ~2 coded symbols per sequence (length + distance),
-    // charged at one literal-equivalent each.
-    let symbol_bytes = profile.literal_bytes as f64 + 2.0 * profile.seqs as f64;
-    let huff_stage = (symbol_bytes / huff_tp).round() as u64;
-    let writer = writer_cycles(profile, p, mem);
-    let table_builds = profile.huffman_blocks * 2 * HUFF_BUILD_CYCLES; // lit/len + dist tables
-
-    let compute = huff_stage.max(writer) + table_builds;
-    let cycles = DISPATCH_CYCLES + input.max(compute).max(output);
+    let s = flate_decomp_stages(profile, p, mem);
     if cdpu_telemetry::enabled() {
         record_decomp_common(
             bound_label(
                 "hwsim.decomp.flate.bound.input",
                 "hwsim.decomp.flate.bound.compute",
                 "hwsim.decomp.flate.bound.output",
-                input,
-                compute,
-                output,
+                s.input_stream,
+                s.compute(),
+                s.output_stream,
             ),
             profile,
             p,
             &[
-                ("hwsim.decomp.flate.input_stream_cycles", input),
-                ("hwsim.decomp.flate.huffman_cycles", huff_stage),
-                ("hwsim.decomp.flate.writer_cycles", writer),
-                ("hwsim.decomp.flate.table_build_cycles", table_builds),
-                ("hwsim.decomp.flate.output_stream_cycles", output),
+                ("hwsim.decomp.flate.input_stream_cycles", s.input_stream),
+                ("hwsim.decomp.flate.huffman_cycles", s.huffman),
+                ("hwsim.decomp.flate.writer_cycles", s.writer),
+                ("hwsim.decomp.flate.table_build_cycles", s.table_build),
+                ("hwsim.decomp.flate.output_stream_cycles", s.output_stream),
             ],
         );
     }
     SimResult {
-        cycles,
+        cycles: s.total(),
         input_bytes: profile.compressed,
         output_bytes: profile.uncompressed,
         freq_ghz: mem.freq_ghz,
+    }
+}
+
+/// Per-stage breakdown of one Flate decompression call: literals plus ~2
+/// coded symbols per sequence (length + distance) all flow through the
+/// Huffman expander, charged at one literal-equivalent each.
+pub fn flate_decomp_stages(
+    profile: &CallProfile,
+    p: &CdpuParams,
+    mem: &MemParams,
+) -> StageCycles {
+    let io = p.placement.io_injection_cycles(mem.freq_ghz);
+    let huff_tp = huffman_bytes_per_cycle(p.spec_ways);
+    let symbol_bytes = profile.literal_bytes as f64 + 2.0 * profile.seqs as f64;
+    StageCycles {
+        dispatch: DISPATCH_CYCLES,
+        input_stream: mem.stream_cycles(profile.compressed, io),
+        huffman: (symbol_bytes / huff_tp).round() as u64,
+        writer: writer_cycles(profile, p, mem),
+        table_build: profile.huffman_blocks * 2 * HUFF_BUILD_CYCLES, // lit/len + dist tables
+        output_stream: mem.stream_cycles(profile.uncompressed, io),
+        ..Default::default()
     }
 }
 

@@ -41,6 +41,7 @@ pub mod decomp;
 pub mod params;
 pub mod profile;
 pub mod service;
+pub mod stages;
 
 /// Result of simulating one accelerator call.
 #[derive(Debug, Clone, Copy, PartialEq)]

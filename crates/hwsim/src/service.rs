@@ -23,6 +23,7 @@ use crate::comp;
 use crate::decomp;
 use crate::params::{CdpuParams, MemParams};
 use crate::profile::CallProfile;
+use crate::stages::StageCycles;
 use crate::SimResult;
 use cdpu_fleet::{Algorithm, AlgoOp, CallRecord, Direction};
 
@@ -181,6 +182,28 @@ pub fn service_cycles(call: &CallRecord, p: &CdpuParams, mem: &MemParams) -> u64
     service_sim(call, p, mem).cycles
 }
 
+/// Per-stage cycle breakdown for one fleet call — the attribution behind
+/// [`service_cycles`]: `service_stages(c, p, mem).total()` is exactly the
+/// cycles the serving simulator prices the call at. The observability
+/// layer uses this to explain *why* a retained slow-call exemplar was
+/// slow (which pipeline stage bounded it), without re-running anything.
+pub fn service_stages(call: &CallRecord, p: &CdpuParams, mem: &MemParams) -> StageCycles {
+    p.validate();
+    let profile = synthetic_profile(call.op, call.uncompressed_bytes, call.level);
+    match (class_of(call.op.algo), call.op.dir) {
+        (PipeClass::Snappy, Direction::Decompress) => {
+            decomp::snappy_decomp_stages(&profile, p, mem)
+        }
+        (PipeClass::Zstd, Direction::Decompress) => decomp::zstd_decomp_stages(&profile, p, mem),
+        (PipeClass::Flate, Direction::Decompress) => {
+            decomp::flate_decomp_stages(&profile, p, mem)
+        }
+        (PipeClass::Snappy, Direction::Compress) => comp::snappy_comp_stages(&profile, p, mem),
+        (PipeClass::Zstd, Direction::Compress) => comp::zstd_comp_stages(&profile, p, mem),
+        (PipeClass::Flate, Direction::Compress) => comp::flate_comp_stages(&profile, p, mem),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -295,6 +318,32 @@ mod tests {
         let fast = synthetic_profile(AlgoOp::new(Algorithm::Zstd, Direction::Compress), 1 << 20, Some(1));
         let high = synthetic_profile(AlgoOp::new(Algorithm::Zstd, Direction::Compress), 1 << 20, Some(12));
         assert!(high.compressed < fast.compressed);
+    }
+
+    #[test]
+    fn stage_breakdown_totals_match_service_cycles() {
+        // The exemplar attribution path must agree exactly with the
+        // pricing path: for every op and a spread of sizes, the stage
+        // breakdown's total is the priced cycle count, and the parts are
+        // internally consistent.
+        let p = CdpuParams::default();
+        let mem = MemParams::default();
+        for op in AlgoOp::all() {
+            for bytes in [1024u64, 64 * 1024, 1 << 20, 4 << 20] {
+                let c = call(op.algo, op.dir, bytes, Some(3));
+                let stages = service_stages(&c, &p, &mem);
+                assert_eq!(
+                    stages.total(),
+                    service_cycles(&c, &p, &mem),
+                    "{op} {bytes} B: breakdown disagrees with pricing"
+                );
+                assert!(stages.dispatch > 0, "{op}: dispatch always charged");
+                assert!(
+                    ["input", "compute", "output"].contains(&stages.bound()),
+                    "{op}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -20,6 +20,10 @@
 //!   instance tracking.
 //! - [`report`]: per-tenant and aggregate tail-latency reports
 //!   (p50/p99/p99.9 wait and sojourn, utilization, goodput).
+//! - [`obs`]: time-resolved observability — tumbling-window tenant
+//!   timelines, per-tenant SLO burn-rate/error-budget tracking with an
+//!   overload-onset detector, and slow-call exemplars attributed to the
+//!   pipeline stage that bounded them.
 //!
 //! Everything is deterministic from `ServeConfig::seed`: two runs of the
 //! same config produce bit-identical event logs and reports, regardless
@@ -27,11 +31,13 @@
 //! lives one level up, across independent load points).
 
 pub mod event;
+pub mod obs;
 pub mod report;
 pub mod scheduler;
 pub mod sim;
 pub mod tenants;
 
+pub use obs::{ObsConfig, ObsReport, SloSpec};
 pub use report::{ServeReport, SizeBin, TenantReport};
 pub use scheduler::SchedKind;
 pub use sim::{offload_overhead_ps, ServeConfig};

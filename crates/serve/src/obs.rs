@@ -1,0 +1,682 @@
+//! Time-resolved serving-tier observability: per-tenant windowed
+//! timelines, SLO burn-rate tracking, and slow-call exemplars.
+//!
+//! The aggregate [`crate::report::ServeReport`] answers "how did the run
+//! end up"; operating a serving tier needs the time axis back: *when* did
+//! a tenant's p99 degrade, which windows burned error budget, which
+//! individual calls were the slow ones and which pipeline stage made them
+//! slow. This module collects all of that during the discrete-event run
+//! (keyed on simulated picoseconds, using the owned tumbling-window
+//! primitives from `cdpu_telemetry::window`) and renders it as the
+//! `figures --obs` report.
+//!
+//! Everything here follows the simulator's determinism discipline: the
+//! collected state is a pure function of the event sequence, so two runs
+//! of the same config produce bit-identical observability reports,
+//! serial or parallel.
+
+use crate::scheduler::Job;
+use crate::sim::ServeConfig;
+use crate::tenants::TenantSpec;
+use cdpu_fleet::{AlgoOp, CallRecord};
+use cdpu_hwsim::service::service_stages;
+use cdpu_hwsim::stages::StageCycles;
+use cdpu_telemetry::window::{window_of, ExemplarStore, MaxSeries, RateSeries, WindowedHistogram};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A per-tenant service-level objective on queueing delay: at least
+/// `objective` of the tenant's started calls must have waited no longer
+/// than `wait_limit_ps`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloSpec {
+    /// Tenant name the objective applies to.
+    pub tenant: String,
+    /// A call is "good" if its queue wait is ≤ this many picoseconds.
+    pub wait_limit_ps: u64,
+    /// Target good fraction, e.g. `0.99` for "p99 wait under the limit".
+    pub objective: f64,
+}
+
+/// Configuration of the observability collection for one run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObsConfig {
+    /// Tumbling-window width on the simulated clock, picoseconds.
+    pub window_ps: u64,
+    /// Slow-call exemplars retained per window (K slowest by sojourn).
+    pub exemplars_per_window: usize,
+    /// Per-tenant SLOs to track burn rate against.
+    pub slos: Vec<SloSpec>,
+    /// A window "alerts" when its burn rate reaches this multiple of the
+    /// sustainable rate (1.0 = budget burning exactly as provisioned).
+    pub burn_alert: f64,
+    /// Overload onset is declared at the first run of this many
+    /// consecutive alerting windows.
+    pub onset_windows: usize,
+}
+
+impl ObsConfig {
+    /// Workable defaults for the given window width: 3 exemplars per
+    /// window, no SLOs, onset on 2 consecutive windows burning ≥ 2×.
+    pub fn new(window_ps: u64) -> Self {
+        assert!(window_ps > 0, "window width must be positive");
+        ObsConfig {
+            window_ps,
+            exemplars_per_window: 3,
+            slos: Vec::new(),
+            burn_alert: 2.0,
+            onset_windows: 2,
+        }
+    }
+}
+
+/// Identity of one retained slow call — enough to reconstruct its
+/// synthetic profile (and therefore its stage breakdown) at report time
+/// without storing anything per non-retained call.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct ExemplarCall {
+    job_id: u64,
+    tenant: u32,
+    op: AlgoOp,
+    bytes: u64,
+    level: Option<i32>,
+    arrival_ps: u64,
+    wait_ps: u64,
+    service_ps: u64,
+}
+
+/// Live collection state, owned by the simulator's `RunState`.
+pub(crate) struct ObsState {
+    cfg: ObsConfig,
+    // Per-tenant series, indexed like `ServeConfig::tenants`.
+    wait_hists: Vec<WindowedHistogram>,
+    arrivals: Vec<RateSeries>,
+    completions: Vec<RateSeries>,
+    drops: Vec<RateSeries>,
+    // Aggregate instance/queue occupancy.
+    busy: RateSeries,
+    queue_area: RateSeries,
+    queue_peak: MaxSeries,
+    last_q_change_ps: u64,
+    last_q_depth: u64,
+    // Per-SLO good/total counts, indexed like `cfg.slos`; each maps to a
+    // tenant index (or None for an unknown tenant name).
+    slo_tenant: Vec<Option<usize>>,
+    slo_good: Vec<RateSeries>,
+    slo_total: Vec<RateSeries>,
+    // Calls sampled at arrival but not yet started: their algorithm and
+    // level, needed if they end up retained as exemplars.
+    pending: BTreeMap<u64, (AlgoOp, Option<i32>)>,
+    exemplars: ExemplarStore<ExemplarCall>,
+}
+
+impl ObsState {
+    pub(crate) fn new(cfg: ObsConfig, tenants: &[TenantSpec]) -> Self {
+        let w = cfg.window_ps;
+        let n = tenants.len();
+        let slo_tenant = cfg
+            .slos
+            .iter()
+            .map(|s| tenants.iter().position(|t| t.name == s.tenant))
+            .collect();
+        let n_slos = cfg.slos.len();
+        ObsState {
+            exemplars: ExemplarStore::new(w, cfg.exemplars_per_window),
+            wait_hists: (0..n).map(|_| WindowedHistogram::new(w)).collect(),
+            arrivals: (0..n).map(|_| RateSeries::new(w)).collect(),
+            completions: (0..n).map(|_| RateSeries::new(w)).collect(),
+            drops: (0..n).map(|_| RateSeries::new(w)).collect(),
+            busy: RateSeries::new(w),
+            queue_area: RateSeries::new(w),
+            queue_peak: MaxSeries::new(w),
+            last_q_change_ps: 0,
+            last_q_depth: 0,
+            slo_tenant,
+            slo_good: (0..n_slos).map(|_| RateSeries::new(w)).collect(),
+            slo_total: (0..n_slos).map(|_| RateSeries::new(w)).collect(),
+            pending: BTreeMap::new(),
+            cfg,
+        }
+    }
+
+    pub(crate) fn on_arrival(&mut self, now: u64, job: &Job, call: &CallRecord) {
+        self.arrivals[job.tenant as usize].add(now, 1);
+        self.pending.insert(job.id, (call.op, call.level));
+    }
+
+    pub(crate) fn on_drop(&mut self, now: u64, job: &Job) {
+        self.drops[job.tenant as usize].add(now, 1);
+        self.pending.remove(&job.id);
+    }
+
+    /// Called when a job enters service: the point its queue wait becomes
+    /// known. Windows are keyed at the service-start time.
+    pub(crate) fn on_start(&mut self, now: u64, job: &Job) {
+        let ti = job.tenant as usize;
+        let wait = now - job.arrival_ps;
+        self.wait_hists[ti].record(now, wait);
+        self.busy.add_span(now, job.service_ps, 1);
+        for (si, spec) in self.cfg.slos.iter().enumerate() {
+            if self.slo_tenant[si] == Some(ti) {
+                self.slo_total[si].add(now, 1);
+                if wait <= spec.wait_limit_ps {
+                    self.slo_good[si].add(now, 1);
+                }
+            }
+        }
+        let (op, level) = self
+            .pending
+            .remove(&job.id)
+            .expect("started job was seen at arrival");
+        self.exemplars.offer(
+            now,
+            wait + job.service_ps,
+            ExemplarCall {
+                job_id: job.id,
+                tenant: job.tenant,
+                op,
+                bytes: job.bytes,
+                level,
+                arrival_ps: job.arrival_ps,
+                wait_ps: wait,
+                service_ps: job.service_ps,
+            },
+        );
+    }
+
+    pub(crate) fn on_completion(&mut self, now: u64, job: &Job) {
+        self.completions[job.tenant as usize].add(now, 1);
+    }
+
+    /// Called at every queue-depth change: accrues the depth-time area of
+    /// the interval since the previous change.
+    pub(crate) fn on_queue_depth(&mut self, now: u64, depth: u64) {
+        if now > self.last_q_change_ps {
+            self.queue_area
+                .add_span(self.last_q_change_ps, now - self.last_q_change_ps, self.last_q_depth);
+        }
+        self.last_q_change_ps = now;
+        self.last_q_depth = depth;
+        self.queue_peak.observe(now, depth);
+    }
+
+    /// Freezes the collected state into a report. `end_ps` is the last
+    /// simulated instant (final departure).
+    pub(crate) fn into_report(mut self, cfg: &ServeConfig, end_ps: u64) -> ObsReport {
+        // Close the final queue-depth interval.
+        self.on_queue_depth(end_ps, self.last_q_depth);
+        let width = self.cfg.window_ps;
+        let n_windows = window_of(end_ps, width) + 1;
+        let instance_ps = width.saturating_mul(cfg.instances as u64).max(1);
+
+        let utilization = (0..n_windows)
+            .map(|w| UtilWindow {
+                window: w,
+                busy_frac: self.busy.get(w) as f64 / instance_ps as f64,
+                mean_queue_depth: self.queue_area.get(w) as f64 / width as f64,
+                peak_queue_depth: self.queue_peak.get(w),
+            })
+            .collect();
+
+        let tenants = cfg
+            .tenants
+            .iter()
+            .enumerate()
+            .map(|(ti, spec)| TenantTimeline {
+                name: spec.name.clone(),
+                windows: (0..n_windows)
+                    .map(|w| {
+                        let snap = self.wait_hists[ti].window(w);
+                        TenantWindow {
+                            window: w,
+                            arrivals: self.arrivals[ti].get(w),
+                            completions: self.completions[ti].get(w),
+                            drops: self.drops[ti].get(w),
+                            started: snap.as_ref().map_or(0, |s| s.count),
+                            wait_p50_ns: snap.as_ref().map_or(0.0, |s| s.quantile(0.50) / 1e3),
+                            wait_p99_ns: snap.as_ref().map_or(0.0, |s| s.quantile(0.99) / 1e3),
+                            wait_max_ns: snap.as_ref().map_or(0.0, |s| s.max as f64 / 1e3),
+                        }
+                    })
+                    .collect(),
+            })
+            .collect();
+
+        let slos: Vec<SloOutcome> = self
+            .cfg
+            .slos
+            .iter()
+            .enumerate()
+            .map(|(si, spec)| {
+                let denom = (1.0 - spec.objective).max(1e-9);
+                let windows: Vec<SloWindow> = (0..n_windows)
+                    .map(|w| {
+                        let calls = self.slo_total[si].get(w);
+                        let good = self.slo_good[si].get(w);
+                        let burn_rate = if calls == 0 {
+                            0.0
+                        } else {
+                            (1.0 - good as f64 / calls as f64) / denom
+                        };
+                        SloWindow { window: w, calls, good, burn_rate }
+                    })
+                    .collect();
+                let total_calls = self.slo_total[si].total();
+                let total_good = self.slo_good[si].total();
+                let budget_consumed = if total_calls == 0 {
+                    0.0
+                } else {
+                    (total_calls - total_good) as f64 / (denom * total_calls as f64)
+                };
+                SloOutcome {
+                    tenant: spec.tenant.clone(),
+                    wait_limit_ps: spec.wait_limit_ps,
+                    objective: spec.objective,
+                    onset_window: onset_of(&windows, self.cfg.burn_alert, self.cfg.onset_windows),
+                    total_calls,
+                    total_good,
+                    budget_consumed,
+                    windows,
+                }
+            })
+            .collect();
+        let onset_window = slos.iter().filter_map(|s| s.onset_window).min();
+
+        let exemplars = self
+            .exemplars
+            .iter()
+            .map(|(w, ex)| {
+                let c = &ex.payload;
+                let call = CallRecord {
+                    op: c.op,
+                    uncompressed_bytes: c.bytes,
+                    level: c.level,
+                    window_log: None,
+                    caller: "serve-obs",
+                };
+                let stages = service_stages(&call, &cfg.params, &cfg.mem);
+                ExemplarReport {
+                    window: w,
+                    tenant: cfg.tenants[c.tenant as usize].name.clone(),
+                    job_id: c.job_id,
+                    op: c.op,
+                    bytes: c.bytes,
+                    arrival_ps: c.arrival_ps,
+                    wait_ps: c.wait_ps,
+                    service_ps: c.service_ps,
+                    bound: stages.bound(),
+                    stages,
+                }
+            })
+            .collect();
+
+        ObsReport {
+            window_ps: width,
+            end_ps,
+            utilization,
+            tenants,
+            slos,
+            onset_window,
+            exemplars,
+        }
+    }
+}
+
+/// First window index starting `need` consecutive windows with
+/// `burn_rate >= alert` (empty windows break a run).
+fn onset_of(windows: &[SloWindow], alert: f64, need: usize) -> Option<u64> {
+    if need == 0 {
+        return None;
+    }
+    let mut run_start = None;
+    let mut run_len = 0usize;
+    for w in windows {
+        if w.calls > 0 && w.burn_rate >= alert {
+            if run_len == 0 {
+                run_start = Some(w.window);
+            }
+            run_len += 1;
+            if run_len >= need {
+                return run_start;
+            }
+        } else {
+            run_len = 0;
+            run_start = None;
+        }
+    }
+    None
+}
+
+/// Aggregate occupancy of one window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UtilWindow {
+    /// Window index (window `w` covers `[w·width, (w+1)·width)` ps).
+    pub window: u64,
+    /// Busy instance-time over provisioned instance-time.
+    pub busy_frac: f64,
+    /// Time-weighted mean queue depth.
+    pub mean_queue_depth: f64,
+    /// Peak queue depth observed in the window.
+    pub peak_queue_depth: u64,
+}
+
+/// One tenant's activity in one window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TenantWindow {
+    /// Window index.
+    pub window: u64,
+    /// Calls that arrived.
+    pub arrivals: u64,
+    /// Calls that departed.
+    pub completions: u64,
+    /// Calls shed at a full queue.
+    pub drops: u64,
+    /// Calls that entered service (wait sample size).
+    pub started: u64,
+    /// Median queue wait of calls started this window, ns.
+    pub wait_p50_ns: f64,
+    /// p99 queue wait, ns (interpolated within log2 buckets).
+    pub wait_p99_ns: f64,
+    /// Worst queue wait, ns (exact).
+    pub wait_max_ns: f64,
+}
+
+/// One tenant's full timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantTimeline {
+    /// Tenant name.
+    pub name: String,
+    /// One row per window, dense from window 0.
+    pub windows: Vec<TenantWindow>,
+}
+
+/// One window's SLO accounting.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloWindow {
+    /// Window index.
+    pub window: u64,
+    /// Calls started (the SLO population).
+    pub calls: u64,
+    /// Calls that met the wait limit.
+    pub good: u64,
+    /// Violation fraction over the sustainable violation fraction
+    /// `1 − objective`; 1.0 means the error budget burns exactly as
+    /// provisioned, higher burns faster.
+    pub burn_rate: f64,
+}
+
+/// Outcome of one SLO over the whole run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloOutcome {
+    /// Tenant under the objective.
+    pub tenant: String,
+    /// The wait limit, ps.
+    pub wait_limit_ps: u64,
+    /// Target good fraction.
+    pub objective: f64,
+    /// Per-window burn accounting.
+    pub windows: Vec<SloWindow>,
+    /// Calls started under this SLO.
+    pub total_calls: u64,
+    /// Calls that met the limit.
+    pub total_good: u64,
+    /// Fraction of the whole-run error budget consumed (> 1.0 = SLO
+    /// violated over the run).
+    pub budget_consumed: f64,
+    /// First window of the first `onset_windows`-long run of windows
+    /// burning ≥ `burn_alert` — the overload-onset detector.
+    pub onset_window: Option<u64>,
+}
+
+/// One retained slow-call exemplar with its stage attribution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExemplarReport {
+    /// Window the call started service in.
+    pub window: u64,
+    /// Owning tenant.
+    pub tenant: String,
+    /// Global job id (arrival order).
+    pub job_id: u64,
+    /// Algorithm and direction.
+    pub op: AlgoOp,
+    /// Uncompressed bytes.
+    pub bytes: u64,
+    /// Arrival time, ps.
+    pub arrival_ps: u64,
+    /// Queue wait, ps.
+    pub wait_ps: u64,
+    /// Accelerator-resident service time, ps.
+    pub service_ps: u64,
+    /// Per-stage cycle breakdown of the service time.
+    pub stages: StageCycles,
+    /// The streaming stage that bounded the call.
+    pub bound: &'static str,
+}
+
+impl ExemplarReport {
+    /// Sojourn time (wait + service), ps.
+    pub fn total_ps(&self) -> u64 {
+        self.wait_ps + self.service_ps
+    }
+}
+
+/// The time-resolved observability report of one run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObsReport {
+    /// Window width, ps.
+    pub window_ps: u64,
+    /// Last simulated instant, ps.
+    pub end_ps: u64,
+    /// Aggregate occupancy per window, dense from window 0.
+    pub utilization: Vec<UtilWindow>,
+    /// Per-tenant timelines, in tenant order.
+    pub tenants: Vec<TenantTimeline>,
+    /// SLO outcomes, in `ObsConfig::slos` order.
+    pub slos: Vec<SloOutcome>,
+    /// Earliest overload onset across SLOs.
+    pub onset_window: Option<u64>,
+    /// Slow-call exemplars, windows ascending, slowest first within a
+    /// window.
+    pub exemplars: Vec<ExemplarReport>,
+}
+
+fn ms(ps: u64) -> f64 {
+    ps as f64 / 1e9
+}
+
+impl ObsReport {
+    /// Renders the utilization and per-tenant timelines as markdown.
+    pub fn timelines_markdown(&self) -> String {
+        let mut out = String::new();
+        let w_ms = ms(self.window_ps);
+        let _ = writeln!(out, "## Fleet timeline ({w_ms:.2} ms windows)\n");
+        out.push_str("| window | t (ms) | busy | mean depth | peak depth |\n");
+        out.push_str("|-------:|-------:|-----:|-----------:|-----------:|\n");
+        for u in &self.utilization {
+            let _ = writeln!(
+                out,
+                "| {} | {:.2} | {:.0}% | {:.1} | {} |",
+                u.window,
+                u.window as f64 * w_ms,
+                u.busy_frac * 100.0,
+                u.mean_queue_depth,
+                u.peak_queue_depth
+            );
+        }
+        for t in &self.tenants {
+            let _ = writeln!(out, "\n### Tenant `{}`\n", t.name);
+            out.push_str(
+                "| window | arrivals | started | completed | dropped | p50 wait (ns) | p99 wait (ns) | max wait (ns) |\n",
+            );
+            out.push_str(
+                "|-------:|---------:|--------:|----------:|--------:|--------------:|--------------:|--------------:|\n",
+            );
+            for r in &t.windows {
+                let _ = writeln!(
+                    out,
+                    "| {} | {} | {} | {} | {} | {:.0} | {:.0} | {:.0} |",
+                    r.window,
+                    r.arrivals,
+                    r.started,
+                    r.completions,
+                    r.drops,
+                    r.wait_p50_ns,
+                    r.wait_p99_ns,
+                    r.wait_max_ns
+                );
+            }
+        }
+        out
+    }
+
+    /// Renders SLO burn rates, error budgets and onset as markdown.
+    pub fn slo_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str("## SLO burn rate\n");
+        if self.slos.is_empty() {
+            out.push_str("\nNo SLOs configured.\n");
+            return out;
+        }
+        for s in &self.slos {
+            let _ = writeln!(
+                out,
+                "\n### `{}`: p{} wait ≤ {:.3} ms",
+                s.tenant,
+                s.objective * 100.0, // f64 Display: "99", "99.9" — no zero padding
+                ms(s.wait_limit_ps)
+            );
+            let _ = writeln!(
+                out,
+                "\ncalls {}  good {}  budget consumed {:.0}%  onset {}\n",
+                s.total_calls,
+                s.total_good,
+                s.budget_consumed * 100.0,
+                s.onset_window
+                    .map_or("none".to_string(), |w| format!("window {w}")),
+            );
+            out.push_str("| window | calls | good | burn |\n");
+            out.push_str("|-------:|------:|-----:|-----:|\n");
+            for w in &s.windows {
+                let _ = writeln!(
+                    out,
+                    "| {} | {} | {} | {:.2} |",
+                    w.window, w.calls, w.good, w.burn_rate
+                );
+            }
+        }
+        match self.onset_window {
+            Some(w) => {
+                let _ = writeln!(
+                    out,
+                    "\n**Overload onset: window {w} (t = {:.2} ms).**",
+                    w as f64 * ms(self.window_ps)
+                );
+            }
+            None => out.push_str("\nNo overload onset detected.\n"),
+        }
+        out
+    }
+
+    /// Renders the slow-call exemplars with stage attribution as markdown.
+    pub fn exemplars_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str("## Slow-call exemplars\n\n");
+        if self.exemplars.is_empty() {
+            out.push_str("None retained.\n");
+            return out;
+        }
+        out.push_str(
+            "| window | tenant | job | op | bytes | wait (ms) | service (ms) | bound | stage cycles |\n",
+        );
+        out.push_str(
+            "|-------:|--------|----:|----|------:|----------:|-------------:|-------|--------------|\n",
+        );
+        for e in &self.exemplars {
+            let stages = e
+                .stages
+                .parts()
+                .iter()
+                .map(|(n, c)| format!("{n} {c}"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            let _ = writeln!(
+                out,
+                "| {} | {} | {} | {} | {} | {:.3} | {:.3} | {} | {} |",
+                e.window,
+                e.tenant,
+                e.job_id,
+                e.op,
+                e.bytes,
+                ms(e.wait_ps),
+                ms(e.service_ps),
+                e.bound,
+                stages
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn slo_windows(burns: &[(u64, f64)]) -> Vec<SloWindow> {
+        burns
+            .iter()
+            .map(|&(calls, burn_rate)| SloWindow { window: 0, calls, good: 0, burn_rate })
+            .enumerate()
+            .map(|(i, mut w)| {
+                w.window = i as u64;
+                w
+            })
+            .collect()
+    }
+
+    #[test]
+    fn onset_requires_consecutive_alerting_windows() {
+        // Burn spikes separated by a calm window do not trigger; two in a
+        // row do, and the onset is the first window of the run.
+        let ws = slo_windows(&[(10, 3.0), (10, 0.5), (10, 2.5), (10, 2.1), (10, 0.0)]);
+        assert_eq!(onset_of(&ws, 2.0, 2), Some(2));
+        assert_eq!(onset_of(&ws, 2.0, 1), Some(0));
+        assert_eq!(onset_of(&ws, 2.0, 3), None);
+        assert_eq!(onset_of(&ws, 4.0, 1), None);
+    }
+
+    #[test]
+    fn empty_windows_break_an_onset_run() {
+        let ws = slo_windows(&[(10, 3.0), (0, 9.0), (10, 3.0)]);
+        assert_eq!(onset_of(&ws, 2.0, 2), None, "zero-call window is calm");
+    }
+
+    #[test]
+    fn obs_config_defaults() {
+        let c = ObsConfig::new(1_000_000);
+        assert_eq!(c.window_ps, 1_000_000);
+        assert!(c.slos.is_empty());
+        assert!(c.exemplars_per_window > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "window width must be positive")]
+    fn zero_window_rejected() {
+        ObsConfig::new(0);
+    }
+
+    #[test]
+    fn markdown_renders_empty_report() {
+        let r = ObsReport {
+            window_ps: 1_000_000,
+            end_ps: 0,
+            utilization: Vec::new(),
+            tenants: Vec::new(),
+            slos: Vec::new(),
+            onset_window: None,
+            exemplars: Vec::new(),
+        };
+        assert!(r.timelines_markdown().contains("Fleet timeline"));
+        assert!(r.slo_markdown().contains("No SLOs configured"));
+        assert!(r.exemplars_markdown().contains("None retained"));
+    }
+}

@@ -100,6 +100,9 @@ pub struct ServeReport {
     pub size_bins: Vec<SizeBin>,
     /// Compact event log (empty unless `ServeConfig::record_events`).
     pub events: Vec<crate::event::LogRecord>,
+    /// Time-resolved observability (present when `ServeConfig::obs` set):
+    /// windowed tenant timelines, SLO burn rates, slow-call exemplars.
+    pub obs: Option<crate::obs::ObsReport>,
 }
 
 impl ServeReport {

@@ -14,6 +14,7 @@
 //! ordered by `(time, seq)`.
 
 use crate::event::{EventHeap, EventKind, LogRecord};
+use crate::obs::{ObsConfig, ObsState};
 use crate::report::{LatencyDist, ServeReport, SizeBin, TenantReport};
 use crate::scheduler::{Job, SchedKind, Scheduler};
 use crate::tenants::TenantSpec;
@@ -74,6 +75,9 @@ pub struct ServeConfig {
     pub offered_load: f64,
     /// Record the compact per-job event log (arrival/start/depart/drop).
     pub record_events: bool,
+    /// Collect time-resolved observability (windowed tenant timelines,
+    /// SLO burn rates, slow-call exemplars) into `ServeReport::obs`.
+    pub obs: Option<ObsConfig>,
 }
 
 impl ServeConfig {
@@ -90,6 +94,7 @@ impl ServeConfig {
             total_calls: 20_000,
             offered_load: 0.7,
             record_events: false,
+            obs: None,
         }
     }
 
@@ -147,6 +152,7 @@ struct RunState {
     peak_queue: u64,
     events: Vec<LogRecord>,
     record_events: bool,
+    obs: Option<ObsState>,
     heap: EventHeap,
     // Telemetry handles (names are dynamic per tenant, so they are
     // registered once here, like FleetSampler does).
@@ -163,11 +169,14 @@ impl RunState {
         }
     }
 
-    fn queue_changed(&mut self) {
+    fn queue_changed(&mut self, now: u64) {
         let depth = self.scheduler.len() as u64;
         self.peak_queue = self.peak_queue.max(depth);
         self.depth_gauge.set(depth as i64);
         self.peak_gauge.set_max(depth as i64);
+        if let Some(obs) = self.obs.as_mut() {
+            obs.on_queue_depth(now, depth);
+        }
     }
 
     /// Puts `job` on `instance` at `now` and schedules its departure.
@@ -178,6 +187,9 @@ impl RunState {
         self.busy_ps += job.service_ps;
         self.in_service[instance as usize] = Some(job);
         self.heap.push(now + job.service_ps, EventKind::Departure(instance));
+        if let Some(obs) = self.obs.as_mut() {
+            obs.on_start(now, &job);
+        }
         self.log(now, 1, job.tenant, job.id);
     }
 }
@@ -224,6 +236,10 @@ pub fn run(cfg: &ServeConfig) -> ServeReport {
         peak_queue: 0,
         events: Vec::new(),
         record_events: cfg.record_events,
+        obs: cfg
+            .obs
+            .clone()
+            .map(|obs_cfg| ObsState::new(obs_cfg, &cfg.tenants)),
         heap: EventHeap::new(),
         depth_gauge: registry.gauge("serve.queue.depth"),
         peak_gauge: registry.gauge("serve.queue.depth_peak"),
@@ -269,6 +285,9 @@ pub fn run(cfg: &ServeConfig) -> ServeReport {
                 };
                 total_injected += 1;
                 state.injected[ti] += 1;
+                if let Some(obs) = state.obs.as_mut() {
+                    obs.on_arrival(now, &job, &call);
+                }
                 state.log(now, 0, t, job.id);
                 if total_injected < cfg.total_calls {
                     let dt = arrival_rngs[ti].exp_f64(rates[ti]).round().max(1.0) as u64;
@@ -278,9 +297,12 @@ pub fn run(cfg: &ServeConfig) -> ServeReport {
                     state.start(job, instance, now);
                 } else if state.scheduler.len() < cfg.queue_capacity {
                     state.scheduler.push(job);
-                    state.queue_changed();
+                    state.queue_changed(now);
                 } else {
                     state.dropped[ti] += 1;
+                    if let Some(obs) = state.obs.as_mut() {
+                        obs.on_drop(now, &job);
+                    }
                     state.log(now, 3, t, job.id);
                 }
             }
@@ -299,9 +321,12 @@ pub fn run(cfg: &ServeConfig) -> ServeReport {
                 state.bin_count[bin] += 1;
                 state.bin_service_ps[bin] += job.service_ps;
                 state.bin_bytes[bin] += job.bytes;
+                if let Some(obs) = state.obs.as_mut() {
+                    obs.on_completion(now, &job);
+                }
                 state.log(now, 2, job.tenant, job.id);
                 if let Some(next) = state.scheduler.pop() {
-                    state.queue_changed();
+                    state.queue_changed(now);
                     state.start(next, instance, now);
                 } else {
                     state.idle.push(Reverse(instance));
@@ -316,6 +341,10 @@ pub fn run(cfg: &ServeConfig) -> ServeReport {
 fn build_report(cfg: &ServeConfig, mut state: RunState, total_injected: u64) -> ServeReport {
     let weights = cfg.weights();
     let span_ps = state.last_departure_ps.max(1);
+    let obs = state
+        .obs
+        .take()
+        .map(|o| o.into_report(cfg, state.last_departure_ps));
     let mut all_waits = Vec::new();
     let mut all_totals = Vec::new();
     let mut tenants = Vec::with_capacity(cfg.tenants.len());
@@ -368,6 +397,7 @@ fn build_report(cfg: &ServeConfig, mut state: RunState, total_injected: u64) -> 
         tenants,
         size_bins,
         events: std::mem::take(&mut state.events),
+        obs,
     }
 }
 

@@ -2,7 +2,7 @@
 //! config — same seed, same event log, same report, every time, under
 //! every scheduler.
 
-use cdpu_serve::{sim, SchedKind, ServeConfig};
+use cdpu_serve::{sim, ObsConfig, SchedKind, ServeConfig, SloSpec};
 
 fn cfg(sched: SchedKind, seed: u64) -> ServeConfig {
     let mut cfg = ServeConfig::new(cdpu_serve::tenants::fleet_tenants(6));
@@ -24,6 +24,52 @@ fn identical_seed_identical_run() {
         assert_eq!(a, b, "{sched}: reports must be bit-identical");
         assert!(!a.events.is_empty());
     }
+}
+
+#[test]
+fn obs_enabled_run_is_bit_identical_and_consistent() {
+    // The observability layer must follow the same replay discipline as
+    // the core: identical configs give identical windowed timelines, SLO
+    // accounting and exemplars — and the timelines must re-add to the
+    // aggregate counts.
+    let mut c = cfg(SchedKind::Fcfs, 0xB0B);
+    let mut obs = ObsConfig::new(2_000_000_000); // 2 ms windows
+    obs.slos = vec![SloSpec {
+        tenant: c.tenants[0].name.clone(),
+        wait_limit_ps: 1_000_000, // 1 µs: tight enough to burn budget
+        objective: 0.99,
+    }];
+    c.obs = Some(obs);
+    let a = sim::run(&c);
+    let b = sim::run(&c);
+    assert_eq!(a, b, "obs-enabled reports must be bit-identical");
+
+    let r = a.obs.expect("obs requested");
+    assert_eq!(r.tenants.len(), c.tenants.len());
+    for (i, t) in r.tenants.iter().enumerate() {
+        let arrived: u64 = t.windows.iter().map(|w| w.arrivals).sum();
+        let completed: u64 = t.windows.iter().map(|w| w.completions).sum();
+        let dropped: u64 = t.windows.iter().map(|w| w.drops).sum();
+        assert_eq!(arrived, a.tenants[i].injected, "{}", t.name);
+        assert_eq!(completed, a.tenants[i].completed, "{}", t.name);
+        assert_eq!(dropped, a.tenants[i].dropped, "{}", t.name);
+    }
+    // Calls enter the SLO population at service start, and the run drains
+    // its queue before ending, so started == completed for the watched
+    // tenant.
+    let slo = &r.slos[0];
+    assert_eq!(slo.total_calls, a.tenants[0].completed);
+    assert!(slo.total_good <= slo.total_calls);
+    assert!(!r.exemplars.is_empty(), "a loaded run retains exemplars");
+    for e in &r.exemplars {
+        assert!(e.service_ps > 0 && e.bytes > 0);
+        assert!(["input", "compute", "output"].contains(&e.bound));
+        assert!(!e.stages.parts().is_empty(), "stage breakdown attached");
+    }
+    // Markdown renderers cover every section.
+    assert!(r.timelines_markdown().contains("Fleet timeline"));
+    assert!(r.slo_markdown().contains("burn"));
+    assert!(r.exemplars_markdown().contains("exemplars"));
 }
 
 #[test]

@@ -64,12 +64,12 @@ pub fn snapshot_markdown() -> String {
         for (name, s) in &hists {
             let _ = writeln!(
                 out,
-                "  {name}: count {} min {} mean {:.1} p50 ~{} p99 ~{} max {}",
+                "  {name}: count {} min {} mean {:.1} p50 {:.1} p99 {:.1} max {}",
                 s.count,
                 s.min,
                 s.mean(),
-                s.approx_quantile(0.50),
-                s.approx_quantile(0.99),
+                s.quantile(0.50),
+                s.quantile(0.99),
                 s.max
             );
             for &(i, c) in &s.buckets {
@@ -93,10 +93,18 @@ pub fn snapshot_markdown() -> String {
                 a.total_cycles
             );
         }
-        let dropped = span::log().dropped();
-        if dropped > 0 {
-            let _ = writeln!(out, "\n  ({dropped} span events overwritten by ring overflow)");
-        }
+    }
+    // Ring truncation must never be silent: the aggregates above only see
+    // the surviving events, so a reader has to know the log wrapped —
+    // even when every surviving span was also overwritten (empty
+    // aggregate list).
+    let dropped = span::log().dropped();
+    if dropped > 0 {
+        let _ = writeln!(
+            out,
+            "\n  WARNING: {dropped} span events overwritten by ring overflow \
+             (raise capacity via span::log().set_capacity)"
+        );
     }
     out
 }

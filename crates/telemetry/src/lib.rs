@@ -18,6 +18,11 @@
 //!   Chrome `trace_event` JSON (loadable in `chrome://tracing` or
 //!   [Perfetto](https://ui.perfetto.dev)), conventionally written under
 //!   `results/telemetry/`.
+//! - [`window`]: tumbling-window metrics — time-resolved log2 histograms,
+//!   rate counters and slow-call exemplar capture, keyed on a
+//!   caller-supplied timeline (simulated or wall-clock). Unlike the
+//!   global registry these are plain owned values, so deterministic
+//!   drivers (the serving simulator) get bit-identical timelines.
 //!
 //! # Overhead model
 //!
@@ -57,6 +62,7 @@
 pub mod export;
 pub mod metrics;
 pub mod span;
+pub mod window;
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::OnceLock;

@@ -228,6 +228,44 @@ impl HistogramSnapshot {
         }
         self.max
     }
+
+    /// Quantile estimate (`q` in `[0, 1]`) with linear interpolation
+    /// *within* the log2 bucket the target rank falls in: observations
+    /// inside a bucket are assumed uniformly spread over `[lo, hi]`, so
+    /// the estimate moves continuously with the counts instead of jumping
+    /// between bucket midpoints. The tail buckets are additionally clamped
+    /// by the recorded exact `min`/`max`, which makes `quantile(0.0)` and
+    /// `quantile(1.0)` exact. Returns 0.0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).max(1.0);
+        let mut seen = 0u64;
+        for &(i, c) in &self.buckets {
+            let before = seen;
+            seen += c;
+            if (seen as f64) >= target {
+                let (mut lo, mut hi) = Histogram::bucket_bounds(i);
+                // Exact extremes tighten the first and last occupied
+                // buckets (self.buckets is ascending, so they are the
+                // min/max buckets).
+                if before == 0 {
+                    lo = lo.max(self.min);
+                }
+                if seen == self.count {
+                    hi = hi.min(self.max);
+                }
+                if hi <= lo {
+                    return lo as f64;
+                }
+                // Rank position inside this bucket, in (0, 1].
+                let frac = (target - before as f64) / c as f64;
+                return lo as f64 + frac * (hi - lo) as f64;
+            }
+        }
+        self.max as f64
+    }
 }
 
 #[derive(Default)]
@@ -402,6 +440,54 @@ mod tests {
         assert_eq!(s.min, 0);
         assert_eq!(s.mean(), 0.0);
         assert_eq!(s.approx_quantile(0.5), 0);
+        assert_eq!(s.quantile(0.5), 0.0);
         assert!(s.buckets.is_empty());
+    }
+
+    /// Builds a snapshot from raw values without touching the global
+    /// enable flag (unit tests in this binary must keep telemetry off).
+    fn snapshot_of(values: &[u64]) -> HistogramSnapshot {
+        let mut by_bucket = std::collections::BTreeMap::new();
+        for &v in values {
+            *by_bucket.entry(Histogram::bucket_index(v)).or_insert(0u64) += 1;
+        }
+        HistogramSnapshot {
+            count: values.len() as u64,
+            sum: values.iter().sum(),
+            min: values.iter().copied().min().unwrap_or(0),
+            max: values.iter().copied().max().unwrap_or(0),
+            buckets: by_bucket.into_iter().collect(),
+        }
+    }
+
+    #[test]
+    fn interpolated_quantiles_track_uniform_sample() {
+        let values: Vec<u64> = (1..=1000).collect();
+        let s = snapshot_of(&values);
+        // Exact extremes from min/max clamping.
+        assert_eq!(s.quantile(0.0), 1.0);
+        assert_eq!(s.quantile(1.0), 1000.0);
+        // Interior quantiles interpolate within the log2 bucket: on a
+        // uniform 1..=1000 sample the estimate must be far closer to the
+        // true rank than the bucket width (the p50 bucket spans 512..1023).
+        let p50 = s.quantile(0.50);
+        assert!((p50 - 500.0).abs() < 60.0, "p50 {p50}");
+        let p99 = s.quantile(0.99);
+        assert!((p99 - 990.0).abs() < 25.0, "p99 {p99}");
+        // Monotone in q.
+        let mut prev = 0.0;
+        for i in 0..=20 {
+            let v = s.quantile(i as f64 / 20.0);
+            assert!(v >= prev, "quantiles must be monotone");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn interpolated_quantile_single_bucket() {
+        let s = snapshot_of(&[42, 42, 42, 42, 42]);
+        // All mass at one value: min/max clamping collapses the bucket.
+        assert_eq!(s.quantile(0.5), 42.0);
+        assert_eq!(s.quantile(0.999), 42.0);
     }
 }

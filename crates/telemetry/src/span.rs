@@ -23,8 +23,11 @@ use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
 /// Default ring capacity (events). At 48 bytes/event this bounds the log
-/// at ~3 MiB.
-pub const DEFAULT_CAPACITY: usize = 65_536;
+/// at ~12 MiB — sized so a full-scale `figures all --telemetry` run keeps
+/// every span (the previous 64 Ki default silently overwrote ~2/3 of a
+/// heavy run's events; overflow is now also surfaced by
+/// [`SpanLog::dropped`] in the markdown snapshot).
+pub const DEFAULT_CAPACITY: usize = 262_144;
 
 /// One completed span.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

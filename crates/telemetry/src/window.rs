@@ -1,0 +1,414 @@
+//! Tumbling-window metrics: time-resolved histograms, rate counters and
+//! slow-call exemplars.
+//!
+//! The process-global registry ([`crate::metrics`]) answers "how much,
+//! total" — one cumulative snapshot at end of run. The paper's fleet
+//! figures, and the serving tier built on them, need the other question:
+//! *when* did a tenant's p99 degrade, at what offered load did the queue
+//! start growing, which calls caused it. This module provides the
+//! substrate: values are keyed on a caller-supplied timeline (simulated
+//! picoseconds in `cdpu-serve`, wall-clock nanoseconds elsewhere) and
+//! bucketed into fixed-width tumbling windows.
+//!
+//! Unlike the registry these types are **plain owned data structures** —
+//! no atomics, no globals. A simulation owns its windowed metrics, so two
+//! runs of the same config produce bit-identical timelines regardless of
+//! what other threads are doing, the same determinism discipline the
+//! discrete-event core follows.
+//!
+//! - [`WindowedHistogram`]: one log2 histogram per window; per-window
+//!   quantiles come from [`crate::metrics::HistogramSnapshot::quantile`]
+//!   (linear interpolation within buckets).
+//! - [`RateSeries`]: a per-window accumulator, with [`RateSeries::add_span`]
+//!   to spread an interval quantity (busy time, queue-depth area) across
+//!   the windows it overlaps.
+//! - [`MaxSeries`]: per-window high-watermarks (peak queue depth).
+//! - [`ExemplarStore`]: keeps the K largest-valued observations per
+//!   window with an arbitrary payload — the slow-call exemplars that turn
+//!   a p99 spike into an attributable list of calls. Selection is
+//!   deterministic: ties break toward the earliest insertion.
+
+use crate::metrics::{Histogram, HistogramSnapshot, HIST_BUCKETS};
+use std::collections::BTreeMap;
+
+/// Asserts a usable window width once, at construction.
+fn check_width(width: u64) -> u64 {
+    assert!(width > 0, "window width must be positive");
+    width
+}
+
+/// The window index a timestamp falls in.
+#[inline]
+pub fn window_of(t: u64, width: u64) -> u64 {
+    t / width
+}
+
+/// One log2 histogram per tumbling window.
+///
+/// Windows materialize on first record (sparse `BTreeMap`), so memory is
+/// proportional to *occupied* windows.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WindowedHistogram {
+    width: u64,
+    windows: BTreeMap<u64, Box<[u64; HIST_BUCKETS]>>,
+    counts: BTreeMap<u64, (u64, u64, u64, u64)>, // count, sum, min, max
+}
+
+impl WindowedHistogram {
+    /// A histogram series with `width`-wide tumbling windows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0.
+    pub fn new(width: u64) -> Self {
+        WindowedHistogram {
+            width: check_width(width),
+            windows: BTreeMap::new(),
+            counts: BTreeMap::new(),
+        }
+    }
+
+    /// The configured window width.
+    pub fn width(&self) -> u64 {
+        self.width
+    }
+
+    /// Records `v` at time `t`.
+    pub fn record(&mut self, t: u64, v: u64) {
+        let w = window_of(t, self.width);
+        let buckets = self
+            .windows
+            .entry(w)
+            .or_insert_with(|| Box::new([0u64; HIST_BUCKETS]));
+        buckets[Histogram::bucket_index(v)] += 1;
+        let e = self.counts.entry(w).or_insert((0, 0, u64::MAX, 0));
+        e.0 += 1;
+        e.1 += v;
+        e.2 = e.2.min(v);
+        e.3 = e.3.max(v);
+    }
+
+    /// The snapshot of window `w`, if any value landed in it.
+    pub fn window(&self, w: u64) -> Option<HistogramSnapshot> {
+        let buckets = self.windows.get(&w)?;
+        let &(count, sum, min, max) = self.counts.get(&w)?;
+        Some(HistogramSnapshot {
+            count,
+            sum,
+            min: if count == 0 { 0 } else { min },
+            max,
+            buckets: buckets
+                .iter()
+                .enumerate()
+                .filter_map(|(i, &c)| (c > 0).then_some((i, c)))
+                .collect(),
+        })
+    }
+
+    /// Occupied windows as `(index, snapshot)`, ascending.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, HistogramSnapshot)> + '_ {
+        self.windows
+            .keys()
+            .map(|&w| (w, self.window(w).expect("occupied window")))
+    }
+
+    /// Highest occupied window index, if any.
+    pub fn last_window(&self) -> Option<u64> {
+        self.windows.keys().next_back().copied()
+    }
+}
+
+/// A per-window `u64` accumulator (arrival counts, busy picoseconds,
+/// queue-depth area).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RateSeries {
+    width: u64,
+    windows: BTreeMap<u64, u64>,
+}
+
+impl RateSeries {
+    /// A rate series with `width`-wide tumbling windows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0.
+    pub fn new(width: u64) -> Self {
+        RateSeries {
+            width: check_width(width),
+            windows: BTreeMap::new(),
+        }
+    }
+
+    /// Adds `n` to the window `t` falls in.
+    pub fn add(&mut self, t: u64, n: u64) {
+        *self.windows.entry(window_of(t, self.width)).or_insert(0) += n;
+    }
+
+    /// Spreads the interval `[start, start + dur)` across the windows it
+    /// overlaps, adding `weight` *per time unit* of overlap. With
+    /// `weight == 1` this accumulates busy time; with `weight == depth`
+    /// it accumulates a time-weighted area (mean depth = area / width).
+    pub fn add_span(&mut self, start: u64, dur: u64, weight: u64) {
+        if dur == 0 || weight == 0 {
+            return;
+        }
+        let end = start.saturating_add(dur);
+        let mut t = start;
+        while t < end {
+            let w = window_of(t, self.width);
+            let window_end = (w + 1).saturating_mul(self.width);
+            let chunk = end.min(window_end) - t;
+            *self.windows.entry(w).or_insert(0) += chunk * weight;
+            t = window_end;
+        }
+    }
+
+    /// The accumulated value of window `w` (0 when untouched).
+    pub fn get(&self, w: u64) -> u64 {
+        self.windows.get(&w).copied().unwrap_or(0)
+    }
+
+    /// Occupied windows as `(index, value)`, ascending.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.windows.iter().map(|(&w, &v)| (w, v))
+    }
+
+    /// Sum across all windows.
+    pub fn total(&self) -> u64 {
+        self.windows.values().sum()
+    }
+}
+
+/// Per-window high-watermarks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MaxSeries {
+    width: u64,
+    windows: BTreeMap<u64, u64>,
+}
+
+impl MaxSeries {
+    /// A max series with `width`-wide tumbling windows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0.
+    pub fn new(width: u64) -> Self {
+        MaxSeries {
+            width: check_width(width),
+            windows: BTreeMap::new(),
+        }
+    }
+
+    /// Raises window `t/width`'s watermark to `v` if it exceeds it.
+    pub fn observe(&mut self, t: u64, v: u64) {
+        let e = self.windows.entry(window_of(t, self.width)).or_insert(0);
+        *e = (*e).max(v);
+    }
+
+    /// The watermark of window `w` (0 when untouched).
+    pub fn get(&self, w: u64) -> u64 {
+        self.windows.get(&w).copied().unwrap_or(0)
+    }
+}
+
+/// One retained exemplar: the ranking value, a deterministic insertion
+/// sequence number, and the caller's payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Exemplar<T> {
+    /// The value the exemplar was ranked by (e.g. wait picoseconds).
+    pub value: u64,
+    /// Insertion order across the whole store — the deterministic
+    /// tie-breaker (earlier wins).
+    pub seq: u64,
+    /// Caller payload (call identity, stage breakdown, …).
+    pub payload: T,
+}
+
+/// Keeps the K largest-valued observations per tumbling window.
+///
+/// Intended for slow-call exemplars: offer every call with its latency as
+/// the value; the store retains the K slowest per window. Retention is a
+/// pure function of the offered sequence — ties break toward the earliest
+/// offer — so serial and parallel drivers that offer the same sequence
+/// retain identical exemplars.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExemplarStore<T> {
+    width: u64,
+    k: usize,
+    next_seq: u64,
+    windows: BTreeMap<u64, Vec<Exemplar<T>>>,
+}
+
+impl<T> ExemplarStore<T> {
+    /// A store retaining the `k` largest values per `width`-wide window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0.
+    pub fn new(width: u64, k: usize) -> Self {
+        ExemplarStore {
+            width: check_width(width),
+            k,
+            next_seq: 0,
+            windows: BTreeMap::new(),
+        }
+    }
+
+    /// Offers one observation at time `t`; it is retained if it ranks in
+    /// the window's top `k` by `(value desc, offer order asc)`.
+    pub fn offer(&mut self, t: u64, value: u64, payload: T) {
+        if self.k == 0 {
+            return;
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let w = window_of(t, self.width);
+        let slot = self.windows.entry(w).or_default();
+        // Keep the vec sorted best-first; evict the worst when over K.
+        let pos = slot
+            .binary_search_by(|e| (std::cmp::Reverse(e.value), e.seq).cmp(&(std::cmp::Reverse(value), seq)))
+            .unwrap_err();
+        if pos >= self.k {
+            return;
+        }
+        slot.insert(pos, Exemplar { value, seq, payload });
+        slot.truncate(self.k);
+    }
+
+    /// The retained exemplars of window `w`, best (largest value) first.
+    pub fn window(&self, w: u64) -> &[Exemplar<T>] {
+        self.windows.get(&w).map_or(&[], Vec::as_slice)
+    }
+
+    /// Every retained exemplar as `(window, exemplar)`, windows ascending,
+    /// best-first within a window.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &Exemplar<T>)> + '_ {
+        self.windows
+            .iter()
+            .flat_map(|(&w, v)| v.iter().map(move |e| (w, e)))
+    }
+
+    /// Total retained exemplars across windows.
+    pub fn len(&self) -> usize {
+        self.windows.values().map(Vec::len).sum()
+    }
+
+    /// Whether nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_windows_are_isolated() {
+        let mut h = WindowedHistogram::new(100);
+        h.record(10, 8);
+        h.record(99, 16);
+        h.record(100, 1024);
+        let w0 = h.window(0).unwrap();
+        assert_eq!(w0.count, 2);
+        assert_eq!(w0.min, 8);
+        assert_eq!(w0.max, 16);
+        let w1 = h.window(1).unwrap();
+        assert_eq!(w1.count, 1);
+        assert_eq!(w1.max, 1024);
+        assert!(h.window(2).is_none());
+        assert_eq!(h.last_window(), Some(1));
+        let windows: Vec<u64> = h.iter().map(|(w, _)| w).collect();
+        assert_eq!(windows, vec![0, 1]);
+    }
+
+    #[test]
+    fn windowed_quantiles_use_interpolation() {
+        let mut h = WindowedHistogram::new(1000);
+        for v in 1..=100u64 {
+            h.record(5, v);
+        }
+        let s = h.window(0).unwrap();
+        assert_eq!(s.quantile(1.0), 100.0);
+        assert!((s.quantile(0.5) - 50.0).abs() < 10.0);
+    }
+
+    #[test]
+    fn rate_series_add_and_span() {
+        let mut r = RateSeries::new(100);
+        r.add(50, 3);
+        r.add(150, 1);
+        assert_eq!(r.get(0), 3);
+        assert_eq!(r.get(1), 1);
+        // A span of 250 time units starting mid-window 0 spreads exactly.
+        let mut busy = RateSeries::new(100);
+        busy.add_span(50, 250, 1);
+        assert_eq!(busy.get(0), 50);
+        assert_eq!(busy.get(1), 100);
+        assert_eq!(busy.get(2), 100);
+        assert_eq!(busy.total(), 250);
+        // Weighted span: queue-depth area.
+        let mut area = RateSeries::new(100);
+        area.add_span(0, 100, 4);
+        assert_eq!(area.get(0), 400);
+    }
+
+    #[test]
+    fn max_series_watermarks() {
+        let mut m = MaxSeries::new(10);
+        m.observe(5, 3);
+        m.observe(7, 9);
+        m.observe(8, 4);
+        m.observe(15, 2);
+        assert_eq!(m.get(0), 9);
+        assert_eq!(m.get(1), 2);
+        assert_eq!(m.get(2), 0);
+    }
+
+    #[test]
+    fn exemplar_store_keeps_k_slowest_deterministically() {
+        let mut s = ExemplarStore::new(100, 2);
+        s.offer(1, 10, "a");
+        s.offer(2, 30, "b");
+        s.offer(3, 20, "c");
+        s.offer(4, 30, "d"); // ties with "b": earlier offer wins the rank
+        s.offer(5, 5, "e");
+        let top = s.window(0);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].payload, "b");
+        assert_eq!(top[0].value, 30);
+        assert_eq!(top[1].payload, "d");
+        // Other windows independent.
+        s.offer(150, 1, "f");
+        assert_eq!(s.window(1)[0].payload, "f");
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn exemplar_store_zero_k_is_inert() {
+        let mut s = ExemplarStore::new(100, 0);
+        s.offer(1, 10, ());
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn replay_is_bit_identical() {
+        let run = || {
+            let mut h = WindowedHistogram::new(64);
+            let mut e = ExemplarStore::new(64, 3);
+            let mut state = 0x1234_5678_9abc_def0u64;
+            for i in 0..1000u64 {
+                // SplitMix-ish scramble: deterministic pseudo-values.
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let v = state >> 40;
+                h.record(i * 7, v);
+                e.offer(i * 7, v, i);
+            }
+            (h, e)
+        };
+        let (h1, e1) = run();
+        let (h2, e2) = run();
+        assert_eq!(h1, h2);
+        assert_eq!(e1, e2);
+    }
+}

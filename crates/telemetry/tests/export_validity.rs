@@ -1,0 +1,174 @@
+//! Structural validation of the exporters against real recorded state.
+//!
+//! Unlike `tests/telemetry.rs` (which exercises the recording machinery),
+//! this suite feeds the exporters *hostile* input — nested spans and
+//! metric names containing quotes, backslashes, newlines and tabs — and
+//! checks the emitted artifacts with the framework's own JSON reader
+//! ([`cdpu_util::json`]): the trace must parse as one balanced document
+//! with exactly one event per recorded span, and the JSONL dump must be
+//! one well-formed object per line with counts matching the registry.
+
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+use cdpu_telemetry as telemetry;
+use cdpu_util::json::{self, Json};
+use telemetry::{counter, gauge, histogram, span};
+
+/// Serializes tests that touch the global enable flag / registry.
+fn guard() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    let lock = LOCK.get_or_init(|| Mutex::new(()));
+    let g = lock.lock().unwrap_or_else(|poison| poison.into_inner());
+    telemetry::reset();
+    telemetry::enable();
+    g
+}
+
+fn finish(g: MutexGuard<'static, ()>) {
+    telemetry::disable();
+    telemetry::reset();
+    drop(g);
+}
+
+/// Span names that require every escape class the exporter handles.
+const OUTER: &str = "serve \"outer\" phase";
+const INNER: &str = "entropy\\decode\nline2\ttabbed";
+
+const OUTER_SPANS: usize = 4;
+const INNERS_PER_OUTER: usize = 2;
+
+/// Records `OUTER_SPANS` outer spans, each enclosing `INNERS_PER_OUTER`
+/// nested inner spans, all on the calling thread.
+fn record_nested_spans() {
+    for i in 0..OUTER_SPANS as u64 {
+        let mut outer = telemetry::span!(OUTER);
+        outer.add_cycles(100 + i);
+        for j in 0..INNERS_PER_OUTER as u64 {
+            let mut inner = telemetry::span!(INNER);
+            inner.add_cycles(10 + j);
+        }
+    }
+}
+
+fn num(ev: &Json, key: &str) -> f64 {
+    ev.get(key)
+        .and_then(Json::as_f64)
+        .unwrap_or_else(|| panic!("event field {key} must be a number"))
+}
+
+#[test]
+fn chrome_trace_escapes_names_and_keeps_every_nested_span() {
+    let g = guard();
+    record_nested_spans();
+    let total_spans = OUTER_SPANS * (1 + INNERS_PER_OUTER);
+
+    let trace = telemetry::export::chrome_trace_json();
+    let doc = json::parse(&trace).expect("trace is one balanced JSON document");
+
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .expect("traceEvents array present");
+    // One complete ("X") event per recorded span plus the process_name
+    // metadata event — nothing dropped, nothing invented.
+    assert_eq!(events.len(), total_spans + 1, "spans + 1 metadata event");
+
+    let mut outer_events = Vec::new();
+    let mut inner_events = Vec::new();
+    for ev in events {
+        match ev.get("ph").and_then(Json::as_str) {
+            Some("M") => continue,
+            Some("X") => {}
+            other => panic!("unexpected phase {other:?}"),
+        }
+        // Escapes must round-trip: the parsed name is byte-identical to
+        // the raw &'static str handed to span!().
+        match ev.get("name").and_then(Json::as_str) {
+            Some(n) if n == OUTER => outer_events.push(ev),
+            Some(n) if n == INNER => inner_events.push(ev),
+            other => panic!("unexpected span name {other:?}"),
+        }
+    }
+    assert_eq!(outer_events.len(), OUTER_SPANS);
+    assert_eq!(inner_events.len(), OUTER_SPANS * INNERS_PER_OUTER);
+
+    // Nesting survives export: every inner event lies inside some outer
+    // event's [ts, ts+dur] interval on the same tid.
+    for inner in &inner_events {
+        let (ts, dur) = (num(inner, "ts"), num(inner, "dur"));
+        let tid = num(inner, "tid");
+        let enclosed = outer_events.iter().any(|o| {
+            num(o, "tid") == tid
+                && num(o, "ts") <= ts
+                && ts + dur <= num(o, "ts") + num(o, "dur")
+        });
+        assert!(enclosed, "inner span at ts={ts} not enclosed by any outer span");
+    }
+    finish(g);
+}
+
+#[test]
+fn metrics_jsonl_is_one_object_per_line_with_matching_counts() {
+    let g = guard();
+    counter!("calls \"quoted\"").add(7);
+    gauge!("depth\nnewline").set(-3);
+    histogram!("lat\\win\ttab").record(1500);
+    record_nested_spans();
+
+    let jsonl = telemetry::export::metrics_jsonl();
+    let mut by_type: std::collections::BTreeMap<String, Vec<Json>> =
+        std::collections::BTreeMap::new();
+    for line in jsonl.lines() {
+        let v = json::parse(line).expect("every JSONL line is a complete document");
+        assert!(v.as_obj().is_some(), "every line is one object");
+        let ty = v
+            .get("type")
+            .and_then(Json::as_str)
+            .expect("line has a type")
+            .to_string();
+        assert!(v.get("name").and_then(Json::as_str).is_some(), "line has a name");
+        by_type.entry(ty).or_default().push(v);
+    }
+
+    // Line counts match the registry exactly (the registry keeps names
+    // registered by other tests in this binary, so compare against it,
+    // not against literals).
+    let reg = telemetry::registry();
+    let count_of = |ty: &str| by_type.get(ty).map_or(0, Vec::len);
+    assert_eq!(count_of("counter"), reg.counters().len());
+    assert_eq!(count_of("gauge"), reg.gauges().len());
+    assert_eq!(count_of("histogram"), reg.histograms().len());
+    assert_eq!(count_of("span_summary"), span::log().aggregate().len());
+
+    // Escaped names round-trip and carry their recorded values.
+    let find = |ty: &str, name: &str| {
+        by_type
+            .get(ty)
+            .and_then(|v| v.iter().find(|j| j.get("name").and_then(Json::as_str) == Some(name)))
+            .unwrap_or_else(|| panic!("{ty} line named {name:?} present"))
+    };
+    assert_eq!(num(find("counter", "calls \"quoted\""), "value"), 7.0);
+    assert_eq!(num(find("gauge", "depth\nnewline"), "value"), -3.0);
+    let hist = find("histogram", "lat\\win\ttab");
+    assert_eq!(num(hist, "count"), 1.0);
+    assert_eq!(num(hist, "sum"), 1500.0);
+    let outer = find("span_summary", OUTER);
+    assert_eq!(num(outer, "count"), OUTER_SPANS as f64);
+    finish(g);
+}
+
+#[test]
+fn markdown_snapshot_surfaces_ring_overflow() {
+    let g = guard();
+    span::log().set_capacity(4);
+    for _ in 0..10 {
+        let _s = telemetry::span!("overflowing");
+    }
+    let md = telemetry::export::snapshot_markdown();
+    assert!(
+        md.contains("WARNING: 6 span events overwritten"),
+        "overflow must not be silent:\n{md}"
+    );
+    span::log().set_capacity(span::DEFAULT_CAPACITY);
+    finish(g);
+}

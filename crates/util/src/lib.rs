@@ -13,6 +13,9 @@
 //! - [`hist`]: histograms, weighted CDFs, and log2-binned call-size
 //!   distributions used throughout the fleet-profiling reproduction.
 //! - [`stats`]: tiny numeric helpers (means, geomeans, quantiles).
+//! - [`json`]: a minimal JSON reader so the framework can parse its own
+//!   artifacts (benchmark baselines, telemetry exports) without external
+//!   dependencies.
 //!
 //! # Examples
 //!
@@ -29,6 +32,7 @@
 pub mod bits;
 pub mod crc32c;
 pub mod hist;
+pub mod json;
 pub mod rng;
 pub mod stats;
 pub mod varint;
