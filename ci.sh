@@ -83,11 +83,29 @@ if ! grep -q '"min_profile_speedup"' /tmp/cdpu_bench_kernels.json; then
     echo "FAIL: kernels benchmark wrote no speedup summary" >&2
     exit 1
 fi
+if ! grep -q '"entropy_encode"' /tmp/cdpu_bench_kernels.json; then
+    echo "FAIL: kernels benchmark wrote no entropy encode section" >&2
+    exit 1
+fi
 
 echo "==> decompression kernel microbenchmark smoke (tiny)"
 ./target/release/bench --dekernels --tiny --out /tmp/cdpu_bench_dekernels.json
 if ! grep -q '"min_decompress_speedup"' /tmp/cdpu_bench_dekernels.json; then
     echo "FAIL: dekernels benchmark wrote no speedup summary" >&2
+    exit 1
+fi
+if ! grep -q '"entropy_interleave_speedup"' /tmp/cdpu_bench_dekernels.json; then
+    echo "FAIL: dekernels benchmark wrote no entropy interleave speedup" >&2
+    exit 1
+fi
+
+echo "==> entropy codec smoke (rANS + interleaved roundtrips, reference parity)"
+./target/release/bench --entropy-smoke
+
+echo "==> entropy figure smoke (tiny)"
+./target/release/figures entropy --tiny > /tmp/cdpu_entropy_fig.txt
+if ! grep -q 'rans x4' /tmp/cdpu_entropy_fig.txt; then
+    echo "FAIL: entropy figure missing the rANS rows" >&2
     exit 1
 fi
 

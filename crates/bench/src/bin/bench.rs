@@ -36,6 +36,16 @@
 //! `results/BENCH_dekernels.json` by default plus a decode-side telemetry
 //! snapshot (refills, wild copies, scratch hits).
 //!
+//! Both kernel families also time the standalone entropy-stage kernels
+//! over the heavy corpus's actual ZStd L3 literal payloads: `--kernels`
+//! reports encode throughput (`entropy_encode`, MB/s only), `--dekernels`
+//! reports 1-way vs 4-way interleaved decode for Huffman, FSE and rANS
+//! plus the gated `entropy_*_interleave_speedup` ratios.
+//!
+//! `--entropy-smoke` is a fast CI roundtrip check of every new entropy
+//! format (interleaved Huffman/FSE streams, rANS lanes, the ZStd frame
+//! knobs) through both the fast and reference decoders, then exits.
+//!
 //! `--regress` is the perf-regression gate: it re-runs both kernel and
 //! dekernel microbenchmarks, compares every machine-relative speedup
 //! ratio against the committed `BENCH_kernels.json`/`BENCH_dekernels.json`
@@ -171,6 +181,82 @@ fn time_stage(corpus: &[&[u8]], iters: usize, mut f: impl FnMut(&[u8])) -> (f64,
     }
     let mb_s = bytes as f64 / best / 1e6;
     (best, mb_s)
+}
+
+/// Best-of-N wall-clock of one whole-corpus closure (the entropy-kernel
+/// analogue of [`time_stage`], for kernels whose per-item state lives in
+/// pre-encoded side tables rather than a flat byte corpus).
+fn best_of(iters: usize, mut f: impl FnMut()) -> f64 {
+    f(); // warm-up
+    let mut best = f64::INFINITY;
+    for _ in 0..iters.max(2) {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// The literal payloads the ZStd entropy stage actually codes: one
+/// concatenated literal stream per heavy-corpus file, parsed at the
+/// fleet's L3 parameters. Tiny payloads are dropped — they decode in the
+/// table-build shadow and only add timer noise.
+fn entropy_literal_payloads(heavy: &[&[u8]], zcfg: &cdpu_zstd::ZstdConfig) -> Vec<Vec<u8>> {
+    heavy
+        .iter()
+        .map(|d| cdpu_zstd::parse_with(d, zcfg).literal_bytes(d))
+        .filter(|l| l.len() >= 1024)
+        .collect()
+}
+
+/// Pre-encoded entropy streams for one literal payload, every backend and
+/// both stream counts — built once, decoded many times by the timed loops.
+struct EntropyPrep {
+    count: usize,
+    table: cdpu_entropy::huffman::HuffmanTable,
+    h1: cdpu_entropy::interleave::HuffmanStreams,
+    h4: cdpu_entropy::interleave::HuffmanStreams,
+    norm: Vec<u32>,
+    log: u8,
+    f1: Vec<Vec<u8>>,
+    f4: Vec<Vec<u8>>,
+    rtab: cdpu_entropy::rans::RansTable,
+    r1: Vec<u8>,
+    r4: Vec<u8>,
+}
+
+fn entropy_preps(payloads: &[Vec<u8>]) -> Vec<EntropyPrep> {
+    use cdpu_entropy::{byte_histogram, fse, huffman::HuffmanTable, interleave, rans};
+    payloads
+        .iter()
+        .filter_map(|lits| {
+            let table = HuffmanTable::from_frequencies(&byte_histogram(lits)).ok()?;
+            let h1 = interleave::huffman_encode(&table, lits, 1).ok()?;
+            let h4 = interleave::huffman_encode(&table, lits, 4).ok()?;
+            let syms: Vec<u16> = lits.iter().map(|&b| b as u16).collect();
+            let hist = byte_histogram(lits);
+            let log = fse::recommended_table_log(&hist, 11);
+            let norm = fse::normalize_counts(&hist, log).ok()?;
+            let f1 = interleave::fse_encode(&syms, &norm, log, 1).ok()?;
+            let f4 = interleave::fse_encode(&syms, &norm, log, 4).ok()?;
+            let (rtab, _, _) = rans::table_for(lits).ok()?;
+            let r1 = rans::encode(&rtab, lits, 1).ok()?;
+            let r4 = rans::encode(&rtab, lits, 4).ok()?;
+            Some(EntropyPrep {
+                count: lits.len(),
+                table,
+                h1,
+                h4,
+                norm,
+                log,
+                f1,
+                f4,
+                rtab,
+                r1,
+                r4,
+            })
+        })
+        .collect()
 }
 
 /// Microbenchmarks the per-algorithm kernels: parse, compress, and the
@@ -336,16 +422,69 @@ fn run_kernels(scale: Scale, iters: usize) -> String {
         .map(|(name, v)| format!("    \"{name}\": {v}"))
         .collect();
 
+    // Encode-side entropy kernels over the same L3 literal payloads the
+    // decode bench uses: raw MB/s only (encoder throughput is informative
+    // but host-dependent, so it is never gated).
+    use cdpu_entropy::{interleave, rans};
+    let payloads = entropy_literal_payloads(&heavy_corpus, &zcfg);
+    let preps = entropy_preps(&payloads);
+    let ebytes: usize = preps.iter().map(|p| p.count).sum();
+    eprintln!("bench: kernels entropy encode ({} payloads, {ebytes} bytes)...", preps.len());
+    let emb = |best: f64| ebytes as f64 / best / 1e6;
+    let he1_s = best_of(iters, || {
+        for (p, lits) in preps.iter().zip(&payloads) {
+            black_box(interleave::huffman_encode(&p.table, lits, 1).expect("huffman 1-way"));
+        }
+    });
+    let he4_s = best_of(iters, || {
+        for (p, lits) in preps.iter().zip(&payloads) {
+            black_box(interleave::huffman_encode(&p.table, lits, 4).expect("huffman 4-way"));
+        }
+    });
+    let fe4_s = best_of(iters, || {
+        for (p, lits) in preps.iter().zip(&payloads) {
+            let syms: Vec<u16> = lits.iter().map(|&b| b as u16).collect();
+            black_box(interleave::fse_encode(&syms, &p.norm, p.log, 4).expect("fse 4-way"));
+        }
+    });
+    let re1_s = best_of(iters, || {
+        for (p, lits) in preps.iter().zip(&payloads) {
+            black_box(rans::encode(&p.rtab, lits, 1).expect("rans 1-way"));
+        }
+    });
+    let re4_s = best_of(iters, || {
+        for (p, lits) in preps.iter().zip(&payloads) {
+            black_box(rans::encode(&p.rtab, lits, 4).expect("rans 4-way"));
+        }
+    });
+    eprintln!(
+        "  huffman encode {:.1}/{:.1} MB/s (1/4-way)  fse encode {:.1} MB/s (4-way)  \
+         rans encode {:.1}/{:.1} MB/s (1/4-way)",
+        emb(he1_s), emb(he4_s), emb(fe4_s), emb(re1_s), emb(re4_s)
+    );
+    let entropy_obj = format!(
+        "  \"entropy_encode\": {{\"payloads\": {}, \"payload_bytes\": {ebytes}, \
+         \"huffman_1way_mb_s\": {:.2}, \"huffman_4way_mb_s\": {:.2}, \
+         \"fse_4way_mb_s\": {:.2}, \"rans_1way_mb_s\": {:.2}, \"rans_4way_mb_s\": {:.2}}},",
+        preps.len(),
+        emb(he1_s),
+        emb(he4_s),
+        emb(fe4_s),
+        emb(re1_s),
+        emb(re4_s),
+    );
+
     let json = format!(
         "{{\n  \"bench\": \"cdpu kernel microbenchmarks\",\n  \"iters\": {iters},\n  \
          \"scale\": {{\"files_per_suite\": {}, \"max_call_bytes\": {}, \"bank_bytes_per_kind\": {}, \"seed\": {}}},\n  \
-         \"algorithms\": [\n{}\n  ],\n  \"min_profile_speedup\": {min_speedup:.3},\n  \
+         \"algorithms\": [\n{}\n  ],\n  \"min_profile_speedup\": {min_speedup:.3},\n{}\n  \
          \"profile_telemetry\": {{\n{}\n  }}\n}}\n",
         scale.files_per_suite,
         scale.max_call_bytes,
         scale.bank_bytes_per_kind,
         scale.seed,
         algo_objs.join(",\n"),
+        entropy_obj,
         counter_objs.join(",\n"),
     );
     eprintln!("bench: kernels done (min profile speedup {min_speedup:.2}x)");
@@ -546,20 +685,153 @@ fn run_dekernels(scale: Scale, iters: usize) -> String {
         .map(|(name, v)| format!("    \"{name}\": {v}"))
         .collect();
 
+    // Standalone entropy-stage decode kernels: 1-way vs 4-way interleaved
+    // Huffman / FSE / rANS over the heavy corpus's actual ZStd L3 literal
+    // payloads. The interleave speedups isolate the serial-dependency win
+    // of K independent streams from everything else in frame decode.
+    use cdpu_entropy::{interleave, rans};
+    let payloads = entropy_literal_payloads(&heavy, &zcfg);
+    let preps = entropy_preps(&payloads);
+    let ebytes: usize = preps.iter().map(|p| p.count).sum();
+    eprintln!("bench: dekernels entropy ({} payloads, {ebytes} bytes)...", preps.len());
+    let emb = |best: f64| ebytes as f64 / best / 1e6;
+    let mut out = Vec::new();
+    let h1_s = best_of(iters, || {
+        for p in &preps {
+            out.clear();
+            interleave::huffman_decode_into(&p.table, &p.h1.payload, &p.h1.bit_lens, p.count, &mut out)
+                .expect("huffman 1-way");
+            black_box(out.len());
+        }
+    });
+    let h4_s = best_of(iters, || {
+        for p in &preps {
+            out.clear();
+            interleave::huffman_decode_into(&p.table, &p.h4.payload, &p.h4.bit_lens, p.count, &mut out)
+                .expect("huffman 4-way");
+            black_box(out.len());
+        }
+    });
+    let f1_s = best_of(iters, || {
+        for p in &preps {
+            let views: Vec<&[u8]> = p.f1.iter().map(Vec::as_slice).collect();
+            black_box(
+                interleave::fse_decode(&views, &p.norm, p.log, p.count).expect("fse 1-way").len(),
+            );
+        }
+    });
+    let f4_s = best_of(iters, || {
+        for p in &preps {
+            let views: Vec<&[u8]> = p.f4.iter().map(Vec::as_slice).collect();
+            black_box(
+                interleave::fse_decode(&views, &p.norm, p.log, p.count).expect("fse 4-way").len(),
+            );
+        }
+    });
+    let r1_s = best_of(iters, || {
+        for p in &preps {
+            out.clear();
+            rans::decode_into(&p.rtab, &p.r1, p.count, 1, &mut out).expect("rans 1-way");
+            black_box(out.len());
+        }
+    });
+    let r4_s = best_of(iters, || {
+        for p in &preps {
+            out.clear();
+            rans::decode_into(&p.rtab, &p.r4, p.count, 4, &mut out).expect("rans 4-way");
+            black_box(out.len());
+        }
+    });
+    let (huff_speedup, fse_speedup, rans_speedup) = (h1_s / h4_s, f1_s / f4_s, r1_s / r4_s);
+    // The headline: the zstd literal entropy-decode stage (Huffman) 4-way
+    // vs single-stream.
+    let interleave_speedup = huff_speedup;
+    eprintln!(
+        "  huffman {:.1} -> {:.1} MB/s ({huff_speedup:.2}x)  fse {:.1} -> {:.1} MB/s ({fse_speedup:.2}x)  \
+         rans {:.1} -> {:.1} MB/s ({rans_speedup:.2}x)",
+        emb(h1_s), emb(h4_s), emb(f1_s), emb(f4_s), emb(r1_s), emb(r4_s)
+    );
+    let entropy_obj = format!(
+        "  \"entropy\": {{\"payloads\": {}, \"payload_bytes\": {ebytes}, \
+         \"huffman_1way_mb_s\": {:.2}, \"huffman_4way_mb_s\": {:.2}, \
+         \"fse_1way_mb_s\": {:.2}, \"fse_4way_mb_s\": {:.2}, \
+         \"rans_1way_mb_s\": {:.2}, \"rans_4way_mb_s\": {:.2}}},\n  \
+         \"entropy_huffman_interleave_speedup\": {huff_speedup:.3},\n  \
+         \"entropy_fse_interleave_speedup\": {fse_speedup:.3},\n  \
+         \"entropy_rans_interleave_speedup\": {rans_speedup:.3},\n  \
+         \"entropy_interleave_speedup\": {interleave_speedup:.3},",
+        preps.len(),
+        emb(h1_s),
+        emb(h4_s),
+        emb(f1_s),
+        emb(f4_s),
+        emb(r1_s),
+        emb(r4_s),
+    );
+
     let json = format!(
         "{{\n  \"bench\": \"cdpu decompression kernel microbenchmarks\",\n  \"iters\": {iters},\n  \
          \"scale\": {{\"files_per_suite\": {}, \"max_call_bytes\": {}, \"bank_bytes_per_kind\": {}, \"seed\": {}}},\n  \
-         \"algorithms\": [\n{}\n  ],\n  \"min_decompress_speedup\": {min_speedup:.3},\n  \
+         \"algorithms\": [\n{}\n  ],\n  \"min_decompress_speedup\": {min_speedup:.3},\n{}\n  \
          \"decode_telemetry\": {{\n{}\n  }}\n}}\n",
         scale.files_per_suite,
         scale.max_call_bytes,
         scale.bank_bytes_per_kind,
         scale.seed,
         algo_objs.join(",\n"),
+        entropy_obj,
         counter_objs.join(",\n"),
     );
-    eprintln!("bench: dekernels done (min decompress speedup {min_speedup:.2}x)");
+    eprintln!(
+        "bench: dekernels done (min decompress speedup {min_speedup:.2}x, \
+         entropy interleave {interleave_speedup:.2}x)"
+    );
     json
+}
+
+/// CI smoke for the interleaved/rANS entropy formats: roundtrips every
+/// backend and stream count on real corpus data, through both the
+/// standalone kernels and full ZStd frames (fast and reference decoders).
+/// Panics on any mismatch; prints one OK line on success.
+fn run_entropy_smoke() {
+    use cdpu_corpus::CorpusKind;
+    use cdpu_entropy::{byte_histogram, huffman::HuffmanTable, interleave, rans};
+
+    let data = cdpu_corpus::generate(CorpusKind::MarkovText, 30_000, 11);
+    // Kernel level: rANS and interleaved Huffman across stream counts.
+    let (rtab, _, _) = rans::table_for(&data).expect("rans table");
+    for ways in [1usize, 2, 4, 8] {
+        let stream = rans::encode(&rtab, &data, ways).expect("rans encode");
+        assert_eq!(rans::decode(&rtab, &stream, data.len(), ways).expect("rans decode"), data);
+        assert_eq!(
+            rans::reference::decode(&rtab, &stream, data.len(), ways).expect("rans reference"),
+            data
+        );
+    }
+    let table = HuffmanTable::from_frequencies(&byte_histogram(&data)).expect("huffman table");
+    for ways in [2usize, 4, 8] {
+        let enc = interleave::huffman_encode(&table, &data, ways).expect("huffman encode");
+        let mut out = Vec::new();
+        interleave::huffman_decode_into(&table, &enc.payload, &enc.bit_lens, data.len(), &mut out)
+            .expect("huffman decode");
+        assert_eq!(out, data);
+    }
+    // Frame level: every entropy knob through compress -> fast + reference.
+    for cfg in [
+        cdpu_zstd::ZstdConfig::with_level(3).lit_streams(4),
+        cdpu_zstd::ZstdConfig::with_level(3).rans_literals(),
+        cdpu_zstd::ZstdConfig::with_level(3).rans_literals().lit_streams(4),
+        cdpu_zstd::ZstdConfig::with_level(3).seq_streams(4),
+        cdpu_zstd::ZstdConfig::with_level(3).lit_streams(4).seq_streams(4),
+    ] {
+        let frame = cdpu_zstd::compress_with(&data, &cfg);
+        assert_eq!(cdpu_zstd::decompress(&frame).expect("fast decode"), data);
+        assert_eq!(
+            cdpu_zstd::reference::decompress(&frame).expect("reference decode"),
+            data
+        );
+    }
+    eprintln!("bench: entropy smoke OK (rans + interleaved kernels, zstd frames)");
 }
 
 /// The perf-regression gate: re-runs both microbenchmark families,
@@ -646,6 +918,10 @@ fn main() {
             "--kernels" => kernels = true,
             "--dekernels" => dekernels = true,
             "--regress" => regress_mode = true,
+            "--entropy-smoke" => {
+                run_entropy_smoke();
+                return;
+            }
             "--tolerance" => {
                 tolerance = args
                     .next()
@@ -766,7 +1042,7 @@ fn usage(err: &str) -> ! {
     }
     eprintln!(
         "usage: bench [--files N] [--seed N] [--jobs N] [--out PATH] [--tiny] [--serve] [--kernels] [--dekernels]\n\
-         \x20            [--regress] [--tolerance F] [--baseline-dir DIR]"
+         \x20            [--regress] [--tolerance F] [--baseline-dir DIR] [--entropy-smoke]"
     );
     std::process::exit(2);
 }

@@ -8,7 +8,7 @@
 //!
 //! FIGURE: fig1 fig2a fig2b fig2c fig3 fig4 fig5 fig6 fig7
 //!         fig11 fig12 fig13 fig14 fig15 summary
-//!         serve-load serve-placement serve-fairness obs | all (default)
+//!         serve-load serve-placement serve-fairness obs entropy | all (default)
 //! ```
 //!
 //! Run with `--release`; the default scale completes the full set in
@@ -22,12 +22,15 @@
 //! timelines, SLO burn rates, slow-call exemplars — printing the combined
 //! report and writing `timelines.md`, `slo.md` and `exemplars.md` under
 //! `--obs-dir` (default `results/obs/`); `obs` is not part of `all`
-//! because it writes files. `--telemetry` enables the metrics/span instrumentation,
+//! because it writes files. `entropy` renders the entropy-backend design
+//! space (interleaved Huffman/FSE, rANS) priced by the hwsim pipeline
+//! model; it is not part of `all` because it recompresses the suite under
+//! the non-canonical additive formats. `--telemetry` enables the metrics/span instrumentation,
 //! prints a snapshot after the figures, and writes `snapshot.md`,
 //! `metrics.jsonl` and a Chrome `trace.json` (loadable in Perfetto /
 //! chrome://tracing) under `results/telemetry/`.
 
-use cdpu_bench::{dse_figures, obs_figures, profile_figures, serve_figures, Scale, Workbench};
+use cdpu_bench::{dse_figures, entropy_figures, obs_figures, profile_figures, serve_figures, Scale, Workbench};
 
 const ALL_FIGURES: [&str; 20] = [
     "fig1", "fig2a", "fig2b", "fig2c", "fig2c-measured", "fig3", "fig4", "fig5", "fig6", "fig7",
@@ -118,10 +121,11 @@ fn main() {
         figures.iter().map(|s| s.as_str()).collect()
     };
     // Reject unknown names before any work starts (workers must not exit).
-    // `obs` is valid but excluded from `all` (it writes report files).
+    // `obs` is valid but excluded from `all` (it writes report files), as
+    // is `entropy` (it recompresses the suite under non-canonical formats).
     if let Some(bad) = selected
         .iter()
-        .find(|f| !ALL_FIGURES.contains(f) && **f != "obs")
+        .find(|f| !ALL_FIGURES.contains(f) && **f != "obs" && **f != "entropy")
     {
         usage(&format!("unknown figure {bad}"));
     }
@@ -183,6 +187,7 @@ fn render_figure(fig: &str, wb: &Workbench, obs_dir: &str) -> String {
         "serve-fairness" => serve_figures::serve_fairness(wb.scale()),
         "obs" => obs_figures::write_obs(wb.scale(), std::path::Path::new(obs_dir))
             .unwrap_or_else(|e| panic!("obs figures: cannot write {obs_dir}: {e}")),
+        "entropy" => entropy_figures::entropy(wb),
         other => unreachable!("figure {other} validated above"),
     }
 }
@@ -194,7 +199,7 @@ fn usage(err: &str) -> ! {
     eprintln!(
         "usage: figures [fig1|fig2a|fig2b|fig2c|fig2c-measured|fig3|fig4|fig5|fig6|fig7|\n\
          \x20       fig11|fig12|fig13|fig14|fig15|summary|ablations|\n\
-         \x20       serve-load|serve-placement|serve-fairness|obs|all]\n\
+         \x20       serve-load|serve-placement|serve-fairness|obs|entropy|all]\n\
          \x20       [--files N] [--max-call BYTES] [--seed N] [--jobs N] [--tiny] [--serve]\n\
          \x20       [--obs] [--obs-dir DIR] [--telemetry]"
     );

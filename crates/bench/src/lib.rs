@@ -17,6 +17,7 @@
 
 pub mod ablations;
 pub mod dse_figures;
+pub mod entropy_figures;
 pub mod obs_figures;
 pub mod profile_figures;
 pub mod regress;

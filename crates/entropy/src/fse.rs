@@ -397,6 +397,21 @@ impl<'t> FseStreamDecoder<'t> {
         })
     }
 
+    /// Creates a decoder from a state the caller already pulled off the
+    /// stream (`table_log` bits worth) — the N-way interleaved decoder
+    /// reads lane states through its own tail cursors instead of a
+    /// [`ReverseBitReader`].
+    ///
+    /// # Errors
+    ///
+    /// [`FseError::BadStream`] if `state` does not index the table.
+    pub fn from_state(table: &'t FseDecodeTable, state: u16) -> Result<Self, FseError> {
+        if (state as usize) >= table.entries.len() {
+            return Err(FseError::BadStream);
+        }
+        Ok(FseStreamDecoder { table, state })
+    }
+
     /// Symbol the current state will emit (without advancing).
     pub fn peek(&self) -> u16 {
         self.table.entries[self.state as usize].symbol

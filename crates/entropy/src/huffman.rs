@@ -281,6 +281,13 @@ impl HuffmanTable {
         Ok(sym)
     }
 
+    /// Flat decode table plus its index width, for the in-crate interleaved
+    /// batch decoder (`crate::interleave`), which runs the same
+    /// peek/lookup/consume step against several stream cursors at once.
+    pub(crate) fn decode_entries(&self) -> (&[(u16, u8)], u32) {
+        (&self.decode, self.max_len as u32)
+    }
+
     /// Serializes the code book (alphabet size + nibble-packed lengths).
     ///
     /// The canonical property makes lengths sufficient to rebuild codes;

@@ -14,13 +14,26 @@
 //!   (tANS). This is the coder ZStd uses for sequence codes and the unit the
 //!   paper adds when moving a Flate CDPU to ZStd (Section 3.4: "transitioning
 //!   from Flate to ZStd would mostly entail adding an FSE module").
+//! - [`rans`]: range ANS with byte-wise renormalization — the arithmetic
+//!   (table-free on the encode side) member of the ANS family, provided as
+//!   an alternative entropy backend for codecs that trade Huffman's one
+//!   lookup per symbol for rANS's one multiply per symbol.
 //!
-//! Both coders round-trip losslessly for arbitrary byte inputs and expose
+//! [`interleave`] adds N-way stream interleaving on top of the Huffman and
+//! FSE coders: the encoder splits symbols round-robin across K independent
+//! bit streams so the decoder can keep K dependency chains in flight — the
+//! software analogue of the paper's banked speculative expanders, and the
+//! standard trick (ZStd's 4-stream Huffman literals) for making entropy
+//! decode superscalar-friendly.
+//!
+//! All coders round-trip losslessly for arbitrary byte inputs and expose
 //! their table-construction internals, because the hardware model in
 //! `cdpu-hwsim` charges cycles for table builds exactly where the RTL does.
 
 pub mod fse;
 pub mod huffman;
+pub mod interleave;
+pub mod rans;
 
 /// Builds a byte-frequency histogram — the "symbol statistics collection"
 /// step that both Huffman and FSE compressor pipelines in Figure 10 perform

@@ -1,0 +1,451 @@
+//! Range Asymmetric Numeral System (rANS) coding.
+//!
+//! The third entropy backend, alongside [`crate::huffman`] and
+//! [`crate::fse`]: a byte-wise renormalizing rANS with 32-bit states, the
+//! construction high-throughput software coders use (and the one the RAS
+//! line of work argues is the entropy stage of the future). Compared to
+//! tANS/FSE, rANS needs no spread-state table on the encode side — state
+//! transitions are arithmetic (`x -> (x/f) << scale_bits | (x%f) + cum`) —
+//! and the decode side is one multiply plus a flat, alias-free
+//! slot-to-symbol table of `1 << scale_bits` entries.
+//!
+//! Conventions:
+//!
+//! - States live in `[RANS_L, RANS_L << 8)` (`RANS_L = 2^23`), renormalizing
+//!   one byte at a time.
+//! - The **encoder walks the input backward** pushing renorm bytes, flushes
+//!   each lane's final 32-bit state, then reverses the buffer so the
+//!   **decoder reads strictly forward**: lane states first (big-endian), then
+//!   renorm bytes in consumption order.
+//! - **N-way interleaving** shares one byte stream: symbol `i` updates lane
+//!   `i % ways`. Because rANS state updates are LIFO per lane and the byte
+//!   stream is globally reversed, the decoder's forward pass consumes each
+//!   lane's bytes exactly where its renormalization needs them — no
+//!   per-stream framing at all, which is rANS's structural advantage over
+//!   interleaved Huffman/FSE.
+//! - A valid stream ends with every lane back at `RANS_L` and no bytes left;
+//!   the decoder checks both, so truncation and corruption surface as
+//!   [`RansError::BadStream`] instead of silent garbage.
+//!
+//! Normalized counts come from [`crate::fse::normalize_counts`] — the same
+//! power-of-two normalization FSE uses, so codec integrations reuse one
+//! histogram/normalize pipeline and header format for either backend.
+
+use crate::interleave::MAX_WAYS;
+
+/// Lower bound of the normalized state interval (`2^23`), giving byte-wise
+/// renormalization headroom for `scale_bits` up to [`MAX_SCALE_BITS`] in a
+/// 32-bit state.
+pub const RANS_L: u32 = 1 << 23;
+
+/// Maximum supported `scale_bits` (frequency tables of up to 2^12 slots,
+/// matching [`crate::fse::MAX_TABLE_LOG`]).
+pub const MAX_SCALE_BITS: u8 = 12;
+
+/// Errors from rANS table construction or coding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RansError {
+    /// Normalized counts had no non-zero entries.
+    EmptyAlphabet,
+    /// `scale_bits` of 0 or above [`MAX_SCALE_BITS`], or an alphabet too
+    /// large for a byte-symbol coder.
+    BadScaleBits,
+    /// Normalized counts do not sum to `1 << scale_bits`.
+    BadNormalization,
+    /// The byte stream was truncated, left trailing bytes, or did not return
+    /// every lane state to `RANS_L`.
+    BadStream,
+    /// A symbol with zero frequency was passed to the encoder, or `ways` was
+    /// out of range.
+    UnknownSymbol,
+}
+
+impl std::fmt::Display for RansError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RansError::EmptyAlphabet => write!(f, "empty alphabet"),
+            RansError::BadScaleBits => write!(f, "invalid rans scale bits"),
+            RansError::BadNormalization => write!(f, "counts do not sum to scale"),
+            RansError::BadStream => write!(f, "malformed rans byte stream"),
+            RansError::UnknownSymbol => write!(f, "symbol not present in table"),
+        }
+    }
+}
+
+impl std::error::Error for RansError {}
+
+/// Frequency table for a byte alphabet: per-symbol normalized frequencies
+/// and cumulative starts, plus the flat alias-free slot-to-symbol decode
+/// table (`1 << scale_bits` entries in cumulative order).
+#[derive(Debug, Clone)]
+pub struct RansTable {
+    scale_bits: u8,
+    /// Normalized frequency per symbol (0 = absent).
+    freq: Vec<u32>,
+    /// `cum[s]` = sum of frequencies of symbols `< s`; `cum[alphabet]` is
+    /// the full `1 << scale_bits`.
+    cum: Vec<u32>,
+    /// `slot -> symbol`, for slots `0 .. 1 << scale_bits`.
+    slot_to_sym: Vec<u8>,
+}
+
+impl RansTable {
+    /// Builds a table from normalized counts (see
+    /// [`crate::fse::normalize_counts`]); the alphabet is at most 256
+    /// byte symbols.
+    ///
+    /// # Errors
+    ///
+    /// [`RansError::BadScaleBits`], [`RansError::EmptyAlphabet`] or
+    /// [`RansError::BadNormalization`] when the counts are not a valid
+    /// power-of-two normalization of a byte alphabet.
+    pub fn new(norm: &[u32], scale_bits: u8) -> Result<Self, RansError> {
+        if scale_bits == 0 || scale_bits > MAX_SCALE_BITS || norm.len() > 256 {
+            return Err(RansError::BadScaleBits);
+        }
+        if norm.iter().all(|&c| c == 0) {
+            return Err(RansError::EmptyAlphabet);
+        }
+        let size = 1u32 << scale_bits;
+        let mut cum = Vec::with_capacity(norm.len() + 1);
+        let mut total = 0u64;
+        cum.push(0u32);
+        for &c in norm {
+            total += c as u64;
+            if total > size as u64 {
+                return Err(RansError::BadNormalization);
+            }
+            cum.push(total as u32);
+        }
+        if total != size as u64 {
+            return Err(RansError::BadNormalization);
+        }
+        let mut slot_to_sym = vec![0u8; size as usize];
+        for (s, &c) in norm.iter().enumerate() {
+            let start = cum[s] as usize;
+            slot_to_sym[start..start + c as usize].fill(s as u8);
+        }
+        Ok(RansTable {
+            scale_bits,
+            freq: norm.to_vec(),
+            cum,
+            slot_to_sym,
+        })
+    }
+
+    /// The table's `log2` slot count.
+    pub fn scale_bits(&self) -> u8 {
+        self.scale_bits
+    }
+}
+
+fn check_ways(ways: usize) -> Result<(), RansError> {
+    if (1..=MAX_WAYS).contains(&ways) {
+        Ok(())
+    } else {
+        Err(RansError::UnknownSymbol)
+    }
+}
+
+/// Encodes `data` as an `ways`-lane interleaved rANS byte stream.
+///
+/// The stream layout after the final reversal: `ways` 32-bit lane states
+/// (lane 0 first, big-endian), then renorm bytes in forward consumption
+/// order. Empty input encodes to the bare lane states.
+///
+/// # Errors
+///
+/// [`RansError::UnknownSymbol`] if `data` contains a byte the table maps to
+/// frequency zero, or `ways` is out of range.
+pub fn encode(table: &RansTable, data: &[u8], ways: usize) -> Result<Vec<u8>, RansError> {
+    check_ways(ways)?;
+    let scale_bits = table.scale_bits as u32;
+    let mut states = [RANS_L; MAX_WAYS];
+    // Renorm emits at most ~1 byte per symbol beyond the entropy payload.
+    let mut buf: Vec<u8> = Vec::with_capacity(data.len() / 2 + 4 * ways + 16);
+    for i in (0..data.len()).rev() {
+        let s = data[i] as usize;
+        let f = match table.freq.get(s) {
+            Some(&f) if f > 0 => f,
+            _ => return Err(RansError::UnknownSymbol),
+        };
+        let lane = i % ways;
+        let mut x = states[lane];
+        // Byte-wise renormalization keeps the post-update state inside
+        // [RANS_L, RANS_L << 8).
+        let x_max = ((RANS_L >> scale_bits) << 8) * f;
+        while x >= x_max {
+            buf.push((x & 0xFF) as u8);
+            x >>= 8;
+        }
+        states[lane] = ((x / f) << scale_bits) + (x % f) + table.cum[s];
+    }
+    // Flush lane states highest-index first so that, after the reversal,
+    // the decoder reads lane 0's state at the front.
+    for lane in (0..ways).rev() {
+        buf.extend_from_slice(&states[lane].to_le_bytes());
+    }
+    buf.reverse();
+    Ok(buf)
+}
+
+/// Decodes exactly `count` byte symbols from an `ways`-lane stream,
+/// appending to `out`.
+///
+/// One multiply, one flat table load and a byte-wise renorm per symbol;
+/// with `ways > 1` consecutive symbols touch different lane states, so the
+/// multiply chains overlap. Verifies the end-of-stream invariant (all
+/// lanes back at `RANS_L`, no bytes left over).
+///
+/// # Errors
+///
+/// [`RansError::BadStream`] on truncation, trailing bytes, or a corrupt
+/// final state.
+pub fn decode_into(
+    table: &RansTable,
+    bytes: &[u8],
+    count: usize,
+    ways: usize,
+    out: &mut Vec<u8>,
+) -> Result<(), RansError> {
+    check_ways(ways).map_err(|_| RansError::BadStream)?;
+    if bytes.len() < 4 * ways {
+        return Err(RansError::BadStream);
+    }
+    out.reserve(count);
+    let scale_bits = table.scale_bits as u32;
+    let slot_mask = (1u64 << scale_bits) - 1;
+    // u64 states: hostile init values can push the update transiently past
+    // 32 bits; u64 keeps the arithmetic panic-free (the final RANS_L check
+    // still rejects such streams).
+    let mut states = [0u64; MAX_WAYS];
+    for (lane, state) in states.iter_mut().enumerate().take(ways) {
+        let b = &bytes[lane * 4..lane * 4 + 4];
+        *state = u32::from_be_bytes(b.try_into().unwrap()) as u64;
+    }
+    let mut pos = 4 * ways;
+    for i in 0..count {
+        let lane = i % ways;
+        let mut x = states[lane];
+        let slot = (x & slot_mask) as usize;
+        let s = table.slot_to_sym[slot];
+        out.push(s);
+        x = table.freq[s as usize] as u64 * (x >> scale_bits) + slot as u64
+            - table.cum[s as usize] as u64;
+        while x < RANS_L as u64 {
+            let Some(&b) = bytes.get(pos) else {
+                return Err(RansError::BadStream);
+            };
+            pos += 1;
+            x = (x << 8) | b as u64;
+        }
+        states[lane] = x;
+    }
+    if pos != bytes.len() || states[..ways].iter().any(|&x| x != RANS_L as u64) {
+        return Err(RansError::BadStream);
+    }
+    Ok(())
+}
+
+/// One-shot convenience wrapper over [`decode_into`].
+///
+/// # Errors
+///
+/// See [`decode_into`].
+pub fn decode(
+    table: &RansTable,
+    bytes: &[u8],
+    count: usize,
+    ways: usize,
+) -> Result<Vec<u8>, RansError> {
+    let mut out = Vec::with_capacity(count);
+    decode_into(table, bytes, count, ways, &mut out)?;
+    Ok(out)
+}
+
+/// Reference decoder — the equivalence oracle for the rANS format. It finds
+/// each slot's symbol by scanning the cumulative table instead of the flat
+/// slot map, so it shares no decode-table code with the fast path, yet must
+/// agree with it byte for byte (outputs and errors alike).
+pub mod reference {
+    use super::*;
+
+    /// Per-symbol decode via cumulative-count search.
+    ///
+    /// # Errors
+    ///
+    /// See [`super::decode_into`].
+    pub fn decode(
+        table: &RansTable,
+        bytes: &[u8],
+        count: usize,
+        ways: usize,
+    ) -> Result<Vec<u8>, RansError> {
+        check_ways(ways).map_err(|_| RansError::BadStream)?;
+        if bytes.len() < 4 * ways {
+            return Err(RansError::BadStream);
+        }
+        let scale_bits = table.scale_bits() as u32;
+        let slot_mask = (1u64 << scale_bits) - 1;
+        let mut states = vec![0u64; ways];
+        for (lane, state) in states.iter_mut().enumerate() {
+            let b = &bytes[lane * 4..lane * 4 + 4];
+            *state = u32::from_be_bytes(b.try_into().unwrap()) as u64;
+        }
+        let mut pos = 4 * ways;
+        let mut out = Vec::with_capacity(count);
+        for i in 0..count {
+            let lane = i % ways;
+            let mut x = states[lane];
+            let slot = (x & slot_mask) as u32;
+            // Find the symbol whose cumulative interval contains `slot`.
+            let s = match table.cum.binary_search(&slot) {
+                // `slot` may equal the start of a zero-frequency run; walk
+                // forward to the symbol that actually owns the interval.
+                Ok(mut idx) => {
+                    while table.freq[idx] == 0 {
+                        idx += 1;
+                    }
+                    idx
+                }
+                Err(idx) => idx - 1,
+            };
+            out.push(s as u8);
+            x = table.freq[s] as u64 * (x >> scale_bits) + slot as u64 - table.cum[s] as u64;
+            while x < RANS_L as u64 {
+                let Some(&b) = bytes.get(pos) else {
+                    return Err(RansError::BadStream);
+                };
+                pos += 1;
+                x = (x << 8) | b as u64;
+            }
+            states[lane] = x;
+        }
+        if pos != bytes.len() || states.iter().any(|&x| x != RANS_L as u64) {
+            return Err(RansError::BadStream);
+        }
+        Ok(out)
+    }
+}
+
+/// Builds a [`RansTable`] sized for `data`'s histogram: normalized counts
+/// from the shared FSE normalization at a recommended scale. Returns the
+/// table together with the normalized counts (the part a codec header
+/// transmits).
+///
+/// # Errors
+///
+/// [`RansError::EmptyAlphabet`] for empty input.
+pub fn table_for(data: &[u8]) -> Result<(RansTable, Vec<u32>, u8), RansError> {
+    use crate::fse::{normalize_counts, recommended_table_log};
+    if data.is_empty() {
+        return Err(RansError::EmptyAlphabet);
+    }
+    let hist = crate::byte_histogram(data);
+    let scale_bits = recommended_table_log(&hist, MAX_SCALE_BITS);
+    let norm = normalize_counts(&hist, scale_bits).map_err(|_| RansError::BadNormalization)?;
+    let table = RansTable::new(&norm, scale_bits)?;
+    Ok((table, norm, scale_bits))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdpu_util::rng::Xoshiro256;
+
+    #[test]
+    fn roundtrip_all_ways() {
+        let mut rng = Xoshiro256::seed_from(203);
+        for ways in 1..=MAX_WAYS {
+            for trial in 0..10 {
+                let alphabet = rng.index(250) + 2;
+                let len = rng.index(4000) + 1;
+                let data: Vec<u8> = (0..len).map(|_| rng.index(alphabet) as u8).collect();
+                let (table, _, _) = table_for(&data).unwrap();
+                let bytes = encode(&table, &data, ways).unwrap();
+                assert_eq!(
+                    decode(&table, &bytes, len, ways).unwrap(),
+                    data,
+                    "ways {ways} trial {trial}"
+                );
+                assert_eq!(
+                    reference::decode(&table, &bytes, len, ways).unwrap(),
+                    data,
+                    "reference ways {ways} trial {trial}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_input_is_bare_states() {
+        let table = RansTable::new(&[2, 2], 2).unwrap();
+        let bytes = encode(&table, &[], 4).unwrap();
+        assert_eq!(bytes.len(), 16);
+        assert_eq!(decode(&table, &bytes, 0, 4).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn single_symbol_stream_is_nearly_free() {
+        let data = vec![7u8; 10_000];
+        let (table, _, _) = table_for(&data).unwrap();
+        let bytes = encode(&table, &data, 1).unwrap();
+        // One state flush plus negligible renorm traffic.
+        assert!(bytes.len() <= 8, "single-symbol stream cost {}", bytes.len());
+        assert_eq!(decode(&table, &bytes, data.len(), 1).unwrap(), data);
+    }
+
+    #[test]
+    fn compression_tracks_entropy() {
+        let mut rng = Xoshiro256::seed_from(11);
+        let weights = [0.85f64, 0.07, 0.05, 0.03];
+        let dist = cdpu_util::hist::Categorical::new(&weights).unwrap();
+        let data: Vec<u8> = (0..20_000).map(|_| dist.sample(&mut rng) as u8).collect();
+        let (table, _, _) = table_for(&data).unwrap();
+        for ways in [1usize, 4] {
+            let bytes = encode(&table, &data, ways).unwrap();
+            let bits_per_symbol = bytes.len() as f64 * 8.0 / data.len() as f64;
+            // Entropy is ~0.9 bits/symbol; rANS should land close, with at
+            // most the 4*ways-byte state flush of overhead.
+            assert!(
+                bits_per_symbol < 1.1,
+                "rans too weak at {ways}-way: {bits_per_symbol} bits/symbol"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_symbol_rejected() {
+        let table = RansTable::new(&[2, 2], 2).unwrap();
+        assert_eq!(encode(&table, &[9], 1), Err(RansError::UnknownSymbol));
+    }
+
+    #[test]
+    fn bad_tables_rejected() {
+        assert_eq!(RansTable::new(&[1, 1], 0).unwrap_err(), RansError::BadScaleBits);
+        assert_eq!(RansTable::new(&[1, 1], 13).unwrap_err(), RansError::BadScaleBits);
+        assert_eq!(RansTable::new(&[0, 0], 2).unwrap_err(), RansError::EmptyAlphabet);
+        assert_eq!(RansTable::new(&[3, 2], 2).unwrap_err(), RansError::BadNormalization);
+        assert_eq!(RansTable::new(&[1, 1], 2).unwrap_err(), RansError::BadNormalization);
+    }
+
+    #[test]
+    fn truncation_and_corruption_detected() {
+        let mut rng = Xoshiro256::seed_from(204);
+        let data: Vec<u8> = (0..2000).map(|_| rng.index(30) as u8).collect();
+        let (table, _, _) = table_for(&data).unwrap();
+        for ways in [1usize, 4] {
+            let bytes = encode(&table, &data, ways).unwrap();
+            for cut in [0, 3, bytes.len() / 2, bytes.len() - 1] {
+                assert!(
+                    decode(&table, &bytes[..cut], data.len(), ways).is_err(),
+                    "truncation to {cut} must fail at {ways}-way"
+                );
+            }
+            // Trailing garbage must be rejected too.
+            let mut extended = bytes.clone();
+            extended.push(0xAB);
+            assert!(decode(&table, &extended, data.len(), ways).is_err());
+        }
+    }
+}

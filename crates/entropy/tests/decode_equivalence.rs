@@ -1,0 +1,204 @@
+//! Adversarial decode-parity for the interleaved and rANS entropy
+//! kernels: the fast K-cursor / flat-table decoders must agree with their
+//! per-symbol reference twins on every input — valid, truncated at every
+//! byte, bit-flipped, or carrying hostile per-stream length headers.
+//! Output bytes and error variants alike.
+
+use cdpu_entropy::fse::{normalize_counts, recommended_table_log, FseError};
+use cdpu_entropy::huffman::{HuffmanError, HuffmanTable};
+use cdpu_entropy::{byte_histogram, interleave, rans};
+use cdpu_util::rng::Xoshiro256;
+
+/// Skewed byte data that entropy-codes well (so streams are non-trivial).
+fn skewed_bytes(rng: &mut Xoshiro256, len: usize, alphabet: usize) -> Vec<u8> {
+    (0..len)
+        .map(|_| {
+            let a = rng.index(alphabet);
+            let b = rng.index(alphabet);
+            (a.min(b)) as u8
+        })
+        .collect()
+}
+
+fn fast_huffman(
+    table: &HuffmanTable,
+    payload: &[u8],
+    bit_lens: &[u64],
+    count: usize,
+) -> Result<Vec<u8>, HuffmanError> {
+    let mut out = Vec::new();
+    interleave::huffman_decode_into(table, payload, bit_lens, count, &mut out)?;
+    Ok(out)
+}
+
+#[test]
+fn huffman_truncation_at_every_byte() {
+    let mut rng = Xoshiro256::seed_from(71);
+    for ways in [2usize, 4, 8] {
+        let data = skewed_bytes(&mut rng, 900, 48);
+        let table = HuffmanTable::from_frequencies(&byte_histogram(&data)).unwrap();
+        let enc = interleave::huffman_encode(&table, &data, ways).unwrap();
+        for cut in 0..=enc.payload.len() {
+            let fast = fast_huffman(&table, &enc.payload[..cut], &enc.bit_lens, data.len());
+            let slow = interleave::reference::huffman_decode(
+                &table,
+                &enc.payload[..cut],
+                &enc.bit_lens,
+                data.len(),
+            );
+            assert_eq!(fast, slow, "ways {ways} cut {cut}");
+        }
+    }
+}
+
+#[test]
+fn huffman_bitflip_parity() {
+    let mut rng = Xoshiro256::seed_from(72);
+    for ways in [2usize, 4, 8] {
+        let data = skewed_bytes(&mut rng, 1400, 64);
+        let table = HuffmanTable::from_frequencies(&byte_histogram(&data)).unwrap();
+        let enc = interleave::huffman_encode(&table, &data, ways).unwrap();
+        for _ in 0..120 {
+            let mut bad = enc.payload.clone();
+            let i = rng.index(bad.len());
+            bad[i] ^= 1 << rng.index(8);
+            let fast = fast_huffman(&table, &bad, &enc.bit_lens, data.len());
+            let slow =
+                interleave::reference::huffman_decode(&table, &bad, &enc.bit_lens, data.len());
+            assert_eq!(fast, slow, "ways {ways} flip at {i}");
+        }
+    }
+}
+
+#[test]
+fn huffman_hostile_stream_lengths() {
+    let mut rng = Xoshiro256::seed_from(73);
+    let data = skewed_bytes(&mut rng, 700, 32);
+    let table = HuffmanTable::from_frequencies(&byte_histogram(&data)).unwrap();
+    let enc = interleave::huffman_encode(&table, &data, 4).unwrap();
+    let mut hostile: Vec<Vec<u64>> = vec![
+        vec![],                                  // no streams at all
+        vec![0; 9],                              // too many streams
+        vec![u64::MAX; 4],                       // astronomically long
+        vec![enc.payload.len() as u64 * 8; 4],   // each claims the whole payload
+        vec![0, 0, 0, 0],                        // all empty but payload is not
+    ];
+    // Single-stream perturbations of the true lengths: off-by-one both
+    // ways, swapped lanes, one lane zeroed.
+    for lane in 0..4 {
+        for delta in [-9i64, -1, 1, 8, 64] {
+            let mut l = enc.bit_lens.clone();
+            l[lane] = l[lane].wrapping_add_signed(delta);
+            hostile.push(l);
+        }
+        let mut l = enc.bit_lens.clone();
+        l[lane] = 0;
+        hostile.push(l);
+    }
+    let mut swapped = enc.bit_lens.clone();
+    swapped.swap(0, 3);
+    hostile.push(swapped);
+    for (case, lens) in hostile.iter().enumerate() {
+        let fast = fast_huffman(&table, &enc.payload, lens, data.len());
+        let slow =
+            interleave::reference::huffman_decode(&table, &enc.payload, lens, data.len());
+        assert_eq!(fast, slow, "hostile case {case}: {lens:?}");
+    }
+}
+
+#[test]
+fn fse_truncation_and_bitflip_parity() {
+    let mut rng = Xoshiro256::seed_from(74);
+    for ways in [2usize, 4, 8] {
+        let alphabet = 24;
+        let data: Vec<u16> = (0..1100)
+            .map(|_| (rng.index(alphabet).min(rng.index(alphabet))) as u16)
+            .collect();
+        let mut hist = vec![0u32; alphabet];
+        for &s in &data {
+            hist[s as usize] += 1;
+        }
+        let log = recommended_table_log(&hist, 10);
+        let norm = normalize_counts(&hist, log).unwrap();
+        let streams = interleave::fse_encode(&data, &norm, log, ways).unwrap();
+        // Truncate each lane at every byte.
+        for lane in 0..ways {
+            for cut in 0..=streams[lane].len() {
+                let views: Vec<&[u8]> = streams
+                    .iter()
+                    .enumerate()
+                    .map(|(k, s)| if k == lane { &s[..cut] } else { s.as_slice() })
+                    .collect();
+                let fast = interleave::fse_decode(&views, &norm, log, data.len());
+                let slow = interleave::reference::fse_decode(&views, &norm, log, data.len());
+                assert_eq!(fast, slow, "ways {ways} lane {lane} cut {cut}");
+            }
+        }
+        // Random bit flips in random lanes.
+        for _ in 0..100 {
+            let lane = rng.index(ways);
+            let mut bad = streams.clone();
+            let i = rng.index(bad[lane].len());
+            bad[lane][i] ^= 1 << rng.index(8);
+            let views: Vec<&[u8]> = bad.iter().map(Vec::as_slice).collect();
+            let fast = interleave::fse_decode(&views, &norm, log, data.len());
+            let slow = interleave::reference::fse_decode(&views, &norm, log, data.len());
+            assert_eq!(fast, slow, "ways {ways} flip lane {lane} byte {i}");
+        }
+        // Wrong stream count for this symbol count.
+        let views: Vec<&[u8]> = streams.iter().take(ways - 1).map(Vec::as_slice).collect();
+        let fast = interleave::fse_decode(&views, &norm, log, data.len());
+        let slow = interleave::reference::fse_decode(&views, &norm, log, data.len());
+        assert_eq!(fast, slow, "ways {ways} missing lane");
+        assert_eq!(
+            interleave::fse_decode(&[], &norm, log, data.len()).unwrap_err(),
+            FseError::BadStream
+        );
+    }
+}
+
+#[test]
+fn rans_truncation_at_every_byte() {
+    let mut rng = Xoshiro256::seed_from(75);
+    for ways in [1usize, 2, 4, 8] {
+        let data = skewed_bytes(&mut rng, 800, 40);
+        let (table, _, _) = rans::table_for(&data).unwrap();
+        let stream = rans::encode(&table, &data, ways).unwrap();
+        for cut in 0..stream.len() {
+            let fast = rans::decode(&table, &stream[..cut], data.len(), ways);
+            let slow = rans::reference::decode(&table, &stream[..cut], data.len(), ways);
+            assert_eq!(fast, slow, "ways {ways} cut {cut}");
+            assert!(fast.is_err(), "truncated stream must not decode (cut {cut})");
+        }
+    }
+}
+
+#[test]
+fn rans_bitflip_and_garbage_parity() {
+    let mut rng = Xoshiro256::seed_from(76);
+    for ways in [1usize, 4, 8] {
+        let data = skewed_bytes(&mut rng, 1200, 56);
+        let (table, _, _) = rans::table_for(&data).unwrap();
+        let stream = rans::encode(&table, &data, ways).unwrap();
+        for _ in 0..150 {
+            let mut bad = stream.clone();
+            let i = rng.index(bad.len());
+            bad[i] ^= 1 << rng.index(8);
+            let fast = rans::decode(&table, &bad, data.len(), ways);
+            let slow = rans::reference::decode(&table, &bad, data.len(), ways);
+            assert_eq!(fast, slow, "ways {ways} flip at {i}");
+        }
+        // Trailing garbage must be rejected identically.
+        let mut padded = stream.clone();
+        padded.push(0xAB);
+        let fast = rans::decode(&table, &padded, data.len(), ways);
+        let slow = rans::reference::decode(&table, &padded, data.len(), ways);
+        assert_eq!(fast, slow);
+        assert!(fast.is_err(), "trailing byte must be rejected");
+        // Decoding with the wrong lane count must fail identically.
+        let other = if ways == 1 { 2 } else { ways - 1 };
+        let fast = rans::decode(&table, &stream, data.len(), other);
+        let slow = rans::reference::decode(&table, &stream, data.len(), other);
+        assert_eq!(fast, slow, "ways {ways} decoded as {other}");
+    }
+}

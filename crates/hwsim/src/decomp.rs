@@ -39,6 +39,32 @@ pub fn huffman_bytes_per_cycle(spec_ways: u32) -> f64 {
     0.085 * (spec_ways as f64).sqrt()
 }
 
+/// Throughput multiplier for an N-lane interleaved entropy expander: each
+/// extra stream adds an independent dependency chain the unit can keep in
+/// flight (Section 5.3's banked expanders generalized to independent
+/// streams), with sub-linear return from shared table-SRAM ports. Exactly
+/// 1.0 for single-stream (and legacy zero-marked) frames, so their cycle
+/// counts are untouched.
+pub fn interleave_efficiency(streams: u64) -> f64 {
+    if streams <= 1 {
+        1.0
+    } else {
+        (streams as f64).powf(0.7)
+    }
+}
+
+/// rANS expander throughput, literal bytes per cycle per lane: one
+/// multiply plus a byte-wise renorm per symbol — slower per lane than a
+/// banked Huffman lookup, but lanes share one byte stream so interleaving
+/// costs no framing.
+const RANS_BPC: f64 = 0.5;
+/// Serial slot-table fill per rANS-coded block (up to 4096 slots at
+/// 8/cycle plus the normalized-count header parse).
+const RANS_BUILD_CYCLES: u64 = 900;
+/// Stream splitter/reassembly: cycles per extra interleaved stream per
+/// block (per-stream length header parse plus lane mux setup).
+const INTERLEAVE_STREAM_CYCLES: f64 = 12.0;
+
 /// Serial table-build cycles per Huffman-coded block (decode-table SRAM
 /// fill at 4 entries/cycle over an 11-bit table plus header parse).
 const HUFF_BUILD_CYCLES: u64 = 700;
@@ -168,6 +194,16 @@ fn zstd_huff_lit(profile: &CallProfile) -> f64 {
     }
 }
 
+/// Literal bytes that went through the rANS expander (same block-share
+/// approximation as [`zstd_huff_lit`]).
+fn zstd_rans_lit(profile: &CallProfile) -> f64 {
+    if profile.blocks == 0 {
+        0.0
+    } else {
+        profile.literal_bytes as f64 * profile.rans_blocks as f64 / profile.blocks as f64
+    }
+}
+
 /// Per-stage breakdown of one ZStd decompression call.
 ///
 /// Entropy stages — Huffman-coded literal expansion and FSE sequence
@@ -179,17 +215,29 @@ pub fn zstd_decomp_stages(
     mem: &MemParams,
 ) -> StageCycles {
     let io = p.placement.io_injection_cycles(mem.freq_ghz);
-    let huff_tp = huffman_bytes_per_cycle(p.spec_ways);
+    let huff_tp =
+        huffman_bytes_per_cycle(p.spec_ways) * interleave_efficiency(profile.lit_streams);
     let huff_lit = zstd_huff_lit(profile);
-    let raw_lit = profile.literal_bytes as f64 - huff_lit;
+    let rans_lit = zstd_rans_lit(profile);
+    let raw_lit = profile.literal_bytes as f64 - huff_lit - rans_lit;
+    let rans_tp = RANS_BPC * interleave_efficiency(profile.lit_streams);
+    let fse_tp = FSE_SEQS_PER_CYCLE * interleave_efficiency(profile.seq_streams);
+    // Extra interleaved streams (beyond the single stream every frame has)
+    // pay splitter/mux setup per block; legacy frames charge nothing.
+    let extra_streams =
+        profile.lit_streams.saturating_sub(1) + profile.seq_streams.saturating_sub(1);
     StageCycles {
         dispatch: DISPATCH_CYCLES,
         input_stream: mem.stream_cycles(profile.compressed, io),
         huffman: (huff_lit / huff_tp + raw_lit / LIT_WRITE_BPC).round() as u64,
-        fse: (profile.seqs as f64 / FSE_SEQS_PER_CYCLE).round() as u64,
+        fse: (profile.seqs as f64 / fse_tp).round() as u64,
+        rans: (rans_lit / rans_tp).round() as u64,
+        interleave: (profile.blocks as f64 * extra_streams as f64 * INTERLEAVE_STREAM_CYCLES)
+            .round() as u64,
         writer: writer_cycles(profile, p, mem),
         table_build: profile.huffman_blocks * HUFF_BUILD_CYCLES
-            + profile.blocks * FSE_BUILD_CYCLES,
+            + profile.blocks * FSE_BUILD_CYCLES
+            + profile.rans_blocks * RANS_BUILD_CYCLES,
         output_stream: mem.stream_cycles(profile.uncompressed, io),
         ..Default::default()
     }
@@ -200,6 +248,23 @@ pub fn zstd_decompress(profile: &CallProfile, p: &CdpuParams, mem: &MemParams) -
     p.validate();
     let s = zstd_decomp_stages(profile, p, mem);
     if cdpu_telemetry::enabled() {
+        // The rANS/interleave stages exist only for frames that use them;
+        // keep their counters out of legacy runs so instrumented exports
+        // stay stable.
+        let mut stages = vec![
+            ("hwsim.decomp.zstd.input_stream_cycles", s.input_stream),
+            ("hwsim.decomp.zstd.huffman_cycles", s.huffman),
+            ("hwsim.decomp.zstd.fse_cycles", s.fse),
+            ("hwsim.decomp.zstd.writer_cycles", s.writer),
+            ("hwsim.decomp.zstd.table_build_cycles", s.table_build),
+            ("hwsim.decomp.zstd.output_stream_cycles", s.output_stream),
+        ];
+        if s.rans > 0 {
+            stages.push(("hwsim.decomp.zstd.rans_cycles", s.rans));
+        }
+        if s.interleave > 0 {
+            stages.push(("hwsim.decomp.zstd.interleave_cycles", s.interleave));
+        }
         record_decomp_common(
             bound_label(
                 "hwsim.decomp.zstd.bound.input",
@@ -211,14 +276,7 @@ pub fn zstd_decompress(profile: &CallProfile, p: &CdpuParams, mem: &MemParams) -
             ),
             profile,
             p,
-            &[
-                ("hwsim.decomp.zstd.input_stream_cycles", s.input_stream),
-                ("hwsim.decomp.zstd.huffman_cycles", s.huffman),
-                ("hwsim.decomp.zstd.fse_cycles", s.fse),
-                ("hwsim.decomp.zstd.writer_cycles", s.writer),
-                ("hwsim.decomp.zstd.table_build_cycles", s.table_build),
-                ("hwsim.decomp.zstd.output_stream_cycles", s.output_stream),
-            ],
+            &stages,
         );
         // Speculation accounting per the √spec model: decoding one useful
         // byte launches `spec_ways` candidate starts of which only

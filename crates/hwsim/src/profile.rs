@@ -38,6 +38,16 @@ pub struct CallProfile {
     pub huffman_stream_bytes: u64,
     /// Bytes of FSE sequence bitstream.
     pub fse_stream_bytes: u64,
+    /// Interleaved literal streams (0 for legacy single-stream frames;
+    /// the maximum across blocks otherwise).
+    pub lit_streams: u64,
+    /// Interleaved sequence bitstreams (0 for legacy frames).
+    pub seq_streams: u64,
+    /// Blocks whose literals are rANS-coded (each charges a slot-table
+    /// fill instead of a Huffman decode-table build).
+    pub rans_blocks: u64,
+    /// Bytes of rANS-coded literal stream.
+    pub rans_stream_bytes: u64,
 }
 
 impl CallProfile {
@@ -102,8 +112,15 @@ pub fn profile_zstd(data: &[u8], level: i32, window_log: Option<u32>) -> CallPro
     if let Some(w) = window_log {
         cfg = cfg.window_log(w.clamp(10, 24));
     }
-    let parse = cdpu_zstd::parse_with(data, &cfg);
-    let (compressed, stats) = cdpu_zstd::compress_parse_with_stats(data, &parse, &cfg);
+    profile_zstd_with(data, &cfg)
+}
+
+/// [`profile_zstd`] with a full [`ZstdConfig`], including the entropy-stage
+/// knobs (interleaved stream counts, rANS literals). Frames produced at the
+/// default entropy config profile identically to [`profile_zstd`].
+pub fn profile_zstd_with(data: &[u8], cfg: &ZstdConfig) -> CallProfile {
+    let parse = cdpu_zstd::parse_with(data, cfg);
+    let (compressed, stats) = cdpu_zstd::compress_parse_with_stats(data, &parse, cfg);
     if cdpu_telemetry::enabled() {
         verify_decode(data, &compressed, |bytes, scratch| {
             cdpu_zstd::decompress_into(bytes, scratch).map_err(|e| e.to_string())
@@ -120,6 +137,10 @@ pub fn profile_zstd(data: &[u8], level: i32, window_log: Option<u32>) -> CallPro
             .map(|b| b.huffman_bits as u64 / 8)
             .sum(),
         fse_stream_bytes: stats.blocks.iter().map(|b| b.fse_bytes as u64).sum(),
+        lit_streams: stats.blocks.iter().map(|b| b.lit_streams as u64).max().unwrap_or(0),
+        seq_streams: stats.blocks.iter().map(|b| b.seq_streams as u64).max().unwrap_or(0),
+        rans_blocks: stats.blocks.iter().filter(|b| b.rans_literals).count() as u64,
+        rans_stream_bytes: stats.blocks.iter().map(|b| b.rans_bytes as u64).sum(),
         ..Default::default()
     };
     p.accumulate_parse(&parse);

@@ -38,6 +38,13 @@ pub struct StageCycles {
     pub huffman: u64,
     /// FSE unit occupancy (expander or encoder).
     pub fse: u64,
+    /// rANS unit occupancy (the alternative entropy expander; zero for
+    /// frames that carry no rANS-coded sections).
+    pub rans: u64,
+    /// Stream splitter/reassembly occupancy for interleaved entropy
+    /// streams (per-stream header parse plus lane muxing; zero for
+    /// single-stream frames).
+    pub interleave: u64,
     /// LZ77 writer occupancy incl. history fallbacks (decompression).
     pub writer: u64,
     /// Serial per-block table/dictionary builds.
@@ -54,6 +61,8 @@ impl StageCycles {
             .max(self.stats)
             .max(self.huffman)
             .max(self.fse)
+            .max(self.rans)
+            .max(self.interleave)
             .max(self.writer)
             + self.table_build
     }
@@ -88,6 +97,8 @@ impl StageCycles {
             ("stats", self.stats),
             ("huffman", self.huffman),
             ("fse", self.fse),
+            ("rans", self.rans),
+            ("interleave", self.interleave),
             ("writer", self.writer),
             ("table_build", self.table_build),
             ("output", self.output_stream),

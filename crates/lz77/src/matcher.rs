@@ -7,8 +7,6 @@
 //! one-step lazy matching, which the ZStd-class codec maps compression
 //! levels onto.
 
-use std::cell::RefCell;
-
 use crate::hash::{hash_at, HashFn};
 use crate::{Parse, Seq, MIN_MATCH};
 use cdpu_telemetry::counter;
@@ -49,13 +47,11 @@ impl MatcherScratch {
     }
 }
 
-thread_local! {
-    /// Per-thread scratch behind the allocation-free `parse` entry points.
-    static TLS_SCRATCH: RefCell<MatcherScratch> = const { RefCell::new(MatcherScratch::new()) };
-}
-
-fn with_tls_scratch<R>(f: impl FnOnce(&mut MatcherScratch) -> R) -> R {
-    TLS_SCRATCH.with(|s| f(&mut s.borrow_mut()))
+cdpu_util::tls_scratch! {
+    /// Per-thread scratch behind the allocation-free `parse` entry points
+    /// (each `cdpu-par` worker thread gets its own, so parallel suites
+    /// reuse without contention).
+    fn with_tls_scratch, MatcherScratch
 }
 
 /// Configuration for [`HashTableMatcher`], mirroring the generator's LZ77

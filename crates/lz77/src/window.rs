@@ -8,8 +8,6 @@
 //! handles the classic overlapping case (`offset < length`) that RLE-style
 //! matches rely on by replicating the period region-at-a-time.
 
-use std::cell::RefCell;
-
 use crate::{Lz77Error, Parse, Seq};
 
 /// Applies one copy of `len` bytes from `offset` back onto `out`.
@@ -140,21 +138,16 @@ impl DecoderScratch {
     }
 }
 
-thread_local! {
-    static TLS_DECODER_SCRATCH: RefCell<DecoderScratch> =
-        const { RefCell::new(DecoderScratch::new()) };
-}
-
-/// Runs `f` with this thread's shared [`DecoderScratch`] — the fallback the
-/// codecs' plain `decompress` entries could use when the caller does not
-/// hold a scratch of their own.
-///
-/// # Panics
-///
-/// Panics if called reentrantly from within `f` (the scratch is already
-/// borrowed).
-pub fn with_tls_decoder_scratch<R>(f: impl FnOnce(&mut DecoderScratch) -> R) -> R {
-    TLS_DECODER_SCRATCH.with(|s| f(&mut s.borrow_mut()))
+cdpu_util::tls_scratch! {
+    /// Runs `f` with this thread's shared [`DecoderScratch`] — the fallback
+    /// the codecs' plain `decompress` entries could use when the caller does
+    /// not hold a scratch of their own.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called reentrantly from within `f` (the scratch is already
+    /// borrowed).
+    pub fn with_tls_decoder_scratch, DecoderScratch
 }
 
 fn check_window(seq: &Seq, max_window: Option<u32>) -> Result<(), Lz77Error> {

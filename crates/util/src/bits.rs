@@ -515,6 +515,148 @@ impl<'a> BitBuf<'a> {
     }
 }
 
+/// A bank of `K` independent [`BitBuf`] cursors, one per interleaved
+/// stream — the decode-side primitive behind N-way multi-stream entropy
+/// coding.
+///
+/// A single-stream table decoder is serial-dependency-bound: each
+/// `peek → table load → consume` chain must retire before the next can
+/// start. Splitting symbols round-robin across `K` independent bitstreams
+/// gives the CPU `K` parallel dependency chains; the bank keeps one cached
+/// window per lane so a rotation (one symbol from each lane) issues `K`
+/// overlapping table loads.
+///
+/// Each lane follows the same discipline as a lone [`BitBuf`]: fast-loop
+/// only while `remaining() >= 64`, refill when the window runs dry, fall
+/// back to [`MsbBitReader`] for the sub-64-bit tail.
+#[derive(Debug, Clone)]
+pub struct BitBufBank<'a, const K: usize> {
+    lanes: [BitBuf<'a>; K],
+}
+
+impl<'a, const K: usize> BitBufBank<'a, K> {
+    /// Creates a bank from `K` `(bytes, bit_len)` streams, each positioned
+    /// at bit 0 with an empty window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any `bit_len` exceeds the bits available in its stream.
+    pub fn new(streams: [(&'a [u8], usize); K]) -> Self {
+        BitBufBank {
+            lanes: streams.map(|(bytes, bit_len)| BitBuf::new(bytes, bit_len)),
+        }
+    }
+
+    /// Mutable access to lane `k`.
+    #[inline(always)]
+    pub fn lane(&mut self, k: usize) -> &mut BitBuf<'a> {
+        &mut self.lanes[k]
+    }
+
+    /// All lanes at once, for rotation loops that index directly.
+    #[inline(always)]
+    pub fn lanes(&mut self) -> &mut [BitBuf<'a>; K] {
+        &mut self.lanes
+    }
+
+    /// Refills every lane's window.
+    #[inline(always)]
+    pub fn refill_all(&mut self) {
+        for lane in &mut self.lanes {
+            lane.refill();
+        }
+    }
+
+    /// The smallest `remaining()` across lanes: the fast rotation loop is
+    /// safe while this is `>= 64` (no lane can observe end-of-stream
+    /// zero-padding).
+    #[inline(always)]
+    pub fn min_remaining(&self) -> usize {
+        self.lanes.iter().map(BitBuf::remaining).min().unwrap_or(0)
+    }
+
+    /// The smallest cached-window occupancy across lanes.
+    #[inline(always)]
+    pub fn min_valid(&self) -> u32 {
+        self.lanes.iter().map(BitBuf::valid).min().unwrap_or(0)
+    }
+}
+
+/// A [`ReverseBitReader`] with a self-refreshing [`peek_tail`] window — the
+/// per-stream cursor behind N-way interleaved FSE decode.
+///
+/// PR 5's batched sequence decoder peeks one 57-bit tail window and slices
+/// several fields out of it by hand. `ReverseTailCursor` packages that
+/// machinery so a decoder can hold `K` independent cursors and round-robin
+/// [`ReverseTailCursor::take`] calls across them: each take serves from the
+/// cached window in registers and only touches the underlying reader when
+/// the window runs dry.
+///
+/// [`peek_tail`]: ReverseBitReader::peek_tail
+#[derive(Debug, Clone)]
+pub struct ReverseTailCursor<'a> {
+    reader: ReverseBitReader<'a>,
+    /// Cached tail window; the low `peeked` bits were valid at refresh.
+    window: u64,
+    /// Unconsumed bits left in the window.
+    have: u32,
+    /// Window occupancy at the last refresh (`peeked - have` bits have been
+    /// taken from the window but not yet consumed from the reader).
+    peeked: u32,
+}
+
+impl<'a> ReverseTailCursor<'a> {
+    /// Creates a cursor over a marker-terminated stream (see
+    /// [`BitWriter::finish_with_marker`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BitstreamExhausted`] if the stream is empty or carries no
+    /// terminator.
+    pub fn new(bytes: &'a [u8]) -> Result<Self, BitstreamExhausted> {
+        Ok(ReverseTailCursor {
+            reader: ReverseBitReader::new(bytes)?,
+            window: 0,
+            have: 0,
+            peeked: 0,
+        })
+    }
+
+    /// Payload bits remaining (cached window included).
+    pub fn remaining(&self) -> usize {
+        self.reader.remaining() - (self.peeked - self.have) as usize
+    }
+
+    /// Commits window consumption to the reader and re-peeks the tail.
+    #[inline(never)]
+    fn refresh(&mut self) {
+        self.reader.consume(self.peeked - self.have);
+        let (window, have) = self.reader.peek_tail();
+        self.window = window;
+        self.have = have;
+        self.peeked = have;
+    }
+
+    /// Reads the `nbits` (≤ 57) most recently written bits, LIFO order —
+    /// bit-identical to [`ReverseBitReader::read_bits`] on the same stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BitstreamExhausted`] if fewer than `nbits` remain.
+    #[inline(always)]
+    pub fn take(&mut self, nbits: u32) -> Result<u64, BitstreamExhausted> {
+        debug_assert!(nbits <= MAX_FIELD_BITS);
+        if self.have < nbits {
+            self.refresh();
+            if self.have < nbits {
+                return Err(BitstreamExhausted);
+            }
+        }
+        self.have -= nbits;
+        Ok((self.window >> self.have) & mask(nbits))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -715,6 +857,90 @@ mod tests {
                 assert_eq!(reader.read_bits(nbits).unwrap(), v);
                 assert_eq!(peeker.remaining(), reader.remaining());
             }
+        }
+    }
+
+    #[test]
+    fn bitbuf_bank_lanes_match_solo_readers() {
+        let mut rng = Xoshiro256::seed_from(81);
+        for _trial in 0..100 {
+            // Four independent streams of random-width fields.
+            let mut streams = Vec::new();
+            for _lane in 0..4 {
+                let n_fields = rng.index(40) + 1;
+                let mut w = MsbBitWriter::new();
+                let mut fields = Vec::new();
+                for _ in 0..n_fields {
+                    let nbits = rng.range_u64(1, 16) as u32;
+                    let v = rng.next_u64() & mask(nbits);
+                    fields.push((v, nbits));
+                    w.write_bits(v, nbits);
+                }
+                let (bytes, len) = w.finish();
+                streams.push((bytes, len, fields));
+            }
+            let mut bank = BitBufBank::<4>::new([
+                (&streams[0].0, streams[0].1),
+                (&streams[1].0, streams[1].1),
+                (&streams[2].0, streams[2].1),
+                (&streams[3].0, streams[3].1),
+            ]);
+            bank.refill_all();
+            // Round-robin one field per lane; every lane must agree with a
+            // lone MsbBitReader walking the same stream.
+            let max_fields = streams.iter().map(|s| s.2.len()).max().unwrap();
+            let mut slows: Vec<MsbBitReader<'_>> = streams
+                .iter()
+                .map(|(bytes, len, _)| MsbBitReader::new(bytes, *len))
+                .collect();
+            for i in 0..max_fields {
+                for k in 0..4 {
+                    let Some(&(v, nbits)) = streams[k].2.get(i) else {
+                        continue;
+                    };
+                    let lane = bank.lane(k);
+                    if lane.remaining() >= 64 {
+                        if lane.valid() < nbits {
+                            lane.refill();
+                        }
+                        assert_eq!(lane.peek(nbits), v);
+                        lane.consume(nbits);
+                        let pos = lane.position();
+                        slows[k].seek(pos);
+                    } else {
+                        assert_eq!(slows[k].read_bits(nbits).unwrap(), v);
+                    }
+                }
+            }
+            for slow in &slows {
+                assert_eq!(slow.remaining(), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn reverse_tail_cursor_matches_reverse_reader() {
+        let mut rng = Xoshiro256::seed_from(82);
+        for _trial in 0..200 {
+            let n_fields = rng.index(60) + 1;
+            let mut w = BitWriter::new();
+            let mut fields = Vec::new();
+            for _ in 0..n_fields {
+                let nbits = rng.range_u64(0, 20) as u32;
+                let v = rng.next_u64() & mask(nbits);
+                fields.push((v, nbits));
+                w.write_bits(v, nbits);
+            }
+            let bytes = w.finish_with_marker();
+            let mut cursor = ReverseTailCursor::new(&bytes).unwrap();
+            let mut reader = ReverseBitReader::new(&bytes).unwrap();
+            for &(v, nbits) in fields.iter().rev() {
+                assert_eq!(cursor.take(nbits).unwrap(), v);
+                assert_eq!(reader.read_bits(nbits).unwrap(), v);
+                assert_eq!(cursor.remaining(), reader.remaining());
+            }
+            assert_eq!(cursor.remaining(), 0);
+            assert!(cursor.take(1).is_err());
         }
     }
 

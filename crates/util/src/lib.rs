@@ -29,6 +29,46 @@
 //! assert_eq!(Xoshiro256::seed_from(42).next_u64(), a);
 //! ```
 
+/// Defines a thread-local scratch fallback for an allocation-free entry
+/// point: a hidden `thread_local!` slot holding one `$ty` (built with
+/// `$ty::new()`, which must be `const`) and an accessor function that runs a
+/// closure against the borrowed scratch.
+///
+/// PRs 4–5 grew one copy of this plumbing per codec scratch type
+/// (`MatcherScratch`, `DecoderScratch`); this macro is the shared helper.
+/// Hit/miss telemetry stays with the scratch type's own methods — the macro
+/// only owns the storage, so counters keep working unchanged.
+///
+/// ```
+/// struct Scratch { buf: Vec<u8> }
+/// impl Scratch {
+///     const fn new() -> Self { Scratch { buf: Vec::new() } }
+/// }
+/// cdpu_util::tls_scratch! {
+///     /// Runs `f` with this thread's shared scratch.
+///     pub fn with_tls_scratch, Scratch
+/// }
+/// let cap = with_tls_scratch(|s| {
+///     s.buf.resize(16, 0);
+///     s.buf.capacity()
+/// });
+/// // The same thread sees the same scratch (and its capacity) again.
+/// assert!(with_tls_scratch(|s| s.buf.capacity()) >= cap);
+/// ```
+#[macro_export]
+macro_rules! tls_scratch {
+    ($(#[$attr:meta])* $vis:vis fn $fname:ident, $ty:ty) => {
+        $(#[$attr])*
+        $vis fn $fname<R>(f: impl FnOnce(&mut $ty) -> R) -> R {
+            ::std::thread_local! {
+                static SCRATCH: ::std::cell::RefCell<$ty> =
+                    const { ::std::cell::RefCell::new(<$ty>::new()) };
+            }
+            SCRATCH.with(|s| f(&mut s.borrow_mut()))
+        }
+    };
+}
+
 pub mod bits;
 pub mod crc32c;
 pub mod hist;

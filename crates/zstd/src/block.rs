@@ -18,6 +18,7 @@ use cdpu_entropy::fse::{
     self, FseDecodeTable, FseEncodeTable, FseStreamDecoder, FseStreamEncoder,
 };
 use cdpu_entropy::huffman::HuffmanTable;
+use cdpu_entropy::{interleave, rans};
 use cdpu_lz77::{Parse, Seq};
 use cdpu_util::bits::{BitWriter, ReverseBitReader};
 use cdpu_util::varint;
@@ -55,6 +56,15 @@ pub struct BlockStats {
     pub huffman_bits: usize,
     /// Bytes in the interleaved FSE sequence bitstream.
     pub fse_bytes: usize,
+    /// Interleaved literal streams (0 for the legacy single-stream modes).
+    pub lit_streams: u8,
+    /// Interleaved sequence bitstreams (0 for the legacy modes).
+    pub seq_streams: u8,
+    /// Whether the literals were rANS-coded (an alternative entropy unit
+    /// on the accelerator).
+    pub rans_literals: bool,
+    /// Bytes in the rANS literal stream (0 when not rANS).
+    pub rans_bytes: usize,
 }
 
 const LL_TABLE_LOG_MAX: u8 = 9;
@@ -75,13 +85,24 @@ fn write_fse_header(out: &mut Vec<u8>, norm: &[u32], table_log: u8) {
 }
 
 fn read_fse_header(input: &[u8], pos: &mut usize) -> Result<(Vec<u32>, u8), ZstdError> {
+    read_norm_header(input, pos, 64)
+}
+
+/// Reads a `write_fse_header`-format normalized-count table with a caller
+/// chosen alphabet cap: 64 for the sequence-code tables, 256 for the rANS
+/// literal table (a full byte alphabet).
+fn read_norm_header(
+    input: &[u8],
+    pos: &mut usize,
+    max_alphabet: usize,
+) -> Result<(Vec<u32>, u8), ZstdError> {
     if *pos + 3 > input.len() {
         return Err(ZstdError::Truncated);
     }
     let table_log = input[*pos];
     let alphabet = u16::from_le_bytes([input[*pos + 1], input[*pos + 2]]) as usize;
     *pos += 3;
-    if alphabet == 0 || alphabet > 64 || *pos + 2 * alphabet > input.len() {
+    if alphabet == 0 || alphabet > max_alphabet || *pos + 2 * alphabet > input.len() {
         return Err(ZstdError::BadBlock("bad fse header"));
     }
     let mut norm = Vec::with_capacity(alphabet);
@@ -93,7 +114,12 @@ fn read_fse_header(input: &[u8], pos: &mut usize) -> Result<(Vec<u32>, u8), Zstd
 }
 
 /// Encodes the literals section.
-fn encode_literals(literals: &[u8], out: &mut Vec<u8>, stats: &mut BlockStats) {
+fn encode_literals(
+    literals: &[u8],
+    out: &mut Vec<u8>,
+    stats: &mut BlockStats,
+    entropy: &crate::EntropyConfig,
+) {
     stats.literal_bytes = literals.len();
     if literals.is_empty() {
         out.push(0); // Raw, empty
@@ -106,28 +132,119 @@ fn encode_literals(literals: &[u8], out: &mut Vec<u8>, stats: &mut BlockStats) {
         out.push(literals[0]);
         return;
     }
-    // Try Huffman; fall back to raw when it does not pay.
-    let hist = cdpu_entropy::byte_histogram(literals);
-    if let Ok(table) = HuffmanTable::from_frequencies(&hist) {
-        if let Ok((bits, bit_len)) = table.encode_bytes(literals) {
-            let mut header = Vec::new();
-            table.serialize(&mut header);
-            let encoded_total = header.len() + bits.len() + 10;
-            if encoded_total < literals.len() {
-                out.push(2); // Huffman
-                varint::write_u64(out, literals.len() as u64);
-                out.extend_from_slice(&header);
-                varint::write_u64(out, bit_len as u64);
-                out.extend_from_slice(&bits);
-                stats.huffman_literals = true;
-                stats.huffman_bits = bit_len;
+    match entropy.lit_backend {
+        crate::LitBackend::Rans => {
+            if try_encode_literals_rans(literals, out, stats, entropy.lit_streams) {
                 return;
+            }
+        }
+        crate::LitBackend::Huffman if entropy.lit_streams > 1 => {
+            if try_encode_literals_huffman_nway(literals, out, stats, entropy.lit_streams) {
+                return;
+            }
+        }
+        crate::LitBackend::Huffman => {
+            // The seed format: single-stream Huffman (mode 2).
+            let hist = cdpu_entropy::byte_histogram(literals);
+            if let Ok(table) = HuffmanTable::from_frequencies(&hist) {
+                if let Ok((bits, bit_len)) = table.encode_bytes(literals) {
+                    let mut header = Vec::new();
+                    table.serialize(&mut header);
+                    let encoded_total = header.len() + bits.len() + 10;
+                    if encoded_total < literals.len() {
+                        out.push(2); // Huffman
+                        varint::write_u64(out, literals.len() as u64);
+                        out.extend_from_slice(&header);
+                        varint::write_u64(out, bit_len as u64);
+                        out.extend_from_slice(&bits);
+                        stats.huffman_literals = true;
+                        stats.huffman_bits = bit_len;
+                        return;
+                    }
+                }
             }
         }
     }
     out.push(0); // Raw
     varint::write_u64(out, literals.len() as u64);
     out.extend_from_slice(literals);
+}
+
+/// Mode 3: K-way interleaved Huffman literals — one shared table, K
+/// independent bit streams with per-stream bit lengths in the header.
+/// Returns false (emitting nothing) when the coded form would not pay.
+fn try_encode_literals_huffman_nway(
+    literals: &[u8],
+    out: &mut Vec<u8>,
+    stats: &mut BlockStats,
+    ways: u8,
+) -> bool {
+    let hist = cdpu_entropy::byte_histogram(literals);
+    let Ok(table) = HuffmanTable::from_frequencies(&hist) else {
+        return false;
+    };
+    let Ok(streams) = interleave::huffman_encode(&table, literals, ways as usize) else {
+        return false;
+    };
+    let mut header = Vec::new();
+    table.serialize(&mut header);
+    let frame_overhead = header.len() + 2 + 3 * streams.bit_lens.len() + 10;
+    if frame_overhead + streams.payload.len() >= literals.len() {
+        return false;
+    }
+    out.push(3); // Interleaved Huffman
+    varint::write_u64(out, literals.len() as u64);
+    out.extend_from_slice(&header);
+    out.push(ways);
+    for &bits in &streams.bit_lens {
+        varint::write_u64(out, bits);
+    }
+    out.extend_from_slice(&streams.payload);
+    stats.huffman_literals = true;
+    stats.huffman_bits = streams.bit_lens.iter().sum::<u64>() as usize;
+    stats.lit_streams = ways;
+    true
+}
+
+/// Mode 4: rANS literals — normalized-count header (full byte alphabet)
+/// plus a single interleaved byte stream (rANS lanes share one stream, so
+/// no per-stream framing is needed). Returns false when coding does not
+/// pay or the table cannot be built.
+fn try_encode_literals_rans(
+    literals: &[u8],
+    out: &mut Vec<u8>,
+    stats: &mut BlockStats,
+    ways: u8,
+) -> bool {
+    let hist = cdpu_entropy::byte_histogram(literals);
+    let Some(max_sym) = hist.iter().rposition(|&c| c > 0) else {
+        return false;
+    };
+    let hist = &hist[..=max_sym];
+    let scale_bits = fse::recommended_table_log(hist, rans::MAX_SCALE_BITS);
+    let Ok(norm) = fse::normalize_counts(hist, scale_bits) else {
+        return false;
+    };
+    let Ok(table) = rans::RansTable::new(&norm, scale_bits) else {
+        return false;
+    };
+    let Ok(stream) = rans::encode(&table, literals, ways as usize) else {
+        return false;
+    };
+    let frame_overhead = 3 + 2 * norm.len() + 2 + 10;
+    if frame_overhead + stream.len() >= literals.len() {
+        return false;
+    }
+    out.push(4); // rANS
+    varint::write_u64(out, literals.len() as u64);
+    write_fse_header(out, &norm, scale_bits);
+    out.push(ways);
+    varint::write_u64(out, stream.len() as u64);
+    out.extend_from_slice(&stream);
+    stats.rans_literals = true;
+    stats.rans_bytes = stream.len();
+    stats.lit_streams = ways;
+    true
 }
 
 /// Decodes the literals section, appending the literal bytes to `lits`
@@ -186,6 +303,65 @@ fn decode_literals_into(
             *pos += nbytes;
             Ok(())
         }
+        3 => {
+            let (table, consumed) = HuffmanTable::deserialize(&input[*pos..])
+                .map_err(ZstdError::Huffman)?;
+            *pos += consumed;
+            if *pos >= input.len() {
+                return Err(ZstdError::Truncated);
+            }
+            let ways = input[*pos] as usize;
+            *pos += 1;
+            if ways == 0 || ways > interleave::MAX_WAYS {
+                return Err(ZstdError::BadBlock("bad literal stream count"));
+            }
+            let mut bit_lens = Vec::with_capacity(ways);
+            let mut span = 0u64;
+            for _ in 0..ways {
+                let (bits, n) = varint::read_u64(&input[*pos..])
+                    .map_err(|_| ZstdError::BadBlock("literal stream length"))?;
+                *pos += n;
+                // Hostile headers: bound each stream by the input that is
+                // actually present before doing any usize arithmetic.
+                if bits > (input.len() as u64) * 8 {
+                    return Err(ZstdError::BadBlock("literal stream length"));
+                }
+                span += bits.div_ceil(8);
+                bit_lens.push(bits);
+            }
+            if span > (input.len() - *pos) as u64 {
+                return Err(ZstdError::Truncated);
+            }
+            let span = span as usize;
+            interleave::huffman_decode_into(&table, &input[*pos..*pos + span], &bit_lens, count, lits)
+                .map_err(ZstdError::Huffman)?;
+            *pos += span;
+            Ok(())
+        }
+        4 => {
+            let (norm, scale_bits) = read_norm_header(input, pos, 256)?;
+            if *pos >= input.len() {
+                return Err(ZstdError::Truncated);
+            }
+            let ways = input[*pos] as usize;
+            *pos += 1;
+            if ways == 0 || ways > interleave::MAX_WAYS {
+                return Err(ZstdError::BadBlock("bad literal stream count"));
+            }
+            let (stream_len, n) = varint::read_u64(&input[*pos..])
+                .map_err(|_| ZstdError::BadBlock("rans stream length"))?;
+            *pos += n;
+            let stream_len = stream_len as usize;
+            if stream_len > input.len() - *pos {
+                return Err(ZstdError::Truncated);
+            }
+            let table = rans::RansTable::new(&norm, scale_bits)
+                .map_err(|_| ZstdError::BadBlock("bad rans table"))?;
+            rans::decode_into(&table, &input[*pos..*pos + stream_len], count, ways, lits)
+                .map_err(|_| ZstdError::BadBlock("rans literal stream"))?;
+            *pos += stream_len;
+            Ok(())
+        }
         _ => Err(ZstdError::BadBlock("unknown literals mode")),
     }
 }
@@ -229,9 +405,15 @@ const RAW_SEQ_THRESHOLD: usize = 16;
 
 const SEQ_MODE_RAW: u8 = 0;
 const SEQ_MODE_FSE: u8 = 1;
+const SEQ_MODE_FSE_NWAY: u8 = 2;
 
 /// Encodes the sequences section.
-fn encode_sequences(seqs: &[Seq], out: &mut Vec<u8>, stats: &mut BlockStats) -> Result<(), ZstdError> {
+fn encode_sequences(
+    seqs: &[Seq],
+    out: &mut Vec<u8>,
+    stats: &mut BlockStats,
+    seq_streams: u8,
+) -> Result<(), ZstdError> {
     varint::write_u64(out, seqs.len() as u64);
     stats.sequences = seqs.len();
     if seqs.is_empty() {
@@ -246,7 +428,16 @@ fn encode_sequences(seqs: &[Seq], out: &mut Vec<u8>, stats: &mut BlockStats) -> 
         }
         return Ok(());
     }
-    out.push(SEQ_MODE_FSE);
+    // RAW_SEQ_THRESHOLD > MAX_WAYS, so every interleaved lane below holds at
+    // least one sequence.
+    let ways = (seq_streams as usize).clamp(1, interleave::MAX_WAYS);
+    if ways > 1 {
+        out.push(SEQ_MODE_FSE_NWAY);
+        out.push(ways as u8);
+        stats.seq_streams = ways as u8;
+    } else {
+        out.push(SEQ_MODE_FSE);
+    }
     let coded = code_sequences(seqs)?;
     let (ll_norm, ll_log) = build_norm(&coded.ll, codes::LL_CODES, LL_TABLE_LOG_MAX);
     let (ml_norm, ml_log) = build_norm(&coded.ml, codes::ML_CODES, ML_TABLE_LOG_MAX);
@@ -259,30 +450,42 @@ fn encode_sequences(seqs: &[Seq], out: &mut Vec<u8>, stats: &mut BlockStats) -> 
     let ml_table = FseEncodeTable::new(&ml_norm, ml_log).map_err(ZstdError::Fse)?;
     let of_table = FseEncodeTable::new(&of_norm, of_log).map_err(ZstdError::Fse)?;
 
-    let mut w = BitWriter::new();
-    let mut ll_enc = FseStreamEncoder::new(&ll_table);
-    let mut ml_enc = FseStreamEncoder::new(&ml_table);
-    let mut of_enc = FseStreamEncoder::new(&of_table);
+    // One bitstream per lane: lane k carries the LL/ML/OF triples of
+    // sequences `k, k+ways, k+2*ways, ...` against the shared tables. With
+    // `ways == 1` this is exactly the seed's single-stream layout.
+    let mut streams = Vec::with_capacity(ways);
+    for lane in 0..ways {
+        let mut w = BitWriter::new();
+        let mut ll_enc = FseStreamEncoder::new(&ll_table);
+        let mut ml_enc = FseStreamEncoder::new(&ml_table);
+        let mut of_enc = FseStreamEncoder::new(&of_table);
 
-    // Backward over sequences; the decoder reads the resulting stream in
-    // reverse and therefore emits sequences forward. Per sequence the write
-    // order is (ll_sym, ml_sym, of_sym, ll_extra, ml_extra, of_extra); the
-    // decoder's read order per sequence is the exact mirror.
-    for i in (0..seqs.len()).rev() {
-        ll_enc.push(coded.ll[i].code, &mut w).map_err(ZstdError::Fse)?;
-        ml_enc.push(coded.ml[i].code, &mut w).map_err(ZstdError::Fse)?;
-        of_enc.push(coded.of[i].code, &mut w).map_err(ZstdError::Fse)?;
-        w.write_bits(coded.ll[i].extra as u64, coded.ll[i].extra_bits as u32);
-        w.write_bits(coded.ml[i].extra as u64, coded.ml[i].extra_bits as u32);
-        w.write_bits(coded.of[i].extra as u64, coded.of[i].extra_bits as u32);
+        // Backward over this lane's sequences; the decoder reads the
+        // resulting stream in reverse and therefore emits them forward. Per
+        // sequence the write order is (ll_sym, ml_sym, of_sym, ll_extra,
+        // ml_extra, of_extra); the decoder's read order is the exact mirror.
+        let lane_count = interleave::stream_symbols(seqs.len(), ways, lane);
+        for j in (0..lane_count).rev() {
+            let i = lane + j * ways;
+            ll_enc.push(coded.ll[i].code, &mut w).map_err(ZstdError::Fse)?;
+            ml_enc.push(coded.ml[i].code, &mut w).map_err(ZstdError::Fse)?;
+            of_enc.push(coded.of[i].code, &mut w).map_err(ZstdError::Fse)?;
+            w.write_bits(coded.ll[i].extra as u64, coded.ll[i].extra_bits as u32);
+            w.write_bits(coded.ml[i].extra as u64, coded.ml[i].extra_bits as u32);
+            w.write_bits(coded.of[i].extra as u64, coded.of[i].extra_bits as u32);
+        }
+        ll_enc.finish(&mut w).map_err(ZstdError::Fse)?;
+        ml_enc.finish(&mut w).map_err(ZstdError::Fse)?;
+        of_enc.finish(&mut w).map_err(ZstdError::Fse)?;
+        streams.push(w.finish_with_marker());
     }
-    ll_enc.finish(&mut w).map_err(ZstdError::Fse)?;
-    ml_enc.finish(&mut w).map_err(ZstdError::Fse)?;
-    of_enc.finish(&mut w).map_err(ZstdError::Fse)?;
-    let stream = w.finish_with_marker();
-    stats.fse_bytes = stream.len();
-    varint::write_u64(out, stream.len() as u64);
-    out.extend_from_slice(&stream);
+    stats.fse_bytes = streams.iter().map(Vec::len).sum();
+    for stream in &streams {
+        varint::write_u64(out, stream.len() as u64);
+    }
+    for stream in &streams {
+        out.extend_from_slice(stream);
+    }
     Ok(())
 }
 
@@ -343,8 +546,24 @@ fn decode_sequences_into(
             return Ok(());
         }
         SEQ_MODE_FSE => {}
+        SEQ_MODE_FSE_NWAY => {}
         _ => return Err(ZstdError::BadBlock("unknown sequence mode")),
     }
+    let ways = if mode == SEQ_MODE_FSE_NWAY {
+        if *pos >= input.len() {
+            return Err(ZstdError::Truncated);
+        }
+        let ways = input[*pos] as usize;
+        *pos += 1;
+        // A lane without sequences has no valid bitstream, so the stream
+        // count is bounded by the sequence count.
+        if !(2..=interleave::MAX_WAYS).contains(&ways) || ways > n {
+            return Err(ZstdError::BadBlock("bad sequence stream count"));
+        }
+        ways
+    } else {
+        1
+    };
     let (ll_norm, ll_log) = read_fse_header(input, pos)?;
     let (ml_norm, ml_log) = read_fse_header(input, pos)?;
     let (of_norm, of_log) = read_fse_header(input, pos)?;
@@ -352,36 +571,56 @@ fn decode_sequences_into(
     let ml_table = FseDecodeTable::new(&ml_norm, ml_log).map_err(ZstdError::Fse)?;
     let of_table = FseDecodeTable::new(&of_norm, of_log).map_err(ZstdError::Fse)?;
 
-    let (stream_len, consumed) =
-        varint::read_u64(&input[*pos..]).map_err(|_| ZstdError::BadBlock("fse stream length"))?;
-    *pos += consumed;
-    let stream_len = stream_len as usize;
-    if *pos + stream_len > input.len() {
+    let mut stream_lens = Vec::with_capacity(ways);
+    for _ in 0..ways {
+        let (stream_len, consumed) = varint::read_u64(&input[*pos..])
+            .map_err(|_| ZstdError::BadBlock("fse stream length"))?;
+        *pos += consumed;
+        let stream_len = stream_len as usize;
+        if stream_len > input.len() - *pos {
+            return Err(ZstdError::Truncated);
+        }
+        stream_lens.push(stream_len);
+    }
+    if stream_lens.iter().sum::<usize>() > input.len() - *pos {
         return Err(ZstdError::Truncated);
     }
-    let stream = &input[*pos..*pos + stream_len];
-    *pos += stream_len;
 
-    let mut r = ReverseBitReader::new(stream).map_err(|_| ZstdError::Truncated)?;
-    // States flushed in order ll, ml, of -> read back of, ml, ll.
-    let mut of_dec = FseStreamDecoder::new(&of_table, &mut r).map_err(ZstdError::Fse)?;
-    let mut ml_dec = FseStreamDecoder::new(&ml_table, &mut r).map_err(ZstdError::Fse)?;
-    let mut ll_dec = FseStreamDecoder::new(&ll_table, &mut r).map_err(ZstdError::Fse)?;
+    // Lane k: its own backward bitstream plus OF/ML/LL decoder states
+    // against the shared tables. States were flushed in order ll, ml, of ->
+    // read back of, ml, ll.
+    struct Lane<'a, 't> {
+        r: ReverseBitReader<'a>,
+        of_dec: FseStreamDecoder<'t>,
+        ml_dec: FseStreamDecoder<'t>,
+        ll_dec: FseStreamDecoder<'t>,
+    }
+    let mut lanes: Vec<Lane<'_, '_>> = Vec::with_capacity(ways);
+    for &stream_len in &stream_lens {
+        let stream = &input[*pos..*pos + stream_len];
+        *pos += stream_len;
+        let mut r = ReverseBitReader::new(stream).map_err(|_| ZstdError::Truncated)?;
+        let of_dec = FseStreamDecoder::new(&of_table, &mut r).map_err(ZstdError::Fse)?;
+        let ml_dec = FseStreamDecoder::new(&ml_table, &mut r).map_err(ZstdError::Fse)?;
+        let ll_dec = FseStreamDecoder::new(&ll_table, &mut r).map_err(ZstdError::Fse)?;
+        lanes.push(Lane { r, of_dec, ml_dec, ll_dec });
+    }
 
     seqs.reserve(n);
     let mut batched = 0u64;
     for i in 0..n {
+        let Lane { r, of_dec, ml_dec, ll_dec } = &mut lanes[i % ways];
         let of_sym = of_dec.peek();
         let ml_sym = ml_dec.peek();
         let ll_sym = ll_dec.peek();
         // Extras were written ll, ml, of -> read back of, ml, of... i.e.
         // reverse: of first, then ml, then ll. State updates mirror the
-        // encoder's push order (ll, ml, of) -> reverse: of, ml, ll; the
-        // final sequence pulls no transition bits.
+        // encoder's push order (ll, ml, of) -> reverse: of, ml, ll; a
+        // lane's final sequence pulls no transition bits.
         let of_eb = codes::of_extra_bits(of_sym) as u32;
         let ml_eb = codes::ml_extra_bits(ml_sym) as u32;
         let ll_eb = codes::ll_extra_bits(ll_sym) as u32;
-        let last = i + 1 == n;
+        let last = i + ways >= n;
         let trans = if last {
             0
         } else {
@@ -414,9 +653,9 @@ fn decode_sequences_into(
             ml_extra = r.read_bits(ml_eb).map_err(|_| ZstdError::Truncated)? as u32;
             ll_extra = r.read_bits(ll_eb).map_err(|_| ZstdError::Truncated)? as u32;
             if !last {
-                of_dec.next(&mut r).map_err(ZstdError::Fse)?;
-                ml_dec.next(&mut r).map_err(ZstdError::Fse)?;
-                ll_dec.next(&mut r).map_err(ZstdError::Fse)?;
+                of_dec.next(r).map_err(ZstdError::Fse)?;
+                ml_dec.next(r).map_err(ZstdError::Fse)?;
+                ll_dec.next(r).map_err(ZstdError::Fse)?;
             }
         }
         seqs.push(Seq {
@@ -435,17 +674,29 @@ fn decode_sequences_into(
     Ok(())
 }
 
-/// Encodes one compressed-block payload from a parse of `data`.
-/// Returns per-block statistics.
+/// Encodes one compressed-block payload from a parse of `data`, in the
+/// seed format (single-stream Huffman literals). Returns per-block
+/// statistics.
 pub fn encode_block(data: &[u8], parse: &Parse, out: &mut Vec<u8>) -> Result<BlockStats, ZstdError> {
+    encode_block_with(data, parse, out, &crate::EntropyConfig::default())
+}
+
+/// [`encode_block`] with explicit entropy-stage knobs (literal backend and
+/// interleaved stream counts).
+pub fn encode_block_with(
+    data: &[u8],
+    parse: &Parse,
+    out: &mut Vec<u8>,
+    entropy: &crate::EntropyConfig,
+) -> Result<BlockStats, ZstdError> {
     let mut stats = BlockStats {
         input_bytes: data.len(),
         ..Default::default()
     };
     let start = out.len();
     let literals = parse.literal_bytes(data);
-    encode_literals(&literals, out, &mut stats);
-    encode_sequences(&parse.seqs, out, &mut stats)?;
+    encode_literals(&literals, out, &mut stats, entropy);
+    encode_sequences(&parse.seqs, out, &mut stats, entropy.seq_streams)?;
     varint::write_u64(out, parse.last_literals as u64);
     stats.output_bytes = out.len() - start;
     if cdpu_telemetry::enabled() {
@@ -637,7 +888,7 @@ mod tests {
         ];
         let mut out = Vec::new();
         let mut stats = BlockStats::default();
-        encode_sequences(&seqs, &mut out, &mut stats).unwrap();
+        encode_sequences(&seqs, &mut out, &mut stats, 1).unwrap();
         let mut pos = 0;
         let mut back = Vec::new();
         decode_sequences_into(&out, &mut pos, &mut back).unwrap();
@@ -649,7 +900,7 @@ mod tests {
         let seqs = vec![Seq { lit_len: 5, match_len: 9, offset: 42 }];
         let mut out = Vec::new();
         let mut stats = BlockStats::default();
-        encode_sequences(&seqs, &mut out, &mut stats).unwrap();
+        encode_sequences(&seqs, &mut out, &mut stats, 1).unwrap();
         let mut pos = 0;
         let mut back = Vec::new();
         decode_sequences_into(&out, &mut pos, &mut back).unwrap();

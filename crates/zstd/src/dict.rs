@@ -54,11 +54,11 @@ pub fn compress_with_dict(data: &[u8], cfg: &ZstdConfig, dict: &[u8]) -> Vec<u8>
     for (i, chunk) in chunks.iter().enumerate() {
         let last = i + 1 == chunks.len();
         let len = chunk.total_len();
-        crate::emit_block(&data[pos..pos + len], chunk, last, &mut out, &mut stats, &mut payload);
+        crate::emit_block(&data[pos..pos + len], chunk, last, &mut out, &mut stats, &mut payload, &cfg.entropy);
         pos += len;
     }
     if chunks.is_empty() {
-        crate::emit_block(b"", &Parse::default(), true, &mut out, &mut stats, &mut payload);
+        crate::emit_block(b"", &Parse::default(), true, &mut out, &mut stats, &mut payload, &cfg.entropy);
     }
     out
 }

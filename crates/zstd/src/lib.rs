@@ -116,8 +116,50 @@ impl std::error::Error for ZstdError {
     }
 }
 
+/// Entropy backend for the literals section.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LitBackend {
+    /// Canonical Huffman (the seed codec's literals coder).
+    #[default]
+    Huffman,
+    /// Byte-wise-renormalizing rANS (`cdpu_entropy::rans`): one multiply
+    /// per symbol instead of one table lookup, and interleaving needs no
+    /// per-stream framing.
+    Rans,
+}
+
+/// Entropy-stage knobs: which literals backend to use and how many
+/// interleaved streams each coded section carries. The default
+/// (`Huffman`, 1, 1) reproduces the seed format byte for byte; anything
+/// else emits the additive literal/sequence modes, which older decoders
+/// reject as an unknown mode rather than misread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EntropyConfig {
+    /// Literals coder.
+    pub lit_backend: LitBackend,
+    /// Interleaved streams in the literals section, `1..=8`. With K > 1
+    /// the decoder keeps K dependency chains in flight (ZStd's 4-stream
+    /// literal trick).
+    pub lit_streams: u8,
+    /// Interleaved bitstreams in the sequences section, `1..=8`. Each
+    /// stream carries the LL/ML/OF triple for its round-robin share of the
+    /// sequences, against shared FSE tables.
+    pub seq_streams: u8,
+}
+
+impl Default for EntropyConfig {
+    fn default() -> Self {
+        EntropyConfig {
+            lit_backend: LitBackend::Huffman,
+            lit_streams: 1,
+            seq_streams: 1,
+        }
+    }
+}
+
 /// Compression configuration: the two user-facing parameters the fleet
-/// profiling studies (Figures 2b and 5) — level and window size.
+/// profiling studies (Figures 2b and 5) — level and window size — plus the
+/// entropy-stage knobs ([`EntropyConfig`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ZstdConfig {
     /// Compression level in `[MIN_LEVEL, MAX_LEVEL]`; higher levels spend
@@ -127,6 +169,9 @@ pub struct ZstdConfig {
     /// level-dependent defaults); `Some(w)` pins it (like
     /// `ZSTD_c_windowLog`).
     pub window_log: Option<u32>,
+    /// Entropy-stage configuration. Defaults to the seed format
+    /// (single-stream Huffman literals).
+    pub entropy: EntropyConfig,
 }
 
 impl Default for ZstdConfig {
@@ -134,6 +179,7 @@ impl Default for ZstdConfig {
         ZstdConfig {
             level: 3, // the fleet's dominant level (Figure 2b)
             window_log: None,
+            entropy: EntropyConfig::default(),
         }
     }
 }
@@ -149,7 +195,42 @@ impl ZstdConfig {
         ZstdConfig {
             level,
             window_log: None,
+            entropy: EntropyConfig::default(),
         }
+    }
+
+    /// Sets the number of interleaved literal streams (1, 2, 4 or 8).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `streams` is not one of 1, 2, 4, 8.
+    pub fn lit_streams(mut self, streams: u8) -> Self {
+        assert!(
+            matches!(streams, 1 | 2 | 4 | 8),
+            "lit_streams {streams} unsupported"
+        );
+        self.entropy.lit_streams = streams;
+        self
+    }
+
+    /// Sets the number of interleaved sequence bitstreams (`1..=8`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `streams` is outside `1..=8`.
+    pub fn seq_streams(mut self, streams: u8) -> Self {
+        assert!(
+            (1..=8).contains(&streams),
+            "seq_streams {streams} unsupported"
+        );
+        self.entropy.seq_streams = streams;
+        self
+    }
+
+    /// Selects the rANS literals backend.
+    pub fn rans_literals(mut self) -> Self {
+        self.entropy.lit_backend = LitBackend::Rans;
+        self
     }
 
     /// Pins the window log (10..=24 supported).
@@ -339,12 +420,12 @@ pub fn compress_parse_with_stats(
         let last = i + 1 == chunks.len();
         let len = chunk.total_len();
         let data_slice = &data[pos..pos + len];
-        emit_block(data_slice, chunk, last, &mut out, &mut stats, &mut payload);
+        emit_block(data_slice, chunk, last, &mut out, &mut stats, &mut payload, &cfg.entropy);
         pos += len;
     }
     if chunks.is_empty() {
         // Zero-length content still needs a terminating block.
-        emit_block(b"", &Parse::default(), true, &mut out, &mut stats, &mut payload);
+        emit_block(b"", &Parse::default(), true, &mut out, &mut stats, &mut payload, &cfg.entropy);
     }
     stats.compressed_size = out.len();
     (out, stats)
@@ -437,6 +518,7 @@ impl Splitter {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn emit_block(
     data: &[u8],
     parse: &Parse,
@@ -444,6 +526,7 @@ pub(crate) fn emit_block(
     out: &mut Vec<u8>,
     stats: &mut ZstdStats,
     payload: &mut Vec<u8>,
+    entropy: &EntropyConfig,
 ) {
     let last_bit = if last { 1u8 } else { 0 };
     // RLE block: uniform content.
@@ -457,7 +540,7 @@ pub(crate) fn emit_block(
     // Try a compressed block; fall back to raw when it does not pay. The
     // payload scratch is caller-owned so one allocation serves the frame.
     payload.clear();
-    match block::encode_block(data, parse, payload) {
+    match block::encode_block_with(data, parse, payload, entropy) {
         Ok(bstats) if payload.len() < data.len() => {
             out.push(last_bit | (2 << 1));
             varint::write_u64(out, data.len() as u64);

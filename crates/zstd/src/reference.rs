@@ -11,11 +11,18 @@
 //! across random roundtrips and hostile streams, and `bench --dekernels`
 //! times this decoder as the speedup baseline.
 //!
+//! The interleaved and rANS literal modes (3/4) and the N-way sequence
+//! mode decode here through the per-symbol oracles in
+//! [`cdpu_entropy::interleave::reference`] and
+//! [`cdpu_entropy::rans::reference`], so the fast paths for the new
+//! formats are pinned against independent implementations end to end.
+//!
 //! Not for production use: it runs several times slower than the fast
 //! path and allocates fresh literal/sequence buffers for every block.
 
 use cdpu_entropy::fse::{FseDecodeTable, FseStreamDecoder};
 use cdpu_entropy::huffman::HuffmanTable;
+use cdpu_entropy::{interleave, rans};
 use cdpu_lz77::reference::apply_copy;
 use cdpu_lz77::Seq;
 use cdpu_util::bits::{MsbBitReader, ReverseBitReader};
@@ -101,13 +108,21 @@ pub fn decompress(frame: &[u8]) -> Result<Vec<u8>, ZstdError> {
 }
 
 fn read_fse_header(input: &[u8], pos: &mut usize) -> Result<(Vec<u32>, u8), ZstdError> {
+    read_norm_header(input, pos, 64)
+}
+
+fn read_norm_header(
+    input: &[u8],
+    pos: &mut usize,
+    max_alphabet: usize,
+) -> Result<(Vec<u32>, u8), ZstdError> {
     if *pos + 3 > input.len() {
         return Err(ZstdError::Truncated);
     }
     let table_log = input[*pos];
     let alphabet = u16::from_le_bytes([input[*pos + 1], input[*pos + 2]]) as usize;
     *pos += 3;
-    if alphabet == 0 || alphabet > 64 || *pos + 2 * alphabet > input.len() {
+    if alphabet == 0 || alphabet > max_alphabet || *pos + 2 * alphabet > input.len() {
         return Err(ZstdError::BadBlock("bad fse header"));
     }
     let mut norm = Vec::with_capacity(alphabet);
@@ -185,12 +200,75 @@ fn decode_literals(input: &[u8], pos: &mut usize) -> Result<Vec<u8>, ZstdError> 
             *pos += nbytes;
             Ok(lits)
         }
+        3 => {
+            let (table, consumed) =
+                HuffmanTable::deserialize(&input[*pos..]).map_err(ZstdError::Huffman)?;
+            *pos += consumed;
+            if *pos >= input.len() {
+                return Err(ZstdError::Truncated);
+            }
+            let ways = input[*pos] as usize;
+            *pos += 1;
+            if ways == 0 || ways > interleave::MAX_WAYS {
+                return Err(ZstdError::BadBlock("bad literal stream count"));
+            }
+            let mut bit_lens = Vec::with_capacity(ways);
+            let mut span = 0u64;
+            for _ in 0..ways {
+                let (bits, n) = varint::read_u64(&input[*pos..])
+                    .map_err(|_| ZstdError::BadBlock("literal stream length"))?;
+                *pos += n;
+                if bits > (input.len() as u64) * 8 {
+                    return Err(ZstdError::BadBlock("literal stream length"));
+                }
+                span += bits.div_ceil(8);
+                bit_lens.push(bits);
+            }
+            if span > (input.len() - *pos) as u64 {
+                return Err(ZstdError::Truncated);
+            }
+            let span = span as usize;
+            let lits = interleave::reference::huffman_decode(
+                &table,
+                &input[*pos..*pos + span],
+                &bit_lens,
+                count,
+            )
+            .map_err(ZstdError::Huffman)?;
+            *pos += span;
+            Ok(lits)
+        }
+        4 => {
+            let (norm, scale_bits) = read_norm_header(input, pos, 256)?;
+            if *pos >= input.len() {
+                return Err(ZstdError::Truncated);
+            }
+            let ways = input[*pos] as usize;
+            *pos += 1;
+            if ways == 0 || ways > interleave::MAX_WAYS {
+                return Err(ZstdError::BadBlock("bad literal stream count"));
+            }
+            let (stream_len, n) = varint::read_u64(&input[*pos..])
+                .map_err(|_| ZstdError::BadBlock("rans stream length"))?;
+            *pos += n;
+            let stream_len = stream_len as usize;
+            if stream_len > input.len() - *pos {
+                return Err(ZstdError::Truncated);
+            }
+            let table = rans::RansTable::new(&norm, scale_bits)
+                .map_err(|_| ZstdError::BadBlock("bad rans table"))?;
+            let lits = rans::reference::decode(&table, &input[*pos..*pos + stream_len], count, ways)
+                .map_err(|_| ZstdError::BadBlock("rans literal stream"))?;
+            *pos += stream_len;
+            Ok(lits)
+        }
         _ => Err(ZstdError::BadBlock("unknown literals mode")),
     }
 }
 
 const SEQ_MODE_RAW: u8 = 0;
 const SEQ_MODE_FSE: u8 = 1;
+const SEQ_MODE_FSE_NWAY: u8 = 2;
 
 fn decode_sequences(input: &[u8], pos: &mut usize) -> Result<Vec<Seq>, ZstdError> {
     let (n, consumed) =
@@ -234,8 +312,22 @@ fn decode_sequences(input: &[u8], pos: &mut usize) -> Result<Vec<Seq>, ZstdError
             return Ok(seqs);
         }
         SEQ_MODE_FSE => {}
+        SEQ_MODE_FSE_NWAY => {}
         _ => return Err(ZstdError::BadBlock("unknown sequence mode")),
     }
+    let ways = if mode == SEQ_MODE_FSE_NWAY {
+        if *pos >= input.len() {
+            return Err(ZstdError::Truncated);
+        }
+        let ways = input[*pos] as usize;
+        *pos += 1;
+        if !(2..=interleave::MAX_WAYS).contains(&ways) || ways > n {
+            return Err(ZstdError::BadBlock("bad sequence stream count"));
+        }
+        ways
+    } else {
+        1
+    };
     let (ll_norm, ll_log) = read_fse_header(input, pos)?;
     let (ml_norm, ml_log) = read_fse_header(input, pos)?;
     let (of_norm, of_log) = read_fse_header(input, pos)?;
@@ -243,24 +335,44 @@ fn decode_sequences(input: &[u8], pos: &mut usize) -> Result<Vec<Seq>, ZstdError
     let ml_table = FseDecodeTable::new(&ml_norm, ml_log).map_err(ZstdError::Fse)?;
     let of_table = FseDecodeTable::new(&of_norm, of_log).map_err(ZstdError::Fse)?;
 
-    let (stream_len, consumed) =
-        varint::read_u64(&input[*pos..]).map_err(|_| ZstdError::BadBlock("fse stream length"))?;
-    *pos += consumed;
-    let stream_len = stream_len as usize;
-    if *pos + stream_len > input.len() {
+    let mut stream_lens = Vec::with_capacity(ways);
+    for _ in 0..ways {
+        let (stream_len, consumed) = varint::read_u64(&input[*pos..])
+            .map_err(|_| ZstdError::BadBlock("fse stream length"))?;
+        *pos += consumed;
+        let stream_len = stream_len as usize;
+        if stream_len > input.len() - *pos {
+            return Err(ZstdError::Truncated);
+        }
+        stream_lens.push(stream_len);
+    }
+    if stream_lens.iter().sum::<usize>() > input.len() - *pos {
         return Err(ZstdError::Truncated);
     }
-    let stream = &input[*pos..*pos + stream_len];
-    *pos += stream_len;
 
-    let mut r = ReverseBitReader::new(stream).map_err(|_| ZstdError::Truncated)?;
-    // States flushed in order ll, ml, of -> read back of, ml, ll.
-    let mut of_dec = FseStreamDecoder::new(&of_table, &mut r).map_err(ZstdError::Fse)?;
-    let mut ml_dec = FseStreamDecoder::new(&ml_table, &mut r).map_err(ZstdError::Fse)?;
-    let mut ll_dec = FseStreamDecoder::new(&ll_table, &mut r).map_err(ZstdError::Fse)?;
+    // Lane k: its own backward bitstream plus OF/ML/LL decoder states
+    // against the shared tables. States were flushed in order ll, ml, of ->
+    // read back of, ml, ll.
+    struct Lane<'a, 't> {
+        r: ReverseBitReader<'a>,
+        of_dec: FseStreamDecoder<'t>,
+        ml_dec: FseStreamDecoder<'t>,
+        ll_dec: FseStreamDecoder<'t>,
+    }
+    let mut lanes: Vec<Lane<'_, '_>> = Vec::with_capacity(ways);
+    for &stream_len in &stream_lens {
+        let stream = &input[*pos..*pos + stream_len];
+        *pos += stream_len;
+        let mut r = ReverseBitReader::new(stream).map_err(|_| ZstdError::Truncated)?;
+        let of_dec = FseStreamDecoder::new(&of_table, &mut r).map_err(ZstdError::Fse)?;
+        let ml_dec = FseStreamDecoder::new(&ml_table, &mut r).map_err(ZstdError::Fse)?;
+        let ll_dec = FseStreamDecoder::new(&ll_table, &mut r).map_err(ZstdError::Fse)?;
+        lanes.push(Lane { r, of_dec, ml_dec, ll_dec });
+    }
 
     let mut seqs = Vec::with_capacity(n);
     for i in 0..n {
+        let Lane { r, of_dec, ml_dec, ll_dec } = &mut lanes[i % ways];
         let of_sym = of_dec.peek();
         let ml_sym = ml_dec.peek();
         let ll_sym = ll_dec.peek();
@@ -274,10 +386,10 @@ fn decode_sequences(input: &[u8], pos: &mut usize) -> Result<Vec<Seq>, ZstdError
         let ll_extra = r
             .read_bits(codes::ll_extra_bits(ll_sym) as u32)
             .map_err(|_| ZstdError::Truncated)? as u32;
-        if i + 1 < n {
-            of_dec.next(&mut r).map_err(ZstdError::Fse)?;
-            ml_dec.next(&mut r).map_err(ZstdError::Fse)?;
-            ll_dec.next(&mut r).map_err(ZstdError::Fse)?;
+        if i + ways < n {
+            of_dec.next(r).map_err(ZstdError::Fse)?;
+            ml_dec.next(r).map_err(ZstdError::Fse)?;
+            ll_dec.next(r).map_err(ZstdError::Fse)?;
         }
         seqs.push(Seq {
             lit_len: codes::ll_value(ll_sym, ll_extra)
