@@ -30,6 +30,31 @@ if ! diff -q /tmp/cdpu_serve_serial.txt /tmp/cdpu_serve_parallel.txt; then
     exit 1
 fi
 
+echo "==> serving-engine determinism smoke (serial vs parallel at tiny scale)"
+./target/release/figures --served --tiny --jobs 1 --served-out /tmp/cdpu_served_serial_file.txt > /tmp/cdpu_served_serial.txt
+./target/release/figures --served --tiny --served-out /tmp/cdpu_served_parallel_file.txt > /tmp/cdpu_served_parallel.txt
+if ! diff -q /tmp/cdpu_served_serial.txt /tmp/cdpu_served_parallel.txt; then
+    echo "FAIL: parallel served figures output differs from serial" >&2
+    exit 1
+fi
+if ! diff -q /tmp/cdpu_served_serial_file.txt /tmp/cdpu_served_parallel_file.txt; then
+    echo "FAIL: parallel served report file differs from serial" >&2
+    exit 1
+fi
+if ! grep -q 'deviation' /tmp/cdpu_served_serial_file.txt; then
+    echo "FAIL: served report carries no sim-vs-engine deviation column" >&2
+    exit 1
+fi
+
+echo "==> serving-engine benchmark smoke (tiny)"
+./target/release/bench --served --tiny --out /tmp/cdpu_bench_served.json
+for key in '"served_batch_speedup"' '"served_drr_fairness_speedup"' '"closed_loop"' '"saturation"'; do
+    if ! grep -q "$key" /tmp/cdpu_bench_served.json; then
+        echo "FAIL: served benchmark missing $key" >&2
+        exit 1
+    fi
+done
+
 echo "==> observability determinism smoke (serial vs parallel at tiny scale)"
 rm -rf /tmp/cdpu_obs_serial /tmp/cdpu_obs_parallel
 ./target/release/figures --obs --tiny --jobs 1 --obs-dir /tmp/cdpu_obs_serial > /tmp/cdpu_obs_serial.txt

@@ -4,7 +4,8 @@
 //! Usage:
 //!
 //! ```text
-//! bench [--files N] [--seed N] [--jobs N] [--out PATH] [--tiny] [--serve] [--kernels] [--dekernels]
+//! bench [--files N] [--seed N] [--jobs N] [--out PATH] [--tiny] [--serve] [--served]
+//!       [--shards N] [--batch-bytes N] [--batch-max N] [--kernels] [--dekernels]
 //!       [--regress] [--tolerance F] [--baseline-dir DIR]
 //! ```
 //!
@@ -17,6 +18,17 @@
 //! `--serve` times the serving-tier simulations instead (load sweep,
 //! placement grid, fairness grid — each point its own RNG stream across
 //! the pool) and writes `results/BENCH_serve.json` by default.
+//!
+//! `--served` benchmarks the serving *engine* (real codec execution on
+//! the worker shards): the deterministic work-timing ratios the
+//! regression gate tracks (`served_batch_speedup`,
+//! `served_drr_fairness_speedup`, plus the closed-loop engine-vs-
+//! simulator p99-wait deviations), a measured-timing fleet run, and a
+//! saturation throughput run with batching on/off. Writes
+//! `results/BENCH_served.json` by default through the `cdpu_util::json`
+//! writer. `--shards`, `--batch-bytes` and `--batch-max` set the
+//! engine's shard count and coalescing policy (validated up front by the
+//! same helper the `figures` binary uses).
 //!
 //! `--kernels` microbenchmarks the single-threaded compression kernels
 //! instead: parse, compress and call-profile throughput (MB/s) per
@@ -47,18 +59,21 @@
 //! knobs) through both the fast and reference decoders, then exits.
 //!
 //! `--regress` is the perf-regression gate: it re-runs both kernel and
-//! dekernel microbenchmarks, compares every machine-relative speedup
-//! ratio against the committed `BENCH_kernels.json`/`BENCH_dekernels.json`
-//! baselines (`--baseline-dir`, default `results/`) under a relative
-//! `--tolerance` (default 0.25), and writes a pass/fail markdown report
-//! (`--out`, default `results/REGRESS.md`). A failing gate exits
-//! non-zero — except at `--tiny` scale, where the corpus differs from the
-//! baseline's and the gate is advisory (report written, exit 0).
+//! dekernel microbenchmarks plus the deterministic serving-engine
+//! ratios, compares every machine-relative speedup ratio against the
+//! committed `BENCH_kernels.json`/`BENCH_dekernels.json`/
+//! `BENCH_served.json` baselines (`--baseline-dir`, default `results/`)
+//! under a relative `--tolerance` (default 0.25), and writes a pass/fail
+//! markdown report (`--out`, default `results/REGRESS.md`). A failing
+//! gate exits non-zero — except at `--tiny` scale, where the corpus
+//! differs from the baseline's and the gate is advisory (report written,
+//! exit 0).
 
 use std::hint::black_box;
 use std::time::Instant;
 
-use cdpu_bench::{dse_figures, regress, serve_figures, Scale, Workbench};
+use cdpu_bench::cli::{self, ServedOpts};
+use cdpu_bench::{dse_figures, regress, serve_figures, served_figures, Scale, Workbench};
 use cdpu_core::dse::{
     compression_sweep, decompression_sweep, standard_histories, standard_placements,
 };
@@ -66,6 +81,9 @@ use cdpu_fleet::Direction;
 use cdpu_hwsim::params::MemParams;
 use cdpu_hwsim::profile::{profile_flate, profile_snappy, profile_zstd};
 use cdpu_lz77::matcher::MatcherConfig;
+use cdpu_serve::{engine, tenants::fleet_tenants, BatchPolicy, EngineConfig, Timing};
+use cdpu_util::json::{self, Json};
+use cdpu_util::rng::mix64;
 
 const FIGS: [&str; 6] = ["fig11", "fig12", "fig13", "fig14", "fig15", "summary"];
 
@@ -281,6 +299,141 @@ fn write_report(out: &str, contents: &str) {
     std::fs::write(out, contents).expect("write benchmark report");
 }
 
+/// The scale block every benchmark document embeds.
+fn scale_json(scale: Scale) -> Json {
+    Json::obj()
+        .set("files_per_suite", scale.files_per_suite)
+        .set("max_call_bytes", scale.max_call_bytes)
+        .set("bank_bytes_per_kind", scale.bank_bytes_per_kind)
+        .set("seed", scale.seed)
+}
+
+/// Telemetry counters as one JSON object.
+fn counters_json() -> Json {
+    let mut obj = Json::obj();
+    for (name, v) in cdpu_telemetry::registry().counters() {
+        obj = obj.set(&name, v);
+    }
+    obj
+}
+
+/// Three-decimal rounding so gated ratios survive a write/parse roundtrip
+/// exactly and the document stays readable.
+fn round3(x: f64) -> f64 {
+    (x * 1000.0).round() / 1000.0
+}
+
+/// Microsecond-precision seconds for the stage timing report.
+fn round6(x: f64) -> f64 {
+    (x * 1e6).round() / 1e6
+}
+
+/// The deterministic (work-timing) half of the serving-engine benchmark:
+/// closed-loop deviations plus the two gated `served_*_speedup` ratios.
+/// Bit-identical across hosts and reruns, so `--regress` can compare it
+/// exactly against the committed baseline.
+fn served_work_doc(scale: Scale, opts: &ServedOpts, wl: &std::sync::Arc<cdpu_serve::Workload>) -> Json {
+    let pts = served_figures::loop_points(scale, opts, wl);
+    let fair = served_figures::fairness_points(scale, wl);
+    let (off, on) = served_figures::batch_points(scale, opts, wl);
+    let loop_arr: Vec<Json> = pts
+        .iter()
+        .map(|p| {
+            Json::obj()
+                .set("rho", p.load)
+                .set("sim_p99_wait_us", round3(p.sim.wait.p99_ns / 1000.0))
+                .set("engine_p99_wait_us", round3(p.engine.wait.p99_ns / 1000.0))
+                .set("deviation_pct", round3(p.deviation_pct()))
+                .set("engine_utilization", round3(p.engine.utilization))
+        })
+        .collect();
+    let witness = pts.last().map_or(0, |p| p.engine.checksum);
+    Json::obj()
+        .set("bench", "cdpu serving engine")
+        .set("scale", scale_json(scale))
+        .set("shards", opts.shards)
+        .set(
+            "batch",
+            Json::obj()
+                .set("small_bytes", opts.batch_bytes)
+                .set("max_jobs", opts.batch_max),
+        )
+        .set("closed_loop", loop_arr)
+        .set("served_batch_speedup", round3(served_figures::batch_speedup(&off, &on)))
+        .set(
+            "served_drr_fairness_speedup",
+            round3(served_figures::small_tenant_drr_speedup(&fair)),
+        )
+        .set("work_checksum", format!("{witness:#018x}"))
+}
+
+/// `--served`: the full serving-engine benchmark document — the gated
+/// deterministic ratios plus this host's measured-timing and saturation
+/// numbers (informational; raw throughput is never gated).
+fn run_served(scale: Scale, opts: &ServedOpts) -> String {
+    const TAG_MEASURED: u64 = 0x5352_5644_4604;
+    eprintln!(
+        "bench: served engine ({} calls/run, {} shards)...",
+        served_figures::served_calls(scale),
+        opts.shards
+    );
+    let wl = served_figures::workload(scale);
+    let mut doc = served_work_doc(scale, opts, &wl);
+
+    // Measured timing: the fleet mix under the default admission policy
+    // (burn-rate shedding live), virtual service times from this host's
+    // real wall-clock kernel execution.
+    let mut cfg = EngineConfig::new(fleet_tenants(4));
+    cfg.seed = mix64(scale.seed ^ TAG_MEASURED);
+    cfg.shards = opts.shards;
+    cfg.batch = opts.batch_policy();
+    cfg.total_calls = served_figures::served_calls(scale);
+    cfg.offered_load = 0.7;
+    cfg.timing = Timing::Measured;
+    let m = engine::run(&cfg, &wl);
+    eprintln!(
+        "  measured: p99 wait {:.1} us  util {:.3}  goodput {:.2} GB/s  shed {}",
+        m.wait.p99_ns / 1000.0,
+        m.utilization,
+        m.goodput_gbps,
+        m.shed
+    );
+
+    // Saturation: every call through the pool at full concurrency,
+    // batching off vs on (wall-clock, so host-dependent).
+    let calls = engine::materialize_calls(&cfg, &wl);
+    let sat = |batch: BatchPolicy| {
+        let (bytes, secs) = engine::saturation_run(&wl, &calls, opts.shards as usize, batch);
+        bytes as f64 / secs.max(1e-9) / 1e6
+    };
+    let (sat_off, sat_on) = (sat(BatchPolicy::off()), sat(opts.batch_policy()));
+    eprintln!("  saturation: {sat_off:.1} MB/s unbatched, {sat_on:.1} MB/s batched");
+
+    doc = doc.set(
+        "measured",
+        Json::obj()
+            .set(
+                "engine",
+                Json::obj()
+                    .set("offered_load", cfg.offered_load)
+                    .set("p99_wait_us", round3(m.wait.p99_ns / 1000.0))
+                    .set("utilization", round3(m.utilization))
+                    .set("goodput_gbps", round3(m.goodput_gbps))
+                    .set("mean_batch", round3(m.mean_batch))
+                    .set("completed", m.completed)
+                    .set("shed", m.shed),
+            )
+            .set(
+                "saturation",
+                Json::obj()
+                    .set("mb_s_unbatched", round3(sat_off))
+                    .set("mb_s_batched", round3(sat_on))
+                    .set("batch_ratio", round3(sat_on / sat_off.max(1e-9))),
+            ),
+    );
+    json::render_pretty(&doc)
+}
+
 fn run_kernels(scale: Scale, iters: usize) -> String {
     use cdpu_lz77::reference;
     use cdpu_zstd::SearchParams;
@@ -416,11 +569,7 @@ fn run_kernels(scale: Scale, iters: usize) -> String {
         }
     }
     cdpu_telemetry::disable();
-    let counters = cdpu_telemetry::registry().counters();
-    let counter_objs: Vec<String> = counters
-        .iter()
-        .map(|(name, v)| format!("    \"{name}\": {v}"))
-        .collect();
+    let counters = counters_json();
 
     // Encode-side entropy kernels over the same L3 literal payloads the
     // decode bench uses: raw MB/s only (encoder throughput is informative
@@ -476,16 +625,13 @@ fn run_kernels(scale: Scale, iters: usize) -> String {
 
     let json = format!(
         "{{\n  \"bench\": \"cdpu kernel microbenchmarks\",\n  \"iters\": {iters},\n  \
-         \"scale\": {{\"files_per_suite\": {}, \"max_call_bytes\": {}, \"bank_bytes_per_kind\": {}, \"seed\": {}}},\n  \
+         \"scale\": {},\n  \
          \"algorithms\": [\n{}\n  ],\n  \"min_profile_speedup\": {min_speedup:.3},\n{}\n  \
-         \"profile_telemetry\": {{\n{}\n  }}\n}}\n",
-        scale.files_per_suite,
-        scale.max_call_bytes,
-        scale.bank_bytes_per_kind,
-        scale.seed,
+         \"profile_telemetry\": {}\n}}\n",
+        json::render(&scale_json(scale)),
         algo_objs.join(",\n"),
         entropy_obj,
-        counter_objs.join(",\n"),
+        json::render(&counters),
     );
     eprintln!("bench: kernels done (min profile speedup {min_speedup:.2}x)");
     json
@@ -679,11 +825,7 @@ fn run_dekernels(scale: Scale, iters: usize) -> String {
         }
     }
     cdpu_telemetry::disable();
-    let counters = cdpu_telemetry::registry().counters();
-    let counter_objs: Vec<String> = counters
-        .iter()
-        .map(|(name, v)| format!("    \"{name}\": {v}"))
-        .collect();
+    let counters = counters_json();
 
     // Standalone entropy-stage decode kernels: 1-way vs 4-way interleaved
     // Huffman / FSE / rANS over the heavy corpus's actual ZStd L3 literal
@@ -771,16 +913,13 @@ fn run_dekernels(scale: Scale, iters: usize) -> String {
 
     let json = format!(
         "{{\n  \"bench\": \"cdpu decompression kernel microbenchmarks\",\n  \"iters\": {iters},\n  \
-         \"scale\": {{\"files_per_suite\": {}, \"max_call_bytes\": {}, \"bank_bytes_per_kind\": {}, \"seed\": {}}},\n  \
+         \"scale\": {},\n  \
          \"algorithms\": [\n{}\n  ],\n  \"min_decompress_speedup\": {min_speedup:.3},\n{}\n  \
-         \"decode_telemetry\": {{\n{}\n  }}\n}}\n",
-        scale.files_per_suite,
-        scale.max_call_bytes,
-        scale.bank_bytes_per_kind,
-        scale.seed,
+         \"decode_telemetry\": {}\n}}\n",
+        json::render(&scale_json(scale)),
         algo_objs.join(",\n"),
         entropy_obj,
-        counter_objs.join(",\n"),
+        json::render(&counters),
     );
     eprintln!(
         "bench: dekernels done (min decompress speedup {min_speedup:.2}x, \
@@ -834,10 +973,18 @@ fn run_entropy_smoke() {
     eprintln!("bench: entropy smoke OK (rans + interleaved kernels, zstd frames)");
 }
 
-/// The perf-regression gate: re-runs both microbenchmark families,
-/// compares every speedup ratio against the committed baselines, writes
-/// the markdown report. Returns whether the gate passed.
-fn run_regress(scale: Scale, iters: usize, baseline_dir: &str, tolerance: f64, out: &str) -> bool {
+/// The perf-regression gate: re-runs both microbenchmark families plus
+/// the deterministic serving-engine ratios, compares every speedup ratio
+/// against the committed baselines, writes the markdown report. Returns
+/// whether the gate passed.
+fn run_regress(
+    scale: Scale,
+    iters: usize,
+    baseline_dir: &str,
+    tolerance: f64,
+    out: &str,
+    opts: &ServedOpts,
+) -> bool {
     let load = |name: &str| {
         let path = format!("{baseline_dir}/{name}");
         let text = std::fs::read_to_string(&path)
@@ -853,13 +1000,45 @@ fn run_regress(scale: Scale, iters: usize, baseline_dir: &str, tolerance: f64, o
     let dekernels_cur = cdpu_util::json::parse(&run_dekernels(scale, iters))
         .expect("dekernel bench emits valid JSON");
 
-    let sections = [
+    let mut sections = vec![
         ("Compression kernels", regress::compare(&kernels_base, &kernels_cur, tolerance)),
         (
             "Decompression kernels",
             regress::compare(&dekernels_base, &dekernels_cur, tolerance),
         ),
     ];
+    // Serving-engine gate: the work-timing ratios are deterministic at a
+    // given scale, so they regress only when behavior changes, never from
+    // host noise — but they are *experiments*, not per-call ratios, so a
+    // different scale changes them legitimately; compare only when the
+    // run's scale matches the baseline's. The baseline is also optional
+    // so `--regress` keeps working in checkouts that predate
+    // `bench --served`.
+    let served_path = format!("{baseline_dir}/BENCH_served.json");
+    match std::fs::read_to_string(&served_path) {
+        Ok(text) => {
+            let served_base = cdpu_util::json::parse(&text)
+                .unwrap_or_else(|e| panic!("regress: baseline {served_path} is not valid JSON: {e}"));
+            if served_base.get("scale") == Some(&scale_json(scale)) {
+                let wl = served_figures::workload(scale);
+                let served_cur = served_work_doc(scale, opts, &wl);
+                sections.push((
+                    "Serving engine",
+                    regress::compare(&served_base, &served_cur, tolerance),
+                ));
+            } else {
+                eprintln!(
+                    "regress: {served_path} was recorded at a different scale; \
+                     skipping serving-engine section (deterministic ratios only \
+                     reproduce at the baseline's scale)"
+                );
+            }
+        }
+        Err(_) => eprintln!(
+            "regress: no {served_path}; skipping serving-engine section \
+             (run `bench --served` to create the baseline)"
+        ),
+    }
     let pass = regress::all_pass(&sections);
     write_report(out, &regress::markdown_report(&sections, tolerance));
     for (title, checks) in &sections {
@@ -885,6 +1064,8 @@ fn main() {
     let mut jobs = 0usize;
     let mut out: Option<String> = None;
     let mut serve = false;
+    let mut served = false;
+    let mut served_opts = ServedOpts::default();
     let mut kernels = false;
     let mut dekernels = false;
     let mut regress_mode = false;
@@ -915,6 +1096,25 @@ fn main() {
                 out = Some(args.next().unwrap_or_else(|| usage("--out needs a path")));
             }
             "--serve" => serve = true,
+            "--served" => served = true,
+            "--shards" => {
+                served_opts.shards = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--shards needs a count"));
+            }
+            "--batch-bytes" => {
+                served_opts.batch_bytes = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--batch-bytes needs a byte count"));
+            }
+            "--batch-max" => {
+                served_opts.batch_max = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--batch-max needs a count"));
+            }
             "--kernels" => kernels = true,
             "--dekernels" => dekernels = true,
             "--regress" => regress_mode = true,
@@ -944,6 +1144,11 @@ fn main() {
         }
     }
 
+    // Same up-front knob validation as `figures` (shared checker).
+    if let Err(e) = cli::validate((jobs > 0).then_some(jobs), &served_opts) {
+        usage(&e);
+    }
+
     let out = out.unwrap_or_else(|| {
         String::from(if regress_mode {
             "results/REGRESS.md"
@@ -951,6 +1156,8 @@ fn main() {
             "results/BENCH_kernels.json"
         } else if dekernels {
             "results/BENCH_dekernels.json"
+        } else if served {
+            "results/BENCH_served.json"
         } else if serve {
             "results/BENCH_serve.json"
         } else {
@@ -963,7 +1170,7 @@ fn main() {
     let tiny = scale.files_per_suite <= Scale::tiny().files_per_suite;
     let iters = if tiny { 1 } else { 3 };
     if regress_mode {
-        let pass = run_regress(scale, iters, &baseline_dir, tolerance, &out);
+        let pass = run_regress(scale, iters, &baseline_dir, tolerance, &out, &served_opts);
         if !pass && tiny {
             eprintln!(
                 "regress: advisory only at tiny scale (corpus differs from the \
@@ -983,6 +1190,16 @@ fn main() {
         eprintln!("bench: wrote {out}");
         return;
     }
+    if served {
+        // The engine manages its own shard threads; the pool only renders
+        // the sim-vs-engine comparison points concurrently.
+        if jobs > 0 {
+            cdpu_par::set_threads(jobs);
+        }
+        write_report(&out, &run_served(scale, &served_opts));
+        eprintln!("bench: wrote {out}");
+        return;
+    }
     let (bench_name, pass): (&str, fn(Scale) -> Run) = if serve {
         ("cdpu serving-tier simulator", run_serve_once)
     } else {
@@ -999,15 +1216,18 @@ fn main() {
     let parallel = pass(scale);
 
     let identical = serial.tables == parallel.tables;
-    let mut stage_objs = Vec::new();
+    let mut stage_objs: Vec<Json> = Vec::new();
     let (mut ser_total, mut par_total) = (0.0f64, 0.0f64);
     for ((name, s), (_, p)) in serial.stages.iter().zip(&parallel.stages) {
         ser_total += s;
         par_total += p;
-        stage_objs.push(format!(
-            "    {{\"name\": \"{name}\", \"serial_s\": {s:.6}, \"parallel_s\": {p:.6}, \"speedup\": {:.3}}}",
-            s / p
-        ));
+        stage_objs.push(
+            Json::obj()
+                .set("name", *name)
+                .set("serial_s", round6(*s))
+                .set("parallel_s", round6(*p))
+                .set("speedup", round3(s / p)),
+        );
         eprintln!("  {name:<10} serial {s:>8.3}s  parallel {p:>8.3}s  {:.2}x", s / p);
     }
     eprintln!(
@@ -1016,22 +1236,24 @@ fn main() {
         ser_total / par_total
     );
 
-    let json = format!(
-        "{{\n  \"bench\": \"{bench_name}\",\n  \"host_threads\": {},\n  \"workers\": {workers},\n  \"scale\": {{\"files_per_suite\": {}, \"max_call_bytes\": {}, \"bank_bytes_per_kind\": {}, \"seed\": {}}},\n  \"stages\": [\n{}\n  ],\n  \"total\": {{\"serial_s\": {ser_total:.6}, \"parallel_s\": {par_total:.6}, \"speedup\": {:.3}}},\n  \"tables_identical\": {identical}\n}}\n",
-        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
-        scale.files_per_suite,
-        scale.max_call_bytes,
-        scale.bank_bytes_per_kind,
-        scale.seed,
-        stage_objs.join(",\n"),
-        ser_total / par_total,
-    );
-    if let Some(dir) = std::path::Path::new(&out).parent() {
-        if !dir.as_os_str().is_empty() {
-            std::fs::create_dir_all(dir).expect("create output directory");
-        }
-    }
-    std::fs::write(&out, json).expect("write benchmark report");
+    let doc = Json::obj()
+        .set("bench", bench_name)
+        .set(
+            "host_threads",
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+        )
+        .set("workers", workers)
+        .set("scale", scale_json(scale))
+        .set("stages", stage_objs)
+        .set(
+            "total",
+            Json::obj()
+                .set("serial_s", round6(ser_total))
+                .set("parallel_s", round6(par_total))
+                .set("speedup", round3(ser_total / par_total)),
+        )
+        .set("tables_identical", identical);
+    write_report(&out, &json::render_pretty(&doc));
     eprintln!("bench: wrote {out}");
     assert!(identical, "serial and parallel figure tables diverged");
 }
@@ -1042,6 +1264,7 @@ fn usage(err: &str) -> ! {
     }
     eprintln!(
         "usage: bench [--files N] [--seed N] [--jobs N] [--out PATH] [--tiny] [--serve] [--kernels] [--dekernels]\n\
+         \x20            [--served] [--shards N] [--batch-bytes N] [--batch-max N]\n\
          \x20            [--regress] [--tolerance F] [--baseline-dir DIR] [--entropy-smoke]"
     );
     std::process::exit(2);

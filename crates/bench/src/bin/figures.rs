@@ -4,11 +4,13 @@
 //!
 //! ```text
 //! figures [FIGURE ...] [--files N] [--max-call BYTES] [--seed N]
-//!         [--jobs N] [--tiny] [--serve] [--obs] [--obs-dir DIR] [--telemetry]
+//!         [--jobs N] [--tiny] [--serve] [--served] [--served-out PATH]
+//!         [--shards N] [--batch-bytes N] [--batch-max N]
+//!         [--obs] [--obs-dir DIR] [--telemetry]
 //!
 //! FIGURE: fig1 fig2a fig2b fig2c fig3 fig4 fig5 fig6 fig7
 //!         fig11 fig12 fig13 fig14 fig15 summary
-//!         serve-load serve-placement serve-fairness obs entropy | all (default)
+//!         serve-load serve-placement serve-fairness served obs entropy | all (default)
 //! ```
 //!
 //! Run with `--release`; the default scale completes the full set in
@@ -17,7 +19,14 @@
 //! the `cdpu-par` pool (worker count from `--jobs`, else `CDPU_THREADS`,
 //! else the host's parallelism); output order and content are identical to
 //! a serial run. `--serve` selects the serving-tier figures (appending
-//! them when other figures are also named). `--obs` (or the `obs` figure
+//! them when other figures are also named). `--served` (or the `served`
+//! figure name) runs the measured serving *engine* against the simulator
+//! on the identical workload — closed-loop p99-wait deviation, two-tier
+//! scheduler fairness and small-call batching — and writes the combined
+//! report to `--served-out` (default `results/served.txt`); `served` is
+//! not part of `all` because it executes real codec calls and writes a
+//! file. `--shards`, `--batch-bytes` and `--batch-max` set the engine's
+//! shard count and coalescing policy. `--obs` (or the `obs` figure
 //! name) runs the serving-tier observability scenarios — windowed tenant
 //! timelines, SLO burn rates, slow-call exemplars — printing the combined
 //! report and writing `timelines.md`, `slo.md` and `exemplars.md` under
@@ -30,7 +39,11 @@
 //! `metrics.jsonl` and a Chrome `trace.json` (loadable in Perfetto /
 //! chrome://tracing) under `results/telemetry/`.
 
-use cdpu_bench::{dse_figures, entropy_figures, obs_figures, profile_figures, serve_figures, Scale, Workbench};
+use cdpu_bench::cli::ServedOpts;
+use cdpu_bench::{
+    cli, dse_figures, entropy_figures, obs_figures, profile_figures, serve_figures,
+    served_figures, Scale, Workbench,
+};
 
 const ALL_FIGURES: [&str; 20] = [
     "fig1", "fig2a", "fig2b", "fig2c", "fig2c-measured", "fig3", "fig4", "fig5", "fig6", "fig7",
@@ -52,6 +65,10 @@ fn main() {
     let mut scale = Scale::default();
     let mut telemetry = false;
     let mut serve = false;
+    let mut served = false;
+    let mut served_out = String::from("results/served.txt");
+    let mut served_opts = ServedOpts::default();
+    let mut jobs: Option<usize> = None;
     let mut obs = false;
     let mut obs_dir = String::from("results/obs");
     let mut args = std::env::args().skip(1);
@@ -76,11 +93,11 @@ fn main() {
                     .unwrap_or_else(|| usage("--seed needs a number"));
             }
             "--jobs" => {
-                let n: usize = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| usage("--jobs needs a thread count"));
-                cdpu_par::set_threads(n);
+                jobs = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage("--jobs needs a thread count")),
+                );
             }
             "--tiny" => {
                 let seed = scale.seed;
@@ -88,6 +105,30 @@ fn main() {
                 scale.seed = seed;
             }
             "--serve" => serve = true,
+            "--served" => served = true,
+            "--served-out" => {
+                served_out = args
+                    .next()
+                    .unwrap_or_else(|| usage("--served-out needs a path"));
+            }
+            "--shards" => {
+                served_opts.shards = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--shards needs a count"));
+            }
+            "--batch-bytes" => {
+                served_opts.batch_bytes = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--batch-bytes needs a byte count"));
+            }
+            "--batch-max" => {
+                served_opts.batch_max = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--batch-max needs a count"));
+            }
             "--obs" => obs = true,
             "--obs-dir" => {
                 obs_dir = args.next().unwrap_or_else(|| usage("--obs-dir needs a path"));
@@ -98,12 +139,23 @@ fn main() {
             other => figures.push(other.to_string()),
         }
     }
+    // One shared validation pass for the worker/shard/batch knobs, before
+    // any expensive state is built (`bench` runs the same checker).
+    if let Err(e) = cli::validate(jobs, &served_opts) {
+        usage(&e);
+    }
+    if let Some(n) = jobs {
+        cdpu_par::set_threads(n);
+    }
     if serve {
         for f in SERVE_FIGURES {
             if !figures.iter().any(|g| g == f) {
                 figures.push(f.to_string());
             }
         }
+    }
+    if served && !figures.iter().any(|g| g == "served") {
+        figures.push("served".to_string());
     }
     if obs && !figures.iter().any(|g| g == "obs") {
         figures.push("obs".to_string());
@@ -121,12 +173,11 @@ fn main() {
         figures.iter().map(|s| s.as_str()).collect()
     };
     // Reject unknown names before any work starts (workers must not exit).
-    // `obs` is valid but excluded from `all` (it writes report files), as
-    // is `entropy` (it recompresses the suite under non-canonical formats).
-    if let Some(bad) = selected
-        .iter()
-        .find(|f| !ALL_FIGURES.contains(f) && **f != "obs" && **f != "entropy")
-    {
+    // `obs`, `served` and `entropy` are valid but excluded from `all`
+    // (they write report files or run heavyweight real-execution sweeps).
+    if let Some(bad) = selected.iter().find(|f| {
+        !ALL_FIGURES.contains(f) && **f != "obs" && **f != "served" && **f != "entropy"
+    }) {
         usage(&format!("unknown figure {bad}"));
     }
 
@@ -143,7 +194,7 @@ fn main() {
         let _fig_span = cdpu_telemetry::span::SpanGuard::enter(
             ALL_FIGURES.iter().find(|&&n| n == fig).copied().unwrap_or("figure"),
         );
-        render_figure(fig, &wb, &obs_dir)
+        render_figure(fig, &wb, &obs_dir, &served_out, &served_opts)
     });
     for r in rendered {
         println!("{r}");
@@ -163,7 +214,13 @@ fn main() {
     }
 }
 
-fn render_figure(fig: &str, wb: &Workbench, obs_dir: &str) -> String {
+fn render_figure(
+    fig: &str,
+    wb: &Workbench,
+    obs_dir: &str,
+    served_out: &str,
+    served_opts: &ServedOpts,
+) -> String {
     match fig {
         "fig1" => profile_figures::fig1(),
         "fig2a" => profile_figures::fig2a(),
@@ -185,6 +242,10 @@ fn render_figure(fig: &str, wb: &Workbench, obs_dir: &str) -> String {
         "serve-load" => serve_figures::serve_load(wb.scale()),
         "serve-placement" => serve_figures::serve_placement(wb.scale()),
         "serve-fairness" => serve_figures::serve_fairness(wb.scale()),
+        "served" => {
+            served_figures::write_served(wb.scale(), served_opts, std::path::Path::new(served_out))
+                .unwrap_or_else(|e| panic!("served figure: cannot write {served_out}: {e}"))
+        }
         "obs" => obs_figures::write_obs(wb.scale(), std::path::Path::new(obs_dir))
             .unwrap_or_else(|e| panic!("obs figures: cannot write {obs_dir}: {e}")),
         "entropy" => entropy_figures::entropy(wb),
@@ -199,8 +260,9 @@ fn usage(err: &str) -> ! {
     eprintln!(
         "usage: figures [fig1|fig2a|fig2b|fig2c|fig2c-measured|fig3|fig4|fig5|fig6|fig7|\n\
          \x20       fig11|fig12|fig13|fig14|fig15|summary|ablations|\n\
-         \x20       serve-load|serve-placement|serve-fairness|obs|entropy|all]\n\
+         \x20       serve-load|serve-placement|serve-fairness|served|obs|entropy|all]\n\
          \x20       [--files N] [--max-call BYTES] [--seed N] [--jobs N] [--tiny] [--serve]\n\
+         \x20       [--served] [--served-out PATH] [--shards N] [--batch-bytes N] [--batch-max N]\n\
          \x20       [--obs] [--obs-dir DIR] [--telemetry]"
     );
     std::process::exit(2);

@@ -1,7 +1,9 @@
 //! Benchmark harness: regenerates every table and figure of the paper's
 //! evaluation (Figures 1–7 and 11–15, plus the Section 6.4/6.6 text
-//! numbers), and the serving-tier experiments ([`serve_figures`]) built
-//! on the Table 7 offload-latency argument.
+//! numbers), and the serving-tier experiments built on the Table 7
+//! offload-latency argument: the analytic simulator sweeps
+//! ([`serve_figures`]) and their measured execution-engine counterpart
+//! ([`served_figures`], which closes the loop between the two tiers).
 //!
 //! Each `fig*` function returns the figure's data as a printable table so
 //! the `figures` binary, the Criterion benches and the integration tests
@@ -16,12 +18,14 @@
 //! paper scale.
 
 pub mod ablations;
+pub mod cli;
 pub mod dse_figures;
 pub mod entropy_figures;
 pub mod obs_figures;
 pub mod profile_figures;
 pub mod regress;
 pub mod serve_figures;
+pub mod served_figures;
 pub mod workbench;
 
 pub use workbench::{Scale, Workbench};

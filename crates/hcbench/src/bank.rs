@@ -117,6 +117,12 @@ impl ChunkBank {
         self.chunks.is_empty()
     }
 
+    /// Raw bytes of chunk `i` (build order: shuffled across corpus kinds,
+    /// so consecutive chunks mix content types).
+    pub fn chunk(&self, i: usize) -> &[u8] {
+        &self.chunks[i]
+    }
+
     /// The bank's pre-compressed ZStd level closest to `level` (suite
     /// generation samples fleet levels finer than the bank precomputes).
     pub fn nearest_bank_level(&self, level: i32) -> i32 {

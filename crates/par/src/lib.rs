@@ -5,7 +5,9 @@
 //! function of immutable shared state plus an index. This crate provides
 //! exactly that shape — [`par_map`] / [`par_map_indexed`] over an index
 //! range — on `std::thread::scope`, with nothing beyond `std` (the build
-//! environment is offline, so no rayon).
+//! environment is offline, so no rayon). The [`notify`] module adds the
+//! complementary serving shape: a long-lived [`NotifyPool`] of resident
+//! worker shards with per-task completion notification.
 //!
 //! # Guarantees
 //!
@@ -30,6 +32,10 @@
 //! via [`set_threads`] (the `--jobs` CLI flag), the `CDPU_THREADS`
 //! environment variable, then [`std::thread::available_parallelism`].
 //! A count of 1 (or a single-item input) runs inline with no spawning.
+
+pub mod notify;
+
+pub use notify::NotifyPool;
 
 use std::panic::resume_unwind;
 use std::sync::atomic::{AtomicUsize, Ordering};

@@ -1,0 +1,268 @@
+//! Seeded per-tenant arrival streams, shared by the discrete-event
+//! simulator ([`crate::sim`]) and the execution engine
+//! ([`crate::engine`]).
+//!
+//! Both tiers must draw *identical* workloads from one master seed so
+//! their reports are comparable point-for-point: the same calls, in the
+//! same global order, at the same arrival instants. That identity holds
+//! because every tenant owns two private streams forked from the master
+//! seed by fixed tags — one [`FleetSampler`] for call bodies, one
+//! [`Xoshiro256`] for exponential inter-arrival gaps — and a tenant's
+//! draw order (gap₀, call₀, gap₁, call₁, …) never depends on what other
+//! tenants or the serving side do. Departure events, admission verdicts
+//! and scheduling decisions interleave differently between the two tiers,
+//! but they never touch the arrival streams.
+//!
+//! [`schedule`] materializes the merged arrival sequence directly (no
+//! serving model at all); the unit tests pin the simulator's recorded
+//! arrival log to it bit-for-bit.
+
+use crate::event::{EventHeap, EventKind};
+use crate::tenants::TenantSpec;
+use cdpu_fleet::sampler::FleetSampler;
+use cdpu_fleet::CallRecord;
+use cdpu_util::rng::{mix64, Xoshiro256};
+
+/// Stream tags for deriving independent sub-seeds from the master seed.
+/// (Shared constants: the simulator and the engine must fork identically.)
+pub(crate) const TAG_CALIBRATE: u64 = 0x5345_5256_4501;
+pub(crate) const TAG_SAMPLER: u64 = 0x5345_5256_4502;
+pub(crate) const TAG_ARRIVAL: u64 = 0x5345_5256_4503;
+
+/// Calls priced per tenant by the calibration pre-pass.
+const CAL_SAMPLES: usize = 200;
+
+/// Normalized tenant weights (each tenant's share of the offered load).
+///
+/// # Panics
+///
+/// Panics unless the weights sum positive.
+pub fn normalized_weights(tenants: &[TenantSpec]) -> Vec<f64> {
+    let total: f64 = tenants.iter().map(|t| t.weight.max(0.0)).sum();
+    assert!(total > 0.0, "tenant weights must sum positive");
+    tenants.iter().map(|t| t.weight.max(0.0) / total).collect()
+}
+
+/// Calibration pre-pass: weighted mean service time in picoseconds under
+/// `price_ps`, drawn from dedicated RNG streams (tag [`TAG_CALIBRATE`])
+/// that never perturb the run itself.
+pub fn mean_service_ps(
+    seed: u64,
+    tenants: &[TenantSpec],
+    mut price_ps: impl FnMut(&CallRecord) -> u64,
+) -> f64 {
+    let weights = normalized_weights(tenants);
+    let mut mean = 0.0;
+    for (i, (tenant, w)) in tenants.iter().zip(&weights).enumerate() {
+        if *w == 0.0 {
+            continue;
+        }
+        let mut sampler = FleetSampler::new(mix64(seed ^ TAG_CALIBRATE ^ (i as u64) << 8));
+        let sum: u64 = (0..CAL_SAMPLES)
+            .map(|_| price_ps(&tenant.sample(&mut sampler)))
+            .sum();
+        mean += w * sum as f64 / CAL_SAMPLES as f64;
+    }
+    mean
+}
+
+/// Per-tenant arrival rates (events per picosecond) calibrated so the
+/// total offered load is the classical utilization ρ: the rate vector is
+/// `weightᵢ · ρ·N / E[S]` with `E[S]` from [`mean_service_ps`].
+pub fn calibrated_rates(
+    seed: u64,
+    tenants: &[TenantSpec],
+    offered_load: f64,
+    instances: u32,
+    price_ps: impl FnMut(&CallRecord) -> u64,
+) -> Vec<f64> {
+    let weights = normalized_weights(tenants);
+    let mean_service = mean_service_ps(seed, tenants, price_ps).max(1.0);
+    let lambda_total = offered_load * instances as f64 / mean_service;
+    weights.iter().map(|w| w * lambda_total).collect()
+}
+
+/// The per-tenant seeded streams: call bodies and inter-arrival gaps.
+///
+/// Callers drive the draw order themselves (the simulator and engine both
+/// draw gap-then-call per arrival event); the streams only guarantee that
+/// per-tenant draws are reproducible and independent across tenants.
+#[derive(Debug)]
+pub struct ArrivalStreams {
+    samplers: Vec<FleetSampler>,
+    rngs: Vec<Xoshiro256>,
+    rates: Vec<f64>,
+}
+
+impl ArrivalStreams {
+    /// Forks one sampler and one gap stream per tenant from `seed`.
+    pub fn new(seed: u64, rates: Vec<f64>) -> Self {
+        let n = rates.len();
+        ArrivalStreams {
+            samplers: (0..n)
+                .map(|i| FleetSampler::new(mix64(seed ^ TAG_SAMPLER ^ (i as u64) << 8)))
+                .collect(),
+            rngs: (0..n)
+                .map(|i| Xoshiro256::seed_from(mix64(seed ^ TAG_ARRIVAL ^ (i as u64) << 8)))
+                .collect(),
+            rates,
+        }
+    }
+
+    /// The calibrated per-tenant rates.
+    pub fn rates(&self) -> &[f64] {
+        &self.rates
+    }
+
+    /// Draws tenant `t`'s next inter-arrival gap, picoseconds (≥ 1).
+    /// Only call for tenants with a positive rate — a zero-rate tenant's
+    /// stream must stay untouched so runs that skip it are reproducible.
+    pub fn next_gap_ps(&mut self, t: usize) -> u64 {
+        debug_assert!(self.rates[t] > 0.0, "gap drawn for a zero-rate tenant");
+        self.rngs[t].exp_f64(self.rates[t]).round().max(1.0) as u64
+    }
+
+    /// Draws tenant `t`'s next call body.
+    pub fn next_call(&mut self, t: usize, spec: &TenantSpec) -> CallRecord {
+        spec.sample(&mut self.samplers[t])
+    }
+}
+
+/// One materialized arrival of the merged schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduledArrival {
+    /// Arrival instant, picoseconds.
+    pub time_ps: u64,
+    /// Tenant index.
+    pub tenant: u32,
+    /// Global arrival order (0-based).
+    pub id: u64,
+    /// The call body.
+    pub call: CallRecord,
+}
+
+/// Materializes the first `max_calls` arrivals of the merged schedule —
+/// exactly the sequence the simulator and engine inject, independent of
+/// any serving model. Ties in arrival time resolve by push order on the
+/// same `(time, seq)` heap discipline the serving tiers use, which
+/// preserves the relative order of arrival pushes and therefore matches
+/// both tiers even though their heaps also carry departure events.
+pub fn schedule(
+    seed: u64,
+    tenants: &[TenantSpec],
+    rates: &[f64],
+    max_calls: u64,
+) -> Vec<ScheduledArrival> {
+    assert_eq!(tenants.len(), rates.len(), "one rate per tenant");
+    let mut streams = ArrivalStreams::new(seed, rates.to_vec());
+    let mut heap = EventHeap::new();
+    for (i, rate) in rates.iter().enumerate() {
+        if *rate > 0.0 && max_calls > 0 {
+            let dt = streams.next_gap_ps(i);
+            heap.push(dt, EventKind::Arrival(i as u32));
+        }
+    }
+    let mut out = Vec::with_capacity(max_calls.min(1 << 20) as usize);
+    while let Some(event) = heap.pop() {
+        // Every tenant keeps one pending arrival in the heap; once the cap
+        // is reached those stragglers are discarded undrawn — exactly the
+        // simulator's pop-time cap check.
+        if (out.len() as u64) >= max_calls {
+            break;
+        }
+        let EventKind::Arrival(t) = event.kind else {
+            unreachable!("schedule() pushes only arrivals")
+        };
+        let ti = t as usize;
+        let id = out.len() as u64;
+        out.push(ScheduledArrival {
+            time_ps: event.time_ps,
+            tenant: t,
+            id,
+            call: streams.next_call(ti, &tenants[ti]),
+        });
+        if (out.len() as u64) < max_calls {
+            let dt = streams.next_gap_ps(ti);
+            heap.push(event.time_ps + dt, EventKind::Arrival(t));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim;
+    use crate::tenants::fleet_tenants;
+    use crate::ServeConfig;
+
+    /// The calibrated rates the simulator would use for `cfg`.
+    fn sim_rates(cfg: &ServeConfig) -> Vec<f64> {
+        calibrated_rates(
+            cfg.seed,
+            &cfg.tenants,
+            cfg.offered_load,
+            cfg.instances,
+            |call| sim::analytic_price_ps(call, &cfg.params, &cfg.mem),
+        )
+    }
+
+    #[test]
+    fn first_1k_arrivals_bit_identical_across_constructions() {
+        let tenants = fleet_tenants(6);
+        let cfg = {
+            let mut c = ServeConfig::new(tenants.clone());
+            c.total_calls = 1_000;
+            c
+        };
+        let rates = sim_rates(&cfg);
+        let a = schedule(cfg.seed, &tenants, &rates, 1_000);
+        let b = schedule(cfg.seed, &tenants, &rates, 1_000);
+        assert_eq!(a.len(), 1_000);
+        assert_eq!(a, b, "two constructions must draw identical workloads");
+        for pair in a.windows(2) {
+            assert!(pair[0].time_ps <= pair[1].time_ps, "schedule out of order");
+        }
+    }
+
+    #[test]
+    fn schedule_matches_simulator_arrival_log() {
+        // The extracted generator must reproduce the simulator's injected
+        // arrivals exactly: same instants, same tenants, same order —
+        // despite the simulator's heap also carrying departure events.
+        let mut cfg = ServeConfig::new(fleet_tenants(6));
+        cfg.total_calls = 1_000;
+        cfg.offered_load = 0.8;
+        cfg.record_events = true;
+        let report = sim::run(&cfg);
+        let sched = schedule(cfg.seed, &cfg.tenants, &sim_rates(&cfg), cfg.total_calls);
+        let arrivals: Vec<_> = report.events.iter().filter(|e| e.kind == 0).collect();
+        assert_eq!(arrivals.len(), sched.len());
+        for (log, gen) in arrivals.iter().zip(&sched) {
+            assert_eq!(log.time_ps, gen.time_ps, "arrival instant diverged at id {}", gen.id);
+            assert_eq!(log.tenant, gen.tenant, "tenant diverged at id {}", gen.id);
+            assert_eq!(log.job, gen.id, "arrival order diverged at id {}", gen.id);
+        }
+    }
+
+    #[test]
+    fn zero_rate_tenants_never_arrive() {
+        let mut tenants = fleet_tenants(3);
+        tenants[2].weight = 0.0;
+        let rates = calibrated_rates(7, &tenants, 0.5, 2, |c| c.uncompressed_bytes.max(1));
+        assert_eq!(rates[2], 0.0);
+        let sched = schedule(7, &tenants, &rates, 500);
+        assert_eq!(sched.len(), 500);
+        assert!(sched.iter().all(|a| a.tenant != 2));
+    }
+
+    #[test]
+    fn calibration_matches_serve_config() {
+        let cfg = ServeConfig::new(fleet_tenants(4));
+        let direct = mean_service_ps(cfg.seed, &cfg.tenants, |call| {
+            sim::analytic_price_ps(call, &cfg.params, &cfg.mem)
+        });
+        assert_eq!(direct, cfg.mean_service_ps(), "one calibration, two entry points");
+        assert!(direct > 0.0);
+    }
+}

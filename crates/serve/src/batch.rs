@@ -1,0 +1,200 @@
+//! Small-call batching: coalesces consecutive small scheduler pops into
+//! one worker dispatch.
+//!
+//! Section 2.2's fleet distributions make small calls dominant by count,
+//! and Table 7 makes per-dispatch offload overhead the latency floor —
+//! so the engine amortizes that overhead by shipping up to
+//! [`BatchPolicy::max_jobs`] consecutive small calls (each at or below
+//! [`BatchPolicy::small_bytes`]) to a shard as one dispatch. Large calls
+//! always ride alone.
+//!
+//! The batcher is *pop-and-carry*: it pops from the scheduler until the
+//! batch fills or a large job appears; a large job popped while a batch
+//! is open becomes the carry and leads the next dispatch. This respects
+//! the scheduler's ordering decisions — batching only ever groups jobs
+//! the discipline had already ordered adjacently — so FCFS/SJF/DRR
+//! semantics are unchanged apart from the coalescing itself.
+
+use crate::scheduler::{Job, Scheduler};
+
+/// Small-call coalescing policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchPolicy {
+    /// Jobs at or below this many uncompressed bytes are batchable.
+    pub small_bytes: u64,
+    /// Max jobs per dispatch (1 disables coalescing).
+    pub max_jobs: usize,
+}
+
+impl Default for BatchPolicy {
+    fn default() -> Self {
+        BatchPolicy {
+            small_bytes: 4096,
+            max_jobs: 8,
+        }
+    }
+}
+
+impl BatchPolicy {
+    /// A policy that never coalesces (one job per dispatch).
+    pub fn off() -> Self {
+        BatchPolicy {
+            small_bytes: 0,
+            max_jobs: 1,
+        }
+    }
+
+    /// Panics on a policy that can never dispatch anything.
+    pub fn validate(&self) {
+        assert!(self.max_jobs >= 1, "a dispatch carries at least one job");
+    }
+}
+
+/// Pop-and-carry batcher sitting between the scheduler and the shards.
+#[derive(Debug)]
+pub struct Batcher {
+    policy: BatchPolicy,
+    carry: Option<Job>,
+}
+
+impl Batcher {
+    /// Creates a batcher for one engine run.
+    pub fn new(policy: BatchPolicy) -> Self {
+        policy.validate();
+        Batcher {
+            policy,
+            carry: None,
+        }
+    }
+
+    /// Jobs held in the carry slot (popped from the scheduler but not yet
+    /// dispatched) — the engine adds this to queue-depth accounting.
+    pub fn carried(&self) -> usize {
+        usize::from(self.carry.is_some())
+    }
+
+    /// Fills `out` with the next dispatch. Returns `false` (leaving `out`
+    /// empty) when neither the carry slot nor the scheduler has work.
+    pub fn next_into(&mut self, sched: &mut Scheduler, out: &mut Vec<Job>) -> bool {
+        out.clear();
+        let Some(first) = self.carry.take().or_else(|| sched.pop()) else {
+            return false;
+        };
+        let small = first.bytes <= self.policy.small_bytes;
+        out.push(first);
+        if small && self.policy.max_jobs > 1 {
+            while out.len() < self.policy.max_jobs {
+                let Some(next) = sched.pop() else { break };
+                if next.bytes <= self.policy.small_bytes {
+                    out.push(next);
+                } else {
+                    self.carry = Some(next);
+                    break;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::SchedKind;
+
+    fn job(id: u64, bytes: u64) -> Job {
+        Job {
+            id,
+            tenant: 0,
+            arrival_ps: id,
+            service_ps: 1000,
+            bytes,
+        }
+    }
+
+    fn fcfs() -> Scheduler {
+        Scheduler::new(SchedKind::Fcfs, &[1.0])
+    }
+
+    #[test]
+    fn small_calls_coalesce_up_to_max() {
+        let mut sched = fcfs();
+        for i in 0..10 {
+            sched.push(job(i, 100));
+        }
+        let mut b = Batcher::new(BatchPolicy {
+            small_bytes: 4096,
+            max_jobs: 4,
+        });
+        let mut out = Vec::new();
+        assert!(b.next_into(&mut sched, &mut out));
+        assert_eq!(out.iter().map(|j| j.id).collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+        assert!(b.next_into(&mut sched, &mut out));
+        assert_eq!(out.len(), 4);
+        assert!(b.next_into(&mut sched, &mut out));
+        assert_eq!(out.len(), 2, "tail batch takes what remains");
+        assert!(!b.next_into(&mut sched, &mut out));
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn large_job_rides_alone_and_carries() {
+        let mut sched = fcfs();
+        sched.push(job(0, 100));
+        sched.push(job(1, 100));
+        sched.push(job(2, 1 << 20)); // large, interrupts the batch
+        sched.push(job(3, 100));
+        let mut b = Batcher::new(BatchPolicy::default());
+        let mut out = Vec::new();
+        b.next_into(&mut sched, &mut out);
+        assert_eq!(out.iter().map(|j| j.id).collect::<Vec<_>>(), vec![0, 1]);
+        assert_eq!(b.carried(), 1, "large job parked in the carry slot");
+        b.next_into(&mut sched, &mut out);
+        assert_eq!(out.iter().map(|j| j.id).collect::<Vec<_>>(), vec![2]);
+        assert_eq!(b.carried(), 0);
+        b.next_into(&mut sched, &mut out);
+        assert_eq!(out.iter().map(|j| j.id).collect::<Vec<_>>(), vec![3]);
+    }
+
+    #[test]
+    fn leading_large_job_dispatches_immediately() {
+        let mut sched = fcfs();
+        sched.push(job(0, 1 << 20));
+        sched.push(job(1, 100));
+        let mut b = Batcher::new(BatchPolicy::default());
+        let mut out = Vec::new();
+        b.next_into(&mut sched, &mut out);
+        assert_eq!(out.iter().map(|j| j.id).collect::<Vec<_>>(), vec![0]);
+        assert_eq!(b.carried(), 0, "no peeking past a leading large job");
+    }
+
+    #[test]
+    fn off_policy_is_one_job_per_dispatch() {
+        let mut sched = fcfs();
+        for i in 0..3 {
+            sched.push(job(i, 10));
+        }
+        let mut b = Batcher::new(BatchPolicy::off());
+        let mut out = Vec::new();
+        for i in 0..3 {
+            assert!(b.next_into(&mut sched, &mut out));
+            assert_eq!(out.iter().map(|j| j.id).collect::<Vec<_>>(), vec![i]);
+        }
+        assert!(!b.next_into(&mut sched, &mut out));
+    }
+
+    #[test]
+    fn carry_survives_empty_scheduler() {
+        let mut sched = fcfs();
+        sched.push(job(0, 10));
+        sched.push(job(1, 1 << 20));
+        let mut b = Batcher::new(BatchPolicy::default());
+        let mut out = Vec::new();
+        b.next_into(&mut sched, &mut out);
+        assert_eq!(b.carried(), 1);
+        assert!(sched.is_empty());
+        // The carried job still comes out even with nothing queued.
+        assert!(b.next_into(&mut sched, &mut out));
+        assert_eq!(out.iter().map(|j| j.id).collect::<Vec<_>>(), vec![1]);
+    }
+}

@@ -1,13 +1,16 @@
-//! Discrete-event multi-tenant CDPU serving simulator.
+//! Multi-tenant CDPU serving: a discrete-event simulator and a real
+//! execution engine, closed against each other.
 //!
 //! The paper's Table 7 argues that per-invocation *offload latency* — not
 //! peak throughput — decides which placements make sense for the fleet's
 //! small-call-dominated workloads. This crate turns that argument into a
-//! queueing experiment: an open-loop arrival stream of fleet calls
-//! (tenants = the Section 3.2 service catalog, sizes/levels from the
-//! Figure 3/2b distributions) is served by N CDPU instances whose per-call
-//! service times come from the `cdpu-hwsim` cycle model plus a
-//! per-placement software offload overhead, under a pluggable scheduler.
+//! queueing experiment twice over: an analytic simulator prices fleet
+//! calls with the `cdpu-hwsim` cycle model, and an execution engine runs
+//! the same seeded arrival streams as real compress/decompress calls on
+//! `cdpu-par` worker shards — so every simulated claim has a measured
+//! counterpart on the identical workload.
+//!
+//! The simulator tier:
 //!
 //! - [`event`]: the event heap — total order on `(time, seq)`, so a run
 //!   is a pure function of its seed.
@@ -25,23 +28,47 @@
 //!   overload-onset detector, and slow-call exemplars attributed to the
 //!   pipeline stage that bounded them.
 //!
-//! Everything is deterministic from `ServeConfig::seed`: two runs of the
+//! The execution tier:
+//!
+//! - [`arrivals`]: the seeded per-tenant arrival streams, shared verbatim
+//!   by simulator and engine so both serve bit-identical call sequences.
+//! - [`workload`]: real call payloads — a corpus tape sliced into exact
+//!   compress windows and a pre-compressed decode ladder.
+//! - [`admission`]: the four admission gates (bounded queue, outstanding
+//!   quota, token bucket, SLO burn-rate shedding with onset hysteresis).
+//! - [`batch`]: small-call coalescing, amortizing per-dispatch offload
+//!   overhead across jobs.
+//! - [`engine`]: the engine core — admission, scheduling and dispatch of
+//!   real codec calls over worker shards, under deterministic work
+//!   timing (calibrated against the analytic price, bit-identical across
+//!   runs and hosts) or measured wall-clock timing.
+//!
+//! Everything is deterministic from its config seed: two runs of the
 //! same config produce bit-identical event logs and reports, regardless
-//! of thread count (the simulator itself is single-threaded; parallelism
+//! of thread count (simulator and work-timed engine alike; parallelism
 //! lives one level up, across independent load points).
 
+pub mod admission;
+pub mod arrivals;
+pub mod batch;
+pub mod engine;
 pub mod event;
 pub mod obs;
 pub mod report;
 pub mod scheduler;
 pub mod sim;
 pub mod tenants;
+pub mod workload;
 
+pub use admission::{AdmissionConfig, ShedConfig, ShedReason};
+pub use batch::BatchPolicy;
+pub use engine::{EngineConfig, ServedReport, ServedTenant, Timing};
 pub use obs::{ObsConfig, ObsReport, SloSpec};
 pub use report::{ServeReport, SizeBin, TenantReport};
 pub use scheduler::SchedKind;
-pub use sim::{offload_overhead_ps, ServeConfig};
+pub use sim::{analytic_price_ps, offload_overhead_ps, ServeConfig};
 pub use tenants::{CallMix, TenantSpec};
+pub use workload::Workload;
 
 /// Picoseconds per second — the simulator's time base. Picosecond
 /// resolution keeps cycle→time conversion exact at 2 GHz (500 ps/cycle)

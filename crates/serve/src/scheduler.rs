@@ -71,6 +71,14 @@ impl std::fmt::Display for SchedKind {
 /// job granularity).
 const DRR_MAX_QUANTUM_PS: u64 = 50_000_000;
 
+/// Quantum floor for zero-weight tenants. A literal zero weight used to
+/// round to a 1 ps quantum, so serving even a microsecond job needed
+/// millions of round-robin rotations — a livelock in all but name. The
+/// floor keeps zero-weight tenants strongly deprioritized (1/16 of the
+/// max quantum) while bounding the rotations to afford any job.
+/// Positive-weight tenants are unaffected.
+const DRR_ZERO_WEIGHT_QUANTUM_PS: u64 = DRR_MAX_QUANTUM_PS / 16;
+
 /// Deficit-round-robin state: per-tenant queues, deficits and quanta.
 /// (Public only because it rides inside the [`Scheduler`] enum; all
 /// fields are private.)
@@ -90,7 +98,13 @@ impl DrrState {
         let w_max = weights.iter().cloned().fold(f64::MIN, f64::max).max(1e-12);
         let quantum = weights
             .iter()
-            .map(|&w| ((w / w_max) * DRR_MAX_QUANTUM_PS as f64).round().max(1.0) as u64)
+            .map(|&w| {
+                if w <= 0.0 {
+                    DRR_ZERO_WEIGHT_QUANTUM_PS
+                } else {
+                    ((w / w_max) * DRR_MAX_QUANTUM_PS as f64).round().max(1.0) as u64
+                }
+            })
             .collect();
         DrrState {
             queues: weights.iter().map(|_| VecDeque::new()).collect(),
@@ -280,6 +294,23 @@ mod tests {
         let order: Vec<u64> = std::iter::from_fn(|| s.pop()).map(|j| j.id).collect();
         assert_eq!(order.len(), 2);
         assert!(order.contains(&0));
+    }
+
+    #[test]
+    fn drr_zero_weight_tenant_is_served_without_livelock() {
+        // A zero-weight tenant must still drain in bounded rotations: the
+        // quantum floor guarantees any job is affordable within
+        // quantum-ceiling/floor rounds.
+        let mut s = Scheduler::new(SchedKind::Drr, &[1.0, 0.0]);
+        s.push(job(0, 1, DRR_MAX_QUANTUM_PS)); // zero-weight, 50 µs job
+        for i in 1..4 {
+            s.push(job(i, 0, 1_000));
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| s.pop()).map(|j| j.id).collect();
+        assert_eq!(order.len(), 4, "zero-weight job must eventually pop");
+        assert!(order.contains(&0));
+        // And the weighted tenant still goes first.
+        assert_ne!(order[0], 0, "positive weight outranks zero weight");
     }
 
     #[test]

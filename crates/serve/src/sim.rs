@@ -13,25 +13,16 @@
 //! forked from `ServeConfig::seed` by fixed tags, and events are totally
 //! ordered by `(time, seq)`.
 
+use crate::arrivals::{self, ArrivalStreams};
 use crate::event::{EventHeap, EventKind, LogRecord};
 use crate::obs::{ObsConfig, ObsState};
 use crate::report::{LatencyDist, ServeReport, SizeBin, TenantReport};
 use crate::scheduler::{Job, SchedKind, Scheduler};
 use crate::tenants::TenantSpec;
-use cdpu_fleet::sampler::FleetSampler;
 use cdpu_hwsim::params::{CdpuParams, MemParams, Placement};
 use cdpu_hwsim::service::service_cycles;
-use cdpu_util::rng::{mix64, Xoshiro256};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
-
-/// Stream tags for deriving independent sub-seeds from the master seed.
-const TAG_CALIBRATE: u64 = 0x5345_5256_4501;
-const TAG_SAMPLER: u64 = 0x5345_5256_4502;
-const TAG_ARRIVAL: u64 = 0x5345_5256_4503;
-
-/// Calls priced per tenant by the calibration pre-pass.
-const CAL_SAMPLES: usize = 200;
 
 /// Per-invocation software offload overhead by placement, picoseconds —
 /// the driver/DMA/doorbell cost of *reaching* the accelerator that
@@ -50,6 +41,20 @@ pub fn offload_overhead_ps(placement: Placement) -> u64 {
 /// Converts accelerator cycles to picoseconds (exact at 2 GHz: 500 ps).
 fn cycles_to_ps(cycles: u64, freq_ghz: f64) -> u64 {
     (cycles as f64 * 1000.0 / freq_ghz).round() as u64
+}
+
+/// The simulator's analytic call price: accelerator residency from the
+/// `cdpu-hwsim` cycle model plus the per-invocation offload overhead of
+/// the placement. Exposed so the execution engine can calibrate its
+/// arrival rates against the *same* `E[S]` estimate (making ρ mean the
+/// same thing in both tiers); the engine never uses it on its hot path.
+pub fn analytic_price_ps(
+    call: &cdpu_fleet::CallRecord,
+    params: &CdpuParams,
+    mem: &MemParams,
+) -> u64 {
+    cycles_to_ps(service_cycles(call, params, mem), mem.freq_ghz)
+        + offload_overhead_ps(params.placement)
 }
 
 /// Configuration of one serving-tier simulation.
@@ -100,35 +105,19 @@ impl ServeConfig {
 
     /// Normalized tenant weights.
     fn weights(&self) -> Vec<f64> {
-        let total: f64 = self.tenants.iter().map(|t| t.weight.max(0.0)).sum();
-        assert!(total > 0.0, "tenant weights must sum positive");
-        self.tenants.iter().map(|t| t.weight.max(0.0) / total).collect()
+        arrivals::normalized_weights(&self.tenants)
     }
 
     /// Prices one sampled call: accelerator residency plus the
     /// per-invocation offload overhead of the placement.
     fn price_ps(&self, call: &cdpu_fleet::CallRecord) -> u64 {
-        cycles_to_ps(service_cycles(call, &self.params, &self.mem), self.mem.freq_ghz)
-            + offload_overhead_ps(self.params.placement)
+        analytic_price_ps(call, &self.params, &self.mem)
     }
 
     /// Calibration pre-pass: weighted mean service time in picoseconds,
     /// from dedicated RNG streams.
     pub fn mean_service_ps(&self) -> f64 {
-        let weights = self.weights();
-        let mut mean = 0.0;
-        for (i, (tenant, w)) in self.tenants.iter().zip(&weights).enumerate() {
-            if *w == 0.0 {
-                continue;
-            }
-            let mut sampler =
-                FleetSampler::new(mix64(self.seed ^ TAG_CALIBRATE ^ (i as u64) << 8));
-            let sum: u64 = (0..CAL_SAMPLES)
-                .map(|_| self.price_ps(&tenant.sample(&mut sampler)))
-                .sum();
-            mean += w * sum as f64 / CAL_SAMPLES as f64;
-        }
-        mean
+        arrivals::mean_service_ps(self.seed, &self.tenants, |call| self.price_ps(call))
     }
 }
 
@@ -210,10 +199,14 @@ pub fn run(cfg: &ServeConfig) -> ServeReport {
     cfg.params.validate();
 
     let weights = cfg.weights();
-    let mean_service = cfg.mean_service_ps().max(1.0);
     // λ_total in events per picosecond: ρ·N / E[S].
-    let lambda_total = cfg.offered_load * cfg.instances as f64 / mean_service;
-    let rates: Vec<f64> = weights.iter().map(|w| w * lambda_total).collect();
+    let rates = arrivals::calibrated_rates(
+        cfg.seed,
+        &cfg.tenants,
+        cfg.offered_load,
+        cfg.instances,
+        |call| cfg.price_ps(call),
+    );
 
     let registry = cdpu_telemetry::registry();
     let n_tenants = cfg.tenants.len();
@@ -251,18 +244,13 @@ pub fn run(cfg: &ServeConfig) -> ServeReport {
             .collect(),
     };
 
-    let mut samplers: Vec<FleetSampler> = (0..n_tenants)
-        .map(|i| FleetSampler::new(mix64(cfg.seed ^ TAG_SAMPLER ^ (i as u64) << 8)))
-        .collect();
-    let mut arrival_rngs: Vec<Xoshiro256> = (0..n_tenants)
-        .map(|i| Xoshiro256::seed_from(mix64(cfg.seed ^ TAG_ARRIVAL ^ (i as u64) << 8)))
-        .collect();
+    let mut streams = ArrivalStreams::new(cfg.seed, rates);
 
     // Seed each tenant's first arrival.
     let mut total_injected = 0u64;
-    for (i, rate) in rates.iter().enumerate() {
-        if *rate > 0.0 && cfg.total_calls > 0 {
-            let dt = arrival_rngs[i].exp_f64(*rate).round().max(1.0) as u64;
+    for i in 0..n_tenants {
+        if streams.rates()[i] > 0.0 && cfg.total_calls > 0 {
+            let dt = streams.next_gap_ps(i);
             state.heap.push(dt, EventKind::Arrival(i as u32));
         }
     }
@@ -275,7 +263,7 @@ pub fn run(cfg: &ServeConfig) -> ServeReport {
                 if total_injected >= cfg.total_calls {
                     continue;
                 }
-                let call = cfg.tenants[ti].sample(&mut samplers[ti]);
+                let call = streams.next_call(ti, &cfg.tenants[ti]);
                 let job = Job {
                     id: total_injected,
                     tenant: t,
@@ -290,7 +278,7 @@ pub fn run(cfg: &ServeConfig) -> ServeReport {
                 }
                 state.log(now, 0, t, job.id);
                 if total_injected < cfg.total_calls {
-                    let dt = arrival_rngs[ti].exp_f64(rates[ti]).round().max(1.0) as u64;
+                    let dt = streams.next_gap_ps(ti);
                     state.heap.push(now + dt, EventKind::Arrival(t));
                 }
                 if let Some(Reverse(instance)) = state.idle.pop() {
