@@ -112,6 +112,12 @@ if ! grep -q '"entropy_encode"' /tmp/cdpu_bench_kernels.json; then
     echo "FAIL: kernels benchmark wrote no entropy encode section" >&2
     exit 1
 fi
+for key in '"lz4_class"' '"chunked_compress_speedup"'; do
+    if ! grep -q "$key" /tmp/cdpu_bench_kernels.json; then
+        echo "FAIL: kernels benchmark missing $key" >&2
+        exit 1
+    fi
+done
 
 echo "==> decompression kernel microbenchmark smoke (tiny)"
 ./target/release/bench --dekernels --tiny --out /tmp/cdpu_bench_dekernels.json
@@ -121,6 +127,24 @@ if ! grep -q '"min_decompress_speedup"' /tmp/cdpu_bench_dekernels.json; then
 fi
 if ! grep -q '"entropy_interleave_speedup"' /tmp/cdpu_bench_dekernels.json; then
     echo "FAIL: dekernels benchmark wrote no entropy interleave speedup" >&2
+    exit 1
+fi
+for key in '"lz4-class"' '"chunked_decode_speedup"'; do
+    if ! grep -q "$key" /tmp/cdpu_bench_dekernels.json; then
+        echo "FAIL: dekernels benchmark missing $key" >&2
+        exit 1
+    fi
+done
+
+echo "==> chunked figure determinism smoke (serial vs parallel at tiny scale)"
+./target/release/figures chunked --tiny --jobs 1 > /tmp/cdpu_chunked_serial.txt
+./target/release/figures chunked --tiny > /tmp/cdpu_chunked_parallel.txt
+if ! diff -q /tmp/cdpu_chunked_serial.txt /tmp/cdpu_chunked_parallel.txt; then
+    echo "FAIL: parallel chunked figure output differs from serial" >&2
+    exit 1
+fi
+if ! grep -q 'bit-identical: 5/5' /tmp/cdpu_chunked_serial.txt; then
+    echo "FAIL: chunked figure frame decode parity check did not pass" >&2
     exit 1
 fi
 

@@ -10,7 +10,7 @@
 //!
 //! FIGURE: fig1 fig2a fig2b fig2c fig3 fig4 fig5 fig6 fig7
 //!         fig11 fig12 fig13 fig14 fig15 summary
-//!         serve-load serve-placement serve-fairness served obs entropy | all (default)
+//!         serve-load serve-placement serve-fairness served obs entropy chunked | all (default)
 //! ```
 //!
 //! Run with `--release`; the default scale completes the full set in
@@ -34,15 +34,19 @@
 //! because it writes files. `entropy` renders the entropy-backend design
 //! space (interleaved Huffman/FSE, rANS) priced by the hwsim pipeline
 //! model; it is not part of `all` because it recompresses the suite under
-//! the non-canonical additive formats. `--telemetry` enables the metrics/span instrumentation,
+//! the non-canonical additive formats. `chunked` renders the chunked-frame
+//! figures — chunk-size vs ratio-tax vs modeled lane speedup, and the
+//! serving-tier instances-vs-lanes sweep at fixed silicon; like `entropy`
+//! it is additive framing, so it is not part of `all` either.
+//! `--telemetry` enables the metrics/span instrumentation,
 //! prints a snapshot after the figures, and writes `snapshot.md`,
 //! `metrics.jsonl` and a Chrome `trace.json` (loadable in Perfetto /
 //! chrome://tracing) under `results/telemetry/`.
 
 use cdpu_bench::cli::ServedOpts;
 use cdpu_bench::{
-    cli, dse_figures, entropy_figures, obs_figures, profile_figures, serve_figures,
-    served_figures, Scale, Workbench,
+    chunked_figures, cli, dse_figures, entropy_figures, obs_figures, profile_figures,
+    serve_figures, served_figures, Scale, Workbench,
 };
 
 const ALL_FIGURES: [&str; 20] = [
@@ -173,10 +177,15 @@ fn main() {
         figures.iter().map(|s| s.as_str()).collect()
     };
     // Reject unknown names before any work starts (workers must not exit).
-    // `obs`, `served` and `entropy` are valid but excluded from `all`
-    // (they write report files or run heavyweight real-execution sweeps).
+    // `obs`, `served`, `entropy` and `chunked` are valid but excluded from
+    // `all` (they write report files, run heavyweight real-execution
+    // sweeps, or recompress the payload under non-canonical framing).
     if let Some(bad) = selected.iter().find(|f| {
-        !ALL_FIGURES.contains(f) && **f != "obs" && **f != "served" && **f != "entropy"
+        !ALL_FIGURES.contains(f)
+            && **f != "obs"
+            && **f != "served"
+            && **f != "entropy"
+            && **f != "chunked"
     }) {
         usage(&format!("unknown figure {bad}"));
     }
@@ -249,6 +258,7 @@ fn render_figure(
         "obs" => obs_figures::write_obs(wb.scale(), std::path::Path::new(obs_dir))
             .unwrap_or_else(|e| panic!("obs figures: cannot write {obs_dir}: {e}")),
         "entropy" => entropy_figures::entropy(wb),
+        "chunked" => chunked_figures::chunked(wb.scale()),
         other => unreachable!("figure {other} validated above"),
     }
 }
@@ -260,7 +270,7 @@ fn usage(err: &str) -> ! {
     eprintln!(
         "usage: figures [fig1|fig2a|fig2b|fig2c|fig2c-measured|fig3|fig4|fig5|fig6|fig7|\n\
          \x20       fig11|fig12|fig13|fig14|fig15|summary|ablations|\n\
-         \x20       serve-load|serve-placement|serve-fairness|served|obs|entropy|all]\n\
+         \x20       serve-load|serve-placement|serve-fairness|served|obs|entropy|chunked|all]\n\
          \x20       [--files N] [--max-call BYTES] [--seed N] [--jobs N] [--tiny] [--serve]\n\
          \x20       [--served] [--served-out PATH] [--shards N] [--batch-bytes N] [--batch-max N]\n\
          \x20       [--obs] [--obs-dir DIR] [--telemetry]"

@@ -1,0 +1,200 @@
+//! Chunked-codec figures: intra-call data parallelism quantified.
+//!
+//! Two tables. The first sweeps the frame chunk size on a fixed LZ4-class
+//! payload: chunk count, framed size, the ratio tax chunking pays over the
+//! plain stream, and the hwsim-modeled decode speedup at four lanes — plus
+//! a bit-identity check between the parallel and serial frame decoders.
+//! The second puts the same trade into the serving tier: a fixed lane
+//! budget (W = instances x lanes-per-instance) swept from all-instances to
+//! all-lanes under a large-call decompress tenant, showing service time
+//! shrink (chunked decode) against queueing delay growth (fewer servers).
+//!
+//! Everything here is deterministic — corpus bytes, compressed sizes, the
+//! cycle model and the discrete-event simulator are all pure functions of
+//! the scale seed — so serial and parallel renders are byte-identical (the
+//! CI smoke diffs them) and no wall-clock number appears in the output.
+
+use cdpu_fleet::{AlgoOp, Algorithm, CallRecord, Direction};
+use cdpu_hwsim::params::{CdpuParams, MemParams};
+use cdpu_serve::{chunk, sim, CallMix, ChunkedPolicy, ServeConfig, TenantSpec};
+use cdpu_util::frame;
+use cdpu_util::rng::mix64;
+
+use crate::{render_table, Scale};
+
+/// Stream tag for the serving-tier sweep's RNG fork.
+const TAG_CHUNKED: u64 = 0x4348_4E4B_4601;
+
+/// Chunk sizes swept by the first table, in KiB.
+const CHUNK_KIB: [u64; 5] = [16, 32, 64, 128, 256];
+
+/// The fixed intra-call lane budget the serving sweep splits between
+/// instances and per-instance decode lanes.
+const LANE_BUDGET: u32 = 8;
+
+/// Deterministic mixed payload for the chunk-size sweep: the three
+/// serving-relevant corpus kinds concatenated, sized to the scale tier
+/// (1 MiB at default scale, 256 KiB at tiny so debug-mode tests stay
+/// quick).
+fn sweep_payload(scale: Scale) -> Vec<u8> {
+    let tiny = scale.files_per_suite <= Scale::tiny().files_per_suite;
+    let total: usize = if tiny { 256 * 1024 } else { 1 << 20 };
+    let kinds = [
+        cdpu_corpus::CorpusKind::JsonLogs,
+        cdpu_corpus::CorpusKind::ProtoRecords,
+        cdpu_corpus::CorpusKind::MarkovText,
+    ];
+    let per = total / kinds.len();
+    let mut data = Vec::with_capacity(total);
+    for (i, &kind) in kinds.iter().enumerate() {
+        let len = if i == kinds.len() - 1 { total - data.len() } else { per };
+        data.extend_from_slice(&cdpu_corpus::generate(kind, len, mix64(scale.seed ^ TAG_CHUNKED ^ i as u64)));
+    }
+    data
+}
+
+/// Chunk-size sweep: ratio tax and modeled lane speedup per chunk size,
+/// plus the parallel-vs-serial decode parity line.
+fn chunk_size_table(scale: Scale) -> String {
+    let data = sweep_payload(scale);
+    let plain = cdpu_lite::lz4::compress(&data);
+    let model_call = CallRecord {
+        op: AlgoOp::new(Algorithm::Snappy, Direction::Decompress),
+        uncompressed_bytes: data.len() as u64,
+        level: None,
+        window_log: None,
+        caller: "chunked-figure",
+    };
+    let (params, mem) = (CdpuParams::default(), MemParams::default());
+
+    let mut parity_ok = 0usize;
+    let rows: Vec<Vec<String>> = CHUNK_KIB
+        .iter()
+        .map(|&kib| {
+            let chunk_bytes = (kib * 1024) as usize;
+            let framed = chunk::compress_frame_lz4(&data, chunk_bytes);
+            let header = frame::parse_header(&framed, chunk::CODEC_LZ4).expect("own frame parses");
+            let fast = chunk::decompress_frame_lz4(&framed).expect("parallel decode");
+            let serial = chunk::decompress_frame_lz4_serial(&framed).expect("serial decode");
+            if fast == data && serial == data {
+                parity_ok += 1;
+            }
+            let loss_pct =
+                (framed.len() as f64 - plain.len() as f64) / plain.len() as f64 * 100.0;
+            let modeled =
+                cdpu_hwsim::chunked::chunked_cycles(&model_call, kib * 1024, 4, &params, &mem);
+            vec![
+                format!("{kib}"),
+                format!("{}", header.chunks.len()),
+                format!("{}", framed.len()),
+                format!("{:.3}", data.len() as f64 / framed.len() as f64),
+                format!("{loss_pct:.2}"),
+                format!("{:.2}", modeled.speedup()),
+            ]
+        })
+        .collect();
+
+    let mut out = render_table(
+        &format!(
+            "Chunked LZ4-class frames: ratio tax vs modeled 4-lane decode speedup \
+             ({} byte payload)",
+            data.len()
+        ),
+        &["chunk KiB", "chunks", "frame bytes", "ratio", "loss% vs plain", "modeled speedup x4"],
+        &rows,
+    );
+    out.push_str(&format!(
+        "plain lz4 stream: {} bytes (ratio {:.3})\n\
+         parallel/serial frame decode bit-identical: {}/{} chunk sizes\n",
+        plain.len(),
+        data.len() as f64 / plain.len() as f64,
+        parity_ok,
+        CHUNK_KIB.len(),
+    ));
+    out
+}
+
+/// Serving-tier intra-call axis: a fixed silicon budget of
+/// [`LANE_BUDGET`] decode lanes split as instances x lanes-per-instance,
+/// from eight single-lane instances to one eight-lane instance, under a
+/// large-call Snappy-decompress tenant. More lanes per instance shrink
+/// per-call service time (chunked decode) but leave fewer queue servers.
+fn serve_axis_table(scale: Scale) -> String {
+    const SPLITS: [(u32, u32); 4] = [(8, 1), (4, 2), (2, 4), (1, 8)];
+    const LOADS: [f64; 2] = [0.6, 0.9];
+    let calls = (scale.files_per_suite as u64).max(1) * 250;
+    let points: Vec<(u32, u32, f64)> = SPLITS
+        .iter()
+        .flat_map(|&(inst, lanes)| LOADS.iter().map(move |&rho| (inst, lanes, rho)))
+        .collect();
+    let rows = cdpu_par::par_map(&points, |&(inst, lanes, rho)| {
+        let mut cfg = ServeConfig::new(vec![TenantSpec {
+            name: "large-d".into(),
+            weight: 1.0,
+            mix: CallMix::Fixed {
+                op: AlgoOp::new(Algorithm::Snappy, Direction::Decompress),
+                bytes: 1 << 20,
+                level: None,
+            },
+        }]);
+        cfg.seed = mix64(scale.seed ^ TAG_CHUNKED);
+        cfg.total_calls = calls;
+        cfg.offered_load = rho;
+        cfg.instances = inst;
+        if lanes > 1 {
+            cfg.chunked = Some(ChunkedPolicy {
+                threshold_bytes: 256 * 1024,
+                chunk_bytes: 64 * 1024,
+                workers: lanes,
+            });
+        }
+        let r = sim::run(&cfg);
+        vec![
+            format!("{inst}"),
+            format!("{lanes}"),
+            format!("{rho:.2}"),
+            format!("{:.1}", r.mean_service_ns / 1000.0),
+            format!("{:.1}", r.wait.p99_ns / 1000.0),
+            format!("{:.1}", r.total.p99_ns / 1000.0),
+            format!("{:.3}", r.utilization),
+        ]
+    });
+    render_table(
+        &format!(
+            "Serving tier: intra-call parallelism at fixed silicon \
+             (W = {LANE_BUDGET} lanes, 1 MiB Snappy-D calls, 64 KiB chunks)"
+        ),
+        &["instances", "lanes", "rho", "E[svc] us", "p99 wait us", "p99 sojourn us", "util"],
+        &rows,
+    )
+}
+
+/// The `figures chunked` report: both tables.
+pub fn chunked(scale: Scale) -> String {
+    format!("{}\n{}", chunk_size_table(scale), serve_axis_table(scale))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunked_figures_render_and_are_deterministic() {
+        let scale = Scale::tiny();
+        let a = chunked(scale);
+        let b = chunked(scale);
+        assert_eq!(a, b, "chunked figure must be deterministic");
+        assert!(a.contains("loss% vs plain"));
+        assert!(a.contains(&format!(
+            "parallel/serial frame decode bit-identical: {n}/{n} chunk sizes",
+            n = CHUNK_KIB.len()
+        )));
+        assert!(a.contains("intra-call parallelism"));
+        // 4 splits x 2 loads = 8 data rows in the serve table.
+        let serve_rows = a
+            .lines()
+            .filter(|l| l.trim_start().starts_with(['8', '4', '2', '1']) && l.contains("0."))
+            .count();
+        assert!(serve_rows >= 8, "expected 8 serve sweep rows, saw {serve_rows}");
+    }
+}

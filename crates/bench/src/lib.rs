@@ -18,6 +18,7 @@
 //! paper scale.
 
 pub mod ablations;
+pub mod chunked_figures;
 pub mod cli;
 pub mod dse_figures;
 pub mod entropy_figures;

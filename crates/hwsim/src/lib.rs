@@ -36,6 +36,7 @@
 
 pub mod area;
 pub mod chaining;
+pub mod chunked;
 pub mod comp;
 pub mod decomp;
 pub mod params;

@@ -1,11 +1,14 @@
-//! Lightweight codecs: LZO-class and Gipfeli-class.
+//! Lightweight codecs: LZO-class, LZ4-class and Gipfeli-class.
 //!
-//! These complete the paper's six-algorithm taxonomy (Section 2.2). Both
-//! are "LZ77-inspired" fast codecs:
+//! These complete the paper's six-algorithm taxonomy (Section 2.2) and its
+//! throughput-regime extension. All are "LZ77-inspired" fast codecs:
 //!
 //! - [`lzo`]: byte-oriented dictionary coding with **no entropy coding**
 //!   and a level knob that trades hash-table effort for ratio — the shape
 //!   of LZO's design point.
+//! - [`lz4`]: the decode-throughput design point — one token byte carries
+//!   both the literal-run and match lengths (a nibble each), the format
+//!   chunked frames wrap for data-parallel decompression.
 //! - [`gipfeli`]: dictionary coding plus *simple entropy coding* — a
 //!   fixed-layout 6/9-bit literal code built from a first-pass histogram
 //!   (no Huffman tree, no per-block table search), which is exactly
@@ -16,6 +19,7 @@
 //! is); the algorithmic structure is what the taxonomy needs.
 
 pub mod gipfeli;
+pub mod lz4;
 pub mod lzo;
 pub mod reference;
 
@@ -32,5 +36,11 @@ mod tests {
         assert!(gip < snappy, "gipfeli {gip} should beat snappy {snappy} on text");
         let lzo_gap = (lzo as f64 / snappy as f64 - 1.0).abs();
         assert!(lzo_gap < 0.25, "lzo {lzo} should track snappy {snappy}");
+        // LZ4 pays a flat 3 bytes per match (token + 16-bit offset), so it
+        // trails Snappy/LZO on match-dense text — the real codec's profile.
+        // It must still land in the same family, not a different regime.
+        let lz4 = crate::lz4::compress(&data).len();
+        let lz4_gap = (lz4 as f64 / snappy as f64 - 1.0).abs();
+        assert!(lz4_gap < 0.40, "lz4 {lz4} should stay near snappy {snappy}");
     }
 }

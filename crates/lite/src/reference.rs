@@ -94,6 +94,80 @@ pub mod lzo {
     }
 }
 
+/// Seed LZ4-class decoder.
+pub mod lz4 {
+    use cdpu_lz77::reference::apply_copy;
+    use cdpu_util::varint;
+
+    use crate::lz4::Lz4Error;
+
+    /// The original (seed) LZ4-class decoder.
+    ///
+    /// # Errors
+    ///
+    /// Any [`Lz4Error`], identically to [`crate::lz4::decompress`].
+    pub fn decompress(input: &[u8]) -> Result<Vec<u8>, Lz4Error> {
+        let (expected, mut pos) = varint::read_u64(input).map_err(|_| Lz4Error::BadPreamble)?;
+        let mut out = Vec::with_capacity((expected as usize).min(1 << 20));
+        while pos < input.len() {
+            let token = input[pos];
+            pos += 1;
+            // Literal run, varint-extended past a full nibble.
+            let mut ll = (token >> 4) as u64;
+            if ll == 15 {
+                let (ext, used) =
+                    varint::read_u64(&input[pos..]).map_err(|_| Lz4Error::Truncated)?;
+                pos += used;
+                ll += ext;
+            }
+            let lits = ll as usize;
+            if pos + lits > input.len() {
+                return Err(Lz4Error::Truncated);
+            }
+            out.extend_from_slice(&input[pos..pos + lits]);
+            pos += lits;
+            if out.len() as u64 > expected {
+                return Err(Lz4Error::LengthMismatch {
+                    expected,
+                    actual: out.len() as u64,
+                });
+            }
+            if pos == input.len() {
+                // Final literals-only sequence: no offset follows.
+                break;
+            }
+            if pos + 2 > input.len() {
+                return Err(Lz4Error::Truncated);
+            }
+            let offset = u16::from_le_bytes([input[pos], input[pos + 1]]) as u32;
+            pos += 2;
+            let mut n = (token & 0x0F) as u64;
+            if n == 15 {
+                let (ext, used) =
+                    varint::read_u64(&input[pos..]).map_err(|_| Lz4Error::Truncated)?;
+                pos += used;
+                n += ext;
+            }
+            // Guard before copying: a hostile length must not balloon the
+            // output past the declared size.
+            if n + 4 > expected.saturating_sub(out.len() as u64) {
+                return Err(Lz4Error::LengthMismatch {
+                    expected,
+                    actual: out.len() as u64 + n + 4,
+                });
+            }
+            apply_copy(&mut out, offset, n as u32 + 4).map_err(|_| Lz4Error::BadOffset)?;
+        }
+        if out.len() as u64 != expected {
+            return Err(Lz4Error::LengthMismatch {
+                expected,
+                actual: out.len() as u64,
+            });
+        }
+        Ok(out)
+    }
+}
+
 /// Seed Gipfeli-class decoder.
 pub mod gipfeli {
     use cdpu_lz77::reference::apply_copy;

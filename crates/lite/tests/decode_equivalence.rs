@@ -1,11 +1,12 @@
-//! Pins the fast LZO-class and Gipfeli-class decoders to the retained
-//! seed decoders: identical output bytes on every valid stream, identical
-//! error variants on every hostile one, and `decompress_into`
+//! Pins the fast LZO-class, LZ4-class and Gipfeli-class decoders to the
+//! retained seed decoders: identical output bytes on every valid stream,
+//! identical error variants on every hostile one, and `decompress_into`
 //! bit-identical to `decompress`.
 
 use cdpu_corpus::CorpusKind;
+use cdpu_lite::lz4::Lz4Error;
 use cdpu_lite::lzo::LzoError;
-use cdpu_lite::{gipfeli, lzo, reference};
+use cdpu_lite::{gipfeli, lz4, lzo, reference};
 use cdpu_lz77::window::DecoderScratch;
 use cdpu_util::rng::Xoshiro256;
 
@@ -39,6 +40,20 @@ fn lzo_fast_decoder_matches_reference() {
         assert_eq!(fast, slow);
         assert_eq!(fast, data);
         let into = lzo::decompress_into(&c, &mut scratch).expect("valid stream");
+        assert_eq!(into, &data[..]);
+    }
+}
+
+#[test]
+fn lz4_fast_decoder_matches_reference() {
+    let mut scratch = DecoderScratch::new();
+    for data in corpora(81) {
+        let c = lz4::compress(&data);
+        let fast = lz4::decompress(&c).expect("valid stream");
+        let slow = reference::lz4::decompress(&c).expect("valid stream");
+        assert_eq!(fast, slow);
+        assert_eq!(fast, data);
+        let into = lz4::decompress_into(&c, &mut scratch).expect("valid stream");
         assert_eq!(into, &data[..]);
     }
 }
@@ -80,6 +95,35 @@ fn lzo_truncation_and_bitflip_parity() {
             assert_eq!(
                 lzo::decompress(&bad),
                 reference::lzo::decompress(&bad),
+                "flip at {i}"
+            );
+        }
+    }
+}
+
+#[test]
+fn lz4_truncation_and_bitflip_parity() {
+    let mut rng = Xoshiro256::seed_from(82);
+    for data in corpora(83).into_iter().step_by(4) {
+        let c = lz4::compress(&data);
+        if c.is_empty() {
+            continue;
+        }
+        for _ in 0..25 {
+            let cut = rng.index(c.len());
+            assert_eq!(
+                lz4::decompress(&c[..cut]),
+                reference::lz4::decompress(&c[..cut]),
+                "cut {cut}"
+            );
+        }
+        for _ in 0..30 {
+            let mut bad = c.clone();
+            let i = rng.index(bad.len());
+            bad[i] ^= 1 << rng.index(8);
+            assert_eq!(
+                lz4::decompress(&bad),
+                reference::lz4::decompress(&bad),
                 "flip at {i}"
             );
         }
@@ -129,6 +173,44 @@ fn window_boundary_offset_roundtrips() {
         reference::gipfeli::decompress(&g).expect("reference gipfeli"),
         data
     );
+    // LZ4 shares the LZO level-3 matcher config, so the same corpus
+    // exercises its offset-65536 demotion.
+    let l = lz4::compress(&data);
+    assert_eq!(lz4::decompress(&l).expect("fast lz4"), data);
+    assert_eq!(reference::lz4::decompress(&l).expect("reference lz4"), data);
+}
+
+#[test]
+fn lz4_hostile_streams_same_error_variant() {
+    // Preamble 8, token 0 lits/len-4 match, offset 9 before any output.
+    let far_offset = [0x08u8, 0x00, 0x09, 0x00];
+    // Preamble 8, same match with offset 0.
+    let zero_offset = [0x08u8, 0x00, 0x00, 0x00];
+    // Preamble 4, 4 literals "abcd", then a match overrunning the promise.
+    let overrun = [0x04u8, 0x42, b'a', b'b', b'c', b'd', 0x01, 0x00];
+    // Token promising a match but stream ends inside the offset.
+    let cut_offset = [0x08u8, 0x10, b'x', 0x01];
+    // Literal nibble 15 with a truncated varint extension.
+    let cut_lit_ext = [0x08u8, 0xF0, 0xFF];
+    for hostile in [
+        &far_offset[..],
+        &zero_offset[..],
+        &overrun[..],
+        &cut_offset[..],
+        &cut_lit_ext[..],
+    ] {
+        let fast = lz4::decompress(hostile);
+        let slow = reference::lz4::decompress(hostile);
+        assert!(fast.is_err(), "hostile stream accepted: {hostile:?}");
+        assert_eq!(fast, slow, "variant mismatch on {hostile:?}");
+    }
+    assert_eq!(lz4::decompress(&zero_offset).unwrap_err(), Lz4Error::BadOffset);
+    // The overrun stream must fail on the pre-copy room check, not offset.
+    assert!(matches!(
+        lz4::decompress(&overrun).unwrap_err(),
+        Lz4Error::LengthMismatch { .. }
+    ));
+    assert_eq!(lz4::decompress(&cut_offset).unwrap_err(), Lz4Error::Truncated);
 }
 
 #[test]

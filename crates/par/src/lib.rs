@@ -172,6 +172,80 @@ where
     par_map_indexed(items.len(), |i| f(&items[i]))
 }
 
+/// Applies `f` to every element of a mutable slice across the pool.
+///
+/// Unlike [`par_map`], which is read-only over its input, this is the
+/// disjoint-write shape: each element is visited by exactly one worker,
+/// so `f` may freely mutate it (e.g. decode a compressed chunk into the
+/// `&mut [u8]` output slice it carries). Elements are partitioned into
+/// contiguous runs, one per worker — chunk work in this codebase is
+/// size-balanced by construction, so static partitioning beats the
+/// stealing counter's coordination cost here. Runs inline under the same
+/// conditions as [`par_map_indexed`] (≤1 worker or nested too deep).
+///
+/// # Panics
+///
+/// Rethrows the first panic observed in any worker (after all workers
+/// have stopped).
+pub fn par_for_each_mut<T, F>(items: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(&mut T) + Sync,
+{
+    let depth = nest_depth();
+    let workers = threads().min(items.len());
+    if workers <= 1 || depth >= MAX_NEST_DEPTH {
+        for item in items.iter_mut() {
+            f(item);
+        }
+        return;
+    }
+
+    // Split into `workers` contiguous runs, the first `rem` runs one
+    // element longer, so run lengths differ by at most one.
+    let len = items.len();
+    let base = len / workers;
+    let rem = len % workers;
+    let mut parts: Vec<&mut [T]> = Vec::with_capacity(workers);
+    let mut rest = items;
+    for w in 0..workers {
+        let take = base + usize::from(w < rem);
+        let (head, tail) = rest.split_at_mut(take);
+        parts.push(head);
+        rest = tail;
+    }
+
+    std::thread::scope(|s| {
+        let mut iter = parts.into_iter();
+        let own = iter.next().expect("workers >= 1");
+        let handles: Vec<_> = iter
+            .map(|part| {
+                s.spawn(|| {
+                    DEPTH.with(|d| d.set(depth + 1));
+                    for item in part {
+                        f(item);
+                    }
+                })
+            })
+            .collect();
+        {
+            let _g = DepthGuard::enter(depth + 1);
+            for item in own {
+                f(item);
+            }
+        }
+        let mut panic_payload = None;
+        for h in handles {
+            if let Err(payload) = h.join() {
+                panic_payload = panic_payload.or(Some(payload));
+            }
+        }
+        if let Some(p) = panic_payload {
+            resume_unwind(p);
+        }
+    });
+}
+
 /// Restores the calling thread's nesting depth even if the worker body
 /// panics (the caller doubles as a worker and must not stay marked).
 struct DepthGuard {
@@ -286,6 +360,48 @@ mod tests {
         });
         set_threads(0);
         assert_eq!(out, vec![14, 15, 16, 17]);
+    }
+
+    #[test]
+    fn for_each_mut_visits_every_element_once() {
+        let mut items: Vec<u64> = (0..257).collect();
+        par_for_each_mut(&mut items, |x| *x = *x * *x + 1);
+        let want: Vec<u64> = (0..257).map(|x: u64| x * x + 1).collect();
+        assert_eq!(items, want);
+        // Empty and single-element inputs run inline without spawning.
+        let mut none: Vec<u64> = Vec::new();
+        par_for_each_mut(&mut none, |_| unreachable!("no items"));
+        let mut one = [41u64];
+        par_for_each_mut(&mut one, |x| *x += 1);
+        assert_eq!(one, [42]);
+    }
+
+    #[test]
+    fn for_each_mut_panic_propagates() {
+        let mut items: Vec<usize> = (0..64).collect();
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            par_for_each_mut(&mut items, |x| {
+                if *x == 13 {
+                    panic!("unlucky");
+                }
+            });
+        }));
+        assert!(r.is_err());
+        assert_eq!(nest_depth(), 0, "depth restored after panic");
+    }
+
+    #[test]
+    fn for_each_mut_matches_serial_under_nesting() {
+        let _g = override_lock();
+        set_threads(4);
+        let mut outer: Vec<Vec<u32>> = (0..8).map(|i| vec![i; 16]).collect();
+        par_for_each_mut(&mut outer, |row| {
+            par_for_each_mut(row, |v| *v += 1);
+        });
+        set_threads(0);
+        for (i, row) in outer.iter().enumerate() {
+            assert!(row.iter().all(|&v| v == i as u32 + 1));
+        }
     }
 
     #[test]

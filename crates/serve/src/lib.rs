@@ -51,6 +51,7 @@
 pub mod admission;
 pub mod arrivals;
 pub mod batch;
+pub mod chunk;
 pub mod engine;
 pub mod event;
 pub mod obs;
@@ -66,7 +67,7 @@ pub use engine::{EngineConfig, ServedReport, ServedTenant, Timing};
 pub use obs::{ObsConfig, ObsReport, SloSpec};
 pub use report::{ServeReport, SizeBin, TenantReport};
 pub use scheduler::SchedKind;
-pub use sim::{analytic_price_ps, offload_overhead_ps, ServeConfig};
+pub use sim::{analytic_price_ps, offload_overhead_ps, ChunkedPolicy, ServeConfig};
 pub use tenants::{CallMix, TenantSpec};
 pub use workload::Workload;
 

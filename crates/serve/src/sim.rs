@@ -57,6 +57,23 @@ pub fn analytic_price_ps(
         + offload_overhead_ps(params.placement)
 }
 
+/// Intra-call data parallelism for large decompression calls: each CDPU
+/// instance carries `workers` parallel decode lanes, and a decompress call
+/// at or above the threshold executes as a chunked frame across them
+/// (priced by [`cdpu_hwsim::chunked`]). The call still occupies one
+/// instance slot — lanes are inside the instance — so raising `workers`
+/// at fixed silicon means fewer instances: the intra-call-parallelism vs
+/// queueing-delay trade the chunked figures sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChunkedPolicy {
+    /// Decompress calls at or above this uncompressed size run chunked.
+    pub threshold_bytes: u64,
+    /// Uncompressed bytes per chunk.
+    pub chunk_bytes: u64,
+    /// Parallel decode lanes per instance.
+    pub workers: u32,
+}
+
 /// Configuration of one serving-tier simulation.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServeConfig {
@@ -83,6 +100,9 @@ pub struct ServeConfig {
     /// Collect time-resolved observability (windowed tenant timelines,
     /// SLO burn rates, slow-call exemplars) into `ServeReport::obs`.
     pub obs: Option<ObsConfig>,
+    /// Chunked-frame decode for large calls (None = every call serial,
+    /// today's behavior).
+    pub chunked: Option<ChunkedPolicy>,
 }
 
 impl ServeConfig {
@@ -100,6 +120,7 @@ impl ServeConfig {
             offered_load: 0.7,
             record_events: false,
             obs: None,
+            chunked: None,
         }
     }
 
@@ -109,8 +130,25 @@ impl ServeConfig {
     }
 
     /// Prices one sampled call: accelerator residency plus the
-    /// per-invocation offload overhead of the placement.
+    /// per-invocation offload overhead of the placement. Large decompress
+    /// calls under a [`ChunkedPolicy`] are priced at the chunked-frame
+    /// makespan across the instance's lanes instead of the serial pipeline.
     fn price_ps(&self, call: &cdpu_fleet::CallRecord) -> u64 {
+        if let Some(pol) = self.chunked {
+            if call.op.dir == cdpu_fleet::Direction::Decompress
+                && call.uncompressed_bytes >= pol.threshold_bytes
+            {
+                let r = cdpu_hwsim::chunked::chunked_cycles(
+                    call,
+                    pol.chunk_bytes,
+                    pol.workers,
+                    &self.params,
+                    &self.mem,
+                );
+                return cycles_to_ps(r.chunked_cycles, self.mem.freq_ghz)
+                    + offload_overhead_ps(self.params.placement);
+            }
+        }
         analytic_price_ps(call, &self.params, &self.mem)
     }
 

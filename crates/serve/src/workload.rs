@@ -47,6 +47,18 @@ const ZSTD_BUCKETS: [i32; 3] = [1, 3, 9];
 /// explicit level (zlib's default).
 const FLATE_LEVEL: u32 = 6;
 
+/// Chunked-frame execution for large decompression calls: ladder payloads
+/// at or above the threshold are stored as chunked frames (see
+/// [`crate::chunk`]) and decoded with chunk parallelism across the
+/// `cdpu-par` pool on the shard that runs the call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkedDecode {
+    /// Decompress calls at or above this ladder size execute chunked.
+    pub threshold_bytes: u64,
+    /// Uncompressed bytes per chunk.
+    pub chunk_bytes: u64,
+}
+
 /// How the serving engine generates call payloads.
 #[derive(Debug, Clone)]
 pub struct WorkloadConfig {
@@ -56,6 +68,9 @@ pub struct WorkloadConfig {
     pub tape_bytes: usize,
     /// Calls larger than this clamp down to it (must be ≤ half the tape).
     pub max_call_bytes: u64,
+    /// Chunked decode for large calls (None = every call serial, today's
+    /// behavior; decoded bytes are identical either way).
+    pub chunked: Option<ChunkedDecode>,
 }
 
 impl Default for WorkloadConfig {
@@ -64,6 +79,7 @@ impl Default for WorkloadConfig {
             seed: 0xC0FFEE,
             tape_bytes: 2 << 20,
             max_call_bytes: 512 * 1024,
+            chunked: None,
         }
     }
 }
@@ -75,6 +91,7 @@ impl WorkloadConfig {
             seed: 0xC0FFEE,
             tape_bytes: 512 * 1024,
             max_call_bytes: 64 * 1024,
+            chunked: None,
         }
     }
 }
@@ -112,6 +129,7 @@ type LadderKey = (Algorithm, i32, u32);
 pub struct Workload {
     tape: Vec<u8>,
     max_call_bytes: u64,
+    chunked: Option<ChunkedDecode>,
     ladder: Mutex<HashMap<LadderKey, Arc<Vec<u8>>>>,
 }
 
@@ -141,6 +159,7 @@ impl Workload {
         Workload {
             tape,
             max_call_bytes: max_call,
+            chunked: cfg.chunked,
             ladder: Mutex::new(HashMap::new()),
         }
     }
@@ -204,7 +223,20 @@ impl Workload {
     fn execute_decompress(&self, call: &EngineCall, scratch: &mut DecoderScratch) -> ExecOutcome {
         let bytes = self.clamp_bytes(call.bytes);
         let algo = call.op.algo;
-        let payload = self.ladder_payload(algo, zstd_bucket(call.level), step_of(bytes));
+        let step = step_of(bytes);
+        let payload = self.ladder_payload(algo, zstd_bucket(call.level), step);
+        if self.chunked_for(step).is_some() {
+            // The ladder stored this step as a chunked frame; decode its
+            // chunks in parallel on the shard's pool workers. Decoded
+            // bytes (and so the fold) are identical to the serial path.
+            let out = crate::chunk::decompress_frame(ladder_algo(algo), &payload)
+                .expect("ladder frame is self-compressed");
+            return ExecOutcome {
+                uncompressed_bytes: out.len() as u64,
+                compressed_bytes: payload.len() as u64,
+                check: fold(&out),
+            };
+        }
         let out = match algo {
             Algorithm::Snappy => cdpu_snappy::decompress_into(&payload, scratch)
                 .expect("ladder payload is self-compressed"),
@@ -222,6 +254,16 @@ impl Workload {
             compressed_bytes: payload.len() as u64,
             check: fold(out),
         }
+    }
+
+    /// The chunked policy that applies to a ladder step's payload, if any:
+    /// chunking is on and the step's decompressed size (after the ladder's
+    /// own clamping) reaches the threshold. Both the ladder builder and
+    /// the decode path use this, so they always agree on the stored format.
+    fn chunked_for(&self, step: u32) -> Option<ChunkedDecode> {
+        let step = step.min(step_of(self.max_call_bytes));
+        let size = step_bytes(step).min(self.max_call_bytes);
+        self.chunked.filter(|c| size >= c.threshold_bytes)
     }
 
     /// An exact-length window into the tape at a salt-hashed offset.
@@ -249,17 +291,23 @@ impl Workload {
             0x4C41_4444_4552 ^ ((key.0 as u64) << 40) ^ ((level as u64 & 0xFF) << 32) ^ step as u64,
         );
         let input = self.tape_window(salt, size);
-        let built = match key.0 {
-            Algorithm::Snappy => cdpu_snappy::compress(input),
-            Algorithm::Zstd => {
-                cdpu_zstd::compress_with(input, &cdpu_zstd::ZstdConfig::with_level(level))
+        let built = if let Some(pol) = self.chunked_for(step) {
+            // Large step: store a chunked frame so decode can parallelize.
+            crate::chunk::compress_frame(key.0, level, input, pol.chunk_bytes.max(1) as usize)
+        } else {
+            match key.0 {
+                Algorithm::Snappy => cdpu_snappy::compress(input),
+                Algorithm::Zstd => {
+                    cdpu_zstd::compress_with(input, &cdpu_zstd::ZstdConfig::with_level(level))
+                }
+                Algorithm::Flate => cdpu_flate::compress_with(
+                    input,
+                    &cdpu_flate::FlateConfig::with_level(FLATE_LEVEL),
+                ),
+                Algorithm::Gipfeli => cdpu_lite::gipfeli::compress(input),
+                Algorithm::Lzo => cdpu_lite::lzo::compress(input),
+                Algorithm::Brotli => unreachable!("mapped to Flate by ladder_algo"),
             }
-            Algorithm::Flate => {
-                cdpu_flate::compress_with(input, &cdpu_flate::FlateConfig::with_level(FLATE_LEVEL))
-            }
-            Algorithm::Gipfeli => cdpu_lite::gipfeli::compress(input),
-            Algorithm::Lzo => cdpu_lite::lzo::compress(input),
-            Algorithm::Brotli => unreachable!("mapped to Flate by ladder_algo"),
         };
         let arc = Arc::new(built);
         let mut guard = self.ladder.lock().unwrap_or_else(|e| e.into_inner());
@@ -333,6 +381,19 @@ mod tests {
             seed: 7,
             tape_bytes: 128 * 1024,
             max_call_bytes: 32 * 1024,
+            chunked: None,
+        })
+    }
+
+    fn chunked_workload() -> Workload {
+        Workload::build(&WorkloadConfig {
+            seed: 7,
+            tape_bytes: 128 * 1024,
+            max_call_bytes: 32 * 1024,
+            chunked: Some(ChunkedDecode {
+                threshold_bytes: 16 * 1024,
+                chunk_bytes: 8 * 1024,
+            }),
         })
     }
 
@@ -410,6 +471,49 @@ mod tests {
         let c = call(Algorithm::Lzo, Direction::Compress, 1 << 30, None);
         let out = wl.execute(&c, &mut scratch);
         assert_eq!(out.uncompressed_bytes, wl.max_call_bytes());
+    }
+
+    #[test]
+    fn chunked_decode_produces_identical_bytes() {
+        let plain = tiny_workload();
+        let chunked = chunked_workload();
+        let mut scratch = DecoderScratch::new();
+        for algo in Algorithm::ALL {
+            // Above the threshold: the chunked workload decodes a frame;
+            // the decoded bytes (and fold) must match the serial workload.
+            let big = call(algo, Direction::Decompress, 32 * 1024, Some(3));
+            let a = plain.execute(&big, &mut scratch);
+            let b = chunked.execute(&big, &mut scratch);
+            assert_eq!(a.uncompressed_bytes, b.uncompressed_bytes, "{algo:?}");
+            assert_eq!(a.check, b.check, "{algo:?} fold diverged");
+            // The frame wraps per-chunk kernel streams plus a small
+            // header; sizes stay near the plain stream in both directions
+            // (smaller chunks can even win where per-chunk entropy tables
+            // adapt better, as with Flate).
+            let (lo, hi) = (a.compressed_bytes.min(b.compressed_bytes),
+                            a.compressed_bytes.max(b.compressed_bytes));
+            assert!(
+                hi <= lo + lo / 4 + 256,
+                "{algo:?} chunking cost implausible: {} vs {}",
+                b.compressed_bytes,
+                a.compressed_bytes
+            );
+            // Below the threshold: identical payloads, identical outcomes.
+            let small = call(algo, Direction::Decompress, 4 * 1024, Some(3));
+            assert_eq!(
+                plain.execute(&small, &mut scratch),
+                chunked.execute(&small, &mut scratch),
+                "{algo:?} small call must be untouched by chunking"
+            );
+        }
+    }
+
+    #[test]
+    fn chunked_decode_is_deterministic() {
+        let wl = chunked_workload();
+        let mut scratch = DecoderScratch::new();
+        let c = call(Algorithm::Snappy, Direction::Decompress, 32 * 1024, None);
+        assert_eq!(wl.execute(&c, &mut scratch), wl.execute(&c, &mut scratch));
     }
 
     #[test]

@@ -1,0 +1,77 @@
+//! LZ4-class `decompress_into` coverage across the serving tier's
+//! quarter-octave decode ladder: every payload size the workload's ladder
+//! can hand a shard must decode correctly through the scratch fast path,
+//! and the hostile variants (undersized promise, empty input) must fail
+//! with the same variants as the allocating path and the reference twin.
+
+use cdpu_lite::lz4::{self, Lz4Error};
+use cdpu_lite::reference;
+use cdpu_lz77::window::DecoderScratch;
+use cdpu_serve::workload::{step_bytes, step_of, MIN_CALL_BYTES};
+
+/// Ladder steps from the smallest executable call up past the default
+/// serve-tier call cap (512 KiB), inclusive.
+fn ladder_steps() -> Vec<u32> {
+    (step_of(MIN_CALL_BYTES)..=step_of(512 * 1024)).collect()
+}
+
+fn ladder_input(step: u32) -> Vec<u8> {
+    let len = step_bytes(step) as usize;
+    cdpu_corpus::generate(cdpu_corpus::CorpusKind::ProtoRecords, len, 0x4C5A_3400 + step as u64)
+}
+
+#[test]
+fn exact_size_roundtrip_at_every_ladder_step() {
+    let mut scratch = DecoderScratch::new();
+    for step in ladder_steps() {
+        let data = ladder_input(step);
+        let c = lz4::compress(&data);
+        let out = lz4::decompress_into(&c, &mut scratch).expect("ladder stream decodes");
+        assert_eq!(out.len() as u64, step_bytes(step), "step {step}");
+        assert_eq!(out, &data[..], "step {step}");
+        // Scratch reuse across steps must not leak previous contents.
+        assert_eq!(
+            reference::lz4::decompress(&c).expect("reference decodes"),
+            data,
+            "step {step}"
+        );
+    }
+}
+
+#[test]
+fn undersized_promise_fails_identically_at_every_ladder_step() {
+    // Rewrite the preamble to promise one byte less than the stream
+    // produces: the decoder must reject with LengthMismatch, never return
+    // a short buffer, and the scratch path must agree with the allocating
+    // and reference paths.
+    let mut scratch = DecoderScratch::new();
+    for step in ladder_steps().into_iter().step_by(3) {
+        let data = ladder_input(step);
+        let c = lz4::compress(&data);
+        let (len, used) = cdpu_util::varint::read_u64(&c).expect("preamble");
+        let mut bad = Vec::with_capacity(c.len());
+        cdpu_util::varint::write_u64(&mut bad, len - 1);
+        bad.extend_from_slice(&c[used..]);
+        let into = lz4::decompress_into(&bad, &mut scratch).map(<[u8]>::to_vec);
+        let alloc = lz4::decompress(&bad);
+        let slow = reference::lz4::decompress(&bad);
+        assert!(matches!(into, Err(Lz4Error::LengthMismatch { .. })), "step {step}");
+        assert_eq!(into, alloc, "step {step}");
+        assert_eq!(into, slow, "step {step}");
+    }
+}
+
+#[test]
+fn empty_input_and_empty_payload() {
+    let mut scratch = DecoderScratch::new();
+    // No bytes at all: not even a preamble.
+    assert_eq!(
+        lz4::decompress_into(&[], &mut scratch).unwrap_err(),
+        Lz4Error::BadPreamble
+    );
+    assert_eq!(reference::lz4::decompress(&[]).unwrap_err(), Lz4Error::BadPreamble);
+    // A legitimate empty payload (preamble 0, no tokens) decodes to "".
+    let c = lz4::compress(b"");
+    let out = lz4::decompress_into(&c, &mut scratch).expect("empty stream decodes");
+    assert!(out.is_empty());
+}

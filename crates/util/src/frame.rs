@@ -1,0 +1,557 @@
+//! Codec-generic chunked frame container for intra-call data parallelism.
+//!
+//! Large calls run serially through one matcher/entropy pipeline unless the
+//! stream itself exposes parallelism. This module frames an input as
+//! fixed-size chunks, each compressed *independently* by the wrapped codec,
+//! with a length-prefixed chunk table up front — the software analogue of
+//! CODAG-style parallel-decode placement: any worker can seek straight to
+//! its chunk and decode into a disjoint output slice.
+//!
+//! # Layout
+//!
+//! ```text
+//! +-------+---------+----------+-----------------+-----------+----------+
+//! | MAGIC | VERSION | codec id | varint total    | varint    | varint   |
+//! | 0xCF  |  0x01   |  1 byte  | uncompressed len| chunk len | n chunks |
+//! +-------+---------+----------+-----------------+-----------+----------+
+//! | n x varint compressed chunk length  (the chunk table)              |
+//! +---------------------------------------------------------------------+
+//! | chunk 0 payload | chunk 1 payload | ... | chunk n-1 payload         |
+//! +---------------------------------------------------------------------+
+//! ```
+//!
+//! Every chunk covers exactly `chunk len` uncompressed bytes except the
+//! last, which covers the remainder. A frame whose input fits in one chunk
+//! carries the wrapped codec's stream verbatim as its only payload — the
+//! payload section is bit-identical to compressing without the frame.
+//!
+//! The codec itself is passed in as closures: this crate sits below every
+//! codec crate, so the frame logic stays codec-agnostic and each consumer
+//! (serving tier, benchmarks) binds its own compressors. Header parsing
+//! and validation are shared between the parallel fast path and the serial
+//! reference path, so hostile inputs fail identically on both.
+
+use crate::varint;
+
+/// First byte of every frame.
+pub const MAGIC: u8 = 0xCF;
+/// Second byte; bump on incompatible layout changes.
+pub const VERSION: u8 = 0x01;
+/// Upper bound on the per-chunk uncompressed size a decoder will accept.
+/// Chunk sizes are configuration-chosen (KiB–MiB scale); the cap keeps a
+/// hostile header from demanding an absurd allocation before any chunk
+/// payload has been validated.
+pub const MAX_CHUNK_BYTES: u64 = 1 << 26;
+
+/// Decode-side validation failures. The parallel fast path and the serial
+/// reference path share header parsing, so both return identical variants
+/// for identical hostile inputs (pinned by the error-parity tests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameError {
+    /// First byte is not [`MAGIC`] or the input is empty.
+    BadMagic,
+    /// Unknown [`VERSION`] byte.
+    BadVersion,
+    /// The frame was built for a different codec than the caller expects.
+    WrongCodec { expected: u8, actual: u8 },
+    /// Malformed header: unreadable varint, zero chunk size with a
+    /// non-empty payload, or a chunk size beyond [`MAX_CHUNK_BYTES`].
+    BadHeader,
+    /// The chunk count in the header disagrees with the total/chunk-size
+    /// pair (e.g. a zero-chunk frame declaring uncompressed bytes).
+    BadChunkCount { expected: u64, actual: u64 },
+    /// Input ends inside the chunk table or before the last declared
+    /// chunk's payload.
+    Truncated,
+    /// A chunk-table entry claims more payload bytes than remain — the
+    /// declared chunks would overlap the frame end.
+    OversizedChunk { chunk: u32 },
+    /// Payload bytes remain after the last declared chunk.
+    TrailingBytes { extra: u64 },
+    /// The wrapped codec rejected a chunk's payload, or decoded it to the
+    /// wrong length.
+    ChunkDecode { chunk: u32 },
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::BadMagic => write!(f, "bad frame magic"),
+            FrameError::BadVersion => write!(f, "unsupported frame version"),
+            FrameError::WrongCodec { expected, actual } => {
+                write!(f, "frame codec id {actual} (expected {expected})")
+            }
+            FrameError::BadHeader => write!(f, "malformed frame header"),
+            FrameError::BadChunkCount { expected, actual } => {
+                write!(f, "frame declares {actual} chunks (expected {expected})")
+            }
+            FrameError::Truncated => write!(f, "frame truncated"),
+            FrameError::OversizedChunk { chunk } => {
+                write!(f, "chunk {chunk} length exceeds remaining payload")
+            }
+            FrameError::TrailingBytes { extra } => {
+                write!(f, "{extra} payload bytes beyond the last chunk")
+            }
+            FrameError::ChunkDecode { chunk } => write!(f, "chunk {chunk} failed to decode"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// A validated frame header: where each chunk's payload lives and how many
+/// uncompressed bytes it must decode to.
+#[derive(Debug, Clone)]
+pub struct FrameHeader {
+    /// Total uncompressed length of the framed input.
+    pub total_len: u64,
+    /// Uncompressed bytes per chunk (last chunk may be shorter).
+    pub chunk_len: u64,
+    /// Per chunk: (payload byte offset within the frame, compressed
+    /// length, uncompressed length).
+    pub chunks: Vec<(usize, usize, usize)>,
+}
+
+fn read_varint(frame: &[u8], pos: &mut usize) -> Result<u64, FrameError> {
+    match varint::read_u64(&frame[*pos..]) {
+        Ok((v, n)) => {
+            *pos += n;
+            Ok(v)
+        }
+        Err(varint::VarintError::Truncated) => Err(FrameError::Truncated),
+        Err(varint::VarintError::Overflow) => Err(FrameError::BadHeader),
+    }
+}
+
+/// Parses and fully validates a frame header against `expected_codec`.
+///
+/// On success every chunk's payload span is in bounds, spans are disjoint
+/// and contiguous, and the uncompressed lengths sum to `total_len`.
+///
+/// # Errors
+///
+/// Any [`FrameError`] variant except [`FrameError::ChunkDecode`].
+pub fn parse_header(frame: &[u8], expected_codec: u8) -> Result<FrameHeader, FrameError> {
+    if frame.first() != Some(&MAGIC) {
+        return Err(FrameError::BadMagic);
+    }
+    if frame.len() < 2 {
+        return Err(FrameError::Truncated);
+    }
+    if frame[1] != VERSION {
+        return Err(FrameError::BadVersion);
+    }
+    let actual = *frame.get(2).ok_or(FrameError::Truncated)?;
+    if actual != expected_codec {
+        return Err(FrameError::WrongCodec {
+            expected: expected_codec,
+            actual,
+        });
+    }
+    let mut pos = 3;
+    let total_len = read_varint(frame, &mut pos)?;
+    let chunk_len = read_varint(frame, &mut pos)?;
+    let declared_chunks = read_varint(frame, &mut pos)?;
+    if total_len > 0 && chunk_len == 0 {
+        return Err(FrameError::BadHeader);
+    }
+    if chunk_len.min(total_len) > MAX_CHUNK_BYTES {
+        return Err(FrameError::BadHeader);
+    }
+    let expected_chunks = if total_len == 0 {
+        0
+    } else {
+        total_len.div_ceil(chunk_len)
+    };
+    if declared_chunks != expected_chunks {
+        return Err(FrameError::BadChunkCount {
+            expected: expected_chunks,
+            actual: declared_chunks,
+        });
+    }
+    // Each table entry and each chunk payload is at least one byte, so a
+    // count beyond the remaining input cannot be satisfied — reject before
+    // allocating the table.
+    if declared_chunks > (frame.len() - pos) as u64 {
+        return Err(FrameError::Truncated);
+    }
+    let n = declared_chunks as usize;
+    let mut compressed: Vec<usize> = Vec::with_capacity(n);
+    for _ in 0..n {
+        let clen = read_varint(frame, &mut pos)?;
+        if clen > frame.len() as u64 {
+            return Err(FrameError::BadHeader);
+        }
+        compressed.push(clen as usize);
+    }
+    let mut chunks = Vec::with_capacity(n);
+    let mut offset = pos;
+    let mut remaining_u = total_len;
+    for (i, &clen) in compressed.iter().enumerate() {
+        if clen > frame.len() - offset {
+            return Err(FrameError::OversizedChunk { chunk: i as u32 });
+        }
+        let ulen = remaining_u.min(chunk_len) as usize;
+        chunks.push((offset, clen, ulen));
+        offset += clen;
+        remaining_u -= ulen as u64;
+    }
+    if offset < frame.len() {
+        return Err(FrameError::TrailingBytes {
+            extra: (frame.len() - offset) as u64,
+        });
+    }
+    Ok(FrameHeader {
+        total_len,
+        chunk_len,
+        chunks,
+    })
+}
+
+/// Byte offset of the payload section (first chunk's stream) of a frame
+/// produced by [`compress_with`]. Exposed so tests can pin the
+/// single-chunk bit-identity guarantee.
+pub fn payload_offset(frame: &[u8], expected_codec: u8) -> Result<usize, FrameError> {
+    let header = parse_header(frame, expected_codec)?;
+    Ok(header.chunks.first().map_or(frame.len(), |c| c.0))
+}
+
+/// Frames `data` as independently compressed chunks of `chunk_len`
+/// uncompressed bytes, compressing chunks in parallel across the
+/// `cdpu-par` pool. `compress` must be a pure function of its input.
+///
+/// Deterministic: the output is identical for any worker count.
+///
+/// # Panics
+///
+/// Panics if `chunk_len == 0` or `chunk_len > MAX_CHUNK_BYTES` — chunk
+/// size is a configuration knob, not data.
+pub fn compress_with<F>(data: &[u8], chunk_len: usize, codec: u8, compress: F) -> Vec<u8>
+where
+    F: Fn(&[u8]) -> Vec<u8> + Sync,
+{
+    assert!(chunk_len > 0, "chunk_len must be positive");
+    assert!(
+        chunk_len as u64 <= MAX_CHUNK_BYTES,
+        "chunk_len beyond MAX_CHUNK_BYTES"
+    );
+    let chunks: Vec<&[u8]> = data.chunks(chunk_len).collect();
+    let streams: Vec<Vec<u8>> = cdpu_par::par_map(&chunks, |c| compress(c));
+    let mut out = Vec::with_capacity(16 + streams.iter().map(Vec::len).sum::<usize>());
+    out.push(MAGIC);
+    out.push(VERSION);
+    out.push(codec);
+    varint::write_u64(&mut out, data.len() as u64);
+    varint::write_u64(&mut out, chunk_len as u64);
+    varint::write_u64(&mut out, chunks.len() as u64);
+    for s in &streams {
+        varint::write_u64(&mut out, s.len() as u64);
+    }
+    for s in &streams {
+        out.extend_from_slice(s);
+    }
+    out
+}
+
+/// Decodes a frame, decompressing chunks in parallel into disjoint slices
+/// of the output buffer. `decode` receives one chunk's compressed payload
+/// and its exactly-sized output slice; it must fill the slice completely
+/// and return `true`, or return `false` on any codec error (including a
+/// length mismatch).
+///
+/// Deterministic: output bytes and the reported error (first failing chunk
+/// by index) are identical for any worker count.
+///
+/// # Errors
+///
+/// Any [`FrameError`]; codec failures surface as
+/// [`FrameError::ChunkDecode`] with the lowest failing chunk index.
+pub fn decompress_with<F>(frame: &[u8], expected_codec: u8, decode: F) -> Result<Vec<u8>, FrameError>
+where
+    F: Fn(&[u8], &mut [u8]) -> bool + Sync,
+{
+    let header = parse_header(frame, expected_codec)?;
+    let mut out = vec![0u8; header.total_len as usize];
+    // Pair each chunk's payload with its disjoint output slice.
+    let mut work: Vec<(&[u8], &mut [u8], bool)> = Vec::with_capacity(header.chunks.len());
+    let mut rest: &mut [u8] = &mut out;
+    for &(offset, clen, ulen) in &header.chunks {
+        let (dst, tail) = rest.split_at_mut(ulen);
+        rest = tail;
+        work.push((&frame[offset..offset + clen], dst, false));
+    }
+    cdpu_par::par_for_each_mut(&mut work, |(src, dst, ok)| {
+        *ok = decode(src, dst);
+    });
+    if let Some(i) = work.iter().position(|&(_, _, ok)| !ok) {
+        return Err(FrameError::ChunkDecode { chunk: i as u32 });
+    }
+    Ok(out)
+}
+
+/// Serial reference twin of [`decompress_with`]: same validation, same
+/// errors, one chunk at a time through a plain `decode` returning an owned
+/// buffer (`None` on any codec error). Pinned against the fast path by
+/// the error-parity suites.
+///
+/// # Errors
+///
+/// As [`decompress_with`].
+pub fn decompress_serial_with<F>(
+    frame: &[u8],
+    expected_codec: u8,
+    mut decode: F,
+) -> Result<Vec<u8>, FrameError>
+where
+    F: FnMut(&[u8]) -> Option<Vec<u8>>,
+{
+    let header = parse_header(frame, expected_codec)?;
+    let mut out = Vec::with_capacity(header.total_len as usize);
+    for (i, &(offset, clen, ulen)) in header.chunks.iter().enumerate() {
+        let decoded = decode(&frame[offset..offset + clen])
+            .filter(|d| d.len() == ulen)
+            .ok_or(FrameError::ChunkDecode { chunk: i as u32 })?;
+        out.extend_from_slice(&decoded);
+    }
+    debug_assert_eq!(out.len() as u64, header.total_len);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CODEC: u8 = 7;
+
+    /// Toy self-delimiting codec for exercising the container alone: a
+    /// varint length followed by the bytes XOR 0x5A (so corrupt payloads
+    /// are detectable via the length, and "compressed" != plain bytes).
+    fn toy_compress(data: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(data.len() + 4);
+        varint::write_u64(&mut out, data.len() as u64);
+        out.extend(data.iter().map(|b| b ^ 0x5A));
+        out
+    }
+
+    fn toy_decompress(stream: &[u8]) -> Option<Vec<u8>> {
+        let (len, n) = varint::read_u64(stream).ok()?;
+        let body = &stream[n..];
+        if body.len() as u64 != len {
+            return None;
+        }
+        Some(body.iter().map(|b| b ^ 0x5A).collect())
+    }
+
+    fn toy_decode_into(stream: &[u8], out: &mut [u8]) -> bool {
+        match toy_decompress(stream) {
+            Some(d) if d.len() == out.len() => {
+                out.copy_from_slice(&d);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn sample(len: usize) -> Vec<u8> {
+        (0..len).map(|i| (i * 31 % 251) as u8).collect()
+    }
+
+    fn roundtrip(data: &[u8], chunk_len: usize) {
+        let frame = compress_with(data, chunk_len, CODEC, toy_compress);
+        let fast = decompress_with(&frame, CODEC, toy_decode_into).expect("fast decode");
+        assert_eq!(fast, data);
+        let serial = decompress_serial_with(&frame, CODEC, toy_decompress).expect("serial decode");
+        assert_eq!(serial, data);
+    }
+
+    #[test]
+    fn roundtrip_across_chunk_geometries() {
+        for &len in &[0usize, 1, 63, 64, 65, 1000, 4096, 70_000] {
+            let data = sample(len);
+            for &chunk in &[1usize, 7, 64, 4096, 1 << 20] {
+                roundtrip(&data, chunk);
+            }
+        }
+    }
+
+    #[test]
+    fn single_chunk_payload_is_verbatim_codec_stream() {
+        let data = sample(5000);
+        let frame = compress_with(&data, 1 << 20, CODEC, toy_compress);
+        let off = payload_offset(&frame, CODEC).unwrap();
+        assert_eq!(&frame[off..], &toy_compress(&data)[..]);
+        // Empty input: header only, zero chunks.
+        let empty = compress_with(&[], 64, CODEC, toy_compress);
+        let header = parse_header(&empty, CODEC).unwrap();
+        assert_eq!(header.total_len, 0);
+        assert!(header.chunks.is_empty());
+        assert_eq!(decompress_with(&empty, CODEC, toy_decode_into).unwrap(), b"");
+    }
+
+    #[test]
+    fn header_fields_survive_roundtrip() {
+        let data = sample(10_000);
+        let frame = compress_with(&data, 1024, CODEC, toy_compress);
+        let header = parse_header(&frame, CODEC).unwrap();
+        assert_eq!(header.total_len, 10_000);
+        assert_eq!(header.chunk_len, 1024);
+        assert_eq!(header.chunks.len(), 10);
+        assert_eq!(header.chunks[9].2, 10_000 - 9 * 1024);
+    }
+
+    /// Both decode paths must agree on success bytes or on the exact error.
+    fn assert_parity(frame: &[u8]) {
+        let fast = decompress_with(frame, CODEC, toy_decode_into);
+        let serial = decompress_serial_with(frame, CODEC, toy_decompress);
+        assert_eq!(fast, serial, "fast/reference divergence");
+    }
+
+    #[test]
+    fn truncation_at_every_byte_fails_identically() {
+        let data = sample(3000);
+        let frame = compress_with(&data, 700, CODEC, toy_compress);
+        for cut in 0..frame.len() {
+            let trunc = &frame[..cut];
+            let fast = decompress_with(trunc, CODEC, toy_decode_into);
+            assert!(fast.is_err(), "cut at {cut} must fail");
+            assert_parity(trunc);
+        }
+    }
+
+    #[test]
+    fn hostile_chunk_tables_are_rejected() {
+        let data = sample(3000);
+        let good = compress_with(&data, 700, CODEC, toy_compress);
+
+        // Wrong magic / version / codec.
+        let mut bad = good.clone();
+        bad[0] ^= 1;
+        assert_eq!(
+            decompress_with(&bad, CODEC, toy_decode_into),
+            Err(FrameError::BadMagic)
+        );
+        let mut bad = good.clone();
+        bad[1] = 9;
+        assert_eq!(
+            decompress_with(&bad, CODEC, toy_decode_into),
+            Err(FrameError::BadVersion)
+        );
+        assert_eq!(
+            decompress_with(&good, CODEC + 1, toy_decode_into),
+            Err(FrameError::WrongCodec {
+                expected: CODEC + 1,
+                actual: CODEC
+            })
+        );
+
+        // Zero-chunk frame declaring uncompressed bytes.
+        let mut bad = vec![MAGIC, VERSION, CODEC];
+        varint::write_u64(&mut bad, 100); // total
+        varint::write_u64(&mut bad, 64); // chunk
+        varint::write_u64(&mut bad, 0); // chunks: should be 2
+        assert_eq!(
+            decompress_with(&bad, CODEC, toy_decode_into),
+            Err(FrameError::BadChunkCount {
+                expected: 2,
+                actual: 0
+            })
+        );
+        assert_parity(&bad);
+
+        // Zero chunk size with non-empty payload.
+        let mut bad = vec![MAGIC, VERSION, CODEC];
+        varint::write_u64(&mut bad, 100);
+        varint::write_u64(&mut bad, 0);
+        varint::write_u64(&mut bad, 0);
+        assert_eq!(
+            decompress_with(&bad, CODEC, toy_decode_into),
+            Err(FrameError::BadHeader)
+        );
+        assert_parity(&bad);
+
+        // Chunk size beyond the decode cap.
+        let mut bad = vec![MAGIC, VERSION, CODEC];
+        varint::write_u64(&mut bad, MAX_CHUNK_BYTES + 1);
+        varint::write_u64(&mut bad, MAX_CHUNK_BYTES + 1);
+        varint::write_u64(&mut bad, 1);
+        assert_eq!(
+            decompress_with(&bad, CODEC, toy_decode_into),
+            Err(FrameError::BadHeader)
+        );
+        assert_parity(&bad);
+
+        // Declared chunk count beyond what the remaining bytes could hold.
+        let mut bad = vec![MAGIC, VERSION, CODEC];
+        varint::write_u64(&mut bad, 1 << 20);
+        varint::write_u64(&mut bad, 1);
+        varint::write_u64(&mut bad, 1 << 20);
+        assert_eq!(
+            decompress_with(&bad, CODEC, toy_decode_into),
+            Err(FrameError::Truncated)
+        );
+        assert_parity(&bad);
+    }
+
+    /// Rewrites the first chunk-table entry of a 2-chunk frame and returns
+    /// the doctored frame (table entries are single-byte varints here).
+    fn with_first_entry(frame: &[u8], entry: u8) -> Vec<u8> {
+        let header = parse_header(frame, CODEC).unwrap();
+        assert_eq!(header.chunks.len(), 2);
+        let table_start = header.chunks[0].0 - 2; // two 1-byte entries
+        let mut bad = frame.to_vec();
+        assert!(bad[table_start] < 0x80, "entry must be a 1-byte varint");
+        bad[table_start] = entry;
+        bad
+    }
+
+    #[test]
+    fn overlapping_and_oversized_chunk_lengths_are_rejected() {
+        let data = sample(120);
+        let frame = compress_with(&data, 64, CODEC, toy_compress);
+
+        // First entry grown to swallow the whole remaining payload: chunk 1
+        // has nothing left → overlap is reported on the oversized entry's
+        // successor via OversizedChunk, or on the entry itself if it
+        // overruns the frame end.
+        let header = parse_header(&frame, CODEC).unwrap();
+        let payload_len: usize = header.chunks.iter().map(|c| c.1).sum();
+        let bad = with_first_entry(&frame, payload_len as u8); // chunk 1 overlaps end
+        let fast = decompress_with(&bad, CODEC, toy_decode_into);
+        assert_eq!(fast, Err(FrameError::OversizedChunk { chunk: 1 }));
+        assert_parity(&bad);
+
+        // First entry beyond the entire frame.
+        let bad = with_first_entry(&frame, 0x7F);
+        let fast = decompress_with(&bad, CODEC, toy_decode_into);
+        assert_eq!(fast, Err(FrameError::OversizedChunk { chunk: 0 }));
+        assert_parity(&bad);
+
+        // First entry shrunk: chunk boundaries shift, payloads misparse or
+        // bytes trail past the last chunk — either way both paths agree.
+        let bad = with_first_entry(&frame, 1);
+        assert!(decompress_with(&bad, CODEC, toy_decode_into).is_err());
+        assert_parity(&bad);
+    }
+
+    #[test]
+    fn corrupt_chunk_payload_reports_lowest_failing_chunk() {
+        let data = sample(3000);
+        let frame = compress_with(&data, 700, CODEC, toy_compress);
+        let header = parse_header(&frame, CODEC).unwrap();
+        // Corrupt the declared inner length of chunk 2's toy stream.
+        let mut bad = frame.clone();
+        bad[header.chunks[2].0] ^= 0x7F;
+        let fast = decompress_with(&bad, CODEC, toy_decode_into);
+        assert_eq!(fast, Err(FrameError::ChunkDecode { chunk: 2 }));
+        assert_parity(&bad);
+    }
+
+    #[test]
+    fn parallel_and_serial_compress_are_bit_identical() {
+        let data = sample(50_000);
+        let a = compress_with(&data, 4096, CODEC, toy_compress);
+        // par_map is deterministic by construction; pin it anyway.
+        let b = compress_with(&data, 4096, CODEC, toy_compress);
+        assert_eq!(a, b);
+    }
+}

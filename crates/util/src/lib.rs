@@ -1,7 +1,8 @@
 //! Shared infrastructure for the CDPU framework.
 //!
-//! This crate holds the small, dependency-free building blocks used by every
-//! other crate in the workspace:
+//! This crate holds the small building blocks used by every other crate in
+//! the workspace (its only dependency is the workspace's own zero-dependency
+//! `cdpu-par` thread pool, which [`frame`] uses for chunk parallelism):
 //!
 //! - [`rng`]: deterministic pseudo-random number generation
 //!   (SplitMix64 / Xoshiro256**) so that every stochastic component of the
@@ -9,6 +10,8 @@
 //! - [`bits`]: bit-level readers and writers, including the backward-read
 //!   bitstream layout used by FSE/tANS entropy coding.
 //! - [`varint`]: LEB128 variable-length integers (the Snappy preamble format).
+//! - [`frame`]: a codec-generic chunked frame container whose chunks
+//!   compress and decompress in parallel across the `cdpu-par` pool.
 //! - [`crc32c`]: the Castagnoli CRC of Snappy's framing format.
 //! - [`hist`]: histograms, weighted CDFs, and log2-binned call-size
 //!   distributions used throughout the fleet-profiling reproduction.
@@ -71,6 +74,7 @@ macro_rules! tls_scratch {
 
 pub mod bits;
 pub mod crc32c;
+pub mod frame;
 pub mod hist;
 pub mod json;
 pub mod rng;
