@@ -159,7 +159,7 @@ fn check_room(out: &[u8], add: u64, expected: u64) -> Result<(), GipfeliError> {
     if add > expected.saturating_sub(out.len() as u64) {
         return Err(GipfeliError::LengthMismatch {
             expected,
-            actual: out.len() as u64 + add,
+            actual: (out.len() as u64).saturating_add(add),
         });
     }
     Ok(())
@@ -202,18 +202,21 @@ fn decompress_impl(input: &[u8], out: &mut Vec<u8>) -> Result<(), GipfeliError> 
     pos += FREQUENT;
     let (ops_len, n) = varint::read_u64(&input[pos..]).map_err(|_| GipfeliError::BadHeader)?;
     pos += n;
-    let ops_len = ops_len as usize;
-    if pos + ops_len > input.len() {
+    // Untrusted section lengths: bound in u64 against the remaining input
+    // before casting to usize.
+    if ops_len > (input.len() - pos) as u64 {
         return Err(GipfeliError::Truncated);
     }
+    let ops_len = ops_len as usize;
     let ops = &input[pos..pos + ops_len];
     pos += ops_len;
     let (bit_len, n) = varint::read_u64(&input[pos..]).map_err(|_| GipfeliError::BadHeader)?;
     pos += n;
-    let bit_bytes = (bit_len as usize).div_ceil(8);
-    if pos + bit_bytes > input.len() {
+    let bit_bytes = bit_len.div_ceil(8);
+    if bit_bytes > (input.len() - pos) as u64 {
         return Err(GipfeliError::Truncated);
     }
+    let bit_bytes = bit_bytes as usize;
     let mut bits = MsbBitReader::new(&input[pos..pos + bit_bytes], bit_len as usize);
 
     let mut read_literal = |out: &mut Vec<u8>| -> Result<(), GipfeliError> {
@@ -236,13 +239,15 @@ fn decompress_impl(input: &[u8], out: &mut Vec<u8>) -> Result<(), GipfeliError> 
         let token = ops[op_pos];
         op_pos += 1;
         if token & 0x80 == 0 {
-            // Literal count, varint-extended.
+            // Literal count, varint-extended; the extension is untrusted,
+            // so the count stays in checked u64 (the loop itself is
+            // bounded by the bit section, which was validated above).
             let mut v = (token & 0x7F) as u64;
             if v == 0x7F {
                 let (ext, used) =
                     varint::read_u64(&ops[op_pos..]).map_err(|_| GipfeliError::Truncated)?;
                 op_pos += used;
-                v += ext;
+                v = v.checked_add(ext).ok_or(GipfeliError::Truncated)?;
             }
             for _ in 0..=v {
                 read_literal(out)?;
@@ -264,15 +269,19 @@ fn decompress_impl(input: &[u8], out: &mut Vec<u8>) -> Result<(), GipfeliError> 
                 let (ext, used) =
                     varint::read_u64(&ops[op_pos..]).map_err(|_| GipfeliError::Truncated)?;
                 op_pos += used;
-                v += ext;
+                v = v.checked_add(ext).ok_or(GipfeliError::Truncated)?;
             }
             if op_pos + 2 > ops.len() {
                 return Err(GipfeliError::Truncated);
             }
             let offset = u16::from_le_bytes([ops[op_pos], ops[op_pos + 1]]) as u32;
             op_pos += 2;
-            check_room(out, v + 4, expected)?;
-            apply_copy(out, offset, v as u32 + 4).map_err(|_| GipfeliError::BadOffset)?;
+            let copy = v.checked_add(4).ok_or(GipfeliError::Truncated)?;
+            check_room(out, copy, expected)?;
+            if copy > u32::MAX as u64 {
+                return Err(GipfeliError::Truncated);
+            }
+            apply_copy(out, offset, copy as u32).map_err(|_| GipfeliError::BadOffset)?;
         }
         if out.len() as u64 > expected {
             return Err(GipfeliError::LengthMismatch {

@@ -164,17 +164,20 @@ fn decompress_impl(input: &[u8], out: &mut Vec<u8>) -> Result<(), Lz4Error> {
     while pos < input.len() {
         let token = input[pos];
         pos += 1;
-        // Literal run, varint-extended past a full nibble.
+        // Literal run, varint-extended past a full nibble. The extension
+        // is untrusted and can be anything up to u64::MAX, so all length
+        // arithmetic stays in checked u64 and is bounded against the
+        // remaining input before the cast to usize.
         let mut ll = (token >> 4) as u64;
         if ll == 15 {
             let (ext, used) = varint::read_u64(&input[pos..]).map_err(|_| Lz4Error::Truncated)?;
             pos += used;
-            ll += ext;
+            ll = ll.checked_add(ext).ok_or(Lz4Error::Truncated)?;
         }
-        let lits = ll as usize;
-        if pos + lits > input.len() {
+        if ll > (input.len() - pos) as u64 {
             return Err(Lz4Error::Truncated);
         }
+        let lits = ll as usize;
         out.extend_from_slice(&input[pos..pos + lits]);
         pos += lits;
         if out.len() as u64 > expected {
@@ -196,17 +199,22 @@ fn decompress_impl(input: &[u8], out: &mut Vec<u8>) -> Result<(), Lz4Error> {
         if n == 15 {
             let (ext, used) = varint::read_u64(&input[pos..]).map_err(|_| Lz4Error::Truncated)?;
             pos += used;
-            n += ext;
+            n = n.checked_add(ext).ok_or(Lz4Error::Truncated)?;
         }
         // Guard before copying: a hostile length must not balloon the
-        // output past the declared size.
-        if n + 4 > expected.saturating_sub(out.len() as u64) {
+        // output past the declared size, and must fit the u32 copy width
+        // rather than silently truncating.
+        let copy = n.checked_add(4).ok_or(Lz4Error::Truncated)?;
+        if copy > expected.saturating_sub(out.len() as u64) {
             return Err(Lz4Error::LengthMismatch {
                 expected,
-                actual: out.len() as u64 + n + 4,
+                actual: (out.len() as u64).saturating_add(copy),
             });
         }
-        apply_copy(out, offset, n as u32 + 4).map_err(|_| Lz4Error::BadOffset)?;
+        if copy > u32::MAX as u64 {
+            return Err(Lz4Error::Truncated);
+        }
+        apply_copy(out, offset, copy as u32).map_err(|_| Lz4Error::BadOffset)?;
     }
     if out.len() as u64 != expected {
         return Err(Lz4Error::LengthMismatch {

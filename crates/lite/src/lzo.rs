@@ -168,18 +168,21 @@ fn decompress_impl(input: &[u8], out: &mut Vec<u8>) -> Result<(), LzoError> {
         let token = input[pos];
         pos += 1;
         if token & 0x80 == 0 {
-            // Literal run, varint-extended count.
+            // Literal run, varint-extended count. The extension is
+            // untrusted, so length arithmetic stays in checked u64,
+            // bounded against the remaining input before the cast.
             let mut n = (token & 0x7F) as u64;
             if n == 0x7F {
                 let (ext, used) =
                     varint::read_u64(&input[pos..]).map_err(|_| LzoError::Truncated)?;
                 pos += used;
-                n += ext;
+                n = n.checked_add(ext).ok_or(LzoError::Truncated)?;
             }
-            let len = n as usize + 1;
-            if pos + len > input.len() {
+            let len = n.checked_add(1).ok_or(LzoError::Truncated)?;
+            if len > (input.len() - pos) as u64 {
                 return Err(LzoError::Truncated);
             }
+            let len = len as usize;
             out.extend_from_slice(&input[pos..pos + len]);
             pos += len;
         } else if token & 0x40 == 0 {
@@ -198,7 +201,7 @@ fn decompress_impl(input: &[u8], out: &mut Vec<u8>) -> Result<(), LzoError> {
                 let (ext, used) =
                     varint::read_u64(&input[pos..]).map_err(|_| LzoError::Truncated)?;
                 pos += used;
-                n += ext;
+                n = n.checked_add(ext).ok_or(LzoError::Truncated)?;
             }
             if pos + 2 > input.len() {
                 return Err(LzoError::Truncated);
@@ -206,14 +209,19 @@ fn decompress_impl(input: &[u8], out: &mut Vec<u8>) -> Result<(), LzoError> {
             let offset = u16::from_le_bytes([input[pos], input[pos + 1]]) as u32;
             pos += 2;
             // Guard before copying: a hostile length must not balloon the
-            // output past the declared size.
-            if n + 4 > expected.saturating_sub(out.len() as u64) {
+            // output past the declared size, and must fit the u32 copy
+            // width rather than silently truncating.
+            let copy = n.checked_add(4).ok_or(LzoError::Truncated)?;
+            if copy > expected.saturating_sub(out.len() as u64) {
                 return Err(LzoError::LengthMismatch {
                     expected,
-                    actual: out.len() as u64 + n + 4,
+                    actual: (out.len() as u64).saturating_add(copy),
                 });
             }
-            apply_copy(out, offset, n as u32 + 4).map_err(|_| LzoError::BadOffset)?;
+            if copy > u32::MAX as u64 {
+                return Err(LzoError::Truncated);
+            }
+            apply_copy(out, offset, copy as u32).map_err(|_| LzoError::BadOffset)?;
         }
         if out.len() as u64 > expected {
             return Err(LzoError::LengthMismatch {

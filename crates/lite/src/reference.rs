@@ -30,18 +30,21 @@ pub mod lzo {
             let token = input[pos];
             pos += 1;
             if token & 0x80 == 0 {
-                // Literal run, varint-extended count.
+                // Literal run, varint-extended count. The extension is
+                // untrusted, so length arithmetic stays in checked u64,
+                // bounded against the remaining input before the cast.
                 let mut n = (token & 0x7F) as u64;
                 if n == 0x7F {
                     let (ext, used) =
                         varint::read_u64(&input[pos..]).map_err(|_| LzoError::Truncated)?;
                     pos += used;
-                    n += ext;
+                    n = n.checked_add(ext).ok_or(LzoError::Truncated)?;
                 }
-                let len = n as usize + 1;
-                if pos + len > input.len() {
+                let len = n.checked_add(1).ok_or(LzoError::Truncated)?;
+                if len > (input.len() - pos) as u64 {
                     return Err(LzoError::Truncated);
                 }
+                let len = len as usize;
                 out.extend_from_slice(&input[pos..pos + len]);
                 pos += len;
             } else if token & 0x40 == 0 {
@@ -60,7 +63,7 @@ pub mod lzo {
                     let (ext, used) =
                         varint::read_u64(&input[pos..]).map_err(|_| LzoError::Truncated)?;
                     pos += used;
-                    n += ext;
+                    n = n.checked_add(ext).ok_or(LzoError::Truncated)?;
                 }
                 if pos + 2 > input.len() {
                     return Err(LzoError::Truncated);
@@ -68,14 +71,19 @@ pub mod lzo {
                 let offset = u16::from_le_bytes([input[pos], input[pos + 1]]) as u32;
                 pos += 2;
                 // Guard before copying: a hostile length must not balloon
-                // the output past the declared size.
-                if n + 4 > expected.saturating_sub(out.len() as u64) {
+                // the output past the declared size, and must fit the u32
+                // copy width rather than silently truncating.
+                let copy = n.checked_add(4).ok_or(LzoError::Truncated)?;
+                if copy > expected.saturating_sub(out.len() as u64) {
                     return Err(LzoError::LengthMismatch {
                         expected,
-                        actual: out.len() as u64 + n + 4,
+                        actual: (out.len() as u64).saturating_add(copy),
                     });
                 }
-                apply_copy(&mut out, offset, n as u32 + 4).map_err(|_| LzoError::BadOffset)?;
+                if copy > u32::MAX as u64 {
+                    return Err(LzoError::Truncated);
+                }
+                apply_copy(&mut out, offset, copy as u32).map_err(|_| LzoError::BadOffset)?;
             }
             if out.len() as u64 > expected {
                 return Err(LzoError::LengthMismatch {
@@ -112,18 +120,21 @@ pub mod lz4 {
         while pos < input.len() {
             let token = input[pos];
             pos += 1;
-            // Literal run, varint-extended past a full nibble.
+            // Literal run, varint-extended past a full nibble. The
+            // extension is untrusted, so length arithmetic stays in
+            // checked u64, bounded against the remaining input before the
+            // cast to usize.
             let mut ll = (token >> 4) as u64;
             if ll == 15 {
                 let (ext, used) =
                     varint::read_u64(&input[pos..]).map_err(|_| Lz4Error::Truncated)?;
                 pos += used;
-                ll += ext;
+                ll = ll.checked_add(ext).ok_or(Lz4Error::Truncated)?;
             }
-            let lits = ll as usize;
-            if pos + lits > input.len() {
+            if ll > (input.len() - pos) as u64 {
                 return Err(Lz4Error::Truncated);
             }
+            let lits = ll as usize;
             out.extend_from_slice(&input[pos..pos + lits]);
             pos += lits;
             if out.len() as u64 > expected {
@@ -146,17 +157,22 @@ pub mod lz4 {
                 let (ext, used) =
                     varint::read_u64(&input[pos..]).map_err(|_| Lz4Error::Truncated)?;
                 pos += used;
-                n += ext;
+                n = n.checked_add(ext).ok_or(Lz4Error::Truncated)?;
             }
             // Guard before copying: a hostile length must not balloon the
-            // output past the declared size.
-            if n + 4 > expected.saturating_sub(out.len() as u64) {
+            // output past the declared size, and must fit the u32 copy
+            // width rather than silently truncating.
+            let copy = n.checked_add(4).ok_or(Lz4Error::Truncated)?;
+            if copy > expected.saturating_sub(out.len() as u64) {
                 return Err(Lz4Error::LengthMismatch {
                     expected,
-                    actual: out.len() as u64 + n + 4,
+                    actual: (out.len() as u64).saturating_add(copy),
                 });
             }
-            apply_copy(&mut out, offset, n as u32 + 4).map_err(|_| Lz4Error::BadOffset)?;
+            if copy > u32::MAX as u64 {
+                return Err(Lz4Error::Truncated);
+            }
+            apply_copy(&mut out, offset, copy as u32).map_err(|_| Lz4Error::BadOffset)?;
         }
         if out.len() as u64 != expected {
             return Err(Lz4Error::LengthMismatch {
@@ -180,7 +196,7 @@ pub mod gipfeli {
         if add > expected.saturating_sub(out.len() as u64) {
             return Err(GipfeliError::LengthMismatch {
                 expected,
-                actual: out.len() as u64 + add,
+                actual: (out.len() as u64).saturating_add(add),
             });
         }
         Ok(())
@@ -201,18 +217,21 @@ pub mod gipfeli {
         pos += FREQUENT;
         let (ops_len, n) = varint::read_u64(&input[pos..]).map_err(|_| GipfeliError::BadHeader)?;
         pos += n;
-        let ops_len = ops_len as usize;
-        if pos + ops_len > input.len() {
+        // Untrusted section lengths: bound in u64 against the remaining
+        // input before casting to usize.
+        if ops_len > (input.len() - pos) as u64 {
             return Err(GipfeliError::Truncated);
         }
+        let ops_len = ops_len as usize;
         let ops = &input[pos..pos + ops_len];
         pos += ops_len;
         let (bit_len, n) = varint::read_u64(&input[pos..]).map_err(|_| GipfeliError::BadHeader)?;
         pos += n;
-        let bit_bytes = (bit_len as usize).div_ceil(8);
-        if pos + bit_bytes > input.len() {
+        let bit_bytes = bit_len.div_ceil(8);
+        if bit_bytes > (input.len() - pos) as u64 {
             return Err(GipfeliError::Truncated);
         }
+        let bit_bytes = bit_bytes as usize;
         let mut bits = MsbBitReader::new(&input[pos..pos + bit_bytes], bit_len as usize);
 
         let mut read_literal = |out: &mut Vec<u8>| -> Result<(), GipfeliError> {
@@ -233,13 +252,15 @@ pub mod gipfeli {
             let token = ops[op_pos];
             op_pos += 1;
             if token & 0x80 == 0 {
-                // Literal count, varint-extended.
+                // Literal count, varint-extended; the extension is
+                // untrusted, so the count stays in checked u64 (the loop
+                // itself is bounded by the bit section, validated above).
                 let mut v = (token & 0x7F) as u64;
                 if v == 0x7F {
                     let (ext, used) =
                         varint::read_u64(&ops[op_pos..]).map_err(|_| GipfeliError::Truncated)?;
                     op_pos += used;
-                    v += ext;
+                    v = v.checked_add(ext).ok_or(GipfeliError::Truncated)?;
                 }
                 for _ in 0..=v {
                     read_literal(&mut out)?;
@@ -261,15 +282,19 @@ pub mod gipfeli {
                     let (ext, used) =
                         varint::read_u64(&ops[op_pos..]).map_err(|_| GipfeliError::Truncated)?;
                     op_pos += used;
-                    v += ext;
+                    v = v.checked_add(ext).ok_or(GipfeliError::Truncated)?;
                 }
                 if op_pos + 2 > ops.len() {
                     return Err(GipfeliError::Truncated);
                 }
                 let offset = u16::from_le_bytes([ops[op_pos], ops[op_pos + 1]]) as u32;
                 op_pos += 2;
-                check_room(&out, v + 4, expected)?;
-                apply_copy(&mut out, offset, v as u32 + 4)
+                let copy = v.checked_add(4).ok_or(GipfeliError::Truncated)?;
+                check_room(&out, copy, expected)?;
+                if copy > u32::MAX as u64 {
+                    return Err(GipfeliError::Truncated);
+                }
+                apply_copy(&mut out, offset, copy as u32)
                     .map_err(|_| GipfeliError::BadOffset)?;
             }
             if out.len() as u64 > expected {

@@ -9,6 +9,7 @@ use cdpu_lite::lzo::LzoError;
 use cdpu_lite::{gipfeli, lz4, lzo, reference};
 use cdpu_lz77::window::DecoderScratch;
 use cdpu_util::rng::Xoshiro256;
+use cdpu_util::varint;
 
 const KINDS: &[CorpusKind] = &[
     CorpusKind::Runs,
@@ -235,4 +236,106 @@ fn lzo_hostile_streams_same_error_variant() {
         lzo::decompress(&overrun).unwrap_err(),
         LzoError::LengthMismatch { .. }
     ));
+}
+
+#[test]
+fn lz4_max_varint_extensions_error_not_panic() {
+    // (a) Literal-run extension of u64::MAX (a 10-byte max varint):
+    // 15 + ext overflows u64 and must be rejected, not wrapped.
+    let mut lit_overflow = vec![0x08, 0xF0];
+    varint::write_u64(&mut lit_overflow, u64::MAX);
+    // (b) Extension chosen so the run length lands exactly on u64::MAX:
+    // previously `pos + lits` wrapped in release, the bounds guard passed,
+    // and the literal slice panicked with an inverted range.
+    let mut lit_wrap = vec![0x08, 0xF0];
+    varint::write_u64(&mut lit_wrap, u64::MAX - 15);
+    // (c) Match-length extension of u64::MAX: 15 + ext overflows u64.
+    let mut m_overflow = vec![0x08, 0x0F, 0x01, 0x00];
+    varint::write_u64(&mut m_overflow, u64::MAX);
+    // (d) Match length that passes the room check against a huge declared
+    // size but cannot fit the u32 copy width: must be rejected outright,
+    // not silently truncated into a drifting decode.
+    let mut m_u32 = Vec::new();
+    varint::write_u64(&mut m_u32, 1 << 40);
+    m_u32.push(0x0F);
+    m_u32.extend_from_slice(&[0x01, 0x00]);
+    varint::write_u64(&mut m_u32, (1u64 << 33) - 15 - 4);
+    for hostile in [&lit_overflow, &lit_wrap, &m_overflow, &m_u32] {
+        let fast = lz4::decompress(hostile);
+        let slow = reference::lz4::decompress(hostile);
+        assert_eq!(fast, Err(Lz4Error::Truncated), "accepted: {hostile:?}");
+        assert_eq!(fast, slow, "variant mismatch on {hostile:?}");
+    }
+}
+
+#[test]
+fn lzo_max_varint_extensions_error_not_panic() {
+    // Literal token 0x7F with extension u64::MAX: 0x7F + ext overflows.
+    let mut lit_overflow = vec![0x08, 0x7F];
+    varint::write_u64(&mut lit_overflow, u64::MAX);
+    // Extension landing the run count on u64::MAX: the +1 run length
+    // previously wrapped to zero in release (panicked in debug).
+    let mut lit_wrap = vec![0x08, 0x7F];
+    varint::write_u64(&mut lit_wrap, u64::MAX - 0x7F);
+    // Long-match token 0xFF with extension u64::MAX: 0x3F + ext overflows.
+    let mut m_overflow = vec![0x08, 0xFF];
+    varint::write_u64(&mut m_overflow, u64::MAX);
+    m_overflow.extend_from_slice(&[0x01, 0x00]);
+    // Copy length beyond the u32 width against a huge declared size.
+    let mut m_u32 = Vec::new();
+    varint::write_u64(&mut m_u32, 1 << 40);
+    m_u32.push(0xFF);
+    varint::write_u64(&mut m_u32, (1u64 << 33) - 0x3F - 4);
+    m_u32.extend_from_slice(&[0x01, 0x00]);
+    for hostile in [&lit_overflow, &lit_wrap, &m_overflow, &m_u32] {
+        let fast = lzo::decompress(hostile);
+        let slow = reference::lzo::decompress(hostile);
+        assert_eq!(fast, Err(LzoError::Truncated), "accepted: {hostile:?}");
+        assert_eq!(fast, slow, "variant mismatch on {hostile:?}");
+    }
+}
+
+#[test]
+fn gipfeli_max_varint_extensions_error_not_panic() {
+    use cdpu_lite::gipfeli::GipfeliError;
+    // Minimal frame: preamble, zeroed frequent table, the given op bytes,
+    // and an empty bit section.
+    fn frame(expected: u64, ops: &[u8]) -> Vec<u8> {
+        let mut f = Vec::new();
+        varint::write_u64(&mut f, expected);
+        f.extend_from_slice(&[0u8; gipfeli::FREQUENT]);
+        varint::write_u64(&mut f, ops.len() as u64);
+        f.extend_from_slice(ops);
+        varint::write_u64(&mut f, 0);
+        f
+    }
+    // Header section length of u64::MAX: previously `pos + ops_len`
+    // wrapped in release and sliced an inverted range.
+    let mut bad_header = Vec::new();
+    varint::write_u64(&mut bad_header, 8);
+    bad_header.extend_from_slice(&[0u8; gipfeli::FREQUENT]);
+    varint::write_u64(&mut bad_header, u64::MAX);
+    // Literal-count extension of u64::MAX: 0x7F + ext overflows u64.
+    let mut lit_ops = vec![0x7F];
+    varint::write_u64(&mut lit_ops, u64::MAX);
+    // Long-match extension of u64::MAX: 0x3F + ext overflows u64.
+    let mut m_ops = vec![0xFF];
+    varint::write_u64(&mut m_ops, u64::MAX);
+    m_ops.extend_from_slice(&[0x01, 0x00]);
+    // Copy length beyond the u32 width against a huge declared size.
+    let mut m32_ops = vec![0xFF];
+    varint::write_u64(&mut m32_ops, (1u64 << 33) - 0x3F - 4);
+    m32_ops.extend_from_slice(&[0x01, 0x00]);
+    let cases = [
+        bad_header,
+        frame(8, &lit_ops),
+        frame(8, &m_ops),
+        frame(1 << 40, &m32_ops),
+    ];
+    for hostile in &cases {
+        let fast = gipfeli::decompress(hostile);
+        let slow = reference::gipfeli::decompress(hostile);
+        assert_eq!(fast, Err(GipfeliError::Truncated), "accepted: {hostile:?}");
+        assert_eq!(fast, slow, "variant mismatch on {hostile:?}");
+    }
 }

@@ -42,6 +42,14 @@ pub const VERSION: u8 = 0x01;
 /// hostile header from demanding an absurd allocation before any chunk
 /// payload has been validated.
 pub const MAX_CHUNK_BYTES: u64 = 1 << 26;
+/// Default cap on the total uncompressed size the decompress entry points
+/// will allocate for. [`MAX_CHUNK_BYTES`] bounds each chunk, but a hostile
+/// header can still declare many maximum-size chunks for ~2 bytes of frame
+/// each (one table entry, one payload byte), so the *total* must be capped
+/// too before the output buffer is allocated. Callers whose frames can
+/// legitimately exceed this use [`decompress_with_limit`] /
+/// [`decompress_serial_with_limit`] with an explicit budget.
+pub const DEFAULT_MAX_OUTPUT: u64 = 1 << 30;
 
 /// Decode-side validation failures. The parallel fast path and the serial
 /// reference path share header parsing, so both return identical variants
@@ -68,6 +76,9 @@ pub enum FrameError {
     OversizedChunk { chunk: u32 },
     /// Payload bytes remain after the last declared chunk.
     TrailingBytes { extra: u64 },
+    /// The header's declared total uncompressed size exceeds the caller's
+    /// output budget — rejected before any allocation.
+    OutputLimit { declared: u64, limit: u64 },
     /// The wrapped codec rejected a chunk's payload, or decoded it to the
     /// wrong length.
     ChunkDecode { chunk: u32 },
@@ -91,6 +102,9 @@ impl std::fmt::Display for FrameError {
             }
             FrameError::TrailingBytes { extra } => {
                 write!(f, "{extra} payload bytes beyond the last chunk")
+            }
+            FrameError::OutputLimit { declared, limit } => {
+                write!(f, "frame declares {declared} bytes (output limit {limit})")
             }
             FrameError::ChunkDecode { chunk } => write!(f, "chunk {chunk} failed to decode"),
         }
@@ -262,6 +276,9 @@ where
 /// Deterministic: output bytes and the reported error (first failing chunk
 /// by index) are identical for any worker count.
 ///
+/// Frames declaring more than [`DEFAULT_MAX_OUTPUT`] uncompressed bytes
+/// are rejected; use [`decompress_with_limit`] to set the budget.
+///
 /// # Errors
 ///
 /// Any [`FrameError`]; codec failures surface as
@@ -270,7 +287,30 @@ pub fn decompress_with<F>(frame: &[u8], expected_codec: u8, decode: F) -> Result
 where
     F: Fn(&[u8], &mut [u8]) -> bool + Sync,
 {
+    decompress_with_limit(frame, expected_codec, DEFAULT_MAX_OUTPUT, decode)
+}
+
+/// [`decompress_with`] with a caller-supplied cap on the total
+/// uncompressed size. The header's declared total is validated against
+/// `max_output` *before* the output buffer is allocated, so a hostile
+/// header cannot force a huge allocation on the strength of a few bytes
+/// of frame.
+///
+/// # Errors
+///
+/// As [`decompress_with`], plus [`FrameError::OutputLimit`] when the
+/// declared total exceeds `max_output`.
+pub fn decompress_with_limit<F>(
+    frame: &[u8],
+    expected_codec: u8,
+    max_output: u64,
+    decode: F,
+) -> Result<Vec<u8>, FrameError>
+where
+    F: Fn(&[u8], &mut [u8]) -> bool + Sync,
+{
     let header = parse_header(frame, expected_codec)?;
+    check_output_limit(&header, max_output)?;
     let mut out = vec![0u8; header.total_len as usize];
     // Pair each chunk's payload with its disjoint output slice.
     let mut work: Vec<(&[u8], &mut [u8], bool)> = Vec::with_capacity(header.chunks.len());
@@ -289,6 +329,16 @@ where
     Ok(out)
 }
 
+fn check_output_limit(header: &FrameHeader, max_output: u64) -> Result<(), FrameError> {
+    if header.total_len > max_output {
+        return Err(FrameError::OutputLimit {
+            declared: header.total_len,
+            limit: max_output,
+        });
+    }
+    Ok(())
+}
+
 /// Serial reference twin of [`decompress_with`]: same validation, same
 /// errors, one chunk at a time through a plain `decode` returning an owned
 /// buffer (`None` on any codec error). Pinned against the fast path by
@@ -300,12 +350,31 @@ where
 pub fn decompress_serial_with<F>(
     frame: &[u8],
     expected_codec: u8,
+    decode: F,
+) -> Result<Vec<u8>, FrameError>
+where
+    F: FnMut(&[u8]) -> Option<Vec<u8>>,
+{
+    decompress_serial_with_limit(frame, expected_codec, DEFAULT_MAX_OUTPUT, decode)
+}
+
+/// [`decompress_serial_with`] with a caller-supplied cap on the total
+/// uncompressed size, mirroring [`decompress_with_limit`].
+///
+/// # Errors
+///
+/// As [`decompress_with_limit`].
+pub fn decompress_serial_with_limit<F>(
+    frame: &[u8],
+    expected_codec: u8,
+    max_output: u64,
     mut decode: F,
 ) -> Result<Vec<u8>, FrameError>
 where
     F: FnMut(&[u8]) -> Option<Vec<u8>>,
 {
     let header = parse_header(frame, expected_codec)?;
+    check_output_limit(&header, max_output)?;
     let mut out = Vec::with_capacity(header.total_len as usize);
     for (i, &(offset, clen, ulen)) in header.chunks.iter().enumerate() {
         let decoded = decode(&frame[offset..offset + clen])
@@ -490,6 +559,61 @@ mod tests {
             Err(FrameError::Truncated)
         );
         assert_parity(&bad);
+    }
+
+    #[test]
+    fn huge_declared_total_is_rejected_before_allocation() {
+        // Each maximum-size chunk costs ~2 bytes of frame (a 1-byte table
+        // entry plus a 1-byte payload), so a ~150-byte frame can declare a
+        // multi-GiB total that passes per-chunk validation. The output cap
+        // must reject it before the zeroed output buffer is allocated.
+        let n_chunks = 64u64;
+        let declared = n_chunks * MAX_CHUNK_BYTES; // 4 GiB
+        let mut bomb = vec![MAGIC, VERSION, CODEC];
+        varint::write_u64(&mut bomb, declared);
+        varint::write_u64(&mut bomb, MAX_CHUNK_BYTES);
+        varint::write_u64(&mut bomb, n_chunks);
+        for _ in 0..n_chunks {
+            varint::write_u64(&mut bomb, 1);
+        }
+        bomb.resize(bomb.len() + n_chunks as usize, 0);
+        // The header itself is well-formed: every chunk span is in bounds.
+        assert!(parse_header(&bomb, CODEC).is_ok());
+        let expected = Err(FrameError::OutputLimit {
+            declared,
+            limit: DEFAULT_MAX_OUTPUT,
+        });
+        assert_eq!(decompress_with(&bomb, CODEC, toy_decode_into), expected);
+        assert_eq!(
+            decompress_serial_with(&bomb, CODEC, toy_decompress),
+            expected
+        );
+    }
+
+    #[test]
+    fn caller_output_limit_is_enforced() {
+        let data = sample(5000);
+        let frame = compress_with(&data, 1024, CODEC, toy_compress);
+        let expected = Err(FrameError::OutputLimit {
+            declared: 5000,
+            limit: 4999,
+        });
+        assert_eq!(
+            decompress_with_limit(&frame, CODEC, 4999, toy_decode_into),
+            expected
+        );
+        assert_eq!(
+            decompress_serial_with_limit(&frame, CODEC, 4999, toy_decompress),
+            expected
+        );
+        assert_eq!(
+            decompress_with_limit(&frame, CODEC, 5000, toy_decode_into).unwrap(),
+            data
+        );
+        assert_eq!(
+            decompress_serial_with_limit(&frame, CODEC, 5000, toy_decompress).unwrap(),
+            data
+        );
     }
 
     /// Rewrites the first chunk-table entry of a 2-chunk frame and returns
