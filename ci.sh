@@ -136,6 +136,26 @@ for key in '"lz4-class"' '"chunked_decode_speedup"'; do
     fi
 done
 
+echo "==> streaming benchmark smoke (tiny)"
+# The bench itself asserts pipelined output is bit-identical to serial
+# before timing anything; a divergence aborts the run here.
+./target/release/bench --streaming --tiny --out /tmp/cdpu_bench_streaming.json
+for key in '"streaming_pipeline_speedup"' '"stream_scratch_peak_bytes"' '"modeled"' '"wall_clock"' '"scratch"'; do
+    if ! grep -q "$key" /tmp/cdpu_bench_streaming.json; then
+        echo "FAIL: streaming benchmark missing $key" >&2
+        exit 1
+    fi
+done
+
+echo "==> streaming determinism smoke (two runs, deterministic fields identical)"
+./target/release/bench --streaming --tiny --out /tmp/cdpu_bench_streaming2.json
+grep -v 'mb_s' /tmp/cdpu_bench_streaming.json > /tmp/cdpu_bench_streaming.det
+grep -v 'mb_s' /tmp/cdpu_bench_streaming2.json > /tmp/cdpu_bench_streaming2.det
+if ! diff -q /tmp/cdpu_bench_streaming.det /tmp/cdpu_bench_streaming2.det; then
+    echo "FAIL: streaming benchmark deterministic fields differ between runs" >&2
+    exit 1
+fi
+
 echo "==> chunked figure determinism smoke (serial vs parallel at tiny scale)"
 ./target/release/figures chunked --tiny --jobs 1 > /tmp/cdpu_chunked_serial.txt
 ./target/release/figures chunked --tiny > /tmp/cdpu_chunked_parallel.txt

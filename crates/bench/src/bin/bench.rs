@@ -6,7 +6,7 @@
 //! ```text
 //! bench [--files N] [--seed N] [--jobs N] [--out PATH] [--tiny] [--serve] [--served]
 //!       [--shards N] [--batch-bytes N] [--batch-max N] [--kernels] [--dekernels]
-//!       [--regress] [--tolerance F] [--baseline-dir DIR]
+//!       [--streaming] [--regress] [--tolerance F] [--baseline-dir DIR]
 //! ```
 //!
 //! Each stage (chunk bank, suite generation, call profiling, DSE sweeps,
@@ -62,17 +62,28 @@
 //! wall-clock serial-vs-pool LZ4-class frame decode and the 64 KiB ratio
 //! tax ride along as informational context.
 //!
+//! `--streaming` benchmarks the streaming core: the gated
+//! `streaming_pipeline_speedup` is the minimum hwsim-modeled stage-overlap
+//! ratio (a 4 MiB call streamed in 128 KiB blocks, every pipeline class
+//! and direction — pure model, host-independent), alongside informational
+//! wall-clock pipelined-vs-serial throughput for the real ZStd/Flate
+//! single-call stage pipelines and the per-codec peak streaming scratch
+//! (`stream_scratch_peak_bytes`). Writes `results/BENCH_streaming.json`
+//! by default.
+//!
 //! `--entropy-smoke` is a fast CI roundtrip check of every new entropy
 //! format (interleaved Huffman/FSE streams, rANS lanes, the ZStd frame
 //! knobs) through both the fast and reference decoders, then exits.
 //!
-//! `--regress` is the perf-regression gate: it re-runs both kernel and
-//! dekernel microbenchmarks plus the deterministic serving-engine
-//! ratios, compares every machine-relative speedup ratio against the
-//! committed `BENCH_kernels.json`/`BENCH_dekernels.json`/
-//! `BENCH_served.json` baselines (`--baseline-dir`, default `results/`)
-//! under a relative `--tolerance` (default 0.25), and writes a pass/fail
-//! markdown report (`--out`, default `results/REGRESS.md`). A failing
+//! `--regress` is the perf-regression gate: it re-runs the kernel,
+//! dekernel and streaming benchmarks plus the deterministic
+//! serving-engine ratios, compares every machine-relative speedup ratio
+//! against the committed `BENCH_kernels.json`/`BENCH_dekernels.json`/
+//! `BENCH_streaming.json`/`BENCH_served.json` baselines
+//! (`--baseline-dir`, default `results/`) under a relative `--tolerance`
+//! (default 0.25), and writes a pass/fail markdown report (`--out`,
+//! default `results/REGRESS.md`) with each section's rows ordered worst
+//! margin first and its baseline file named. A failing
 //! gate exits non-zero — except at `--tiny` scale, where the corpus
 //! differs from the baseline's and the gate is advisory (report written,
 //! exit 0). A baseline file that is missing entirely downgrades its
@@ -1079,6 +1090,256 @@ fn run_dekernels(scale: Scale, iters: usize) -> String {
     json
 }
 
+/// hwsim-modeled stage-overlap execution of a 4 MiB call streamed in
+/// 128 KiB blocks, per pipeline class and direction. Pure functions of
+/// the stage model — deterministic and host-independent — so the gated
+/// `streaming_pipeline_speedup` built on their minimum regresses only
+/// when the pipeline model changes, never from host noise.
+fn modeled_streaming() -> Vec<(&'static str, Direction, cdpu_hwsim::pipeline::PipelineCycles)> {
+    use cdpu_fleet::{AlgoOp, Algorithm};
+    let mut out = Vec::new();
+    for (name, algo, level) in [
+        ("snappy-class", Algorithm::Snappy, None),
+        ("zstd-class", Algorithm::Zstd, Some(3)),
+        ("flate-class", Algorithm::Flate, Some(6)),
+    ] {
+        for dir in [Direction::Compress, Direction::Decompress] {
+            let call = cdpu_fleet::CallRecord {
+                op: AlgoOp::new(algo, dir),
+                uncompressed_bytes: 4 << 20,
+                level,
+                window_log: None,
+                caller: "bench-streaming",
+            };
+            let m = cdpu_hwsim::pipeline::pipelined_cycles(
+                &call,
+                128 * 1024,
+                &cdpu_hwsim::params::CdpuParams::default(),
+                &MemParams::default(),
+            );
+            out.push((name, dir, m));
+        }
+    }
+    out
+}
+
+/// Drives one codec's streaming encoder and decoder over `payload` at a
+/// 64 KiB feed and returns `(encode_peak, decode_peak, compressed_len)`
+/// — the peak scratch footprints the drive helpers report. Asserts the
+/// roundtrip is identity, so the scratch numbers always describe a
+/// *correct* streaming execution.
+fn scratch_probe(
+    payload: &[u8],
+    mut enc: impl cdpu_util::stream::StreamEncoder,
+    mut dec: impl cdpu_util::stream::StreamDecoder,
+) -> (usize, usize, usize) {
+    const CHUNK: usize = 64 * 1024;
+    let mut stream = Vec::new();
+    let ep = cdpu_util::stream::drive_encoder(&mut enc, payload, CHUNK, &mut stream)
+        .expect("encoder driven within its contract");
+    let mut out = Vec::new();
+    let dp = cdpu_util::stream::drive_decoder(&mut dec, &stream, CHUNK, &mut out)
+        .expect("own stream decodes");
+    assert_eq!(out, payload, "streaming roundtrip must be identity");
+    (ep, dp, stream.len())
+}
+
+/// `--streaming`: the streaming-core benchmark. The gated
+/// `streaming_pipeline_speedup` is the *minimum* hwsim-modeled
+/// stage-overlap ratio across the three pipeline classes and both
+/// directions (see [`modeled_streaming`]). Wall-clock pipelined-vs-serial
+/// throughput for the real ZStd/Flate stage pipelines and the per-codec
+/// peak streaming scratch (`stream_scratch_peak_bytes`) ride along as
+/// informational context — raw MB/s and host-dependent thread overlap
+/// are never gated.
+fn run_streaming(scale: Scale, iters: usize) -> String {
+    let payload = chunked_payload();
+
+    // Modeled stage overlap: the gated, host-independent half.
+    let modeled = modeled_streaming();
+    let min_speedup = modeled
+        .iter()
+        .map(|(_, _, m)| m.speedup())
+        .fold(f64::INFINITY, f64::min);
+    let modeled_rows: Vec<String> = modeled
+        .iter()
+        .map(|(name, dir, m)| {
+            let d = match dir {
+                Direction::Compress => "compress",
+                Direction::Decompress => "decompress",
+            };
+            format!(
+                "    {{\"name\": \"{name}\", \"dir\": \"{d}\", \"blocks\": {}, \
+                 \"serial_cycles\": {}, \"pipelined_cycles\": {}, \"speedup\": {:.3}}}",
+                m.blocks,
+                m.serial_cycles,
+                m.pipelined_cycles,
+                m.speedup(),
+            )
+        })
+        .collect();
+    eprintln!(
+        "bench: streaming modeled stage overlap (4 MiB / 128 KiB blocks) min {min_speedup:.2}x"
+    );
+
+    // Wall-clock: the real single-call stage pipelines vs the serial
+    // one-shot kernels on this host, bit-identity asserted first.
+    let zcfg = cdpu_zstd::ZstdConfig::default();
+    let fcfg = cdpu_flate::FlateConfig::default();
+    let z_frame = cdpu_zstd::compress_with(&payload, &zcfg);
+    let f_frame = cdpu_flate::compress_with(&payload, &fcfg);
+    assert_eq!(
+        cdpu_zstd::stream::compress_pipelined(&payload, &zcfg),
+        z_frame,
+        "pipelined zstd compress must be bit-identical to serial"
+    );
+    assert_eq!(
+        cdpu_flate::stream::compress_pipelined(&payload, &fcfg),
+        f_frame,
+        "pipelined flate compress must be bit-identical to serial"
+    );
+    let mb = |best: f64| payload.len() as f64 / best / 1e6;
+    let mut wall_rows = Vec::new();
+    for (name, cs, cp, ds, dp) in [
+        (
+            "zstd-l3",
+            best_of(iters, || {
+                black_box(cdpu_zstd::compress_with(&payload, &zcfg).len());
+            }),
+            best_of(iters, || {
+                black_box(cdpu_zstd::stream::compress_pipelined(&payload, &zcfg).len());
+            }),
+            best_of(iters, || {
+                black_box(cdpu_zstd::decompress(&z_frame).expect("own frame").len());
+            }),
+            best_of(iters, || {
+                black_box(cdpu_zstd::stream::decompress_pipelined(&z_frame).expect("own frame").len());
+            }),
+        ),
+        (
+            "flate-l6",
+            best_of(iters, || {
+                black_box(cdpu_flate::compress_with(&payload, &fcfg).len());
+            }),
+            best_of(iters, || {
+                black_box(cdpu_flate::stream::compress_pipelined(&payload, &fcfg).len());
+            }),
+            best_of(iters, || {
+                black_box(cdpu_flate::decompress(&f_frame).expect("own frame").len());
+            }),
+            best_of(iters, || {
+                black_box(cdpu_flate::stream::decompress_pipelined(&f_frame).expect("own frame").len());
+            }),
+        ),
+    ] {
+        eprintln!(
+            "bench: streaming {name} compress {:.1} -> {:.1} MB/s  decompress {:.1} -> {:.1} MB/s \
+             (serial -> pipelined)",
+            mb(cs),
+            mb(cp),
+            mb(ds),
+            mb(dp)
+        );
+        wall_rows.push(format!(
+            "    {{\"name\": \"{name}\", \"compress_serial_mb_s\": {:.2}, \
+             \"compress_pipelined_mb_s\": {:.2}, \"decompress_serial_mb_s\": {:.2}, \
+             \"decompress_pipelined_mb_s\": {:.2}}}",
+            mb(cs),
+            mb(cp),
+            mb(ds),
+            mb(dp),
+        ));
+    }
+
+    // Peak streaming scratch per codec: the bounded-memory figure of the
+    // streaming core (encoder and decoder sides, 64 KiB feed).
+    let scfg = MatcherConfig::snappy_sw();
+    let probes = [
+        (
+            "snappy",
+            scratch_probe(
+                &payload,
+                cdpu_snappy::stream::SnappyStreamEncoder::new(payload.len(), &scfg),
+                cdpu_snappy::stream::SnappyStreamDecoder::new(),
+            ),
+        ),
+        (
+            "zstd-l3",
+            scratch_probe(
+                &payload,
+                cdpu_zstd::stream::ZstdStreamEncoder::new(payload.len(), &zcfg),
+                cdpu_zstd::stream::ZstdStreamDecoder::new(),
+            ),
+        ),
+        (
+            "flate-l6",
+            scratch_probe(
+                &payload,
+                cdpu_flate::stream::FlateStreamEncoder::new(payload.len(), &fcfg),
+                cdpu_flate::stream::FlateStreamDecoder::new(),
+            ),
+        ),
+        (
+            "lzo-class",
+            scratch_probe(
+                &payload,
+                cdpu_lite::stream::LzoStreamEncoder::new(payload.len(), 3),
+                cdpu_lite::stream::LzoStreamDecoder::new(),
+            ),
+        ),
+        (
+            "gipfeli-class",
+            scratch_probe(
+                &payload,
+                cdpu_lite::stream::GipfeliStreamEncoder::new(payload.len()),
+                cdpu_lite::stream::GipfeliStreamDecoder::new(),
+            ),
+        ),
+        (
+            "lz4-class",
+            scratch_probe(
+                &payload,
+                cdpu_lite::stream::Lz4StreamEncoder::new(payload.len(), 3),
+                cdpu_lite::stream::Lz4StreamDecoder::new(),
+            ),
+        ),
+    ];
+    let peak = probes
+        .iter()
+        .map(|(_, (e, d, _))| (*e).max(*d))
+        .max()
+        .unwrap_or(0);
+    let scratch_rows: Vec<String> = probes
+        .iter()
+        .map(|(name, (e, d, c))| {
+            format!(
+                "    {{\"name\": \"{name}\", \"compressed_bytes\": {c}, \
+                 \"encode_peak_bytes\": {e}, \"decode_peak_bytes\": {d}}}"
+            )
+        })
+        .collect();
+    eprintln!(
+        "bench: streaming scratch peak {peak} bytes across {} codecs ({} byte payload)",
+        probes.len(),
+        payload.len()
+    );
+
+    format!(
+        "{{\n  \"bench\": \"cdpu streaming pipeline\",\n  \"iters\": {iters},\n  \
+         \"scale\": {},\n  \"payload_bytes\": {},\n  \"block_bytes\": 131072,\n  \
+         \"modeled\": [\n{}\n  ],\n  \
+         \"streaming_pipeline_speedup\": {min_speedup:.3},\n  \
+         \"wall_clock\": [\n{}\n  ],\n  \
+         \"scratch\": [\n{}\n  ],\n  \
+         \"stream_scratch_peak_bytes\": {peak}\n}}\n",
+        json::render(&scale_json(scale)),
+        payload.len(),
+        modeled_rows.join(",\n"),
+        wall_rows.join(",\n"),
+        scratch_rows.join(",\n"),
+    )
+}
+
 /// CI smoke for the interleaved/rANS entropy formats: roundtrips every
 /// backend and stream count on real corpus data, through both the
 /// standalone kernels and full ZStd frames (fast and reference decoders).
@@ -1141,35 +1402,52 @@ fn run_regress(
     // "new" (never failing) instead of the gate erroring out in checkouts
     // that predate a given benchmark. Corrupt baselines stay fatal — a
     // file that exists but does not parse is a repo problem, not a
-    // missing-history one.
-    let load = |name: &str| {
+    // missing-history one. Each section records the baseline file its
+    // ratios came from, so the report names the provenance.
+    let load = |name: &str| -> (String, Json) {
         let path = format!("{baseline_dir}/{name}");
         match std::fs::read_to_string(&path) {
-            Ok(text) => cdpu_util::json::parse(&text)
-                .unwrap_or_else(|e| panic!("regress: baseline {path} is not valid JSON: {e}")),
+            Ok(text) => {
+                let doc = cdpu_util::json::parse(&text)
+                    .unwrap_or_else(|e| panic!("regress: baseline {path} is not valid JSON: {e}"));
+                (path, doc)
+            }
             Err(e) => {
                 eprintln!(
                     "regress: no baseline {path} ({e}); section is advisory \
                      (run the matching bench to create it)"
                 );
-                Json::obj()
+                (format!("{path} (missing — section advisory)"), Json::obj())
             }
         }
     };
-    let (kernels_base, dekernels_base) =
-        (load("BENCH_kernels.json"), load("BENCH_dekernels.json"));
+    let (kernels_path, kernels_base) = load("BENCH_kernels.json");
+    let (dekernels_path, dekernels_base) = load("BENCH_dekernels.json");
+    let (streaming_path, streaming_base) = load("BENCH_streaming.json");
 
     let kernels_cur = cdpu_util::json::parse(&run_kernels(scale, iters))
         .expect("kernel bench emits valid JSON");
     let dekernels_cur = cdpu_util::json::parse(&run_dekernels(scale, iters))
         .expect("dekernel bench emits valid JSON");
+    let streaming_cur = cdpu_util::json::parse(&run_streaming(scale, iters))
+        .expect("streaming bench emits valid JSON");
 
     let mut sections = vec![
-        ("Compression kernels", regress::compare(&kernels_base, &kernels_cur, tolerance)),
-        (
-            "Decompression kernels",
-            regress::compare(&dekernels_base, &dekernels_cur, tolerance),
-        ),
+        regress::Section {
+            title: "Compression kernels",
+            baseline_path: kernels_path,
+            checks: regress::compare(&kernels_base, &kernels_cur, tolerance),
+        },
+        regress::Section {
+            title: "Decompression kernels",
+            baseline_path: dekernels_path,
+            checks: regress::compare(&dekernels_base, &dekernels_cur, tolerance),
+        },
+        regress::Section {
+            title: "Streaming pipeline",
+            baseline_path: streaming_path,
+            checks: regress::compare(&streaming_base, &streaming_cur, tolerance),
+        },
     ];
     // Serving-engine gate: the work-timing ratios are deterministic at a
     // given scale, so they regress only when behavior changes, never from
@@ -1186,10 +1464,11 @@ fn run_regress(
             if served_base.get("scale") == Some(&scale_json(scale)) {
                 let wl = served_figures::workload(scale);
                 let served_cur = served_work_doc(scale, opts, &wl);
-                sections.push((
-                    "Serving engine",
-                    regress::compare(&served_base, &served_cur, tolerance),
-                ));
+                sections.push(regress::Section {
+                    title: "Serving engine",
+                    baseline_path: served_path.clone(),
+                    checks: regress::compare(&served_base, &served_cur, tolerance),
+                });
             } else {
                 eprintln!(
                     "regress: {served_path} was recorded at a different scale; \
@@ -1205,11 +1484,11 @@ fn run_regress(
     }
     let pass = regress::all_pass(&sections);
     write_report(out, &regress::markdown_report(&sections, tolerance));
-    for (title, checks) in &sections {
-        for c in checks.iter().filter(|c| !c.pass) {
+    for s in &sections {
+        for c in s.checks.iter().filter(|c| !c.pass) {
             eprintln!(
-                "regress: FAIL {title}: {} baseline {:?} current {:?}",
-                c.name, c.baseline, c.current
+                "regress: FAIL {} ({}): {} baseline {:?} current {:?}",
+                s.title, s.baseline_path, c.name, c.baseline, c.current
             );
         }
     }
@@ -1232,6 +1511,7 @@ fn main() {
     let mut served_opts = ServedOpts::default();
     let mut kernels = false;
     let mut dekernels = false;
+    let mut streaming = false;
     let mut regress_mode = false;
     let mut tolerance = 0.25f64;
     let mut baseline_dir = String::from("results");
@@ -1281,6 +1561,7 @@ fn main() {
             }
             "--kernels" => kernels = true,
             "--dekernels" => dekernels = true,
+            "--streaming" => streaming = true,
             "--regress" => regress_mode = true,
             "--entropy-smoke" => {
                 run_entropy_smoke();
@@ -1320,6 +1601,8 @@ fn main() {
             "results/BENCH_kernels.json"
         } else if dekernels {
             "results/BENCH_dekernels.json"
+        } else if streaming {
+            "results/BENCH_streaming.json"
         } else if served {
             "results/BENCH_served.json"
         } else if serve {
@@ -1345,11 +1628,13 @@ fn main() {
         }
         return;
     }
-    if kernels || dekernels {
+    if kernels || dekernels || streaming {
         if kernels {
             write_report(&out, &run_kernels(scale, iters));
-        } else {
+        } else if dekernels {
             write_report(&out, &run_dekernels(scale, iters));
+        } else {
+            write_report(&out, &run_streaming(scale, iters));
         }
         eprintln!("bench: wrote {out}");
         return;
@@ -1428,7 +1713,7 @@ fn usage(err: &str) -> ! {
     }
     eprintln!(
         "usage: bench [--files N] [--seed N] [--jobs N] [--out PATH] [--tiny] [--serve] [--kernels] [--dekernels]\n\
-         \x20            [--served] [--shards N] [--batch-bytes N] [--batch-max N]\n\
+         \x20            [--streaming] [--served] [--shards N] [--batch-bytes N] [--batch-max N]\n\
          \x20            [--regress] [--tolerance F] [--baseline-dir DIR] [--entropy-smoke]"
     );
     std::process::exit(2);

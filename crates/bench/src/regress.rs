@@ -39,6 +39,40 @@ impl MetricCheck {
             _ => None,
         }
     }
+
+    /// Sort key for worst-margin-first ordering: dropped metrics are the
+    /// worst possible outcome, new metrics the most benign, and everything
+    /// in between orders by how far current sits below baseline.
+    fn margin(&self) -> f64 {
+        match (self.baseline, self.current) {
+            (Some(_), None) => f64::NEG_INFINITY,
+            (None, _) => f64::INFINITY,
+            _ => self.ratio().unwrap_or(f64::NEG_INFINITY),
+        }
+    }
+}
+
+/// One benchmark section of the gate: which baseline file its checks were
+/// compared against, so the report names the provenance of every ratio.
+#[derive(Debug, Clone)]
+pub struct Section {
+    /// Section heading, e.g. `Compression kernels`.
+    pub title: &'static str,
+    /// The baseline document the ratios came from (annotated when the
+    /// file was missing and the section is advisory).
+    pub baseline_path: String,
+    pub checks: Vec<MetricCheck>,
+}
+
+/// Orders checks worst margin first: failures and dropped metrics lead,
+/// then ascending current/baseline ratio, with metrics new in the current
+/// run (no baseline to regress against) last. Ties keep document order.
+pub fn sort_worst_first(checks: &mut [MetricCheck]) {
+    checks.sort_by(|a, b| {
+        a.pass
+            .cmp(&b.pass)
+            .then(a.margin().total_cmp(&b.margin()))
+    });
 }
 
 /// Extracts every speedup metric from a benchmark document as
@@ -73,7 +107,9 @@ pub fn speedup_metrics(doc: &Json) -> Vec<(String, f64)> {
 
 /// Compares the speedup metrics of two benchmark documents. A metric
 /// passes when `current >= baseline * (1 - tolerance)`; `tolerance` is
-/// relative (0.25 allows a 25% dip before failing).
+/// relative (0.25 allows a 25% dip before failing). The returned checks
+/// are ordered worst margin first (see [`sort_worst_first`]), so the
+/// tightest ratios lead the report.
 pub fn compare(baseline: &Json, current: &Json, tolerance: f64) -> Vec<MetricCheck> {
     let base = speedup_metrics(baseline);
     let cur = speedup_metrics(current);
@@ -103,28 +139,31 @@ pub fn compare(baseline: &Json, current: &Json, tolerance: f64) -> Vec<MetricChe
             });
         }
     }
+    sort_worst_first(&mut checks);
     checks
 }
 
 /// True when every check in every section passes.
-pub fn all_pass(sections: &[(&str, Vec<MetricCheck>)]) -> bool {
-    sections.iter().all(|(_, checks)| checks.iter().all(|c| c.pass))
+pub fn all_pass(sections: &[Section]) -> bool {
+    sections.iter().all(|s| s.checks.iter().all(|c| c.pass))
 }
 
 /// Renders the gate outcome as a markdown report: one table per
-/// benchmark section, a verdict line at the top.
-pub fn markdown_report(sections: &[(&str, Vec<MetricCheck>)], tolerance: f64) -> String {
+/// benchmark section (worst margin first, baseline file named), a
+/// verdict line at the top.
+pub fn markdown_report(sections: &[Section], tolerance: f64) -> String {
     let fmt = |v: Option<f64>| v.map_or_else(|| "—".to_string(), |v| format!("{v:.3}"));
     let mut out = String::from("# Perf-regression gate\n\n");
     let verdict = if all_pass(sections) { "PASS" } else { "FAIL" };
     out.push_str(&format!(
         "**{verdict}** — speedup ratios vs committed baselines, relative tolerance {:.0}%.\n\n\
          Ratios compare each optimized kernel against its retained seed implementation \
-         on the *same* host, so they are machine-relative; raw MB/s is never gated.\n",
+         on the *same* host, so they are machine-relative; raw MB/s is never gated. \
+         Rows are ordered worst margin first.\n",
         tolerance * 100.0
     ));
-    for (title, checks) in sections {
-        out.push_str(&format!("\n## {title}\n\n"));
+    for Section { title, baseline_path, checks } in sections {
+        out.push_str(&format!("\n## {title}\n\nBaseline: `{baseline_path}`\n\n"));
         out.push_str("| metric | baseline | current | current/baseline | status |\n");
         out.push_str("|---|---:|---:|---:|---|\n");
         for c in checks {
@@ -164,6 +203,14 @@ mod tests {
         json::parse(DOC).expect("fixture parses")
     }
 
+    fn section(checks: Vec<MetricCheck>) -> Section {
+        Section {
+            title: "kernels",
+            baseline_path: "results/BENCH_kernels.json".to_string(),
+            checks,
+        }
+    }
+
     #[test]
     fn extracts_all_speedups_and_skips_raw_throughput() {
         let m = speedup_metrics(&doc());
@@ -187,7 +234,7 @@ mod tests {
         assert_eq!(checks.len(), 5);
         assert!(checks.iter().all(|c| c.pass));
         assert!(checks.iter().all(|c| c.ratio() == Some(1.0)));
-        assert!(all_pass(&[("kernels", checks)]));
+        assert!(all_pass(&[section(checks)]));
     }
 
     #[test]
@@ -198,10 +245,13 @@ mod tests {
         assert_eq!(bad.len(), 1);
         assert_eq!(bad[0].name, "snappy.profile_speedup");
         assert!(bad[0].ratio().expect("both sides") < 0.75);
-        let sections = [("kernels", checks)];
+        // Worst margin leads the (sorted) check list.
+        assert_eq!(checks[0].name, "snappy.profile_speedup");
+        let sections = [section(checks)];
         assert!(!all_pass(&sections));
         let md = markdown_report(&sections, 0.25);
         assert!(md.contains("**FAIL**"));
+        assert!(md.contains("Baseline: `results/BENCH_kernels.json`"));
         assert!(md.contains("| `snappy.profile_speedup` | 2.250 | 1.120 |"));
     }
 
@@ -232,8 +282,27 @@ mod tests {
         let new = checks.iter().find(|c| c.baseline.is_none()).expect("new metric");
         assert_eq!(new.name, "snappy.extra_speedup");
         assert!(new.pass);
-        let md = markdown_report(&[("kernels", checks)], 0.25);
+        // Sorted worst-first: the dropped metrics lead, the new metric
+        // (nothing to regress against) trails.
+        assert!(checks[0].current.is_none() && checks[1].current.is_none());
+        assert!(checks.last().expect("nonempty").baseline.is_none());
+        let md = markdown_report(&[section(checks)], 0.25);
         assert!(md.contains("FAIL (missing)"));
         assert!(md.contains("| new |"));
+    }
+
+    #[test]
+    fn report_orders_checks_worst_margin_first() {
+        // Two dips of different depth, both within tolerance: the deeper
+        // dip must come first.
+        let cur = DOC
+            .replace("\"profile_speedup\": 2.25", "\"profile_speedup\": 1.80") // ratio 0.80
+            .replace("\"parse_speedup\": 1.2,", "\"parse_speedup\": 1.14,"); // ratio 0.95
+        let checks = compare(&doc(), &json::parse(&cur).expect("parses"), 0.25);
+        assert!(checks.iter().all(|c| c.pass));
+        assert_eq!(checks[0].name, "snappy.profile_speedup");
+        assert_eq!(checks[1].name, "snappy.parse_speedup");
+        let ratios: Vec<f64> = checks.iter().filter_map(MetricCheck::ratio).collect();
+        assert!(ratios.windows(2).all(|w| w[0] <= w[1]), "{ratios:?}");
     }
 }

@@ -33,6 +33,7 @@ use cdpu_util::varint;
 
 pub mod codes;
 pub mod reference;
+pub mod stream;
 
 /// Frame magic (`CDPF`): deliberately distinct from gzip/zlib headers.
 pub const MAGIC: [u8; 4] = *b"CDPF";
@@ -207,77 +208,96 @@ pub fn compress_parse(data: &[u8], parse: &Parse, cfg: &FlateConfig) -> Vec<u8> 
 /// DEFLATE's 258-byte maximum (longer matches become back-to-back copies
 /// at the same distance).
 fn split_parse(parse: &Parse, target: usize) -> Vec<Parse> {
-    struct Splitter {
-        chunks: Vec<Parse>,
-        cur: Parse,
-        cur_len: usize,
-        target: usize,
-    }
-    impl Splitter {
-        fn flush(&mut self) {
-            if self.cur_len > 0 || !self.cur.seqs.is_empty() {
-                self.chunks.push(std::mem::take(&mut self.cur));
-                self.cur_len = 0;
-            }
-        }
-        fn add_literals(&mut self, mut n: usize) {
-            while n > 0 {
-                if self.cur_len == self.target {
-                    self.flush();
-                }
-                let take = n.min(self.target - self.cur_len);
-                self.cur.last_literals += take as u32;
-                self.cur_len += take;
-                n -= take;
-            }
-        }
-        fn add_match(&mut self, mut rem: u32, offset: u32) {
-            while rem > 0 {
-                if self.cur_len == self.target {
-                    self.flush();
-                }
-                let space = (self.target - self.cur_len) as u32;
-                let mut piece = rem.min(MAX_MATCH).min(space);
-                if piece < rem && rem - piece < cdpu_lz77::MIN_MATCH as u32 {
-                    piece = piece.saturating_sub(cdpu_lz77::MIN_MATCH as u32);
-                }
-                if piece < cdpu_lz77::MIN_MATCH as u32 {
-                    self.flush();
-                    continue;
-                }
-                let lit_len = std::mem::take(&mut self.cur.last_literals);
-                self.cur.seqs.push(Seq {
-                    lit_len,
-                    match_len: piece,
-                    offset,
-                });
-                self.cur_len += piece as usize;
-                rem -= piece;
-            }
-        }
-    }
-
-    let mut s = Splitter {
-        chunks: Vec::new(),
-        cur: Parse::default(),
-        cur_len: 0,
-        target,
-    };
+    let mut s = Splitter::new(target);
     for seq in &parse.seqs {
         s.add_literals(seq.lit_len as usize);
         s.add_match(seq.match_len, seq.offset);
     }
     s.add_literals(parse.last_literals as usize);
-    if s.cur_len > 0 || !s.cur.seqs.is_empty() {
-        s.chunks.push(s.cur);
-    }
+    s.close();
     s.chunks
+}
+
+/// Incremental block splitter: accepts dictionary-stage events one at a
+/// time (so the streaming encoder can drive it without a whole-input
+/// parse) and accumulates closed ≤ `target`-byte chunks, capping matches
+/// at DEFLATE's 258-byte maximum. Feeding a parse event-by-event produces
+/// the same chunks as [`split_parse`] because literal runs are additive:
+/// `add_literals(a); add_literals(b)` ≡ `add_literals(a + b)`.
+pub(crate) struct Splitter {
+    /// Chunks closed so far, in input order. Drained by the caller.
+    pub(crate) chunks: Vec<Parse>,
+    cur: Parse,
+    cur_len: usize,
+    target: usize,
+}
+
+impl Splitter {
+    pub(crate) fn new(target: usize) -> Self {
+        assert!(target >= cdpu_lz77::MIN_MATCH * 2, "target too small to split matches");
+        Splitter { chunks: Vec::new(), cur: Parse::default(), cur_len: 0, target }
+    }
+
+    fn flush(&mut self) {
+        if self.cur_len > 0 || !self.cur.seqs.is_empty() {
+            self.chunks.push(std::mem::take(&mut self.cur));
+            self.cur_len = 0;
+        }
+    }
+
+    /// Closes the trailing partial chunk (end of input).
+    pub(crate) fn close(&mut self) {
+        self.flush();
+    }
+
+    pub(crate) fn add_literals(&mut self, mut n: usize) {
+        while n > 0 {
+            if self.cur_len == self.target {
+                self.flush();
+            }
+            let take = n.min(self.target - self.cur_len);
+            self.cur.last_literals += take as u32;
+            self.cur_len += take;
+            n -= take;
+        }
+    }
+
+    pub(crate) fn add_match(&mut self, mut rem: u32, offset: u32) {
+        while rem > 0 {
+            if self.cur_len == self.target {
+                self.flush();
+            }
+            let space = (self.target - self.cur_len) as u32;
+            let mut piece = rem.min(MAX_MATCH).min(space);
+            if piece < rem && rem - piece < cdpu_lz77::MIN_MATCH as u32 {
+                piece = piece.saturating_sub(cdpu_lz77::MIN_MATCH as u32);
+            }
+            if piece < cdpu_lz77::MIN_MATCH as u32 {
+                self.flush();
+                continue;
+            }
+            let lit_len = std::mem::take(&mut self.cur.last_literals);
+            self.cur.seqs.push(Seq {
+                lit_len,
+                match_len: piece,
+                offset,
+            });
+            self.cur_len += piece as usize;
+            rem -= piece;
+        }
+    }
 }
 
 const BLOCK_RAW: u8 = 0;
 const BLOCK_HUFF: u8 = 1;
 
-fn emit_block(data: &[u8], parse: &Parse, last: bool, out: &mut Vec<u8>, payload: &mut Vec<u8>) {
+pub(crate) fn emit_block(
+    data: &[u8],
+    parse: &Parse,
+    last: bool,
+    out: &mut Vec<u8>,
+    payload: &mut Vec<u8>,
+) {
     let last_bit = if last { 1u8 } else { 0 };
     // The payload scratch is caller-owned so one allocation serves the frame.
     payload.clear();
@@ -422,6 +442,131 @@ fn decode_huff_block(
         }
     }
     Ok(())
+}
+
+/// Decodes a Huffman block's *entropy stage only*: tables, bitstream and
+/// symbol semantics, staging literals and copy operations without touching
+/// the output window. Used by the streaming decoder and the stage-pipelined
+/// decode, where LZ77 application runs separately (and, for the pipeline,
+/// concurrently on the next block).
+///
+/// On error the operations staged *before* the failing symbol are left in
+/// `lits`/`seqs` and the error is returned alongside, because the
+/// interleaved one-shot decoder would have applied them (and may hit an
+/// application error — which takes precedence) before reaching the corrupt
+/// symbol. [`apply_huff_ops`] consumes the pair and reproduces the one-shot
+/// decoder's first-error value exactly.
+///
+/// Returns `(tail_literals, deferred_error)`: the literal count after the
+/// last staged copy, and the entropy error to surface if application
+/// succeeds.
+pub(crate) fn decode_huff_entropy(
+    payload: &[u8],
+    lits: &mut Vec<u8>,
+    seqs: &mut Vec<Seq>,
+) -> (usize, Option<FlateError>) {
+    lits.clear();
+    seqs.clear();
+    let mut pending = 0usize;
+    let mut pos = 0usize;
+    let header = (|| {
+        let (litlen, n) =
+            HuffmanTable::deserialize(&payload[pos..]).map_err(FlateError::Huffman)?;
+        pos += n;
+        let (dist, n) = HuffmanTable::deserialize(&payload[pos..]).map_err(FlateError::Huffman)?;
+        pos += n;
+        let (bit_len, n) =
+            varint::read_u64(&payload[pos..]).map_err(|_| FlateError::BadBlock("bit length"))?;
+        pos += n;
+        let nbytes = (bit_len as usize).div_ceil(8);
+        if pos + nbytes > payload.len() {
+            return Err(FlateError::Truncated);
+        }
+        Ok((litlen, dist, MsbBitReader::new(&payload[pos..pos + nbytes], bit_len as usize)))
+    })();
+    let (litlen, dist, mut r) = match header {
+        Ok(h) => h,
+        Err(e) => return (0, Some(e)),
+    };
+
+    loop {
+        let res = (|| {
+            let sym = litlen.decode_symbol(&mut r).map_err(FlateError::Huffman)?;
+            if sym == codes::END_OF_BLOCK {
+                return Ok(true);
+            }
+            if sym < 256 {
+                lits.push(sym as u8);
+                pending += 1;
+            } else {
+                let extra_bits =
+                    codes::length_extra_bits(sym).ok_or(FlateError::BadBlock("length code"))?;
+                let extra =
+                    r.read_bits(extra_bits as u32).map_err(|_| FlateError::Truncated)? as u32;
+                let len = codes::length_value(sym, extra)
+                    .map_err(|_| FlateError::BadBlock("length code"))?;
+                let dsym = dist.decode_symbol(&mut r).map_err(FlateError::Huffman)?;
+                let dbits =
+                    codes::dist_extra_bits(dsym).ok_or(FlateError::BadBlock("distance code"))?;
+                let dextra =
+                    r.read_bits(dbits as u32).map_err(|_| FlateError::Truncated)? as u32;
+                let distance = codes::dist_value(dsym, dextra)
+                    .map_err(|_| FlateError::BadBlock("distance code"))?;
+                seqs.push(Seq {
+                    lit_len: std::mem::take(&mut pending) as u32,
+                    match_len: len,
+                    offset: distance,
+                });
+            }
+            Ok(false)
+        })();
+        match res {
+            Ok(true) => return (pending, None),
+            Ok(false) => {}
+            Err(e) => return (pending, Some(e)),
+        }
+    }
+}
+
+/// Applies entropy-staged operations ([`decode_huff_entropy`]) to the
+/// output window, enforcing the window bound and the per-operation overrun
+/// check, then surfaces the deferred entropy error (if any). Application
+/// errors on staged operations take precedence over the deferred error —
+/// matching the interleaved one-shot decoder, which would have hit them
+/// first.
+pub(crate) fn apply_huff_ops(
+    lits: &[u8],
+    seqs: &[Seq],
+    tail_literals: usize,
+    deferred: Option<FlateError>,
+    out: &mut Vec<u8>,
+    window: u32,
+    max_len: usize,
+) -> Result<(), FlateError> {
+    let start = out.len();
+    let mut cursor = 0usize;
+    for s in seqs {
+        out.extend_from_slice(&lits[cursor..cursor + s.lit_len as usize]);
+        cursor += s.lit_len as usize;
+        if out.len() - start > max_len {
+            return Err(FlateError::BadBlock("block output overruns declared size"));
+        }
+        if s.offset > window {
+            return Err(FlateError::BadDistance);
+        }
+        apply_copy(out, s.offset, s.match_len).map_err(|_| FlateError::BadDistance)?;
+        if out.len() - start > max_len {
+            return Err(FlateError::BadBlock("block output overruns declared size"));
+        }
+    }
+    out.extend_from_slice(&lits[cursor..cursor + tail_literals]);
+    if out.len() - start > max_len {
+        return Err(FlateError::BadBlock("block output overruns declared size"));
+    }
+    match deferred {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
 }
 
 /// Decompresses a Flate-class frame.

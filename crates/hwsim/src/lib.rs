@@ -40,6 +40,7 @@ pub mod chunked;
 pub mod comp;
 pub mod decomp;
 pub mod params;
+pub mod pipeline;
 pub mod profile;
 pub mod service;
 pub mod stages;

@@ -22,6 +22,25 @@ pub mod gipfeli;
 pub mod lz4;
 pub mod lzo;
 pub mod reference;
+pub mod stream;
+
+use cdpu_lz77::hash::HashFn;
+use cdpu_lz77::matcher::MatcherConfig;
+
+/// The effort ladder shared by the LZO- and LZ4-class compressors:
+/// levels scale the greedy matcher's hash table (and disable skipping at
+/// high levels) without ever changing the wire format.
+pub(crate) fn matcher_for_level(level: u32) -> MatcherConfig {
+    let entries_log = (9 + level.min(5)).min(14);
+    MatcherConfig {
+        window_log: 16,
+        entries_log,
+        ways: if level >= 7 { 2 } else { 1 },
+        hash_fn: HashFn::Multiplicative,
+        min_match: cdpu_lz77::MIN_MATCH,
+        skip: level <= 3,
+    }
+}
 
 #[cfg(test)]
 mod tests {

@@ -19,8 +19,8 @@
 //! The final sequence is literals-only: the stream ends after its literal
 //! bytes, so it carries no offset (its match nibble is 0).
 
-use cdpu_lz77::hash::HashFn;
-use cdpu_lz77::matcher::{HashTableMatcher, MatcherConfig};
+use crate::matcher_for_level;
+use cdpu_lz77::matcher::HashTableMatcher;
 use cdpu_lz77::window::{apply_copy, DecoderScratch};
 use cdpu_util::varint;
 
@@ -60,20 +60,6 @@ impl std::fmt::Display for Lz4Error {
 
 impl std::error::Error for Lz4Error {}
 
-fn matcher_for_level(level: u32) -> MatcherConfig {
-    // Levels scale the hash table (and disable skipping at high levels),
-    // the same effort ladder as the LZO class.
-    let entries_log = (9 + level.min(5)).min(14);
-    MatcherConfig {
-        window_log: 16,
-        entries_log,
-        ways: if level >= 7 { 2 } else { 1 },
-        hash_fn: HashFn::Multiplicative,
-        min_match: cdpu_lz77::MIN_MATCH,
-        skip: level <= 3,
-    }
-}
-
 /// Compresses at the default level (3).
 pub fn compress(data: &[u8]) -> Vec<u8> {
     compress_with_level(data, 3)
@@ -108,7 +94,7 @@ pub fn compress_with_level(data: &[u8], level: u32) -> Vec<u8> {
     out
 }
 
-fn emit_sequence(out: &mut Vec<u8>, lits: &[u8], m: Option<(u32, u32)>) {
+pub(crate) fn emit_sequence(out: &mut Vec<u8>, lits: &[u8], m: Option<(u32, u32)>) {
     let ll = lits.len();
     let mlen = m.map_or(0, |(_, len)| {
         debug_assert!(len >= 4);

@@ -13,8 +13,8 @@
 //! - match: `0x80 | (len - 4)` for lengths 4–130 (one varint extension
 //!   byte for longer), followed by a 2-byte little-endian offset.
 
-use cdpu_lz77::hash::HashFn;
-use cdpu_lz77::matcher::{HashTableMatcher, MatcherConfig};
+use crate::matcher_for_level;
+use cdpu_lz77::matcher::HashTableMatcher;
 use cdpu_lz77::window::{apply_copy, DecoderScratch};
 use cdpu_util::varint;
 
@@ -54,19 +54,6 @@ impl std::fmt::Display for LzoError {
 
 impl std::error::Error for LzoError {}
 
-fn matcher_for_level(level: u32) -> MatcherConfig {
-    // Levels scale the hash table (and disable skipping at high levels).
-    let entries_log = (9 + level.min(5)).min(14);
-    MatcherConfig {
-        window_log: 16,
-        entries_log,
-        ways: if level >= 7 { 2 } else { 1 },
-        hash_fn: HashFn::Multiplicative,
-        min_match: cdpu_lz77::MIN_MATCH,
-        skip: level <= 3,
-    }
-}
-
 /// Compresses at the default level (3).
 pub fn compress(data: &[u8]) -> Vec<u8> {
     compress_with_level(data, 3)
@@ -97,7 +84,7 @@ pub fn compress_with_level(data: &[u8], level: u32) -> Vec<u8> {
     out
 }
 
-fn emit_literals(out: &mut Vec<u8>, lits: &[u8]) {
+pub(crate) fn emit_literals(out: &mut Vec<u8>, lits: &[u8]) {
     if lits.is_empty() {
         return;
     }
@@ -111,7 +98,7 @@ fn emit_literals(out: &mut Vec<u8>, lits: &[u8]) {
     out.extend_from_slice(lits);
 }
 
-fn emit_match(out: &mut Vec<u8>, offset: u32, len: u32) {
+pub(crate) fn emit_match(out: &mut Vec<u8>, offset: u32, len: u32) {
     debug_assert!((1..=MAX_OFFSET).contains(&offset));
     debug_assert!(len >= 4);
     // Two tiers, like LZO's M2/M3 forms: a 2-byte token for short, near

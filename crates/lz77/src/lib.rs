@@ -25,6 +25,7 @@
 pub mod hash;
 pub mod matcher;
 pub mod reference;
+pub mod stream;
 pub mod window;
 
 /// Minimum match length used throughout (Snappy and ZStd both use 4 as the

@@ -106,7 +106,7 @@ impl MatcherConfig {
         1usize << self.window_log
     }
 
-    fn validate(&self) {
+    pub(crate) fn validate(&self) {
         assert!(self.window_log >= 2 && self.window_log <= 30, "window_log out of range");
         assert!(self.entries_log >= 1 && self.entries_log <= 24, "entries_log out of range");
         assert!(self.ways >= 1, "need at least one way");

@@ -1,0 +1,515 @@
+//! Incremental LZ77 parsing over chunked input.
+//!
+//! [`StreamParser`] reproduces [`HashTableMatcher`]'s and
+//! [`HashChainMatcher`]'s parses **bit-identically** while seeing the
+//! input as an arbitrary sequence of chunks and retaining only a sliding
+//! window of it — the parse half of the streaming coder core. All six
+//! codec streamers sit on top of it.
+//!
+//! # How identity is preserved
+//!
+//! The one-shot matchers take two kinds of decisions that peek past the
+//! current position: match extension (a candidate's length is measured up
+//! to the end of the *whole* input) and the one-step lazy probe. The
+//! streaming parser takes the same decisions with the same table state,
+//! and **suspends** — returning without mutating any table — whenever a
+//! decision could still be changed by bytes it has not seen:
+//!
+//! - a probed candidate whose raw match length reaches the end of the
+//!   bytes fed so far could keep growing, so the whole probe is retried
+//!   once more input arrives (table untouched, so the retry is exact);
+//! - the chain matcher's lazy probe at `pos + 1` runs after `pos` was
+//!   inserted; if that probe must suspend, the insertion is undone so
+//!   resumption replays the step verbatim;
+//! - covered-position insertions that need bytes beyond the fed horizon
+//!   (the hash reads 4 bytes) are deferred, in order, until they arrive.
+//!
+//! Because both matchers only ever start a match at the probe cursor,
+//! every byte the cursor has passed is a confirmed literal, which is what
+//! lets literals stream out eagerly while the parse is still running.
+//!
+//! The parser needs the total input length up front (every codec frame
+//! in this workspace carries it in its header anyway): the one-shot loop
+//! bound and the covered-insert guards read `data.len()`.
+//!
+//! # Memory
+//!
+//! The retained input window is `O(window + chunk)` for realistic data.
+//! Two degenerate shapes defeat the bound and are accepted: a single
+//! match spanning many megabytes keeps the cursor (and so the window's
+//! left edge) pinned while bytes accumulate, and a multi-megabyte
+//! incompressible stretch under the skip heuristic can push the cursor
+//! far ahead of the fed bytes. Both resolve as soon as the region ends.
+//!
+//! [`HashTableMatcher`]: crate::matcher::HashTableMatcher
+//! [`HashChainMatcher`]: crate::matcher::HashChainMatcher
+
+use crate::hash::{hash_at, HashFn};
+use crate::matcher::{ChainConfig, MatcherConfig};
+use crate::MIN_MATCH;
+
+/// One parse decision, streamed to the consumer as soon as it is final.
+///
+/// Literal runs arrive split across arbitrarily many `Literals` events
+/// (consumers accumulate them); a `Match` is always whole. Concatenating
+/// literal bytes and match regions in event order reproduces the input.
+#[derive(Debug, PartialEq, Eq)]
+pub enum ParseEvent<'a> {
+    /// Confirmed literal bytes (possibly a partial run).
+    Literals(&'a [u8]),
+    /// A back-reference; `offset` is at most the configured window.
+    Match {
+        /// Distance back into the already-emitted stream.
+        offset: u32,
+        /// Match length (≥ the configured minimum match).
+        len: u32,
+    },
+}
+
+/// Matcher-specific state: the flattened knobs of the one-shot configs.
+#[derive(Debug, Clone, Copy)]
+enum Kind {
+    Table { ways: usize, set_log: u32, hash_fn: HashFn, skip: bool },
+    Chain { hash_log: u32, max_chain: u32, lazy: bool, heads: usize },
+}
+
+/// What one parse step did.
+enum Step {
+    /// Need more input before this position can be decided.
+    Suspend,
+    /// No match here; the cursor advanced.
+    Miss,
+    /// A match was found starting at `at`.
+    Found { at: usize, off: usize, len: usize },
+}
+
+/// Incremental LZ77 parser; see the module docs for the contract.
+#[derive(Debug)]
+pub struct StreamParser {
+    kind: Kind,
+    window: usize,
+    min_match: usize,
+    /// Matches farther back than this are emitted as literals — the
+    /// streaming form of [`Parse::fold_matches_beyond`], applied at the
+    /// moment the match is found so the table updates stay identical.
+    ///
+    /// [`Parse::fold_matches_beyond`]: crate::Parse::fold_matches_beyond
+    max_offset: Option<u32>,
+    table: Vec<u32>,
+    /// Sliding input retention: `buf[i]` is absolute byte `base + i`.
+    buf: Vec<u8>,
+    base: usize,
+    total: usize,
+    fed: usize,
+    pos: usize,
+    /// Everything before this absolute position has been emitted.
+    emitted: usize,
+    skip_counter: usize,
+    /// Covered-position insertions awaiting their hash bytes (≤ 3).
+    pending: [usize; 3],
+    npending: usize,
+}
+
+impl StreamParser {
+    /// A streaming parser equivalent to
+    /// [`HashTableMatcher::parse`](crate::matcher::HashTableMatcher::parse)
+    /// over `total` bytes. With `max_offset`, the event stream instead
+    /// matches that parse followed by
+    /// [`fold_matches_beyond`](crate::Parse::fold_matches_beyond).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a structurally invalid config or `total` ≥ `u32::MAX`.
+    pub fn table(cfg: MatcherConfig, total: usize, max_offset: Option<u32>) -> Self {
+        cfg.validate();
+        assert!((total as u64) < u32::MAX as u64, "streaming parse positions are u32");
+        let ways = cfg.ways as usize;
+        let sets = (1usize << cfg.entries_log) / ways;
+        let set_log = cdpu_util::floor_log2(sets.max(1) as u64);
+        Self::with_kind(
+            Kind::Table { ways, set_log, hash_fn: cfg.hash_fn, skip: cfg.skip },
+            vec![0u32; sets * ways],
+            cfg.window_size(),
+            cfg.min_match,
+            total,
+            max_offset,
+        )
+    }
+
+    /// A streaming parser equivalent to
+    /// [`HashChainMatcher::parse`](crate::matcher::HashChainMatcher::parse)
+    /// over `total` bytes (same `max_offset` semantics as
+    /// [`StreamParser::table`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a structurally invalid config or `total` ≥ `u32::MAX`.
+    pub fn chain(cfg: ChainConfig, total: usize, max_offset: Option<u32>) -> Self {
+        assert!(cfg.window_log >= 2 && cfg.window_log <= 30);
+        assert!(cfg.hash_log >= 1 && cfg.hash_log <= 24);
+        assert!(cfg.max_chain >= 1);
+        assert!(cfg.min_match >= MIN_MATCH);
+        assert!((total as u64) < u32::MAX as u64, "streaming parse positions are u32");
+        let heads = 1usize << cfg.hash_log;
+        let window = 1usize << cfg.window_log;
+        Self::with_kind(
+            Kind::Chain { hash_log: cfg.hash_log, max_chain: cfg.max_chain, lazy: cfg.lazy, heads },
+            vec![0u32; heads + window],
+            window,
+            cfg.min_match,
+            total,
+            max_offset,
+        )
+    }
+
+    fn with_kind(
+        kind: Kind,
+        table: Vec<u32>,
+        window: usize,
+        min_match: usize,
+        total: usize,
+        max_offset: Option<u32>,
+    ) -> Self {
+        StreamParser {
+            kind,
+            window,
+            min_match,
+            max_offset,
+            table,
+            buf: Vec::new(),
+            base: 0,
+            total,
+            fed: 0,
+            pos: 0,
+            emitted: 0,
+            skip_counter: 32,
+            pending: [0; 3],
+            npending: 0,
+        }
+    }
+
+    /// Total input length declared at construction.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Bytes fed so far.
+    pub fn fed(&self) -> usize {
+        self.fed
+    }
+
+    /// Current memory footprint: hash tables plus the retained window.
+    pub fn scratch_bytes(&self) -> usize {
+        self.table.capacity() * 4 + self.buf.capacity()
+    }
+
+    /// Feeds the next chunk, emitting every decision that becomes final.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fed bytes would exceed the declared total.
+    pub fn feed(&mut self, chunk: &[u8], sink: &mut dyn FnMut(ParseEvent<'_>)) {
+        assert!(self.fed + chunk.len() <= self.total, "fed past the declared total");
+        self.buf.extend_from_slice(chunk);
+        self.fed += chunk.len();
+        self.run(sink);
+        // Every byte the cursor has passed is a confirmed literal.
+        let lit_end = self.pos.min(self.fed);
+        if self.emitted < lit_end {
+            sink(ParseEvent::Literals(&self.buf[self.emitted - self.base..lit_end - self.base]));
+            self.emitted = lit_end;
+        }
+        self.compact();
+    }
+
+    /// Completes the parse after all `total` bytes were fed, emitting the
+    /// remaining matches and the tail literals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if input is still outstanding.
+    pub fn finish(&mut self, sink: &mut dyn FnMut(ParseEvent<'_>)) {
+        assert_eq!(self.fed, self.total, "finish before all input was fed");
+        self.run(sink);
+        debug_assert_eq!(self.npending, 0);
+        if self.emitted < self.total {
+            sink(ParseEvent::Literals(&self.buf[self.emitted - self.base..self.total - self.base]));
+            self.emitted = self.total;
+        }
+    }
+
+    /// Advances the parse as far as the fed bytes allow.
+    fn run(&mut self, sink: &mut dyn FnMut(ParseEvent<'_>)) {
+        loop {
+            if !self.flush_pending() {
+                return;
+            }
+            if self.pos + self.min_match > self.total {
+                return; // parse complete; finish() emits the tail
+            }
+            if self.pos + self.min_match > self.fed {
+                return;
+            }
+            let is_final = self.fed == self.total;
+            let step = match self.kind {
+                Kind::Table { .. } => self.step_table(is_final),
+                Kind::Chain { .. } => self.step_chain(is_final),
+            };
+            match step {
+                Step::Suspend => return,
+                Step::Miss => {}
+                Step::Found { at, off, len } => self.commit(at, off, len, sink),
+            }
+        }
+    }
+
+    /// Replays deferred covered-position insertions whose hash bytes have
+    /// arrived. Returns false while any remain gated (the cursor cannot
+    /// probe before they flush, so order is preserved).
+    fn flush_pending(&mut self) -> bool {
+        while self.npending > 0 {
+            let p = self.pending[0];
+            if p + 4 > self.fed {
+                return false;
+            }
+            self.insert_abs(p);
+            self.pending[0] = self.pending[1];
+            self.pending[1] = self.pending[2];
+            self.npending -= 1;
+        }
+        true
+    }
+
+    /// Inserts absolute position `p` into the match table, exactly as the
+    /// one-shot matchers do.
+    fn insert_abs(&mut self, p: usize) {
+        let rel = p - self.base;
+        match self.kind {
+            Kind::Table { ways, set_log, hash_fn, .. } => {
+                let h = hash_at(&self.buf, rel, hash_fn, set_log) as usize;
+                let set = &mut self.table[h * ways..(h + 1) * ways];
+                set.copy_within(0..ways - 1, 1);
+                set[0] = p as u32 + 1;
+            }
+            Kind::Chain { hash_log, heads, .. } => {
+                let h = hash_at(&self.buf, rel, HashFn::Multiplicative, hash_log) as usize;
+                let wmask = self.window - 1;
+                let (head, prev) = self.table.split_at_mut(heads);
+                prev[p & wmask] = head[h];
+                head[h] = p as u32 + 1;
+            }
+        }
+    }
+
+    /// One probe of the set-associative table matcher at the cursor.
+    fn step_table(&mut self, is_final: bool) -> Step {
+        let Kind::Table { ways, set_log, hash_fn, skip } = self.kind else { unreachable!() };
+        let pos = self.pos;
+        let rel = pos - self.base;
+        let limit = self.fed - pos;
+        let h = hash_at(&self.buf, rel, hash_fn, set_log) as usize;
+        let mut best_len = 0usize;
+        let mut best_off = 0usize;
+        for &slot in &self.table[h * ways..(h + 1) * ways] {
+            if slot == 0 {
+                continue;
+            }
+            let cand = (slot - 1) as usize;
+            if cand >= pos || pos - cand > self.window {
+                continue;
+            }
+            let raw = raw_match_len(&self.buf, cand - self.base, rel, limit);
+            if raw == limit && !is_final {
+                // This candidate could still grow; retry the whole probe
+                // (nothing mutated) once more bytes arrive.
+                return Step::Suspend;
+            }
+            if raw >= self.min_match && raw > best_len {
+                best_len = raw;
+                best_off = pos - cand;
+            }
+        }
+        let set = &mut self.table[h * ways..(h + 1) * ways];
+        set.copy_within(0..ways - 1, 1);
+        set[0] = pos as u32 + 1;
+        if best_len > 0 {
+            Step::Found { at: pos, off: best_off, len: best_len }
+        } else {
+            if skip {
+                self.pos += 1 + (self.skip_counter >> 5);
+                self.skip_counter += 1;
+            } else {
+                self.pos += 1;
+            }
+            Step::Miss
+        }
+    }
+
+    /// One probe of the hash-chain matcher (greedy + optional 1-step lazy)
+    /// at the cursor.
+    fn step_chain(&mut self, is_final: bool) -> Step {
+        let Kind::Chain { hash_log, max_chain, lazy, heads } = self.kind else { unreachable!() };
+        let pos = self.pos;
+        let wmask = self.window - 1;
+        let (head, prev) = self.table.split_at_mut(heads);
+        let probe = ChainProbe {
+            buf: &self.buf,
+            base: self.base,
+            window: self.window,
+            hash_log,
+            max_chain,
+            min_match: self.min_match,
+            avail: self.fed,
+            is_final,
+        };
+        let Some((mut len, mut off)) = probe.best(head, prev, pos) else {
+            return Step::Suspend;
+        };
+        // Insert the cursor position, keeping what an undo needs: the old
+        // link is still reachable through `prev` and the old head value.
+        let h = hash_at(&self.buf, pos - self.base, HashFn::Multiplicative, hash_log) as usize;
+        let saved_prev = prev[pos & wmask];
+        prev[pos & wmask] = head[h];
+        head[h] = pos as u32 + 1;
+        if len == 0 {
+            self.pos += 1;
+            return Step::Miss;
+        }
+        let mut at = pos;
+        if lazy && pos + 1 + self.min_match <= self.total {
+            // The one-shot lazy probe at pos + 1 runs with pos inserted.
+            // If it cannot complete yet, undo the insertion and replay
+            // the entire step when more input arrives.
+            let lazy_probe = if pos + 1 + self.min_match > self.fed {
+                None
+            } else {
+                probe.best(head, prev, pos + 1)
+            };
+            match lazy_probe {
+                None => {
+                    head[h] = prev[pos & wmask];
+                    prev[pos & wmask] = saved_prev;
+                    return Step::Suspend;
+                }
+                Some((len2, off2)) => {
+                    if len2 > len + 1 {
+                        let h2 = hash_at(&self.buf, pos + 1 - self.base, HashFn::Multiplicative, hash_log)
+                            as usize;
+                        prev[(pos + 1) & wmask] = head[h2];
+                        head[h2] = (pos + 1) as u32 + 1;
+                        at = pos + 1;
+                        len = len2;
+                        off = off2;
+                    }
+                }
+            }
+        }
+        Step::Found { at, off, len }
+    }
+
+    /// Emits a found match (literals first), indexes the covered
+    /// positions, and moves the cursor past it.
+    fn commit(&mut self, at: usize, off: usize, len: usize, sink: &mut dyn FnMut(ParseEvent<'_>)) {
+        if self.emitted < at {
+            sink(ParseEvent::Literals(&self.buf[self.emitted - self.base..at - self.base]));
+        }
+        let end = at + len;
+        if self.max_offset.is_some_and(|m| off > m as usize) {
+            // Out-of-format offset: same table updates, but the region
+            // streams out as literals (fold_matches_beyond, applied live).
+            sink(ParseEvent::Literals(&self.buf[at - self.base..end - self.base]));
+        } else {
+            sink(ParseEvent::Match { offset: off as u32, len: len as u32 });
+        }
+        self.emitted = end;
+        let mut p = at + 1;
+        while p + self.min_match <= self.total && p < end {
+            if p + 4 <= self.fed {
+                self.insert_abs(p);
+            } else {
+                // Hash bytes not fed yet; deferral is always a suffix of
+                // the covered range, so insertion order is preserved.
+                self.pending[self.npending] = p;
+                self.npending += 1;
+            }
+            p += 1;
+        }
+        self.pos = end;
+        self.skip_counter = 32;
+    }
+
+    /// Drops retained bytes that neither literal emission nor any
+    /// in-window candidate can reach again.
+    fn compact(&mut self) {
+        let keep_from = self.emitted.min(self.pos.saturating_sub(self.window));
+        let dead = keep_from.saturating_sub(self.base);
+        if dead >= 64 * 1024 && dead * 2 >= self.buf.len() {
+            self.buf.drain(..dead);
+            self.base = keep_from;
+        }
+    }
+}
+
+/// The chain matcher's bounded candidate walk, streaming-aware: returns
+/// `None` (suspend) when any examined candidate's match could still grow.
+struct ChainProbe<'a> {
+    buf: &'a [u8],
+    base: usize,
+    window: usize,
+    hash_log: u32,
+    max_chain: u32,
+    min_match: usize,
+    avail: usize,
+    is_final: bool,
+}
+
+impl ChainProbe<'_> {
+    fn best(&self, head: &[u32], prev: &[u32], pos: usize) -> Option<(usize, usize)> {
+        let rel = pos - self.base;
+        let limit = self.avail - pos;
+        let h = hash_at(self.buf, rel, HashFn::Multiplicative, self.hash_log) as usize;
+        let wmask = self.window - 1;
+        let mut cand_plus1 = head[h];
+        let mut depth = 0;
+        let mut best_len = 0usize;
+        let mut best_off = 0usize;
+        while cand_plus1 != 0 && depth < self.max_chain {
+            let cand = (cand_plus1 - 1) as usize;
+            if cand >= pos || pos - cand > self.window {
+                break;
+            }
+            let raw = raw_match_len(self.buf, cand - self.base, rel, limit);
+            if raw == limit && !self.is_final {
+                return None;
+            }
+            if raw >= self.min_match && raw > best_len {
+                best_len = raw;
+                best_off = pos - cand;
+            }
+            cand_plus1 = prev[cand & wmask];
+            depth += 1;
+        }
+        Some((best_len, best_off))
+    }
+}
+
+/// Longest common prefix of `buf[cand..]` and `buf[pos..]`, capped at
+/// `limit` — the raw (unfiltered) form of the one-shot `match_length`,
+/// with the same 8-bytes-per-step extension discipline.
+fn raw_match_len(buf: &[u8], cand: usize, pos: usize, limit: usize) -> usize {
+    debug_assert!(cand < pos);
+    let mut len = 0usize;
+    while len + 8 <= limit {
+        let a = u64::from_le_bytes(buf[cand + len..cand + len + 8].try_into().unwrap());
+        let b = u64::from_le_bytes(buf[pos + len..pos + len + 8].try_into().unwrap());
+        let x = a ^ b;
+        if x != 0 {
+            return len + (x.trailing_zeros() >> 3) as usize;
+        }
+        len += 8;
+    }
+    while len < limit && buf[cand + len] == buf[pos + len] {
+        len += 1;
+    }
+    len
+}

@@ -1,0 +1,171 @@
+//! Bounded-queue stage pipeline: producer/consumer overlap for one call.
+//!
+//! [`par_map`](crate::par_map) splits *independent* items across workers;
+//! this module overlaps the *dependent* stages of a single large call —
+//! parse feeding entropy coding on compress, entropy decode feeding LZ
+//! application on decompress. The producer stage runs on its own scoped
+//! thread and hands per-block work items through a small bounded channel
+//! to the consumer stage on the calling thread, so at any moment at most
+//! `depth` blocks of intermediate state exist: constant memory regardless
+//! of call size, and no per-block barrier — stage A is parsing block
+//! `k+1` while stage B is still writing block `k`.
+//!
+//! The primitive is deliberately codec-agnostic: codecs define the item
+//! type (decoded literals + sequences, closed parse chunks, …) and keep
+//! byte/error equivalence with their serial paths; this module only
+//! guarantees ordered delivery, bounded buffering, early producer
+//! shutdown when the consumer stops, and panic propagation.
+
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+
+/// Default bound on in-flight items: double buffering (one block being
+/// produced while one is consumed) plus one slot of slack so neither
+/// stage stalls on a momentary speed mismatch.
+pub const DEFAULT_DEPTH: usize = 2;
+
+/// The producer's handle: ordered, bounded, hangup-aware.
+pub struct StageSender<T> {
+    tx: SyncSender<T>,
+}
+
+impl<T> StageSender<T> {
+    /// Sends one item to the consumer, blocking while the queue is full.
+    /// Returns `false` when the consumer has hung up (dropped its
+    /// receiver, typically after deciding on an error); the producer
+    /// should stop doing work — its remaining output can never be
+    /// observed.
+    pub fn send(&self, item: T) -> bool {
+        self.tx.send(item).is_ok()
+    }
+
+    /// Non-blocking probe used by tests and adaptive producers: `Ok` on
+    /// enqueue, `Err(item)` back when the queue is full or disconnected.
+    pub fn try_send(&self, item: T) -> Result<(), T> {
+        self.tx.try_send(item).map_err(|e| match e {
+            TrySendError::Full(v) | TrySendError::Disconnected(v) => v,
+        })
+    }
+}
+
+/// Runs a two-stage pipeline over a bounded queue of at most `depth`
+/// in-flight items and returns both stages' results.
+///
+/// `producer` runs on a scoped worker thread; it emits items in order via
+/// [`StageSender::send`] and returns its stage result (conventionally a
+/// trailing `Option<Error>` for "everything after the last sent item").
+/// `consumer` runs on the calling thread against the receiving end;
+/// dropping/returning early is the supported cancellation path and
+/// unblocks a producer waiting on a full queue. A panic on either side
+/// propagates to the caller.
+///
+/// # Panics
+///
+/// Panics if `depth == 0` (a rendezvous channel would serialize the
+/// stages) or if either stage panics.
+pub fn run<T, P, C, PR, CR>(depth: usize, producer: P, consumer: C) -> (PR, CR)
+where
+    T: Send,
+    P: FnOnce(&StageSender<T>) -> PR + Send,
+    C: FnOnce(Receiver<T>) -> CR,
+    PR: Send,
+{
+    assert!(depth > 0, "pipeline depth must be at least 1");
+    let (tx, rx) = std::sync::mpsc::sync_channel(depth);
+    std::thread::scope(|scope| {
+        let handle = scope.spawn(move || {
+            let sender = StageSender { tx };
+            producer(&sender)
+        });
+        let consumed = consumer(rx);
+        let produced = match handle.join() {
+            Ok(v) => v,
+            Err(payload) => std::panic::resume_unwind(payload),
+        };
+        (produced, consumed)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn items_arrive_in_order_and_results_return() {
+        let (sum, collected) = run(
+            DEFAULT_DEPTH,
+            |tx| {
+                let mut sum = 0u64;
+                for i in 0..1000u64 {
+                    sum += i;
+                    assert!(tx.send(i));
+                }
+                sum
+            },
+            |rx| rx.iter().collect::<Vec<u64>>(),
+        );
+        assert_eq!(collected, (0..1000).collect::<Vec<u64>>());
+        assert_eq!(sum, collected.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn consumer_hangup_stops_producer() {
+        let (produced, first) = run(
+            1,
+            |tx| {
+                let mut sent = 0u32;
+                for i in 0..u32::MAX {
+                    if !tx.send(i) {
+                        break;
+                    }
+                    sent += 1;
+                }
+                sent
+            },
+            |rx| rx.recv().unwrap(), // take one item, then hang up
+        );
+        assert_eq!(first, 0);
+        // Depth-1 queue: the producer can outrun the consumer by at most
+        // the queue bound plus the item in flight before seeing the
+        // hangup — never the full u32::MAX loop.
+        assert!(produced <= 3, "producer kept running: {produced} items");
+    }
+
+    #[test]
+    fn bounded_queue_backpressures() {
+        // With the consumer not yet draining, try_send must report Full
+        // after `depth` items rather than buffering without bound.
+        let ((), ()) = run(
+            2,
+            |tx| {
+                assert!(tx.try_send(1).is_ok());
+                assert!(tx.try_send(2).is_ok());
+                assert!(tx.try_send(99).is_err(), "queue accepted more than its bound");
+                assert!(tx.send(3));
+            },
+            |rx| {
+                // Give the producer time to fill the queue before draining.
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                let mut got = 0;
+                while got < 4 && rx.recv().is_ok() {
+                    got += 1;
+                }
+            },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "stage blew up")]
+    fn producer_panic_propagates() {
+        let _ = run(
+            DEFAULT_DEPTH,
+            |_tx: &StageSender<u32>| panic!("stage blew up"),
+            |rx| rx.iter().count(),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "depth must be at least 1")]
+    fn zero_depth_rejected() {
+        let _ = run(0, |tx: &StageSender<u32>| { let _ = tx.send(1); }, |rx| rx.iter().count());
+    }
+}

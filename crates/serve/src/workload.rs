@@ -59,6 +59,18 @@ pub struct ChunkedDecode {
     pub chunk_bytes: u64,
 }
 
+/// Streaming execution for large calls: at or above the threshold, calls
+/// run through the bounded-memory streaming core (`*::stream`) instead of
+/// the one-shot kernels — stage-pipelined for the heavyweights (ZStd,
+/// Flate/Brotli), incremental encoder/decoder drives for the lightweights.
+/// Output bytes (and so every outcome fold) are identical to the one-shot
+/// path; the parity suites in each codec crate pin that equivalence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamingExec {
+    /// Calls at or above this uncompressed size execute streaming.
+    pub threshold_bytes: u64,
+}
+
 /// How the serving engine generates call payloads.
 #[derive(Debug, Clone)]
 pub struct WorkloadConfig {
@@ -71,6 +83,10 @@ pub struct WorkloadConfig {
     /// Chunked decode for large calls (None = every call serial, today's
     /// behavior; decoded bytes are identical either way).
     pub chunked: Option<ChunkedDecode>,
+    /// Streaming execution for large calls (None = one-shot kernels,
+    /// today's behavior; outcomes are identical either way). Chunked
+    /// frames take precedence where both policies cover a call.
+    pub streaming: Option<StreamingExec>,
 }
 
 impl Default for WorkloadConfig {
@@ -80,6 +96,7 @@ impl Default for WorkloadConfig {
             tape_bytes: 2 << 20,
             max_call_bytes: 512 * 1024,
             chunked: None,
+            streaming: None,
         }
     }
 }
@@ -92,6 +109,7 @@ impl WorkloadConfig {
             tape_bytes: 512 * 1024,
             max_call_bytes: 64 * 1024,
             chunked: None,
+            streaming: None,
         }
     }
 }
@@ -130,6 +148,7 @@ pub struct Workload {
     tape: Vec<u8>,
     max_call_bytes: u64,
     chunked: Option<ChunkedDecode>,
+    streaming: Option<StreamingExec>,
     ladder: Mutex<HashMap<LadderKey, Arc<Vec<u8>>>>,
 }
 
@@ -160,6 +179,7 @@ impl Workload {
             tape,
             max_call_bytes: max_call,
             chunked: cfg.chunked,
+            streaming: cfg.streaming,
             ladder: Mutex::new(HashMap::new()),
         }
     }
@@ -199,19 +219,23 @@ impl Workload {
     fn execute_compress(&self, call: &EngineCall) -> ExecOutcome {
         let bytes = self.clamp_bytes(call.bytes);
         let input = self.tape_window(call.salt, bytes as usize);
-        let out = match call.op.algo {
-            Algorithm::Snappy => cdpu_snappy::compress(input),
-            Algorithm::Zstd => cdpu_zstd::compress_with(
-                input,
-                &cdpu_zstd::ZstdConfig::with_level(zstd_bucket(call.level)),
-            ),
-            // Brotli executes on the Flate kernel (see module docs).
-            Algorithm::Flate | Algorithm::Brotli => cdpu_flate::compress_with(
-                input,
-                &cdpu_flate::FlateConfig::with_level(FLATE_LEVEL),
-            ),
-            Algorithm::Gipfeli => cdpu_lite::gipfeli::compress(input),
-            Algorithm::Lzo => cdpu_lite::lzo::compress(input),
+        let out = if self.streaming_for(bytes) {
+            streaming_compress(call.op.algo, zstd_bucket(call.level), input)
+        } else {
+            match call.op.algo {
+                Algorithm::Snappy => cdpu_snappy::compress(input),
+                Algorithm::Zstd => cdpu_zstd::compress_with(
+                    input,
+                    &cdpu_zstd::ZstdConfig::with_level(zstd_bucket(call.level)),
+                ),
+                // Brotli executes on the Flate kernel (see module docs).
+                Algorithm::Flate | Algorithm::Brotli => cdpu_flate::compress_with(
+                    input,
+                    &cdpu_flate::FlateConfig::with_level(FLATE_LEVEL),
+                ),
+                Algorithm::Gipfeli => cdpu_lite::gipfeli::compress(input),
+                Algorithm::Lzo => cdpu_lite::lzo::compress(input),
+            }
         };
         ExecOutcome {
             uncompressed_bytes: bytes,
@@ -237,6 +261,18 @@ impl Workload {
                 check: fold(&out),
             };
         }
+        let size = step_bytes(step.min(step_of(self.max_call_bytes))).min(self.max_call_bytes);
+        if self.streaming_for(size) {
+            // Plain (non-chunked) payload at or above the streaming
+            // threshold: decode through the streaming core. Output bytes
+            // — and so the fold — are identical to the one-shot path.
+            let out = streaming_decompress(algo, &payload);
+            return ExecOutcome {
+                uncompressed_bytes: out.len() as u64,
+                compressed_bytes: payload.len() as u64,
+                check: fold(&out),
+            };
+        }
         let out = match algo {
             Algorithm::Snappy => cdpu_snappy::decompress_into(&payload, scratch)
                 .expect("ladder payload is self-compressed"),
@@ -254,6 +290,11 @@ impl Workload {
             compressed_bytes: payload.len() as u64,
             check: fold(out),
         }
+    }
+
+    /// Whether a call of this uncompressed size executes streaming.
+    fn streaming_for(&self, bytes: u64) -> bool {
+        self.streaming.is_some_and(|s| bytes >= s.threshold_bytes)
     }
 
     /// The chunked policy that applies to a ladder step's payload, if any:
@@ -312,6 +353,83 @@ impl Workload {
         let arc = Arc::new(built);
         let mut guard = self.ladder.lock().unwrap_or_else(|e| e.into_inner());
         Arc::clone(guard.entry(key).or_insert(arc))
+    }
+}
+
+/// Bytes fed/drained per streaming drive window.
+const STREAM_CHUNK: usize = 64 * 1024;
+
+/// Streaming-core compression: stage-pipelined for the heavyweights,
+/// incremental encoder drives for the lightweights. Byte-identical to the
+/// one-shot kernels (pinned by each codec's stream-parity suite).
+fn streaming_compress(algo: Algorithm, zstd_level: i32, input: &[u8]) -> Vec<u8> {
+    use cdpu_util::stream::drive_encoder;
+    match algo {
+        Algorithm::Zstd => cdpu_zstd::stream::compress_pipelined(
+            input,
+            &cdpu_zstd::ZstdConfig::with_level(zstd_level),
+        ),
+        Algorithm::Flate | Algorithm::Brotli => cdpu_flate::stream::compress_pipelined(
+            input,
+            &cdpu_flate::FlateConfig::with_level(FLATE_LEVEL),
+        ),
+        Algorithm::Snappy => {
+            let mut enc = cdpu_snappy::stream::SnappyStreamEncoder::new(
+                input.len(),
+                &cdpu_lz77::matcher::MatcherConfig::snappy_sw(),
+            );
+            let mut out = Vec::new();
+            drive_encoder(&mut enc, input, STREAM_CHUNK, &mut out)
+                .expect("encoder driven within its contract");
+            out
+        }
+        Algorithm::Gipfeli => {
+            let mut enc = cdpu_lite::stream::GipfeliStreamEncoder::new(input.len());
+            let mut out = Vec::new();
+            drive_encoder(&mut enc, input, STREAM_CHUNK, &mut out)
+                .expect("encoder driven within its contract");
+            out
+        }
+        Algorithm::Lzo => {
+            let mut enc = cdpu_lite::stream::LzoStreamEncoder::new(input.len(), 3);
+            let mut out = Vec::new();
+            drive_encoder(&mut enc, input, STREAM_CHUNK, &mut out)
+                .expect("encoder driven within its contract");
+            out
+        }
+    }
+}
+
+/// Streaming-core decompression of a plain (non-chunked) ladder payload.
+/// Byte-identical to the one-shot kernels.
+fn streaming_decompress(algo: Algorithm, payload: &[u8]) -> Vec<u8> {
+    use cdpu_util::stream::drive_decoder;
+    match algo {
+        Algorithm::Zstd => cdpu_zstd::stream::decompress_pipelined(payload)
+            .expect("ladder payload is self-compressed"),
+        Algorithm::Flate | Algorithm::Brotli => cdpu_flate::stream::decompress_pipelined(payload)
+            .expect("ladder payload is self-compressed"),
+        Algorithm::Snappy => {
+            let mut dec = cdpu_snappy::stream::SnappyStreamDecoder::new();
+            let mut out = Vec::new();
+            drive_decoder(&mut dec, payload, STREAM_CHUNK, &mut out)
+                .expect("ladder payload is self-compressed");
+            out
+        }
+        Algorithm::Gipfeli => {
+            let mut dec = cdpu_lite::stream::GipfeliStreamDecoder::new();
+            let mut out = Vec::new();
+            drive_decoder(&mut dec, payload, STREAM_CHUNK, &mut out)
+                .expect("ladder payload is self-compressed");
+            out
+        }
+        Algorithm::Lzo => {
+            let mut dec = cdpu_lite::stream::LzoStreamDecoder::new();
+            let mut out = Vec::new();
+            drive_decoder(&mut dec, payload, STREAM_CHUNK, &mut out)
+                .expect("ladder payload is self-compressed");
+            out
+        }
     }
 }
 
@@ -382,6 +500,7 @@ mod tests {
             tape_bytes: 128 * 1024,
             max_call_bytes: 32 * 1024,
             chunked: None,
+            streaming: None,
         })
     }
 
@@ -394,6 +513,7 @@ mod tests {
                 threshold_bytes: 16 * 1024,
                 chunk_bytes: 8 * 1024,
             }),
+            streaming: None,
         })
     }
 
@@ -505,6 +625,39 @@ mod tests {
                 chunked.execute(&small, &mut scratch),
                 "{algo:?} small call must be untouched by chunking"
             );
+        }
+    }
+
+    #[test]
+    fn streaming_exec_produces_identical_outcomes() {
+        let plain = tiny_workload();
+        let streaming = Workload::build(&WorkloadConfig {
+            seed: 7,
+            tape_bytes: 128 * 1024,
+            max_call_bytes: 32 * 1024,
+            chunked: None,
+            streaming: Some(StreamingExec { threshold_bytes: 16 * 1024 }),
+        });
+        let mut scratch = DecoderScratch::new();
+        for algo in Algorithm::ALL {
+            for dir in Direction::ALL {
+                // Above the threshold: the streaming workload runs the
+                // streaming core; outcomes (sizes and fold) must match the
+                // one-shot workload exactly.
+                let big = call(algo, dir, 32 * 1024, Some(3));
+                assert_eq!(
+                    plain.execute(&big, &mut scratch),
+                    streaming.execute(&big, &mut scratch),
+                    "{algo:?} {dir:?} streaming outcome diverged"
+                );
+                // Below the threshold: the one-shot path runs either way.
+                let small = call(algo, dir, 4 * 1024, Some(3));
+                assert_eq!(
+                    plain.execute(&small, &mut scratch),
+                    streaming.execute(&small, &mut scratch),
+                    "{algo:?} {dir:?} small call must be untouched by streaming"
+                );
+            }
         }
     }
 

@@ -23,6 +23,7 @@ fn workload() -> &'static Arc<Workload> {
             tape_bytes: 256 * 1024,
             max_call_bytes: 16 * 1024,
             chunked: None,
+            streaming: None,
         }))
     })
 }

@@ -27,6 +27,7 @@
 
 pub mod frame;
 pub mod reference;
+pub mod stream;
 
 use cdpu_lz77::matcher::{HashTableMatcher, MatcherConfig};
 use cdpu_lz77::window::{apply_copy, DecoderScratch};
@@ -157,7 +158,7 @@ pub fn compress_parse(data: &[u8], parse: &Parse) -> Vec<u8> {
     out
 }
 
-fn emit_literals(out: &mut Vec<u8>, mut lits: &[u8]) {
+pub(crate) fn emit_literals(out: &mut Vec<u8>, mut lits: &[u8]) {
     while !lits.is_empty() {
         let chunk = lits.len().min(MAX_LITERAL_LEN);
         let n = chunk - 1;
@@ -178,7 +179,7 @@ fn emit_literals(out: &mut Vec<u8>, mut lits: &[u8]) {
     }
 }
 
-fn emit_copy(out: &mut Vec<u8>, offset: u32, mut len: u32) {
+pub(crate) fn emit_copy(out: &mut Vec<u8>, offset: u32, mut len: u32) {
     debug_assert!(offset >= 1 && offset as usize <= WINDOW_SIZE);
     // Long matches split into <= 64-byte copies. Avoid a trailing copy
     // shorter than 4 (inexpressible as type-01 when the offset is small and

@@ -1,0 +1,391 @@
+//! Streaming Snappy: bounded-memory, chunk-resumable encode/decode that
+//! is byte-identical to the one-shot entry points.
+//!
+//! The encoder feeds input windows into a [`StreamParser`] configured
+//! exactly like [`parse_with`](crate::parse_with) (64 KiB window clamp,
+//! same matcher knobs) and serializes its events with the same
+//! `emit_literals`/`emit_copy` helpers the one-shot path uses, so the
+//! element stream — and therefore every output byte — matches
+//! [`compress_with`](crate::compress_with) for any chunking of the input.
+//!
+//! The decoder is a resumable element-stream state machine over the same
+//! grammar as `decompress`, holding a sliding history window instead of
+//! the whole output. Error values match the one-shot decoder for every
+//! stream the encoder can produce and for truncations/corruptions
+//! thereof, with one documented divergence: a hostile type-11 copy whose
+//! offset exceeds the retained 64 KiB history (but not total produced
+//! output) reports [`SnappyError::BadOffset`] where the one-shot decoder,
+//! which keeps everything, can still serve it. The format's encoder never
+//! emits such an offset (the window is clamped to 64 KiB).
+//!
+//! Memory bounds: the encoder's scratch is the match table plus the
+//! parser's sliding buffer plus staged output; the parser buffer can grow
+//! beyond the window only on degenerate inputs (one giant match pinning
+//! the parse cursor, or the skip heuristic racing ahead of fed data on
+//! incompressible input). The decoder retains at most the 64 KiB format
+//! window plus the undrained staged output.
+
+use crate::{emit_copy, emit_literals, SnappyError, WINDOW_SIZE};
+use cdpu_lz77::matcher::MatcherConfig;
+use cdpu_lz77::stream::{ParseEvent, StreamParser};
+use cdpu_lz77::window::apply_copy;
+use cdpu_util::stream::{
+    HistBuf, OutBuf, StreamDecoder, StreamEncoder, StreamError, StreamProgress, VarintAccum,
+};
+use cdpu_util::varint;
+
+/// Stop accepting input while this much output is staged undrained.
+const HIGH_WATER: usize = 256 * 1024;
+/// Largest slice handed to the parser per push (bounds per-call latency).
+const FEED_PIECE: usize = 64 * 1024;
+
+/// Streaming Snappy compressor. See the module docs for the contract.
+pub struct SnappyStreamEncoder {
+    parser: StreamParser,
+    lits: Vec<u8>,
+    out: OutBuf,
+    finished: bool,
+}
+
+impl SnappyStreamEncoder {
+    /// Creates an encoder for exactly `total` input bytes, mirroring
+    /// [`compress_with`](crate::compress_with)'s window clamp.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total` exceeds the format's 4 GiB limit or `cfg` is
+    /// structurally invalid.
+    pub fn new(total: usize, cfg: &MatcherConfig) -> Self {
+        assert!(total <= u32::MAX as usize, "snappy caps input at 4 GiB");
+        let cfg = MatcherConfig { window_log: cfg.window_log.min(16), ..*cfg };
+        let parser = StreamParser::table(cfg, total, None);
+        let mut out = OutBuf::new();
+        varint::write_u64(out.sink(), total as u64);
+        SnappyStreamEncoder { parser, lits: Vec::new(), out, finished: false }
+    }
+
+    fn pump(&mut self, input: &[u8], is_final: bool) {
+        let Self { parser, lits, out, .. } = self;
+        let mut sink = |ev: ParseEvent<'_>| match ev {
+            ParseEvent::Literals(b) => lits.extend_from_slice(b),
+            ParseEvent::Match { offset, len } => {
+                emit_literals(out.sink(), lits);
+                lits.clear();
+                emit_copy(out.sink(), offset, len);
+            }
+        };
+        if is_final {
+            parser.finish(&mut sink);
+        } else {
+            parser.feed(input, &mut sink);
+        }
+        if is_final {
+            emit_literals(out.sink(), lits);
+            lits.clear();
+        }
+    }
+}
+
+impl StreamEncoder for SnappyStreamEncoder {
+    fn push(&mut self, input: &[u8], out: &mut [u8]) -> Result<StreamProgress, StreamError> {
+        if self.finished {
+            return Err(StreamError::Api("push after finish"));
+        }
+        if self.parser.fed() + input.len() > self.parser.total() {
+            return Err(StreamError::Api("pushed past the declared total"));
+        }
+        let mut consumed = 0;
+        if self.out.len() < HIGH_WATER && !input.is_empty() {
+            consumed = input.len().min(FEED_PIECE);
+            self.pump(&input[..consumed], false);
+        }
+        Ok(StreamProgress { consumed, written: self.out.drain_into(out) })
+    }
+
+    fn finish(&mut self, out: &mut [u8]) -> Result<(usize, bool), StreamError> {
+        if !self.finished {
+            if self.parser.fed() < self.parser.total() {
+                return Err(StreamError::Api("finish before all input was pushed"));
+            }
+            self.pump(&[], true);
+            self.finished = true;
+        }
+        let n = self.out.drain_into(out);
+        Ok((n, self.out.is_empty()))
+    }
+
+    fn scratch_bytes(&self) -> usize {
+        self.parser.scratch_bytes() + self.lits.capacity() + self.out.capacity()
+    }
+}
+
+/// Where the decoder's element-stream cursor sits between pushes.
+enum DecState {
+    /// Reading the uncompressed-length varint preamble.
+    Preamble,
+    /// At an element boundary, expecting a tag byte.
+    Tag,
+    /// Collecting the 1–4 extra length bytes of a long literal header.
+    LitExt { extra: usize, got: [u8; 4], have: usize },
+    /// Copying literal payload bytes through. `swallow` is set when the
+    /// header already overran the declared length: the bytes are consumed
+    /// but discarded, and the pending `LengthMismatch` fires once all of
+    /// them arrived (matching the one-shot order: availability check,
+    /// then extend, then length check).
+    LitBytes { remaining: u64, swallow: bool },
+    /// Collecting the 1/2/4 offset bytes of a copy element.
+    CopyOff { tag: u8, need: usize, got: [u8; 4], have: usize },
+}
+
+/// Streaming Snappy decompressor. See the module docs for the contract.
+pub struct SnappyStreamDecoder {
+    state: DecState,
+    pre: VarintAccum,
+    expected: u64,
+    /// `LengthMismatch` payload recorded when a literal header overruns;
+    /// reported once the literal's bytes have been consumed.
+    pending_overrun: Option<u64>,
+    hist: HistBuf,
+    err: Option<SnappyError>,
+    finished: bool,
+}
+
+impl Default for SnappyStreamDecoder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SnappyStreamDecoder {
+    /// Creates a decoder positioned at the length preamble.
+    pub fn new() -> Self {
+        SnappyStreamDecoder {
+            state: DecState::Preamble,
+            pre: VarintAccum::new(),
+            expected: 0,
+            pending_overrun: None,
+            hist: HistBuf::new(WINDOW_SIZE),
+            err: None,
+            finished: false,
+        }
+    }
+
+    fn produced(&self) -> u64 {
+        self.hist.produced()
+    }
+
+    /// Enters literal-payload state for a `len`-byte literal, recording a
+    /// pending overrun if the declared output length would be exceeded.
+    fn enter_literal(&mut self, len: u64) {
+        let overrun = self.produced() + len > self.expected;
+        if overrun {
+            self.pending_overrun = Some(self.produced() + len);
+        }
+        self.state = DecState::LitBytes { remaining: len, swallow: overrun };
+    }
+
+    /// Applies one copy element, in the one-shot decoder's check order.
+    fn apply(&mut self, offset: u32, len: u32) -> Result<(), SnappyError> {
+        let produced = self.produced();
+        if offset == 0 || offset as u64 > produced {
+            return Err(SnappyError::BadOffset);
+        }
+        if offset as usize > self.hist.retained() {
+            // Documented divergence: the back-reference is valid against
+            // total produced output but reaches past the retained window.
+            // Only a hostile type-11 offset > 64 KiB can get here.
+            return Err(SnappyError::BadOffset);
+        }
+        apply_copy(self.hist.sink(), offset, len).map_err(|_| SnappyError::BadOffset)?;
+        if produced + len as u64 > self.expected {
+            return Err(SnappyError::LengthMismatch {
+                expected: self.expected,
+                actual: produced + len as u64,
+            });
+        }
+        Ok(())
+    }
+
+    /// Feeds compressed bytes; identical to the trait `push` but with the
+    /// codec's precise error type. Errors are sticky.
+    ///
+    /// # Errors
+    ///
+    /// The same [`SnappyError`] values the one-shot decoder reports at
+    /// the equivalent point in the element stream.
+    pub fn push_bytes(
+        &mut self,
+        input: &[u8],
+        out: &mut [u8],
+    ) -> Result<StreamProgress, SnappyError> {
+        if let Some(e) = self.err {
+            return Err(e);
+        }
+        let mut i = 0;
+        while i < input.len() && self.hist.undrained() < HIGH_WATER {
+            if let Err(e) = self.step(input, &mut i) {
+                self.err = Some(e);
+                return Err(e);
+            }
+        }
+        let written = self.hist.drain_into(out);
+        Ok(StreamProgress { consumed: i, written })
+    }
+
+    /// Advances the state machine, consuming at least one byte from
+    /// `input[*i..]` (which is non-empty).
+    fn step(&mut self, input: &[u8], i: &mut usize) -> Result<(), SnappyError> {
+        match self.state {
+            DecState::Preamble => {
+                let (used, done) = self.pre.feed(&input[*i..]);
+                *i += used;
+                if let Some(res) = done {
+                    match res {
+                        Ok(v) if v <= u32::MAX as u64 => {
+                            self.expected = v;
+                            self.state = DecState::Tag;
+                        }
+                        _ => return Err(SnappyError::BadPreamble),
+                    }
+                }
+            }
+            DecState::Tag => {
+                let tag = input[*i];
+                *i += 1;
+                match tag & 0b11 {
+                    0b00 => {
+                        let n6 = (tag >> 2) as usize;
+                        if n6 < 60 {
+                            self.enter_literal(n6 as u64 + 1);
+                        } else {
+                            self.state =
+                                DecState::LitExt { extra: n6 - 59, got: [0; 4], have: 0 };
+                        }
+                    }
+                    0b01 => {
+                        self.state = DecState::CopyOff { tag, need: 1, got: [0; 4], have: 0 }
+                    }
+                    0b10 => {
+                        self.state = DecState::CopyOff { tag, need: 2, got: [0; 4], have: 0 }
+                    }
+                    _ => self.state = DecState::CopyOff { tag, need: 4, got: [0; 4], have: 0 },
+                }
+            }
+            DecState::LitExt { extra, mut got, mut have } => {
+                while have < extra && *i < input.len() {
+                    got[have] = input[*i];
+                    have += 1;
+                    *i += 1;
+                }
+                if have == extra {
+                    let mut v = 0u64;
+                    for (k, &b) in got[..extra].iter().enumerate() {
+                        v |= (b as u64) << (8 * k);
+                    }
+                    self.enter_literal(v + 1);
+                } else {
+                    self.state = DecState::LitExt { extra, got, have };
+                }
+            }
+            DecState::LitBytes { remaining, swallow } => {
+                let take = remaining.min((input.len() - *i) as u64) as usize;
+                if !swallow {
+                    self.hist.sink().extend_from_slice(&input[*i..*i + take]);
+                }
+                *i += take;
+                let remaining = remaining - take as u64;
+                if remaining == 0 {
+                    if swallow {
+                        return Err(SnappyError::LengthMismatch {
+                            expected: self.expected,
+                            actual: self.pending_overrun.take().unwrap_or(0),
+                        });
+                    }
+                    self.state = DecState::Tag;
+                } else {
+                    self.state = DecState::LitBytes { remaining, swallow };
+                }
+            }
+            DecState::CopyOff { tag, need, mut got, mut have } => {
+                while have < need && *i < input.len() {
+                    got[have] = input[*i];
+                    have += 1;
+                    *i += 1;
+                }
+                if have == need {
+                    let (offset, len) = match tag & 0b11 {
+                        0b01 => (
+                            (((tag >> 5) as u32) << 8) | got[0] as u32,
+                            4 + ((tag >> 2) & 0b111) as u32,
+                        ),
+                        0b10 => (
+                            u16::from_le_bytes([got[0], got[1]]) as u32,
+                            1 + (tag >> 2) as u32,
+                        ),
+                        _ => (u32::from_le_bytes(got), 1 + (tag >> 2) as u32),
+                    };
+                    self.apply(offset, len)?;
+                    self.state = DecState::Tag;
+                } else {
+                    self.state = DecState::CopyOff { tag, need, got, have };
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Declares end-of-input; identical to the trait `finish` but with
+    /// the codec's precise error type.
+    ///
+    /// # Errors
+    ///
+    /// The same [`SnappyError`] the one-shot decoder reports for the
+    /// equivalent truncated stream, or `LengthMismatch` when the declared
+    /// and produced lengths disagree.
+    pub fn finish_bytes(&mut self, out: &mut [u8]) -> Result<(usize, bool), SnappyError> {
+        if let Some(e) = self.err {
+            return Err(e);
+        }
+        if !self.finished {
+            let end_err = match self.state {
+                // One-shot: `read_u32` on a short buffer → BadPreamble.
+                DecState::Preamble => Some(SnappyError::BadPreamble),
+                DecState::Tag => None,
+                // One-shot: extra length bytes missing → Truncated.
+                DecState::LitExt { .. } => Some(SnappyError::Truncated),
+                // One-shot: literal payload overruns input → BadLiteral
+                // (checked before the extend, so it beats any overrun).
+                DecState::LitBytes { .. } => Some(SnappyError::BadLiteral),
+                // One-shot: offset bytes missing → Truncated.
+                DecState::CopyOff { .. } => Some(SnappyError::Truncated),
+            };
+            let end_err = end_err.or_else(|| {
+                (self.produced() != self.expected).then(|| SnappyError::LengthMismatch {
+                    expected: self.expected,
+                    actual: self.produced(),
+                })
+            });
+            if let Some(e) = end_err {
+                self.err = Some(e);
+                return Err(e);
+            }
+            self.finished = true;
+        }
+        let n = self.hist.drain_into(out);
+        Ok((n, self.hist.undrained() == 0))
+    }
+}
+
+impl StreamDecoder for SnappyStreamDecoder {
+    fn push(&mut self, input: &[u8], out: &mut [u8]) -> Result<StreamProgress, StreamError> {
+        self.push_bytes(input, out).map_err(|e| StreamError::Corrupt(e.to_string()))
+    }
+
+    fn finish(&mut self, out: &mut [u8]) -> Result<(usize, bool), StreamError> {
+        self.finish_bytes(out).map_err(|e| StreamError::Corrupt(e.to_string()))
+    }
+
+    fn scratch_bytes(&self) -> usize {
+        self.hist.capacity()
+    }
+}

@@ -1,0 +1,217 @@
+//! Streaming-vs-one-shot parity for the Snappy codec: every output byte,
+//! every error value, at hostile chunk sizes.
+
+use cdpu_lz77::matcher::MatcherConfig;
+use cdpu_snappy::stream::{SnappyStreamDecoder, SnappyStreamEncoder};
+use cdpu_snappy::SnappyError;
+use cdpu_util::rng::Xoshiro256;
+use cdpu_util::stream::{drive_decoder, drive_encoder, StreamProgress};
+
+const CHUNKS: &[usize] = &[1, 3, 7, 64, 251, 4096, usize::MAX];
+
+fn sample_inputs(rng: &mut Xoshiro256) -> Vec<Vec<u8>> {
+    let mut inputs: Vec<Vec<u8>> = vec![
+        vec![],
+        b"a".to_vec(),
+        b"snappy".to_vec(),
+        b"aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa".to_vec(),
+        b"the quick brown fox jumps over the lazy dog. ".repeat(300),
+        vec![42u8; 90_000], // giant overlapping match, > 64 KiB window
+    ];
+    for _ in 0..3 {
+        let mut v = vec![0u8; rng.index(20_000)];
+        rng.fill_bytes(&mut v);
+        inputs.push(v);
+    }
+    for _ in 0..3 {
+        let len = rng.index(150_000);
+        let mut v = Vec::new();
+        while v.len() < len {
+            let b = b'a' + rng.index(4) as u8;
+            v.extend(std::iter::repeat_n(b, (rng.index(40) + 1).min(len - v.len())));
+        }
+        inputs.push(v);
+    }
+    inputs
+}
+
+/// Streaming decode with the codec-precise error type, feeding
+/// `chunk`-sized windows.
+fn stream_decode(compressed: &[u8], chunk: usize) -> Result<Vec<u8>, SnappyError> {
+    let mut dec = SnappyStreamDecoder::new();
+    let mut out = Vec::new();
+    let mut window = vec![0u8; 1024];
+    let mut fed = 0;
+    while fed < compressed.len() {
+        let end = (fed + chunk).min(compressed.len());
+        let mut piece = &compressed[fed..end];
+        fed = end;
+        while !piece.is_empty() {
+            let StreamProgress { consumed, written } = dec.push_bytes(piece, &mut window)?;
+            out.extend_from_slice(&window[..written]);
+            piece = &piece[consumed..];
+        }
+    }
+    loop {
+        let (n, done) = dec.finish_bytes(&mut window)?;
+        out.extend_from_slice(&window[..n]);
+        if done {
+            return Ok(out);
+        }
+    }
+}
+
+#[test]
+fn encoder_matches_one_shot_bytes() {
+    let mut rng = Xoshiro256::seed_from(91);
+    for data in sample_inputs(&mut rng) {
+        for cfg in [MatcherConfig::snappy_sw(), MatcherConfig::snappy_hw()] {
+            let want = cdpu_snappy::compress_with(&data, &cfg);
+            for &chunk in CHUNKS {
+                let chunk = chunk.min(data.len().max(1));
+                let mut enc = SnappyStreamEncoder::new(data.len(), &cfg);
+                let mut got = Vec::new();
+                drive_encoder(&mut enc, &data, chunk, &mut got).unwrap();
+                assert_eq!(got, want, "len {} chunk {chunk}", data.len());
+            }
+        }
+    }
+}
+
+#[test]
+fn decoder_matches_one_shot_bytes() {
+    let mut rng = Xoshiro256::seed_from(92);
+    for data in sample_inputs(&mut rng) {
+        let compressed = cdpu_snappy::compress(&data);
+        for &chunk in CHUNKS {
+            let chunk = chunk.min(compressed.len().max(1));
+            let got = stream_decode(&compressed, chunk).unwrap();
+            assert_eq!(got, data, "len {} chunk {chunk}", data.len());
+            // And through the trait driver.
+            let mut dec = SnappyStreamDecoder::new();
+            let mut got = Vec::new();
+            drive_decoder(&mut dec, &compressed, chunk, &mut got).unwrap();
+            assert_eq!(got, data, "trait driver, len {} chunk {chunk}", data.len());
+        }
+    }
+}
+
+#[test]
+fn truncation_error_parity_at_every_cut() {
+    let mut rng = Xoshiro256::seed_from(93);
+    let mut data = Vec::new();
+    while data.len() < 4000 {
+        let b = b'a' + rng.index(4) as u8;
+        data.extend(std::iter::repeat_n(b, rng.index(30) + 1));
+    }
+    let compressed = cdpu_snappy::compress(&data);
+    for cut in 0..compressed.len() {
+        let want = cdpu_snappy::decompress(&compressed[..cut]);
+        for &chunk in &[1usize, 7, 251] {
+            let got = stream_decode(&compressed[..cut], chunk);
+            match (&want, &got) {
+                (Err(w), Err(g)) => assert_eq!(w, g, "cut {cut} chunk {chunk}"),
+                _ => panic!("cut {cut}: one-shot {want:?} vs stream {got:?}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn hostile_stream_error_parity() {
+    // Streams with specific corruptions, checked against the one-shot
+    // error value at several chunkings.
+    let mut streams: Vec<Vec<u8>> = vec![
+        vec![],                          // empty: BadPreamble
+        vec![0x80],                      // unterminated varint
+        vec![0x80; 12],                  // overlong varint
+        vec![0xFF; 5],                   // preamble > u32::MAX
+        vec![10, 0b01],                  // copy tag, offset byte missing
+        vec![10, 0x01 | (4 << 2), 0x01], // copy before any output: BadOffset
+        vec![4, 16, b'a', b'b', b'c', b'd', b'e'],   // literal overruns declared len
+        vec![2, 59u8 << 2],              // literal, payload missing entirely
+        vec![5, 61 << 2, 0x10],          // long literal, extra bytes truncated
+        {
+            let mut s = vec![3, 2 << 2];
+            s.extend_from_slice(b"abc"); // exact fit, then trailing garbage tag
+            s.push(0b10);
+            s
+        },
+        {
+            // Declares 10, produces 3: LengthMismatch at finish.
+            let mut s = vec![10, 2 << 2];
+            s.extend_from_slice(b"abc");
+            s
+        },
+    ];
+    // A valid stream with each single byte flipped.
+    let base = cdpu_snappy::compress(b"abcabcabcabcabcabcabcabc_tail");
+    for i in 0..base.len() {
+        let mut m = base.clone();
+        m[i] ^= 0x40;
+        streams.push(m);
+    }
+    for s in &streams {
+        let want = cdpu_snappy::decompress(s);
+        for &chunk in &[1usize, 2, 5, 4096] {
+            let got = stream_decode(s, chunk);
+            assert_eq!(want.is_ok(), got.is_ok(), "stream {s:?} chunk {chunk}");
+            match (&want, &got) {
+                (Err(w), Err(g)) => assert_eq!(w, g, "stream {s:?} chunk {chunk}"),
+                (Ok(w), Ok(g)) => assert_eq!(w, g),
+                _ => unreachable!(),
+            }
+        }
+    }
+}
+
+#[test]
+fn type11_offset_beyond_retained_window_diverges_as_documented() {
+    // A hostile type-11 copy reaching past the 64 KiB retained history
+    // (but within total produced output) is the one documented
+    // divergence: the one-shot decoder (which keeps everything) serves
+    // it; the streaming decoder reports BadOffset.
+    // History is only compacted once >64 KiB has been both produced
+    // beyond the window *and* drained by the caller, so the stream must
+    // be large enough and the drain must keep pace with the decode.
+    let lit_len: usize = 140_000;
+    let total = lit_len + 4;
+    let mut s = Vec::new();
+    cdpu_util::varint::write_u64(&mut s, total as u64);
+    s.push(62 << 2); // literal, 3-byte length
+    s.extend_from_slice(&((lit_len - 1) as u32).to_le_bytes()[..3]);
+    s.extend((0..lit_len).map(|i| (i % 251) as u8));
+    s.push(0b11 | (3 << 2)); // type-11 copy, len 4
+    s.extend_from_slice(&(lit_len as u32).to_le_bytes()); // offset = 140_000
+    assert!(cdpu_snappy::decompress(&s).is_ok());
+    let mut dec = SnappyStreamDecoder::new();
+    let mut window = vec![0u8; 8192];
+    let mut result = Ok(());
+    'feed: for piece in s.chunks(4096) {
+        let mut piece = piece;
+        while !piece.is_empty() {
+            match dec.push_bytes(piece, &mut window) {
+                Ok(p) => piece = &piece[p.consumed..],
+                Err(e) => {
+                    result = Err(e);
+                    break 'feed;
+                }
+            }
+            // Drain fully so the decoder can slide its window.
+            while dec.push_bytes(&[], &mut window).unwrap().written > 0 {}
+        }
+    }
+    assert_eq!(result, Err(SnappyError::BadOffset));
+}
+
+#[test]
+fn decoder_error_is_sticky() {
+    let mut dec = SnappyStreamDecoder::new();
+    let mut w = [0u8; 64];
+    // Copy with offset 1 before any output.
+    let bad = [4u8, 0b01, 0x01];
+    let err = dec.push_bytes(&bad, &mut w).unwrap_err();
+    assert_eq!(err, SnappyError::BadOffset);
+    assert_eq!(dec.push_bytes(b"", &mut w).unwrap_err(), SnappyError::BadOffset);
+    assert_eq!(dec.finish_bytes(&mut w).unwrap_err(), SnappyError::BadOffset);
+}

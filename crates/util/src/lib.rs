@@ -1,8 +1,9 @@
 //! Shared infrastructure for the CDPU framework.
 //!
 //! This crate holds the small building blocks used by every other crate in
-//! the workspace (its only dependency is the workspace's own zero-dependency
-//! `cdpu-par` thread pool, which [`frame`] uses for chunk parallelism):
+//! the workspace (its only dependencies are the workspace's own
+//! zero-dependency `cdpu-par` thread pool, which [`frame`] uses for chunk
+//! parallelism, and `cdpu-telemetry` for [`stream`]'s scratch gauge):
 //!
 //! - [`rng`]: deterministic pseudo-random number generation
 //!   (SplitMix64 / Xoshiro256**) so that every stochastic component of the
@@ -19,6 +20,10 @@
 //! - [`json`]: a minimal JSON reader so the framework can parse its own
 //!   artifacts (benchmark baselines, telemetry exports) without external
 //!   dependencies.
+//! - [`stream`]: the unified chunked [`StreamEncoder`](stream::StreamEncoder)
+//!   / [`StreamDecoder`](stream::StreamDecoder) trait pair every codec
+//!   implements, plus the reference drive harness with scratch
+//!   high-watermark accounting.
 //!
 //! # Examples
 //!
@@ -79,6 +84,7 @@ pub mod hist;
 pub mod json;
 pub mod rng;
 pub mod stats;
+pub mod stream;
 pub mod varint;
 
 /// Formats a byte count using binary units, e.g. `65536` -> `"64 KiB"`.

@@ -737,20 +737,48 @@ pub fn decode_block_with(
     lits: &mut Vec<u8>,
     seqs: &mut Vec<Seq>,
 ) -> Result<(), ZstdError> {
+    let last_literals = decode_block_entropy(payload, lits, seqs)?;
+    apply_block(lits, seqs, last_literals, out, window, max_len)
+}
+
+/// The entropy half of [`decode_block_with`]: decodes the payload's
+/// literal and sequence sections into `lits`/`seqs` and returns the
+/// trailing-literal count. Every entropy-side error (malformed section,
+/// trailing payload bytes) is reported here, before a single output byte
+/// exists; [`decode_block_with`] is exactly this followed by
+/// [`apply_block`]. That clean split is what lets the stage-pipelined
+/// frame decoder run the two halves on *different* blocks concurrently
+/// while reproducing the serial decoder's error order.
+pub fn decode_block_entropy(
+    payload: &[u8],
+    lits: &mut Vec<u8>,
+    seqs: &mut Vec<Seq>,
+) -> Result<u64, ZstdError> {
     lits.clear();
     seqs.clear();
     let mut pos = 0usize;
     decode_literals_into(payload, &mut pos, lits)?;
     decode_sequences_into(payload, &mut pos, seqs)?;
-    let literals = &*lits;
-    let seqs = &*seqs;
     let (last_literals, consumed) =
         varint::read_u64(&payload[pos..]).map_err(|_| ZstdError::BadBlock("last literals"))?;
     pos += consumed;
     if pos != payload.len() {
         return Err(ZstdError::BadBlock("trailing bytes in block"));
     }
+    Ok(last_literals)
+}
 
+/// The LZ77-writer half of [`decode_block_with`]: interleaves the decoded
+/// literals and sequences into `out` against the history window already
+/// in it, enforcing the window bound and the declared block size.
+pub fn apply_block(
+    literals: &[u8],
+    seqs: &[Seq],
+    last_literals: u64,
+    out: &mut Vec<u8>,
+    window: u32,
+    max_len: usize,
+) -> Result<(), ZstdError> {
     let start_len = out.len();
     let mut lit_pos = 0usize;
     for seq in seqs {

@@ -36,6 +36,7 @@ pub mod block;
 pub mod codes;
 pub mod dict;
 pub mod reference;
+pub mod stream;
 
 pub use block::BlockStats;
 
@@ -440,33 +441,42 @@ pub fn compress_parse_with_stats(
 /// continues from the same relative source). This keeps every block within
 /// the size target and every match within the match-length code range.
 pub(crate) fn split_parse(parse: &Parse, block_target: usize) -> Vec<Parse> {
-    assert!(block_target >= 8);
-    let mut s = Splitter {
-        chunks: Vec::new(),
-        cur: Parse::default(),
-        cur_len: 0,
-        target: block_target,
-    };
+    let mut s = Splitter::new(block_target);
     for seq in &parse.seqs {
         s.add_literals(seq.lit_len as usize);
         s.add_match(seq.match_len as usize, seq.offset);
     }
     s.add_literals(parse.last_literals as usize);
-    if s.cur_len > 0 || !s.cur.seqs.is_empty() {
-        s.chunks.push(s.cur);
-    }
+    s.close();
     s.chunks
 }
 
-struct Splitter {
-    chunks: Vec<Parse>,
+/// Incremental block splitter: accumulates parse events (literal runs,
+/// matches) and closes a [`Parse`] chunk whenever `target` bytes are
+/// covered. `split_parse` is one whole-parse drive of this; the streaming
+/// encoder feeds it straight from `cdpu_lz77::stream::StreamParser`, which
+/// yields byte-identical chunking because both literal-run splitting and
+/// match splitting are additive (see `add_match`).
+pub(crate) struct Splitter {
+    /// Closed chunks, ready to encode. Drained by the streaming encoder.
+    pub(crate) chunks: Vec<Parse>,
     cur: Parse,
     cur_len: usize,
     target: usize,
 }
 
 impl Splitter {
-    fn close(&mut self) {
+    pub(crate) fn new(target: usize) -> Self {
+        assert!(target >= 8);
+        Splitter {
+            chunks: Vec::new(),
+            cur: Parse::default(),
+            cur_len: 0,
+            target,
+        }
+    }
+
+    pub(crate) fn close(&mut self) {
         if self.cur_len > 0 || !self.cur.seqs.is_empty() {
             self.chunks.push(std::mem::take(&mut self.cur));
             self.cur_len = 0;
@@ -475,8 +485,9 @@ impl Splitter {
 
     /// Accumulates literal bytes, splitting across chunks as needed. They
     /// sit in `cur.last_literals` until a match converts them into a
-    /// sequence's `lit_len`.
-    fn add_literals(&mut self, mut n: usize) {
+    /// sequence's `lit_len`. Additive: feeding a run as several calls
+    /// produces the same chunking as one call.
+    pub(crate) fn add_literals(&mut self, mut n: usize) {
         while n > 0 {
             if self.cur_len == self.target {
                 self.close();
@@ -490,7 +501,7 @@ impl Splitter {
 
     /// Adds a match of `len` bytes at `offset`, splitting so that no chunk
     /// exceeds the target and every piece stays ≥ 4 bytes (codeable).
-    fn add_match(&mut self, mut len: usize, offset: u32) {
+    pub(crate) fn add_match(&mut self, mut len: usize, offset: u32) {
         const MIN_PIECE: usize = 4;
         while len > 0 {
             let space = self.target - self.cur_len;
